@@ -1,0 +1,94 @@
+//! E6/E7/E8 — the §III-B design-choice ablations: key salting, proxy
+//! backpressure, write-path compaction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pga_cluster::sim::{simulate_ingestion, ProxyMode, SimClusterConfig};
+use pga_ingest::{proxy_ablation, routing_shares, salting_ablation};
+
+fn bench_ablations(c: &mut Criterion) {
+    // E6: print the salting table, bench both routings.
+    let salt = salting_ablation(30, 1_000_000.0);
+    println!(
+        "\nE6 salting: salted {:.0}/s (max share {:.3}) vs unsalted {:.0}/s (max share {:.3}) → {:.1}x",
+        salt.salted_throughput,
+        salt.salted_max_share,
+        salt.unsalted_throughput,
+        salt.unsalted_max_share,
+        salt.speedup()
+    );
+    let cfg = SimClusterConfig::paper_calibration(30);
+    let mut group = c.benchmark_group("salting");
+    group.sample_size(10);
+    for (name, salted) in [("salted", true), ("unsalted", false)] {
+        let shares = routing_shares(30, 100, 1000, salted);
+        group.bench_with_input(BenchmarkId::new("ingest_1M", name), &shares, |bch, sh| {
+            bch.iter(|| {
+                black_box(simulate_ingestion(
+                    black_box(&cfg),
+                    black_box(sh),
+                    1_000_000.0,
+                    f64::INFINITY,
+                    ProxyMode::Buffered,
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // E7: proxy vs no proxy.
+    let proxy = proxy_ablation(10, 2_000_000.0);
+    println!(
+        "E7 proxy: with proxy {} crashes / {:.0} dropped; without proxy {} crashes / {:.0} dropped",
+        proxy.with_proxy.crashes,
+        proxy.with_proxy.dropped,
+        proxy.without_proxy.crashes,
+        proxy.without_proxy.dropped
+    );
+    let mut group = c.benchmark_group("proxy");
+    group.sample_size(10);
+    let shares = routing_shares(10, 100, 1000, true);
+    let mut cfg = SimClusterConfig::paper_calibration(10);
+    cfg.crash_overflow_threshold = 100;
+    for (name, mode) in [("buffered", ProxyMode::Buffered), ("none", ProxyMode::None)] {
+        group.bench_with_input(BenchmarkId::new("firehose_2M", name), &mode, |bch, m| {
+            bch.iter(|| {
+                black_box(simulate_ingestion(
+                    black_box(&cfg),
+                    black_box(&shares),
+                    2_000_000.0,
+                    f64::INFINITY,
+                    *m,
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // E8: compaction on/off over the real storage stack.
+    let rows = pga_bench::compaction_ablation(4, 6, 3);
+    for r in &rows {
+        println!(
+            "E8 compaction {}: {:.3} RPCs/point",
+            if r.compaction { "enabled " } else { "disabled" },
+            r.rpcs_per_point
+        );
+    }
+    let mut group = c.benchmark_group("compaction");
+    group.sample_size(10);
+    for enabled in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest_series", enabled),
+            &enabled,
+            |bch, &en| {
+                bch.iter(|| black_box(pga_bench::compaction_ablation_single(2, 4, en)))
+            },
+        );
+    }
+    group.finish();
+    println!();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

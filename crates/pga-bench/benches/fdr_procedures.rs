@@ -1,0 +1,58 @@
+//! E5 — multiple-testing procedures: cost per family and the quality table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rand::{Rng, SeedableRng};
+
+use pga_stats::Procedure;
+
+fn p_family(m: usize, signal: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut p: Vec<f64> = (0..m).map(|_| rng.gen::<f64>()).collect();
+    for v in p.iter_mut().take(signal) {
+        *v *= 1e-6; // strong signals
+    }
+    p
+}
+
+fn bench_procedures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("procedures_m1000");
+    group.sample_size(20);
+    let family = p_family(1000, 10, 1);
+    group.throughput(Throughput::Elements(1000));
+    for proc in Procedure::all() {
+        group.bench_with_input(
+            BenchmarkId::new(proc.name(), 1000),
+            &proc,
+            |bch, proc| bch.iter(|| black_box(proc.apply(black_box(&family), 0.05))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bh_scaling");
+    group.sample_size(20);
+    for m in [100usize, 1_000, 10_000, 100_000] {
+        let family = p_family(m, m / 100, 2);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &family, |bch, fam| {
+            bch.iter(|| black_box(pga_stats::benjamini_hochberg(black_box(fam), 0.05)))
+        });
+    }
+    group.finish();
+
+    // The quality table (who controls what, at what power).
+    let rows = pga_bench::fdr_experiment(16, 64, 560, 0.5, 2024);
+    println!("\nE5: procedure comparison (16 units x 64 sensors, eval at t=560, truth floor 0.5σ):");
+    println!("{:<22} {:>12} {:>8} {:>8} {:>8}", "procedure", "false-alarms", "FDR", "FWER", "power");
+    for r in &rows {
+        println!(
+            "{:<22} {:>12.2} {:>8.3} {:>8.3} {:>8.3}",
+            r.procedure, r.mean_false_alarms, r.empirical_fdr, r.empirical_fwer, r.power
+        );
+    }
+    println!();
+}
+
+criterion_group!(benches, bench_procedures);
+criterion_main!(benches);

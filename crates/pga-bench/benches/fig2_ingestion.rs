@@ -1,0 +1,56 @@
+//! E1/E2 — Figure 2: ingestion scale-up.
+//!
+//! Benches the queueing-model sweep (with real codec-derived routing) at
+//! each paper node count, plus the real thread-scale pipeline, and prints
+//! the reproduced Fig-2 table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pga_bench::fig2_report;
+use pga_cluster::sim::{simulate_ingestion, ProxyMode, SimClusterConfig};
+use pga_ingest::routing_shares;
+
+fn bench_fig2(c: &mut Criterion) {
+    // Print the reproduced figure once, up front.
+    let report = fig2_report(2_000_000.0, false);
+    println!("\nFig 2 (left) reproduction — throughput vs nodes:");
+    for (row, &(_, paper)) in report.rows.iter().zip(&report.paper_reference) {
+        println!(
+            "  {:>2} nodes: {:>8.0} samples/s   (paper: {:>7.0})",
+            row.nodes, row.throughput, paper
+        );
+    }
+    let (a, b, r2) = report.fit;
+    println!("  fit: {a:.0} + {b:.0}/node, r²={r2:.4}\n");
+
+    let mut group = c.benchmark_group("fig2_ingestion_sim");
+    group.sample_size(10);
+    for nodes in [10usize, 20, 30] {
+        let cfg = SimClusterConfig::paper_calibration(nodes);
+        let shares = routing_shares(nodes, 100, 1000, true);
+        group.bench_with_input(BenchmarkId::new("simulate", nodes), &nodes, |bch, _| {
+            bch.iter(|| {
+                let r = simulate_ingestion(
+                    black_box(&cfg),
+                    black_box(&shares),
+                    1_000_000.0,
+                    f64::INFINITY,
+                    ProxyMode::Buffered,
+                );
+                black_box(r.throughput())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("routing_shares");
+    group.sample_size(10);
+    group.bench_function("100x1000_salted", |bch| {
+        bch.iter(|| black_box(routing_shares(30, 100, 1000, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

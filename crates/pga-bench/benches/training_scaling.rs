@@ -1,0 +1,55 @@
+//! E10 — offline training scaling on the Spark-analog dataflow engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pga_dataflow::Dataflow;
+use pga_detect::{train_fleet, train_unit};
+use pga_sensorgen::{Fleet, FleetConfig};
+
+fn bench_training(c: &mut Criterion) {
+    let fleet = Fleet::new(FleetConfig {
+        units: 16,
+        sensors_per_unit: 64,
+        ..FleetConfig::paper_scale(13)
+    });
+
+    let mut group = c.benchmark_group("fleet_training");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let df = Dataflow::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("16x64_window150", workers),
+            &workers,
+            |bch, _| bch.iter(|| black_box(train_fleet(black_box(&fleet), 150, &df, None).unwrap())),
+        );
+    }
+    group.finish();
+
+    // Per-unit training cost by sensor width (covariance + block SVD).
+    let mut group = c.benchmark_group("unit_training");
+    group.sample_size(10);
+    for sensors in [32u32, 128, 512] {
+        let f = Fleet::new(FleetConfig {
+            units: 1,
+            sensors_per_unit: sensors,
+            ..FleetConfig::paper_scale(5)
+        });
+        let obs = f.observation_window(0, 149, 150);
+        group.bench_with_input(BenchmarkId::from_parameter(sensors), &obs, |bch, obs| {
+            bch.iter(|| black_box(train_unit(0, black_box(obs)).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Print the scaling table for EXPERIMENTS.md.
+    let rows = pga_bench::training_scaling_experiment(16, 64, 150, &[1, 2, 4, 8], 13);
+    println!("\nE10 training scaling (16 units x 64 sensors):");
+    for r in &rows {
+        println!("  {} workers: {:.3}s ({:.2}x)", r.workers, r.elapsed_secs, r.speedup);
+    }
+    println!();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

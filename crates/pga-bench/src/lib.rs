@@ -1,0 +1,23 @@
+//! Experiment harnesses reproducing the paper's evaluation artifacts.
+//!
+//! Each function regenerates one table or figure (see DESIGN.md §4 for the
+//! experiment index). The `report_all` binary runs everything and prints
+//! paper-style tables plus JSON for EXPERIMENTS.md; the Criterion benches
+//! measure the real code paths behind each experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    alpha_sweep_experiment, compaction_ablation, compaction_ablation_single,
+    detection_latency_experiment,
+    eval_throughput_experiment, fdr_experiment,
+    fdr_weak_signal_experiment, fig2_report, pipeline_throughput_experiment,
+    training_scaling_experiment, window_ablation_experiment, CompactionRow, EvalThroughput,
+    AlphaSweepRow, FdrRow, Fig2Report, LatencyRow, PipelineThroughput, TrainingRow,
+    WindowAblationRow,
+};
+pub use table::render_table;

@@ -1,0 +1,418 @@
+//! Typed in-process RPC with bounded queues and overload crash semantics.
+//!
+//! Each server is one OS thread draining a bounded crossbeam channel — the
+//! analog of an HBase region server's RPC queue. Two call paths exist:
+//!
+//! * [`RpcHandle::call`] — blocking send: the caller waits for queue space.
+//!   This is what the reverse proxy's backpressure gives the system.
+//! * [`RpcHandle::try_call`] — non-blocking send: a full queue returns
+//!   [`RpcError::Overloaded`] and charges an overload strike against the
+//!   server. Once strikes reach the configured threshold the server
+//!   *crashes* (stops serving), modelling the paper's observed region
+//!   server failures under unthrottled OpenTSDB write storms.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+
+/// Lifecycle of an RPC server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerState {
+    /// Serving normally.
+    Healthy,
+    /// Crashed after sustained queue overload; no longer serving.
+    Crashed,
+    /// Shut down cleanly.
+    Stopped,
+}
+
+impl ServerState {
+    fn from_u8(v: u8) -> ServerState {
+        match v {
+            0 => ServerState::Healthy,
+            1 => ServerState::Crashed,
+            _ => ServerState::Stopped,
+        }
+    }
+}
+
+/// Errors surfaced to RPC callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The queue was full (only from [`RpcHandle::try_call`]).
+    Overloaded,
+    /// The server has crashed from overload.
+    Crashed,
+    /// The server was stopped cleanly.
+    Stopped,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Overloaded => write!(f, "rpc queue full"),
+            RpcError::Crashed => write!(f, "server crashed from overload"),
+            RpcError::Stopped => write!(f, "server stopped"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Counters exported by a server. All loads are `Relaxed`: these are
+/// monitoring counters, not synchronisation points.
+#[derive(Debug, Default)]
+pub struct RpcStats {
+    /// Requests fully processed.
+    pub processed: AtomicU64,
+    /// try_call attempts rejected because the queue was full.
+    pub overloads: AtomicU64,
+    /// Nanoseconds spent inside the handler.
+    pub busy_ns: AtomicU64,
+}
+
+struct Shared {
+    state: AtomicU8,
+    stats: RpcStats,
+    crash_threshold: u64,
+}
+
+impl Shared {
+    fn state(&self) -> ServerState {
+        ServerState::from_u8(self.state.load(Ordering::Acquire))
+    }
+}
+
+struct Envelope<Req, Resp> {
+    req: Req,
+    /// `None` for one-way casts: the response is discarded.
+    reply: Option<Sender<Resp>>,
+}
+
+/// Client handle to a spawned RPC server. Cloneable; the server thread
+/// exits when all handles are dropped or [`RpcHandle::shutdown`] is called.
+pub struct RpcHandle<Req, Resp> {
+    tx: Sender<Envelope<Req, Resp>>,
+    shared: Arc<Shared>,
+    name: String,
+}
+
+impl<Req, Resp> Clone for RpcHandle<Req, Resp> {
+    fn clone(&self) -> Self {
+        RpcHandle {
+            tx: self.tx.clone(),
+            shared: self.shared.clone(),
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// Builder for an RPC server.
+pub struct RpcServerBuilder {
+    name: String,
+    queue_capacity: usize,
+    crash_threshold: u64,
+}
+
+impl RpcServerBuilder {
+    /// Start configuring a server with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RpcServerBuilder {
+            name: name.into(),
+            queue_capacity: 1024,
+            crash_threshold: u64::MAX,
+        }
+    }
+
+    /// Bound the RPC queue (HBase `hbase.regionserver.handler.count` ×
+    /// queue depth analog). Default 1024.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Number of overload strikes after which the server crashes. Default:
+    /// never (only meaningful for `try_call` workloads).
+    pub fn crash_after_overloads(mut self, strikes: u64) -> Self {
+        self.crash_threshold = strikes;
+        self
+    }
+
+    /// Spawn the server thread with the given request handler.
+    pub fn spawn<Req, Resp, H>(self, mut handler: H) -> (RpcHandle<Req, Resp>, ServerRunner)
+    where
+        Req: Send + 'static,
+        Resp: Send + 'static,
+        H: FnMut(Req) -> Resp + Send + 'static,
+    {
+        let (tx, rx): (Sender<Envelope<Req, Resp>>, Receiver<Envelope<Req, Resp>>) =
+            bounded(self.queue_capacity);
+        let shared = Arc::new(Shared {
+            state: AtomicU8::new(0),
+            stats: RpcStats::default(),
+            crash_threshold: self.crash_threshold,
+        });
+        let worker_shared = shared.clone();
+        let thread_name = self.name.clone();
+        let join = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                for env in rx.iter() {
+                    if worker_shared.state() == ServerState::Crashed {
+                        // Crashed mid-flight: drop remaining requests.
+                        drop(env.reply);
+                        continue;
+                    }
+                    let start = Instant::now();
+                    let resp = handler(env.req);
+                    worker_shared
+                        .stats
+                        .busy_ns
+                        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    worker_shared.stats.processed.fetch_add(1, Ordering::Relaxed);
+                    // Caller may have given up (or cast one-way); ignore
+                    // send failures.
+                    if let Some(reply) = env.reply {
+                        let _ = reply.send(resp);
+                    }
+                }
+            })
+            .expect("spawn rpc server thread");
+        (
+            RpcHandle {
+                tx,
+                shared,
+                name: self.name,
+            },
+            ServerRunner { join: Some(join) },
+        )
+    }
+}
+
+/// Owns the server thread.
+///
+/// Dropping the runner *detaches* the thread (it exits once every
+/// [`RpcHandle`] clone is gone); call [`ServerRunner::join`] only after
+/// dropping all handles, or the join would wait forever on the open
+/// channel.
+pub struct ServerRunner {
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerRunner {
+    /// Wait for the server thread to exit. All [`RpcHandle`] clones must be
+    /// dropped first, otherwise the channel stays open and this blocks.
+    pub fn join(mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerRunner {
+    fn drop(&mut self) {
+        // Detach: joining here could deadlock while handles are alive.
+        self.join.take();
+    }
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> RpcHandle<Req, Resp> {
+    /// Server display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ServerState {
+        self.shared.state()
+    }
+
+    /// Requests processed so far.
+    pub fn processed(&self) -> u64 {
+        self.shared.stats.processed.load(Ordering::Relaxed)
+    }
+
+    /// Overload strikes recorded so far.
+    pub fn overloads(&self) -> u64 {
+        self.shared.stats.overloads.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds the handler has been busy.
+    pub fn busy_ns(&self) -> u64 {
+        self.shared.stats.busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Blocking call: waits for queue space (backpressure), then for the
+    /// response.
+    pub fn call(&self, req: Req) -> Result<Resp, RpcError> {
+        match self.shared.state() {
+            ServerState::Healthy => {}
+            ServerState::Crashed => return Err(RpcError::Crashed),
+            ServerState::Stopped => return Err(RpcError::Stopped),
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Envelope {
+                req,
+                reply: Some(reply_tx),
+            })
+            .map_err(|_| RpcError::Stopped)?;
+        reply_rx.recv().map_err(|_| match self.shared.state() {
+            ServerState::Crashed => RpcError::Crashed,
+            _ => RpcError::Stopped,
+        })
+    }
+
+    /// One-way, non-blocking cast: enqueue the request and return without
+    /// waiting for a response (asynchronous OpenTSDB-style writes). A full
+    /// queue is an overload strike; sustained strikes (≥ the configured
+    /// threshold) crash the server — the paper's unprotected ingestion
+    /// path.
+    pub fn cast(&self, req: Req) -> Result<(), RpcError> {
+        match self.shared.state() {
+            ServerState::Healthy => {}
+            ServerState::Crashed => return Err(RpcError::Crashed),
+            ServerState::Stopped => return Err(RpcError::Stopped),
+        }
+        match self.tx.try_send(Envelope { req, reply: None }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                let strikes = self.shared.stats.overloads.fetch_add(1, Ordering::AcqRel) + 1;
+                if strikes >= self.shared.crash_threshold {
+                    self.shared.state.store(1, Ordering::Release);
+                }
+                Err(RpcError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(RpcError::Stopped),
+        }
+    }
+
+    /// Signal shutdown: subsequent calls fail, the thread drains and exits
+    /// once all clones of this handle are dropped.
+    pub fn shutdown(&self) {
+        self.shared.state.store(2, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn call_roundtrip() {
+        let (h, runner) = RpcServerBuilder::new("echo").spawn(|x: u32| x * 2);
+        assert_eq!(h.call(21).unwrap(), 42);
+        assert_eq!(h.processed(), 1);
+        assert_eq!(h.state(), ServerState::Healthy);
+        drop(h);
+        runner.join();
+    }
+
+    #[test]
+    fn many_callers_share_one_server() {
+        let (h, runner) = RpcServerBuilder::new("adder").spawn(|x: u64| x + 1);
+        let mut joins = Vec::new();
+        for i in 0..8u64 {
+            let h = h.clone();
+            joins.push(std::thread::spawn(move || {
+                for j in 0..100 {
+                    assert_eq!(h.call(i * 100 + j).unwrap(), i * 100 + j + 1);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.processed(), 800);
+        drop(h);
+        runner.join();
+    }
+
+    #[test]
+    fn cast_overflow_strikes_and_crashes() {
+        // Slow handler + capacity 1 + unthrottled casts → overload strikes
+        // → crash: the §III-B failure mode.
+        let (h, runner) = RpcServerBuilder::new("slow")
+            .queue_capacity(1)
+            .crash_after_overloads(3)
+            .spawn(|_: u32| {
+                std::thread::sleep(Duration::from_millis(20));
+                0u32
+            });
+        let mut overloads = 0;
+        let mut crashed = false;
+        for i in 0..200 {
+            match h.cast(i) {
+                Err(RpcError::Overloaded) => overloads += 1,
+                Err(RpcError::Crashed) => {
+                    crashed = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(overloads >= 3, "expected strikes, got {overloads}");
+        assert!(crashed, "server should have crashed");
+        assert_eq!(h.state(), ServerState::Crashed);
+        // Blocking calls now refuse too.
+        assert_eq!(h.call(1).unwrap_err(), RpcError::Crashed);
+        drop(h);
+        runner.join();
+    }
+
+    #[test]
+    fn cast_is_fire_and_forget() {
+        let (h, runner) = RpcServerBuilder::new("counter")
+            .queue_capacity(64)
+            .spawn(|x: u32| x);
+        for i in 0..50 {
+            h.cast(i).unwrap();
+        }
+        drop(h.clone()); // clones do not end the service
+        // Drain by dropping the last handle; the thread then exits.
+        let probe = h.clone();
+        drop(h);
+        // The queued casts are all processed before exit.
+        while probe.processed() < 50 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(probe.overloads(), 0);
+        drop(probe);
+        runner.join();
+    }
+
+    #[test]
+    fn blocking_call_applies_backpressure_without_crashing() {
+        // Same slow server, but blocking calls: no overloads, no crash.
+        let (h, runner) = RpcServerBuilder::new("slow-bp")
+            .queue_capacity(1)
+            .crash_after_overloads(3)
+            .spawn(|x: u32| {
+                std::thread::sleep(Duration::from_millis(1));
+                x
+            });
+        for i in 0..50 {
+            assert_eq!(h.call(i).unwrap(), i);
+        }
+        assert_eq!(h.overloads(), 0);
+        assert_eq!(h.state(), ServerState::Healthy);
+        assert!(h.busy_ns() > 0);
+        drop(h);
+        runner.join();
+    }
+
+    #[test]
+    fn shutdown_stops_service() {
+        let (h, runner) = RpcServerBuilder::new("stopper").spawn(|x: u8| x);
+        h.shutdown();
+        assert_eq!(h.call(1).unwrap_err(), RpcError::Stopped);
+        assert_eq!(h.state(), ServerState::Stopped);
+        drop(h);
+        runner.join();
+    }
+}

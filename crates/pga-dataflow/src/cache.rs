@@ -1,0 +1,184 @@
+//! Directory-backed object cache — the HDFS stand-in.
+//!
+//! §IV-A: "Results from the decomposition are cached to HDFS. Evaluation
+//! is thereby relatively fast…". The detector stores trained unit models
+//! here keyed by unit id, and the online evaluator loads them back.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Cache failure modes.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// (De)serialisation error.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "cache io error: {e}"),
+            CacheError::Serde(e) => write!(f, "cache serde error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<std::io::Error> for CacheError {
+    fn from(e: std::io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CacheError {
+    fn from(e: serde_json::Error) -> Self {
+        CacheError::Serde(e)
+    }
+}
+
+/// A JSON object cache rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    root: PathBuf,
+}
+
+impl DiskCache {
+    /// Open (creating if needed) a cache rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, CacheError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskCache { root })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        // Sanitise: keys become filenames.
+        let safe: String = key
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        self.root.join(format!("{safe}.json"))
+    }
+
+    /// Store a value under `key`, overwriting any previous value.
+    /// The write is atomic (write-to-temp + rename).
+    pub fn store<T: Serialize>(&self, key: &str, value: &T) -> Result<(), CacheError> {
+        let path = self.path_for(key);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(serde_json::to_string(value)?.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Load the value under `key`, if present.
+    pub fn load<T: DeserializeOwned>(&self, key: &str) -> Result<Option<T>, CacheError> {
+        let path = self.path_for(key);
+        match std::fs::read_to_string(&path) {
+            Ok(s) => Ok(Some(serde_json::from_str(&s)?)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Whether `key` is cached.
+    pub fn contains(&self, key: &str) -> bool {
+        self.path_for(key).exists()
+    }
+
+    /// Remove `key` (no-op when absent).
+    pub fn evict(&self, key: &str) -> Result<(), CacheError> {
+        match std::fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// List cached keys (filenames without extension).
+    pub fn keys(&self) -> Result<Vec<String>, CacheError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".json") {
+                out.push(stem.to_string());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> DiskCache {
+        let dir = std::env::temp_dir().join(format!(
+            "pga-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let c = temp_cache("roundtrip");
+        let value = vec![1.5f64, 2.5, -3.0];
+        c.store("model-unit-7", &value).unwrap();
+        let back: Vec<f64> = c.load("model-unit-7").unwrap().unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let c = temp_cache("missing");
+        let got: Option<Vec<f64>> = c.load("nope").unwrap();
+        assert!(got.is_none());
+        assert!(!c.contains("nope"));
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let c = temp_cache("overwrite");
+        c.store("k", &1u32).unwrap();
+        c.store("k", &2u32).unwrap();
+        assert_eq!(c.load::<u32>("k").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn evict_removes() {
+        let c = temp_cache("evict");
+        c.store("k", &1u32).unwrap();
+        assert!(c.contains("k"));
+        c.evict("k").unwrap();
+        assert!(!c.contains("k"));
+        c.evict("k").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn keys_are_listed_sorted() {
+        let c = temp_cache("keys");
+        c.store("b", &1u32).unwrap();
+        c.store("a", &1u32).unwrap();
+        assert_eq!(c.keys().unwrap(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn weird_key_characters_are_sanitised() {
+        let c = temp_cache("sanitise");
+        c.store("unit/7:model v2", &42u32).unwrap();
+        assert_eq!(c.load::<u32>("unit/7:model v2").unwrap(), Some(42));
+    }
+}

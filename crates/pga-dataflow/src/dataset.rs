@@ -1,0 +1,315 @@
+//! Partitioned datasets with a bounded worker pool.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The execution context: how many worker threads transformations use.
+#[derive(Debug, Clone, Copy)]
+pub struct Dataflow {
+    workers: usize,
+}
+
+impl Dataflow {
+    /// A context with `workers` threads (≥ 1).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        Dataflow { workers }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Distribute a vector into `partitions` roughly equal chunks.
+    pub fn parallelize<T: Send>(&self, data: Vec<T>, partitions: usize) -> Dataset<T> {
+        assert!(partitions >= 1, "need at least one partition");
+        let n = data.len();
+        let per = n.div_ceil(partitions).max(1);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(partitions);
+        let mut it = data.into_iter();
+        for _ in 0..partitions {
+            let chunk: Vec<T> = it.by_ref().take(per).collect();
+            parts.push(chunk);
+        }
+        Dataset {
+            ctx: *self,
+            partitions: parts,
+        }
+    }
+}
+
+/// A partitioned, in-memory dataset.
+///
+/// ```
+/// use pga_dataflow::Dataflow;
+///
+/// let df = Dataflow::new(4);
+/// let sum = df
+///     .parallelize((1..=100).collect(), 8)
+///     .map(|x: i64| x * x)
+///     .filter(|x| x % 2 == 0)
+///     .reduce(|a, b| a + b);
+/// assert_eq!(sum, Some((1..=100i64).map(|x| x * x).filter(|x| x % 2 == 0).sum()));
+/// ```
+#[derive(Debug)]
+pub struct Dataset<T> {
+    ctx: Dataflow,
+    partitions: Vec<Vec<T>>,
+}
+
+impl<T: Send> Dataset<T> {
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total elements.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Run `f` over whole partitions in parallel, producing one output
+    /// partition per input partition. The fundamental parallel primitive —
+    /// everything else is built on it.
+    pub fn map_partitions<U, F>(self, f: F) -> Dataset<U>
+    where
+        U: Send,
+        F: Fn(Vec<T>) -> Vec<U> + Sync,
+    {
+        let ctx = self.ctx;
+        let n_parts = self.partitions.len();
+        let inputs: Vec<std::sync::Mutex<Option<Vec<T>>>> = self
+            .partitions
+            .into_iter()
+            .map(|p| std::sync::Mutex::new(Some(p)))
+            .collect();
+        let outputs: Vec<std::sync::Mutex<Option<Vec<U>>>> =
+            (0..n_parts).map(|_| std::sync::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = ctx.workers.min(n_parts).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_parts {
+                        break;
+                    }
+                    let input = inputs[i].lock().unwrap().take().expect("partition taken once");
+                    let out = f(input);
+                    *outputs[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        Dataset {
+            ctx,
+            partitions: outputs
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().expect("worker filled output"))
+                .collect(),
+        }
+    }
+
+    /// Parallel element-wise map.
+    pub fn map<U, F>(self, f: F) -> Dataset<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        self.map_partitions(|part| part.into_iter().map(&f).collect())
+    }
+
+    /// Parallel filter.
+    pub fn filter<F>(self, f: F) -> Dataset<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.map_partitions(|part| part.into_iter().filter(|t| f(t)).collect())
+    }
+
+    /// Parallel flat map.
+    pub fn flat_map<U, I, F>(self, f: F) -> Dataset<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        self.map_partitions(|part| part.into_iter().flat_map(&f).collect())
+    }
+
+    /// Parallel reduce: `f` must be associative and commutative (each
+    /// partition folds locally, then the partials fold serially).
+    pub fn reduce<F>(self, f: F) -> Option<T>
+    where
+        F: Fn(T, T) -> T + Sync,
+    {
+        let partials = self.map_partitions(|part| {
+            let mut it = part.into_iter();
+            match it.next() {
+                Some(first) => vec![it.fold(first, &f)],
+                None => vec![],
+            }
+        });
+        partials
+            .collect()
+            .into_iter()
+            .reduce(f)
+    }
+
+    /// Gather all elements (partition order preserved).
+    pub fn collect(self) -> Vec<T> {
+        self.partitions.into_iter().flatten().collect()
+    }
+}
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Send + Hash + Eq + Clone,
+    V: Send,
+{
+    /// Hash shuffle: group values by key into `output_partitions`
+    /// partitions (all pairs of one key land in one partition), then
+    /// build per-key groups. The Spark `groupByKey` analog.
+    pub fn group_by_key(self, output_partitions: usize) -> Dataset<(K, Vec<V>)> {
+        assert!(output_partitions >= 1);
+        let ctx = self.ctx;
+        // Shuffle write: each input partition scatters into buckets.
+        let scattered = self.map_partitions(|part| {
+            part.into_iter()
+                .map(|(k, v)| {
+                    let mut h = std::collections::hash_map::DefaultHasher::new();
+                    k.hash(&mut h);
+                    let bucket = (h.finish() % output_partitions as u64) as usize;
+                    (bucket, (k, v))
+                })
+                .collect::<Vec<_>>()
+        });
+        // Shuffle read: gather per-bucket (serial redistribution, parallel
+        // group-build).
+        let mut buckets: Vec<Vec<(K, V)>> = (0..output_partitions).map(|_| Vec::new()).collect();
+        for (bucket, pair) in scattered.collect() {
+            buckets[bucket].push(pair);
+        }
+        Dataset {
+            ctx,
+            partitions: buckets,
+        }
+        .map_partitions(|bucket| {
+            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in bucket {
+                groups.entry(k).or_default().push(v);
+            }
+            groups.into_iter().collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Dataflow {
+        Dataflow::new(4)
+    }
+
+    #[test]
+    fn parallelize_partitions_evenly() {
+        let d = ctx().parallelize((0..10).collect(), 3);
+        assert_eq!(d.num_partitions(), 3);
+        assert_eq!(d.count(), 10);
+        let sizes: Vec<usize> = d.partitions.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let d = ctx().parallelize((0..100).collect(), 7);
+        let out = d.map(|x: i32| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_drops_elements() {
+        let d = ctx().parallelize((0..100).collect(), 5);
+        let out = d.filter(|x: &i32| x % 3 == 0).collect();
+        assert_eq!(out.len(), 34);
+        assert!(out.iter().all(|x| x % 3 == 0));
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let d = ctx().parallelize(vec![1, 2, 3], 2);
+        let out = d.flat_map(|x: i32| vec![x; x as usize]).collect();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let d = ctx().parallelize((1..=100).collect(), 9);
+        assert_eq!(d.reduce(|a: i32, b| a + b), Some(5050));
+    }
+
+    #[test]
+    fn reduce_empty_is_none() {
+        let d = ctx().parallelize(Vec::<i32>::new(), 3);
+        assert_eq!(d.reduce(|a, b| a + b), None);
+    }
+
+    #[test]
+    fn reduce_with_empty_partitions() {
+        // 2 elements across 5 partitions: 3 empty partitions must not break.
+        let d = ctx().parallelize(vec![10, 20], 5);
+        assert_eq!(d.reduce(|a: i32, b| a + b), Some(30));
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (i % 7, i)).collect();
+        let d = ctx().parallelize(pairs, 6);
+        let grouped = d.group_by_key(4).collect();
+        assert_eq!(grouped.len(), 7);
+        let total: usize = grouped.iter().map(|(_, vs)| vs.len()).sum();
+        assert_eq!(total, 100);
+        for (k, vs) in &grouped {
+            assert!(vs.iter().all(|v| v % 7 == *k));
+        }
+    }
+
+    #[test]
+    fn group_by_key_single_output_partition() {
+        let d = ctx().parallelize(vec![(1, "a"), (2, "b"), (1, "c")], 2);
+        let grouped = d.group_by_key(1).collect();
+        assert_eq!(grouped.len(), 2);
+        let ones = grouped.iter().find(|(k, _)| *k == 1).unwrap();
+        assert_eq!(ones.1.len(), 2);
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_partitions() {
+        let d = ctx().parallelize((0..12).collect(), 4);
+        let sums = d.map_partitions(|p: Vec<i32>| vec![p.iter().sum::<i32>()]).collect();
+        assert_eq!(sums.len(), 4);
+        assert_eq!(sums.iter().sum::<i32>(), 66);
+    }
+
+    #[test]
+    fn single_worker_matches_many_workers() {
+        let serial = Dataflow::new(1)
+            .parallelize((0..1000).collect(), 8)
+            .map(|x: i64| x * x)
+            .reduce(|a, b| a + b);
+        let parallel = Dataflow::new(8)
+            .parallelize((0..1000).collect(), 8)
+            .map(|x: i64| x * x)
+            .reduce(|a, b| a + b);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn more_partitions_than_elements() {
+        let d = ctx().parallelize(vec![1, 2], 10);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.map(|x: i32| x + 1).collect(), vec![2, 3]);
+    }
+}

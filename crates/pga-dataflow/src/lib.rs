@@ -1,0 +1,25 @@
+//! A small Spark-analog batch compute engine.
+//!
+//! The paper trains offline "in the Spark framework … in batch mode"
+//! (§II, §IV-A), caching SVD results to HDFS. This crate supplies the
+//! equivalent substrate:
+//!
+//! * [`Dataflow`] / [`Dataset`] — partitioned collections with parallel
+//!   `map`, `filter`, `flat_map`, `map_partitions`, `reduce`, `count`,
+//!   `collect`, and a hash-shuffled `group_by_key`, executed on a bounded
+//!   worker pool (the "concurrency of Spark" §IV-A plans to exploit).
+//! * [`DiskCache`] — a directory-backed object cache standing in for HDFS
+//!   ("results from the decomposition are cached to HDFS").
+//!
+//! The engine is eager (each transformation runs immediately, in
+//! parallel); lineage/laziness is orthogonal to everything the paper's
+//! workload needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod dataset;
+
+pub use cache::{CacheError, DiskCache};
+pub use dataset::{Dataflow, Dataset};

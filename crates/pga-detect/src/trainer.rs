@@ -1,0 +1,188 @@
+//! Offline (batch) training — the Spark stage of §IV-A.
+
+use pga_dataflow::{Dataflow, DiskCache};
+use pga_linalg::{covariance_matrix, eigh, JacobiOptions, Matrix};
+use pga_sensorgen::Fleet;
+
+use crate::model::{BlockModel, UnitModel, BLOCK_SENSORS};
+
+/// Training failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// Not enough observations for covariance estimation.
+    InsufficientData {
+        /// Rows provided.
+        rows: usize,
+    },
+    /// The eigendecomposition failed to converge or errored.
+    Decomposition(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::InsufficientData { rows } => {
+                write!(f, "need at least 2 observation rows, got {rows}")
+            }
+            TrainError::Decomposition(e) => write!(f, "decomposition failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Train one unit's model from an observation window (rows = time steps,
+/// columns = sensors).
+pub fn train_unit(unit: u32, observations: &Matrix) -> Result<UnitModel, TrainError> {
+    let (n, p) = observations.shape();
+    if n < 2 {
+        return Err(TrainError::InsufficientData { rows: n });
+    }
+    let means = pga_linalg::column_means(observations);
+    let vars = pga_linalg::column_variances(observations)
+        .map_err(|e| TrainError::Decomposition(e.to_string()))?;
+    let stds: Vec<f64> = vars.iter().map(|v| v.max(0.0).sqrt()).collect();
+    let mut blocks = Vec::with_capacity(p.div_ceil(BLOCK_SENSORS));
+    let mut start = 0usize;
+    while start < p {
+        let len = BLOCK_SENSORS.min(p - start);
+        // Slice the block's columns into a dense sub-matrix.
+        let mut sub = Matrix::zeros(n, len);
+        for r in 0..n {
+            let row = observations.row(r);
+            sub.row_mut(r).copy_from_slice(&row[start..start + len]);
+        }
+        let cov = covariance_matrix(&sub).map_err(|e| TrainError::Decomposition(e.to_string()))?;
+        // The paper performs SVD on the covariance; for a symmetric PSD
+        // matrix this is the eigendecomposition, computed directly.
+        let eig = eigh(&cov, JacobiOptions::default())
+            .map_err(|e| TrainError::Decomposition(e.to_string()))?;
+        blocks.push(BlockModel {
+            start,
+            len,
+            eigenvalues: eig.values,
+            eigenvectors: eig.vectors,
+        });
+        start += len;
+    }
+    let model = UnitModel {
+        unit,
+        means,
+        stds,
+        blocks,
+        trained_rows: n,
+    };
+    debug_assert!(model.validate().is_ok());
+    Ok(model)
+}
+
+/// Train the whole fleet in parallel on the dataflow engine, optionally
+/// caching each model ("results … are cached to HDFS").
+///
+/// The training window is samples `[0, window)` of each unit — the
+/// pre-fault head of every stream (fault onsets start at sample 200, so a
+/// window ≤ 200 is guaranteed clean; larger windows model realistic
+/// contaminated training).
+pub fn train_fleet(
+    fleet: &Fleet,
+    window: usize,
+    dataflow: &Dataflow,
+    cache: Option<&DiskCache>,
+) -> Result<Vec<UnitModel>, TrainError> {
+    let units: Vec<u32> = (0..fleet.config().units).collect();
+    let partitions = dataflow.workers().max(1) * 2;
+    let results: Vec<Result<UnitModel, TrainError>> = dataflow
+        .parallelize(units, partitions)
+        .map(|unit| {
+            let obs = fleet.observation_window(unit, window as u64 - 1, window);
+            train_unit(unit, &obs)
+        })
+        .collect();
+    let mut models = Vec::with_capacity(results.len());
+    for r in results {
+        let model = r?;
+        if let Some(cache) = cache {
+            cache
+                .store(&format!("unit-model-{}", model.unit), &model)
+                .map_err(|e| TrainError::Decomposition(e.to_string()))?;
+        }
+        models.push(model);
+    }
+    models.sort_by_key(|m| m.unit);
+    Ok(models)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_sensorgen::FleetConfig;
+
+    #[test]
+    fn trained_model_matches_data_moments() {
+        let fleet = Fleet::new(FleetConfig::small(5));
+        let obs = fleet.observation_window(0, 149, 150);
+        let model = train_unit(0, &obs).unwrap();
+        assert!(model.validate().is_ok());
+        assert_eq!(model.sensors(), fleet.config().sensors_per_unit as usize);
+        // Healthy baseline: means near the configured baseline, stds near
+        // the noise std.
+        let cfg = fleet.config();
+        for (&m, &s) in model.means.iter().zip(&model.stds) {
+            assert!((m - cfg.baseline_mean).abs() < 0.5, "mean {m}");
+            assert!((s - cfg.noise_std).abs() < 0.4, "std {s}");
+        }
+    }
+
+    #[test]
+    fn block_eigenvalues_sum_to_total_variance() {
+        let fleet = Fleet::new(FleetConfig::small(9));
+        let obs = fleet.observation_window(1, 99, 100);
+        let model = train_unit(1, &obs).unwrap();
+        let vars = pga_linalg::column_variances(&obs).unwrap();
+        for b in &model.blocks {
+            let trace: f64 = vars[b.start..b.start + b.len].iter().sum();
+            let lam_sum: f64 = b.eigenvalues.iter().sum();
+            assert!(
+                (trace - lam_sum).abs() < 1e-8 * trace.max(1.0),
+                "block {}: trace {trace} vs Σλ {lam_sum}",
+                b.start
+            );
+        }
+    }
+
+    #[test]
+    fn insufficient_rows_rejected() {
+        let fleet = Fleet::new(FleetConfig::small(5));
+        let obs = fleet.observation_window(0, 0, 1);
+        assert!(matches!(
+            train_unit(0, &obs),
+            Err(TrainError::InsufficientData { rows: 1 })
+        ));
+    }
+
+    #[test]
+    fn fleet_training_covers_every_unit_and_caches() {
+        let fleet = Fleet::new(FleetConfig::small(11));
+        let dir = std::env::temp_dir().join(format!("pga-train-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open(&dir).unwrap();
+        let df = Dataflow::new(4);
+        let models = train_fleet(&fleet, 100, &df, Some(&cache)).unwrap();
+        assert_eq!(models.len(), fleet.config().units as usize);
+        for (i, m) in models.iter().enumerate() {
+            assert_eq!(m.unit, i as u32);
+        }
+        // Cached copies round-trip.
+        let back: UnitModel = cache.load("unit-model-0").unwrap().unwrap();
+        assert_eq!(back, models[0]);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let fleet = Fleet::new(FleetConfig::small(13));
+        let df = Dataflow::new(2);
+        let a = train_fleet(&fleet, 80, &df, None).unwrap();
+        let b = train_fleet(&fleet, 80, &df, None).unwrap();
+        assert_eq!(a, b);
+    }
+}

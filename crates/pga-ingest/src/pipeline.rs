@@ -1,0 +1,175 @@
+//! End-to-end ingestion pipeline over the real (threaded) stack.
+//!
+//! Drives fleet ticks through the reverse proxy into TSD daemons and
+//! measures wall-clock throughput. This is the thread-scale counterpart of
+//! the queueing-model experiments in [`crate::experiment`]; it validates
+//! that the actual storage stack sustains high sample rates on the host.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use pga_cluster::coordinator::Coordinator;
+use pga_minibase::{Client, Master, RegionConfig, ServerConfig, TableDescriptor};
+use pga_sensorgen::Fleet;
+use pga_tsdb::{KeyCodec, KeyCodecConfig, Tsd, TsdConfig, UidTable};
+
+use crate::proxy::{ProxyConfig, ReverseProxy};
+
+/// A fully assembled thread-scale ingestion stack.
+pub struct IngestionPipeline {
+    master: Master,
+    tsds: Vec<Arc<Tsd>>,
+    proxy_config: ProxyConfig,
+    batch_size: usize,
+}
+
+/// Wall-clock ingestion measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Samples ingested.
+    pub samples: u64,
+    /// Elapsed wall seconds.
+    pub elapsed_secs: f64,
+    /// Samples per second.
+    pub throughput: f64,
+    /// Cells visible in the storage layer afterwards.
+    pub stored_cells: u64,
+}
+
+impl IngestionPipeline {
+    /// Assemble a stack: `nodes` region servers, `tsd_count` TSD daemons,
+    /// salted keys with one bucket per node, pre-split table.
+    pub fn new(nodes: usize, tsd_count: usize, batch_size: usize) -> Self {
+        let codec = KeyCodec::new(
+            KeyCodecConfig {
+                salt_buckets: nodes as u8,
+                row_span_secs: 3600,
+            },
+            UidTable::new(),
+        );
+        let coord = Coordinator::new(60_000);
+        let mut master = Master::bootstrap(nodes, ServerConfig::default(), coord, 0);
+        master.create_table(&TableDescriptor {
+            name: "tsdb".into(),
+            split_points: codec.split_points(),
+            region_config: RegionConfig::default(),
+        });
+        let tsds: Vec<Arc<Tsd>> = (0..tsd_count)
+            .map(|_| {
+                Arc::new(Tsd::new(
+                    codec.clone(),
+                    Client::connect(&master),
+                    TsdConfig::default(),
+                ))
+            })
+            .collect();
+        IngestionPipeline {
+            master,
+            tsds,
+            proxy_config: ProxyConfig::default(),
+            batch_size,
+        }
+    }
+
+    /// Ingest `ticks` full fleet ticks starting at tick 0.
+    pub fn run(&self, fleet: &Fleet, ticks: u64) -> PipelineReport {
+        self.run_range(fleet, 0, ticks)
+    }
+
+    /// Ingest fleet ticks `[t0, t1)`, returning the measured throughput.
+    pub fn run_range(&self, fleet: &Fleet, t0: u64, t1: u64) -> PipelineReport {
+        let proxy = ReverseProxy::spawn(self.tsds.clone(), self.proxy_config);
+        let start = Instant::now();
+        let mut samples = 0u64;
+        let mut buffer = Vec::with_capacity(fleet.config().total_sensors() as usize);
+        for t in t0..t1 {
+            fleet.tick_into(t, &mut buffer);
+            for chunk in buffer.chunks(self.batch_size) {
+                samples += chunk.len() as u64;
+                proxy.submit(chunk.to_vec());
+            }
+            buffer.clear();
+        }
+        let metrics = proxy.drain_and_join();
+        let elapsed = start.elapsed().as_secs_f64();
+        let stored_cells = self
+            .master
+            .nodes()
+            .iter()
+            .map(|&n| self.master.server(n).map_or(0, |s| s.total_cells_written()))
+            .sum();
+        assert_eq!(
+            metrics.samples_out.load(std::sync::atomic::Ordering::Relaxed),
+            samples,
+            "proxy must forward every sample"
+        );
+        PipelineReport {
+            samples,
+            elapsed_secs: elapsed,
+            throughput: samples as f64 / elapsed,
+            stored_cells,
+        }
+    }
+
+    /// Borrow one TSD for queries.
+    pub fn tsd(&self) -> &Arc<Tsd> {
+        &self.tsds[0]
+    }
+
+    /// Shut the cluster down.
+    pub fn shutdown(&self) {
+        self.master.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_sensorgen::FleetConfig;
+    use pga_tsdb::QueryFilter;
+
+    #[test]
+    fn pipeline_ingests_and_stores_everything() {
+        let fleet = Fleet::new(FleetConfig::small(3));
+        let pipeline = IngestionPipeline::new(3, 2, 16);
+        let report = pipeline.run(&fleet, 4);
+        let expected = fleet.config().total_sensors() * 4;
+        assert_eq!(report.samples, expected);
+        assert_eq!(report.stored_cells, expected);
+        assert!(report.throughput > 0.0);
+        // Data queryable end to end.
+        let series = pipeline
+            .tsd()
+            .query(
+                "energy",
+                &QueryFilter::any().with("unit", "0").with("sensor", "0"),
+                0,
+                10,
+            )
+            .unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].points.len(), 4);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn values_survive_the_full_stack_exactly() {
+        let fleet = Fleet::new(FleetConfig::small(17));
+        let pipeline = IngestionPipeline::new(2, 1, 8);
+        pipeline.run(&fleet, 2);
+        let series = pipeline
+            .tsd()
+            .query(
+                "energy",
+                &QueryFilter::any().with("unit", "1").with("sensor", "5"),
+                0,
+                10,
+            )
+            .unwrap();
+        assert_eq!(series[0].points[0].value, fleet.sample(1, 5, 0));
+        assert_eq!(series[0].points[1].value, fleet.sample(1, 5, 1));
+        pipeline.shutdown();
+    }
+}

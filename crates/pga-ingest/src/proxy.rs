@@ -1,0 +1,245 @@
+//! The buffering reverse proxy.
+//!
+//! Sits between sample producers and a pool of TSD daemons. Producers
+//! submit batches into a **bounded** buffer (blocking when full — that is
+//! the backpressure the paper added); worker threads drain the buffer and
+//! forward each batch to the next TSD in round-robin order.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use pga_sensorgen::SensorSample;
+use pga_tsdb::Tsd;
+
+/// Proxy tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyConfig {
+    /// Buffered batches before producers block.
+    pub buffer_capacity: usize,
+    /// Forwarding worker threads.
+    pub workers: usize,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            buffer_capacity: 256,
+            workers: 2,
+        }
+    }
+}
+
+/// Counters exported by the proxy.
+#[derive(Debug, Default)]
+pub struct ProxyMetrics {
+    /// Batches accepted from producers.
+    pub batches_in: AtomicU64,
+    /// Batches forwarded to TSDs.
+    pub batches_out: AtomicU64,
+    /// Samples forwarded.
+    pub samples_out: AtomicU64,
+    /// Forwarding errors (storage failures).
+    pub errors: AtomicU64,
+}
+
+/// The reverse proxy. Submission blocks when the buffer is full.
+pub struct ReverseProxy {
+    tx: Option<Sender<Vec<SensorSample>>>,
+    metrics: Arc<ProxyMetrics>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ReverseProxy {
+    /// Spawn the proxy over a pool of TSD daemons. The daemon list must be
+    /// non-empty; batches are distributed round-robin across it.
+    pub fn spawn(tsds: Vec<Arc<Tsd>>, config: ProxyConfig) -> Self {
+        assert!(!tsds.is_empty(), "proxy needs at least one TSD");
+        assert!(config.workers > 0, "proxy needs at least one worker");
+        let (tx, rx): (Sender<Vec<SensorSample>>, Receiver<Vec<SensorSample>>) =
+            bounded(config.buffer_capacity);
+        let metrics = Arc::new(ProxyMetrics::default());
+        let rr = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let rx = rx.clone();
+            let tsds = tsds.clone();
+            let metrics = metrics.clone();
+            let rr = rr.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("proxy-worker-{w}"))
+                    .spawn(move || {
+                        for batch in rx.iter() {
+                            let target = rr.fetch_add(1, Ordering::Relaxed) % tsds.len();
+                            let n = batch.len() as u64;
+                            let unit_strs: Vec<String> =
+                                batch.iter().map(|s| s.unit.to_string()).collect();
+                            let sensor_strs: Vec<String> =
+                                batch.iter().map(|s| s.sensor.to_string()).collect();
+                            let tag_pairs: Vec<[(&str, &str); 2]> = unit_strs
+                                .iter()
+                                .zip(&sensor_strs)
+                                .map(|(u, s)| [("unit", u.as_str()), ("sensor", s.as_str())])
+                                .collect();
+                            let points: Vec<(&[(&str, &str)], u64, f64)> = batch
+                                .iter()
+                                .zip(&tag_pairs)
+                                .map(|(s, tags)| (&tags[..], s.timestamp, s.value))
+                                .collect();
+                            match tsds[target].put_batch("energy", &points) {
+                                Ok(()) => {
+                                    metrics.batches_out.fetch_add(1, Ordering::Relaxed);
+                                    metrics.samples_out.fetch_add(n, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn proxy worker"),
+            );
+        }
+        ReverseProxy {
+            tx: Some(tx),
+            metrics,
+            workers,
+        }
+    }
+
+    /// Submit one batch; blocks while the buffer is full (backpressure).
+    pub fn submit(&self, batch: Vec<SensorSample>) {
+        self.metrics.batches_in.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .as_ref()
+            .expect("proxy running")
+            .send(batch)
+            .expect("proxy workers alive");
+    }
+
+    /// Shared metrics handle.
+    pub fn metrics(&self) -> Arc<ProxyMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Close the intake and wait for workers to drain everything.
+    pub fn drain_and_join(mut self) -> Arc<ProxyMetrics> {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.metrics.clone()
+    }
+}
+
+impl Drop for ReverseProxy {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_cluster::coordinator::Coordinator;
+    use pga_minibase::{Client, Master, RegionConfig, ServerConfig, TableDescriptor};
+    use pga_tsdb::{KeyCodec, KeyCodecConfig, QueryFilter, TsdConfig, UidTable};
+
+    fn stack(nodes: usize, tsd_count: usize) -> (Master, Vec<Arc<Tsd>>) {
+        let uids = UidTable::new();
+        let codec = KeyCodec::new(
+            KeyCodecConfig {
+                salt_buckets: 8,
+                row_span_secs: 3600,
+            },
+            uids,
+        );
+        let coord = Coordinator::new(10_000);
+        let mut master = Master::bootstrap(nodes, ServerConfig::default(), coord, 0);
+        master.create_table(&TableDescriptor {
+            name: "tsdb".into(),
+            split_points: codec.split_points(),
+            region_config: RegionConfig::default(),
+        });
+        let tsds = (0..tsd_count)
+            .map(|_| {
+                Arc::new(Tsd::new(
+                    codec.clone(),
+                    Client::connect(&master),
+                    TsdConfig::default(),
+                ))
+            })
+            .collect();
+        (master, tsds)
+    }
+
+    fn sample(unit: u32, sensor: u32, ts: u64) -> SensorSample {
+        SensorSample {
+            unit,
+            sensor,
+            timestamp: ts,
+            value: (unit + sensor) as f64,
+        }
+    }
+
+    #[test]
+    fn proxy_forwards_all_batches() {
+        let (master, tsds) = stack(2, 3);
+        let proxy = ReverseProxy::spawn(tsds.clone(), ProxyConfig::default());
+        for t in 0..20u64 {
+            proxy.submit(vec![sample(1, 1, t), sample(1, 2, t)]);
+        }
+        let metrics = proxy.drain_and_join();
+        assert_eq!(metrics.batches_in.load(Ordering::Relaxed), 20);
+        assert_eq!(metrics.batches_out.load(Ordering::Relaxed), 20);
+        assert_eq!(metrics.samples_out.load(Ordering::Relaxed), 40);
+        assert_eq!(metrics.errors.load(Ordering::Relaxed), 0);
+        // All points visible through any TSD.
+        let series = tsds[0]
+            .query("energy", &QueryFilter::any(), 0, 100)
+            .unwrap();
+        let total: usize = series.iter().map(|s| s.points.len()).sum();
+        assert_eq!(total, 40);
+        master.shutdown();
+    }
+
+    #[test]
+    fn round_robin_spreads_batches_across_tsds() {
+        let (master, tsds) = stack(2, 4);
+        let proxy = ReverseProxy::spawn(tsds.clone(), ProxyConfig { buffer_capacity: 64, workers: 1 });
+        for t in 0..40u64 {
+            proxy.submit(vec![sample(2, 3, t)]);
+        }
+        proxy.drain_and_join();
+        for tsd in &tsds {
+            let rpcs = tsd.metrics().put_rpcs.load(Ordering::Relaxed);
+            assert_eq!(rpcs, 10, "round robin should be exact with one worker");
+        }
+        master.shutdown();
+    }
+
+    #[test]
+    fn bounded_buffer_applies_backpressure_not_loss() {
+        let (master, tsds) = stack(1, 1);
+        // Tiny buffer; submission must block rather than drop.
+        let proxy = ReverseProxy::spawn(tsds.clone(), ProxyConfig { buffer_capacity: 2, workers: 1 });
+        for t in 0..100u64 {
+            proxy.submit(vec![sample(1, 1, t)]);
+        }
+        let metrics = proxy.drain_and_join();
+        assert_eq!(metrics.samples_out.load(Ordering::Relaxed), 100);
+        assert_eq!(metrics.errors.load(Ordering::Relaxed), 0);
+        master.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one TSD")]
+    fn empty_tsd_pool_rejected() {
+        let _ = ReverseProxy::spawn(Vec::new(), ProxyConfig::default());
+    }
+}

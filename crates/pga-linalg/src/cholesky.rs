@@ -1,0 +1,194 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+//!
+//! The dataset generator uses a Cholesky factor of a target correlation
+//! matrix to impose cross-sensor correlation on injected faults — the paper
+//! notes "injected faults are correlated across sensors" (§II-A).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    l: Matrix,
+}
+
+/// Failure modes of the factorisation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CholeskyError {
+    /// Input was not square.
+    NotSquare((usize, usize)),
+    /// A pivot was non-positive: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// Its value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotSquare(s) => write!(f, "cholesky: matrix {}x{} not square", s.0, s.1),
+            CholeskyError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "cholesky: pivot {pivot} = {value} not positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+impl CholeskyFactor {
+    /// Factor a symmetric positive-definite matrix.
+    pub fn new(a: &Matrix) -> std::result::Result<Self, CholeskyError> {
+        if !a.is_square() {
+            return Err(CholeskyError::NotSquare(a.shape()));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(CholeskyError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(CholeskyFactor { l })
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn lower(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Apply the factor to a vector: `y = L x`. Used to colour i.i.d. noise
+    /// with the target correlation structure.
+    pub fn color(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.l.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky color",
+                lhs: self.l.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let n = self.l.rows();
+        let mut y = vec![0.0; n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            // L is lower triangular: only the first i+1 entries contribute.
+            *yi = crate::vector::dot(&self.l.row(i)[..=i], &x[..=i]);
+        }
+        Ok(y)
+    }
+
+    /// Solve `L z = b` by forward substitution.
+    pub fn forward_solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.l.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky forward_solve",
+                lhs: self.l.shape(),
+                rhs: (b.len(), 1),
+            });
+        }
+        let n = self.l.rows();
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * z[k];
+            }
+            z[i] = sum / self.l.get(i, i);
+        }
+        Ok(z)
+    }
+}
+
+/// Build an equicorrelation matrix: ones on the diagonal, `rho` elsewhere.
+/// Positive definite for `-1/(n-1) < rho < 1`.
+pub fn equicorrelation(n: usize, rho: f64) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m.set(i, j, if i == j { 1.0 } else { rho });
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.0],
+            &[0.6, 1.0, 3.0],
+        ])
+        .unwrap();
+        let ch = CholeskyFactor::new(&a).unwrap();
+        let llt = ch.lower().matmul(&ch.lower().transpose()).unwrap();
+        assert!(llt.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalue -1
+        assert!(matches!(
+            CholeskyFactor::new(&a),
+            Err(CholeskyError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            CholeskyFactor::new(&Matrix::zeros(2, 3)),
+            Err(CholeskyError::NotSquare(_))
+        ));
+    }
+
+    #[test]
+    fn color_then_solve_roundtrip() {
+        let a = equicorrelation(4, 0.5);
+        let ch = CholeskyFactor::new(&a).unwrap();
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let y = ch.color(&x).unwrap();
+        let back = ch.forward_solve(&y).unwrap();
+        for (xi, bi) in x.iter().zip(&back) {
+            assert!((xi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn equicorrelation_factorable_in_valid_range() {
+        for &rho in &[0.0, 0.3, 0.9] {
+            assert!(CholeskyFactor::new(&equicorrelation(5, rho)).is_ok());
+        }
+        // rho = -0.5 with n=5 is outside (-1/4, 1): not PD.
+        assert!(CholeskyFactor::new(&equicorrelation(5, -0.5)).is_err());
+    }
+
+    #[test]
+    fn colored_identity_is_lower_triangle_columns() {
+        let a = equicorrelation(3, 0.4);
+        let ch = CholeskyFactor::new(&a).unwrap();
+        let e0 = ch.color(&[1.0, 0.0, 0.0]).unwrap();
+        for (i, v) in e0.iter().enumerate() {
+            assert!((v - ch.lower().get(i, 0)).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Cyclic Jacobi eigendecomposition for symmetric matrices.
+//!
+//! The paper performs SVD on covariance matrices (§IV-A). A covariance
+//! matrix is symmetric positive semi-definite, so its SVD coincides with its
+//! eigendecomposition; the Jacobi method is simple, numerically robust, and
+//! embarrassingly accurate for the moderate dimensions (tens to a few
+//! hundred sensors per unit model) the detector uses.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Options controlling the Jacobi sweep loop.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiOptions {
+    /// Stop when the off-diagonal Frobenius norm falls below this value
+    /// relative to the matrix norm.
+    pub tol: f64,
+    /// Hard cap on full sweeps; convergence is typically < 15 sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        JacobiOptions {
+            tol: 1e-12,
+            max_sweeps: 64,
+        }
+    }
+}
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct EigResult {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, in the order of `values`.
+    pub vectors: Matrix,
+    /// Number of sweeps performed.
+    pub sweeps: usize,
+}
+
+/// Symmetric eigendecomposition via the cyclic Jacobi method.
+///
+/// Returns eigenvalues sorted descending with matching eigenvector columns.
+/// The input must be square; symmetry is assumed (only the upper triangle
+/// drives rotations, and the matrix is symmetrised once up front to keep
+/// drift from accumulating).
+pub fn eigh(a: &Matrix, opts: JacobiOptions) -> Result<EigResult> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    // Symmetrise to guard against tiny asymmetries from upstream arithmetic.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (m.get(i, j) + m.get(j, i));
+            m.set(i, j, avg);
+            m.set(j, i, avg);
+        }
+    }
+    let mut v = Matrix::identity(n);
+    let norm = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    let mut sweeps = 0;
+    while sweeps < opts.max_sweeps {
+        let off = off_diagonal_norm(&m);
+        if off <= opts.tol * norm {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Rotation angle that annihilates (p,q).
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = {
+                    let sign = if theta >= 0.0 { 1.0 } else { -1.0 };
+                    sign / (theta.abs() + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                apply_rotation(&mut m, p, q, c, s);
+                rotate_columns(&mut v, p, q, c, s);
+            }
+        }
+        sweeps += 1;
+    }
+    // Extract and sort.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    Ok(EigResult {
+        values,
+        vectors,
+        sweeps,
+    })
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = m.get(i, j);
+            s += 2.0 * v * v;
+        }
+    }
+    s.sqrt()
+}
+
+/// Apply the symmetric similarity transform `Jᵀ M J` for the Givens rotation
+/// in the (p, q) plane.
+fn apply_rotation(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    let app = m.get(p, p);
+    let aqq = m.get(q, q);
+    let apq = m.get(p, q);
+    let new_pp = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    let new_qq = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m.set(p, p, new_pp);
+    m.set(q, q, new_qq);
+    m.set(p, q, 0.0);
+    m.set(q, p, 0.0);
+    for k in 0..n {
+        if k == p || k == q {
+            continue;
+        }
+        let akp = m.get(k, p);
+        let akq = m.get(k, q);
+        let np = c * akp - s * akq;
+        let nq = s * akp + c * akq;
+        m.set(k, p, np);
+        m.set(p, k, np);
+        m.set(k, q, nq);
+        m.set(q, k, nq);
+    }
+}
+
+/// Post-multiply `v` by the rotation: columns p and q mix.
+fn rotate_columns(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    for k in 0..v.rows() {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - s * vkq);
+        v.set(k, q, s * vkp + c * vkq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &EigResult) -> Matrix {
+        let n = e.values.len();
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam.set(i, i, e.values[i]);
+        }
+        e.vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let e = eigh(&a, JacobiOptions::default()).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = eigh(&a, JacobiOptions::default()).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        assert!(reconstruct(&e).max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.25],
+            &[0.5, 0.25, 2.0],
+        ])
+        .unwrap();
+        let e = eigh(&a, JacobiOptions::default()).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_of_random_symmetric_matrix() {
+        let n = 12;
+        let mut x = 7u64;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        let e = eigh(&a, JacobiOptions::default()).unwrap();
+        assert!(reconstruct(&e).max_abs_diff(&a).unwrap() < 1e-9);
+        // Sorted descending.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            eigh(&a, JacobiOptions::default()),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, -1.0]]).unwrap();
+        let e = eigh(&a, JacobiOptions::default()).unwrap();
+        let trace = 5.0 + (-1.0);
+        assert!((e.values.iter().sum::<f64>() - trace).abs() < 1e-10);
+    }
+}

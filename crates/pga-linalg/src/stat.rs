@@ -1,0 +1,179 @@
+//! Column statistics over observation matrices.
+//!
+//! Observation matrices are laid out the way the detector consumes sensor
+//! windows: one row per time step, one column per sensor.
+
+use rayon::prelude::*;
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Per-column means of an observation matrix.
+pub fn column_means(obs: &Matrix) -> Vec<f64> {
+    let (n, p) = obs.shape();
+    if n == 0 {
+        return vec![0.0; p];
+    }
+    let mut means = vec![0.0; p];
+    for r in 0..n {
+        crate::vector::axpy(1.0, obs.row(r), &mut means);
+    }
+    let inv = 1.0 / n as f64;
+    crate::vector::scale(&mut means, inv);
+    means
+}
+
+/// Per-column sample variances (denominator `n - 1`).
+pub fn column_variances(obs: &Matrix) -> Result<Vec<f64>> {
+    let (n, p) = obs.shape();
+    if n < 2 {
+        return Err(LinalgError::InsufficientData { rows: n, required: 2 });
+    }
+    let means = column_means(obs);
+    let mut ss = vec![0.0; p];
+    for r in 0..n {
+        for (j, (&x, &m)) in obs.row(r).iter().zip(&means).enumerate() {
+            let d = x - m;
+            ss[j] += d * d;
+        }
+    }
+    let inv = 1.0 / (n - 1) as f64;
+    crate::vector::scale(&mut ss, inv);
+    Ok(ss)
+}
+
+/// Sample covariance matrix of an observation matrix (`n` rows of `p`
+/// sensors), with the usual `n - 1` denominator.
+///
+/// This is the first step of the paper's offline training: "model estimation
+/// of each sensor on each unit begins by calculating the covariance matrix
+/// of each data set" (§IV-A). The computation is `Xc' * Xc / (n-1)` where
+/// `Xc` is the column-centred data; only the upper triangle is computed and
+/// then mirrored. Rows of the output are computed in parallel.
+pub fn covariance_matrix(obs: &Matrix) -> Result<Matrix> {
+    let (n, p) = obs.shape();
+    if n < 2 {
+        return Err(LinalgError::InsufficientData { rows: n, required: 2 });
+    }
+    let means = column_means(obs);
+    // Centre into a scratch matrix: columns become zero-mean.
+    let mut centred = obs.clone();
+    for r in 0..n {
+        for (v, m) in centred.row_mut(r).iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+    let centred_t = centred.transpose(); // p x n, rows are sensor series
+    let inv = 1.0 / (n - 1) as f64;
+    let mut cov = Matrix::zeros(p, p);
+    // Upper triangle in parallel over output rows.
+    let rows: Vec<Vec<f64>> = (0..p)
+        .into_par_iter()
+        .map(|i| {
+            let xi = centred_t.row(i);
+            (i..p)
+                .map(|j| crate::vector::dot(xi, centred_t.row(j)) * inv)
+                .collect()
+        })
+        .collect();
+    for (i, tail) in rows.into_iter().enumerate() {
+        for (off, v) in tail.into_iter().enumerate() {
+            let j = i + off;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    Ok(cov)
+}
+
+/// Standardise columns in place to zero mean and unit sample variance.
+///
+/// Columns with variance below `eps` are centred but not scaled (their
+/// standard deviation is treated as 1), so constant sensors do not blow up.
+/// Returns the per-column `(mean, std)` used.
+pub fn standardize_columns(obs: &mut Matrix, eps: f64) -> Result<Vec<(f64, f64)>> {
+    let vars = column_variances(obs)?;
+    let means = column_means(obs);
+    let params: Vec<(f64, f64)> = means
+        .iter()
+        .zip(&vars)
+        .map(|(&m, &v)| (m, if v > eps { v.sqrt() } else { 1.0 }))
+        .collect();
+    for r in 0..obs.rows() {
+        for (v, &(m, s)) in obs.row_mut(r).iter_mut().zip(&params) {
+            *v = (*v - m) / s;
+        }
+    }
+    Ok(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            &[2.0, 8.0],
+            &[4.0, 10.0],
+            &[6.0, 12.0],
+            &[8.0, 14.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn means_are_columnwise() {
+        assert_eq!(column_means(&sample()), vec![5.0, 11.0]);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // Column values 2,4,6,8: mean 5, SS = 9+1+1+9 = 20, var = 20/3.
+        let v = column_variances(&sample()).unwrap();
+        assert!((v[0] - 20.0 / 3.0).abs() < 1e-12);
+        assert!((v[1] - 20.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let cov = covariance_matrix(&sample()).unwrap();
+        // Second column is first + 6, so all four entries equal the variance.
+        let expect = 20.0 / 3.0;
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((cov.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+        assert!(cov.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn covariance_requires_two_rows() {
+        let one = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(matches!(
+            covariance_matrix(&one),
+            Err(LinalgError::InsufficientData { rows: 1, required: 2 })
+        ));
+    }
+
+    #[test]
+    fn standardize_yields_zero_mean_unit_variance() {
+        let mut m = sample();
+        standardize_columns(&mut m, 1e-12).unwrap();
+        let means = column_means(&m);
+        let vars = column_variances(&m).unwrap();
+        for j in 0..2 {
+            assert!(means[j].abs() < 1e-12);
+            assert!((vars[j] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardize_leaves_constant_column_finite() {
+        let mut m = Matrix::from_rows(&[&[3.0, 1.0], &[3.0, 2.0], &[3.0, 3.0]]).unwrap();
+        standardize_columns(&mut m, 1e-12).unwrap();
+        for r in 0..3 {
+            assert_eq!(m.get(r, 0), 0.0);
+            assert!(m.get(r, 1).is_finite());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Slice kernels shared by the matrix routines.
+//!
+//! These are the innermost loops of everything in this crate; they are kept
+//! free of bounds checks the optimiser cannot remove by iterating over
+//! re-sliced operands of equal length.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if lengths differ; in release the shorter length
+/// governs (callers in this crate always pass equal lengths).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    // Four partial sums give the compiler latitude to vectorise without
+    // violating float associativity of a single accumulator chain.
+    let mut s0 = 0.0;
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    let mut s3 = 0.0;
+    let chunks = n / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut tail = 0.0;
+    while i < n {
+        tail += a[i] * b[i];
+        i += 1;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// `y += alpha * x` over equal-length slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len().min(y.len());
+    for (yi, xi) in y[..n].iter_mut().zip(&x[..n]) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Scale a slice in place.
+#[inline]
+pub fn scale(a: &mut [f64], k: f64) {
+    for v in a {
+        *v *= k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known_value() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(dot(&a, &b), 35.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = [1.0, -2.0, 0.5];
+        scale(&mut a, -2.0);
+        assert_eq!(a, [-2.0, 4.0, -1.0]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Routing client: groups batches by region, retries on stale directory.
+
+use std::collections::HashMap;
+
+use crate::kv::{KeyValue, RowRange};
+use crate::master::{locate, Directory, Master};
+use crate::region::RegionId;
+use crate::server::{Request, Response};
+use pga_cluster::rpc::{RpcError, RpcHandle};
+use pga_cluster::NodeId;
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// No region covers the row (directory empty or table missing).
+    NoRegionForRow(Vec<u8>),
+    /// RPC to a region server failed.
+    Rpc(RpcError),
+    /// Routing kept failing after directory refreshes.
+    RetriesExhausted,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::NoRegionForRow(r) => write!(f, "no region for row {r:?}"),
+            ClientError::Rpc(e) => write!(f, "rpc error: {e}"),
+            ClientError::RetriesExhausted => write!(f, "routing retries exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A MiniBase client bound to one in-process cluster.
+///
+/// Holds the shared directory plus each server's RPC handle. Batched puts
+/// are grouped per region so one RPC carries many cells — the behaviour
+/// OpenTSDB relies on for throughput.
+pub struct Client {
+    directory: Directory,
+    handles: HashMap<NodeId, RpcHandle<Request, Response>>,
+    max_retries: usize,
+}
+
+impl Client {
+    /// Build a client from a master (grabs every live server handle).
+    pub fn connect(master: &Master) -> Self {
+        let mut handles = HashMap::new();
+        for node in master.live_nodes() {
+            if let Some(s) = master.server(node) {
+                handles.insert(node, s.handle());
+            }
+        }
+        Client {
+            directory: master.directory(),
+            handles,
+            max_retries: 3,
+        }
+    }
+
+    /// Write a batch of cells, routing each to its region. Returns the
+    /// number of cells written.
+    pub fn put(&self, kvs: Vec<KeyValue>) -> Result<usize, ClientError> {
+        let total = kvs.len();
+        let mut pending = kvs;
+        for _attempt in 0..=self.max_retries {
+            if pending.is_empty() {
+                return Ok(total);
+            }
+            // Group by (region, server) under the current directory.
+            let mut groups: HashMap<(RegionId, NodeId), Vec<KeyValue>> = HashMap::new();
+            for kv in pending.drain(..) {
+                let info = locate(&self.directory, &kv.row)
+                    .ok_or_else(|| ClientError::NoRegionForRow(kv.row.to_vec()))?;
+                groups.entry((info.id, info.server)).or_default().push(kv);
+            }
+            let mut retry = Vec::new();
+            for ((region, node), batch) in groups {
+                let handle = self
+                    .handles
+                    .get(&node)
+                    .ok_or(ClientError::Rpc(RpcError::Stopped))?;
+                match handle.call(Request::Put {
+                    region,
+                    kvs: batch.clone(),
+                }) {
+                    Ok(Response::Ok) => {}
+                    Ok(Response::WrongRegion) => retry.extend(batch),
+                    Ok(_) => return Err(ClientError::Rpc(RpcError::Stopped)),
+                    Err(e) => return Err(ClientError::Rpc(e)),
+                }
+            }
+            pending = retry;
+        }
+        if pending.is_empty() {
+            Ok(total)
+        } else {
+            Err(ClientError::RetriesExhausted)
+        }
+    }
+
+    /// Scan a row range across every overlapping region, merged in order.
+    pub fn scan(&self, range: &RowRange) -> Result<Vec<KeyValue>, ClientError> {
+        let infos: Vec<_> = {
+            let dir = self.directory.read();
+            dir.iter()
+                .filter(|i| i.range.overlaps(range))
+                .cloned()
+                .collect()
+        };
+        let mut out = Vec::new();
+        for info in infos {
+            let handle = self
+                .handles
+                .get(&info.server)
+                .ok_or(ClientError::Rpc(RpcError::Stopped))?;
+            match handle.call(Request::Scan {
+                region: info.id,
+                range: range.clone(),
+            }) {
+                Ok(Response::Cells(cells)) => out.extend(cells),
+                Ok(Response::WrongRegion) => {} // split raced us; daughters cover it
+                Ok(_) => return Err(ClientError::Rpc(RpcError::Stopped)),
+                Err(e) => return Err(ClientError::Rpc(e)),
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Flush every region (test/bench hygiene).
+    pub fn flush_all(&self) -> Result<(), ClientError> {
+        let infos: Vec<_> = self.directory.read().clone();
+        for info in infos {
+            if let Some(handle) = self.handles.get(&info.server) {
+                match handle.call(Request::Flush { region: info.id }) {
+                    Ok(_) => {}
+                    Err(e) => return Err(ClientError::Rpc(e)),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::TableDescriptor;
+    use crate::region::RegionConfig;
+    use crate::server::ServerConfig;
+    use bytes::Bytes;
+    use pga_cluster::coordinator::Coordinator;
+
+    fn cluster(nodes: usize, splits: &[&[u8]]) -> (Master, Client) {
+        let coord = Coordinator::new(1000);
+        let mut m = Master::bootstrap(nodes, ServerConfig::default(), coord, 0);
+        m.create_table(&TableDescriptor {
+            name: "t".into(),
+            split_points: splits.iter().map(|s| Bytes::from(s.to_vec())).collect(),
+            region_config: RegionConfig::default(),
+        });
+        let c = Client::connect(&m);
+        (m, c)
+    }
+
+    fn kv(row: &str, ts: u64) -> KeyValue {
+        KeyValue::new(row.as_bytes().to_vec(), b"q".to_vec(), ts, b"v".to_vec())
+    }
+
+    #[test]
+    fn put_and_scan_across_regions() {
+        let (m, c) = cluster(3, &[b"h", b"q"]);
+        c.put(vec![kv("a", 1), kv("m", 1), kv("z", 1)]).unwrap();
+        let cells = c.scan(&RowRange::all()).unwrap();
+        assert_eq!(cells.len(), 3);
+        let rows: Vec<_> = cells.iter().map(|c| c.row.clone()).collect();
+        assert_eq!(rows, vec!["a", "m", "z"]);
+        m.shutdown();
+    }
+
+    #[test]
+    fn scan_subrange_touches_only_matching_regions() {
+        let (m, c) = cluster(2, &[b"m"]);
+        c.put(vec![kv("a", 1), kv("b", 1), kv("x", 1)]).unwrap();
+        let cells = c.scan(&RowRange::new(b"a".to_vec(), b"c".to_vec())).unwrap();
+        assert_eq!(cells.len(), 2);
+        m.shutdown();
+    }
+
+    #[test]
+    fn put_retries_after_split() {
+        let (mut m, c) = cluster(2, &[]);
+        for i in 0..60 {
+            c.put(vec![kv(&format!("row{i:03}"), 1)]).unwrap();
+        }
+        let rid = m.directory().read()[0].id;
+        m.split_region(rid).unwrap();
+        // Directory changed under the client; puts must still route.
+        c.put(vec![kv("row000", 2), kv("row059", 2)]).unwrap();
+        let cells = c.scan(&RowRange::all()).unwrap();
+        assert_eq!(cells.len(), 62);
+        m.shutdown();
+    }
+
+    #[test]
+    fn empty_directory_reports_no_region() {
+        let coord = Coordinator::new(1000);
+        let m = Master::bootstrap(1, ServerConfig::default(), coord, 0);
+        let c = Client::connect(&m);
+        let err = c.put(vec![kv("a", 1)]).unwrap_err();
+        assert!(matches!(err, ClientError::NoRegionForRow(_)));
+        m.shutdown();
+    }
+
+    #[test]
+    fn flush_all_keeps_data_visible() {
+        let (m, c) = cluster(2, &[b"m"]);
+        c.put(vec![kv("a", 1), kv("z", 1)]).unwrap();
+        c.flush_all().unwrap();
+        assert_eq!(c.scan(&RowRange::all()).unwrap().len(), 2);
+        m.shutdown();
+    }
+}

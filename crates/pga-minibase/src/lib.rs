@@ -1,0 +1,48 @@
+//! MiniBase — an HBase-analog distributed, sorted key-value store.
+//!
+//! The paper stores all sensor data in OpenTSDB, which "leverages HBase …
+//! to manage data in a distributed manner and provide horizontal
+//! scalability" (§III). This crate is that substrate, built from scratch:
+//!
+//! * [`kv`] — the cell model: `(row, qualifier, timestamp) → value`, with
+//!   HBase's ordering (rows ascending, newest timestamp first).
+//! * [`memstore`] — the in-memory sorted write buffer.
+//! * [`wal`] — a write-ahead log enabling crash recovery of unflushed data.
+//! * [`storefile`] — immutable sorted runs with a sparse seek index (the
+//!   HFile analog).
+//! * [`scanner`] — k-way merge scans across the memstore and store files.
+//! * [`region`] — a contiguous row range: WAL + memstore + store files,
+//!   with flush, compaction and midpoint splits.
+//! * [`server`] — a region server: an RPC thread (bounded queue, crash
+//!   semantics from [`pga_cluster::rpc`]) serving puts/scans over the
+//!   regions assigned to it.
+//! * [`master`] — region directory, table creation with pre-splits
+//!   (§III-B: "HBase regions were manually split to ensure each region
+//!   handled an equal proportion of the writes"), liveness via the
+//!   coordinator and reassignment of regions from dead servers.
+//! * [`client`] — routing client with retry-on-stale-directory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod diskstore;
+pub mod kv;
+pub mod master;
+pub mod memstore;
+pub mod region;
+pub mod scanner;
+pub mod server;
+pub mod storefile;
+pub mod wal;
+
+pub use client::{Client, ClientError};
+pub use diskstore::{load_store_files, persist_store_files, read_store_file, write_store_file, DiskStoreError};
+pub use kv::{KeyValue, RowRange};
+pub use master::{Master, RegionInfo, TableDescriptor};
+pub use memstore::MemStore;
+pub use region::{Region, RegionConfig, RegionId};
+pub use scanner::merge_scan;
+pub use server::{RegionServer, Request, Response, ServerConfig};
+pub use storefile::StoreFile;
+pub use wal::WriteAheadLog;

@@ -1,0 +1,533 @@
+//! A region: one contiguous row range of the table.
+//!
+//! Structure mirrors HBase: a write-ahead log, a mutable memstore, and a
+//! stack of immutable store files, with flushes, compactions, and midpoint
+//! splits. The paper's key finding that "HBase regions were manually split
+//! to ensure each region handled an equal proportion of the writes"
+//! (§III-B) is served by [`Region::split`] plus the master's pre-split
+//! table creation.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::kv::{KeyValue, RowRange};
+use crate::memstore::MemStore;
+use crate::scanner::merge_scan;
+use crate::storefile::StoreFile;
+use crate::wal::WriteAheadLog;
+
+/// Identifier of a region within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u64);
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "region-{}", self.0)
+    }
+}
+
+/// Tunables for a region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// Memstore heap bytes that trigger an automatic flush on write.
+    pub memstore_flush_bytes: usize,
+    /// Store-file count that triggers an automatic minor compaction.
+    pub compaction_file_threshold: usize,
+    /// Maximum versions retained per `(row, qualifier)` cell; older
+    /// versions are garbage-collected during major compactions (HBase's
+    /// `VERSIONS` column-family attribute).
+    pub max_versions: usize,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig {
+            memstore_flush_bytes: 8 * 1024 * 1024,
+            compaction_file_threshold: 8,
+            max_versions: usize::MAX,
+        }
+    }
+}
+
+/// Write/IO counters for one region — these feed the ablation experiments
+/// (flush and compaction cost visibility).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionMetrics {
+    /// Cells written.
+    pub cells_written: u64,
+    /// Flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Cells rewritten by compactions.
+    pub compacted_cells: u64,
+}
+
+/// One region of the table.
+#[derive(Debug)]
+pub struct Region {
+    id: RegionId,
+    range: RowRange,
+    config: RegionConfig,
+    wal: WriteAheadLog,
+    memstore: MemStore,
+    files: Vec<StoreFile>,
+    next_file_seq: u64,
+    metrics: RegionMetrics,
+}
+
+/// Errors from region operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    /// A key in the batch is outside this region's range — the client's
+    /// directory is stale (HBase's `NotServingRegionException`).
+    WrongRegion {
+        /// The offending row key.
+        row: Bytes,
+    },
+    /// The region cannot be split (too little data or single row).
+    CannotSplit,
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::WrongRegion { row } => write!(f, "row {row:?} not in this region"),
+            RegionError::CannotSplit => write!(f, "region cannot be split"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+impl Region {
+    /// Create an empty region over `range`.
+    pub fn new(id: RegionId, range: RowRange, config: RegionConfig) -> Self {
+        Region {
+            id,
+            range,
+            config,
+            wal: WriteAheadLog::new(),
+            memstore: MemStore::new(),
+            files: Vec::new(),
+            next_file_seq: 1,
+            metrics: RegionMetrics::default(),
+        }
+    }
+
+    /// Region id.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// Row range served.
+    pub fn range(&self) -> &RowRange {
+        &self.range
+    }
+
+    /// Metrics snapshot.
+    pub fn metrics(&self) -> RegionMetrics {
+        self.metrics
+    }
+
+    /// Share the WAL handle (for recovery tests and reassignment).
+    pub fn wal(&self) -> WriteAheadLog {
+        self.wal.clone()
+    }
+
+    /// Write a batch: WAL first, then memstore; flushes/compacts if
+    /// thresholds are crossed. Rejects rows outside the region.
+    pub fn put_batch(&mut self, kvs: Vec<KeyValue>) -> Result<(), RegionError> {
+        for kv in &kvs {
+            if !self.range.contains(&kv.row) {
+                return Err(RegionError::WrongRegion {
+                    row: kv.row.clone(),
+                });
+            }
+        }
+        self.wal.append_batch(&kvs);
+        self.metrics.cells_written += kvs.len() as u64;
+        for kv in kvs {
+            self.memstore.put(kv);
+        }
+        if self.memstore.heap_size() >= self.config.memstore_flush_bytes {
+            self.flush();
+        }
+        Ok(())
+    }
+
+    /// Flush the memstore into a new store file and advance the WAL mark.
+    pub fn flush(&mut self) {
+        if self.memstore.is_empty() {
+            return;
+        }
+        let cells = self.memstore.drain_sorted();
+        let seq = self.next_file_seq;
+        self.next_file_seq += 1;
+        self.files.push(StoreFile::from_sorted(cells, seq));
+        self.wal.mark_flushed(self.wal.last_sequence());
+        self.metrics.flushes += 1;
+        if self.files.len() >= self.config.compaction_file_threshold {
+            self.compact();
+        }
+    }
+
+    /// Merge every store file into one (major compaction).
+    pub fn compact(&mut self) {
+        if self.files.len() <= 1 {
+            return;
+        }
+        let priorities: Vec<u64> = self.files.iter().map(|f| f.sequence()).collect();
+        let sources: Vec<Vec<KeyValue>> = self
+            .files
+            .iter()
+            .map(|f| f.scan(&RowRange::all()).cloned().collect())
+            .collect();
+        let mut merged = merge_scan(sources, priorities);
+        // Version GC: merge_scan yields newest-first within a cell, so
+        // retain only the first `max_versions` occurrences of each
+        // (row, qualifier).
+        if self.config.max_versions != usize::MAX {
+            let mut last_cell: Option<(bytes::Bytes, bytes::Bytes)> = None;
+            let mut kept = 0usize;
+            merged.retain(|kv| {
+                let cell = (kv.row.clone(), kv.qualifier.clone());
+                if last_cell.as_ref() == Some(&cell) {
+                    kept += 1;
+                } else {
+                    last_cell = Some(cell);
+                    kept = 1;
+                }
+                kept <= self.config.max_versions
+            });
+        }
+        self.metrics.compacted_cells += merged.len() as u64;
+        self.metrics.compactions += 1;
+        let seq = self.next_file_seq;
+        self.next_file_seq += 1;
+        self.files = vec![StoreFile::from_sorted(merged, seq)];
+    }
+
+    /// Scan cells in `range` (clipped to the region's own range), merged
+    /// across the memstore and all store files, sorted, deduplicated.
+    pub fn scan(&self, range: &RowRange) -> Vec<KeyValue> {
+        let clipped = clip(range, &self.range);
+        let mut sources = Vec::with_capacity(self.files.len() + 1);
+        let mut priorities = Vec::with_capacity(self.files.len() + 1);
+        for f in &self.files {
+            sources.push(f.scan(&clipped).cloned().collect());
+            priorities.push(f.sequence());
+        }
+        sources.push(self.memstore.scan(&clipped).collect());
+        priorities.push(u64::MAX); // memstore always wins collisions
+        merge_scan(sources, priorities)
+    }
+
+    /// Total cells currently visible (memstore + files; versions counted
+    /// separately, duplicates across files counted once).
+    pub fn approximate_cells(&self) -> usize {
+        self.memstore.len() + self.files.iter().map(|f| f.len()).sum::<usize>()
+    }
+
+    /// Split at the median row of the stored data. Returns the two
+    /// daughters, or gives `self` back unchanged when the region cannot be
+    /// split (too little data, or all cells share one row).
+    ///
+    /// Flushes first, so both daughters are built from store files only.
+    pub fn split(mut self, left_id: RegionId, right_id: RegionId) -> Result<(Region, Region), Region> {
+        self.flush();
+        let all = self.scan(&RowRange::all());
+        if all.len() < 2 {
+            return Err(self);
+        }
+        let mid_row = all[all.len() / 2].row.clone();
+        if Some(&mid_row[..]) == all.first().map(|kv| &kv.row[..]) {
+            // All data shares one row: nothing to split on.
+            return Err(self);
+        }
+        let left_range = RowRange {
+            start: self.range.start.clone(),
+            end: mid_row.clone(),
+        };
+        let right_range = RowRange {
+            start: mid_row.clone(),
+            end: self.range.end.clone(),
+        };
+        let mut left = Region::new(left_id, left_range, self.config);
+        let mut right = Region::new(right_id, right_range, self.config);
+        let (l_cells, r_cells): (Vec<KeyValue>, Vec<KeyValue>) =
+            all.into_iter().partition(|kv| kv.row < mid_row);
+        left.files = vec![StoreFile::from_sorted(l_cells, 1)];
+        left.next_file_seq = 2;
+        right.files = vec![StoreFile::from_sorted(r_cells, 1)];
+        right.next_file_seq = 2;
+        Ok((left, right))
+    }
+
+    /// Rebuild the memstore from the WAL (crash recovery: the region's
+    /// files + WAL live in shared "HDFS" memory, the memstore died with
+    /// the serving thread).
+    pub fn recover_from_wal(&mut self) {
+        for kv in self.wal.replay() {
+            self.memstore.put(kv);
+        }
+    }
+
+    /// Spill the current store files to `dir` (the HDFS-analog durability
+    /// path; see [`crate::diskstore`]). Stale files obsoleted by
+    /// compaction are removed.
+    pub fn persist_store_files(&self, dir: &std::path::Path) -> Result<(), crate::diskstore::DiskStoreError> {
+        crate::diskstore::persist_store_files(dir, &self.files)
+    }
+
+    /// Rebuild a region after a full process restart: store files come
+    /// back from `dir`, unflushed writes replay from the surviving WAL.
+    pub fn restore_from_disk(
+        id: RegionId,
+        range: RowRange,
+        config: RegionConfig,
+        dir: &std::path::Path,
+        wal: WriteAheadLog,
+    ) -> Result<Region, crate::diskstore::DiskStoreError> {
+        let files = crate::diskstore::load_store_files(dir)?;
+        let next_file_seq = files.iter().map(|f| f.sequence()).max().unwrap_or(0) + 1;
+        let mut region = Region {
+            id,
+            range,
+            config,
+            wal,
+            memstore: MemStore::new(),
+            files,
+            next_file_seq,
+            metrics: RegionMetrics::default(),
+        };
+        region.recover_from_wal();
+        Ok(region)
+    }
+}
+
+fn clip(a: &RowRange, b: &RowRange) -> RowRange {
+    let start = match (a.start.is_empty(), b.start.is_empty()) {
+        (true, _) => b.start.clone(),
+        (_, true) => a.start.clone(),
+        _ => std::cmp::max(a.start.clone(), b.start.clone()),
+    };
+    let end = match (a.end.is_empty(), b.end.is_empty()) {
+        (true, _) => b.end.clone(),
+        (_, true) => a.end.clone(),
+        _ => std::cmp::min(a.end.clone(), b.end.clone()),
+    };
+    RowRange { start, end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(row: &str, ts: u64, val: &str) -> KeyValue {
+        KeyValue::new(
+            row.as_bytes().to_vec(),
+            b"q".to_vec(),
+            ts,
+            val.as_bytes().to_vec(),
+        )
+    }
+
+    fn region() -> Region {
+        Region::new(RegionId(1), RowRange::all(), RegionConfig::default())
+    }
+
+    #[test]
+    fn put_scan_roundtrip() {
+        let mut r = region();
+        r.put_batch(vec![kv("b", 1, "vb"), kv("a", 1, "va")]).unwrap();
+        let cells = r.scan(&RowRange::all());
+        assert_eq!(cells.len(), 2);
+        assert_eq!(&cells[0].row[..], b"a");
+    }
+
+    #[test]
+    fn wrong_region_rejected() {
+        let mut r = Region::new(
+            RegionId(1),
+            RowRange::new(b"a".to_vec(), b"m".to_vec()),
+            RegionConfig::default(),
+        );
+        let err = r.put_batch(vec![kv("z", 1, "v")]).unwrap_err();
+        assert!(matches!(err, RegionError::WrongRegion { .. }));
+        // Whole batch is rejected atomically.
+        assert_eq!(r.scan(&RowRange::all()).len(), 0);
+    }
+
+    #[test]
+    fn flush_moves_data_to_files_and_truncates_wal() {
+        let mut r = region();
+        r.put_batch(vec![kv("a", 1, "v"), kv("b", 1, "v")]).unwrap();
+        assert_eq!(r.wal().unflushed_len(), 2);
+        r.flush();
+        assert_eq!(r.wal().unflushed_len(), 0);
+        assert_eq!(r.metrics().flushes, 1);
+        // Data still visible.
+        assert_eq!(r.scan(&RowRange::all()).len(), 2);
+        // Second flush with empty memstore is a no-op.
+        r.flush();
+        assert_eq!(r.metrics().flushes, 1);
+    }
+
+    #[test]
+    fn auto_flush_on_threshold() {
+        let mut r = Region::new(
+            RegionId(1),
+            RowRange::all(),
+            RegionConfig {
+                memstore_flush_bytes: 200,
+                compaction_file_threshold: 100,
+                max_versions: usize::MAX,
+            },
+        );
+        for i in 0..20 {
+            r.put_batch(vec![kv(&format!("row{i}"), 1, "some-payload")]).unwrap();
+        }
+        assert!(r.metrics().flushes > 0, "threshold flush expected");
+        assert_eq!(r.scan(&RowRange::all()).len(), 20);
+    }
+
+    #[test]
+    fn scan_merges_memstore_over_files() {
+        let mut r = region();
+        r.put_batch(vec![kv("a", 5, "old")]).unwrap();
+        r.flush();
+        r.put_batch(vec![kv("a", 5, "new")]).unwrap(); // same cell, memstore
+        let cells = r.scan(&RowRange::all());
+        assert_eq!(cells.len(), 1);
+        assert_eq!(&cells[0].value[..], b"new");
+    }
+
+    #[test]
+    fn compaction_folds_files_keeping_newest() {
+        let mut r = region();
+        r.put_batch(vec![kv("a", 1, "v1")]).unwrap();
+        r.flush();
+        r.put_batch(vec![kv("a", 2, "v2"), kv("b", 1, "v")]).unwrap();
+        r.flush();
+        r.compact();
+        assert_eq!(r.metrics().compactions, 1);
+        let cells = r.scan(&RowRange::all());
+        // Both versions of `a` survive (no TTL), plus `b`.
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].timestamp, 2, "newest version of a first");
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let mut r = region();
+        for i in 0..100 {
+            r.put_batch(vec![kv(&format!("row{i:03}"), 1, "v")]).unwrap();
+        }
+        let (left, right) = r.split(RegionId(2), RegionId(3)).unwrap();
+        let l = left.scan(&RowRange::all());
+        let r_ = right.scan(&RowRange::all());
+        assert_eq!(l.len() + r_.len(), 100);
+        assert!(l.len() > 30 && r_.len() > 30, "roughly even: {} / {}", l.len(), r_.len());
+        // Boundary correctness.
+        let boundary = right.range().start.clone();
+        assert!(l.iter().all(|kv| kv.row < boundary));
+        assert!(r_.iter().all(|kv| kv.row >= boundary));
+        assert_eq!(left.range().end, boundary);
+    }
+
+    #[test]
+    fn split_of_single_row_fails_and_returns_region() {
+        let mut r = region();
+        r.put_batch(vec![kv("only", 1, "v"), kv("only", 2, "v")]).unwrap();
+        let back = r.split(RegionId(2), RegionId(3)).unwrap_err();
+        assert_eq!(back.id(), RegionId(1));
+        assert_eq!(back.scan(&RowRange::all()).len(), 2, "data intact");
+    }
+
+    #[test]
+    fn wal_recovery_restores_unflushed_writes() {
+        let mut r = region();
+        r.put_batch(vec![kv("a", 1, "flushed")]).unwrap();
+        r.flush();
+        r.put_batch(vec![kv("b", 1, "unflushed")]).unwrap();
+        let wal = r.wal();
+        // Simulate a crash: rebuild a region with the same files + WAL.
+        let mut recovered = Region::new(RegionId(1), RowRange::all(), RegionConfig::default());
+        recovered.files = r.files.clone();
+        recovered.next_file_seq = r.next_file_seq;
+        recovered.wal = wal;
+        recovered.recover_from_wal();
+        let cells = recovered.scan(&RowRange::all());
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().any(|c| &c.value[..] == b"unflushed"));
+    }
+
+    #[test]
+    fn compaction_gc_drops_old_versions() {
+        let mut r = Region::new(
+            RegionId(1),
+            RowRange::all(),
+            RegionConfig {
+                max_versions: 2,
+                ..RegionConfig::default()
+            },
+        );
+        for ts in 1..=5u64 {
+            r.put_batch(vec![kv("a", ts, &format!("v{ts}"))]).unwrap();
+            r.flush();
+        }
+        r.put_batch(vec![kv("b", 1, "other")]).unwrap();
+        r.compact();
+        let cells = r.scan(&RowRange::all());
+        // Only the two newest versions of `a` survive, plus `b`.
+        let a_versions: Vec<u64> = cells
+            .iter()
+            .filter(|c| &c.row[..] == b"a")
+            .map(|c| c.timestamp)
+            .collect();
+        assert_eq!(a_versions, vec![5, 4]);
+        assert!(cells.iter().any(|c| &c.row[..] == b"b"));
+    }
+
+    #[test]
+    fn full_restart_cycle_from_disk_and_wal() {
+        let dir = std::env::temp_dir().join(format!("pga-region-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = region();
+        r.put_batch(vec![kv("a", 1, "flushed-a"), kv("b", 1, "flushed-b")]).unwrap();
+        r.flush();
+        r.put_batch(vec![kv("c", 1, "unflushed-c")]).unwrap();
+        r.persist_store_files(&dir).unwrap();
+        let wal = r.wal();
+        drop(r); // the process "dies": memstore gone, disk + WAL survive
+        let restored = Region::restore_from_disk(
+            RegionId(1),
+            RowRange::all(),
+            RegionConfig::default(),
+            &dir,
+            wal,
+        )
+        .unwrap();
+        let cells = restored.scan(&RowRange::all());
+        assert_eq!(cells.len(), 3);
+        assert!(cells.iter().any(|c| &c.value[..] == b"unflushed-c"));
+        assert!(cells.iter().any(|c| &c.value[..] == b"flushed-a"));
+    }
+
+    #[test]
+    fn scan_subrange_is_clipped() {
+        let mut r = Region::new(
+            RegionId(1),
+            RowRange::new(b"c".to_vec(), b"x".to_vec()),
+            RegionConfig::default(),
+        );
+        for row in ["c", "d", "e", "f"] {
+            r.put_batch(vec![kv(row, 1, "v")]).unwrap();
+        }
+        // Request a wider range than the region serves.
+        let cells = r.scan(&RowRange::new(b"a".to_vec(), b"e".to_vec()));
+        let rows: Vec<_> = cells.iter().map(|kv| kv.row.clone()).collect();
+        assert_eq!(rows, vec!["c", "d"]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Region server: an RPC thread serving the regions assigned to it.
+//!
+//! Each region server is one [`pga_cluster::rpc`] server — a thread behind
+//! a **bounded** request queue, exactly one per node like the paper's
+//! deployment ("each node is also running an instance of a TSD Daemon";
+//! the region server is its storage-side peer). Overload semantics come
+//! from the RPC layer: unthrottled `try_call` traffic can crash the server.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use pga_cluster::rpc::{RpcHandle, RpcServerBuilder, ServerRunner};
+use pga_cluster::NodeId;
+
+use crate::kv::{KeyValue, RowRange};
+use crate::region::{Region, RegionId, RegionMetrics};
+
+/// Region-server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// RPC queue capacity (requests).
+    pub queue_capacity: usize,
+    /// Overload strikes before the server crashes (u64::MAX = never).
+    pub crash_after_overloads: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 1024,
+            crash_after_overloads: u64::MAX,
+        }
+    }
+}
+
+/// RPC requests served by a region server.
+#[derive(Debug)]
+pub enum Request {
+    /// Write a batch into a region.
+    Put {
+        /// Target region.
+        region: RegionId,
+        /// Cells to write.
+        kvs: Vec<KeyValue>,
+    },
+    /// Scan a row range within a region.
+    Scan {
+        /// Target region.
+        region: RegionId,
+        /// Row range to scan.
+        range: RowRange,
+    },
+    /// Force a memstore flush.
+    Flush {
+        /// Target region.
+        region: RegionId,
+    },
+    /// Force a major compaction.
+    Compact {
+        /// Target region.
+        region: RegionId,
+    },
+    /// Fetch metrics for every hosted region.
+    Metrics,
+}
+
+/// RPC responses.
+#[derive(Debug)]
+pub enum Response {
+    /// Operation succeeded.
+    Ok,
+    /// Scan results.
+    Cells(Vec<KeyValue>),
+    /// The region is not hosted here, or a row fell outside it — the
+    /// caller's directory is stale and must be refreshed.
+    WrongRegion,
+    /// Region metrics by id.
+    Metrics(Vec<(RegionId, RegionMetrics)>),
+}
+
+/// A running region server plus its assignment surface.
+pub struct RegionServer {
+    node: NodeId,
+    regions: Arc<RwLock<HashMap<RegionId, Region>>>,
+    handle: RpcHandle<Request, Response>,
+    _runner: ServerRunner,
+}
+
+impl RegionServer {
+    /// Spawn a region server thread for `node`.
+    pub fn spawn(node: NodeId, config: ServerConfig) -> Self {
+        let regions: Arc<RwLock<HashMap<RegionId, Region>>> = Arc::new(RwLock::new(HashMap::new()));
+        let serving = regions.clone();
+        let (handle, runner) = RpcServerBuilder::new(format!("rs-{}", node.0))
+            .queue_capacity(config.queue_capacity)
+            .crash_after_overloads(config.crash_after_overloads)
+            .spawn(move |req: Request| handle_request(&serving, req));
+        RegionServer {
+            node,
+            regions,
+            handle,
+            _runner: runner,
+        }
+    }
+
+    /// This server's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// RPC handle for clients.
+    pub fn handle(&self) -> RpcHandle<Request, Response> {
+        self.handle.clone()
+    }
+
+    /// Assign a region to this server (master-driven).
+    pub fn assign(&self, region: Region) {
+        self.regions.write().insert(region.id(), region);
+    }
+
+    /// Remove a region (for reassignment or split). Returns it if hosted.
+    pub fn unassign(&self, id: RegionId) -> Option<Region> {
+        self.regions.write().remove(&id)
+    }
+
+    /// Ids of regions currently hosted.
+    pub fn hosted_regions(&self) -> Vec<RegionId> {
+        self.regions.read().keys().copied().collect()
+    }
+
+    /// Cells written across all hosted regions (monitoring).
+    pub fn total_cells_written(&self) -> u64 {
+        self.regions
+            .read()
+            .values()
+            .map(|r| r.metrics().cells_written)
+            .sum()
+    }
+
+    /// Stop serving.
+    pub fn shutdown(&self) {
+        self.handle.shutdown();
+    }
+}
+
+fn handle_request(
+    regions: &Arc<RwLock<HashMap<RegionId, Region>>>,
+    req: Request,
+) -> Response {
+    match req {
+        Request::Put { region, kvs } => {
+            let mut map = regions.write();
+            match map.get_mut(&region) {
+                Some(r) => match r.put_batch(kvs) {
+                    Ok(()) => Response::Ok,
+                    Err(_) => Response::WrongRegion,
+                },
+                None => Response::WrongRegion,
+            }
+        }
+        Request::Scan { region, range } => {
+            let map = regions.read();
+            match map.get(&region) {
+                Some(r) => Response::Cells(r.scan(&range)),
+                None => Response::WrongRegion,
+            }
+        }
+        Request::Flush { region } => {
+            let mut map = regions.write();
+            match map.get_mut(&region) {
+                Some(r) => {
+                    r.flush();
+                    Response::Ok
+                }
+                None => Response::WrongRegion,
+            }
+        }
+        Request::Compact { region } => {
+            let mut map = regions.write();
+            match map.get_mut(&region) {
+                Some(r) => {
+                    r.compact();
+                    Response::Ok
+                }
+                None => Response::WrongRegion,
+            }
+        }
+        Request::Metrics => {
+            let map = regions.read();
+            Response::Metrics(map.iter().map(|(&id, r)| (id, r.metrics())).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionConfig;
+
+    fn kv(row: &str) -> KeyValue {
+        KeyValue::new(row.as_bytes().to_vec(), b"q".to_vec(), 1, b"v".to_vec())
+    }
+
+    #[test]
+    fn put_scan_through_rpc() {
+        let server = RegionServer::spawn(NodeId(0), ServerConfig::default());
+        server.assign(Region::new(RegionId(1), RowRange::all(), RegionConfig::default()));
+        let h = server.handle();
+        match h
+            .call(Request::Put {
+                region: RegionId(1),
+                kvs: vec![kv("a"), kv("b")],
+            })
+            .unwrap()
+        {
+            Response::Ok => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match h
+            .call(Request::Scan {
+                region: RegionId(1),
+                range: RowRange::all(),
+            })
+            .unwrap()
+        {
+            Response::Cells(cells) => assert_eq!(cells.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_region_reports_wrong_region() {
+        let server = RegionServer::spawn(NodeId(0), ServerConfig::default());
+        let h = server.handle();
+        match h
+            .call(Request::Put {
+                region: RegionId(9),
+                kvs: vec![kv("a")],
+            })
+            .unwrap()
+        {
+            Response::WrongRegion => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_row_reports_wrong_region() {
+        let server = RegionServer::spawn(NodeId(0), ServerConfig::default());
+        server.assign(Region::new(
+            RegionId(1),
+            RowRange::new(b"a".to_vec(), b"m".to_vec()),
+            RegionConfig::default(),
+        ));
+        let h = server.handle();
+        match h
+            .call(Request::Put {
+                region: RegionId(1),
+                kvs: vec![kv("z")],
+            })
+            .unwrap()
+        {
+            Response::WrongRegion => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn unassign_moves_region_with_data() {
+        let a = RegionServer::spawn(NodeId(0), ServerConfig::default());
+        let b = RegionServer::spawn(NodeId(1), ServerConfig::default());
+        a.assign(Region::new(RegionId(1), RowRange::all(), RegionConfig::default()));
+        a.handle()
+            .call(Request::Put {
+                region: RegionId(1),
+                kvs: vec![kv("x")],
+            })
+            .unwrap();
+        let moved = a.unassign(RegionId(1)).unwrap();
+        b.assign(moved);
+        match b
+            .handle()
+            .call(Request::Scan {
+                region: RegionId(1),
+                range: RowRange::all(),
+            })
+            .unwrap()
+        {
+            Response::Cells(cells) => assert_eq!(cells.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(a.hosted_regions().is_empty());
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn metrics_roundtrip() {
+        let server = RegionServer::spawn(NodeId(0), ServerConfig::default());
+        server.assign(Region::new(RegionId(1), RowRange::all(), RegionConfig::default()));
+        server
+            .handle()
+            .call(Request::Put {
+                region: RegionId(1),
+                kvs: vec![kv("a"), kv("b"), kv("c")],
+            })
+            .unwrap();
+        match server.handle().call(Request::Metrics).unwrap() {
+            Response::Metrics(m) => {
+                assert_eq!(m.len(), 1);
+                assert_eq!(m[0].1.cells_written, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(server.total_cells_written(), 3);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,135 @@
+//! Write-ahead log.
+//!
+//! Every put is appended here before touching the memstore, so a region
+//! whose server dies can be rebuilt by replay (the master's reassignment
+//! path exercises this). The log lives in shared memory — the stand-in for
+//! the paper's HDFS — so it survives the serving thread.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::kv::KeyValue;
+
+/// Sequence number assigned to each appended batch.
+pub type SequenceId = u64;
+
+#[derive(Debug, Default)]
+struct WalInner {
+    entries: Vec<(SequenceId, KeyValue)>,
+    next_seq: SequenceId,
+    /// Sequence ids at or below this mark are durably flushed to store
+    /// files and can be discarded.
+    flushed_through: SequenceId,
+}
+
+/// A shareable write-ahead log for one region.
+#[derive(Debug, Clone, Default)]
+pub struct WriteAheadLog {
+    inner: Arc<Mutex<WalInner>>,
+}
+
+impl WriteAheadLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        WriteAheadLog::default()
+    }
+
+    /// Append a batch atomically; returns the batch's sequence id.
+    pub fn append_batch(&self, kvs: &[KeyValue]) -> SequenceId {
+        let mut inner = self.inner.lock();
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        inner.entries.reserve(kvs.len());
+        for kv in kvs {
+            inner.entries.push((seq, kv.clone()));
+        }
+        seq
+    }
+
+    /// Entries newer than the flush mark, in append order — the data a
+    /// recovering server must replay into a fresh memstore.
+    pub fn replay(&self) -> Vec<KeyValue> {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .filter(|(seq, _)| *seq > inner.flushed_through)
+            .map(|(_, kv)| kv.clone())
+            .collect()
+    }
+
+    /// Mark everything up to `seq` as flushed and drop those entries.
+    pub fn mark_flushed(&self, seq: SequenceId) {
+        let mut inner = self.inner.lock();
+        inner.flushed_through = inner.flushed_through.max(seq);
+        let cutoff = inner.flushed_through;
+        inner.entries.retain(|(s, _)| *s > cutoff);
+    }
+
+    /// Number of unflushed entries.
+    pub fn unflushed_len(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .filter(|(seq, _)| *seq > inner.flushed_through)
+            .count()
+    }
+
+    /// Latest assigned sequence id.
+    pub fn last_sequence(&self) -> SequenceId {
+        self.inner.lock().next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(row: &str, ts: u64) -> KeyValue {
+        KeyValue::new(row.as_bytes().to_vec(), b"q".to_vec(), ts, b"v".to_vec())
+    }
+
+    #[test]
+    fn append_and_replay_in_order() {
+        let wal = WriteAheadLog::new();
+        wal.append_batch(&[kv("a", 1), kv("b", 1)]);
+        wal.append_batch(&[kv("c", 2)]);
+        let replayed = wal.replay();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(&replayed[0].row[..], b"a");
+        assert_eq!(&replayed[2].row[..], b"c");
+    }
+
+    #[test]
+    fn flush_mark_truncates_replay() {
+        let wal = WriteAheadLog::new();
+        let s1 = wal.append_batch(&[kv("a", 1)]);
+        let _s2 = wal.append_batch(&[kv("b", 1)]);
+        wal.mark_flushed(s1);
+        let replayed = wal.replay();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(&replayed[0].row[..], b"b");
+        assert_eq!(wal.unflushed_len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let wal = WriteAheadLog::new();
+        let clone = wal.clone();
+        wal.append_batch(&[kv("a", 1)]);
+        assert_eq!(clone.replay().len(), 1);
+        clone.mark_flushed(clone.last_sequence());
+        assert_eq!(wal.unflushed_len(), 0);
+    }
+
+    #[test]
+    fn flush_mark_is_monotone() {
+        let wal = WriteAheadLog::new();
+        let s1 = wal.append_batch(&[kv("a", 1)]);
+        let s2 = wal.append_batch(&[kv("b", 1)]);
+        wal.mark_flushed(s2);
+        wal.mark_flushed(s1); // stale mark must not resurrect entries
+        assert_eq!(wal.unflushed_len(), 0);
+    }
+}

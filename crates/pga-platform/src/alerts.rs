@@ -1,0 +1,151 @@
+//! Alert ranking: "by selectively surfacing the most concerning
+//! anomalies, we allow users to focus only on what is important" (§V-A).
+//!
+//! Raw anomaly records are grouped per unit into [`Alert`]s, scored by
+//! breadth (distinct sensors — correlated multi-sensor faults are the
+//! dangerous ones, §V), strength (smallest p-value) and recency, and
+//! ranked most-concerning-first.
+
+use serde::{Deserialize, Serialize};
+
+use pga_viz::Health;
+
+use crate::monitor::AnomalyRecord;
+
+/// A ranked, unit-level alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Unit concerned.
+    pub unit: u32,
+    /// Distinct sensors flagged, ascending.
+    pub sensors: Vec<u32>,
+    /// Earliest anomaly timestamp in the group.
+    pub first_seen: u64,
+    /// Latest anomaly timestamp in the group.
+    pub last_seen: u64,
+    /// Smallest (strongest) p-value observed.
+    pub min_p_value: f64,
+    /// Severity derived from the flagged-sensor count.
+    pub severity: Health,
+}
+
+impl Alert {
+    /// Ranking score: more sensors and stronger evidence rank higher;
+    /// recency breaks ties.
+    fn score(&self) -> (usize, i64, u64) {
+        // -log10(p) saturated; NaN-safe because p ∈ [0, 1].
+        let strength = if self.min_p_value > 0.0 {
+            (-self.min_p_value.log10()).min(300.0) as i64
+        } else {
+            300
+        };
+        (self.sensors.len(), strength, self.last_seen)
+    }
+}
+
+/// Group anomaly records into per-unit alerts and rank them
+/// most-concerning-first. Records older than `horizon` (timestamps `<
+/// now.saturating_sub(horizon)`) are ignored — stale noise must not pin
+/// the status bar red forever.
+pub fn rank_alerts(records: &[AnomalyRecord], now: u64, horizon: u64) -> Vec<Alert> {
+    use std::collections::BTreeMap;
+    let cutoff = now.saturating_sub(horizon);
+    let mut groups: BTreeMap<u32, Vec<&AnomalyRecord>> = BTreeMap::new();
+    for r in records {
+        if r.timestamp >= cutoff && r.timestamp <= now {
+            groups.entry(r.unit).or_default().push(r);
+        }
+    }
+    let mut alerts: Vec<Alert> = groups
+        .into_iter()
+        .map(|(unit, rs)| {
+            let mut sensors: Vec<u32> = rs.iter().map(|r| r.sensor).collect();
+            sensors.sort_unstable();
+            sensors.dedup();
+            Alert {
+                unit,
+                severity: Health::from_flag_count(sensors.len()),
+                first_seen: rs.iter().map(|r| r.timestamp).min().unwrap_or(0),
+                last_seen: rs.iter().map(|r| r.timestamp).max().unwrap_or(0),
+                min_p_value: rs.iter().map(|r| r.p_value).fold(1.0, f64::min),
+                sensors,
+            }
+        })
+        .collect();
+    alerts.sort_by(|a, b| b.score().cmp(&a.score()));
+    alerts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(unit: u32, sensor: u32, timestamp: u64, p_value: f64) -> AnomalyRecord {
+        AnomalyRecord {
+            unit,
+            sensor,
+            timestamp,
+            p_value,
+        }
+    }
+
+    #[test]
+    fn broad_faults_outrank_narrow_ones() {
+        let records = vec![
+            rec(1, 0, 100, 1e-10),
+            rec(2, 0, 100, 1e-12),
+            rec(2, 1, 100, 1e-12),
+            rec(2, 2, 100, 1e-12),
+            rec(2, 3, 101, 1e-12),
+            rec(2, 4, 101, 1e-12),
+        ];
+        let alerts = rank_alerts(&records, 200, 1000);
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[0].unit, 2, "5-sensor fault first");
+        assert_eq!(alerts[0].sensors.len(), 5);
+        assert_eq!(alerts[0].severity, Health::Critical);
+        assert_eq!(alerts[1].severity, Health::Warning);
+    }
+
+    #[test]
+    fn stronger_evidence_breaks_sensor_count_ties() {
+        let records = vec![rec(1, 0, 100, 1e-3), rec(2, 0, 100, 1e-20)];
+        let alerts = rank_alerts(&records, 200, 1000);
+        assert_eq!(alerts[0].unit, 2);
+    }
+
+    #[test]
+    fn stale_records_age_out() {
+        let records = vec![rec(1, 0, 10, 1e-9), rec(2, 0, 990, 1e-3)];
+        let alerts = rank_alerts(&records, 1000, 100);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].unit, 2);
+    }
+
+    #[test]
+    fn duplicate_sensor_flags_collapse() {
+        let records = vec![
+            rec(1, 7, 100, 1e-3),
+            rec(1, 7, 200, 1e-5),
+            rec(1, 7, 300, 1e-4),
+        ];
+        let alerts = rank_alerts(&records, 400, 1000);
+        assert_eq!(alerts[0].sensors, vec![7]);
+        assert_eq!(alerts[0].first_seen, 100);
+        assert_eq!(alerts[0].last_seen, 300);
+        assert_eq!(alerts[0].min_p_value, 1e-5);
+    }
+
+    #[test]
+    fn zero_p_value_is_handled() {
+        let records = vec![rec(1, 0, 10, 0.0)];
+        let alerts = rank_alerts(&records, 10, 100);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].min_p_value, 0.0);
+    }
+
+    #[test]
+    fn empty_records_empty_alerts() {
+        assert!(rank_alerts(&[], 100, 100).is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! `pga` — command-line front end for the platform.
+//!
+//! ```text
+//! pga gen       --units 4 --sensors 16 --ticks 10 --seed 7      # JSONL samples to stdout
+//! pga demo      --units 8 --sensors 64 --ticks 700 --seed 42    # full monitoring loop
+//! pga dashboard --port 8087 --secs 30                           # serve dashboard + API
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free: `--key value` pairs
+//! after a subcommand.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pga_platform::{Monitor, PlatformConfig};
+use pga_sensorgen::{Fleet, FleetConfig};
+use pga_viz::server::{DashboardServer, HttpRequest, HttpResponse, RequestHandler};
+
+fn parse_args(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            map.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str, default: T) -> T {
+    map.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pga <command> [--key value ...]\n\
+         \n\
+         commands:\n\
+           gen        print synthetic sensor samples as JSON lines\n\
+                      (--units N --sensors N --ticks N --seed N)\n\
+           demo       run the full monitoring loop and print flagged anomalies\n\
+                      (--units N --sensors N --ticks N --seed N)\n\
+           dashboard  serve the dashboard and the OpenTSDB-style API\n\
+                      (--units N --sensors N --port P --secs S --seed N)\n\
+           import     load OpenTSDB-style JSONL datapoints into a fresh\n\
+                      store and serve the query API over them\n\
+                      (--file path --nodes N --port P --secs S)\n\
+         \n\
+         experiment reproduction lives in the bench crate:\n\
+           cargo run --release -p pga-bench --bin report_all"
+    );
+    std::process::exit(2);
+}
+
+fn fleet_config(map: &HashMap<String, String>) -> FleetConfig {
+    FleetConfig {
+        units: get(map, "units", 8u32),
+        sensors_per_unit: get(map, "sensors", 64u32),
+        ..FleetConfig::paper_scale(get(map, "seed", 42u64))
+    }
+}
+
+fn cmd_gen(map: &HashMap<String, String>) {
+    let fleet = Fleet::new(fleet_config(map));
+    let ticks = get(map, "ticks", 10u64);
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    use std::io::Write;
+    for t in 0..ticks {
+        for s in fleet.tick(t) {
+            writeln!(
+                out,
+                "{{\"metric\":\"energy\",\"timestamp\":{},\"value\":{},\"tags\":{{\"unit\":\"{}\",\"sensor\":\"{}\"}}}}",
+                s.timestamp, s.value, s.unit, s.sensor
+            )
+            .expect("write sample");
+        }
+    }
+}
+
+fn cmd_demo(map: &HashMap<String, String>) {
+    let ticks = get(map, "ticks", 700u64).max(300);
+    let mut config = PlatformConfig::demo(get(map, "seed", 42u64));
+    config.fleet = fleet_config(map);
+    let mut monitor = Monitor::new(config).expect("valid config");
+    let report = monitor.ingest_range(0, ticks);
+    eprintln!(
+        "ingested {} samples at {:.0} samples/sec",
+        report.samples, report.throughput
+    );
+    monitor.train(149).expect("train");
+    let outcomes = monitor.evaluate_at(ticks - 1).expect("evaluate");
+    for out in &outcomes {
+        if out.flags.is_empty() {
+            continue;
+        }
+        let class = monitor.fleet().fault(out.unit).class.name();
+        println!(
+            "unit {:>3} [{}]: flagged {:?}",
+            out.unit,
+            class,
+            out.flags.iter().map(|f| f.sensor).collect::<Vec<_>>()
+        );
+    }
+    eprintln!("{} anomaly records total", monitor.anomalies().len());
+    monitor.shutdown();
+}
+
+fn cmd_dashboard(map: &HashMap<String, String>) {
+    let ticks = 700u64;
+    let mut config = PlatformConfig::demo(get(map, "seed", 7u64));
+    config.fleet = fleet_config(map);
+    let units = config.fleet.units;
+    let mut monitor = Monitor::new(config).expect("valid config");
+    monitor.ingest_range(0, ticks);
+    monitor.train(149).expect("train");
+    for k in [400u64, 500, 600, ticks - 1] {
+        monitor.evaluate_at(k).expect("evaluate");
+    }
+    let monitor = Arc::new(Mutex::new(monitor));
+    let routes: RequestHandler = {
+        let monitor = monitor.clone();
+        Arc::new(move |req: &HttpRequest| {
+            let m = monitor.lock();
+            match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/") => Some(HttpResponse::html(m.fleet_overview_html(0.0))),
+                ("GET", "/heatmap") => {
+                    Some(HttpResponse::html(m.heatmap_html(0, ticks - 1, 50)))
+                }
+                ("GET", p) if p.starts_with("/machine/") => {
+                    let unit: u32 = p["/machine/".len()..].parse().ok()?;
+                    if unit >= units {
+                        return None;
+                    }
+                    m.machine_page_html(unit, ticks - 1, 300, 24)
+                        .ok()
+                        .map(HttpResponse::html)
+                }
+                ("POST", "/api/put") => Some(match pga_tsdb::handle_put(m.tsd(), &req.body) {
+                    Ok(n) => HttpResponse::json(format!("{{\"success\":{n}}}")),
+                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                }),
+                ("POST", "/api/query") => Some(match pga_tsdb::handle_query(m.tsd(), &req.body) {
+                    Ok(json) => HttpResponse::json(json),
+                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                }),
+                _ => None,
+            }
+        })
+    };
+    let port = get(map, "port", 8087u16);
+    let server = DashboardServer::start_with(port, routes.clone())
+        .or_else(|_| DashboardServer::start_with(0, routes))
+        .expect("bind");
+    println!("dashboard at http://{}/", server.addr());
+    let secs = get(map, "secs", 300u64);
+    println!("serving for {secs} seconds (ctrl-c to stop sooner)…");
+    std::thread::sleep(std::time::Duration::from_secs(secs));
+    server.stop();
+    monitor.lock().shutdown();
+}
+
+/// Import external data (the paper's §VI plan of evaluating on industry
+/// datasets): read OpenTSDB-style JSONL datapoints from a file, ingest
+/// them into a fresh storage cluster, print a summary, and serve the
+/// query API over the imported data.
+fn cmd_import(map: &HashMap<String, String>) {
+    use pga_cluster::coordinator::Coordinator;
+    use pga_minibase::{Client, Master, RegionConfig, ServerConfig, TableDescriptor};
+    use pga_tsdb::{KeyCodec, KeyCodecConfig, Tsd, TsdConfig, UidTable};
+    use std::io::BufRead;
+
+    let Some(file) = map.get("file") else {
+        eprintln!("import requires --file <path>");
+        std::process::exit(2);
+    };
+    let nodes = get(map, "nodes", 4usize);
+    let codec = KeyCodec::new(
+        KeyCodecConfig {
+            salt_buckets: nodes as u8,
+            row_span_secs: 3600,
+        },
+        UidTable::new(),
+    );
+    let coord = Coordinator::new(60_000);
+    let mut master = Master::bootstrap(nodes, ServerConfig::default(), coord, 0);
+    master.create_table(&TableDescriptor {
+        name: "tsdb".into(),
+        split_points: codec.split_points(),
+        region_config: RegionConfig::default(),
+    });
+    let tsd = Arc::new(Tsd::new(codec, Client::connect(&master), TsdConfig::default()));
+
+    let reader = std::io::BufReader::new(std::fs::File::open(file).unwrap_or_else(|e| {
+        eprintln!("cannot open {file}: {e}");
+        std::process::exit(1);
+    }));
+    let start = std::time::Instant::now();
+    let mut imported = 0u64;
+    let mut failed = 0u64;
+    for line in reader.lines() {
+        let line = line.expect("read line");
+        if line.trim().is_empty() {
+            continue;
+        }
+        match pga_tsdb::handle_put(&tsd, &line) {
+            Ok(n) => imported += n as u64,
+            Err(e) => {
+                failed += 1;
+                if failed <= 3 {
+                    eprintln!("skipping bad line: {e}");
+                }
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "imported {imported} points ({failed} bad lines) in {elapsed:.2}s — {:.0} points/sec",
+        imported as f64 / elapsed
+    );
+
+    let secs = get(map, "secs", 0u64);
+    if secs > 0 {
+        let routes: RequestHandler = {
+            let tsd = tsd.clone();
+            Arc::new(move |req: &HttpRequest| match (req.method.as_str(), req.path.as_str()) {
+                ("POST", "/api/put") => Some(match pga_tsdb::handle_put(&tsd, &req.body) {
+                    Ok(n) => HttpResponse::json(format!("{{\"success\":{n}}}")),
+                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                }),
+                ("POST", "/api/query") => Some(match pga_tsdb::handle_query(&tsd, &req.body) {
+                    Ok(json) => HttpResponse::json(json),
+                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                }),
+                ("GET", p) if p.starts_with("/api/suggest") => {
+                    let qs = p.splitn(2, '?').nth(1).unwrap_or("");
+                    Some(match pga_tsdb::handle_suggest(&tsd, qs) {
+                        Ok(json) => HttpResponse::json(json),
+                        Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                    })
+                }
+                _ => None,
+            })
+        };
+        let port = get(map, "port", 8087u16);
+        let server = DashboardServer::start_with(port, routes.clone())
+            .or_else(|_| DashboardServer::start_with(0, routes))
+            .expect("bind");
+        println!("query API at http://{}/api/query for {secs}s", server.addr());
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+        server.stop();
+    }
+    master.shutdown();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let map = parse_args(&args[1..]);
+    match command.as_str() {
+        "gen" => cmd_gen(&map),
+        "demo" => cmd_demo(&map),
+        "dashboard" => cmd_dashboard(&map),
+        "import" => cmd_import(&map),
+        _ => usage(),
+    }
+}

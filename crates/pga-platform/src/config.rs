@@ -1,0 +1,109 @@
+//! Platform configuration.
+
+use serde::{Deserialize, Serialize};
+
+use pga_sensorgen::FleetConfig;
+use pga_stats::Procedure;
+
+/// Sizing and tuning of the integrated platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// The synthetic fleet.
+    pub fleet: FleetConfig,
+    /// Region-server nodes in the storage cluster.
+    pub storage_nodes: usize,
+    /// TSD daemon instances behind the reverse proxy.
+    pub tsd_count: usize,
+    /// Samples per ingestion batch.
+    pub batch_size: usize,
+    /// Rows of data used for offline training.
+    pub training_window: usize,
+    /// Rows per online evaluation window.
+    pub eval_window: usize,
+    /// FDR level (α / q) for the detector.
+    pub alpha: f64,
+    /// Multiple-testing procedure (the paper uses Benjamini–Hochberg).
+    pub procedure: Procedure,
+    /// Dataflow worker threads for training.
+    pub workers: usize,
+}
+
+impl PlatformConfig {
+    /// A laptop-scale configuration used by the examples and tests: a
+    /// smaller fleet, a handful of storage nodes, paper-faithful detector
+    /// settings.
+    pub fn demo(seed: u64) -> Self {
+        PlatformConfig {
+            fleet: FleetConfig {
+                units: 8,
+                sensors_per_unit: 64,
+                ..FleetConfig::paper_scale(seed)
+            },
+            storage_nodes: 4,
+            tsd_count: 2,
+            batch_size: 256,
+            training_window: 150,
+            eval_window: 50,
+            alpha: 0.05,
+            procedure: Procedure::BenjaminiHochberg,
+            workers: 4,
+        }
+    }
+
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        self.fleet.validate()?;
+        if self.storage_nodes == 0 || self.tsd_count == 0 {
+            return Err("need at least one storage node and one TSD".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch size must be positive".into());
+        }
+        if self.training_window < 2 {
+            return Err("training window must be at least 2 rows".into());
+        }
+        if self.eval_window == 0 {
+            return Err("evaluation window must be non-empty".into());
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(format!("alpha {} outside [0,1]", self.alpha));
+        }
+        if self.workers == 0 {
+            return Err("need at least one worker".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_config_is_valid() {
+        assert!(PlatformConfig::demo(1).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut c = PlatformConfig::demo(1);
+        c.storage_nodes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = PlatformConfig::demo(1);
+        c.alpha = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = PlatformConfig::demo(1);
+        c.training_window = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = PlatformConfig::demo(9);
+        let json = serde_json::to_string_pretty(&c).unwrap();
+        let back: PlatformConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,428 @@
+//! The integrated monitor: ingest → store → query → detect → visualize.
+
+use serde::{Deserialize, Serialize};
+
+use pga_dataflow::Dataflow;
+use pga_detect::{train_unit, EvalOutcome, OnlineEvaluator, UnitModel};
+use pga_ingest::{IngestionPipeline, PipelineReport};
+use pga_linalg::Matrix;
+use pga_sensorgen::Fleet;
+use pga_tsdb::QueryFilter;
+use pga_viz::{
+    fleet_overview_page, machine_page, FleetOverview, Health, MachinePage, SensorPanel,
+    UnitStatus,
+};
+
+use crate::config::PlatformConfig;
+
+/// One detected anomaly, as recorded by the monitor and written back to
+/// the TSDB ("results from online evaluation are reported back to
+/// OpenTSDB for use by the integrated visualization tool", §IV-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyRecord {
+    /// Unit flagged.
+    pub unit: u32,
+    /// Sensor flagged.
+    pub sensor: u32,
+    /// End timestamp of the window that triggered the flag.
+    pub timestamp: u64,
+    /// Raw p-value of the sensor test.
+    pub p_value: f64,
+}
+
+/// Monitor failures.
+#[derive(Debug)]
+pub enum MonitorError {
+    /// Configuration failed validation.
+    Config(String),
+    /// Detection requested before training.
+    NotTrained,
+    /// Storage-layer failure.
+    Storage(String),
+    /// A queried window was missing samples for a sensor.
+    IncompleteWindow {
+        /// Unit queried.
+        unit: u32,
+        /// Sensor with missing data.
+        sensor: u32,
+        /// Points found (expected the window length).
+        found: usize,
+    },
+    /// Offline training failed.
+    Train(String),
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::Config(e) => write!(f, "invalid config: {e}"),
+            MonitorError::NotTrained => write!(f, "monitor not trained yet"),
+            MonitorError::Storage(e) => write!(f, "storage error: {e}"),
+            MonitorError::IncompleteWindow { unit, sensor, found } => write!(
+                f,
+                "unit {unit} sensor {sensor}: incomplete window ({found} points)"
+            ),
+            MonitorError::Train(e) => write!(f, "training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+/// The integrated monitoring platform.
+pub struct Monitor {
+    config: PlatformConfig,
+    fleet: Fleet,
+    pipeline: IngestionPipeline,
+    evaluators: Vec<OnlineEvaluator>,
+    anomalies: Vec<AnomalyRecord>,
+    last_ingest: Option<PipelineReport>,
+}
+
+impl Monitor {
+    /// Build the platform from a validated configuration.
+    pub fn new(config: PlatformConfig) -> Result<Self, MonitorError> {
+        config.validate().map_err(MonitorError::Config)?;
+        let fleet = Fleet::new(config.fleet.clone());
+        let pipeline =
+            IngestionPipeline::new(config.storage_nodes, config.tsd_count, config.batch_size);
+        Ok(Monitor {
+            config,
+            fleet,
+            pipeline,
+            evaluators: Vec::new(),
+            anomalies: Vec::new(),
+            last_ingest: None,
+        })
+    }
+
+    /// Borrow the fleet (ground truth access for experiments).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Detected anomalies so far.
+    pub fn anomalies(&self) -> &[AnomalyRecord] {
+        &self.anomalies
+    }
+
+    /// The `k` most concerning alerts over the last `horizon` seconds of
+    /// anomaly records (§V-A's "selectively surfacing").
+    pub fn top_alerts(&self, k: usize, now: u64, horizon: u64) -> Vec<crate::alerts::Alert> {
+        let mut alerts = crate::alerts::rank_alerts(&self.anomalies, now, horizon);
+        alerts.truncate(k);
+        alerts
+    }
+
+    /// Borrow a TSD daemon handle — also the mount point for the
+    /// OpenTSDB-compatible JSON API ([`pga_tsdb::handle_put`] /
+    /// [`pga_tsdb::handle_query`]).
+    pub fn tsd(&self) -> &std::sync::Arc<pga_tsdb::Tsd> {
+        self.pipeline.tsd()
+    }
+
+    /// Ingest fleet ticks `[t0, t1)` through the proxy into storage.
+    pub fn ingest_range(&mut self, t0: u64, t1: u64) -> PipelineReport {
+        let report = self.pipeline.run_range(&self.fleet, t0, t1);
+        self.last_ingest = Some(report.clone());
+        report
+    }
+
+    /// Read one unit's observation window back **from the TSDB** — the
+    /// full storage round-trip, not a shortcut through the generator.
+    /// Rows are ticks `(t_end - len, t_end]`.
+    pub fn window_from_store(&self, unit: u32, t_end: u64, len: usize) -> Result<Matrix, MonitorError> {
+        assert!(len > 0);
+        let period = self.config.fleet.sample_period_secs;
+        let start_tick = t_end + 1 - len as u64;
+        let series = self
+            .pipeline
+            .tsd()
+            .query(
+                "energy",
+                &QueryFilter::any().with("unit", &unit.to_string()),
+                start_tick * period,
+                t_end * period,
+            )
+            .map_err(|e| MonitorError::Storage(e.to_string()))?;
+        let p = self.config.fleet.sensors_per_unit as usize;
+        let mut m = Matrix::zeros(len, p);
+        let mut seen = vec![0usize; p];
+        for s in &series {
+            let sensor: u32 = s
+                .tags
+                .get("sensor")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| MonitorError::Storage("series missing sensor tag".into()))?;
+            let j = sensor as usize;
+            for pt in &s.points {
+                let tick = pt.timestamp / period;
+                let row = (tick - start_tick) as usize;
+                m.set(row, j, pt.value);
+                seen[j] += 1;
+            }
+        }
+        for (j, &n) in seen.iter().enumerate() {
+            if n != len {
+                return Err(MonitorError::IncompleteWindow {
+                    unit,
+                    sensor: j as u32,
+                    found: n,
+                });
+            }
+        }
+        Ok(m)
+    }
+
+    /// Offline training: read each unit's training window from storage and
+    /// fit models in parallel on the dataflow engine.
+    pub fn train(&mut self, t_end: u64) -> Result<(), MonitorError> {
+        let window = self.config.training_window;
+        let units: Vec<u32> = (0..self.config.fleet.units).collect();
+        // Windows are fetched serially (one storage client), models fitted
+        // in parallel.
+        let mut observations = Vec::with_capacity(units.len());
+        for &u in &units {
+            observations.push((u, self.window_from_store(u, t_end, window)?));
+        }
+        let df = Dataflow::new(self.config.workers);
+        let results: Vec<Result<UnitModel, String>> = df
+            .parallelize(observations, self.config.workers * 2)
+            .map(|(u, obs)| train_unit(u, &obs).map_err(|e| e.to_string()))
+            .collect();
+        let mut models = Vec::with_capacity(results.len());
+        for r in results {
+            models.push(r.map_err(MonitorError::Train)?);
+        }
+        models.sort_by_key(|m| m.unit);
+        self.evaluators = models
+            .into_iter()
+            .map(|m| OnlineEvaluator::new(m, self.config.procedure, self.config.alpha))
+            .collect();
+        Ok(())
+    }
+
+    /// Whether training has produced evaluators.
+    pub fn is_trained(&self) -> bool {
+        !self.evaluators.is_empty()
+    }
+
+    /// Evaluate every unit's window ending at `t_end` against its model.
+    /// Detected anomalies are recorded and written back to the TSDB under
+    /// the `anomaly` metric.
+    pub fn evaluate_at(&mut self, t_end: u64) -> Result<Vec<EvalOutcome>, MonitorError> {
+        if self.evaluators.is_empty() {
+            return Err(MonitorError::NotTrained);
+        }
+        let len = self.config.eval_window;
+        let period = self.config.fleet.sample_period_secs;
+        let mut outcomes = Vec::with_capacity(self.evaluators.len());
+        for ev in &self.evaluators {
+            let unit = ev.model().unit;
+            let w = self.window_from_store(unit, t_end, len)?;
+            let out = ev.evaluate(&w);
+            for flag in &out.flags {
+                self.anomalies.push(AnomalyRecord {
+                    unit,
+                    sensor: flag.sensor,
+                    timestamp: t_end * period,
+                    p_value: flag.p_value,
+                });
+                // Report back to the TSDB: value = −log10(p), clamped.
+                let strength = if flag.p_value > 0.0 {
+                    (-flag.p_value.log10()).min(300.0)
+                } else {
+                    300.0
+                };
+                let u = unit.to_string();
+                let s = flag.sensor.to_string();
+                self.pipeline
+                    .tsd()
+                    .put(
+                        "anomaly",
+                        &[("unit", u.as_str()), ("sensor", s.as_str())],
+                        t_end * period,
+                        strength,
+                    )
+                    .map_err(|e| MonitorError::Storage(e.to_string()))?;
+            }
+            outcomes.push(out);
+        }
+        Ok(outcomes)
+    }
+
+    /// Anomaly timestamps recorded for `(unit, sensor)`, in ticks.
+    fn anomaly_ticks(&self, unit: u32, sensor: u32) -> Vec<u64> {
+        let period = self.config.fleet.sample_period_secs;
+        self.anomalies
+            .iter()
+            .filter(|a| a.unit == unit && a.sensor == sensor)
+            .map(|a| a.timestamp / period)
+            .collect()
+    }
+
+    /// Status summary of one unit from the recorded anomalies.
+    pub fn unit_status(&self, unit: u32) -> UnitStatus {
+        let flagged: std::collections::HashSet<u32> = self
+            .anomalies
+            .iter()
+            .filter(|a| a.unit == unit)
+            .map(|a| a.sensor)
+            .collect();
+        UnitStatus {
+            unit,
+            health: Health::from_flag_count(flagged.len()),
+            flagged_sensors: flagged.len(),
+            last_anomaly: self
+                .anomalies
+                .iter()
+                .filter(|a| a.unit == unit)
+                .map(|a| a.timestamp)
+                .max(),
+        }
+    }
+
+    /// Build the Figure-3 machine page for `unit`: sensor panels over the
+    /// window `(t_end - len, t_end]`, flagged sensors first, drill-down on
+    /// the strongest anomaly. `max_panels` bounds the grid size.
+    pub fn machine_page_data(
+        &self,
+        unit: u32,
+        t_end: u64,
+        len: usize,
+        max_panels: usize,
+    ) -> Result<MachinePage, MonitorError> {
+        let w = self.window_from_store(unit, t_end, len)?;
+        let start_tick = t_end + 1 - len as u64;
+        let p = w.cols();
+        let mut panels: Vec<SensorPanel> = (0..p)
+            .map(|j| {
+                let points: Vec<(u64, f64)> = (0..len)
+                    .map(|r| (start_tick + r as u64, w.get(r, j)))
+                    .collect();
+                let anomalies: Vec<u64> = self
+                    .anomaly_ticks(unit, j as u32)
+                    .into_iter()
+                    .filter(|t| *t >= start_tick && *t <= t_end)
+                    .collect();
+                SensorPanel {
+                    sensor: j as u32,
+                    points,
+                    anomalies,
+                }
+            })
+            .collect();
+        // Flagged sensors first, then by id; cap the panel count.
+        panels.sort_by_key(|pnl| (pnl.anomalies.is_empty(), pnl.sensor));
+        panels.truncate(max_panels);
+        let detail = panels.iter().position(|pnl| !pnl.anomalies.is_empty());
+        Ok(MachinePage {
+            unit,
+            status: self.unit_status(unit),
+            panels,
+            detail,
+        })
+    }
+
+    /// Render the machine page to HTML.
+    pub fn machine_page_html(
+        &self,
+        unit: u32,
+        t_end: u64,
+        len: usize,
+        max_panels: usize,
+    ) -> Result<String, MonitorError> {
+        Ok(machine_page(&self.machine_page_data(unit, t_end, len, max_panels)?))
+    }
+
+    /// Build the fleet overview from recorded anomalies and the last
+    /// ingest measurement.
+    pub fn fleet_overview_data(&self, eval_rate: f64) -> FleetOverview {
+        FleetOverview {
+            units: (0..self.config.fleet.units).map(|u| self.unit_status(u)).collect(),
+            ingest_rate: self.last_ingest.as_ref().map_or(0.0, |r| r.throughput),
+            eval_rate,
+        }
+    }
+
+    /// Render the fleet overview to HTML.
+    pub fn fleet_overview_html(&self, eval_rate: f64) -> String {
+        fleet_overview_page(&self.fleet_overview_data(eval_rate))
+    }
+
+    /// Render the fleet anomaly heatmap (units × time buckets) as a
+    /// standalone HTML page.
+    pub fn heatmap_html(&self, start: u64, end: u64, bucket_secs: u64) -> String {
+        let events: Vec<(u32, u64)> = self
+            .anomalies
+            .iter()
+            .map(|a| (a.unit, a.timestamp))
+            .collect();
+        let units: Vec<u32> = (0..self.config.fleet.units).collect();
+        let data = pga_viz::HeatmapData::from_events(&events, units, start, end, bucket_secs);
+        let svg = pga_viz::anomaly_heatmap(&data, 14);
+        format!(
+            "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>Anomaly heatmap</title>\
+             <style>:root {{ color-scheme: light dark; }}\
+             body {{ --surface-2:#f0efec; --text-secondary:#52514e; background:#fcfcfb;\
+                     font-family:system-ui,sans-serif; padding:16px; }}\
+             @media (prefers-color-scheme: dark) {{ body {{ --surface-2:#383835;\
+                     --text-secondary:#c3c2b7; background:#1a1a19; color:#fff; }} }}\
+             </style></head><body><h1 style=\"font-size:18px\">Fleet anomaly heatmap</h1>{svg}</body></html>"
+        )
+    }
+
+    /// Shut the storage cluster down.
+    pub fn shutdown(&self) {
+        self.pipeline.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_trained_error_before_training() {
+        let mut m = Monitor::new(PlatformConfig::demo(3)).unwrap();
+        m.ingest_range(0, 4);
+        assert!(matches!(m.evaluate_at(3), Err(MonitorError::NotTrained)));
+        m.shutdown();
+    }
+
+    #[test]
+    fn incomplete_window_is_detected() {
+        let m = Monitor::new(PlatformConfig::demo(5)).unwrap();
+        // Nothing ingested: the window cannot be assembled.
+        assert!(matches!(
+            m.window_from_store(0, 9, 10),
+            Err(MonitorError::IncompleteWindow { .. }) | Err(MonitorError::Storage(_))
+        ));
+        m.shutdown();
+    }
+
+    #[test]
+    fn window_from_store_matches_generator() {
+        let mut m = Monitor::new(PlatformConfig::demo(7)).unwrap();
+        m.ingest_range(0, 6);
+        let w = m.window_from_store(2, 5, 6).unwrap();
+        for t in 0..6u64 {
+            for s in 0..4u32 {
+                assert_eq!(w.get(t as usize, s as usize), m.fleet().sample(2, s, t));
+            }
+        }
+        m.shutdown();
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut c = PlatformConfig::demo(1);
+        c.tsd_count = 0;
+        assert!(matches!(Monitor::new(c), Err(MonitorError::Config(_))));
+    }
+}

@@ -1,0 +1,152 @@
+//! Fleet configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of sensors that share one injected fault. Faults in the paper are
+/// "correlated across sensors which allows measuring the algorithm's
+/// response to deviations across multiple signals" (§II-A); a group of 8
+/// keeps the per-group Cholesky factor cheap while still exercising the
+/// multi-signal response.
+pub const FAULT_GROUP_SIZE: usize = 8;
+
+/// Configuration of a synthetic fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of units (the paper trains on 100).
+    pub units: u32,
+    /// Sensors per unit (the paper uses 1000).
+    pub sensors_per_unit: u32,
+    /// RNG seed — every stream derived from the fleet is a pure function of
+    /// this seed, so experiments replay exactly.
+    pub seed: u64,
+    /// Sampling period in seconds (the paper assumes 1 Hz sensors).
+    pub sample_period_secs: u64,
+    /// Standard deviation of the per-sensor Gaussian noise.
+    pub noise_std: f64,
+    /// Baseline mean of each sensor before any fault contribution.
+    pub baseline_mean: f64,
+    /// Fraction of units carrying a gradual-degradation fault.
+    pub degradation_fraction: f64,
+    /// Fraction of units carrying a sharp-shift fault.
+    pub shift_fraction: f64,
+    /// Slope of the gradual degradation, in noise standard deviations per
+    /// 100 samples once the fault is active.
+    pub degradation_slope_per_100: f64,
+    /// Magnitude of the sharp shift, in noise standard deviations.
+    pub shift_magnitude: f64,
+    /// Pairwise correlation of the noise within a faulted sensor group.
+    pub group_correlation: f64,
+}
+
+impl FleetConfig {
+    /// The evaluation dataset of the paper: 100 units × 1000 sensors,
+    /// one third of the units in each fault class.
+    pub fn paper_scale(seed: u64) -> Self {
+        FleetConfig {
+            units: 100,
+            sensors_per_unit: 1000,
+            seed,
+            sample_period_secs: 1,
+            noise_std: 1.0,
+            baseline_mean: 50.0,
+            degradation_fraction: 1.0 / 3.0,
+            shift_fraction: 1.0 / 3.0,
+            degradation_slope_per_100: 0.5,
+            shift_magnitude: 3.0,
+            group_correlation: 0.6,
+        }
+    }
+
+    /// A small fleet for unit tests and doc examples.
+    pub fn small(seed: u64) -> Self {
+        FleetConfig {
+            units: 4,
+            sensors_per_unit: 32,
+            ..FleetConfig::paper_scale(seed)
+        }
+    }
+
+    /// Total sensors across the fleet.
+    pub fn total_sensors(&self) -> u64 {
+        self.units as u64 * self.sensors_per_unit as u64
+    }
+
+    /// Validate ranges; returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.units == 0 || self.sensors_per_unit == 0 {
+            return Err("fleet must have at least one unit and one sensor".into());
+        }
+        if self.sample_period_secs == 0 {
+            return Err("sample period must be positive".into());
+        }
+        if !(self.noise_std > 0.0 && self.noise_std.is_finite()) {
+            return Err(format!("noise_std must be positive, got {}", self.noise_std));
+        }
+        let f = self.degradation_fraction + self.shift_fraction;
+        if !(0.0..=1.0).contains(&self.degradation_fraction)
+            || !(0.0..=1.0).contains(&self.shift_fraction)
+            || f > 1.0
+        {
+            return Err(format!(
+                "fault fractions must be in [0,1] and sum to <= 1, got {} + {}",
+                self.degradation_fraction, self.shift_fraction
+            ));
+        }
+        let n = FAULT_GROUP_SIZE as f64;
+        if !(self.group_correlation > -1.0 / (n - 1.0) && self.group_correlation < 1.0) {
+            return Err(format!(
+                "group_correlation {} outside positive-definite range",
+                self.group_correlation
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig::paper_scale(0xF0E1_D2C3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let c = FleetConfig::paper_scale(1);
+        assert_eq!(c.units, 100);
+        assert_eq!(c.sensors_per_unit, 1000);
+        assert_eq!(c.total_sensors(), 100_000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = FleetConfig::small(1);
+        c.units = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = FleetConfig::small(1);
+        c.noise_std = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = FleetConfig::small(1);
+        c.degradation_fraction = 0.8;
+        c.shift_fraction = 0.8;
+        assert!(c.validate().is_err());
+
+        let mut c = FleetConfig::small(1);
+        c.group_correlation = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = FleetConfig::paper_scale(99);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

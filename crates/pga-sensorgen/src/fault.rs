@@ -1,0 +1,157 @@
+//! Fault models: the paper's three classes of injected behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three primary fault categories (§II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// "Pure random noise for comparison" — a healthy unit.
+    Healthy,
+    /// "Pure random noise plus gradual degradation signal."
+    GradualDegradation,
+    /// "Pure random noise plus sharp shift."
+    SharpShift,
+}
+
+impl FaultClass {
+    /// Stable label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Healthy => "healthy",
+            FaultClass::GradualDegradation => "gradual-degradation",
+            FaultClass::SharpShift => "sharp-shift",
+        }
+    }
+}
+
+/// A fully-specified fault instance on one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Which class of fault.
+    pub class: FaultClass,
+    /// Sample index at which the fault becomes active.
+    pub onset: u64,
+    /// Index of the first sensor in the affected group.
+    pub group_start: u32,
+    /// Number of affected sensors.
+    pub group_len: u32,
+    /// Degradation slope in value units per sample (class 2) — zero for
+    /// other classes.
+    pub slope: f64,
+    /// Step magnitude in value units (class 3) — zero for other classes.
+    pub step: f64,
+}
+
+impl FaultSpec {
+    /// A healthy unit: no fault ever.
+    pub fn healthy() -> Self {
+        FaultSpec {
+            class: FaultClass::Healthy,
+            onset: u64::MAX,
+            group_start: 0,
+            group_len: 0,
+            slope: 0.0,
+            step: 0.0,
+        }
+    }
+
+    /// Whether this fault touches `sensor` at all.
+    #[inline]
+    pub fn affects(&self, sensor: u32) -> bool {
+        self.class != FaultClass::Healthy
+            && sensor >= self.group_start
+            && sensor < self.group_start + self.group_len
+    }
+
+    /// Deterministic fault contribution to the signal at sample `t` on
+    /// `sensor` (zero before onset, zero off the affected group).
+    #[inline]
+    pub fn signal(&self, sensor: u32, t: u64) -> f64 {
+        if !self.affects(sensor) || t < self.onset {
+            return 0.0;
+        }
+        match self.class {
+            FaultClass::Healthy => 0.0,
+            FaultClass::GradualDegradation => self.slope * (t - self.onset + 1) as f64,
+            FaultClass::SharpShift => self.step,
+        }
+    }
+
+    /// Ground truth: is `(sensor, t)` anomalous under this fault, using a
+    /// detectability floor of `threshold` value units? A gradual fault is
+    /// not "anomalous" the sample it starts — only once the drift exceeds
+    /// what any reasonable detector could be asked to see.
+    #[inline]
+    pub fn is_anomalous(&self, sensor: u32, t: u64, threshold: f64) -> bool {
+        self.signal(sensor, t).abs() >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_never_signals() {
+        let f = FaultSpec::healthy();
+        assert_eq!(f.signal(0, 0), 0.0);
+        assert_eq!(f.signal(100, u64::MAX - 1), 0.0);
+        assert!(!f.affects(3));
+    }
+
+    #[test]
+    fn sharp_shift_steps_at_onset() {
+        let f = FaultSpec {
+            class: FaultClass::SharpShift,
+            onset: 10,
+            group_start: 4,
+            group_len: 2,
+            slope: 0.0,
+            step: 3.0,
+        };
+        assert_eq!(f.signal(4, 9), 0.0);
+        assert_eq!(f.signal(4, 10), 3.0);
+        assert_eq!(f.signal(5, 500), 3.0);
+        assert_eq!(f.signal(6, 500), 0.0, "outside group");
+        assert_eq!(f.signal(3, 500), 0.0, "outside group");
+    }
+
+    #[test]
+    fn degradation_grows_linearly() {
+        let f = FaultSpec {
+            class: FaultClass::GradualDegradation,
+            onset: 100,
+            group_start: 0,
+            group_len: 1,
+            slope: 0.01,
+            step: 0.0,
+        };
+        assert_eq!(f.signal(0, 99), 0.0);
+        assert!((f.signal(0, 100) - 0.01).abs() < 1e-15);
+        assert!((f.signal(0, 199) - 1.0).abs() < 1e-12);
+        // Twice the elapsed time, twice the signal.
+        assert!((f.signal(0, 299) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anomaly_truth_respects_threshold() {
+        let f = FaultSpec {
+            class: FaultClass::GradualDegradation,
+            onset: 0,
+            group_start: 0,
+            group_len: 1,
+            slope: 0.1,
+            step: 0.0,
+        };
+        // Signal at t: 0.1*(t+1). Threshold 1.0 → anomalous from t=9.
+        assert!(!f.is_anomalous(0, 8, 1.0));
+        assert!(f.is_anomalous(0, 9, 1.0));
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(FaultClass::Healthy.name(), "healthy");
+        assert_eq!(FaultClass::GradualDegradation.name(), "gradual-degradation");
+        assert_eq!(FaultClass::SharpShift.name(), "sharp-shift");
+    }
+}

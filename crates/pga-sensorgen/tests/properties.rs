@@ -1,0 +1,128 @@
+//! Property tests for the fleet generator: purity, determinism, fault
+//! semantics and ground-truth consistency for arbitrary configurations.
+
+use proptest::prelude::*;
+
+use pga_sensorgen::{FaultClass, Fleet, FleetConfig};
+
+fn small_config() -> impl Strategy<Value = FleetConfig> {
+    (
+        1u32..6,        // units
+        1u32..40,       // sensors
+        any::<u64>(),   // seed
+        0.0f64..0.5,    // degradation fraction
+        0.0f64..0.5,    // shift fraction
+        0.1f64..3.0,    // noise std
+        0.0f64..0.9,    // group correlation
+    )
+        .prop_map(|(units, sensors, seed, deg, shift, noise, rho)| FleetConfig {
+            units,
+            sensors_per_unit: sensors,
+            seed,
+            degradation_fraction: deg,
+            shift_fraction: shift,
+            noise_std: noise,
+            group_correlation: rho,
+            ..FleetConfig::paper_scale(seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sampling_is_a_pure_function(config in small_config(), t in 0u64..5000) {
+        let a = Fleet::new(config.clone());
+        let b = Fleet::new(config.clone());
+        let unit = t as u32 % config.units;
+        let sensor = (t as u32).wrapping_mul(7) % config.sensors_per_unit;
+        // Same cell twice from the same fleet, and across fleets.
+        prop_assert_eq!(a.sample(unit, sensor, t), a.sample(unit, sensor, t));
+        prop_assert_eq!(a.sample(unit, sensor, t), b.sample(unit, sensor, t));
+    }
+
+    #[test]
+    fn tick_matches_pointwise_samples(config in small_config(), t in 0u64..100) {
+        let fleet = Fleet::new(config);
+        for s in fleet.tick(t) {
+            prop_assert_eq!(s.value, fleet.sample(s.unit, s.sensor, t));
+        }
+    }
+
+    #[test]
+    fn fault_class_counts_match_fractions(config in small_config()) {
+        let fleet = Fleet::new(config.clone());
+        let deg = fleet.units_with_class(FaultClass::GradualDegradation).len() as u32;
+        let shift = fleet.units_with_class(FaultClass::SharpShift).len() as u32;
+        let healthy = fleet.units_with_class(FaultClass::Healthy).len() as u32;
+        prop_assert_eq!(deg + shift + healthy, config.units);
+        prop_assert_eq!(deg, (config.units as f64 * config.degradation_fraction).round() as u32);
+        prop_assert_eq!(shift, (config.units as f64 * config.shift_fraction).round() as u32);
+    }
+
+    #[test]
+    fn no_cell_is_anomalous_before_onset(config in small_config()) {
+        let fleet = Fleet::new(config.clone());
+        for unit in 0..config.units {
+            let spec = fleet.fault(unit);
+            let before = spec.onset.saturating_sub(1);
+            for sensor in 0..config.sensors_per_unit {
+                prop_assert!(!fleet.truth(unit, sensor, before, 0.0001));
+            }
+        }
+    }
+
+    #[test]
+    fn anomalies_confined_to_fault_group(config in small_config(), t in 600u64..5000) {
+        let fleet = Fleet::new(config.clone());
+        for unit in 0..config.units {
+            let spec = fleet.fault(unit);
+            let truth = fleet.truth_row(unit, t, 0.01);
+            for (sensor, &is_anom) in truth.iter().enumerate() {
+                if is_anom {
+                    prop_assert!(spec.affects(sensor as u32),
+                        "sensor {} anomalous outside fault group", sensor);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truth_monotone_in_threshold(config in small_config(), t in 0u64..3000, s1 in 0.1f64..1.0) {
+        let fleet = Fleet::new(config.clone());
+        let s2 = s1 * 2.0;
+        for unit in 0..config.units {
+            for sensor in 0..config.sensors_per_unit {
+                // Anomalous at the stricter threshold implies anomalous at
+                // the looser one.
+                if fleet.truth(unit, sensor, t, s2) {
+                    prop_assert!(fleet.truth(unit, sensor, t, s1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_signal_monotone_after_onset(config in small_config()) {
+        let fleet = Fleet::new(config.clone());
+        for unit in fleet.units_with_class(FaultClass::GradualDegradation) {
+            let spec = fleet.fault(unit);
+            let s = spec.group_start;
+            let sig1 = spec.signal(s, spec.onset + 10);
+            let sig2 = spec.signal(s, spec.onset + 100);
+            prop_assert!(sig2 > sig1, "drift must grow: {sig1} vs {sig2}");
+        }
+    }
+
+    #[test]
+    fn window_rows_equal_ticks(config in small_config(), len in 1usize..20) {
+        let fleet = Fleet::new(config.clone());
+        let t_end = len as u64 + 10;
+        let w = fleet.observation_window(0, t_end, len);
+        prop_assert_eq!(w.shape(), (len, config.sensors_per_unit as usize));
+        let t0 = t_end + 1 - len as u64;
+        for r in 0..len {
+            prop_assert_eq!(w.get(r, 0), fleet.sample(0, 0, t0 + r as u64));
+        }
+    }
+}

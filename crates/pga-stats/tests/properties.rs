@@ -1,0 +1,106 @@
+//! Property-based tests for distributions and multiple-testing procedures.
+
+use pga_stats::{
+    benjamini_hochberg, bh_adjusted_p_values, bonferroni, hochberg, holm, normal_cdf,
+    normal_quantile, sidak, uncorrected, Procedure,
+};
+use proptest::prelude::*;
+
+fn p_family() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=1.0, 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cdf_is_monotone(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn cdf_symmetry(x in -6.0f64..6.0) {
+        prop_assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_roundtrip(p in 1e-9f64..0.999_999_999) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn all_procedures_reject_subset_of_uncorrected(p in p_family(), alpha in 0.001f64..0.2) {
+        let unc = uncorrected(&p, alpha);
+        for proc in Procedure::all() {
+            let r = proc.apply(&p, alpha);
+            prop_assert_eq!(r.rejected.len(), p.len());
+            for (i, (&a, &b)) in r.rejected.iter().zip(&unc.rejected).enumerate() {
+                prop_assert!(!a || b, "{} rejected {} but uncorrected did not", proc.name(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn bonferroni_within_holm_within_hochberg_within_bh(p in p_family(), alpha in 0.001f64..0.2) {
+        let chain = [
+            bonferroni(&p, alpha),
+            holm(&p, alpha),
+            hochberg(&p, alpha),
+            benjamini_hochberg(&p, alpha),
+        ];
+        for w in chain.windows(2) {
+            for (&a, &b) in w[0].rejected.iter().zip(&w[1].rejected) {
+                prop_assert!(!a || b);
+            }
+        }
+    }
+
+    #[test]
+    fn rejections_monotone_in_alpha(p in p_family(), a1 in 0.001f64..0.1, a2 in 0.1f64..0.3) {
+        // More lenient alpha can only add rejections (step-up/step-down are monotone).
+        for proc in Procedure::all() {
+            let r1 = proc.apply(&p, a1);
+            let r2 = proc.apply(&p, a2);
+            prop_assert!(r1.count() <= r2.count(), "{}", proc.name());
+        }
+    }
+
+    #[test]
+    fn procedure_invariant_under_permutation(p in p_family(), alpha in 0.01f64..0.2) {
+        // Reversing input order must not change which values are rejected.
+        let rev: Vec<f64> = p.iter().rev().copied().collect();
+        for proc in Procedure::all() {
+            let r = proc.apply(&p, alpha);
+            let rr = proc.apply(&rev, alpha);
+            let back: Vec<bool> = rr.rejected.iter().rev().copied().collect();
+            prop_assert_eq!(&r.rejected, &back, "{}", proc.name());
+        }
+    }
+
+    #[test]
+    fn bh_equivalence_with_adjusted_p(p in p_family(), alpha in 0.01f64..0.2) {
+        let direct = benjamini_hochberg(&p, alpha);
+        let q = bh_adjusted_p_values(&p);
+        let via_q: Vec<bool> = q.iter().map(|&v| v <= alpha + 1e-12).collect();
+        // Allow boundary fuzz: compare counts, they should rarely differ and
+        // never by more than rounding at the threshold.
+        let diff = via_q
+            .iter()
+            .zip(&direct.rejected)
+            .filter(|(a, b)| a != b)
+            .count();
+        prop_assert_eq!(diff, 0, "q-value rejection mismatch");
+    }
+
+    #[test]
+    fn sidak_no_more_conservative_than_bonferroni(p in p_family(), alpha in 0.001f64..0.2) {
+        let s = sidak(&p, alpha);
+        let b = bonferroni(&p, alpha);
+        // Šidák threshold ≥ Bonferroni threshold, so rejections are a superset.
+        for (&sb, &bb) in s.rejected.iter().zip(&b.rejected) {
+            prop_assert!(!bb || sb);
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! OpenTSDB-compatible JSON API (`/api/put`, `/api/query`).
+//!
+//! Transport-agnostic: these functions map JSON request bodies to TSD
+//! operations and produce JSON responses in OpenTSDB's wire format, so any
+//! HTTP layer (the platform mounts them on [`pga-viz`]'s server) or test
+//! can drive them directly. Downstream tools that speak OpenTSDB's HTTP
+//! API — the point of building on OpenTSDB in the first place — work
+//! against this endpoint.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::query::{Aggregator, QueryFilter};
+use crate::tsd::{Tsd, TsdError};
+
+/// One datapoint of an `/api/put` body (OpenTSDB's schema).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PutDatapoint {
+    /// Metric name.
+    pub metric: String,
+    /// Timestamp in seconds.
+    pub timestamp: u64,
+    /// Value.
+    pub value: f64,
+    /// Tags (OpenTSDB requires at least one).
+    pub tags: BTreeMap<String, String>,
+}
+
+/// `/api/query` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Start timestamp (seconds, inclusive).
+    pub start: u64,
+    /// End timestamp (seconds, inclusive). Defaults to `u64::MAX/2`.
+    #[serde(default = "default_end")]
+    pub end: u64,
+    /// Sub-queries.
+    pub queries: Vec<SubQuery>,
+}
+
+fn default_end() -> u64 {
+    u64::MAX / 2
+}
+
+/// One sub-query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubQuery {
+    /// Metric to read.
+    pub metric: String,
+    /// Exact-match tag filters.
+    #[serde(default)]
+    pub tags: BTreeMap<String, String>,
+    /// Optional downsample spec, e.g. `"60s-avg"`.
+    #[serde(default)]
+    pub downsample: Option<String>,
+}
+
+/// One output series (OpenTSDB's response element: `dps` maps timestamp
+/// strings to values).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryResponseSeries {
+    /// Metric name.
+    pub metric: String,
+    /// Series tags.
+    pub tags: BTreeMap<String, String>,
+    /// Data points keyed by stringified timestamp.
+    pub dps: BTreeMap<String, f64>,
+}
+
+/// API failure, rendered as an OpenTSDB-style error JSON.
+#[derive(Debug)]
+pub enum ApiError {
+    /// Malformed request body.
+    BadRequest(String),
+    /// Storage failure.
+    Storage(TsdError),
+}
+
+impl ApiError {
+    /// HTTP status code for this error.
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiError::BadRequest(_) => 400,
+            ApiError::Storage(_) => 500,
+        }
+    }
+
+    /// OpenTSDB-style error body.
+    pub fn to_json(&self) -> String {
+        let (code, msg) = match self {
+            ApiError::BadRequest(m) => (400, m.clone()),
+            ApiError::Storage(e) => (500, e.to_string()),
+        };
+        serde_json::json!({"error": {"code": code, "message": msg}}).to_string()
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ApiError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Handle an `/api/put` body: a single datapoint object or an array of
+/// them (both accepted, like OpenTSDB). Returns the number of points
+/// written.
+pub fn handle_put(tsd: &Tsd, body: &str) -> Result<usize, ApiError> {
+    let points: Vec<PutDatapoint> = if body.trim_start().starts_with('[') {
+        serde_json::from_str(body).map_err(|e| ApiError::BadRequest(e.to_string()))?
+    } else {
+        let one: PutDatapoint =
+            serde_json::from_str(body).map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        vec![one]
+    };
+    for p in &points {
+        if p.tags.is_empty() {
+            return Err(ApiError::BadRequest(format!(
+                "datapoint for metric {} has no tags",
+                p.metric
+            )));
+        }
+        if !p.value.is_finite() {
+            return Err(ApiError::BadRequest("non-finite value".into()));
+        }
+    }
+    for p in &points {
+        let tags: Vec<(&str, &str)> = p
+            .tags
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        tsd.put(&p.metric, &tags, p.timestamp, p.value)
+            .map_err(ApiError::Storage)?;
+    }
+    Ok(points.len())
+}
+
+/// Parse a downsample spec like `"60s-avg"` into `(interval, aggregator)`.
+pub fn parse_downsample(spec: &str) -> Result<(u64, Aggregator), ApiError> {
+    let (interval_part, agg_part) = spec
+        .split_once('-')
+        .ok_or_else(|| ApiError::BadRequest(format!("bad downsample spec: {spec}")))?;
+    let interval: u64 = interval_part
+        .strip_suffix('s')
+        .unwrap_or(interval_part)
+        .parse()
+        .map_err(|_| ApiError::BadRequest(format!("bad downsample interval: {spec}")))?;
+    if interval == 0 {
+        return Err(ApiError::BadRequest("downsample interval must be > 0".into()));
+    }
+    let agg = match agg_part {
+        "avg" => Aggregator::Avg,
+        "sum" => Aggregator::Sum,
+        "min" => Aggregator::Min,
+        "max" => Aggregator::Max,
+        "count" => Aggregator::Count,
+        other => {
+            return Err(ApiError::BadRequest(format!(
+                "unknown aggregator: {other}"
+            )))
+        }
+    };
+    Ok((interval, agg))
+}
+
+/// Handle an `/api/suggest` query string (e.g. `type=metrics&q=ener&max=10`).
+/// Types follow OpenTSDB: `metrics`, `tagk`, `tagv`. Returns a JSON array
+/// of names.
+pub fn handle_suggest(tsd: &Tsd, query_string: &str) -> Result<String, ApiError> {
+    use crate::uid::UidKind;
+    let mut kind = None;
+    let mut q = String::new();
+    let mut max = 25usize;
+    for pair in query_string.trim_start_matches('?').split('&') {
+        let Some((k, v)) = pair.split_once('=') else { continue };
+        match k {
+            "type" => {
+                kind = Some(match v {
+                    "metrics" => UidKind::Metric,
+                    "tagk" => UidKind::TagKey,
+                    "tagv" => UidKind::TagValue,
+                    other => {
+                        return Err(ApiError::BadRequest(format!("unknown suggest type: {other}")))
+                    }
+                })
+            }
+            "q" => q = v.to_string(),
+            "max" => {
+                max = v
+                    .parse()
+                    .map_err(|_| ApiError::BadRequest(format!("bad max: {v}")))?
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.ok_or_else(|| ApiError::BadRequest("missing type parameter".into()))?;
+    let names = tsd.codec().uids().suggest(kind, &q, max);
+    serde_json::to_string(&names).map_err(|e| ApiError::BadRequest(e.to_string()))
+}
+
+/// Handle an `/api/query` body. Returns the response JSON.
+pub fn handle_query(tsd: &Tsd, body: &str) -> Result<String, ApiError> {
+    let req: QueryRequest =
+        serde_json::from_str(body).map_err(|e| ApiError::BadRequest(e.to_string()))?;
+    if req.end < req.start {
+        return Err(ApiError::BadRequest("end before start".into()));
+    }
+    let mut out: Vec<QueryResponseSeries> = Vec::new();
+    for sub in &req.queries {
+        let mut filter = QueryFilter::any();
+        for (k, v) in &sub.tags {
+            filter = filter.with(k, v);
+        }
+        let downsample = sub
+            .downsample
+            .as_deref()
+            .map(parse_downsample)
+            .transpose()?;
+        let series = tsd
+            .query(&sub.metric, &filter, req.start, req.end)
+            .map_err(ApiError::Storage)?;
+        for s in series {
+            let s = match downsample {
+                Some((interval, agg)) => s.downsample(interval, agg),
+                None => s,
+            };
+            out.push(QueryResponseSeries {
+                metric: s.metric.clone(),
+                tags: s.tags.clone(),
+                dps: s
+                    .points
+                    .iter()
+                    .map(|p| (p.timestamp.to_string(), p.value))
+                    .collect(),
+            });
+        }
+    }
+    serde_json::to_string(&out).map_err(|e| ApiError::BadRequest(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{KeyCodec, KeyCodecConfig};
+    use crate::tsd::TsdConfig;
+    use crate::uid::UidTable;
+    use pga_cluster::coordinator::Coordinator;
+    use pga_minibase::{Client, Master, RegionConfig, ServerConfig, TableDescriptor};
+
+    fn tsd() -> (Master, Tsd) {
+        let codec = KeyCodec::new(
+            KeyCodecConfig {
+                salt_buckets: 4,
+                row_span_secs: 3600,
+            },
+            UidTable::new(),
+        );
+        let coord = Coordinator::new(10_000);
+        let mut master = Master::bootstrap(2, ServerConfig::default(), coord, 0);
+        master.create_table(&TableDescriptor {
+            name: "tsdb".into(),
+            split_points: codec.split_points(),
+            region_config: RegionConfig::default(),
+        });
+        let t = Tsd::new(codec, Client::connect(&master), TsdConfig::default());
+        (master, t)
+    }
+
+    #[test]
+    fn put_single_and_array_bodies() {
+        let (m, t) = tsd();
+        let one = r#"{"metric":"energy","timestamp":5,"value":1.5,"tags":{"unit":"1","sensor":"2"}}"#;
+        assert_eq!(handle_put(&t, one).unwrap(), 1);
+        let many = r#"[
+            {"metric":"energy","timestamp":6,"value":2.5,"tags":{"unit":"1","sensor":"2"}},
+            {"metric":"energy","timestamp":7,"value":3.5,"tags":{"unit":"1","sensor":"3"}}
+        ]"#;
+        assert_eq!(handle_put(&t, many).unwrap(), 2);
+        m.shutdown();
+    }
+
+    #[test]
+    fn put_rejects_bad_bodies() {
+        let (m, t) = tsd();
+        assert!(matches!(handle_put(&t, "not json"), Err(ApiError::BadRequest(_))));
+        let no_tags = r#"{"metric":"energy","timestamp":5,"value":1.0,"tags":{}}"#;
+        assert!(matches!(handle_put(&t, no_tags), Err(ApiError::BadRequest(_))));
+        m.shutdown();
+    }
+
+    #[test]
+    fn query_roundtrip_through_json() {
+        let (m, t) = tsd();
+        for ts in 0..10u64 {
+            t.put("energy", &[("unit", "1"), ("sensor", "2")], ts, ts as f64)
+                .unwrap();
+        }
+        let body = r#"{"start":2,"end":5,"queries":[{"metric":"energy","tags":{"unit":"1"}}]}"#;
+        let resp = handle_query(&t, body).unwrap();
+        let series: Vec<QueryResponseSeries> = serde_json::from_str(&resp).unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].dps.len(), 4);
+        assert_eq!(series[0].dps["3"], 3.0);
+        m.shutdown();
+    }
+
+    #[test]
+    fn query_with_downsample() {
+        let (m, t) = tsd();
+        for ts in 0..20u64 {
+            t.put("energy", &[("unit", "1")], ts, ts as f64).unwrap();
+        }
+        let body = r#"{"start":0,"end":19,"queries":[{"metric":"energy","downsample":"10s-avg"}]}"#;
+        let resp = handle_query(&t, body).unwrap();
+        let series: Vec<QueryResponseSeries> = serde_json::from_str(&resp).unwrap();
+        assert_eq!(series[0].dps.len(), 2);
+        assert_eq!(series[0].dps["0"], 4.5);
+        assert_eq!(series[0].dps["10"], 14.5);
+        m.shutdown();
+    }
+
+    #[test]
+    fn query_rejects_bad_ranges_and_specs() {
+        let (m, t) = tsd();
+        let backwards = r#"{"start":10,"end":5,"queries":[]}"#;
+        assert!(matches!(handle_query(&t, backwards), Err(ApiError::BadRequest(_))));
+        assert!(parse_downsample("10s-median").is_err());
+        assert!(parse_downsample("0s-avg").is_err());
+        assert!(parse_downsample("nonsense").is_err());
+        m.shutdown();
+    }
+
+    #[test]
+    fn parse_downsample_variants() {
+        assert!(matches!(parse_downsample("60s-avg").unwrap(), (60, Aggregator::Avg)));
+        assert!(matches!(parse_downsample("5-sum").unwrap(), (5, Aggregator::Sum)));
+        assert!(matches!(parse_downsample("1s-count").unwrap(), (1, Aggregator::Count)));
+    }
+
+    #[test]
+    fn suggest_lists_interned_names() {
+        let (m, t) = tsd();
+        t.put("energy", &[("unit", "1"), ("sensor", "2")], 1, 1.0).unwrap();
+        t.put("energy.aux", &[("unit", "1")], 1, 1.0).unwrap();
+        let metrics: Vec<String> =
+            serde_json::from_str(&handle_suggest(&t, "type=metrics&q=ener").unwrap()).unwrap();
+        assert_eq!(metrics, vec!["energy".to_string(), "energy.aux".to_string()]);
+        let tagks: Vec<String> =
+            serde_json::from_str(&handle_suggest(&t, "type=tagk&q=").unwrap()).unwrap();
+        assert_eq!(tagks, vec!["sensor".to_string(), "unit".to_string()]);
+        let capped: Vec<String> =
+            serde_json::from_str(&handle_suggest(&t, "type=tagv&q=&max=1").unwrap()).unwrap();
+        assert_eq!(capped.len(), 1);
+        assert!(matches!(
+            handle_suggest(&t, "type=bogus&q="),
+            Err(ApiError::BadRequest(_))
+        ));
+        assert!(matches!(
+            handle_suggest(&t, "q=x"),
+            Err(ApiError::BadRequest(_))
+        ));
+        m.shutdown();
+    }
+
+    #[test]
+    fn api_error_json_shape() {
+        let e = ApiError::BadRequest("nope".into());
+        assert_eq!(e.status(), 400);
+        let v: serde_json::Value = serde_json::from_str(&e.to_json()).unwrap();
+        assert_eq!(v["error"]["code"], 400);
+        assert_eq!(v["error"]["message"], "nope");
+    }
+
+    #[test]
+    fn put_then_query_via_api_only() {
+        let (m, t) = tsd();
+        handle_put(
+            &t,
+            r#"{"metric":"anomaly","timestamp":100,"value":9.5,"tags":{"unit":"80","sensor":"7"}}"#,
+        )
+        .unwrap();
+        let resp = handle_query(
+            &t,
+            r#"{"start":0,"end":200,"queries":[{"metric":"anomaly","tags":{"unit":"80"}}]}"#,
+        )
+        .unwrap();
+        let series: Vec<QueryResponseSeries> = serde_json::from_str(&resp).unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].dps["100"], 9.5);
+        m.shutdown();
+    }
+}

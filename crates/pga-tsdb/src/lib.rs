@@ -1,0 +1,34 @@
+//! A time-series database layer in the mould of OpenTSDB (§III of the
+//! paper), built on [`pga_minibase`].
+//!
+//! "OpenTSDB organizes time series data into metrics and allows for the
+//! assignment of multiple tags per metric. … The simulated data generated
+//! for this project is stored into a metric called 'energy' with tags for
+//! 'unit' and 'sensor'." (§III-A)
+//!
+//! * [`uid`] — string → fixed-width UID assignment for metrics, tag keys
+//!   and tag values (OpenTSDB's `tsdb-uid` table).
+//! * [`codec`] — the binary row-key layout, **including the salt byte**
+//!   whose addition §III-B credits with "a dramatic increase to the
+//!   ingestion rate", plus qualifier/value encoding.
+//! * [`tsd`] — the TSD daemon: put/query over a MiniBase client, RPC
+//!   accounting, optional write-path row compaction (the paper disables it
+//!   "to reduce RPC calls to HBase"; the ablation E8 measures exactly
+//!   that).
+//! * [`query`] — series assembly, tag filtering, downsampling aggregators.
+//! * [`api`] — the OpenTSDB-compatible JSON API (`/api/put`, `/api/query`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod codec;
+pub mod query;
+pub mod tsd;
+pub mod uid;
+
+pub use api::{handle_put, handle_query, handle_suggest, ApiError, PutDatapoint, QueryRequest, QueryResponseSeries, SubQuery};
+pub use codec::{KeyCodec, KeyCodecConfig};
+pub use query::{aggregate_series, Aggregator, DataPoint, QueryFilter, TimeSeries};
+pub use tsd::{Tsd, TsdConfig, TsdError, TsdMetrics};
+pub use uid::{Uid, UidTable};

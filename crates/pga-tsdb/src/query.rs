@@ -1,0 +1,295 @@
+//! Query results: series assembly, tag filtering, downsampling.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One timestamped value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Seconds since epoch.
+    pub timestamp: u64,
+    /// Value.
+    pub value: f64,
+}
+
+/// A series: one tag combination of one metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Metric name.
+    pub metric: String,
+    /// Sorted tag pairs identifying the series.
+    pub tags: BTreeMap<String, String>,
+    /// Points in ascending timestamp order.
+    pub points: Vec<DataPoint>,
+}
+
+impl TimeSeries {
+    /// Latest point, if any.
+    pub fn last(&self) -> Option<DataPoint> {
+        self.points.last().copied()
+    }
+
+    /// Downsample into fixed windows of `interval` seconds using `agg`.
+    /// Window boundaries are aligned to multiples of the interval; empty
+    /// windows produce no point (OpenTSDB semantics).
+    pub fn downsample(&self, interval: u64, agg: Aggregator) -> TimeSeries {
+        assert!(interval > 0, "interval must be positive");
+        let mut out = Vec::new();
+        let mut window_start: Option<u64> = None;
+        let mut acc = AggState::new();
+        for p in &self.points {
+            let w = p.timestamp - p.timestamp % interval;
+            match window_start {
+                Some(ws) if ws == w => acc.add(p.value),
+                Some(ws) => {
+                    out.push(DataPoint {
+                        timestamp: ws,
+                        value: acc.finish(agg),
+                    });
+                    acc = AggState::new();
+                    acc.add(p.value);
+                    window_start = Some(w);
+                    let _ = ws;
+                }
+                None => {
+                    acc.add(p.value);
+                    window_start = Some(w);
+                }
+            }
+        }
+        if let Some(ws) = window_start {
+            out.push(DataPoint {
+                timestamp: ws,
+                value: acc.finish(agg),
+            });
+        }
+        TimeSeries {
+            metric: self.metric.clone(),
+            tags: self.tags.clone(),
+            points: out,
+        }
+    }
+}
+
+/// Downsampling / aggregation operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregator {
+    /// Arithmetic mean.
+    Avg,
+    /// Sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Point count.
+    Count,
+}
+
+struct AggState {
+    sum: f64,
+    min: f64,
+    max: f64,
+    count: u64,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }
+    }
+
+    fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.count += 1;
+    }
+
+    fn finish(&self, agg: Aggregator) -> f64 {
+        match agg {
+            Aggregator::Avg => self.sum / self.count as f64,
+            Aggregator::Sum => self.sum,
+            Aggregator::Min => self.min,
+            Aggregator::Max => self.max,
+            Aggregator::Count => self.count as f64,
+        }
+    }
+}
+
+/// Aggregate multiple series into one (OpenTSDB's cross-series
+/// aggregator): at every timestamp where *any* input series has a point,
+/// combine the values present with `agg`. (OpenTSDB linearly interpolates
+/// missing points before aggregating; with the platform's regular 1 Hz
+/// sampling the distinction never arises, so present-value aggregation is
+/// used.) The output's tags are the pairs common to every input; returns
+/// `None` for an empty input.
+pub fn aggregate_series(series: &[TimeSeries], agg: Aggregator) -> Option<TimeSeries> {
+    let first = series.first()?;
+    let mut tags = first.tags.clone();
+    for s in &series[1..] {
+        tags.retain(|k, v| s.tags.get(k) == Some(v));
+    }
+    let mut buckets: BTreeMap<u64, AggState> = BTreeMap::new();
+    for s in series {
+        for p in &s.points {
+            buckets.entry(p.timestamp).or_insert_with(AggState::new).add(p.value);
+        }
+    }
+    Some(TimeSeries {
+        metric: first.metric.clone(),
+        tags,
+        points: buckets
+            .into_iter()
+            .map(|(timestamp, st)| DataPoint {
+                timestamp,
+                value: st.finish(agg),
+            })
+            .collect(),
+    })
+}
+
+/// Tag filter for queries: every listed pair must match exactly; unlisted
+/// tags are unconstrained (and series are grouped by their full tag set).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryFilter {
+    /// Required `(tag key, tag value)` pairs.
+    pub tags: BTreeMap<String, String>,
+}
+
+impl QueryFilter {
+    /// No constraints.
+    pub fn any() -> Self {
+        QueryFilter::default()
+    }
+
+    /// Require `key = value`.
+    pub fn with(mut self, key: &str, value: &str) -> Self {
+        self.tags.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Does a series tag set satisfy the filter?
+    pub fn matches(&self, tags: &BTreeMap<String, String>) -> bool {
+        self.tags
+            .iter()
+            .all(|(k, v)| tags.get(k).is_some_and(|tv| tv == v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: &[(u64, f64)]) -> TimeSeries {
+        TimeSeries {
+            metric: "energy".into(),
+            tags: BTreeMap::new(),
+            points: points
+                .iter()
+                .map(|&(timestamp, value)| DataPoint { timestamp, value })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn downsample_avg_aligned_windows() {
+        let s = series(&[(0, 1.0), (5, 3.0), (10, 10.0), (19, 20.0), (20, 7.0)]);
+        let d = s.downsample(10, Aggregator::Avg);
+        assert_eq!(d.points.len(), 3);
+        assert_eq!(d.points[0], DataPoint { timestamp: 0, value: 2.0 });
+        assert_eq!(d.points[1], DataPoint { timestamp: 10, value: 15.0 });
+        assert_eq!(d.points[2], DataPoint { timestamp: 20, value: 7.0 });
+    }
+
+    #[test]
+    fn downsample_all_aggregators() {
+        let s = series(&[(0, 1.0), (1, 5.0), (2, 3.0)]);
+        assert_eq!(s.downsample(10, Aggregator::Sum).points[0].value, 9.0);
+        assert_eq!(s.downsample(10, Aggregator::Min).points[0].value, 1.0);
+        assert_eq!(s.downsample(10, Aggregator::Max).points[0].value, 5.0);
+        assert_eq!(s.downsample(10, Aggregator::Count).points[0].value, 3.0);
+    }
+
+    #[test]
+    fn downsample_skips_empty_windows() {
+        let s = series(&[(0, 1.0), (100, 2.0)]);
+        let d = s.downsample(10, Aggregator::Avg);
+        assert_eq!(d.points.len(), 2);
+        assert_eq!(d.points[1].timestamp, 100);
+    }
+
+    #[test]
+    fn downsample_empty_series() {
+        let s = series(&[]);
+        assert!(s.downsample(10, Aggregator::Avg).points.is_empty());
+    }
+
+    #[test]
+    fn filter_matching() {
+        let mut tags = BTreeMap::new();
+        tags.insert("unit".to_string(), "7".to_string());
+        tags.insert("sensor".to_string(), "3".to_string());
+        assert!(QueryFilter::any().matches(&tags));
+        assert!(QueryFilter::any().with("unit", "7").matches(&tags));
+        assert!(!QueryFilter::any().with("unit", "8").matches(&tags));
+        assert!(!QueryFilter::any().with("missing", "x").matches(&tags));
+        assert!(QueryFilter::any()
+            .with("unit", "7")
+            .with("sensor", "3")
+            .matches(&tags));
+    }
+
+    #[test]
+    fn aggregate_series_sums_across_units() {
+        let mut a = series(&[(0, 1.0), (1, 2.0)]);
+        a.tags.insert("unit".into(), "1".into());
+        a.tags.insert("sensor".into(), "7".into());
+        let mut b = series(&[(0, 10.0), (2, 30.0)]);
+        b.tags.insert("unit".into(), "2".into());
+        b.tags.insert("sensor".into(), "7".into());
+        let agg = aggregate_series(&[a, b], Aggregator::Sum).unwrap();
+        assert_eq!(
+            agg.points,
+            vec![
+                DataPoint { timestamp: 0, value: 11.0 },
+                DataPoint { timestamp: 1, value: 2.0 },
+                DataPoint { timestamp: 2, value: 30.0 },
+            ]
+        );
+        // Common tags survive; differing tags are dropped.
+        assert_eq!(agg.tags.get("sensor").map(String::as_str), Some("7"));
+        assert!(agg.tags.get("unit").is_none());
+    }
+
+    #[test]
+    fn aggregate_series_avg_and_extremes() {
+        let a = series(&[(5, 2.0)]);
+        let b = series(&[(5, 4.0)]);
+        let c = series(&[(5, 9.0)]);
+        let input = [a, b, c];
+        assert_eq!(aggregate_series(&input, Aggregator::Avg).unwrap().points[0].value, 5.0);
+        assert_eq!(aggregate_series(&input, Aggregator::Min).unwrap().points[0].value, 2.0);
+        assert_eq!(aggregate_series(&input, Aggregator::Max).unwrap().points[0].value, 9.0);
+        assert_eq!(aggregate_series(&input, Aggregator::Count).unwrap().points[0].value, 3.0);
+    }
+
+    #[test]
+    fn aggregate_series_empty_input() {
+        assert!(aggregate_series(&[], Aggregator::Avg).is_none());
+    }
+
+    #[test]
+    fn last_point() {
+        assert_eq!(series(&[]).last(), None);
+        assert_eq!(
+            series(&[(1, 2.0), (5, 9.0)]).last(),
+            Some(DataPoint { timestamp: 5, value: 9.0 })
+        );
+    }
+}

@@ -1,0 +1,466 @@
+//! The TSD daemon: put/query over MiniBase, with RPC accounting and
+//! optional write-path row compaction.
+//!
+//! §III-A: "For storing data, the TSD Daemon takes a metric, timestamp,
+//! data value, and tag identifiers as input and produces an entry to be
+//! written to an HBase table."
+//!
+//! §III-B: "Compaction was also disabled on OpenTSDB to reduce RPC calls
+//! to HBase." When [`TsdConfig::write_path_compaction`] is on, every
+//! series-row rollover triggers a read-modify-write of the finished row
+//! (one extra scan RPC + one extra put RPC), exactly the extra chatter the
+//! paper eliminated; experiment E8 measures the difference.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pga_minibase::{Client, ClientError, KeyValue, RowRange};
+
+use crate::codec::KeyCodec;
+use crate::query::{DataPoint, QueryFilter, TimeSeries};
+
+/// TSD configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsdConfig {
+    /// Enable OpenTSDB-style write-path row compaction (the paper runs
+    /// with this **disabled**).
+    pub write_path_compaction: bool,
+}
+
+impl Default for TsdConfig {
+    fn default() -> Self {
+        TsdConfig {
+            write_path_compaction: false,
+        }
+    }
+}
+
+/// Counters for one TSD daemon.
+#[derive(Debug, Default)]
+pub struct TsdMetrics {
+    /// Data points written.
+    pub points_written: AtomicU64,
+    /// Put RPCs issued to the storage layer.
+    pub put_rpcs: AtomicU64,
+    /// Scan RPCs issued to the storage layer.
+    pub scan_rpcs: AtomicU64,
+    /// Row compactions performed on the write path.
+    pub row_compactions: AtomicU64,
+}
+
+impl TsdMetrics {
+    /// Total storage RPCs.
+    pub fn total_rpcs(&self) -> u64 {
+        self.put_rpcs.load(Ordering::Relaxed) + self.scan_rpcs.load(Ordering::Relaxed)
+    }
+
+    /// RPCs per written data point (the E8 ablation metric).
+    pub fn rpcs_per_point(&self) -> f64 {
+        let points = self.points_written.load(Ordering::Relaxed);
+        if points == 0 {
+            0.0
+        } else {
+            self.total_rpcs() as f64 / points as f64
+        }
+    }
+}
+
+/// TSD errors.
+#[derive(Debug)]
+pub enum TsdError {
+    /// Storage-layer failure.
+    Storage(ClientError),
+}
+
+impl std::fmt::Display for TsdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsdError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TsdError {}
+
+impl From<ClientError> for TsdError {
+    fn from(e: ClientError) -> Self {
+        TsdError::Storage(e)
+    }
+}
+
+/// A TSD daemon bound to one MiniBase client.
+pub struct Tsd {
+    codec: KeyCodec,
+    client: Client,
+    config: TsdConfig,
+    metrics: Arc<TsdMetrics>,
+    /// Last row key seen per series hash — detects row rollover for the
+    /// write-path compaction model.
+    open_rows: Mutex<HashMap<u64, Bytes>>,
+}
+
+impl Tsd {
+    /// Create a daemon.
+    pub fn new(codec: KeyCodec, client: Client, config: TsdConfig) -> Self {
+        Tsd {
+            codec,
+            client,
+            config,
+            metrics: Arc::new(TsdMetrics::default()),
+            open_rows: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Borrow the codec.
+    pub fn codec(&self) -> &KeyCodec {
+        &self.codec
+    }
+
+    /// Shared metrics handle.
+    pub fn metrics(&self) -> Arc<TsdMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Write one data point.
+    pub fn put(
+        &self,
+        metric: &str,
+        tags: &[(&str, &str)],
+        timestamp: u64,
+        value: f64,
+    ) -> Result<(), TsdError> {
+        self.put_batch(metric, &[(tags, timestamp, value)])
+    }
+
+    /// Write a batch of points of one metric in a single storage RPC
+    /// per region (OpenTSDB's batched `put`). Each element is
+    /// `(tags, timestamp, value)`.
+    pub fn put_batch(
+        &self,
+        metric: &str,
+        points: &[(&[(&str, &str)], u64, f64)],
+    ) -> Result<(), TsdError> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        let mut kvs = Vec::with_capacity(points.len());
+        for &(tags, ts, value) in points {
+            let row = self.codec.row_key(metric, tags, ts);
+            if self.config.write_path_compaction {
+                self.maybe_compact_previous_row(tags, &row)?;
+            }
+            kvs.push(KeyValue::new(
+                row,
+                self.codec.qualifier(ts),
+                ts * 1000,
+                self.codec.value(value),
+            ));
+        }
+        let n = kvs.len() as u64;
+        self.client.put(kvs)?;
+        self.metrics.put_rpcs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.points_written.fetch_add(n, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Row-rollover hook for the write-path compaction model: when a series
+    /// moves to a new row, read the finished row back and rewrite it as one
+    /// consolidated cell.
+    fn maybe_compact_previous_row(
+        &self,
+        tags: &[(&str, &str)],
+        new_row: &Bytes,
+    ) -> Result<(), TsdError> {
+        let mut h = 0xcbf29ce484222325u64;
+        for (k, v) in tags {
+            for b in k.bytes().chain(v.bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        let mut open = self.open_rows.lock();
+        let prev = open.insert(h, new_row.clone());
+        drop(open);
+        if let Some(prev_row) = prev {
+            if &prev_row != new_row {
+                // Read the finished row…
+                let mut end = prev_row.to_vec();
+                end.push(0);
+                let cells = self
+                    .client
+                    .scan(&RowRange::new(prev_row.clone(), end))?;
+                self.metrics.scan_rpcs.fetch_add(1, Ordering::Relaxed);
+                // …and rewrite it as one consolidated cell (qualifier 0xFFFF
+                // marks a compacted column, mirroring OpenTSDB's wide column).
+                if !cells.is_empty() {
+                    let mut blob = Vec::with_capacity(cells.len() * 10);
+                    for c in &cells {
+                        blob.extend_from_slice(&c.qualifier);
+                        blob.extend_from_slice(&c.value);
+                    }
+                    self.client.put(vec![KeyValue::new(
+                        prev_row,
+                        Bytes::copy_from_slice(&[0xFF, 0xFF]),
+                        u64::MAX / 2,
+                        blob,
+                    )])?;
+                    self.metrics.put_rpcs.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.row_compactions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Query `[start, end]` of one metric, filtered by tags, grouped into
+    /// one series per distinct tag combination, points ascending.
+    pub fn query(
+        &self,
+        metric: &str,
+        filter: &QueryFilter,
+        start: u64,
+        end: u64,
+    ) -> Result<Vec<TimeSeries>, TsdError> {
+        let mut series: BTreeMap<Vec<(String, String)>, Vec<DataPoint>> = BTreeMap::new();
+        for salt in self.codec.salt_range() {
+            let (s, e) = self.codec.scan_range(salt, metric, start, end);
+            if s.is_empty() && e.is_empty() {
+                continue; // unknown metric
+            }
+            let cells = self.client.scan(&RowRange::new(s, e))?;
+            self.metrics.scan_rpcs.fetch_add(1, Ordering::Relaxed);
+            for cell in cells {
+                if cell.qualifier.len() != 2 || cell.qualifier[..] == [0xFF, 0xFF] {
+                    continue; // compacted blob column: raw cells carry the data
+                }
+                if let Some(p) = self.codec.decode(&cell.row, &cell.qualifier, &cell.value) {
+                    if p.timestamp < start || p.timestamp > end {
+                        continue;
+                    }
+                    let tag_map: BTreeMap<String, String> = p.tags.iter().cloned().collect();
+                    if !filter.matches(&tag_map) {
+                        continue;
+                    }
+                    series.entry(p.tags.clone()).or_default().push(DataPoint {
+                        timestamp: p.timestamp,
+                        value: p.value,
+                    });
+                }
+            }
+        }
+        Ok(series
+            .into_iter()
+            .map(|(tags, mut points)| {
+                points.sort_by_key(|p| p.timestamp);
+                points.dedup_by_key(|p| p.timestamp);
+                TimeSeries {
+                    metric: metric.to_string(),
+                    tags: tags.into_iter().collect(),
+                    points,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::KeyCodecConfig;
+    use crate::uid::UidTable;
+    use bytes::Bytes;
+    use pga_cluster::coordinator::Coordinator;
+    use pga_minibase::{Master, RegionConfig, ServerConfig, TableDescriptor};
+
+    fn tsd(nodes: usize, salt_buckets: u8, compaction: bool) -> (Master, Tsd) {
+        let codec = KeyCodec::new(
+            KeyCodecConfig {
+                salt_buckets,
+                row_span_secs: 3600,
+            },
+            UidTable::new(),
+        );
+        let coord = Coordinator::new(10_000);
+        let mut master = Master::bootstrap(nodes, ServerConfig::default(), coord, 0);
+        master.create_table(&TableDescriptor {
+            name: "tsdb".into(),
+            split_points: codec.split_points(),
+            region_config: RegionConfig::default(),
+        });
+        let client = Client::connect(&master);
+        let t = Tsd::new(
+            codec,
+            client,
+            TsdConfig {
+                write_path_compaction: compaction,
+            },
+        );
+        (master, t)
+    }
+
+    #[test]
+    fn put_query_roundtrip() {
+        let (m, t) = tsd(3, 8, false);
+        for ts in 0..10u64 {
+            t.put("energy", &[("unit", "1"), ("sensor", "2")], ts, ts as f64)
+                .unwrap();
+        }
+        let series = t
+            .query("energy", &QueryFilter::any(), 0, 100)
+            .unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].points.len(), 10);
+        assert_eq!(series[0].points[3].value, 3.0);
+        assert_eq!(series[0].tags.get("unit").unwrap(), "1");
+        m.shutdown();
+    }
+
+    #[test]
+    fn query_filters_by_tag() {
+        let (m, t) = tsd(2, 4, false);
+        t.put("energy", &[("unit", "1"), ("sensor", "a")], 5, 1.0).unwrap();
+        t.put("energy", &[("unit", "2"), ("sensor", "a")], 5, 2.0).unwrap();
+        t.put("energy", &[("unit", "1"), ("sensor", "b")], 5, 3.0).unwrap();
+        let unit1 = t
+            .query("energy", &QueryFilter::any().with("unit", "1"), 0, 10)
+            .unwrap();
+        assert_eq!(unit1.len(), 2);
+        let s_a = t
+            .query(
+                "energy",
+                &QueryFilter::any().with("unit", "1").with("sensor", "a"),
+                0,
+                10,
+            )
+            .unwrap();
+        assert_eq!(s_a.len(), 1);
+        assert_eq!(s_a[0].points[0].value, 1.0);
+        m.shutdown();
+    }
+
+    #[test]
+    fn query_time_window_is_inclusive() {
+        let (m, t) = tsd(1, 2, false);
+        for ts in [10u64, 20, 30] {
+            t.put("energy", &[("unit", "1")], ts, ts as f64).unwrap();
+        }
+        let s = t.query("energy", &QueryFilter::any(), 10, 20).unwrap();
+        assert_eq!(s[0].points.len(), 2);
+        m.shutdown();
+    }
+
+    #[test]
+    fn unknown_metric_returns_empty() {
+        let (m, t) = tsd(1, 2, false);
+        assert!(t.query("nope", &QueryFilter::any(), 0, 10).unwrap().is_empty());
+        m.shutdown();
+    }
+
+    #[test]
+    fn batch_put_counts_one_rpc() {
+        let (m, t) = tsd(2, 4, false);
+        let tags: &[(&str, &str)] = &[("unit", "1"), ("sensor", "1")];
+        let points: Vec<(&[(&str, &str)], u64, f64)> =
+            (0..50u64).map(|ts| (tags, ts, 1.0)).collect();
+        t.put_batch("energy", &points).unwrap();
+        let metrics = t.metrics();
+        assert_eq!(metrics.points_written.load(Ordering::Relaxed), 50);
+        assert_eq!(metrics.put_rpcs.load(Ordering::Relaxed), 1);
+        m.shutdown();
+    }
+
+    #[test]
+    fn write_path_compaction_adds_rpcs_on_rollover() {
+        let (m, t) = tsd(1, 2, true);
+        let tags = [("unit", "1"), ("sensor", "1")];
+        // Fill two consecutive hourly rows.
+        for ts in [100u64, 200, 3700, 3800, 7300] {
+            t.put("energy", &tags, ts, 1.0).unwrap();
+        }
+        let metrics = t.metrics();
+        assert_eq!(metrics.row_compactions.load(Ordering::Relaxed), 2);
+        assert!(metrics.scan_rpcs.load(Ordering::Relaxed) >= 2);
+        // Data is still fully queryable after compaction rewrites.
+        let s = t.query("energy", &QueryFilter::any(), 0, 10_000).unwrap();
+        assert_eq!(s[0].points.len(), 5);
+        m.shutdown();
+    }
+
+    #[test]
+    fn compaction_disabled_keeps_rpcs_near_one_per_batch() {
+        let (m, t) = tsd(1, 2, false);
+        let tags = [("unit", "1"), ("sensor", "1")];
+        for ts in [100u64, 3700, 7300, 10900] {
+            t.put("energy", &tags, ts, 1.0).unwrap();
+        }
+        let metrics = t.metrics();
+        assert_eq!(metrics.row_compactions.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.scan_rpcs.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.put_rpcs.load(Ordering::Relaxed), 4);
+        m.shutdown();
+    }
+
+    #[test]
+    fn salted_writes_touch_many_servers() {
+        let (m, t) = tsd(4, 8, false);
+        for unit in 0..40 {
+            let u = unit.to_string();
+            t.put("energy", &[("unit", &u), ("sensor", "0")], 0, 1.0).unwrap();
+        }
+        let mut busy = 0;
+        for node in m.nodes() {
+            if m.server(node).unwrap().total_cells_written() > 0 {
+                busy += 1;
+            }
+        }
+        assert!(busy >= 3, "expected most servers busy, got {busy}");
+        m.shutdown();
+    }
+
+    #[test]
+    fn unsalted_writes_hotspot_one_server() {
+        let (m, t) = tsd(4, 0, false);
+        for unit in 0..40 {
+            let u = unit.to_string();
+            t.put("energy", &[("unit", &u), ("sensor", "0")], 0, 1.0).unwrap();
+        }
+        let writes: Vec<u64> = m
+            .nodes()
+            .iter()
+            .map(|&n| m.server(n).unwrap().total_cells_written())
+            .collect();
+        let busy = writes.iter().filter(|&&w| w > 0).count();
+        assert_eq!(busy, 1, "unsalted keys must land on one region: {writes:?}");
+        m.shutdown();
+    }
+
+    #[test]
+    fn compacted_blob_column_is_skipped_by_queries() {
+        let (m, t) = tsd(1, 2, true);
+        let tags = [("unit", "9")];
+        t.put("energy", &tags, 10, 5.0).unwrap();
+        t.put("energy", &tags, 3700, 6.0).unwrap(); // rollover compacts row 0
+        let s = t.query("energy", &QueryFilter::any(), 0, 4000).unwrap();
+        assert_eq!(s.len(), 1);
+        let vals: Vec<f64> = s[0].points.iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![5.0, 6.0]);
+        m.shutdown();
+    }
+
+    #[test]
+    fn split_points_bytes_are_salt_aligned() {
+        let (m, t) = tsd(2, 4, false);
+        let pts = t.codec().split_points();
+        assert_eq!(pts, vec![
+            Bytes::copy_from_slice(&[1]),
+            Bytes::copy_from_slice(&[2]),
+            Bytes::copy_from_slice(&[3]),
+        ]);
+        m.shutdown();
+    }
+}

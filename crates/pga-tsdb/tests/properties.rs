@@ -1,0 +1,129 @@
+//! Property tests for the TSDB layer: codec roundtrips, salt stability,
+//! and put/query equivalence against a naive model.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use pga_cluster::coordinator::Coordinator;
+use pga_minibase::{Client, Master, RegionConfig, ServerConfig, TableDescriptor};
+use pga_tsdb::{KeyCodec, KeyCodecConfig, QueryFilter, Tsd, TsdConfig, UidTable};
+
+fn codec(buckets: u8) -> KeyCodec {
+    KeyCodec::new(
+        KeyCodecConfig {
+            salt_buckets: buckets,
+            row_span_secs: 3600,
+        },
+        UidTable::new(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_roundtrip_any_point(
+        unit in 0u32..10_000,
+        sensor in 0u32..10_000,
+        ts in 0u64..100_000_000,
+        value in -1e12f64..1e12,
+        buckets in 1u8..32,
+    ) {
+        let c = codec(buckets);
+        let u = unit.to_string();
+        let s = sensor.to_string();
+        let tags = [("unit", u.as_str()), ("sensor", s.as_str())];
+        let row = c.row_key("energy", &tags, ts);
+        let point = c.decode(&row, &c.qualifier(ts), &c.value(value)).unwrap();
+        prop_assert_eq!(point.metric, "energy");
+        prop_assert_eq!(point.timestamp, ts);
+        prop_assert_eq!(point.value, value);
+        let tag_map: BTreeMap<_, _> = point.tags.into_iter().collect();
+        prop_assert_eq!(tag_map.get("unit").map(String::as_str), Some(u.as_str()));
+        prop_assert_eq!(tag_map.get("sensor").map(String::as_str), Some(s.as_str()));
+    }
+
+    #[test]
+    fn salt_is_stable_over_time_and_within_range(
+        unit in 0u32..1000,
+        sensor in 0u32..1000,
+        t1 in 0u64..10_000_000,
+        t2 in 0u64..10_000_000,
+        buckets in 1u8..32,
+    ) {
+        let c = codec(buckets);
+        let u = unit.to_string();
+        let s = sensor.to_string();
+        let tags = [("unit", u.as_str()), ("sensor", s.as_str())];
+        let r1 = c.row_key("energy", &tags, t1);
+        let r2 = c.row_key("energy", &tags, t2);
+        prop_assert_eq!(r1[0], r2[0], "series hops buckets");
+        prop_assert!(r1[0] < buckets);
+    }
+
+    #[test]
+    fn row_keys_order_by_time_within_series(
+        unit in 0u32..100,
+        hours in proptest::collection::vec(0u64..10_000, 2..8),
+        buckets in 1u8..8,
+    ) {
+        let c = codec(buckets);
+        let u = unit.to_string();
+        let tags = [("unit", u.as_str()), ("sensor", "0")];
+        let mut sorted = hours.clone();
+        sorted.sort_unstable();
+        let keys: Vec<_> = sorted.iter().map(|h| c.row_key("energy", &tags, h * 3600)).collect();
+        for w in keys.windows(2) {
+            prop_assert!(w[0] <= w[1], "later hour must not sort earlier");
+        }
+    }
+}
+
+proptest! {
+    // The full-stack model check is heavier: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn put_query_equals_naive_model(
+        points in proptest::collection::vec(
+            (0u32..4, 0u32..4, 0u64..8000, -100.0f64..100.0),
+            1..60
+        ),
+        buckets in 1u8..6,
+    ) {
+        let c = codec(buckets);
+        let coord = Coordinator::new(60_000);
+        let mut master = Master::bootstrap(2, ServerConfig::default(), coord, 0);
+        master.create_table(&TableDescriptor {
+            name: "t".into(),
+            split_points: c.split_points(),
+            region_config: RegionConfig::default(),
+        });
+        let tsd = Tsd::new(c, Client::connect(&master), TsdConfig::default());
+        // Model: (unit, sensor) → ts → value (last write wins).
+        let mut model: BTreeMap<(u32, u32), BTreeMap<u64, f64>> = BTreeMap::new();
+        for &(unit, sensor, ts, value) in &points {
+            let u = unit.to_string();
+            let s = sensor.to_string();
+            tsd.put("energy", &[("unit", &u), ("sensor", &s)], ts, value).unwrap();
+            model.entry((unit, sensor)).or_default().insert(ts, value);
+        }
+        let series = tsd.query("energy", &QueryFilter::any(), 0, 10_000).unwrap();
+        prop_assert_eq!(series.len(), model.len(), "series count");
+        for s in &series {
+            let unit: u32 = s.tags.get("unit").unwrap().parse().unwrap();
+            let sensor: u32 = s.tags.get("sensor").unwrap().parse().unwrap();
+            let m = &model[&(unit, sensor)];
+            prop_assert_eq!(s.points.len(), m.len(), "points for {}/{}", unit, sensor);
+            for p in &s.points {
+                prop_assert_eq!(m.get(&p.timestamp).copied(), Some(p.value));
+            }
+            // Ascending timestamps.
+            for w in s.points.windows(2) {
+                prop_assert!(w[0].timestamp < w[1].timestamp);
+            }
+        }
+        master.shutdown();
+    }
+}

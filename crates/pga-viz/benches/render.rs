@@ -1,0 +1,79 @@
+//! Dashboard rendering latency: the "interactive exploration" claim (§V)
+//! depends on pages building fast enough to serve on demand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pga_viz::{
+    detail_chart, fleet_overview_page, machine_page, sparkline, ChartConfig, FleetOverview,
+    Health, MachinePage, SensorPanel, UnitStatus,
+};
+
+fn points(n: u64) -> Vec<(u64, f64)> {
+    (0..n).map(|t| (t, 50.0 + ((t * 37) % 17) as f64 * 0.3)).collect()
+}
+
+fn page(panels: usize, pts: u64) -> MachinePage {
+    MachinePage {
+        unit: 80,
+        status: UnitStatus {
+            unit: 80,
+            health: Health::Warning,
+            flagged_sensors: 3,
+            last_anomaly: Some(pts / 2),
+        },
+        panels: (0..panels)
+            .map(|s| SensorPanel {
+                sensor: s as u32,
+                points: points(pts),
+                anomalies: if s % 4 == 0 { vec![pts / 2, pts / 2 + 1] } else { vec![] },
+            })
+            .collect(),
+        detail: Some(0),
+    }
+}
+
+fn bench_render(c: &mut Criterion) {
+    let cfg = ChartConfig::default();
+
+    let mut group = c.benchmark_group("charts");
+    group.sample_size(30);
+    for n in [100u64, 500] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::new("sparkline", n), &pts, |b, pts| {
+            b.iter(|| black_box(sparkline(black_box(pts), &[50, 51], 340, 48, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("detail_chart", n), &pts, |b, pts| {
+            b.iter(|| black_box(detail_chart("sensor", black_box(pts), &[50], 900, 260, &cfg)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pages");
+    group.sample_size(20);
+    for panels in [24usize, 96] {
+        let p = page(panels, 300);
+        group.bench_with_input(BenchmarkId::new("machine_page", panels), &p, |b, p| {
+            b.iter(|| black_box(machine_page(black_box(p))))
+        });
+    }
+    let overview = FleetOverview {
+        units: (0..100)
+            .map(|u| UnitStatus {
+                unit: u,
+                health: if u % 7 == 0 { Health::Critical } else { Health::Good },
+                flagged_sensors: (u % 7) as usize,
+                last_anomaly: Some(u as u64),
+            })
+            .collect(),
+        ingest_rate: 399_000.0,
+        eval_rate: 939_000.0,
+    };
+    group.bench_function("fleet_overview_100_units", |b| {
+        b.iter(|| black_box(fleet_overview_page(black_box(&overview))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_render);
+criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! Chart renderers: sensor sparklines and the drill-down detail chart.
+//!
+//! Mark specs follow the dataviz method: 2px series lines in one
+//! categorical hue, recessive 1px grid, anomaly markers ≥ 8px in the
+//! reserved *critical* status color with a 2px surface ring and a native
+//! `<title>` tooltip, text in ink tokens (never series colors).
+
+use crate::scale::LinearScale;
+use crate::svg::{document, el};
+
+/// Colors and geometry shared by the charts. Values reference the CSS
+/// custom properties defined by the dashboard pages, so light/dark mode
+/// swaps in one place.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Series stroke (categorical slot 1).
+    pub series_color: String,
+    /// Anomaly marker fill (reserved critical status color).
+    pub anomaly_color: String,
+    /// Grid/axis stroke.
+    pub grid_color: String,
+    /// Axis label ink.
+    pub label_color: String,
+    /// Chart surface (used for marker rings).
+    pub surface_color: String,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            series_color: "var(--series-1)".into(),
+            anomaly_color: "var(--status-critical)".into(),
+            grid_color: "var(--grid)".into(),
+            label_color: "var(--text-secondary)".into(),
+            surface_color: "var(--surface-1)".into(),
+        }
+    }
+}
+
+/// A compact sparkline: the per-sensor cell of the machine page grid.
+///
+/// `points` are `(timestamp, value)` ascending; `anomalies` are the
+/// timestamps flagged by the detector (must be a subset of the points'
+/// timestamps to be drawn). Returns a standalone `<svg>` fragment.
+pub fn sparkline(
+    points: &[(u64, f64)],
+    anomalies: &[u64],
+    width: u32,
+    height: u32,
+    cfg: &ChartConfig,
+) -> String {
+    let mut doc = document(width, height);
+    if points.is_empty() {
+        return doc.render();
+    }
+    let x = LinearScale::from_values(points.iter().map(|p| p.0 as f64), 2.0, width as f64 - 2.0, 0.0);
+    let y = LinearScale::from_values(
+        points.iter().map(|p| p.1),
+        height as f64 - 3.0,
+        3.0,
+        0.15,
+    );
+    let line_pts: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(t, v)| (x.map(t as f64), y.map(v)))
+        .collect();
+    doc = doc.child(
+        el::polyline(&line_pts)
+            .attr("stroke", &cfg.series_color)
+            .attr("stroke-width", "1.5")
+            .attr("stroke-linejoin", "round"),
+    );
+    let anomaly_set: std::collections::HashSet<u64> = anomalies.iter().copied().collect();
+    for &(t, v) in points {
+        if anomaly_set.contains(&t) {
+            doc = doc.child(
+                el::circle(x.map(t as f64), y.map(v), 3.5)
+                    .attr("fill", &cfg.anomaly_color)
+                    .attr("stroke", &cfg.surface_color)
+                    .attr("stroke-width", "2")
+                    .child(el::title(format!("anomaly at t={t}, value {v:.2}"))),
+            );
+        }
+    }
+    doc.render()
+}
+
+/// The drill-down detail chart: axes with ticks, the full series, anomaly
+/// markers with tooltips, and a caption. `title` names the sensor.
+pub fn detail_chart(
+    title: &str,
+    points: &[(u64, f64)],
+    anomalies: &[u64],
+    width: u32,
+    height: u32,
+    cfg: &ChartConfig,
+) -> String {
+    const M_LEFT: f64 = 48.0;
+    const M_RIGHT: f64 = 12.0;
+    const M_TOP: f64 = 28.0;
+    const M_BOTTOM: f64 = 28.0;
+    let mut doc = document(width, height);
+    // Title in primary ink.
+    doc = doc.child(
+        el::text(M_LEFT, 18.0, title)
+            .attr("fill", "var(--text-primary)")
+            .attr("font-size", "13")
+            .attr("font-weight", "600"),
+    );
+    if points.is_empty() {
+        return doc
+            .child(
+                el::text(width as f64 / 2.0, height as f64 / 2.0, "no data")
+                    .attr("fill", &cfg.label_color)
+                    .attr("text-anchor", "middle"),
+            )
+            .render();
+    }
+    let x = LinearScale::from_values(
+        points.iter().map(|p| p.0 as f64),
+        M_LEFT,
+        width as f64 - M_RIGHT,
+        0.0,
+    );
+    let y = LinearScale::from_values(
+        points.iter().map(|p| p.1),
+        height as f64 - M_BOTTOM,
+        M_TOP,
+        0.1,
+    );
+    // Recessive grid + tick labels in secondary ink.
+    let mut grid = el::group()
+        .attr("stroke", &cfg.grid_color)
+        .attr("stroke-width", "1");
+    let mut labels = el::group()
+        .attr("fill", &cfg.label_color)
+        .attr("font-size", "10");
+    for tick in y.ticks(4) {
+        let py = y.map(tick);
+        grid = grid.child(el::line(M_LEFT, py, width as f64 - M_RIGHT, py));
+        labels = labels.child(
+            el::text(M_LEFT - 6.0, py + 3.0, format!("{tick:.1}")).attr("text-anchor", "end"),
+        );
+    }
+    for tick in x.ticks(6) {
+        let px = x.map(tick);
+        labels = labels.child(
+            el::text(px, height as f64 - M_BOTTOM + 16.0, format!("{tick:.0}"))
+                .attr("text-anchor", "middle"),
+        );
+    }
+    doc = doc.child(grid).child(labels);
+    // Series line (2px per mark spec).
+    let line_pts: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(t, v)| (x.map(t as f64), y.map(v)))
+        .collect();
+    doc = doc.child(
+        el::polyline(&line_pts)
+            .attr("stroke", &cfg.series_color)
+            .attr("stroke-width", "2")
+            .attr("stroke-linejoin", "round"),
+    );
+    // Anomaly markers with tooltips and a surface ring.
+    let anomaly_set: std::collections::HashSet<u64> = anomalies.iter().copied().collect();
+    for &(t, v) in points {
+        if anomaly_set.contains(&t) {
+            doc = doc.child(
+                el::circle(x.map(t as f64), y.map(v), 4.5)
+                    .attr("fill", &cfg.anomaly_color)
+                    .attr("stroke", &cfg.surface_color)
+                    .attr("stroke-width", "2")
+                    .child(el::title(format!("anomaly at t={t}, value {v:.3}"))),
+            );
+        }
+    }
+    doc.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: u64) -> Vec<(u64, f64)> {
+        (0..n).map(|t| (t, (t as f64 * 0.3).sin())).collect()
+    }
+
+    #[test]
+    fn sparkline_contains_line_and_markers() {
+        let s = sparkline(&pts(50), &[10, 20], 320, 48, &ChartConfig::default());
+        assert!(s.contains("<polyline"));
+        assert_eq!(s.matches("<circle").count(), 2);
+        assert!(s.contains("anomaly at t=10"));
+        assert!(s.contains("var(--status-critical)"));
+    }
+
+    #[test]
+    fn sparkline_without_anomalies_has_no_markers() {
+        let s = sparkline(&pts(20), &[], 320, 48, &ChartConfig::default());
+        assert!(!s.contains("<circle"));
+    }
+
+    #[test]
+    fn empty_sparkline_is_valid_svg() {
+        let s = sparkline(&[], &[100], 320, 48, &ChartConfig::default());
+        assert!(s.starts_with("<svg"));
+        assert!(!s.contains("polyline"));
+    }
+
+    #[test]
+    fn anomaly_not_in_points_is_not_drawn() {
+        let s = sparkline(&pts(10), &[999], 320, 48, &ChartConfig::default());
+        assert!(!s.contains("<circle"));
+    }
+
+    #[test]
+    fn detail_chart_has_axes_title_and_markers() {
+        let s = detail_chart("sensor 917", &pts(100), &[30], 640, 240, &ChartConfig::default());
+        assert!(s.contains("sensor 917"));
+        assert!(s.contains("<line"), "grid lines expected");
+        assert!(s.contains("text-anchor"));
+        assert!(s.contains("anomaly at t=30"));
+        // Text wears ink tokens, not the series color.
+        assert!(s.contains("var(--text-secondary)"));
+    }
+
+    #[test]
+    fn detail_chart_empty_shows_placeholder() {
+        let s = detail_chart("s", &[], &[], 640, 240, &ChartConfig::default());
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn marker_coordinates_inside_viewbox() {
+        let s = sparkline(&pts(50), &[0, 49], 320, 48, &ChartConfig::default());
+        // Extract cx values and check bounds.
+        for cap in s.split("cx=\"").skip(1) {
+            let v: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=320.0).contains(&v), "cx {v} outside");
+        }
+        for cap in s.split("cy=\"").skip(1) {
+            let v: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=48.0).contains(&v), "cy {v} outside");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimal SVG document builder.
+//!
+//! Just enough structure to build the dashboard's charts with correct
+//! escaping — no external crates, no DOM.
+
+use std::fmt::Write;
+
+/// Escape a string for use in XML text content or attribute values.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// An SVG element under construction.
+#[derive(Debug, Clone)]
+pub struct Element {
+    tag: &'static str,
+    attributes: Vec<(String, String)>,
+    children: Vec<Element>,
+    text: Option<String>,
+}
+
+impl Element {
+    /// New element with the given tag.
+    pub fn new(tag: &'static str) -> Self {
+        Element {
+            tag,
+            attributes: Vec::new(),
+            children: Vec::new(),
+            text: None,
+        }
+    }
+
+    /// Add an attribute (builder style).
+    pub fn attr(mut self, name: &str, value: impl std::fmt::Display) -> Self {
+        self.attributes.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Add a child element.
+    pub fn child(mut self, child: Element) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Set text content (escaped on render).
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.text = Some(text.into());
+        self
+    }
+
+    /// Render to an SVG string fragment.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        write!(out, "<{}", self.tag).unwrap();
+        for (k, v) in &self.attributes {
+            write!(out, " {}=\"{}\"", k, escape(v)).unwrap();
+        }
+        if self.children.is_empty() && self.text.is_none() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        if let Some(t) = &self.text {
+            out.push_str(&escape(t));
+        }
+        for c in &self.children {
+            c.write_into(out);
+        }
+        write!(out, "</{}>", self.tag).unwrap();
+    }
+}
+
+/// A complete `<svg>` document of fixed pixel size.
+pub fn document(width: u32, height: u32) -> Element {
+    Element::new("svg")
+        .attr("xmlns", "http://www.w3.org/2000/svg")
+        .attr("width", width)
+        .attr("height", height)
+        .attr("viewBox", format!("0 0 {width} {height}"))
+        .attr("role", "img")
+}
+
+/// Shorthand constructors used by the charts.
+pub mod el {
+    use super::Element;
+
+    /// `<g>` group.
+    pub fn group() -> Element {
+        Element::new("g")
+    }
+
+    /// `<polyline>` through `(x, y)` points.
+    pub fn polyline(points: &[(f64, f64)]) -> Element {
+        let pts = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        Element::new("polyline").attr("points", pts).attr("fill", "none")
+    }
+
+    /// `<line>`.
+    pub fn line(x1: f64, y1: f64, x2: f64, y2: f64) -> Element {
+        Element::new("line")
+            .attr("x1", format!("{x1:.2}"))
+            .attr("y1", format!("{y1:.2}"))
+            .attr("x2", format!("{x2:.2}"))
+            .attr("y2", format!("{y2:.2}"))
+    }
+
+    /// `<circle>`.
+    pub fn circle(cx: f64, cy: f64, r: f64) -> Element {
+        Element::new("circle")
+            .attr("cx", format!("{cx:.2}"))
+            .attr("cy", format!("{cy:.2}"))
+            .attr("r", format!("{r:.2}"))
+    }
+
+    /// `<rect>`.
+    pub fn rect(x: f64, y: f64, w: f64, h: f64) -> Element {
+        Element::new("rect")
+            .attr("x", format!("{x:.2}"))
+            .attr("y", format!("{y:.2}"))
+            .attr("width", format!("{w:.2}"))
+            .attr("height", format!("{h:.2}"))
+    }
+
+    /// `<text>` at a position.
+    pub fn text(x: f64, y: f64, content: impl Into<String>) -> Element {
+        Element::new("text")
+            .attr("x", format!("{x:.2}"))
+            .attr("y", format!("{y:.2}"))
+            .text(content)
+    }
+
+    /// `<title>` (native tooltip).
+    pub fn title(content: impl Into<String>) -> Element {
+        Element::new("title").text(content)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_xml_specials() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&#39;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let e = Element::new("rect").attr("x", 1);
+        assert_eq!(e.render(), "<rect x=\"1\"/>");
+    }
+
+    #[test]
+    fn nested_elements_render_in_order() {
+        let e = el::group()
+            .child(el::line(0.0, 0.0, 1.0, 1.0))
+            .child(el::text(5.0, 6.0, "hi"));
+        let s = e.render();
+        assert!(s.starts_with("<g>"));
+        assert!(s.contains("<line"));
+        let line_pos = s.find("<line").unwrap();
+        let text_pos = s.find("<text").unwrap();
+        assert!(line_pos < text_pos);
+        assert!(s.ends_with("</g>"));
+    }
+
+    #[test]
+    fn text_content_is_escaped() {
+        let e = el::text(0.0, 0.0, "a<b & c");
+        assert!(e.render().contains("a&lt;b &amp; c"));
+    }
+
+    #[test]
+    fn attribute_values_are_escaped() {
+        let e = Element::new("text").attr("data-label", "x\"y<z");
+        assert!(e.render().contains("data-label=\"x&quot;y&lt;z\""));
+    }
+
+    #[test]
+    fn document_has_viewbox_and_ns() {
+        let d = document(320, 64);
+        let s = d.render();
+        assert!(s.contains("viewBox=\"0 0 320 64\""));
+        assert!(s.contains("xmlns=\"http://www.w3.org/2000/svg\""));
+    }
+
+    #[test]
+    fn polyline_formats_points() {
+        let p = el::polyline(&[(0.0, 1.5), (2.25, 3.0)]);
+        assert!(p.render().contains("points=\"0.00,1.50 2.25,3.00\""));
+    }
+}

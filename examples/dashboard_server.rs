@@ -1,0 +1,88 @@
+//! Serve the live dashboard and the OpenTSDB-compatible API over HTTP
+//! (§V-A: "a web application that is available on both desktop and mobile
+//! devices").
+//!
+//! Routes:
+//!   GET  /              — fleet overview
+//!   GET  /machine/<id>  — machine page (Figure 3)
+//!   POST /api/put       — OpenTSDB-style datapoint ingestion (JSON)
+//!   POST /api/query     — OpenTSDB-style range query (JSON)
+//!
+//! ```text
+//! cargo run --release --example dashboard_server            # serve 30 s on :8087
+//! PGA_SERVE_SECS=600 cargo run --release --example dashboard_server
+//!
+//! curl -XPOST localhost:8087/api/query \
+//!   -d '{"start":0,"end":700,"queries":[{"metric":"anomaly","tags":{}}]}'
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pga_platform::{Monitor, PlatformConfig};
+use pga_viz::server::{DashboardServer, HttpRequest, HttpResponse, RequestHandler};
+
+fn main() {
+    let mut config = PlatformConfig::demo(7);
+    config.fleet.units = 10;
+    config.fleet.sensors_per_unit = 48;
+    let mut monitor = Monitor::new(config).expect("valid config");
+    monitor.ingest_range(0, 700);
+    monitor.train(149).expect("train");
+    for t_eval in [400u64, 500, 600, 699] {
+        monitor.evaluate_at(t_eval).expect("evaluate");
+    }
+    let evaluated: u64 = 4 * 10 * 48 * 50;
+    let monitor = Arc::new(Mutex::new(monitor));
+
+    let routes: RequestHandler = {
+        let monitor = monitor.clone();
+        Arc::new(move |req: &HttpRequest| {
+            let m = monitor.lock();
+            match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/") => Some(HttpResponse::html(
+                    m.fleet_overview_html(evaluated as f64),
+                )),
+                ("GET", "/heatmap") => Some(HttpResponse::html(m.heatmap_html(0, 699, 50))),
+                ("GET", p) if p.starts_with("/machine/") => {
+                    let unit: u32 = p["/machine/".len()..].parse().ok()?;
+                    if unit >= m.config().fleet.units {
+                        return None;
+                    }
+                    m.machine_page_html(unit, 699, 300, 24)
+                        .ok()
+                        .map(HttpResponse::html)
+                }
+                ("POST", "/api/put") => Some(match pga_tsdb::handle_put(m.tsd(), &req.body) {
+                    Ok(n) => HttpResponse::json(format!("{{\"success\":{n}}}")),
+                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                }),
+                ("POST", "/api/query") => {
+                    Some(match pga_tsdb::handle_query(m.tsd(), &req.body) {
+                        Ok(json) => HttpResponse::json(json),
+                        Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                    })
+                }
+                _ => None,
+            }
+        })
+    };
+
+    let server = DashboardServer::start_with(8087, routes.clone())
+        .or_else(|_| DashboardServer::start_with(0, routes))
+        .expect("bind dashboard server");
+    println!("dashboard at http://{}/", server.addr());
+    println!("machine pages at http://{}/machine/<0..9>", server.addr());
+    println!("anomaly heatmap at http://{}/heatmap", server.addr());
+    println!("OpenTSDB-style API at http://{}/api/put and /api/query", server.addr());
+
+    let secs: u64 = std::env::var("PGA_SERVE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    println!("serving for {secs} seconds…");
+    std::thread::sleep(std::time::Duration::from_secs(secs));
+    server.stop();
+    monitor.lock().shutdown();
+}

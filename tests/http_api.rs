@@ -1,0 +1,152 @@
+//! End-to-end HTTP: the dashboard pages and the OpenTSDB-compatible JSON
+//! API served over a real socket.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pga_platform::{Monitor, PlatformConfig};
+use pga_viz::server::{DashboardServer, HttpRequest, HttpResponse, RequestHandler};
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let (head, body) = buf.split_once("\r\n\r\n").unwrap();
+    let status: u16 = head
+        .lines()
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    (status, body.to_string())
+}
+
+fn serving_monitor() -> (DashboardServer, Arc<Mutex<Monitor>>) {
+    let mut config = PlatformConfig::demo(55);
+    config.fleet.units = 4;
+    config.fleet.sensors_per_unit = 24;
+    let mut monitor = Monitor::new(config).unwrap();
+    monitor.ingest_range(0, 600);
+    monitor.train(149).unwrap();
+    monitor.evaluate_at(599).unwrap();
+    let monitor = Arc::new(Mutex::new(monitor));
+    let routes: RequestHandler = {
+        let monitor = monitor.clone();
+        Arc::new(move |req: &HttpRequest| {
+            let m = monitor.lock();
+            match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/") => Some(HttpResponse::html(m.fleet_overview_html(0.0))),
+                ("GET", "/heatmap") => Some(HttpResponse::html(m.heatmap_html(0, 599, 50))),
+                ("GET", p) if p.starts_with("/machine/") => {
+                    let unit: u32 = p["/machine/".len()..].parse().ok()?;
+                    m.machine_page_html(unit, 599, 100, 8)
+                        .ok()
+                        .map(HttpResponse::html)
+                }
+                ("POST", "/api/put") => Some(match pga_tsdb::handle_put(m.tsd(), &req.body) {
+                    Ok(n) => HttpResponse::json(format!("{{\"success\":{n}}}")),
+                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                }),
+                ("POST", "/api/query") => Some(match pga_tsdb::handle_query(m.tsd(), &req.body) {
+                    Ok(json) => HttpResponse::json(json),
+                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                }),
+                _ => None,
+            }
+        })
+    };
+    let server = DashboardServer::start_with(0, routes).unwrap();
+    (server, monitor)
+}
+
+#[test]
+fn dashboard_and_api_over_one_socket() {
+    let (server, monitor) = serving_monitor();
+    let addr = server.addr();
+
+    // Fleet overview.
+    let (status, body) = request(addr, "GET", "/", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("Fleet overview"));
+
+    // Machine page.
+    let (status, body) = request(addr, "GET", "/machine/0", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("Machine 0"));
+
+    // Heatmap page.
+    let (status, body) = request(addr, "GET", "/heatmap", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("Fleet anomaly heatmap"));
+    assert!(body.contains("<svg"));
+
+    // Query the raw sensor data that the pipeline ingested.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/api/query",
+        r#"{"start":0,"end":10,"queries":[{"metric":"energy","tags":{"unit":"1","sensor":"3"}}]}"#,
+    );
+    assert_eq!(status, 200);
+    let series: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(series.as_array().unwrap().len(), 1);
+    let dps = series[0]["dps"].as_object().unwrap();
+    assert_eq!(dps.len(), 11);
+    // Values match the generator exactly.
+    let expect = monitor.lock().fleet().sample(1, 3, 5);
+    assert!((dps["5"].as_f64().unwrap() - expect).abs() < 1e-12);
+
+    // Anomalies written back by the detector are visible through the API.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/api/query",
+        r#"{"start":0,"end":1000,"queries":[{"metric":"anomaly","tags":{}}]}"#,
+    );
+    assert_eq!(status, 200);
+    let series: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(
+        !series.as_array().unwrap().is_empty(),
+        "detector anomalies queryable over HTTP"
+    );
+
+    // Write through the API, read it back.
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/api/put",
+        r#"{"metric":"external","timestamp":42,"value":7.5,"tags":{"source":"curl"}}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/api/query",
+        r#"{"start":0,"end":100,"queries":[{"metric":"external","tags":{}}]}"#,
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("7.5"));
+
+    // Errors surface as OpenTSDB-style JSON with the right status.
+    let (status, body) = request(addr, "POST", "/api/query", "not json at all");
+    assert_eq!(status, 400);
+    assert!(body.contains("\"error\""));
+
+    let (status, _) = request(addr, "GET", "/machine/999", "");
+    assert_eq!(status, 404);
+
+    server.stop();
+    monitor.lock().shutdown();
+}
