@@ -81,9 +81,7 @@ fn bench_ablations(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("ingest_series", enabled),
             &enabled,
-            |bch, &en| {
-                bch.iter(|| black_box(pga_bench::compaction_ablation_single(2, 4, en)))
-            },
+            |bch, &en| bch.iter(|| black_box(pga_bench::compaction_ablation_single(2, 4, en))),
         );
     }
     group.finish();

@@ -35,7 +35,9 @@ fn bench_eval(c: &mut Criterion) {
             &sensors,
             |bch, _| bch.iter(|| black_box(ev.evaluate(black_box(&windows[0])))),
         );
-        group.throughput(Throughput::Elements(samples_per_window * windows.len() as u64));
+        group.throughput(Throughput::Elements(
+            samples_per_window * windows.len() as u64,
+        ));
         group.bench_with_input(
             BenchmarkId::new("parallel_batch16", sensors),
             &sensors,

@@ -22,11 +22,9 @@ fn bench_procedures(c: &mut Criterion) {
     let family = p_family(1000, 10, 1);
     group.throughput(Throughput::Elements(1000));
     for proc in Procedure::all() {
-        group.bench_with_input(
-            BenchmarkId::new(proc.name(), 1000),
-            &proc,
-            |bch, proc| bch.iter(|| black_box(proc.apply(black_box(&family), 0.05))),
-        );
+        group.bench_with_input(BenchmarkId::new(proc.name(), 1000), &proc, |bch, proc| {
+            bch.iter(|| black_box(proc.apply(black_box(&family), 0.05)))
+        });
     }
     group.finish();
 
@@ -43,8 +41,13 @@ fn bench_procedures(c: &mut Criterion) {
 
     // The quality table (who controls what, at what power).
     let rows = pga_bench::fdr_experiment(16, 64, 560, 0.5, 2024);
-    println!("\nE5: procedure comparison (16 units x 64 sensors, eval at t=560, truth floor 0.5σ):");
-    println!("{:<22} {:>12} {:>8} {:>8} {:>8}", "procedure", "false-alarms", "FDR", "FWER", "power");
+    println!(
+        "\nE5: procedure comparison (16 units x 64 sensors, eval at t=560, truth floor 0.5σ):"
+    );
+    println!(
+        "{:<22} {:>12} {:>8} {:>8} {:>8}",
+        "procedure", "false-alarms", "FDR", "FWER", "power"
+    );
     for r in &rows {
         println!(
             "{:<22} {:>12.2} {:>8.3} {:>8.3} {:>8.3}",

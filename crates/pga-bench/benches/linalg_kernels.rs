@@ -11,7 +11,9 @@ fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut x = seed | 1;
     let mut data = Vec::with_capacity(rows * cols);
     for _ in 0..rows * cols {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         data.push(((x >> 33) as f64) / (u32::MAX as f64) - 0.5);
     }
     Matrix::from_vec(rows, cols, data).unwrap()

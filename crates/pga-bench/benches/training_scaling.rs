@@ -21,7 +21,9 @@ fn bench_training(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("16x64_window150", workers),
             &workers,
-            |bch, _| bch.iter(|| black_box(train_fleet(black_box(&fleet), 150, &df, None).unwrap())),
+            |bch, _| {
+                bch.iter(|| black_box(train_fleet(black_box(&fleet), 150, &df, None).unwrap()))
+            },
         );
     }
     group.finish();
@@ -46,7 +48,10 @@ fn bench_training(c: &mut Criterion) {
     let rows = pga_bench::training_scaling_experiment(16, 64, 150, &[1, 2, 4, 8], 13);
     println!("\nE10 training scaling (16 units x 64 sensors):");
     for r in &rows {
-        println!("  {} workers: {:.3}s ({:.2}x)", r.workers, r.elapsed_secs, r.speedup);
+        println!(
+            "  {} workers: {:.3}s ({:.2}x)",
+            r.workers, r.elapsed_secs, r.speedup
+        );
     }
     println!();
 }

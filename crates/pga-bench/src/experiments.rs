@@ -384,7 +384,9 @@ pub fn detection_latency_experiment(
             total += 1;
             let spec = *fleet.fault(unit);
             let obs = fleet.observation_window(unit, 149, 150);
-            let Ok(model) = train_unit(unit, &obs) else { continue };
+            let Ok(model) = train_unit(unit, &obs) else {
+                continue;
+            };
             let mut det = pga_detect::CusumDetector::new(model, 0.5, 5.0);
             let p = fleet.config().sensors_per_unit;
             let mut detected_at = None;
@@ -449,7 +451,9 @@ pub fn window_ablation_experiment(
             for unit in fleet.units_with_class(FaultClass::SharpShift) {
                 let spec = *fleet.fault(unit);
                 let obs = fleet.observation_window(unit, 149, 150);
-                let Ok(model) = train_unit(unit, &obs) else { continue };
+                let Ok(model) = train_unit(unit, &obs) else {
+                    continue;
+                };
                 let ev = OnlineEvaluator::new(model, Procedure::BenjaminiHochberg, 0.05);
                 let mut t = spec.onset + 1;
                 while t <= spec.onset + 400 {
@@ -466,7 +470,9 @@ pub fn window_ablation_experiment(
             let mut healthy_windows = 0usize;
             for unit in fleet.units_with_class(FaultClass::Healthy) {
                 let obs = fleet.observation_window(unit, 149, 150);
-                let Ok(model) = train_unit(unit, &obs) else { continue };
+                let Ok(model) = train_unit(unit, &obs) else {
+                    continue;
+                };
                 let ev = OnlineEvaluator::new(model, Procedure::BenjaminiHochberg, 0.05);
                 for k in 0..4u64 {
                     let t = 600 + k * 100;

@@ -8,16 +8,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod elastic;
 pub mod experiments;
 pub mod table;
 
+pub use elastic::{elastic_scaling_experiment, ElasticScalingReport, ElasticScenarioRow};
 pub use experiments::{
     alpha_sweep_experiment, compaction_ablation, compaction_ablation_single,
-    detection_latency_experiment,
-    eval_throughput_experiment, fdr_experiment,
+    detection_latency_experiment, eval_throughput_experiment, fdr_experiment,
     fdr_weak_signal_experiment, fig2_report, pipeline_throughput_experiment,
-    training_scaling_experiment, window_ablation_experiment, CompactionRow, EvalThroughput,
-    AlphaSweepRow, FdrRow, Fig2Report, LatencyRow, PipelineThroughput, TrainingRow,
+    training_scaling_experiment, window_ablation_experiment, AlphaSweepRow, CompactionRow,
+    EvalThroughput, FdrRow, Fig2Report, LatencyRow, PipelineThroughput, TrainingRow,
     WindowAblationRow,
 };
 pub use table::render_table;

@@ -62,10 +62,7 @@ mod tests {
 
     #[test]
     fn ragged_rows_are_padded() {
-        let t = render_table(&[
-            vec!["a".into(), "b".into(), "c".into()],
-            vec!["1".into()],
-        ]);
+        let t = render_table(&[vec!["a".into(), "b".into(), "c".into()], vec!["1".into()]]);
         assert!(t.lines().count() == 3);
     }
 }

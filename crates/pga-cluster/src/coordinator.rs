@@ -7,10 +7,10 @@
 //! first-writer-wins leader election. Time is passed in explicitly (millis)
 //! so liveness tests are deterministic.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// A client session. Ephemeral znodes die with their session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,11 +52,83 @@ struct SessionState {
     expired: bool,
 }
 
+/// A namespace change observed through a [`WatchHandle`].
+///
+/// Mirrors ZooKeeper's persistent recursive watches: one registration keeps
+/// delivering every event under its prefix (no re-arming), which is what
+/// the control plane needs to track `/stats` and `/rs` churn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchEvent {
+    /// A znode was created under the watched prefix.
+    Created(String),
+    /// A znode's data changed; carries the new version.
+    DataChanged {
+        /// Path of the changed znode.
+        path: String,
+        /// Version after the change.
+        version: u64,
+    },
+    /// A znode was explicitly deleted.
+    Deleted(String),
+    /// An ephemeral znode vanished because its session lease lapsed.
+    SessionExpired(String),
+}
+
+impl WatchEvent {
+    /// The znode path the event refers to.
+    pub fn path(&self) -> &str {
+        match self {
+            WatchEvent::Created(p) | WatchEvent::Deleted(p) | WatchEvent::SessionExpired(p) => p,
+            WatchEvent::DataChanged { path, .. } => path,
+        }
+    }
+}
+
+/// Receiving side of a watch registration. Events accumulate until polled;
+/// dropping the handle unregisters the watch on the next delivery attempt.
+pub struct WatchHandle {
+    queue: Arc<Mutex<VecDeque<WatchEvent>>>,
+}
+
+impl WatchHandle {
+    /// Drain all events observed since the last poll, in delivery order.
+    pub fn poll(&self) -> Vec<WatchEvent> {
+        self.queue.lock().drain(..).collect()
+    }
+
+    /// Number of undelivered events.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
 #[derive(Default)]
 struct State {
     znodes: BTreeMap<String, Znode>,
     sessions: BTreeMap<SessionId, SessionState>,
     next_session: u64,
+    watches: Vec<(String, Weak<Mutex<VecDeque<WatchEvent>>>)>,
+}
+
+impl State {
+    /// Deliver `event` to every live watch whose prefix covers its path,
+    /// pruning watches whose handles were dropped.
+    fn fire(&mut self, event: WatchEvent) {
+        self.watches.retain(|(prefix, weak)| {
+            let Some(queue) = weak.upgrade() else {
+                return false;
+            };
+            let path = event.path();
+            let matches = prefix.is_empty()
+                || path == prefix
+                || (path.starts_with(prefix.as_str())
+                    && path.as_bytes().get(prefix.len()) == Some(&b'/'));
+            if matches {
+                queue.lock().push_back(event.clone());
+            }
+            true
+        });
+    }
 }
 
 /// The coordination service. Cheap to clone; all clones share state.
@@ -129,10 +201,24 @@ impl Coordinator {
                 .collect();
             for p in paths {
                 st.znodes.remove(&p);
+                st.fire(WatchEvent::SessionExpired(p.clone()));
                 removed.push(p);
             }
         }
         removed
+    }
+
+    /// Register a persistent recursive watch over `prefix` (empty string
+    /// watches the whole namespace). Events for every create, data change,
+    /// delete, and lease-expiry under the prefix are queued on the handle.
+    pub fn watch(&self, prefix: &str) -> WatchHandle {
+        let queue = Arc::new(Mutex::new(VecDeque::new()));
+        let prefix = prefix.trim_end_matches('/').to_string();
+        self.state
+            .lock()
+            .watches
+            .push((prefix, Arc::downgrade(&queue)));
+        WatchHandle { queue }
     }
 
     /// Create a persistent znode.
@@ -175,6 +261,7 @@ impl Coordinator {
                 ephemeral_owner: owner,
             },
         );
+        st.fire(WatchEvent::Created(path.to_string()));
         Ok(())
     }
 
@@ -196,7 +283,12 @@ impl Coordinator {
             .ok_or_else(|| CoordinatorError::NoNode(path.to_string()))?;
         z.data = data;
         z.version += 1;
-        Ok(z.version)
+        let version = z.version;
+        st.fire(WatchEvent::DataChanged {
+            path: path.to_string(),
+            version,
+        });
+        Ok(version)
     }
 
     /// Delete a znode.
@@ -204,8 +296,46 @@ impl Coordinator {
         let mut st = self.state.lock();
         st.znodes
             .remove(path)
-            .map(|_| ())
-            .ok_or_else(|| CoordinatorError::NoNode(path.to_string()))
+            .ok_or_else(|| CoordinatorError::NoNode(path.to_string()))?;
+        st.fire(WatchEvent::Deleted(path.to_string()));
+        Ok(())
+    }
+
+    /// Create the znode if absent, otherwise overwrite it. Returns the new
+    /// version (0 on create). This is the idiom stat-publishing uses every
+    /// tick, so it avoids the create-then-set race under one lock.
+    pub fn upsert_ephemeral(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        session: SessionId,
+    ) -> Result<u64, CoordinatorError> {
+        let mut st = self.state.lock();
+        match st.sessions.get(&session) {
+            Some(s) if !s.expired => {}
+            _ => return Err(CoordinatorError::SessionExpired(session)),
+        }
+        if let Some(z) = st.znodes.get_mut(path) {
+            z.data = data;
+            z.version += 1;
+            let version = z.version;
+            st.fire(WatchEvent::DataChanged {
+                path: path.to_string(),
+                version,
+            });
+            Ok(version)
+        } else {
+            st.znodes.insert(
+                path.to_string(),
+                Znode {
+                    data,
+                    version: 0,
+                    ephemeral_owner: Some(session),
+                },
+            );
+            st.fire(WatchEvent::Created(path.to_string()));
+            Ok(0)
+        }
     }
 
     /// List znodes directly under `prefix` (children, ZooKeeper-style).
@@ -275,14 +405,18 @@ mod tests {
     fn ephemeral_node_dies_with_lease() {
         let c = Coordinator::new(100);
         let s = c.connect(0);
-        c.create_ephemeral("/rs/node-1", b"alive".to_vec(), s).unwrap();
+        c.create_ephemeral("/rs/node-1", b"alive".to_vec(), s)
+            .unwrap();
         // Heartbeat keeps it alive.
         c.heartbeat(s, 80).unwrap();
         assert!(c.expire_stale_sessions(150).is_empty());
         // Silence past the lease kills it.
         let removed = c.expire_stale_sessions(300);
         assert_eq!(removed, vec!["/rs/node-1".to_string()]);
-        assert!(matches!(c.get("/rs/node-1"), Err(CoordinatorError::NoNode(_))));
+        assert!(matches!(
+            c.get("/rs/node-1"),
+            Err(CoordinatorError::NoNode(_))
+        ));
         // The dead session cannot heartbeat or create again.
         assert!(matches!(
             c.heartbeat(s, 301),
@@ -320,6 +454,80 @@ mod tests {
         c.heartbeat(s2, 500).unwrap();
         c.expire_stale_sessions(1400); // s1 silent for 1400ms > lease; s2 only 900ms
         assert!(c.elect_leader("/master", s2, b"two").unwrap());
+    }
+
+    #[test]
+    fn watch_sees_create_set_delete_under_prefix() {
+        let c = Coordinator::new(1000);
+        let w = c.watch("/rs");
+        c.create("/rs/a", b"x".to_vec()).unwrap();
+        c.create("/other", vec![]).unwrap(); // outside prefix: invisible
+        c.set("/rs/a", b"y".to_vec()).unwrap();
+        c.delete("/rs/a").unwrap();
+        assert_eq!(
+            w.poll(),
+            vec![
+                WatchEvent::Created("/rs/a".into()),
+                WatchEvent::DataChanged {
+                    path: "/rs/a".into(),
+                    version: 1
+                },
+                WatchEvent::Deleted("/rs/a".into()),
+            ]
+        );
+        assert!(w.poll().is_empty()); // drained
+    }
+
+    #[test]
+    fn watch_prefix_does_not_match_sibling_names() {
+        let c = Coordinator::new(1000);
+        let w = c.watch("/rs");
+        c.create("/rsx", vec![]).unwrap(); // same byte prefix, different node
+        assert!(w.poll().is_empty());
+    }
+
+    #[test]
+    fn watch_reports_lease_expiry_as_session_expired() {
+        let c = Coordinator::new(100);
+        let s = c.connect(0);
+        c.create_ephemeral("/stats/n1", b"{}".to_vec(), s).unwrap();
+        let w = c.watch("/stats");
+        c.expire_stale_sessions(500);
+        assert_eq!(
+            w.poll(),
+            vec![WatchEvent::SessionExpired("/stats/n1".into())]
+        );
+    }
+
+    #[test]
+    fn dropped_watch_is_pruned() {
+        let c = Coordinator::new(1000);
+        let w = c.watch("/a");
+        drop(w);
+        c.create("/a/x", vec![]).unwrap(); // must not panic or leak
+        let w2 = c.watch("/a");
+        c.create("/a/y", vec![]).unwrap();
+        assert_eq!(w2.pending(), 1);
+    }
+
+    #[test]
+    fn upsert_ephemeral_creates_then_updates() {
+        let c = Coordinator::new(1000);
+        let s = c.connect(0);
+        let w = c.watch("/stats");
+        assert_eq!(
+            c.upsert_ephemeral("/stats/n1", b"a".to_vec(), s).unwrap(),
+            0
+        );
+        assert_eq!(
+            c.upsert_ephemeral("/stats/n1", b"b".to_vec(), s).unwrap(),
+            1
+        );
+        assert_eq!(c.get("/stats/n1").unwrap().0, b"b".to_vec());
+        assert_eq!(w.poll().len(), 2);
+        // Ephemeral: dies with the session.
+        c.expire_stale_sessions(5000);
+        assert!(c.get("/stats/n1").is_err());
     }
 
     #[test]

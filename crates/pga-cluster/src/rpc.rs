@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam_channel::{bounded, Sender, TrySendError};
 
 /// Lifecycle of an RPC server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,8 +149,7 @@ impl RpcServerBuilder {
         Resp: Send + 'static,
         H: FnMut(Req) -> Resp + Send + 'static,
     {
-        let (tx, rx): (Sender<Envelope<Req, Resp>>, Receiver<Envelope<Req, Resp>>) =
-            bounded(self.queue_capacity);
+        let (tx, rx) = bounded::<Envelope<Req, Resp>>(self.queue_capacity);
         let shared = Arc::new(Shared {
             state: AtomicU8::new(0),
             stats: RpcStats::default(),
@@ -173,7 +172,10 @@ impl RpcServerBuilder {
                         .stats
                         .busy_ns
                         .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    worker_shared.stats.processed.fetch_add(1, Ordering::Relaxed);
+                    worker_shared
+                        .stats
+                        .processed
+                        .fetch_add(1, Ordering::Relaxed);
                     // Caller may have given up (or cast one-way); ignore
                     // send failures.
                     if let Some(reply) = env.reply {
@@ -244,6 +246,17 @@ impl<Req: Send + 'static, Resp: Send + 'static> RpcHandle<Req, Resp> {
     /// Nanoseconds the handler has been busy.
     pub fn busy_ns(&self) -> u64 {
         self.shared.stats.busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently waiting in the RPC queue — the telemetry signal
+    /// the control plane scales on (§III-B's overload precursor).
+    pub fn queue_depth(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Configured queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.tx.capacity().unwrap_or(usize::MAX)
     }
 
     /// Blocking call: waits for queue space (backpressure), then for the
@@ -374,7 +387,7 @@ mod tests {
             h.cast(i).unwrap();
         }
         drop(h.clone()); // clones do not end the service
-        // Drain by dropping the last handle; the thread then exits.
+                         // Drain by dropping the last handle; the thread then exits.
         let probe = h.clone();
         drop(h);
         // The queued casts are all processed before exit.

@@ -209,8 +209,7 @@ pub fn simulate_ingestion(
                         dropped += overflow;
                         // One strike per rejected RPC: a dropped batch of
                         // `samples_per_rpc` samples is one failed call.
-                        servers[s].overloads +=
-                            (overflow / cfg.samples_per_rpc).ceil() as u64;
+                        servers[s].overloads += (overflow / cfg.samples_per_rpc).ceil() as u64;
                         if servers[s].overloads >= cfg.crash_overflow_threshold {
                             servers[s].crashed = true;
                             // In-queue work dies with the server.
@@ -247,7 +246,7 @@ pub fn simulate_ingestion(
             ingested += done;
         }
         step += 1;
-        if step % snapshot_every == 0 {
+        if step.is_multiple_of(snapshot_every) {
             timeline.push((step as f64 * dt, ingested));
         }
         // Done when nothing is left anywhere (or everything left is stuck
@@ -318,17 +317,52 @@ mod tests {
     #[test]
     fn balanced_cluster_scales_linearly() {
         let w = 2_000_000.0;
-        let t10 = simulate_ingestion(&cfg(10), &uniform_shares(10), w, f64::INFINITY, ProxyMode::Buffered).throughput();
-        let t20 = simulate_ingestion(&cfg(20), &uniform_shares(20), w, f64::INFINITY, ProxyMode::Buffered).throughput();
-        let t30 = simulate_ingestion(&cfg(30), &uniform_shares(30), w, f64::INFINITY, ProxyMode::Buffered).throughput();
-        assert!(t20 / t10 > 1.8 && t20 / t10 < 2.2, "10→20 ratio {}", t20 / t10);
-        assert!(t30 / t10 > 2.7 && t30 / t10 < 3.3, "10→30 ratio {}", t30 / t10);
+        let t10 = simulate_ingestion(
+            &cfg(10),
+            &uniform_shares(10),
+            w,
+            f64::INFINITY,
+            ProxyMode::Buffered,
+        )
+        .throughput();
+        let t20 = simulate_ingestion(
+            &cfg(20),
+            &uniform_shares(20),
+            w,
+            f64::INFINITY,
+            ProxyMode::Buffered,
+        )
+        .throughput();
+        let t30 = simulate_ingestion(
+            &cfg(30),
+            &uniform_shares(30),
+            w,
+            f64::INFINITY,
+            ProxyMode::Buffered,
+        )
+        .throughput();
+        assert!(
+            t20 / t10 > 1.8 && t20 / t10 < 2.2,
+            "10→20 ratio {}",
+            t20 / t10
+        );
+        assert!(
+            t30 / t10 > 2.7 && t30 / t10 < 3.3,
+            "10→30 ratio {}",
+            t30 / t10
+        );
     }
 
     #[test]
     fn paper_calibration_reaches_399k_at_30_nodes() {
         let w = 4_000_000.0;
-        let r = simulate_ingestion(&cfg(30), &uniform_shares(30), w, f64::INFINITY, ProxyMode::Buffered);
+        let r = simulate_ingestion(
+            &cfg(30),
+            &uniform_shares(30),
+            w,
+            f64::INFINITY,
+            ProxyMode::Buffered,
+        );
         let t = r.throughput();
         assert!(t > 350_000.0 && t < 450_000.0, "throughput {t}");
         assert_eq!(r.crashes, 0);
@@ -346,7 +380,13 @@ mod tests {
             f64::INFINITY,
             ProxyMode::Buffered,
         );
-        let balanced = simulate_ingestion(&cfg(30), &uniform_shares(30), w, f64::INFINITY, ProxyMode::Buffered);
+        let balanced = simulate_ingestion(
+            &cfg(30),
+            &uniform_shares(30),
+            w,
+            f64::INFINITY,
+            ProxyMode::Buffered,
+        );
         // A 95% hotspot cannot beat ~1/0.95 of a single server's rate.
         assert!(hot.throughput() < balanced.throughput() / 10.0);
         assert!(hot.max_server_share() > 0.9);
@@ -415,7 +455,11 @@ mod tests {
         }
         // Steady-state slope between interior snapshots within 10% of mean throughput.
         let t = r.throughput();
-        for w in r.timeline.windows(2).take(r.timeline.len().saturating_sub(2)) {
+        for w in r
+            .timeline
+            .windows(2)
+            .take(r.timeline.len().saturating_sub(2))
+        {
             let slope = (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
             assert!((slope - t).abs() / t < 0.1, "slope {slope} vs {t}");
         }
@@ -436,8 +480,20 @@ mod tests {
 
     #[test]
     fn deterministic_repeatability() {
-        let a = simulate_ingestion(&cfg(7), &uniform_shares(7), 100_000.0, f64::INFINITY, ProxyMode::Buffered);
-        let b = simulate_ingestion(&cfg(7), &uniform_shares(7), 100_000.0, f64::INFINITY, ProxyMode::Buffered);
+        let a = simulate_ingestion(
+            &cfg(7),
+            &uniform_shares(7),
+            100_000.0,
+            f64::INFINITY,
+            ProxyMode::Buffered,
+        );
+        let b = simulate_ingestion(
+            &cfg(7),
+            &uniform_shares(7),
+            100_000.0,
+            f64::INFINITY,
+            ProxyMode::Buffered,
+        );
         assert_eq!(a.ingested, b.ingested);
         assert_eq!(a.duration_secs, b.duration_secs);
         assert_eq!(a.timeline, b.timeline);

@@ -1,0 +1,610 @@
+//! Deterministic elastic-cluster simulator — the E16 vehicle.
+//!
+//! Extends the fixed-fleet queueing model of [`pga_cluster::sim`] with a
+//! **mutable** server set driven by a [`ScalingPolicy`]: nodes are
+//! provisioned (with a delay), drained and decommissioned, or crash under
+//! §III-B overload, while an [`ArrivalPattern`] shapes the offered load.
+//! Everything is plain arithmetic on `f64` — no RNG, no wall clock — so a
+//! run is bit-for-bit reproducible, which the experiment harness and the
+//! policy tests rely on.
+//!
+//! Semantics mirror `simulate_ingestion`:
+//!
+//! * `ProxyMode::None` — writes are fired straight at the serving nodes;
+//!   queue overflow drops the RPC, charges an overload strike, and enough
+//!   strikes crash the node (in-queue work dies with it). Crashed nodes
+//!   keep receiving their routing share (clients don't know), which is
+//!   dropped.
+//! * `ProxyMode::Buffered` — arrivals wait in a shared proxy backlog and
+//!   are admitted only up to each node's free queue space, so nodes never
+//!   overflow; undersizing shows up as backlog growth instead of crashes.
+
+use pga_cluster::sim::{ProxyMode, SimClusterConfig};
+use pga_sensorgen::ArrivalPattern;
+use serde::{Deserialize, Serialize};
+
+use crate::policy::{ClusterObservation, ScalingDecision, ScalingPolicy};
+
+/// Configuration of an elastic run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticSimConfig {
+    /// Per-node calibration and the **initial** fleet size (`base.nodes`).
+    pub base: SimClusterConfig,
+    /// Seconds between a scale-out decision and the node serving traffic.
+    pub provision_delay_secs: f64,
+    /// Seconds between policy ticks.
+    pub control_interval_secs: f64,
+    /// Ingestion-tier admission mode.
+    pub proxy: ProxyMode,
+}
+
+impl ElasticSimConfig {
+    /// Paper-calibrated elastic config with `initial_nodes` servers.
+    pub fn paper_calibration(initial_nodes: usize) -> Self {
+        ElasticSimConfig {
+            base: SimClusterConfig::paper_calibration(initial_nodes),
+            provision_delay_secs: 5.0,
+            control_interval_secs: 1.0,
+            proxy: ProxyMode::Buffered,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// Paid for but not yet serving.
+    Provisioning,
+    /// Serving traffic.
+    Active,
+    /// Serving its residual queue only; no new arrivals.
+    Draining,
+    /// Fully decommissioned; no longer paid for.
+    Retired,
+    /// Crashed under overload (still paid for — the machine is wedged).
+    Crashed,
+}
+
+#[derive(Debug, Clone)]
+struct SimNode {
+    state: NodeState,
+    ready_at: f64,
+    queue: f64,
+    processed: f64,
+    dropped: f64,
+    overloads: u64,
+}
+
+/// One scaling action taken during a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// Virtual time of the decision.
+    pub t_secs: f64,
+    /// Decision in report form (`"scale_out(2)"` …).
+    pub action: String,
+    /// Active nodes when the decision fired.
+    pub active_before: usize,
+    /// Fleet size (active + provisioning + draining) after actuation.
+    pub fleet_after: usize,
+}
+
+/// ~1 Hz sample of the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Virtual time.
+    pub t_secs: f64,
+    /// Offered rate at this instant, samples/sec.
+    pub offered_rate: f64,
+    /// Nodes actively serving.
+    pub active_nodes: usize,
+    /// Samples waiting in the proxy backlog.
+    pub backlog: f64,
+    /// Cumulative samples ingested.
+    pub ingested: f64,
+}
+
+/// Outcome of one elastic run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElasticRunReport {
+    /// Arrival pattern description.
+    pub pattern: String,
+    /// Policy name.
+    pub policy: String,
+    /// Total samples offered.
+    pub offered: f64,
+    /// Samples ingested (including those drained after the offer window).
+    pub ingested: f64,
+    /// Samples dropped (overflow or lost in crashes).
+    pub dropped: f64,
+    /// Offer-window length in virtual seconds.
+    pub duration_secs: f64,
+    /// Extra seconds spent draining in-flight work after the window.
+    pub drain_secs: f64,
+    /// Nodes that crashed.
+    pub crashes: usize,
+    /// ∫ paid-nodes dt — the cost axis E16 compares on.
+    pub node_seconds: f64,
+    /// Peak simultaneously-active nodes.
+    pub peak_active_nodes: usize,
+    /// Active nodes at the end of the run.
+    pub final_active_nodes: usize,
+    /// Largest proxy backlog observed.
+    pub max_backlog: f64,
+    /// ~1 Hz samples.
+    pub timeline: Vec<TimelinePoint>,
+    /// Every non-hold decision.
+    pub scale_events: Vec<ScaleEvent>,
+}
+
+impl ElasticRunReport {
+    /// Mean ingest throughput over the offer window, samples/sec.
+    pub fn throughput(&self) -> f64 {
+        if self.duration_secs == 0.0 {
+            0.0
+        } else {
+            self.ingested / self.duration_secs
+        }
+    }
+
+    /// Samples ingested per paid node-second — the "samples/sec/node"
+    /// axis of the paper's Fig. 2 generalized to a changing fleet.
+    pub fn per_node_throughput(&self) -> f64 {
+        if self.node_seconds == 0.0 {
+            0.0
+        } else {
+            self.ingested / self.node_seconds
+        }
+    }
+
+    /// Fraction of offered samples successfully ingested.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered == 0.0 {
+            1.0
+        } else {
+            self.ingested / self.offered
+        }
+    }
+}
+
+/// Run `pattern` against an elastic cluster for `duration_secs` of offered
+/// load, letting `policy` resize the fleet once per control interval.
+/// After the offer window the simulator keeps draining in-flight work
+/// (bounded by `cfg.base.max_steps`) so `ingested + dropped` accounts for
+/// every offered sample unless the run wedges on crashed nodes.
+pub fn run_elastic(
+    cfg: &ElasticSimConfig,
+    pattern: &ArrivalPattern,
+    duration_secs: f64,
+    policy: &mut dyn ScalingPolicy,
+) -> ElasticRunReport {
+    assert!(cfg.base.nodes >= 1, "need at least one initial node");
+    assert!(cfg.control_interval_secs > 0.0 && cfg.base.dt_secs > 0.0);
+    let dt = cfg.base.dt_secs;
+    let rate = cfg.base.effective_rate();
+    let cap = cfg.base.queue_capacity;
+    let control_every = ((cfg.control_interval_secs / dt).round() as u64).max(1);
+    let snapshot_every = ((1.0 / dt).round() as u64).max(1);
+
+    let mut nodes: Vec<SimNode> = (0..cfg.base.nodes)
+        .map(|_| SimNode {
+            state: NodeState::Active,
+            ready_at: 0.0,
+            queue: 0.0,
+            processed: 0.0,
+            dropped: 0.0,
+            overloads: 0,
+        })
+        .collect();
+    let mut backlog = 0.0f64; // shared proxy buffer (Buffered mode)
+    let mut offered = 0.0f64;
+    let mut ingested = 0.0f64;
+    let mut dropped = 0.0f64;
+    let mut node_seconds = 0.0f64;
+    let mut max_backlog = 0.0f64;
+    let mut peak_active = 0usize;
+    let mut crashes_prev = 0usize;
+    let mut timeline = Vec::new();
+    let mut scale_events = Vec::new();
+    let mut tick = 0u64;
+    let mut ingested_at_prev_tick = 0.0f64;
+
+    let mut step = 0u64;
+    let offer_steps = (duration_secs / dt).round() as u64;
+    while step < cfg.base.max_steps {
+        let t = step as f64 * dt;
+
+        // 0. Provisioning nodes come online.
+        for n in nodes.iter_mut() {
+            if n.state == NodeState::Provisioning && t >= n.ready_at {
+                n.state = NodeState::Active;
+            }
+        }
+
+        let active: Vec<usize> = (0..nodes.len())
+            .filter(|&i| nodes[i].state == NodeState::Active)
+            .collect();
+        peak_active = peak_active.max(active.len());
+
+        // 1. Source offers work.
+        let offering = step < offer_steps;
+        let offer = if offering { pattern.rate(t) * dt } else { 0.0 };
+        offered += offer;
+
+        // 2. Route to nodes.
+        match cfg.proxy {
+            ProxyMode::Buffered => backlog += offer,
+            ProxyMode::None => {
+                // Clients spray uniformly over every node they believe is
+                // serving — active and crashed alike (they can't tell).
+                let targets: Vec<usize> = (0..nodes.len())
+                    .filter(|&i| matches!(nodes[i].state, NodeState::Active | NodeState::Crashed))
+                    .collect();
+                if !targets.is_empty() && offer > 0.0 {
+                    let share = offer / targets.len() as f64;
+                    for &i in &targets {
+                        let n = &mut nodes[i];
+                        if n.state == NodeState::Crashed {
+                            n.dropped += share;
+                            dropped += share;
+                            continue;
+                        }
+                        let room = (cap - n.queue).max(0.0);
+                        let admitted = share.min(room);
+                        let overflow = share - admitted;
+                        n.queue += admitted;
+                        if overflow > 0.0 {
+                            n.dropped += overflow;
+                            dropped += overflow;
+                            n.overloads += (overflow / cfg.base.samples_per_rpc).ceil() as u64;
+                            if n.overloads >= cfg.base.crash_overflow_threshold {
+                                n.state = NodeState::Crashed;
+                                n.dropped += n.queue;
+                                dropped += n.queue;
+                                n.queue = 0.0;
+                            }
+                        }
+                    }
+                } else if offer > 0.0 {
+                    dropped += offer; // nobody left to send to
+                }
+            }
+        }
+
+        // 3. Proxy admits backlog up to free queue space, spread evenly
+        //    over the active nodes (round-robin in the limit).
+        if cfg.proxy == ProxyMode::Buffered && backlog > 0.0 && !active.is_empty() {
+            let total_room: f64 = active
+                .iter()
+                .map(|&i| (cap - nodes[i].queue).max(0.0))
+                .sum();
+            let admit_total = backlog.min(total_room);
+            if admit_total > 0.0 && total_room > 0.0 {
+                for &i in &active {
+                    let room = (cap - nodes[i].queue).max(0.0);
+                    let admit = admit_total * room / total_room;
+                    nodes[i].queue += admit;
+                }
+                backlog -= admit_total;
+            }
+        }
+        max_backlog = max_backlog.max(backlog);
+
+        // 4. Serving nodes drain their queues.
+        for n in nodes.iter_mut() {
+            match n.state {
+                NodeState::Active | NodeState::Draining => {
+                    let done = n.queue.min(rate * dt);
+                    n.queue -= done;
+                    n.processed += done;
+                    ingested += done;
+                    if n.state == NodeState::Draining && n.queue < 1e-9 {
+                        n.state = NodeState::Retired;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // 5. Pay for every node that exists and isn't retired.
+        let paid = nodes
+            .iter()
+            .filter(|n| n.state != NodeState::Retired)
+            .count();
+        node_seconds += paid as f64 * dt;
+
+        step += 1;
+
+        // 6. Control tick.
+        if step.is_multiple_of(control_every) {
+            tick += 1;
+            let active_now: Vec<usize> = (0..nodes.len())
+                .filter(|&i| nodes[i].state == NodeState::Active)
+                .collect();
+            let crashes_now = nodes
+                .iter()
+                .filter(|n| n.state == NodeState::Crashed)
+                .count();
+            let mean_util = if active_now.is_empty() {
+                0.0
+            } else {
+                active_now
+                    .iter()
+                    .map(|&i| nodes[i].queue / cap)
+                    .sum::<f64>()
+                    / active_now.len() as f64
+            };
+            let backlog_pressure = if active_now.is_empty() {
+                if backlog > 0.0 {
+                    1e6 // everything is backlog; scale out hard
+                } else {
+                    0.0
+                }
+            } else {
+                backlog / (active_now.len() as f64 * rate * cfg.control_interval_secs)
+            };
+            let interval_capacity =
+                active_now.len().max(1) as f64 * rate * cfg.control_interval_secs;
+            let service_utilization =
+                ((ingested - ingested_at_prev_tick) / interval_capacity).min(1.0);
+            ingested_at_prev_tick = ingested;
+            let obs = ClusterObservation {
+                tick,
+                active_nodes: active_now.len(),
+                mean_queue_utilization: mean_util,
+                service_utilization,
+                backlog_pressure,
+                crashed_nodes: crashes_now - crashes_prev,
+            };
+            crashes_prev = crashes_now;
+            let decision = policy.observe(&obs);
+            match decision {
+                ScalingDecision::Hold => {}
+                ScalingDecision::ScaleOut(k) => {
+                    for _ in 0..k {
+                        nodes.push(SimNode {
+                            state: NodeState::Provisioning,
+                            ready_at: step as f64 * dt + cfg.provision_delay_secs,
+                            queue: 0.0,
+                            processed: 0.0,
+                            dropped: 0.0,
+                            overloads: 0,
+                        });
+                    }
+                    scale_events.push(ScaleEvent {
+                        t_secs: step as f64 * dt,
+                        action: decision.describe(),
+                        active_before: active_now.len(),
+                        fleet_after: nodes
+                            .iter()
+                            .filter(|n| !matches!(n.state, NodeState::Retired | NodeState::Crashed))
+                            .count(),
+                    });
+                }
+                ScalingDecision::ScaleIn(k) => {
+                    // Drain the highest-index active nodes (deterministic).
+                    let mut drained = 0usize;
+                    for i in (0..nodes.len()).rev() {
+                        if drained == k {
+                            break;
+                        }
+                        if nodes[i].state == NodeState::Active {
+                            nodes[i].state = NodeState::Draining;
+                            drained += 1;
+                        }
+                    }
+                    if drained > 0 {
+                        scale_events.push(ScaleEvent {
+                            t_secs: step as f64 * dt,
+                            action: decision.describe(),
+                            active_before: active_now.len(),
+                            fleet_after: nodes
+                                .iter()
+                                .filter(|n| {
+                                    !matches!(n.state, NodeState::Retired | NodeState::Crashed)
+                                })
+                                .count(),
+                        });
+                    }
+                }
+            }
+        }
+
+        if step.is_multiple_of(snapshot_every) {
+            timeline.push(TimelinePoint {
+                t_secs: step as f64 * dt,
+                offered_rate: if offering { pattern.rate(t) } else { 0.0 },
+                active_nodes: nodes
+                    .iter()
+                    .filter(|n| n.state == NodeState::Active)
+                    .count(),
+                backlog,
+                ingested,
+            });
+        }
+
+        // 7. Termination: offer window over and nothing in flight (or all
+        //    in-flight work is wedged behind crashed nodes).
+        if step >= offer_steps {
+            let live_flight: f64 = nodes
+                .iter()
+                .filter(|n| matches!(n.state, NodeState::Active | NodeState::Draining))
+                .map(|n| n.queue)
+                .sum::<f64>()
+                + if nodes.iter().any(|n| n.state == NodeState::Active) {
+                    backlog
+                } else {
+                    0.0
+                };
+            if live_flight < 1e-6 {
+                // Anything still queued on crashed nodes (or backlog with
+                // no active node to take it) is lost.
+                if !nodes.iter().any(|n| n.state == NodeState::Active) && backlog > 0.0 {
+                    dropped += backlog;
+                }
+                break;
+            }
+        }
+    }
+
+    let end = step as f64 * dt;
+    ElasticRunReport {
+        pattern: pattern.describe(),
+        policy: policy.name().to_string(),
+        offered,
+        ingested,
+        dropped,
+        duration_secs: duration_secs.min(end),
+        drain_secs: (end - duration_secs).max(0.0),
+        crashes: nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Crashed)
+            .count(),
+        node_seconds,
+        peak_active_nodes: peak_active,
+        final_active_nodes: nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Active)
+            .count(),
+        max_backlog,
+        timeline,
+        scale_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{HysteresisConfig, HysteresisPolicy, StaticPolicy};
+
+    fn cfg(initial: usize, proxy: ProxyMode) -> ElasticSimConfig {
+        let mut base = SimClusterConfig::paper_calibration(initial);
+        base.crash_overflow_threshold = 20;
+        ElasticSimConfig {
+            base,
+            provision_delay_secs: 3.0,
+            control_interval_secs: 1.0,
+            proxy,
+        }
+    }
+
+    fn surge() -> ArrivalPattern {
+        // 4 nodes ≈ 53k/s capacity: start comfortable, surge to ~2×.
+        ArrivalPattern::Step {
+            base: 30_000.0,
+            at_secs: 20.0,
+            to: 100_000.0,
+        }
+    }
+
+    fn autoscaler() -> HysteresisPolicy {
+        HysteresisPolicy::new(HysteresisConfig {
+            high_water: 0.5,
+            low_water: 0.1,
+            k_ticks: 2,
+            cooldown_ticks: 3,
+            ema_alpha: 0.6,
+            scale_out_step: 2,
+            scale_in_step: 1,
+            min_nodes: 2,
+            max_nodes: 16,
+        })
+    }
+
+    #[test]
+    fn autoscaler_absorbs_surge_without_crashes_or_drops() {
+        let mut p = autoscaler();
+        let r = run_elastic(&cfg(4, ProxyMode::Buffered), &surge(), 120.0, &mut p);
+        assert_eq!(r.crashes, 0);
+        assert_eq!(r.dropped, 0.0);
+        assert!(r.peak_active_nodes > 4, "never scaled out");
+        // Everything offered was eventually ingested.
+        assert!(
+            (r.ingested - r.offered).abs() < 1.0,
+            "lost {} samples",
+            r.offered - r.ingested
+        );
+        // Keeps up with the surge: mean throughput within 20% of offered.
+        assert!(r.delivery_ratio() > 0.99);
+        assert!(!r.scale_events.is_empty());
+    }
+
+    #[test]
+    fn static_undersized_cluster_crashes_under_surge() {
+        let mut p = StaticPolicy;
+        let r = run_elastic(&cfg(4, ProxyMode::None), &surge(), 120.0, &mut p);
+        assert!(r.crashes > 0, "expected §III-B crashes");
+        assert!(r.dropped > 0.0);
+        assert!(r.delivery_ratio() < 0.9);
+    }
+
+    #[test]
+    fn scale_in_fires_when_load_recedes_and_saves_node_seconds() {
+        // 60k/s on 10 nodes sits inside the deadband; the drop to 10k/s
+        // pushes utilization under the low-water mark.
+        let down = ArrivalPattern::Step {
+            base: 60_000.0,
+            at_secs: 40.0,
+            to: 10_000.0,
+        };
+        let mut auto_p = autoscaler();
+        let elastic = run_elastic(&cfg(10, ProxyMode::Buffered), &down, 160.0, &mut auto_p);
+        let mut static_p = StaticPolicy;
+        let fixed = run_elastic(&cfg(10, ProxyMode::Buffered), &down, 160.0, &mut static_p);
+        assert!(elastic
+            .scale_events
+            .iter()
+            .any(|e| e.action.starts_with("scale_in")));
+        assert!(elastic.final_active_nodes < 10);
+        assert!(
+            elastic.node_seconds < fixed.node_seconds,
+            "elastic {} vs static {}",
+            elastic.node_seconds,
+            fixed.node_seconds
+        );
+        assert_eq!(elastic.crashes, 0);
+        assert_eq!(elastic.dropped, 0.0);
+    }
+
+    #[test]
+    fn provisioning_delay_is_respected() {
+        let mut p = autoscaler();
+        let r = run_elastic(&cfg(2, ProxyMode::Buffered), &surge(), 80.0, &mut p);
+        let first_out = r
+            .scale_events
+            .iter()
+            .find(|e| e.action.starts_with("scale_out"))
+            .expect("must scale out");
+        // No timeline point shows more active nodes until the delay passed.
+        for pt in &r.timeline {
+            if pt.t_secs < first_out.t_secs + 3.0 {
+                assert!(pt.active_nodes <= first_out.active_before);
+            }
+        }
+        assert!(r.peak_active_nodes > first_out.active_before);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut p1 = autoscaler();
+        let mut p2 = autoscaler();
+        let a = run_elastic(&cfg(4, ProxyMode::Buffered), &surge(), 90.0, &mut p1);
+        let b = run_elastic(&cfg(4, ProxyMode::Buffered), &surge(), 90.0, &mut p2);
+        assert_eq!(a.ingested, b.ingested);
+        assert_eq!(a.node_seconds, b.node_seconds);
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.scale_events, b.scale_events);
+    }
+
+    #[test]
+    fn conservation_offered_equals_ingested_plus_dropped_plus_backlog() {
+        for proxy in [ProxyMode::Buffered, ProxyMode::None] {
+            let mut p = autoscaler();
+            let r = run_elastic(&cfg(4, proxy), &surge(), 60.0, &mut p);
+            let accounted = r.ingested + r.dropped;
+            assert!(
+                (r.offered - accounted).abs() < 1.0,
+                "{proxy:?}: offered {} vs accounted {accounted}",
+                r.offered
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Elastic control plane for the power-grid ingestion architecture.
+//!
+//! The paper provisions its HBase/OpenTSDB cluster statically (29 region
+//! servers, §III-A) and demonstrates both linear scale-up (~11k samples
+//! /sec/node, Fig. 2) and the failure mode of undersizing: unthrottled
+//! writes overflow a region server's RPC queue until it crashes (§III-B).
+//! This crate closes the loop between those two observations: it watches
+//! per-node telemetry and grows or shrinks the cluster so the fleet stays
+//! on the linear-scaling line without entering the overload regime.
+//!
+//! Three layers:
+//!
+//! * [`telemetry`] — a lock-free metrics registry embedded in each node,
+//!   published as ephemeral znodes under `/stats` in the coordinator and
+//!   scraped into a [`telemetry::FleetSnapshot`];
+//! * [`policy`] — the pluggable [`policy::ScalingPolicy`] trait with a
+//!   hysteresis default (EMA smoothing, high/low water marks, K
+//!   consecutive ticks, cooldown) plus a hot-region detector proposing
+//!   migrations;
+//! * [`elastic`] — a deterministic discrete-time elastic-cluster simulator
+//!   (the E16 vehicle) and [`controller`] — the same loop run against the
+//!   real in-process [`pga_minibase::Master`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod elastic;
+pub mod policy;
+pub mod telemetry;
+
+pub use controller::{ControlReport, ElasticController};
+pub use elastic::{run_elastic, ElasticRunReport, ElasticSimConfig, ScaleEvent};
+pub use policy::{
+    ClusterObservation, HysteresisConfig, HysteresisPolicy, ScalingDecision, ScalingPolicy,
+    StaticPolicy,
+};
+pub use telemetry::{FleetSnapshot, MetricsRegistry, NodeStats};

@@ -1,0 +1,472 @@
+//! Scaling policies: the pluggable decision layer between telemetry and
+//! actuation.
+//!
+//! The default [`HysteresisPolicy`] implements the classic control-loop
+//! guardrails: the raw load signal (queue occupancy ∪ backlog pressure) is
+//! smoothed with an EMA, a scale-out fires only after the smoothed signal
+//! has sat above the high-water mark for `k_ticks` **consecutive** ticks,
+//! scale-in analogously below the low-water mark, and every action starts
+//! a cooldown during which the policy holds. Together these prevent the
+//! flapping a naive threshold policy exhibits on noisy telemetry.
+
+use serde::{Deserialize, Serialize};
+
+/// What a policy sees each control tick, distilled from a
+/// [`crate::telemetry::FleetSnapshot`] or the elastic simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterObservation {
+    /// Control tick number.
+    pub tick: u64,
+    /// Nodes currently serving traffic (active, not draining/crashed).
+    pub active_nodes: usize,
+    /// Mean queue occupancy across active nodes, `[0, 1]`.
+    pub mean_queue_utilization: f64,
+    /// Fraction of the fleet's aggregate service capacity spent since the
+    /// previous tick, `[0, 1]` — the CPU-utilization analog.
+    pub service_utilization: f64,
+    /// Samples buffered upstream (proxy backlog) per unit of aggregate
+    /// per-interval service capacity — 0 when the fleet keeps up, grows
+    /// past 1 as the proxy falls behind by whole control intervals.
+    pub backlog_pressure: f64,
+    /// Nodes that crashed since the previous tick.
+    pub crashed_nodes: usize,
+}
+
+impl ClusterObservation {
+    /// The scalar load signal policies smooth and threshold: the worst of
+    /// service utilization, queue occupancy and upstream backlog pressure.
+    /// A fleet that keeps up sits at its service utilization; saturation
+    /// pushes the signal past 1 through the queue/backlog terms.
+    pub fn load_signal(&self) -> f64 {
+        self.service_utilization
+            .max(self.mean_queue_utilization)
+            .max(self.backlog_pressure)
+    }
+}
+
+/// A policy's verdict for one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingDecision {
+    /// Keep the current fleet.
+    Hold,
+    /// Provision this many additional nodes.
+    ScaleOut(usize),
+    /// Drain and decommission this many nodes.
+    ScaleIn(usize),
+}
+
+impl ScalingDecision {
+    /// Report form, e.g. `"scale_out(2)"`.
+    pub fn describe(&self) -> String {
+        match self {
+            ScalingDecision::Hold => "hold".to_string(),
+            ScalingDecision::ScaleOut(n) => format!("scale_out({n})"),
+            ScalingDecision::ScaleIn(n) => format!("scale_in({n})"),
+        }
+    }
+}
+
+/// A scaling policy: observes the cluster once per control tick and emits
+/// a decision. Implementations must be deterministic — same observation
+/// sequence, same decisions — so experiment runs are reproducible.
+pub trait ScalingPolicy {
+    /// Observe one tick and decide.
+    fn observe(&mut self, obs: &ClusterObservation) -> ScalingDecision;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Never scales — the paper's static provisioning, used as the E16
+/// baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StaticPolicy;
+
+impl ScalingPolicy for StaticPolicy {
+    fn observe(&mut self, _obs: &ClusterObservation) -> ScalingDecision {
+        ScalingDecision::Hold
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Tunables for [`HysteresisPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HysteresisConfig {
+    /// Smoothed load above this arms scale-out.
+    pub high_water: f64,
+    /// Smoothed load below this arms scale-in.
+    pub low_water: f64,
+    /// Consecutive ticks beyond a mark before acting.
+    pub k_ticks: u32,
+    /// Ticks to hold after any action.
+    pub cooldown_ticks: u32,
+    /// EMA smoothing factor in `(0, 1]`; 1 = no smoothing.
+    pub ema_alpha: f64,
+    /// Nodes added per scale-out.
+    pub scale_out_step: usize,
+    /// Nodes removed per scale-in.
+    pub scale_in_step: usize,
+    /// Fleet floor.
+    pub min_nodes: usize,
+    /// Fleet ceiling.
+    pub max_nodes: usize,
+}
+
+impl Default for HysteresisConfig {
+    fn default() -> Self {
+        HysteresisConfig {
+            high_water: 0.75,
+            low_water: 0.25,
+            k_ticks: 3,
+            cooldown_ticks: 5,
+            ema_alpha: 0.5,
+            scale_out_step: 2,
+            scale_in_step: 1,
+            min_nodes: 1,
+            max_nodes: 64,
+        }
+    }
+}
+
+/// EMA + high/low water marks + K consecutive ticks + cooldown.
+#[derive(Debug, Clone)]
+pub struct HysteresisPolicy {
+    cfg: HysteresisConfig,
+    ema: Option<f64>,
+    above: u32,
+    below: u32,
+    cooldown: u32,
+}
+
+impl HysteresisPolicy {
+    /// Policy with the given tunables.
+    ///
+    /// # Panics
+    /// Panics on inverted water marks, `ema_alpha` outside `(0, 1]`,
+    /// `k_ticks == 0`, or an empty `[min_nodes, max_nodes]` interval.
+    pub fn new(cfg: HysteresisConfig) -> Self {
+        assert!(cfg.low_water < cfg.high_water, "water marks inverted");
+        assert!(
+            cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0,
+            "alpha in (0,1]"
+        );
+        assert!(cfg.k_ticks >= 1, "k_ticks must be at least 1");
+        assert!(cfg.min_nodes >= 1 && cfg.min_nodes <= cfg.max_nodes);
+        HysteresisPolicy {
+            cfg,
+            ema: None,
+            above: 0,
+            below: 0,
+            cooldown: 0,
+        }
+    }
+
+    /// Current smoothed load (None before the first observation).
+    pub fn smoothed(&self) -> Option<f64> {
+        self.ema
+    }
+}
+
+impl ScalingPolicy for HysteresisPolicy {
+    fn observe(&mut self, obs: &ClusterObservation) -> ScalingDecision {
+        let raw = obs.load_signal();
+        let ema = match self.ema {
+            None => raw,
+            Some(prev) => self.cfg.ema_alpha * raw + (1.0 - self.cfg.ema_alpha) * prev,
+        };
+        self.ema = Some(ema);
+
+        if ema > self.cfg.high_water {
+            self.above += 1;
+            self.below = 0;
+        } else if ema < self.cfg.low_water {
+            self.below += 1;
+            self.above = 0;
+        } else {
+            self.above = 0;
+            self.below = 0;
+        }
+
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return ScalingDecision::Hold;
+        }
+
+        if self.above >= self.cfg.k_ticks && obs.active_nodes < self.cfg.max_nodes {
+            let step = self
+                .cfg
+                .scale_out_step
+                .min(self.cfg.max_nodes - obs.active_nodes);
+            self.above = 0;
+            self.cooldown = self.cfg.cooldown_ticks;
+            return ScalingDecision::ScaleOut(step);
+        }
+        if self.below >= self.cfg.k_ticks && obs.active_nodes > self.cfg.min_nodes {
+            let step = self
+                .cfg
+                .scale_in_step
+                .min(obs.active_nodes - self.cfg.min_nodes);
+            self.below = 0;
+            self.cooldown = self.cfg.cooldown_ticks;
+            return ScalingDecision::ScaleIn(step);
+        }
+        ScalingDecision::Hold
+    }
+
+    fn name(&self) -> &'static str {
+        "hysteresis"
+    }
+}
+
+/// Per-region load sample for hot-region detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionLoad {
+    /// Region id (numeric form).
+    pub region: u64,
+    /// Hosting node.
+    pub node: u32,
+    /// Fraction of the fleet's writes hitting this region, `[0, 1]`.
+    pub write_share: f64,
+}
+
+/// A proposed region migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationProposal {
+    /// Region to move.
+    pub region: u64,
+    /// Current host.
+    pub from: u32,
+    /// Suggested destination (the least-loaded node).
+    pub to: u32,
+}
+
+/// Detects nodes whose aggregate write share exceeds `tolerance × fair`
+/// (fair = 1/nodes) and proposes moving their hottest region to the
+/// least-loaded node — the control plane's answer to residual key skew
+/// left after the salting mitigation of §III-B.
+#[derive(Debug, Clone, Copy)]
+pub struct HotRegionDetector {
+    /// A node is hot when its share exceeds `tolerance / nodes`.
+    pub tolerance: f64,
+}
+
+impl Default for HotRegionDetector {
+    fn default() -> Self {
+        // 2× the fair share before we shuffle regions around.
+        HotRegionDetector { tolerance: 2.0 }
+    }
+}
+
+impl HotRegionDetector {
+    /// Propose at most one migration per call (move, remeasure, repeat —
+    /// migrations are not free). Deterministic: ties break toward the
+    /// first node in `nodes` order and the first region in `loads` order.
+    pub fn detect(&self, loads: &[RegionLoad], nodes: &[u32]) -> Option<MigrationProposal> {
+        if nodes.len() < 2 || loads.is_empty() {
+            return None;
+        }
+        let mut per_node: Vec<(u32, f64)> = nodes.iter().map(|&n| (n, 0.0)).collect();
+        for l in loads {
+            if let Some(e) = per_node.iter_mut().find(|(n, _)| *n == l.node) {
+                e.1 += l.write_share;
+            }
+        }
+        let fair = 1.0 / nodes.len() as f64;
+        let &(hot_node, hot_share) = per_node
+            .iter()
+            .reduce(|a, b| if b.1 > a.1 { b } else { a })?;
+        if hot_share <= self.tolerance * fair {
+            return None;
+        }
+        let &(cold_node, _) = per_node
+            .iter()
+            .reduce(|a, b| if b.1 < a.1 { b } else { a })?;
+        if cold_node == hot_node {
+            return None;
+        }
+        // Hottest region on the hot node.
+        let hottest = loads.iter().filter(|l| l.node == hot_node).reduce(|a, b| {
+            if b.write_share > a.write_share {
+                b
+            } else {
+                a
+            }
+        })?;
+        Some(MigrationProposal {
+            region: hottest.region,
+            from: hot_node,
+            to: cold_node,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(tick: u64, nodes: usize, load: f64) -> ClusterObservation {
+        ClusterObservation {
+            tick,
+            active_nodes: nodes,
+            mean_queue_utilization: load,
+            service_utilization: 0.0,
+            backlog_pressure: 0.0,
+            crashed_nodes: 0,
+        }
+    }
+
+    #[test]
+    fn scale_out_needs_k_consecutive_ticks() {
+        let mut p = HysteresisPolicy::new(HysteresisConfig {
+            k_ticks: 3,
+            ema_alpha: 1.0,
+            cooldown_ticks: 0,
+            ..HysteresisConfig::default()
+        });
+        assert_eq!(p.observe(&obs(0, 4, 0.9)), ScalingDecision::Hold);
+        assert_eq!(p.observe(&obs(1, 4, 0.9)), ScalingDecision::Hold);
+        // A dip resets the streak.
+        assert_eq!(p.observe(&obs(2, 4, 0.5)), ScalingDecision::Hold);
+        assert_eq!(p.observe(&obs(3, 4, 0.9)), ScalingDecision::Hold);
+        assert_eq!(p.observe(&obs(4, 4, 0.9)), ScalingDecision::Hold);
+        assert_eq!(p.observe(&obs(5, 4, 0.9)), ScalingDecision::ScaleOut(2));
+    }
+
+    #[test]
+    fn cooldown_blocks_back_to_back_actions() {
+        let mut p = HysteresisPolicy::new(HysteresisConfig {
+            k_ticks: 1,
+            cooldown_ticks: 3,
+            ema_alpha: 1.0,
+            ..HysteresisConfig::default()
+        });
+        assert_eq!(p.observe(&obs(0, 4, 0.9)), ScalingDecision::ScaleOut(2));
+        // Still hot, but cooling down.
+        assert_eq!(p.observe(&obs(1, 6, 0.9)), ScalingDecision::Hold);
+        assert_eq!(p.observe(&obs(2, 6, 0.9)), ScalingDecision::Hold);
+        assert_eq!(p.observe(&obs(3, 6, 0.9)), ScalingDecision::Hold);
+        assert_eq!(p.observe(&obs(4, 6, 0.9)), ScalingDecision::ScaleOut(2));
+    }
+
+    #[test]
+    fn oscillating_load_between_marks_never_flaps() {
+        // Load oscillates inside the deadband: no decision ever fires.
+        let mut p = HysteresisPolicy::new(HysteresisConfig {
+            k_ticks: 2,
+            cooldown_ticks: 2,
+            ema_alpha: 0.5,
+            ..HysteresisConfig::default()
+        });
+        for t in 0..100 {
+            let load = if t % 2 == 0 { 0.35 } else { 0.65 };
+            assert_eq!(p.observe(&obs(t, 4, load)), ScalingDecision::Hold);
+        }
+    }
+
+    #[test]
+    fn ema_smooths_single_tick_spikes() {
+        let mut p = HysteresisPolicy::new(HysteresisConfig {
+            k_ticks: 1,
+            cooldown_ticks: 0,
+            ema_alpha: 0.2,
+            ..HysteresisConfig::default()
+        });
+        // One huge spike in otherwise calm load: EMA stays under the mark.
+        assert_eq!(p.observe(&obs(0, 4, 0.4)), ScalingDecision::Hold);
+        assert_eq!(p.observe(&obs(1, 4, 1.0)), ScalingDecision::Hold);
+        assert!(p.smoothed().unwrap() < 0.75);
+    }
+
+    #[test]
+    fn scale_in_respects_min_nodes() {
+        let mut p = HysteresisPolicy::new(HysteresisConfig {
+            k_ticks: 1,
+            cooldown_ticks: 0,
+            ema_alpha: 1.0,
+            min_nodes: 2,
+            ..HysteresisConfig::default()
+        });
+        assert_eq!(p.observe(&obs(0, 3, 0.05)), ScalingDecision::ScaleIn(1));
+        assert_eq!(p.observe(&obs(1, 2, 0.05)), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn scale_out_respects_max_nodes() {
+        let mut p = HysteresisPolicy::new(HysteresisConfig {
+            k_ticks: 1,
+            cooldown_ticks: 0,
+            ema_alpha: 1.0,
+            max_nodes: 5,
+            scale_out_step: 4,
+            ..HysteresisConfig::default()
+        });
+        assert_eq!(p.observe(&obs(0, 4, 0.9)), ScalingDecision::ScaleOut(1));
+        assert_eq!(p.observe(&obs(1, 5, 0.9)), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let run = || {
+            let mut p = HysteresisPolicy::new(HysteresisConfig::default());
+            (0..50)
+                .map(|t| {
+                    let load = 0.5 + 0.5 * ((t as f64) / 7.0).sin().abs();
+                    p.observe(&obs(t, 4 + (t as usize % 3), load))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hot_region_detector_moves_hottest_region_to_coldest_node() {
+        let det = HotRegionDetector::default();
+        let loads = vec![
+            RegionLoad {
+                region: 1,
+                node: 0,
+                write_share: 0.5,
+            },
+            RegionLoad {
+                region: 2,
+                node: 0,
+                write_share: 0.3,
+            },
+            RegionLoad {
+                region: 3,
+                node: 1,
+                write_share: 0.15,
+            },
+            RegionLoad {
+                region: 4,
+                node: 2,
+                write_share: 0.05,
+            },
+        ];
+        let p = det.detect(&loads, &[0, 1, 2]).unwrap();
+        assert_eq!(
+            p,
+            MigrationProposal {
+                region: 1,
+                from: 0,
+                to: 2
+            }
+        );
+    }
+
+    #[test]
+    fn balanced_cluster_yields_no_proposal() {
+        let det = HotRegionDetector::default();
+        let loads: Vec<RegionLoad> = (0..6)
+            .map(|i| RegionLoad {
+                region: i,
+                node: (i % 3) as u32,
+                write_share: 1.0 / 6.0,
+            })
+            .collect();
+        assert!(det.detect(&loads, &[0, 1, 2]).is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! Per-node telemetry: a lock-free metrics registry, its serialized
+//! snapshot form, and fleet-wide scraping through the coordinator.
+//!
+//! Each node embeds a [`MetricsRegistry`] (atomic counters, gauges and a
+//! power-of-two histogram — nothing on the hot path takes a lock) and
+//! periodically publishes a [`NodeStats`] snapshot to the coordinator as
+//! an **ephemeral** znode under `/stats/<node>`, bound to the node's
+//! session. A node that dies takes its stat znode with it, so the control
+//! plane's [`FleetSnapshot::scrape`] view never contains ghosts, and the
+//! coordinator's watch API streams churn under `/stats` without polling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use pga_cluster::coordinator::{Coordinator, CoordinatorError, SessionId};
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values in
+/// `[2^i, 2^(i+1))`, with bucket 0 also holding zeros and ones.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Lock-free power-of-two histogram for hot-path recordings (batch sizes,
+/// queue depths at admission).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        let bucket = (64usize - value.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recordings.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (approximate,
+    /// within 2× of the true value). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Lock-free per-node metrics. Counters only go up; gauges are set to the
+/// latest value. One registry lives in each region-server/TSD pairing and
+/// one in the ingest proxy.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Gauge: requests waiting in the node's RPC queue right now.
+    pub queue_depth: AtomicU64,
+    /// Gauge: configured RPC queue capacity.
+    pub queue_capacity: AtomicU64,
+    /// Counter: samples durably written by this node.
+    pub samples_written: AtomicU64,
+    /// Gauge: bytes held in memstores.
+    pub memstore_bytes: AtomicU64,
+    /// Counter: memstore flushes.
+    pub flushes: AtomicU64,
+    /// Counter: compactions.
+    pub compactions: AtomicU64,
+    /// Counter: overload strikes (rejected RPCs).
+    pub overloads: AtomicU64,
+    /// Counter: crash events observed on this node (0 or 1 per life).
+    pub crash_events: AtomicU64,
+    /// Histogram of admitted batch sizes.
+    pub batch_sizes: Histogram,
+}
+
+impl MetricsRegistry {
+    /// Fresh registry with a known queue capacity.
+    pub fn new(queue_capacity: u64) -> Self {
+        let r = MetricsRegistry::default();
+        r.queue_capacity.store(queue_capacity, Ordering::Relaxed);
+        r
+    }
+
+    /// Snapshot the registry into the serializable wire form.
+    pub fn snapshot(&self, node: u32, tick: u64) -> NodeStats {
+        NodeStats {
+            node,
+            tick,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_capacity: self.queue_capacity.load(Ordering::Relaxed),
+            samples_written: self.samples_written.load(Ordering::Relaxed),
+            memstore_bytes: self.memstore_bytes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            overloads: self.overloads.load(Ordering::Relaxed),
+            crashed: self.crash_events.load(Ordering::Relaxed) > 0,
+            mean_batch: self.batch_sizes.mean(),
+        }
+    }
+}
+
+/// One node's published stats — the JSON payload of `/stats/<node>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Node id.
+    pub node: u32,
+    /// Publisher's control tick when the snapshot was taken.
+    pub tick: u64,
+    /// RPC queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// RPC queue capacity.
+    pub queue_capacity: u64,
+    /// Cumulative samples written.
+    pub samples_written: u64,
+    /// Memstore bytes held.
+    pub memstore_bytes: u64,
+    /// Cumulative flushes.
+    pub flushes: u64,
+    /// Cumulative compactions.
+    pub compactions: u64,
+    /// Cumulative overload strikes.
+    pub overloads: u64,
+    /// Whether the node has crashed.
+    pub crashed: bool,
+    /// Mean admitted batch size.
+    pub mean_batch: f64,
+}
+
+impl NodeStats {
+    /// Queue occupancy in `[0, 1]` (0 when capacity is unknown/unbounded).
+    pub fn queue_utilization(&self) -> f64 {
+        if self.queue_capacity == 0 || self.queue_capacity == u64::MAX {
+            0.0
+        } else {
+            self.queue_depth as f64 / self.queue_capacity as f64
+        }
+    }
+}
+
+/// Znode prefix stats are published under.
+pub const STATS_PREFIX: &str = "/stats";
+
+/// Publish `stats` as `/stats/<node>`, creating or updating the ephemeral
+/// znode bound to `session`. Returns the znode version.
+pub fn publish(
+    coord: &Coordinator,
+    session: SessionId,
+    stats: &NodeStats,
+) -> Result<u64, CoordinatorError> {
+    let path = format!("{}/{}", STATS_PREFIX, stats.node);
+    let bytes = serde_json::to_vec(stats).expect("NodeStats serializes");
+    coord.upsert_ephemeral(&path, bytes, session)
+}
+
+/// Fleet-wide view assembled from every `/stats/*` znode.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// Per-node stats, sorted by node id.
+    pub nodes: Vec<NodeStats>,
+}
+
+impl FleetSnapshot {
+    /// Scrape all published stats from the coordinator. Unparseable or
+    /// concurrently-deleted znodes are skipped — a scrape races session
+    /// expiry by design and must tolerate it.
+    pub fn scrape(coord: &Coordinator) -> FleetSnapshot {
+        let mut nodes: Vec<NodeStats> = coord
+            .children(STATS_PREFIX)
+            .into_iter()
+            .filter_map(|path| {
+                let (bytes, _version) = coord.get(&path).ok()?;
+                serde_json::from_slice::<NodeStats>(&bytes).ok()
+            })
+            .collect();
+        nodes.sort_by_key(|s| s.node);
+        FleetSnapshot { nodes }
+    }
+
+    /// Number of live (non-crashed) nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.crashed).count()
+    }
+
+    /// Sum of queue depths across live nodes.
+    pub fn total_queue_depth(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| !n.crashed)
+            .map(|n| n.queue_depth)
+            .sum()
+    }
+
+    /// Mean queue occupancy across live nodes (0 when empty).
+    pub fn mean_queue_utilization(&self) -> f64 {
+        let live = self.live_nodes();
+        if live == 0 {
+            return 0.0;
+        }
+        self.nodes
+            .iter()
+            .filter(|n| !n.crashed)
+            .map(|n| n.queue_utilization())
+            .sum::<f64>()
+            / live as f64
+    }
+
+    /// Highest queue occupancy across live nodes.
+    pub fn max_queue_utilization(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| !n.crashed)
+            .map(|n| n.queue_utilization())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total samples written by the fleet.
+    pub fn total_samples_written(&self) -> u64 {
+        self.nodes.iter().map(|n| n.samples_written).sum()
+    }
+
+    /// Nodes flagged crashed.
+    pub fn crashed_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.crashed).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(node: u32, depth: u64, cap: u64) -> NodeStats {
+        NodeStats {
+            node,
+            tick: 1,
+            queue_depth: depth,
+            queue_capacity: cap,
+            samples_written: 100 * node as u64,
+            memstore_bytes: 0,
+            flushes: 0,
+            compactions: 0,
+            overloads: 0,
+            crashed: false,
+            mean_batch: 0.0,
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_round_trips_through_json() {
+        let reg = MetricsRegistry::new(1024);
+        reg.queue_depth.store(37, Ordering::Relaxed);
+        reg.samples_written.fetch_add(4200, Ordering::Relaxed);
+        reg.batch_sizes.record(50);
+        reg.batch_sizes.record(150);
+        let snap = reg.snapshot(7, 3);
+        assert_eq!(snap.node, 7);
+        assert_eq!(snap.queue_depth, 37);
+        assert_eq!(snap.samples_written, 4200);
+        assert!((snap.mean_batch - 100.0).abs() < 1e-9);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: NodeStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_recordings() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 100, 100, 100, 100, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        // p50 falls in the bucket holding 100 → upper bound 128.
+        assert_eq!(h.quantile(0.5), 128);
+        // p99 falls in the bucket holding 1000 → upper bound 1024.
+        assert_eq!(h.quantile(0.99), 1024);
+    }
+
+    #[test]
+    fn publish_scrape_round_trip_and_expiry_removes_ghosts() {
+        let coord = Coordinator::new(100);
+        let s0 = coord.connect(0);
+        let s1 = coord.connect(0);
+        publish(&coord, s0, &stats(0, 10, 100)).unwrap();
+        publish(&coord, s1, &stats(1, 90, 100)).unwrap();
+        let snap = FleetSnapshot::scrape(&coord);
+        assert_eq!(snap.nodes.len(), 2);
+        assert_eq!(snap.total_queue_depth(), 100);
+        assert!((snap.mean_queue_utilization() - 0.5).abs() < 1e-9);
+        assert!((snap.max_queue_utilization() - 0.9).abs() < 1e-9);
+        // Republish updates in place (ephemeral upsert, version bumps).
+        let v = publish(&coord, s0, &stats(0, 20, 100)).unwrap();
+        assert!(v >= 1);
+        // Node 1 goes silent past the lease: its stats vanish.
+        coord.heartbeat(s0, 50).unwrap();
+        coord.expire_stale_sessions(150);
+        let snap = FleetSnapshot::scrape(&coord);
+        assert_eq!(snap.nodes.len(), 1);
+        assert_eq!(snap.nodes[0].node, 0);
+        assert_eq!(snap.nodes[0].queue_depth, 20);
+    }
+
+    #[test]
+    fn aggregation_ignores_crashed_nodes() {
+        let mut a = stats(0, 50, 100);
+        let mut b = stats(1, 100, 100);
+        b.crashed = true;
+        a.samples_written = 10;
+        b.samples_written = 20;
+        let snap = FleetSnapshot { nodes: vec![a, b] };
+        assert_eq!(snap.live_nodes(), 1);
+        assert_eq!(snap.crashed_nodes(), 1);
+        assert_eq!(snap.total_queue_depth(), 50);
+        assert!((snap.max_queue_utilization() - 0.5).abs() < 1e-9);
+        // Written totals still count the crashed node's history.
+        assert_eq!(snap.total_samples_written(), 30);
+    }
+}

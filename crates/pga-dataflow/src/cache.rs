@@ -60,7 +60,13 @@ impl DiskCache {
         // Sanitise: keys become filenames.
         let safe: String = key
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         self.root.join(format!("{safe}.json"))
     }
@@ -124,10 +130,7 @@ mod tests {
     use super::*;
 
     fn temp_cache(tag: &str) -> DiskCache {
-        let dir = std::env::temp_dir().join(format!(
-            "pga-cache-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("pga-cache-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         DiskCache::open(dir).unwrap()
     }

@@ -96,7 +96,11 @@ impl<T: Send> Dataset<T> {
                     if i >= n_parts {
                         break;
                     }
-                    let input = inputs[i].lock().unwrap().take().expect("partition taken once");
+                    let input = inputs[i]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("partition taken once");
                     let out = f(input);
                     *outputs[i].lock().unwrap() = Some(out);
                 });
@@ -151,10 +155,7 @@ impl<T: Send> Dataset<T> {
                 None => vec![],
             }
         });
-        partials
-            .collect()
-            .into_iter()
-            .reduce(f)
+        partials.collect().into_iter().reduce(f)
     }
 
     /// Gather all elements (partition order preserved).
@@ -288,7 +289,9 @@ mod tests {
     #[test]
     fn map_partitions_sees_whole_partitions() {
         let d = ctx().parallelize((0..12).collect(), 4);
-        let sums = d.map_partitions(|p: Vec<i32>| vec![p.iter().sum::<i32>()]).collect();
+        let sums = d
+            .map_partitions(|p: Vec<i32>| vec![p.iter().sum::<i32>()])
+            .collect();
         assert_eq!(sums.len(), 4);
         assert_eq!(sums.iter().sum::<i32>(), 66);
     }

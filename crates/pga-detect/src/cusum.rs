@@ -220,7 +220,11 @@ mod tests {
         );
         // Each faulted sensor appears exactly once despite alarming on
         // many consecutive steps.
-        let faulted: Vec<u32> = alarms.iter().copied().filter(|&s| spec.affects(s)).collect();
+        let faulted: Vec<u32> = alarms
+            .iter()
+            .copied()
+            .filter(|&s| spec.affects(s))
+            .collect();
         assert_eq!(faulted.len(), spec.group_len as usize);
         let dedup: std::collections::HashSet<u32> = alarms.iter().copied().collect();
         assert_eq!(dedup.len(), alarms.len());

@@ -102,7 +102,11 @@ impl OnlineEvaluator {
             .map(|j| {
                 let std = self.model.stds[j];
                 if std == 0.0 {
-                    return if means[j] == self.model.means[j] { 1.0 } else { 0.0 };
+                    return if means[j] == self.model.means[j] {
+                        1.0
+                    } else {
+                        0.0
+                    };
                 }
                 let z = (means[j] - self.model.means[j]) / (std * var_factor);
                 pga_stats::two_sided_p_from_z(z)
@@ -113,13 +117,12 @@ impl OnlineEvaluator {
             .rejected
             .iter()
             .enumerate()
-            .filter_map(|(j, &r)| {
-                r.then(|| SensorFlag {
-                    sensor: j as u32,
-                    p_value: p_values[j],
-                    window_mean: means[j],
-                    baseline_mean: self.model.means[j],
-                })
+            .filter(|&(_, &r)| r)
+            .map(|(j, _)| SensorFlag {
+                sensor: j as u32,
+                p_value: p_values[j],
+                window_mean: means[j],
+                baseline_mean: self.model.means[j],
             })
             .collect();
         // Per-block T² on the mean vector (centred, projected, whitened).
@@ -194,8 +197,7 @@ mod tests {
         let ev = trained_evaluator(&fleet, unit);
         let w = fleet.observation_window(unit, spec.onset + 49, 50);
         let out = ev.evaluate(&w);
-        let flagged: std::collections::HashSet<u32> =
-            out.flags.iter().map(|f| f.sensor).collect();
+        let flagged: std::collections::HashSet<u32> = out.flags.iter().map(|f| f.sensor).collect();
         for s in spec.group_start..spec.group_start + spec.group_len {
             assert!(flagged.contains(&s), "faulted sensor {s} not flagged");
         }
@@ -244,8 +246,14 @@ mod tests {
         let late_t = spec.onset + 3000;
         let late = ev.evaluate(&fleet.observation_window(unit, late_t + 49, 50));
         let late_hits = late.flags.iter().filter(|f| spec.affects(f.sensor)).count();
-        assert!(late_hits >= spec.group_len as usize - 1, "late hits {late_hits}");
-        assert!(late_hits > early_hits, "drift should grow: {early_hits} → {late_hits}");
+        assert!(
+            late_hits >= spec.group_len as usize - 1,
+            "late hits {late_hits}"
+        );
+        assert!(
+            late_hits > early_hits,
+            "drift should grow: {early_hits} → {late_hits}"
+        );
     }
 
     #[test]
@@ -256,8 +264,8 @@ mod tests {
         let obs = fleet.observation_window(unit, 149, 150);
         let model = train_unit(unit, &obs).unwrap();
         let w = fleet.observation_window(unit, spec.onset + 29, 30);
-        let bh = OnlineEvaluator::new(model.clone(), Procedure::BenjaminiHochberg, 0.05)
-            .evaluate(&w);
+        let bh =
+            OnlineEvaluator::new(model.clone(), Procedure::BenjaminiHochberg, 0.05).evaluate(&w);
         let bon = OnlineEvaluator::new(model, Procedure::Bonferroni, 0.05).evaluate(&w);
         assert!(bon.flags.len() <= bh.flags.len());
     }
@@ -271,7 +279,10 @@ mod tests {
         let batch = ev.evaluate_many(&[w1.clone(), w2.clone()]);
         assert_eq!(batch[0].p_values, ev.evaluate(&w1).p_values);
         assert_eq!(batch[1].p_values, ev.evaluate(&w2).p_values);
-        assert_eq!(batch[0].samples_scored, 25 * fleet.config().sensors_per_unit as u64);
+        assert_eq!(
+            batch[0].samples_scored,
+            25 * fleet.config().sensors_per_unit as u64
+        );
     }
 
     #[test]

@@ -65,11 +65,7 @@ impl StreamingTrainer {
         self.count += 1;
         let n = self.count as f64;
         // Per-sensor deltas before the mean update.
-        let deltas: Vec<f64> = row
-            .iter()
-            .zip(&self.means)
-            .map(|(&x, &m)| x - m)
-            .collect();
+        let deltas: Vec<f64> = row.iter().zip(&self.means).map(|(&x, &m)| x - m).collect();
         for (m, d) in self.means.iter_mut().zip(&deltas) {
             *m += d / n;
         }

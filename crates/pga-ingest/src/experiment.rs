@@ -65,7 +65,8 @@ pub fn fig2_scaling_experiment(node_counts: &[usize], samples: f64) -> Vec<Fig2R
         .map(|&nodes| {
             let cfg = SimClusterConfig::paper_calibration(nodes);
             let shares = routing_shares(nodes, 100, 1000, true);
-            let report = simulate_ingestion(&cfg, &shares, samples, f64::INFINITY, ProxyMode::Buffered);
+            let report =
+                simulate_ingestion(&cfg, &shares, samples, f64::INFINITY, ProxyMode::Buffered);
             Fig2Row {
                 nodes,
                 throughput: report.throughput(),
@@ -91,7 +92,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
         .iter()
         .map(|p| (p.1 - intercept - slope * p.0).powi(2))
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (intercept, slope, r2)
 }
 
@@ -123,9 +128,20 @@ pub fn salting_ablation(nodes: usize, samples: f64) -> SaltingAblationReport {
     let cfg = SimClusterConfig::paper_calibration(nodes);
     let salted_shares = routing_shares(nodes, 100, 1000, true);
     let unsalted_shares = routing_shares(nodes, 100, 1000, false);
-    let salted = simulate_ingestion(&cfg, &salted_shares, samples, f64::INFINITY, ProxyMode::Buffered);
-    let unsalted =
-        simulate_ingestion(&cfg, &unsalted_shares, samples, f64::INFINITY, ProxyMode::Buffered);
+    let salted = simulate_ingestion(
+        &cfg,
+        &salted_shares,
+        samples,
+        f64::INFINITY,
+        ProxyMode::Buffered,
+    );
+    let unsalted = simulate_ingestion(
+        &cfg,
+        &unsalted_shares,
+        samples,
+        f64::INFINITY,
+        ProxyMode::Buffered,
+    );
     SaltingAblationReport {
         nodes,
         salted_throughput: salted.throughput(),

@@ -23,8 +23,8 @@ pub mod pipeline;
 pub mod proxy;
 
 pub use experiment::{
-    fig2_scaling_experiment, linear_fit, proxy_ablation, routing_shares, salting_ablation,
-    Fig2Row, IngestReportSummary, ProxyAblationReport, SaltingAblationReport,
+    fig2_scaling_experiment, linear_fit, proxy_ablation, routing_shares, salting_ablation, Fig2Row,
+    IngestReportSummary, ProxyAblationReport, SaltingAblationReport,
 };
 pub use pipeline::{IngestionPipeline, PipelineReport};
-pub use proxy::{ReverseProxy, ProxyConfig, ProxyMetrics};
+pub use proxy::{ProxyConfig, ProxyMetrics, ReverseProxy};

@@ -101,7 +101,9 @@ impl IngestionPipeline {
             .map(|&n| self.master.server(n).map_or(0, |s| s.total_cells_written()))
             .sum();
         assert_eq!(
-            metrics.samples_out.load(std::sync::atomic::Ordering::Relaxed),
+            metrics
+                .samples_out
+                .load(std::sync::atomic::Ordering::Relaxed),
             samples,
             "proxy must forward every sample"
         );

@@ -42,6 +42,36 @@ pub struct ProxyMetrics {
     pub samples_out: AtomicU64,
     /// Forwarding errors (storage failures).
     pub errors: AtomicU64,
+    /// Round-robin picks rerouted past an unhealthy target.
+    pub rerouted: AtomicU64,
+}
+
+/// Health view over the TSD pool, indexed like the `tsds` slice given to
+/// [`ReverseProxy::spawn_with_health`]. Workers consult it per batch so the
+/// proxy stops routing to nodes whose region server crashed or whose
+/// coordinator lease expired (§III-B: a downed node must not keep
+/// receiving its round-robin share).
+pub trait TargetHealth: Send + Sync + 'static {
+    /// Whether the TSD at `index` should receive traffic right now.
+    fn is_healthy(&self, index: usize) -> bool;
+}
+
+/// Every target healthy — the static-pool default.
+pub struct AlwaysHealthy;
+
+impl TargetHealth for AlwaysHealthy {
+    fn is_healthy(&self, _index: usize) -> bool {
+        true
+    }
+}
+
+/// Closure adapter for [`TargetHealth`].
+pub struct HealthFn<F>(pub F);
+
+impl<F: Fn(usize) -> bool + Send + Sync + 'static> TargetHealth for HealthFn<F> {
+    fn is_healthy(&self, index: usize) -> bool {
+        (self.0)(index)
+    }
 }
 
 /// The reverse proxy. Submission blocks when the buffer is full.
@@ -55,6 +85,19 @@ impl ReverseProxy {
     /// Spawn the proxy over a pool of TSD daemons. The daemon list must be
     /// non-empty; batches are distributed round-robin across it.
     pub fn spawn(tsds: Vec<Arc<Tsd>>, config: ProxyConfig) -> Self {
+        Self::spawn_with_health(tsds, config, Arc::new(AlwaysHealthy))
+    }
+
+    /// Spawn with a health view: workers advance the round-robin pointer
+    /// past targets `health` reports down, so a crashed or lease-expired
+    /// node receives no new batches while healthy nodes absorb its share.
+    /// If every target is down the original pick is used anyway — the
+    /// proxy buffers and retries storage errors upward, it never drops.
+    pub fn spawn_with_health(
+        tsds: Vec<Arc<Tsd>>,
+        config: ProxyConfig,
+        health: Arc<dyn TargetHealth>,
+    ) -> Self {
         assert!(!tsds.is_empty(), "proxy needs at least one TSD");
         assert!(config.workers > 0, "proxy needs at least one worker");
         let (tx, rx): (Sender<Vec<SensorSample>>, Receiver<Vec<SensorSample>>) =
@@ -67,12 +110,20 @@ impl ReverseProxy {
             let tsds = tsds.clone();
             let metrics = metrics.clone();
             let rr = rr.clone();
+            let health = health.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("proxy-worker-{w}"))
                     .spawn(move || {
                         for batch in rx.iter() {
-                            let target = rr.fetch_add(1, Ordering::Relaxed) % tsds.len();
+                            let pick = rr.fetch_add(1, Ordering::Relaxed) % tsds.len();
+                            let target = (0..tsds.len())
+                                .map(|off| (pick + off) % tsds.len())
+                                .find(|&i| health.is_healthy(i))
+                                .unwrap_or(pick);
+                            if target != pick {
+                                metrics.rerouted.fetch_add(1, Ordering::Relaxed);
+                            }
                             let n = batch.len() as u64;
                             let unit_strs: Vec<String> =
                                 batch.iter().map(|s| s.unit.to_string()).collect();
@@ -83,7 +134,7 @@ impl ReverseProxy {
                                 .zip(&sensor_strs)
                                 .map(|(u, s)| [("unit", u.as_str()), ("sensor", s.as_str())])
                                 .collect();
-                            let points: Vec<(&[(&str, &str)], u64, f64)> = batch
+                            let points: Vec<pga_tsdb::BatchPoint> = batch
                                 .iter()
                                 .zip(&tag_pairs)
                                 .map(|(s, tags)| (&tags[..], s.timestamp, s.value))
@@ -211,7 +262,13 @@ mod tests {
     #[test]
     fn round_robin_spreads_batches_across_tsds() {
         let (master, tsds) = stack(2, 4);
-        let proxy = ReverseProxy::spawn(tsds.clone(), ProxyConfig { buffer_capacity: 64, workers: 1 });
+        let proxy = ReverseProxy::spawn(
+            tsds.clone(),
+            ProxyConfig {
+                buffer_capacity: 64,
+                workers: 1,
+            },
+        );
         for t in 0..40u64 {
             proxy.submit(vec![sample(2, 3, t)]);
         }
@@ -227,7 +284,13 @@ mod tests {
     fn bounded_buffer_applies_backpressure_not_loss() {
         let (master, tsds) = stack(1, 1);
         // Tiny buffer; submission must block rather than drop.
-        let proxy = ReverseProxy::spawn(tsds.clone(), ProxyConfig { buffer_capacity: 2, workers: 1 });
+        let proxy = ReverseProxy::spawn(
+            tsds.clone(),
+            ProxyConfig {
+                buffer_capacity: 2,
+                workers: 1,
+            },
+        );
         for t in 0..100u64 {
             proxy.submit(vec![sample(1, 1, t)]);
         }
@@ -241,5 +304,50 @@ mod tests {
     #[should_panic(expected = "at least one TSD")]
     fn empty_tsd_pool_rejected() {
         let _ = ReverseProxy::spawn(Vec::new(), ProxyConfig::default());
+    }
+
+    /// Regression: round-robin used to keep sending every other batch to a
+    /// node whose region server had crashed (lease expired), failing those
+    /// writes. With a health view the proxy must skip the dead node and
+    /// lose nothing.
+    #[test]
+    fn lease_expired_node_is_skipped_without_sample_loss() {
+        let (mut master, tsds) = stack(2, 2);
+        // TSD i fronts node i; healthy while its /rs znode (lease) exists.
+        let coord = master.coordinator().clone();
+        let health = Arc::new(HealthFn(move |i: usize| {
+            coord.get(&format!("/rs/{i}")).is_ok()
+        }));
+        // Node 1 goes silent past its lease; node 0 keeps heartbeating.
+        // tick() expires the session and reassigns node 1's regions.
+        master.heartbeat(pga_cluster::NodeId(0), 15_000);
+        master.tick(20_000);
+        assert_eq!(master.live_nodes(), vec![pga_cluster::NodeId(0)]);
+
+        let proxy = ReverseProxy::spawn_with_health(
+            tsds.clone(),
+            ProxyConfig {
+                buffer_capacity: 64,
+                workers: 1,
+            },
+            health,
+        );
+        for t in 0..20u64 {
+            proxy.submit(vec![sample(1, 1, t)]);
+        }
+        let metrics = proxy.drain_and_join();
+        // The dead node's TSD received no new batches…
+        assert_eq!(tsds[1].metrics().put_rpcs.load(Ordering::Relaxed), 0);
+        // …its round-robin share was rerouted, not dropped…
+        assert_eq!(metrics.rerouted.load(Ordering::Relaxed), 10);
+        assert_eq!(metrics.errors.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.samples_out.load(Ordering::Relaxed), 20);
+        // …and every sample is queryable.
+        let series = tsds[0]
+            .query("energy", &QueryFilter::any(), 0, 100)
+            .unwrap();
+        let total: usize = series.iter().map(|s| s.points.len()).sum();
+        assert_eq!(total, 20);
+        master.shutdown();
     }
 }

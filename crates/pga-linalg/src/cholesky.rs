@@ -106,8 +106,8 @@ impl CholeskyFactor {
         let mut z = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l.get(i, k) * z[k];
+            for (k, zk) in z.iter().enumerate().take(i) {
+                sum -= self.l.get(i, k) * zk;
             }
             z[i] = sum / self.l.get(i, i);
         }
@@ -133,12 +133,7 @@ mod tests {
 
     #[test]
     fn factor_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 2.0, 0.6],
-            &[2.0, 5.0, 1.0],
-            &[0.6, 1.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]]).unwrap();
         let ch = CholeskyFactor::new(&a).unwrap();
         let llt = ch.lower().matmul(&ch.lower().transpose()).unwrap();
         assert!(llt.max_abs_diff(&a).unwrap() < 1e-12);

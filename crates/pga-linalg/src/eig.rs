@@ -193,12 +193,8 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.25],
-            &[0.5, 0.25, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.25], &[0.5, 0.25, 2.0]]).unwrap();
         let e = eigh(&a, JacobiOptions::default()).unwrap();
         let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
         assert!(vtv.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);

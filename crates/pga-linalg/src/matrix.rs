@@ -169,7 +169,12 @@ impl Matrix {
         self.zip_with(other, "sub", |a, b| a - b)
     }
 
-    fn zip_with(&self, other: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.shape() != other.shape() {
             return Err(LinalgError::ShapeMismatch {
                 op,
@@ -256,8 +261,7 @@ impl Matrix {
                 let mut k0 = 0;
                 while k0 < self.cols {
                     let k1 = (k0 + BLOCK).min(self.cols);
-                    for k in k0..k1 {
-                        let aik = a_row[k];
+                    for (k, &aik) in a_row.iter().enumerate().take(k1).skip(k0) {
                         if aik == 0.0 {
                             continue;
                         }
@@ -348,7 +352,9 @@ mod tests {
         // Deterministic pseudo-random fill without pulling in rand here.
         let mut x = 1u64;
         let mut next = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for v in &mut a.data {

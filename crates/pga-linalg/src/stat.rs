@@ -26,7 +26,10 @@ pub fn column_means(obs: &Matrix) -> Vec<f64> {
 pub fn column_variances(obs: &Matrix) -> Result<Vec<f64>> {
     let (n, p) = obs.shape();
     if n < 2 {
-        return Err(LinalgError::InsufficientData { rows: n, required: 2 });
+        return Err(LinalgError::InsufficientData {
+            rows: n,
+            required: 2,
+        });
     }
     let means = column_means(obs);
     let mut ss = vec![0.0; p];
@@ -52,7 +55,10 @@ pub fn column_variances(obs: &Matrix) -> Result<Vec<f64>> {
 pub fn covariance_matrix(obs: &Matrix) -> Result<Matrix> {
     let (n, p) = obs.shape();
     if n < 2 {
-        return Err(LinalgError::InsufficientData { rows: n, required: 2 });
+        return Err(LinalgError::InsufficientData {
+            rows: n,
+            required: 2,
+        });
     }
     let means = column_means(obs);
     // Centre into a scratch matrix: columns become zero-mean.
@@ -111,13 +117,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            &[2.0, 8.0],
-            &[4.0, 10.0],
-            &[6.0, 12.0],
-            &[8.0, 14.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[2.0, 8.0], &[4.0, 10.0], &[6.0, 12.0], &[8.0, 14.0]]).unwrap()
     }
 
     #[test]
@@ -151,7 +151,10 @@ mod tests {
         let one = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
         assert!(matches!(
             covariance_matrix(&one),
-            Err(LinalgError::InsufficientData { rows: 1, required: 2 })
+            Err(LinalgError::InsufficientData {
+                rows: 1,
+                required: 2
+            })
         ));
     }
 

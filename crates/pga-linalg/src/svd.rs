@@ -157,7 +157,9 @@ mod tests {
         let mut out = Matrix::zeros(m, n);
         for r in 0..m {
             for c in 0..n {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 out.set(r, c, ((x >> 33) as f64) / (u32::MAX as f64) - 0.5);
             }
         }
@@ -216,9 +218,9 @@ mod tests {
         let u = [1.0, 2.0, 3.0];
         let v = [4.0, 5.0];
         let mut a = Matrix::zeros(3, 2);
-        for r in 0..3 {
-            for c in 0..2 {
-                a.set(r, c, u[r] * v[c]);
+        for (r, &ur) in u.iter().enumerate() {
+            for (c, &vc) in v.iter().enumerate() {
+                a.set(r, c, ur * vc);
             }
         }
         let d = svd(&a).unwrap();

@@ -184,7 +184,9 @@ mod tests {
     fn scan_subrange_touches_only_matching_regions() {
         let (m, c) = cluster(2, &[b"m"]);
         c.put(vec![kv("a", 1), kv("b", 1), kv("x", 1)]).unwrap();
-        let cells = c.scan(&RowRange::new(b"a".to_vec(), b"c".to_vec())).unwrap();
+        let cells = c
+            .scan(&RowRange::new(b"a".to_vec(), b"c".to_vec()))
+            .unwrap();
         assert_eq!(cells.len(), 2);
         m.shutdown();
     }

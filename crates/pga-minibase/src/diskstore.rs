@@ -126,7 +126,9 @@ pub fn read_store_file(path: &Path) -> Result<(u64, Vec<KeyValue>), DiskStoreErr
     }
     let version = take(&mut cursor, 1)?[0];
     if version != VERSION {
-        return Err(DiskStoreError::Corrupt(format!("unknown version {version}")));
+        return Err(DiskStoreError::Corrupt(format!(
+            "unknown version {version}"
+        )));
     }
     let sequence = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().unwrap());
     let count = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().unwrap()) as usize;
@@ -165,10 +167,7 @@ pub fn persist_store_files(dir: &Path, files: &[StoreFile]) -> Result<(), DiskSt
         let name = format!("sf-{:08}.psf", f.sequence());
         let path = dir.join(&name);
         if !path.exists() {
-            let cells: Vec<KeyValue> = f
-                .scan(&crate::kv::RowRange::all())
-                .cloned()
-                .collect();
+            let cells: Vec<KeyValue> = f.scan(&crate::kv::RowRange::all()).cloned().collect();
             write_store_file(&path, f.sequence(), &cells)?;
         }
     }
@@ -318,7 +317,7 @@ mod tests {
         let dir = temp_dir("scan");
         let data = cells(200);
         let f = StoreFile::from_sorted(data.clone(), 9);
-        persist_store_files(&dir, &[f.clone()]).unwrap();
+        persist_store_files(&dir, std::slice::from_ref(&f)).unwrap();
         let loaded = load_store_files(&dir).unwrap();
         let a: Vec<_> = f.scan(&RowRange::all()).cloned().collect();
         let b: Vec<_> = loaded[0].scan(&RowRange::all()).cloned().collect();

@@ -43,7 +43,11 @@ impl KeyValue {
 
     /// The sort key of this cell (excludes the value).
     pub fn cell_key(&self) -> (&[u8], &[u8], std::cmp::Reverse<u64>) {
-        (&self.row, &self.qualifier, std::cmp::Reverse(self.timestamp))
+        (
+            &self.row,
+            &self.qualifier,
+            std::cmp::Reverse(self.timestamp),
+        )
     }
 }
 
@@ -111,7 +115,12 @@ mod tests {
     use super::*;
 
     fn kv(row: &str, qual: &str, ts: u64) -> KeyValue {
-        KeyValue::new(row.as_bytes().to_vec(), qual.as_bytes().to_vec(), ts, vec![])
+        KeyValue::new(
+            row.as_bytes().to_vec(),
+            qual.as_bytes().to_vec(),
+            ts,
+            vec![],
+        )
     }
 
     #[test]
@@ -157,7 +166,10 @@ mod tests {
         let ab = RowRange::new(b"a".to_vec(), b"b".to_vec());
         let bc = RowRange::new(b"b".to_vec(), b"c".to_vec());
         let ac = RowRange::new(b"a".to_vec(), b"c".to_vec());
-        assert!(!ab.overlaps(&bc), "half-open ranges do not overlap at the boundary");
+        assert!(
+            !ab.overlaps(&bc),
+            "half-open ranges do not overlap at the boundary"
+        );
         assert!(ab.overlaps(&ac));
         assert!(ac.overlaps(&bc));
         assert!(RowRange::all().overlaps(&ab));

@@ -37,7 +37,9 @@ pub mod storefile;
 pub mod wal;
 
 pub use client::{Client, ClientError};
-pub use diskstore::{load_store_files, persist_store_files, read_store_file, write_store_file, DiskStoreError};
+pub use diskstore::{
+    load_store_files, persist_store_files, read_store_file, write_store_file, DiskStoreError,
+};
 pub use kv::{KeyValue, RowRange};
 pub use master::{Master, RegionInfo, TableDescriptor};
 pub use memstore::MemStore;

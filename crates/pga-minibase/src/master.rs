@@ -77,7 +77,11 @@ impl Master {
             let server = RegionServer::spawn(node, server_config);
             let session = coordinator.connect(now_ms);
             coordinator
-                .create_ephemeral(&format!("/rs/{}", node.0), node.0.to_le_bytes().to_vec(), session)
+                .create_ephemeral(
+                    &format!("/rs/{}", node.0),
+                    node.0.to_le_bytes().to_vec(),
+                    session,
+                )
                 .expect("fresh namespace");
             servers.insert(node, server);
             sessions.insert(node, session);
@@ -263,6 +267,109 @@ impl Master {
         }
     }
 
+    /// Add a fresh region server at time `now_ms` and register it with the
+    /// coordinator. Returns the new node id. This is the scale-out actuator
+    /// the elastic control plane drives; the node starts empty and receives
+    /// regions through [`Master::move_region`] (or future reassignment).
+    pub fn add_server(&mut self, server_config: ServerConfig, now_ms: u64) -> NodeId {
+        let next = self.servers.keys().map(|n| n.0 + 1).max().unwrap_or(0);
+        let node = NodeId(next);
+        let server = RegionServer::spawn(node, server_config);
+        let session = self.coordinator.connect(now_ms);
+        self.coordinator
+            .create_ephemeral(
+                &format!("/rs/{}", node.0),
+                node.0.to_le_bytes().to_vec(),
+                session,
+            )
+            .expect("node id is fresh");
+        self.servers.insert(node, server);
+        self.sessions.insert(node, session);
+        node
+    }
+
+    /// Migrate one region to `target` while clients keep writing.
+    ///
+    /// The directory write lock is held across unassign → assign → update,
+    /// so clients either see the old entry (and get `WrongRegion` from the
+    /// source, triggering their retry-with-refresh loop) or the new entry
+    /// pointing at a server that already hosts the region. The in-process
+    /// `Region` struct moves with its memstore and files, so no datapoint
+    /// is lost or double-served.
+    pub fn move_region(&mut self, rid: RegionId, target: NodeId) -> bool {
+        if self.dead.contains(&target) || !self.servers.contains_key(&target) {
+            return false;
+        }
+        let source = {
+            let dir = self.directory.read();
+            match dir.iter().find(|i| i.id == rid) {
+                Some(info) => info.server,
+                None => return false,
+            }
+        };
+        if source == target {
+            return true;
+        }
+        let mut dir = self.directory.write();
+        let region = match self.servers.get(&source).and_then(|s| s.unassign(rid)) {
+            Some(r) => r,
+            None => return false,
+        };
+        self.servers[&target].assign(region);
+        for info in dir.iter_mut() {
+            if info.id == rid {
+                info.server = target;
+            }
+        }
+        true
+    }
+
+    /// Drain and retire a server: migrate every hosted region to the
+    /// remaining live nodes (round-robin), delete its coordinator znode
+    /// (an explicit `Deleted` event, distinct from the `SessionExpired`
+    /// a crash produces), and stop the RPC thread. Returns the migrated
+    /// region ids, or `None` if the node is unknown, already dead, or the
+    /// last live node.
+    pub fn decommission_server(&mut self, node: NodeId) -> Option<Vec<RegionId>> {
+        if self.dead.contains(&node) || !self.servers.contains_key(&node) {
+            return None;
+        }
+        let targets: Vec<NodeId> = self
+            .live_nodes()
+            .into_iter()
+            .filter(|&n| n != node)
+            .collect();
+        if targets.is_empty() {
+            return None;
+        }
+        let rids = self.servers[&node].hosted_regions();
+        let mut moved = Vec::with_capacity(rids.len());
+        for (i, rid) in rids.into_iter().enumerate() {
+            if self.move_region(rid, targets[i % targets.len()]) {
+                moved.push(rid);
+            }
+        }
+        self.dead.insert(node);
+        let _ = self.coordinator.delete(&format!("/rs/{}", node.0));
+        self.sessions.remove(&node);
+        if let Some(s) = self.servers.get(&node) {
+            s.shutdown();
+        }
+        Some(moved)
+    }
+
+    /// The coordinator this master registers servers with.
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
+    }
+
+    /// The coordinator session a node registered under, if still tracked.
+    /// Telemetry publishers bind stat znodes to this session so a node's
+    /// stats expire with its lease.
+    pub fn session(&self, node: NodeId) -> Option<SessionId> {
+        self.sessions.get(&node).copied()
+    }
+
     /// Shut every server down.
     pub fn shutdown(&self) {
         for s in self.servers.values() {
@@ -327,9 +434,18 @@ mod tests {
         m.create_table(&table(&[b"m"]));
         let dir = m.directory();
         // Find the region on node 0 and write into it.
-        let info = dir.read().iter().find(|i| i.server == NodeId(0)).unwrap().clone();
+        let info = dir
+            .read()
+            .iter()
+            .find(|i| i.server == NodeId(0))
+            .unwrap()
+            .clone();
         let server = m.server(NodeId(0)).unwrap();
-        let row: &[u8] = if info.range.contains(b"a") { b"a" } else { b"z" };
+        let row: &[u8] = if info.range.contains(b"a") {
+            b"a"
+        } else {
+            b"z"
+        };
         match server
             .handle()
             .call(Request::Put {
@@ -395,6 +511,69 @@ mod tests {
         // Ranges partition the keyspace.
         assert!(locate(&dir, b"row000").is_some());
         assert!(locate(&dir, b"row049").is_some());
+        m.shutdown();
+    }
+
+    #[test]
+    fn move_region_carries_data_and_updates_directory() {
+        let coord = Coordinator::new(1000);
+        let mut m = Master::bootstrap(2, ServerConfig::default(), coord, 0);
+        m.create_table(&table(&[]));
+        let dir = m.directory();
+        let info = dir.read()[0].clone();
+        let source = info.server;
+        m.server(source)
+            .unwrap()
+            .handle()
+            .call(Request::Put {
+                region: info.id,
+                kvs: vec![KeyValue::new(
+                    b"k".to_vec(),
+                    b"q".to_vec(),
+                    1,
+                    b"v".to_vec(),
+                )],
+            })
+            .unwrap();
+        let target = m.nodes().into_iter().find(|&n| n != source).unwrap();
+        assert!(m.move_region(info.id, target));
+        assert_eq!(locate(&dir, b"k").unwrap().server, target);
+        // Source now answers WrongRegion; target serves the datapoint.
+        match m.server(source).unwrap().handle().call(Request::Scan {
+            region: info.id,
+            range: RowRange::all(),
+        }) {
+            Ok(Response::WrongRegion) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match m.server(target).unwrap().handle().call(Request::Scan {
+            region: info.id,
+            range: RowRange::all(),
+        }) {
+            Ok(Response::Cells(cells)) => assert_eq!(cells.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        m.shutdown();
+    }
+
+    #[test]
+    fn add_server_then_decommission_round_trips_regions() {
+        let coord = Coordinator::new(1000);
+        let mut m = Master::bootstrap(1, ServerConfig::default(), coord, 0);
+        m.create_table(&table(&[b"m"]));
+        let added = m.add_server(ServerConfig::default(), 10);
+        assert_eq!(added, NodeId(1));
+        assert_eq!(m.live_nodes(), vec![NodeId(0), NodeId(1)]);
+        let dir = m.directory();
+        let rid = dir.read()[0].id;
+        assert!(m.move_region(rid, added));
+        // Draining the new node sends its region back to node 0.
+        let moved = m.decommission_server(added).unwrap();
+        assert_eq!(moved, vec![rid]);
+        assert_eq!(m.live_nodes(), vec![NodeId(0)]);
+        assert!(dir.read().iter().all(|i| i.server == NodeId(0)));
+        // Cannot drain the last node.
+        assert!(m.decommission_server(NodeId(0)).is_none());
         m.shutdown();
     }
 

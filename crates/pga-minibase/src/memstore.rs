@@ -84,7 +84,11 @@ fn range_bounds(range: &RowRange) -> impl std::ops::RangeBounds<CellKey> {
     let start: Bound<CellKey> = if range.start.is_empty() {
         Bound::Unbounded
     } else {
-        Bound::Included((range.start.clone(), Bytes::new(), std::cmp::Reverse(u64::MAX)))
+        Bound::Included((
+            range.start.clone(),
+            Bytes::new(),
+            std::cmp::Reverse(u64::MAX),
+        ))
     };
     let end: Bound<CellKey> = if range.end.is_empty() {
         Bound::Unbounded

@@ -234,7 +234,15 @@ impl Region {
     /// split (too little data, or all cells share one row).
     ///
     /// Flushes first, so both daughters are built from store files only.
-    pub fn split(mut self, left_id: RegionId, right_id: RegionId) -> Result<(Region, Region), Region> {
+    ///
+    /// The `Err` variant intentionally carries the whole region back to the
+    /// caller — splitting consumes `self`, so failure must return it.
+    #[allow(clippy::result_large_err)]
+    pub fn split(
+        mut self,
+        left_id: RegionId,
+        right_id: RegionId,
+    ) -> Result<(Region, Region), Region> {
         self.flush();
         let all = self.scan(&RowRange::all());
         if all.len() < 2 {
@@ -276,7 +284,10 @@ impl Region {
     /// Spill the current store files to `dir` (the HDFS-analog durability
     /// path; see [`crate::diskstore`]). Stale files obsoleted by
     /// compaction are removed.
-    pub fn persist_store_files(&self, dir: &std::path::Path) -> Result<(), crate::diskstore::DiskStoreError> {
+    pub fn persist_store_files(
+        &self,
+        dir: &std::path::Path,
+    ) -> Result<(), crate::diskstore::DiskStoreError> {
         crate::diskstore::persist_store_files(dir, &self.files)
     }
 
@@ -340,7 +351,8 @@ mod tests {
     #[test]
     fn put_scan_roundtrip() {
         let mut r = region();
-        r.put_batch(vec![kv("b", 1, "vb"), kv("a", 1, "va")]).unwrap();
+        r.put_batch(vec![kv("b", 1, "vb"), kv("a", 1, "va")])
+            .unwrap();
         let cells = r.scan(&RowRange::all());
         assert_eq!(cells.len(), 2);
         assert_eq!(&cells[0].row[..], b"a");
@@ -386,7 +398,8 @@ mod tests {
             },
         );
         for i in 0..20 {
-            r.put_batch(vec![kv(&format!("row{i}"), 1, "some-payload")]).unwrap();
+            r.put_batch(vec![kv(&format!("row{i}"), 1, "some-payload")])
+                .unwrap();
         }
         assert!(r.metrics().flushes > 0, "threshold flush expected");
         assert_eq!(r.scan(&RowRange::all()).len(), 20);
@@ -408,7 +421,8 @@ mod tests {
         let mut r = region();
         r.put_batch(vec![kv("a", 1, "v1")]).unwrap();
         r.flush();
-        r.put_batch(vec![kv("a", 2, "v2"), kv("b", 1, "v")]).unwrap();
+        r.put_batch(vec![kv("a", 2, "v2"), kv("b", 1, "v")])
+            .unwrap();
         r.flush();
         r.compact();
         assert_eq!(r.metrics().compactions, 1);
@@ -422,13 +436,19 @@ mod tests {
     fn split_partitions_rows() {
         let mut r = region();
         for i in 0..100 {
-            r.put_batch(vec![kv(&format!("row{i:03}"), 1, "v")]).unwrap();
+            r.put_batch(vec![kv(&format!("row{i:03}"), 1, "v")])
+                .unwrap();
         }
         let (left, right) = r.split(RegionId(2), RegionId(3)).unwrap();
         let l = left.scan(&RowRange::all());
         let r_ = right.scan(&RowRange::all());
         assert_eq!(l.len() + r_.len(), 100);
-        assert!(l.len() > 30 && r_.len() > 30, "roughly even: {} / {}", l.len(), r_.len());
+        assert!(
+            l.len() > 30 && r_.len() > 30,
+            "roughly even: {} / {}",
+            l.len(),
+            r_.len()
+        );
         // Boundary correctness.
         let boundary = right.range().start.clone();
         assert!(l.iter().all(|kv| kv.row < boundary));
@@ -439,7 +459,8 @@ mod tests {
     #[test]
     fn split_of_single_row_fails_and_returns_region() {
         let mut r = region();
-        r.put_batch(vec![kv("only", 1, "v"), kv("only", 2, "v")]).unwrap();
+        r.put_batch(vec![kv("only", 1, "v"), kv("only", 2, "v")])
+            .unwrap();
         let back = r.split(RegionId(2), RegionId(3)).unwrap_err();
         assert_eq!(back.id(), RegionId(1));
         assert_eq!(back.scan(&RowRange::all()).len(), 2, "data intact");
@@ -495,7 +516,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pga-region-restart-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut r = region();
-        r.put_batch(vec![kv("a", 1, "flushed-a"), kv("b", 1, "flushed-b")]).unwrap();
+        r.put_batch(vec![kv("a", 1, "flushed-a"), kv("b", 1, "flushed-b")])
+            .unwrap();
         r.flush();
         r.put_batch(vec![kv("c", 1, "unflushed-c")]).unwrap();
         r.persist_store_files(&dir).unwrap();

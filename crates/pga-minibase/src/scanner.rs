@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn empty_sources_are_fine() {
         assert!(merge_scan(vec![], vec![]).is_empty());
-        assert_eq!(merge_scan(vec![vec![], vec![kv("a", 1, "v")]], vec![0, 1]).len(), 1);
+        assert_eq!(
+            merge_scan(vec![vec![], vec![kv("a", 1, "v")]], vec![0, 1]).len(),
+            1
+        );
     }
 
     #[test]

@@ -145,10 +145,7 @@ impl RegionServer {
     }
 }
 
-fn handle_request(
-    regions: &Arc<RwLock<HashMap<RegionId, Region>>>,
-    req: Request,
-) -> Response {
+fn handle_request(regions: &Arc<RwLock<HashMap<RegionId, Region>>>, req: Request) -> Response {
     match req {
         Request::Put { region, kvs } => {
             let mut map = regions.write();
@@ -206,7 +203,11 @@ mod tests {
     #[test]
     fn put_scan_through_rpc() {
         let server = RegionServer::spawn(NodeId(0), ServerConfig::default());
-        server.assign(Region::new(RegionId(1), RowRange::all(), RegionConfig::default()));
+        server.assign(Region::new(
+            RegionId(1),
+            RowRange::all(),
+            RegionConfig::default(),
+        ));
         let h = server.handle();
         match h
             .call(Request::Put {
@@ -274,7 +275,11 @@ mod tests {
     fn unassign_moves_region_with_data() {
         let a = RegionServer::spawn(NodeId(0), ServerConfig::default());
         let b = RegionServer::spawn(NodeId(1), ServerConfig::default());
-        a.assign(Region::new(RegionId(1), RowRange::all(), RegionConfig::default()));
+        a.assign(Region::new(
+            RegionId(1),
+            RowRange::all(),
+            RegionConfig::default(),
+        ));
         a.handle()
             .call(Request::Put {
                 region: RegionId(1),
@@ -302,7 +307,11 @@ mod tests {
     #[test]
     fn metrics_roundtrip() {
         let server = RegionServer::spawn(NodeId(0), ServerConfig::default());
-        server.assign(Region::new(RegionId(1), RowRange::all(), RegionConfig::default()));
+        server.assign(Region::new(
+            RegionId(1),
+            RowRange::all(),
+            RegionConfig::default(),
+        ));
         server
             .handle()
             .call(Request::Put {

@@ -23,7 +23,10 @@ pub struct StoreFile {
 impl StoreFile {
     /// Build from cells that must already be sorted (debug-asserted).
     pub fn from_sorted(cells: Vec<KeyValue>, sequence: u64) -> Self {
-        debug_assert!(cells.windows(2).all(|w| w[0] <= w[1]), "cells must be sorted");
+        debug_assert!(
+            cells.windows(2).all(|w| w[0] <= w[1]),
+            "cells must be sorted"
+        );
         let index = cells
             .iter()
             .enumerate()
@@ -70,14 +73,14 @@ impl StoreFile {
             // Seek: last index entry with row < start, then linear from there.
             let idx = self
                 .index
-                .partition_point(|(_, row)| &row[..] < &range.start[..]);
+                .partition_point(|(_, row)| row[..] < range.start[..]);
             let block = idx.saturating_sub(1);
             let from = self.index.get(block).map_or(0, |&(pos, _)| pos);
-            from + self.cells[from..].partition_point(|kv| &kv.row[..] < &range.start[..])
+            from + self.cells[from..].partition_point(|kv| kv.row[..] < range.start[..])
         };
         self.cells[start_pos..]
             .iter()
-            .take_while(move |kv| range.end.is_empty() || &kv.row[..] < &range.end[..])
+            .take_while(move |kv| range.end.is_empty() || kv.row[..] < range.end[..])
     }
 
     /// Total payload bytes (diagnostics / compaction policy).
@@ -113,10 +116,7 @@ mod tests {
         let refs: Vec<&str> = rows.iter().map(|s| s.as_str()).collect();
         let f = file_of(&refs);
         let got: Vec<_> = f
-            .scan(&RowRange::new(
-                b"row00100".to_vec(),
-                b"row00110".to_vec(),
-            ))
+            .scan(&RowRange::new(b"row00100".to_vec(), b"row00110".to_vec()))
             .map(|kv| String::from_utf8(kv.row.to_vec()).unwrap())
             .collect();
         assert_eq!(got.len(), 10);
@@ -127,9 +127,18 @@ mod tests {
     #[test]
     fn scan_start_before_first_and_after_last() {
         let f = file_of(&["m", "n"]);
-        assert_eq!(f.scan(&RowRange::new(b"a".to_vec(), b"z".to_vec())).count(), 2);
-        assert_eq!(f.scan(&RowRange::new(b"x".to_vec(), b"z".to_vec())).count(), 0);
-        assert_eq!(f.scan(&RowRange::new(b"a".to_vec(), b"b".to_vec())).count(), 0);
+        assert_eq!(
+            f.scan(&RowRange::new(b"a".to_vec(), b"z".to_vec())).count(),
+            2
+        );
+        assert_eq!(
+            f.scan(&RowRange::new(b"x".to_vec(), b"z".to_vec())).count(),
+            0
+        );
+        assert_eq!(
+            f.scan(&RowRange::new(b"a".to_vec(), b"b".to_vec())).count(),
+            0
+        );
     }
 
     #[test]

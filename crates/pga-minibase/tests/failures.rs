@@ -21,7 +21,10 @@ fn cluster(nodes: usize, splits: &[&[u8]]) -> (Master, Client) {
     let mut master = Master::bootstrap(nodes, ServerConfig::default(), coord, 0);
     master.create_table(&TableDescriptor {
         name: "t".into(),
-        split_points: splits.iter().map(|s| bytes::Bytes::from(s.to_vec())).collect(),
+        split_points: splits
+            .iter()
+            .map(|s| bytes::Bytes::from(s.to_vec()))
+            .collect(),
         region_config: RegionConfig::default(),
     });
     let client = Client::connect(&master);
@@ -47,7 +50,11 @@ fn sequential_node_failures_cascade_onto_survivors() {
     // Every region now lives on nodes 2 or 3.
     let dir = master.directory();
     for info in dir.read().iter() {
-        assert!(info.server.0 >= 2, "region {:?} still on dead node", info.id);
+        assert!(
+            info.server.0 >= 2,
+            "region {:?} still on dead node",
+            info.id
+        );
     }
     // All data remains reachable through a fresh client.
     let fresh = Client::connect(&master);
@@ -61,7 +68,9 @@ fn unflushed_writes_survive_failover_via_wal() {
     let (mut master, client) = cluster(2, &[b"m"]);
     // Writes stay in the memstore (no flush): durability hinges on the WAL.
     for i in 0..20 {
-        client.put(vec![kv(&format!("a{i:02}"), 1, "unflushed")]).unwrap();
+        client
+            .put(vec![kv(&format!("a{i:02}"), 1, "unflushed")])
+            .unwrap();
     }
     master.heartbeat(NodeId(1), 10_000);
     let moved = master.tick(10_000);
@@ -93,15 +102,17 @@ fn old_client_keeps_working_after_reassignment() {
     // and its handle map still contains the survivors: reads and writes
     // continue.
     client.put(vec![kv("b", 1, "after")]).unwrap();
-    let cells = client.scan(&RowRange::new(b"a".to_vec(), b"c".to_vec())).unwrap();
+    let cells = client
+        .scan(&RowRange::new(b"a".to_vec(), b"c".to_vec()))
+        .unwrap();
     assert_eq!(cells.len(), 2);
     master.shutdown();
 }
 
 #[test]
 fn overloaded_server_crash_is_observable() {
-    use pga_minibase::{RegionServer, Request};
     use pga_minibase::{Region, RegionId};
+    use pga_minibase::{RegionServer, Request};
     // A tiny queue and a crash budget: unthrottled casts kill the server.
     let server = RegionServer::spawn(
         NodeId(9),
@@ -110,7 +121,11 @@ fn overloaded_server_crash_is_observable() {
             crash_after_overloads: 5,
         },
     );
-    server.assign(Region::new(RegionId(1), RowRange::all(), RegionConfig::default()));
+    server.assign(Region::new(
+        RegionId(1),
+        RowRange::all(),
+        RegionConfig::default(),
+    ));
     let handle = server.handle();
     let mut crashed = false;
     for i in 0..10_000 {
@@ -118,12 +133,9 @@ fn overloaded_server_crash_is_observable() {
             region: RegionId(1),
             kvs: vec![kv(&format!("r{i}"), 1, "x")],
         };
-        match handle.cast(req) {
-            Err(pga_cluster::rpc::RpcError::Crashed) => {
-                crashed = true;
-                break;
-            }
-            _ => {}
+        if let Err(pga_cluster::rpc::RpcError::Crashed) = handle.cast(req) {
+            crashed = true;
+            break;
         }
     }
     assert!(crashed, "server should crash from sustained overload");

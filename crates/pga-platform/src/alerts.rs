@@ -72,7 +72,7 @@ pub fn rank_alerts(records: &[AnomalyRecord], now: u64, horizon: u64) -> Vec<Ale
             }
         })
         .collect();
-    alerts.sort_by(|a, b| b.score().cmp(&a.score()));
+    alerts.sort_by_key(|a| std::cmp::Reverse(a.score()));
     alerts
 }
 

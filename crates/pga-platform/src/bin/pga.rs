@@ -50,6 +50,10 @@ fn usage() -> ! {
            import     load OpenTSDB-style JSONL datapoints into a fresh\n\
                       store and serve the query API over them\n\
                       (--file path --nodes N --port P --secs S)\n\
+           elastic    simulate the autoscaled storage tier under a load\n\
+                      surge and print the scaling timeline\n\
+                      (--nodes N --base R --peak R --surge-at S --secs S\n\
+                       [--ramp-secs S] [--static true])\n\
          \n\
          experiment reproduction lives in the bench crate:\n\
            cargo run --release -p pga-bench --bin report_all"
@@ -129,9 +133,7 @@ fn cmd_dashboard(map: &HashMap<String, String>) {
             let m = monitor.lock();
             match (req.method.as_str(), req.path.as_str()) {
                 ("GET", "/") => Some(HttpResponse::html(m.fleet_overview_html(0.0))),
-                ("GET", "/heatmap") => {
-                    Some(HttpResponse::html(m.heatmap_html(0, ticks - 1, 50)))
-                }
+                ("GET", "/heatmap") => Some(HttpResponse::html(m.heatmap_html(0, ticks - 1, 50))),
                 ("GET", p) if p.starts_with("/machine/") => {
                     let unit: u32 = p["/machine/".len()..].parse().ok()?;
                     if unit >= units {
@@ -194,7 +196,11 @@ fn cmd_import(map: &HashMap<String, String>) {
         split_points: codec.split_points(),
         region_config: RegionConfig::default(),
     });
-    let tsd = Arc::new(Tsd::new(codec, Client::connect(&master), TsdConfig::default()));
+    let tsd = Arc::new(Tsd::new(
+        codec,
+        Client::connect(&master),
+        TsdConfig::default(),
+    ));
 
     let reader = std::io::BufReader::new(std::fs::File::open(file).unwrap_or_else(|e| {
         eprintln!("cannot open {file}: {e}");
@@ -228,34 +234,100 @@ fn cmd_import(map: &HashMap<String, String>) {
     if secs > 0 {
         let routes: RequestHandler = {
             let tsd = tsd.clone();
-            Arc::new(move |req: &HttpRequest| match (req.method.as_str(), req.path.as_str()) {
-                ("POST", "/api/put") => Some(match pga_tsdb::handle_put(&tsd, &req.body) {
-                    Ok(n) => HttpResponse::json(format!("{{\"success\":{n}}}")),
-                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
-                }),
-                ("POST", "/api/query") => Some(match pga_tsdb::handle_query(&tsd, &req.body) {
-                    Ok(json) => HttpResponse::json(json),
-                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
-                }),
-                ("GET", p) if p.starts_with("/api/suggest") => {
-                    let qs = p.splitn(2, '?').nth(1).unwrap_or("");
-                    Some(match pga_tsdb::handle_suggest(&tsd, qs) {
+            Arc::new(
+                move |req: &HttpRequest| match (req.method.as_str(), req.path.as_str()) {
+                    ("POST", "/api/put") => Some(match pga_tsdb::handle_put(&tsd, &req.body) {
+                        Ok(n) => HttpResponse::json(format!("{{\"success\":{n}}}")),
+                        Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                    }),
+                    ("POST", "/api/query") => Some(match pga_tsdb::handle_query(&tsd, &req.body) {
                         Ok(json) => HttpResponse::json(json),
                         Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
-                    })
-                }
-                _ => None,
-            })
+                    }),
+                    ("GET", p) if p.starts_with("/api/suggest") => {
+                        let qs = p.split_once('?').map_or("", |x| x.1);
+                        Some(match pga_tsdb::handle_suggest(&tsd, qs) {
+                            Ok(json) => HttpResponse::json(json),
+                            Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                        })
+                    }
+                    _ => None,
+                },
+            )
         };
         let port = get(map, "port", 8087u16);
         let server = DashboardServer::start_with(port, routes.clone())
             .or_else(|_| DashboardServer::start_with(0, routes))
             .expect("bind");
-        println!("query API at http://{}/api/query for {secs}s", server.addr());
+        println!(
+            "query API at http://{}/api/query for {secs}s",
+            server.addr()
+        );
         std::thread::sleep(std::time::Duration::from_secs(secs));
         server.stop();
     }
     master.shutdown();
+}
+
+/// Simulate the elastic storage tier under a configurable load surge,
+/// using the platform's scaling policy, and print the decisions it took.
+fn cmd_elastic(map: &HashMap<String, String>) {
+    use pga_control::{run_elastic, ElasticSimConfig, HysteresisPolicy, StaticPolicy};
+    use pga_sensorgen::ArrivalPattern;
+
+    let nodes = get(map, "nodes", 8usize).max(1);
+    let base = get(map, "base", 80_000.0f64);
+    let peak = get(map, "peak", 250_000.0f64);
+    let secs = get(map, "secs", 120.0f64);
+    let surge_at = get(map, "surge-at", secs / 3.0);
+    let ramp_secs = get(map, "ramp-secs", 0.0f64);
+    let pattern = if ramp_secs > 0.0 {
+        ArrivalPattern::Ramp {
+            base,
+            from_secs: surge_at,
+            until_secs: surge_at + ramp_secs,
+            to: peak,
+        }
+    } else {
+        ArrivalPattern::Step {
+            base,
+            at_secs: surge_at,
+            to: peak,
+        }
+    };
+
+    let cfg = ElasticSimConfig::paper_calibration(nodes);
+    let scaling = PlatformConfig::demo(get(map, "seed", 42u64)).scaling;
+    let report = if get(map, "static", false) {
+        run_elastic(&cfg, &pattern, secs, &mut StaticPolicy)
+    } else {
+        run_elastic(&cfg, &pattern, secs, &mut HysteresisPolicy::new(scaling))
+    };
+
+    println!("pattern: {}  policy: {}", report.pattern, report.policy);
+    for e in &report.scale_events {
+        println!(
+            "  t={:>6.1}s  {:<14} active {} -> fleet {}",
+            e.t_secs, e.action, e.active_before, e.fleet_after
+        );
+    }
+    if report.scale_events.is_empty() {
+        println!("  (no scaling actions)");
+    }
+    println!(
+        "offered {:.0}  ingested {:.0}  dropped {:.0}  ({:.1}% delivered)",
+        report.offered,
+        report.ingested,
+        report.dropped,
+        report.delivery_ratio() * 100.0
+    );
+    println!(
+        "crashes {}  peak nodes {}  node-seconds {:.0}  {:.0} samples/s/node",
+        report.crashes,
+        report.peak_active_nodes,
+        report.node_seconds,
+        report.per_node_throughput()
+    );
 }
 
 fn main() {
@@ -267,6 +339,7 @@ fn main() {
         "demo" => cmd_demo(&map),
         "dashboard" => cmd_dashboard(&map),
         "import" => cmd_import(&map),
+        "elastic" => cmd_elastic(&map),
         _ => usage(),
     }
 }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use pga_control::HysteresisConfig;
 use pga_sensorgen::FleetConfig;
 use pga_stats::Procedure;
 
@@ -26,6 +27,10 @@ pub struct PlatformConfig {
     pub procedure: Procedure,
     /// Dataflow worker threads for training.
     pub workers: usize,
+    /// Elastic-scaling policy for the storage tier (pga-control). Absent
+    /// in older configs, so it defaults.
+    #[serde(default)]
+    pub scaling: HysteresisConfig,
 }
 
 impl PlatformConfig {
@@ -47,6 +52,7 @@ impl PlatformConfig {
             alpha: 0.05,
             procedure: Procedure::BenjaminiHochberg,
             workers: 4,
+            scaling: HysteresisConfig::default(),
         }
     }
 
@@ -70,6 +76,25 @@ impl PlatformConfig {
         }
         if self.workers == 0 {
             return Err("need at least one worker".into());
+        }
+        let s = &self.scaling;
+        if s.low_water >= s.high_water {
+            return Err(format!(
+                "scaling water marks inverted: low {} >= high {}",
+                s.low_water, s.high_water
+            ));
+        }
+        if !(0.0 < s.ema_alpha && s.ema_alpha <= 1.0) {
+            return Err(format!("scaling ema_alpha {} outside (0,1]", s.ema_alpha));
+        }
+        if s.min_nodes == 0 || s.min_nodes > s.max_nodes {
+            return Err(format!(
+                "scaling fleet bounds invalid: min {} max {}",
+                s.min_nodes, s.max_nodes
+            ));
+        }
+        if s.scale_out_step == 0 || s.scale_in_step == 0 {
+            return Err("scaling steps must be positive".into());
         }
         Ok(())
     }
@@ -97,6 +122,33 @@ mod tests {
         let mut c = PlatformConfig::demo(1);
         c.training_window = 1;
         assert!(c.validate().is_err());
+
+        let mut c = PlatformConfig::demo(1);
+        c.scaling.low_water = 0.9; // above high_water
+        assert!(c.validate().is_err());
+
+        let mut c = PlatformConfig::demo(1);
+        c.scaling.min_nodes = 10;
+        c.scaling.max_nodes = 2;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn configs_without_scaling_section_still_parse() {
+        // A config serialized before the elastic control plane existed.
+        let serde_json::Value::Object(obj) = serde_json::to_value(&PlatformConfig::demo(3)) else {
+            panic!("config must serialize to an object");
+        };
+        let mut pruned = serde_json::Map::new();
+        for (k, val) in obj.iter() {
+            if k != "scaling" {
+                pruned.insert(k.clone(), val.clone());
+            }
+        }
+        let back: PlatformConfig =
+            serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
+        assert_eq!(back.scaling, HysteresisConfig::default());
+        assert!(back.validate().is_ok());
     }
 
     #[test]

@@ -9,8 +9,7 @@ use pga_linalg::Matrix;
 use pga_sensorgen::Fleet;
 use pga_tsdb::QueryFilter;
 use pga_viz::{
-    fleet_overview_page, machine_page, FleetOverview, Health, MachinePage, SensorPanel,
-    UnitStatus,
+    fleet_overview_page, machine_page, FleetOverview, Health, MachinePage, SensorPanel, UnitStatus,
 };
 
 use crate::config::PlatformConfig;
@@ -58,7 +57,11 @@ impl std::fmt::Display for MonitorError {
             MonitorError::Config(e) => write!(f, "invalid config: {e}"),
             MonitorError::NotTrained => write!(f, "monitor not trained yet"),
             MonitorError::Storage(e) => write!(f, "storage error: {e}"),
-            MonitorError::IncompleteWindow { unit, sensor, found } => write!(
+            MonitorError::IncompleteWindow {
+                unit,
+                sensor,
+                found,
+            } => write!(
                 f,
                 "unit {unit} sensor {sensor}: incomplete window ({found} points)"
             ),
@@ -136,7 +139,12 @@ impl Monitor {
     /// Read one unit's observation window back **from the TSDB** — the
     /// full storage round-trip, not a shortcut through the generator.
     /// Rows are ticks `(t_end - len, t_end]`.
-    pub fn window_from_store(&self, unit: u32, t_end: u64, len: usize) -> Result<Matrix, MonitorError> {
+    pub fn window_from_store(
+        &self,
+        unit: u32,
+        t_end: u64,
+        len: usize,
+    ) -> Result<Matrix, MonitorError> {
         assert!(len > 0);
         let period = self.config.fleet.sample_period_secs;
         let start_tick = t_end + 1 - len as u64;
@@ -337,14 +345,18 @@ impl Monitor {
         len: usize,
         max_panels: usize,
     ) -> Result<String, MonitorError> {
-        Ok(machine_page(&self.machine_page_data(unit, t_end, len, max_panels)?))
+        Ok(machine_page(
+            &self.machine_page_data(unit, t_end, len, max_panels)?,
+        ))
     }
 
     /// Build the fleet overview from recorded anomalies and the last
     /// ingest measurement.
     pub fn fleet_overview_data(&self, eval_rate: f64) -> FleetOverview {
         FleetOverview {
-            units: (0..self.config.fleet.units).map(|u| self.unit_status(u)).collect(),
+            units: (0..self.config.fleet.units)
+                .map(|u| self.unit_status(u))
+                .collect(),
             ingest_rate: self.last_ingest.as_ref().map_or(0.0, |r| r.throughput),
             eval_rate,
         }

@@ -1,0 +1,135 @@
+//! Arrival-rate patterns for load experiments.
+//!
+//! The paper's ingestion study (§III-B) drives the cluster at a constant
+//! aggregate rate; the elastic-scaling experiment (E16) additionally needs
+//! surges. [`ArrivalPattern`] describes the offered load in samples/sec as
+//! a deterministic function of time, so a run is reproducible for a fixed
+//! scenario regardless of seed.
+
+/// Offered load in samples/sec as a function of elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Flat rate forever.
+    Constant {
+        /// Samples/sec.
+        rate: f64,
+    },
+    /// Flat `base` until `at_secs`, then flat `to` — the paper's "add
+    /// nodes when the fleet grows" moment compressed into one instant.
+    Step {
+        /// Rate before the step.
+        base: f64,
+        /// Step time, seconds from start.
+        at_secs: f64,
+        /// Rate after the step.
+        to: f64,
+    },
+    /// Flat `base` until `from_secs`, then linear climb to `to` at
+    /// `until_secs`, flat afterwards.
+    Ramp {
+        /// Rate before the ramp.
+        base: f64,
+        /// Ramp start, seconds from start.
+        from_secs: f64,
+        /// Ramp end, seconds from start.
+        until_secs: f64,
+        /// Rate at and after `until_secs`.
+        to: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// Offered load at `t_secs`, in samples/sec.
+    pub fn rate(&self, t_secs: f64) -> f64 {
+        match *self {
+            ArrivalPattern::Constant { rate } => rate,
+            ArrivalPattern::Step { base, at_secs, to } => {
+                if t_secs < at_secs {
+                    base
+                } else {
+                    to
+                }
+            }
+            ArrivalPattern::Ramp {
+                base,
+                from_secs,
+                until_secs,
+                to,
+            } => {
+                if t_secs < from_secs {
+                    base
+                } else if t_secs >= until_secs {
+                    to
+                } else {
+                    let frac = (t_secs - from_secs) / (until_secs - from_secs);
+                    base + frac * (to - base)
+                }
+            }
+        }
+    }
+
+    /// Peak rate over all time.
+    pub fn peak(&self) -> f64 {
+        match *self {
+            ArrivalPattern::Constant { rate } => rate,
+            ArrivalPattern::Step { base, to, .. } => base.max(to),
+            ArrivalPattern::Ramp { base, to, .. } => base.max(to),
+        }
+    }
+
+    /// Human-readable description for reports.
+    pub fn describe(&self) -> String {
+        match *self {
+            ArrivalPattern::Constant { rate } => format!("constant {rate:.0}/s"),
+            ArrivalPattern::Step { base, at_secs, to } => {
+                format!("step {base:.0}/s -> {to:.0}/s at t={at_secs:.0}s")
+            }
+            ArrivalPattern::Ramp {
+                base,
+                from_secs,
+                until_secs,
+                to,
+            } => format!("ramp {base:.0}/s -> {to:.0}/s over t={from_secs:.0}..{until_secs:.0}s"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_switches_exactly_at_boundary() {
+        let p = ArrivalPattern::Step {
+            base: 100.0,
+            at_secs: 10.0,
+            to: 400.0,
+        };
+        assert_eq!(p.rate(0.0), 100.0);
+        assert_eq!(p.rate(9.999), 100.0);
+        assert_eq!(p.rate(10.0), 400.0);
+        assert_eq!(p.peak(), 400.0);
+    }
+
+    #[test]
+    fn ramp_is_linear_between_endpoints() {
+        let p = ArrivalPattern::Ramp {
+            base: 100.0,
+            from_secs: 10.0,
+            until_secs: 20.0,
+            to: 300.0,
+        };
+        assert_eq!(p.rate(5.0), 100.0);
+        assert!((p.rate(15.0) - 200.0).abs() < 1e-9);
+        assert_eq!(p.rate(20.0), 300.0);
+        assert_eq!(p.rate(100.0), 300.0);
+    }
+
+    #[test]
+    fn constant_is_flat() {
+        let p = ArrivalPattern::Constant { rate: 250.0 };
+        assert_eq!(p.rate(0.0), 250.0);
+        assert_eq!(p.rate(1e6), 250.0);
+        assert_eq!(p.peak(), 250.0);
+    }
+}

@@ -80,7 +80,10 @@ impl FleetConfig {
             return Err("sample period must be positive".into());
         }
         if !(self.noise_std > 0.0 && self.noise_std.is_finite()) {
-            return Err(format!("noise_std must be positive, got {}", self.noise_std));
+            return Err(format!(
+                "noise_std must be positive, got {}",
+                self.noise_std
+            ));
         }
         let f = self.degradation_fraction + self.shift_fraction;
         if !(0.0..=1.0).contains(&self.degradation_fraction)

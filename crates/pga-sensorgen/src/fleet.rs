@@ -196,11 +196,7 @@ impl Fleet {
     /// must reach that many noise standard deviations before the cell
     /// counts as a true anomaly (a drift of 0.001σ is not a reasonable miss).
     pub fn truth(&self, unit: u32, sensor: u32, t: u64, threshold_sigmas: f64) -> bool {
-        self.faults[unit as usize].is_anomalous(
-            sensor,
-            t,
-            threshold_sigmas * self.config.noise_std,
-        )
+        self.faults[unit as usize].is_anomalous(sensor, t, threshold_sigmas * self.config.noise_std)
     }
 
     /// Ground-truth labels for every sensor of a unit at time `t`.
@@ -339,7 +335,8 @@ mod tests {
         let spec = *f.fault(unit);
         let sensor = spec.group_start;
         let window = 200;
-        let before: f64 = (0..window).map(|t| f.sample(unit, sensor, t)).sum::<f64>() / window as f64;
+        let before: f64 =
+            (0..window).map(|t| f.sample(unit, sensor, t)).sum::<f64>() / window as f64;
         let after: f64 = (spec.onset..spec.onset + window)
             .map(|t| f.sample(unit, sensor, t))
             .sum::<f64>()
@@ -360,7 +357,9 @@ mod tests {
         let far = spec.onset + 2000;
         let drift_expected = spec.slope * 2001.0;
         let window = 100;
-        let late: f64 = (far..far + window).map(|t| f.sample(unit, sensor, t)).sum::<f64>()
+        let late: f64 = (far..far + window)
+            .map(|t| f.sample(unit, sensor, t))
+            .sum::<f64>()
             / window as f64;
         let base = f.config().baseline_mean;
         assert!(
@@ -377,8 +376,12 @@ mod tests {
         let (s0, s1) = (spec.group_start, spec.group_start + 1);
         let n = 4000u64;
         // Sample both sensors before onset (pure correlated noise).
-        let xs: Vec<f64> = (0..n.min(spec.onset)).map(|t| f.sample(unit, s0, t)).collect();
-        let ys: Vec<f64> = (0..n.min(spec.onset)).map(|t| f.sample(unit, s1, t)).collect();
+        let xs: Vec<f64> = (0..n.min(spec.onset))
+            .map(|t| f.sample(unit, s0, t))
+            .collect();
+        let ys: Vec<f64> = (0..n.min(spec.onset))
+            .map(|t| f.sample(unit, s1, t))
+            .collect();
         let m = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / m;
         let my = ys.iter().sum::<f64>() / m;
@@ -398,7 +401,9 @@ mod tests {
         );
         // An unrelated sensor is uncorrelated.
         let other = spec.group_start.wrapping_add(100) % f.config().sensors_per_unit;
-        let zs: Vec<f64> = (0..xs.len() as u64).map(|t| f.sample(unit, other, t)).collect();
+        let zs: Vec<f64> = (0..xs.len() as u64)
+            .map(|t| f.sample(unit, other, t))
+            .collect();
         let mz = zs.iter().sum::<f64>() / m;
         let mut cxz = 0.0;
         let mut cz = 0.0;
@@ -442,7 +447,12 @@ mod tests {
         let spec = *f.fault(unit);
         assert!(!f.truth(unit, spec.group_start, spec.onset - 1, 1.0));
         assert!(f.truth(unit, spec.group_start, spec.onset, 1.0));
-        assert!(!f.truth(unit, spec.group_start + spec.group_len, spec.onset + 10, 1.0));
+        assert!(!f.truth(
+            unit,
+            spec.group_start + spec.group_len,
+            spec.onset + 10,
+            1.0
+        ));
         let healthy = f.units_with_class(FaultClass::Healthy)[0];
         assert!(!f.truth(healthy, 0, 10_000, 1.0));
     }

@@ -7,24 +7,26 @@ use pga_sensorgen::{FaultClass, Fleet, FleetConfig};
 
 fn small_config() -> impl Strategy<Value = FleetConfig> {
     (
-        1u32..6,        // units
-        1u32..40,       // sensors
-        any::<u64>(),   // seed
-        0.0f64..0.5,    // degradation fraction
-        0.0f64..0.5,    // shift fraction
-        0.1f64..3.0,    // noise std
-        0.0f64..0.9,    // group correlation
+        1u32..6,      // units
+        1u32..40,     // sensors
+        any::<u64>(), // seed
+        0.0f64..0.5,  // degradation fraction
+        0.0f64..0.5,  // shift fraction
+        0.1f64..3.0,  // noise std
+        0.0f64..0.9,  // group correlation
     )
-        .prop_map(|(units, sensors, seed, deg, shift, noise, rho)| FleetConfig {
-            units,
-            sensors_per_unit: sensors,
-            seed,
-            degradation_fraction: deg,
-            shift_fraction: shift,
-            noise_std: noise,
-            group_correlation: rho,
-            ..FleetConfig::paper_scale(seed)
-        })
+        .prop_map(
+            |(units, sensors, seed, deg, shift, noise, rho)| FleetConfig {
+                units,
+                sensors_per_unit: sensors,
+                seed,
+                degradation_fraction: deg,
+                shift_fraction: shift,
+                noise_std: noise,
+                group_correlation: rho,
+                ..FleetConfig::paper_scale(seed)
+            },
+        )
 }
 
 proptest! {

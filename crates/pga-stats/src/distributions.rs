@@ -50,7 +50,9 @@ pub fn erf(x: f64) -> f64 {
 /// one Halley step; accurate to better than 1e-9 over (0, 1).
 pub fn normal_quantile(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
-    // Coefficients for Acklam's rational approximation.
+    // Coefficients for Acklam's rational approximation (published values,
+    // kept verbatim).
+    #[allow(clippy::excessive_precision)]
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
@@ -174,6 +176,8 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 
 /// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
 pub fn ln_gamma(x: f64) -> f64 {
+    // Published Lanczos coefficients, kept verbatim.
+    #[allow(clippy::excessive_precision)]
     const G: [f64; 9] = [
         0.99999999999980993,
         676.5203681218851,

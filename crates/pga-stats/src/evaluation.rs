@@ -122,8 +122,7 @@ impl TrialAggregate {
         let n = self.trials as f64;
         let w = 1.0 / (n + 1.0);
         self.empirical_fdr += (outcome.false_discovery_proportion() - self.empirical_fdr) * w;
-        self.empirical_fwer +=
-            ((outcome.any_false_alarm() as u8 as f64) - self.empirical_fwer) * w;
+        self.empirical_fwer += ((outcome.any_false_alarm() as u8 as f64) - self.empirical_fwer) * w;
         self.mean_power += (outcome.power() - self.mean_power) * w;
         self.mean_false_positives +=
             (outcome.false_positives as f64 - self.mean_false_positives) * w;

@@ -34,7 +34,7 @@ pub use evaluation::{
     evaluate_procedure, family_wise_false_alarm_probability, ProcedureOutcome, TrialAggregate,
 };
 pub use multiple::{
-    benjamini_hochberg, bh_adjusted_p_values, benjamini_yekutieli, bonferroni, hochberg, holm,
+    benjamini_hochberg, benjamini_yekutieli, bh_adjusted_p_values, bonferroni, hochberg, holm,
     sidak, storey_bh, uncorrected, Procedure, Rejections,
 };
 pub use tests::{

@@ -168,7 +168,10 @@ pub fn holm(p_values: &[f64], alpha: f64) -> Rejections {
             break;
         }
     }
-    Rejections { rejected, threshold }
+    Rejections {
+        rejected,
+        threshold,
+    }
 }
 
 /// Hochberg step-up procedure (FWER under independence).
@@ -197,7 +200,10 @@ pub fn hochberg(p_values: &[f64], alpha: f64) -> Rejections {
             rejected[idx] = true;
         }
     }
-    Rejections { rejected, threshold }
+    Rejections {
+        rejected,
+        threshold,
+    }
 }
 
 /// Benjamini–Hochberg step-up procedure: controls the false discovery rate
@@ -250,7 +256,10 @@ fn step_up_fdr(p_values: &[f64], alpha: f64, deflate: f64) -> Rejections {
             rejected[idx] = true;
         }
     }
-    Rejections { rejected, threshold }
+    Rejections {
+        rejected,
+        threshold,
+    }
 }
 
 /// Storey's adaptive Benjamini–Hochberg procedure: estimate the null
@@ -348,10 +357,7 @@ mod tests {
             let by = benjamini_yekutieli(&f, 0.05);
             let unc = uncorrected(&f, 0.05);
             let subset = |a: &Rejections, b: &Rejections| {
-                a.rejected
-                    .iter()
-                    .zip(&b.rejected)
-                    .all(|(&x, &y)| !x || y)
+                a.rejected.iter().zip(&b.rejected).all(|(&x, &y)| !x || y)
             };
             assert!(subset(&bon, &hol));
             assert!(subset(&hol, &hoc));

@@ -82,7 +82,11 @@ pub fn mean_shift_p_value(window: &[f64], hypothesized_mean: f64) -> f64 {
 /// χ²-distributed with as many degrees of freedom as retained components.
 /// Returns `(t2, dof)`.
 pub fn t_square_statistic(scores: &[f64], lambda: &[f64], eps: f64) -> (f64, usize) {
-    assert_eq!(scores.len(), lambda.len(), "scores/eigenvalue length mismatch");
+    assert_eq!(
+        scores.len(),
+        lambda.len(),
+        "scores/eigenvalue length mismatch"
+    );
     let mut t2 = 0.0;
     let mut dof = 0;
     for (&s, &l) in scores.iter().zip(lambda) {
@@ -153,7 +157,9 @@ mod unit_tests {
         let shifted: Vec<f64> = (0..30).map(|i| 3.0 + 0.01 * i as f64).collect();
         let p = mean_shift_p_value(&shifted, 0.0);
         assert!(p < 1e-6, "p={p}");
-        let null: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let null: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
         let p0 = mean_shift_p_value(&null, 0.0);
         assert!(p0 > 0.5, "p0={p0}");
     }

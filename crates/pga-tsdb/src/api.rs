@@ -152,7 +152,9 @@ pub fn parse_downsample(spec: &str) -> Result<(u64, Aggregator), ApiError> {
         .parse()
         .map_err(|_| ApiError::BadRequest(format!("bad downsample interval: {spec}")))?;
     if interval == 0 {
-        return Err(ApiError::BadRequest("downsample interval must be > 0".into()));
+        return Err(ApiError::BadRequest(
+            "downsample interval must be > 0".into(),
+        ));
     }
     let agg = match agg_part {
         "avg" => Aggregator::Avg,
@@ -160,11 +162,7 @@ pub fn parse_downsample(spec: &str) -> Result<(u64, Aggregator), ApiError> {
         "min" => Aggregator::Min,
         "max" => Aggregator::Max,
         "count" => Aggregator::Count,
-        other => {
-            return Err(ApiError::BadRequest(format!(
-                "unknown aggregator: {other}"
-            )))
-        }
+        other => return Err(ApiError::BadRequest(format!("unknown aggregator: {other}"))),
     };
     Ok((interval, agg))
 }
@@ -178,7 +176,9 @@ pub fn handle_suggest(tsd: &Tsd, query_string: &str) -> Result<String, ApiError>
     let mut q = String::new();
     let mut max = 25usize;
     for pair in query_string.trim_start_matches('?').split('&') {
-        let Some((k, v)) = pair.split_once('=') else { continue };
+        let Some((k, v)) = pair.split_once('=') else {
+            continue;
+        };
         match k {
             "type" => {
                 kind = Some(match v {
@@ -186,7 +186,9 @@ pub fn handle_suggest(tsd: &Tsd, query_string: &str) -> Result<String, ApiError>
                     "tagk" => UidKind::TagKey,
                     "tagv" => UidKind::TagValue,
                     other => {
-                        return Err(ApiError::BadRequest(format!("unknown suggest type: {other}")))
+                        return Err(ApiError::BadRequest(format!(
+                            "unknown suggest type: {other}"
+                        )))
                     }
                 })
             }
@@ -275,7 +277,8 @@ mod tests {
     #[test]
     fn put_single_and_array_bodies() {
         let (m, t) = tsd();
-        let one = r#"{"metric":"energy","timestamp":5,"value":1.5,"tags":{"unit":"1","sensor":"2"}}"#;
+        let one =
+            r#"{"metric":"energy","timestamp":5,"value":1.5,"tags":{"unit":"1","sensor":"2"}}"#;
         assert_eq!(handle_put(&t, one).unwrap(), 1);
         let many = r#"[
             {"metric":"energy","timestamp":6,"value":2.5,"tags":{"unit":"1","sensor":"2"}},
@@ -288,9 +291,15 @@ mod tests {
     #[test]
     fn put_rejects_bad_bodies() {
         let (m, t) = tsd();
-        assert!(matches!(handle_put(&t, "not json"), Err(ApiError::BadRequest(_))));
+        assert!(matches!(
+            handle_put(&t, "not json"),
+            Err(ApiError::BadRequest(_))
+        ));
         let no_tags = r#"{"metric":"energy","timestamp":5,"value":1.0,"tags":{}}"#;
-        assert!(matches!(handle_put(&t, no_tags), Err(ApiError::BadRequest(_))));
+        assert!(matches!(
+            handle_put(&t, no_tags),
+            Err(ApiError::BadRequest(_))
+        ));
         m.shutdown();
     }
 
@@ -329,7 +338,10 @@ mod tests {
     fn query_rejects_bad_ranges_and_specs() {
         let (m, t) = tsd();
         let backwards = r#"{"start":10,"end":5,"queries":[]}"#;
-        assert!(matches!(handle_query(&t, backwards), Err(ApiError::BadRequest(_))));
+        assert!(matches!(
+            handle_query(&t, backwards),
+            Err(ApiError::BadRequest(_))
+        ));
         assert!(parse_downsample("10s-median").is_err());
         assert!(parse_downsample("0s-avg").is_err());
         assert!(parse_downsample("nonsense").is_err());
@@ -338,19 +350,32 @@ mod tests {
 
     #[test]
     fn parse_downsample_variants() {
-        assert!(matches!(parse_downsample("60s-avg").unwrap(), (60, Aggregator::Avg)));
-        assert!(matches!(parse_downsample("5-sum").unwrap(), (5, Aggregator::Sum)));
-        assert!(matches!(parse_downsample("1s-count").unwrap(), (1, Aggregator::Count)));
+        assert!(matches!(
+            parse_downsample("60s-avg").unwrap(),
+            (60, Aggregator::Avg)
+        ));
+        assert!(matches!(
+            parse_downsample("5-sum").unwrap(),
+            (5, Aggregator::Sum)
+        ));
+        assert!(matches!(
+            parse_downsample("1s-count").unwrap(),
+            (1, Aggregator::Count)
+        ));
     }
 
     #[test]
     fn suggest_lists_interned_names() {
         let (m, t) = tsd();
-        t.put("energy", &[("unit", "1"), ("sensor", "2")], 1, 1.0).unwrap();
+        t.put("energy", &[("unit", "1"), ("sensor", "2")], 1, 1.0)
+            .unwrap();
         t.put("energy.aux", &[("unit", "1")], 1, 1.0).unwrap();
         let metrics: Vec<String> =
             serde_json::from_str(&handle_suggest(&t, "type=metrics&q=ener").unwrap()).unwrap();
-        assert_eq!(metrics, vec!["energy".to_string(), "energy.aux".to_string()]);
+        assert_eq!(
+            metrics,
+            vec!["energy".to_string(), "energy.aux".to_string()]
+        );
         let tagks: Vec<String> =
             serde_json::from_str(&handle_suggest(&t, "type=tagk&q=").unwrap()).unwrap();
         assert_eq!(tagks, vec!["sensor".to_string(), "unit".to_string()]);

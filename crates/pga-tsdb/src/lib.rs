@@ -27,8 +27,11 @@ pub mod query;
 pub mod tsd;
 pub mod uid;
 
-pub use api::{handle_put, handle_query, handle_suggest, ApiError, PutDatapoint, QueryRequest, QueryResponseSeries, SubQuery};
+pub use api::{
+    handle_put, handle_query, handle_suggest, ApiError, PutDatapoint, QueryRequest,
+    QueryResponseSeries, SubQuery,
+};
 pub use codec::{KeyCodec, KeyCodecConfig};
 pub use query::{aggregate_series, Aggregator, DataPoint, QueryFilter, TimeSeries};
-pub use tsd::{Tsd, TsdConfig, TsdError, TsdMetrics};
+pub use tsd::{BatchPoint, Tsd, TsdConfig, TsdError, TsdMetrics};
 pub use uid::{Uid, UidTable};

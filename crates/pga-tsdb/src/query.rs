@@ -138,7 +138,10 @@ pub fn aggregate_series(series: &[TimeSeries], agg: Aggregator) -> Option<TimeSe
     let mut buckets: BTreeMap<u64, AggState> = BTreeMap::new();
     for s in series {
         for p in &s.points {
-            buckets.entry(p.timestamp).or_insert_with(AggState::new).add(p.value);
+            buckets
+                .entry(p.timestamp)
+                .or_insert_with(AggState::new)
+                .add(p.value);
         }
     }
     Some(TimeSeries {
@@ -202,9 +205,27 @@ mod tests {
         let s = series(&[(0, 1.0), (5, 3.0), (10, 10.0), (19, 20.0), (20, 7.0)]);
         let d = s.downsample(10, Aggregator::Avg);
         assert_eq!(d.points.len(), 3);
-        assert_eq!(d.points[0], DataPoint { timestamp: 0, value: 2.0 });
-        assert_eq!(d.points[1], DataPoint { timestamp: 10, value: 15.0 });
-        assert_eq!(d.points[2], DataPoint { timestamp: 20, value: 7.0 });
+        assert_eq!(
+            d.points[0],
+            DataPoint {
+                timestamp: 0,
+                value: 2.0
+            }
+        );
+        assert_eq!(
+            d.points[1],
+            DataPoint {
+                timestamp: 10,
+                value: 15.0
+            }
+        );
+        assert_eq!(
+            d.points[2],
+            DataPoint {
+                timestamp: 20,
+                value: 7.0
+            }
+        );
     }
 
     #[test]
@@ -257,14 +278,23 @@ mod tests {
         assert_eq!(
             agg.points,
             vec![
-                DataPoint { timestamp: 0, value: 11.0 },
-                DataPoint { timestamp: 1, value: 2.0 },
-                DataPoint { timestamp: 2, value: 30.0 },
+                DataPoint {
+                    timestamp: 0,
+                    value: 11.0
+                },
+                DataPoint {
+                    timestamp: 1,
+                    value: 2.0
+                },
+                DataPoint {
+                    timestamp: 2,
+                    value: 30.0
+                },
             ]
         );
         // Common tags survive; differing tags are dropped.
         assert_eq!(agg.tags.get("sensor").map(String::as_str), Some("7"));
-        assert!(agg.tags.get("unit").is_none());
+        assert!(!agg.tags.contains_key("unit"));
     }
 
     #[test]
@@ -273,10 +303,22 @@ mod tests {
         let b = series(&[(5, 4.0)]);
         let c = series(&[(5, 9.0)]);
         let input = [a, b, c];
-        assert_eq!(aggregate_series(&input, Aggregator::Avg).unwrap().points[0].value, 5.0);
-        assert_eq!(aggregate_series(&input, Aggregator::Min).unwrap().points[0].value, 2.0);
-        assert_eq!(aggregate_series(&input, Aggregator::Max).unwrap().points[0].value, 9.0);
-        assert_eq!(aggregate_series(&input, Aggregator::Count).unwrap().points[0].value, 3.0);
+        assert_eq!(
+            aggregate_series(&input, Aggregator::Avg).unwrap().points[0].value,
+            5.0
+        );
+        assert_eq!(
+            aggregate_series(&input, Aggregator::Min).unwrap().points[0].value,
+            2.0
+        );
+        assert_eq!(
+            aggregate_series(&input, Aggregator::Max).unwrap().points[0].value,
+            9.0
+        );
+        assert_eq!(
+            aggregate_series(&input, Aggregator::Count).unwrap().points[0].value,
+            3.0
+        );
     }
 
     #[test]
@@ -289,7 +331,10 @@ mod tests {
         assert_eq!(series(&[]).last(), None);
         assert_eq!(
             series(&[(1, 2.0), (5, 9.0)]).last(),
-            Some(DataPoint { timestamp: 5, value: 9.0 })
+            Some(DataPoint {
+                timestamp: 5,
+                value: 9.0
+            })
         );
     }
 }

@@ -24,20 +24,15 @@ use pga_minibase::{Client, ClientError, KeyValue, RowRange};
 use crate::codec::KeyCodec;
 use crate::query::{DataPoint, QueryFilter, TimeSeries};
 
+/// One `(tags, timestamp, value)` element of a batched put.
+pub type BatchPoint<'a> = (&'a [(&'a str, &'a str)], u64, f64);
+
 /// TSD configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TsdConfig {
     /// Enable OpenTSDB-style write-path row compaction (the paper runs
-    /// with this **disabled**).
+    /// with this **disabled**, so the default is off).
     pub write_path_compaction: bool,
-}
-
-impl Default for TsdConfig {
-    fn default() -> Self {
-        TsdConfig {
-            write_path_compaction: false,
-        }
-    }
 }
 
 /// Counters for one TSD daemon.
@@ -140,11 +135,7 @@ impl Tsd {
     /// Write a batch of points of one metric in a single storage RPC
     /// per region (OpenTSDB's batched `put`). Each element is
     /// `(tags, timestamp, value)`.
-    pub fn put_batch(
-        &self,
-        metric: &str,
-        points: &[(&[(&str, &str)], u64, f64)],
-    ) -> Result<(), TsdError> {
+    pub fn put_batch(&self, metric: &str, points: &[BatchPoint<'_>]) -> Result<(), TsdError> {
         if points.is_empty() {
             return Ok(());
         }
@@ -191,9 +182,7 @@ impl Tsd {
                 // Read the finished row…
                 let mut end = prev_row.to_vec();
                 end.push(0);
-                let cells = self
-                    .client
-                    .scan(&RowRange::new(prev_row.clone(), end))?;
+                let cells = self.client.scan(&RowRange::new(prev_row.clone(), end))?;
                 self.metrics.scan_rpcs.fetch_add(1, Ordering::Relaxed);
                 // …and rewrite it as one consolidated cell (qualifier 0xFFFF
                 // marks a compacted column, mirroring OpenTSDB's wide column).
@@ -310,9 +299,7 @@ mod tests {
             t.put("energy", &[("unit", "1"), ("sensor", "2")], ts, ts as f64)
                 .unwrap();
         }
-        let series = t
-            .query("energy", &QueryFilter::any(), 0, 100)
-            .unwrap();
+        let series = t.query("energy", &QueryFilter::any(), 0, 100).unwrap();
         assert_eq!(series.len(), 1);
         assert_eq!(series[0].points.len(), 10);
         assert_eq!(series[0].points[3].value, 3.0);
@@ -323,9 +310,12 @@ mod tests {
     #[test]
     fn query_filters_by_tag() {
         let (m, t) = tsd(2, 4, false);
-        t.put("energy", &[("unit", "1"), ("sensor", "a")], 5, 1.0).unwrap();
-        t.put("energy", &[("unit", "2"), ("sensor", "a")], 5, 2.0).unwrap();
-        t.put("energy", &[("unit", "1"), ("sensor", "b")], 5, 3.0).unwrap();
+        t.put("energy", &[("unit", "1"), ("sensor", "a")], 5, 1.0)
+            .unwrap();
+        t.put("energy", &[("unit", "2"), ("sensor", "a")], 5, 2.0)
+            .unwrap();
+        t.put("energy", &[("unit", "1"), ("sensor", "b")], 5, 3.0)
+            .unwrap();
         let unit1 = t
             .query("energy", &QueryFilter::any().with("unit", "1"), 0, 10)
             .unwrap();
@@ -357,7 +347,10 @@ mod tests {
     #[test]
     fn unknown_metric_returns_empty() {
         let (m, t) = tsd(1, 2, false);
-        assert!(t.query("nope", &QueryFilter::any(), 0, 10).unwrap().is_empty());
+        assert!(t
+            .query("nope", &QueryFilter::any(), 0, 10)
+            .unwrap()
+            .is_empty());
         m.shutdown();
     }
 
@@ -365,8 +358,7 @@ mod tests {
     fn batch_put_counts_one_rpc() {
         let (m, t) = tsd(2, 4, false);
         let tags: &[(&str, &str)] = &[("unit", "1"), ("sensor", "1")];
-        let points: Vec<(&[(&str, &str)], u64, f64)> =
-            (0..50u64).map(|ts| (tags, ts, 1.0)).collect();
+        let points: Vec<BatchPoint> = (0..50u64).map(|ts| (tags, ts, 1.0)).collect();
         t.put_batch("energy", &points).unwrap();
         let metrics = t.metrics();
         assert_eq!(metrics.points_written.load(Ordering::Relaxed), 50);
@@ -410,7 +402,8 @@ mod tests {
         let (m, t) = tsd(4, 8, false);
         for unit in 0..40 {
             let u = unit.to_string();
-            t.put("energy", &[("unit", &u), ("sensor", "0")], 0, 1.0).unwrap();
+            t.put("energy", &[("unit", &u), ("sensor", "0")], 0, 1.0)
+                .unwrap();
         }
         let mut busy = 0;
         for node in m.nodes() {
@@ -427,7 +420,8 @@ mod tests {
         let (m, t) = tsd(4, 0, false);
         for unit in 0..40 {
             let u = unit.to_string();
-            t.put("energy", &[("unit", &u), ("sensor", "0")], 0, 1.0).unwrap();
+            t.put("energy", &[("unit", &u), ("sensor", "0")], 0, 1.0)
+                .unwrap();
         }
         let writes: Vec<u64> = m
             .nodes()
@@ -456,11 +450,14 @@ mod tests {
     fn split_points_bytes_are_salt_aligned() {
         let (m, t) = tsd(2, 4, false);
         let pts = t.codec().split_points();
-        assert_eq!(pts, vec![
-            Bytes::copy_from_slice(&[1]),
-            Bytes::copy_from_slice(&[2]),
-            Bytes::copy_from_slice(&[3]),
-        ]);
+        assert_eq!(
+            pts,
+            vec![
+                Bytes::copy_from_slice(&[1]),
+                Bytes::copy_from_slice(&[2]),
+                Bytes::copy_from_slice(&[3]),
+            ]
+        );
         m.shutdown();
     }
 }

@@ -5,12 +5,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use pga_viz::{
-    detail_chart, fleet_overview_page, machine_page, sparkline, ChartConfig, FleetOverview,
-    Health, MachinePage, SensorPanel, UnitStatus,
+    detail_chart, fleet_overview_page, machine_page, sparkline, ChartConfig, FleetOverview, Health,
+    MachinePage, SensorPanel, UnitStatus,
 };
 
 fn points(n: u64) -> Vec<(u64, f64)> {
-    (0..n).map(|t| (t, 50.0 + ((t * 37) % 17) as f64 * 0.3)).collect()
+    (0..n)
+        .map(|t| (t, 50.0 + ((t * 37) % 17) as f64 * 0.3))
+        .collect()
 }
 
 fn page(panels: usize, pts: u64) -> MachinePage {
@@ -26,7 +28,11 @@ fn page(panels: usize, pts: u64) -> MachinePage {
             .map(|s| SensorPanel {
                 sensor: s as u32,
                 points: points(pts),
-                anomalies: if s % 4 == 0 { vec![pts / 2, pts / 2 + 1] } else { vec![] },
+                anomalies: if s % 4 == 0 {
+                    vec![pts / 2, pts / 2 + 1]
+                } else {
+                    vec![]
+                },
             })
             .collect(),
         detail: Some(0),
@@ -44,7 +50,16 @@ fn bench_render(c: &mut Criterion) {
             b.iter(|| black_box(sparkline(black_box(pts), &[50, 51], 340, 48, &cfg)))
         });
         group.bench_with_input(BenchmarkId::new("detail_chart", n), &pts, |b, pts| {
-            b.iter(|| black_box(detail_chart("sensor", black_box(pts), &[50], 900, 260, &cfg)))
+            b.iter(|| {
+                black_box(detail_chart(
+                    "sensor",
+                    black_box(pts),
+                    &[50],
+                    900,
+                    260,
+                    &cfg,
+                ))
+            })
         });
     }
     group.finish();
@@ -61,7 +76,11 @@ fn bench_render(c: &mut Criterion) {
         units: (0..100)
             .map(|u| UnitStatus {
                 unit: u,
-                health: if u % 7 == 0 { Health::Critical } else { Health::Good },
+                health: if u % 7 == 0 {
+                    Health::Critical
+                } else {
+                    Health::Good
+                },
                 flagged_sensors: (u % 7) as usize,
                 last_anomaly: Some(u as u64),
             })

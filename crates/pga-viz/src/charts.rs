@@ -53,13 +53,13 @@ pub fn sparkline(
     if points.is_empty() {
         return doc.render();
     }
-    let x = LinearScale::from_values(points.iter().map(|p| p.0 as f64), 2.0, width as f64 - 2.0, 0.0);
-    let y = LinearScale::from_values(
-        points.iter().map(|p| p.1),
-        height as f64 - 3.0,
-        3.0,
-        0.15,
+    let x = LinearScale::from_values(
+        points.iter().map(|p| p.0 as f64),
+        2.0,
+        width as f64 - 2.0,
+        0.0,
     );
+    let y = LinearScale::from_values(points.iter().map(|p| p.1), height as f64 - 3.0, 3.0, 0.15);
     let line_pts: Vec<(f64, f64)> = points
         .iter()
         .map(|&(t, v)| (x.map(t as f64), y.map(v)))
@@ -215,7 +215,14 @@ mod tests {
 
     #[test]
     fn detail_chart_has_axes_title_and_markers() {
-        let s = detail_chart("sensor 917", &pts(100), &[30], 640, 240, &ChartConfig::default());
+        let s = detail_chart(
+            "sensor 917",
+            &pts(100),
+            &[30],
+            640,
+            240,
+            &ChartConfig::default(),
+        );
         assert!(s.contains("sensor 917"));
         assert!(s.contains("<line"), "grid lines expected");
         assert!(s.contains("text-anchor"));

@@ -216,7 +216,11 @@ pub fn machine_page(page: &MachinePage) -> String {
     );
     for panel in &page.panels {
         let latest = panel.points.last().map_or(f64::NAN, |p| p.1);
-        let min = panel.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let min = panel
+            .points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::INFINITY, f64::min);
         let max = panel
             .points
             .iter()
@@ -235,7 +239,11 @@ pub fn machine_page(page: &MachinePage) -> String {
 /// Render the fleet overview: analytics strip plus a unit table with
 /// status dots, labels and links to machine pages.
 pub fn fleet_overview_page(overview: &FleetOverview) -> String {
-    let good = overview.units.iter().filter(|u| u.health == Health::Good).count();
+    let good = overview
+        .units
+        .iter()
+        .filter(|u| u.health == Health::Good)
+        .count();
     let warning = overview
         .units
         .iter()
@@ -271,7 +279,9 @@ pub fn fleet_overview_page(overview: &FleetOverview) -> String {
             u.health.color_var(),
             u.health.label(),
             u.flagged_sensors,
-            u.last_anomaly.map(|t| format!("t={t}")).unwrap_or_else(|| "—".into()),
+            u.last_anomaly
+                .map(|t| format!("t={t}"))
+                .unwrap_or_else(|| "—".into()),
             u.unit
         ));
     }
@@ -365,9 +375,24 @@ mod tests {
     fn fleet_overview_counts_and_links() {
         let overview = FleetOverview {
             units: vec![
-                UnitStatus { unit: 0, health: Health::Good, flagged_sensors: 0, last_anomaly: None },
-                UnitStatus { unit: 1, health: Health::Critical, flagged_sensors: 8, last_anomaly: Some(99) },
-                UnitStatus { unit: 2, health: Health::Good, flagged_sensors: 0, last_anomaly: None },
+                UnitStatus {
+                    unit: 0,
+                    health: Health::Good,
+                    flagged_sensors: 0,
+                    last_anomaly: None,
+                },
+                UnitStatus {
+                    unit: 1,
+                    health: Health::Critical,
+                    flagged_sensors: 8,
+                    last_anomaly: Some(99),
+                },
+                UnitStatus {
+                    unit: 2,
+                    health: Health::Good,
+                    flagged_sensors: 0,
+                    last_anomaly: None,
+                },
             ],
             ingest_rate: 399_000.0,
             eval_rate: 939_000.0,

@@ -31,8 +31,7 @@ pub mod svg;
 
 pub use charts::{detail_chart, sparkline, ChartConfig};
 pub use dashboard::{
-    fleet_overview_page, machine_page, FleetOverview, Health, MachinePage, SensorPanel,
-    UnitStatus,
+    fleet_overview_page, machine_page, FleetOverview, Health, MachinePage, SensorPanel, UnitStatus,
 };
 pub use heatmap::{anomaly_heatmap, HeatmapData};
 pub use scale::LinearScale;

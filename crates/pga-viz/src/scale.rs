@@ -134,7 +134,10 @@ mod tests {
         assert!(t.contains(&0.0));
         assert!(t.contains(&100.0));
         for w in t.windows(2) {
-            assert!((w[1] - w[0] - 20.0).abs() < 1e-9, "step should be 20: {t:?}");
+            assert!(
+                (w[1] - w[0] - 20.0).abs() < 1e-9,
+                "step should be 20: {t:?}"
+            );
         }
     }
 
@@ -143,7 +146,7 @@ mod tests {
         let s = LinearScale::new(47.3, 53.1, 0.0, 1.0);
         let t = s.ticks(4);
         assert!(!t.is_empty());
-        assert!(t.iter().all(|&v| v >= 47.3 - 1e-9 && v <= 53.1 + 1e-9));
+        assert!(t.iter().all(|v| (47.3 - 1e-9..=53.1 + 1e-9).contains(v)));
     }
 
     #[test]

@@ -245,7 +245,9 @@ mod tests {
             "/" => Some("<h1>home</h1>".to_string()),
             p if p.starts_with("/machine/") => {
                 let id = &p["/machine/".len()..];
-                id.parse::<u32>().ok().map(|u| format!("<h1>machine {u}</h1>"))
+                id.parse::<u32>()
+                    .ok()
+                    .map(|u| format!("<h1>machine {u}</h1>"))
             }
             _ => None,
         });
@@ -285,7 +287,10 @@ mod tests {
     fn full_handler_receives_post_bodies() {
         let handler: RequestHandler = Arc::new(|req: &HttpRequest| {
             if req.method == "POST" && req.path == "/echo" {
-                Some(HttpResponse::json(format!("{{\"len\":{}}}", req.body.len())))
+                Some(HttpResponse::json(format!(
+                    "{{\"len\":{}}}",
+                    req.body.len()
+                )))
             } else {
                 None
             }

@@ -112,7 +112,9 @@ pub mod el {
             .map(|(x, y)| format!("{x:.2},{y:.2}"))
             .collect::<Vec<_>>()
             .join(" ");
-        Element::new("polyline").attr("points", pts).attr("fill", "none")
+        Element::new("polyline")
+            .attr("points", pts)
+            .attr("fill", "none")
     }
 
     /// `<line>`.

@@ -41,9 +41,7 @@ fn main() {
         Arc::new(move |req: &HttpRequest| {
             let m = monitor.lock();
             match (req.method.as_str(), req.path.as_str()) {
-                ("GET", "/") => Some(HttpResponse::html(
-                    m.fleet_overview_html(evaluated as f64),
-                )),
+                ("GET", "/") => Some(HttpResponse::html(m.fleet_overview_html(evaluated as f64))),
                 ("GET", "/heatmap") => Some(HttpResponse::html(m.heatmap_html(0, 699, 50))),
                 ("GET", p) if p.starts_with("/machine/") => {
                     let unit: u32 = p["/machine/".len()..].parse().ok()?;
@@ -58,12 +56,10 @@ fn main() {
                     Ok(n) => HttpResponse::json(format!("{{\"success\":{n}}}")),
                     Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
                 }),
-                ("POST", "/api/query") => {
-                    Some(match pga_tsdb::handle_query(m.tsd(), &req.body) {
-                        Ok(json) => HttpResponse::json(json),
-                        Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
-                    })
-                }
+                ("POST", "/api/query") => Some(match pga_tsdb::handle_query(m.tsd(), &req.body) {
+                    Ok(json) => HttpResponse::json(json),
+                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                }),
                 _ => None,
             }
         })
@@ -75,7 +71,10 @@ fn main() {
     println!("dashboard at http://{}/", server.addr());
     println!("machine pages at http://{}/machine/<0..9>", server.addr());
     println!("anomaly heatmap at http://{}/heatmap", server.addr());
-    println!("OpenTSDB-style API at http://{}/api/put and /api/query", server.addr());
+    println!(
+        "OpenTSDB-style API at http://{}/api/put and /api/query",
+        server.addr()
+    );
 
     let secs: u64 = std::env::var("PGA_SERVE_SECS")
         .ok()

@@ -42,9 +42,7 @@ fn main() {
         v.dedup();
         v
     };
-    println!(
-        "machine {unit} (sharp shift at t={onset}): flagged sensors {flagged:?}"
-    );
+    println!("machine {unit} (sharp shift at t={onset}): flagged sensors {flagged:?}");
 
     // Render the page over the window that covers the fault.
     let html = monitor
@@ -53,6 +51,10 @@ fn main() {
     std::fs::create_dir_all("target").ok();
     let path = std::path::Path::new("target/machine_page.html");
     std::fs::write(path, &html).expect("write page");
-    println!("machine page written to {} ({} bytes)", path.display(), html.len());
+    println!(
+        "machine page written to {} ({} bytes)",
+        path.display(),
+        html.len()
+    );
     monitor.shutdown();
 }

@@ -22,7 +22,10 @@ fn main() {
     });
     let unit = fleet.units_with_class(FaultClass::SharpShift)[0];
     let spec = *fleet.fault(unit);
-    println!("unit {unit}: sharp shift of {}σ at t={}", spec.step, spec.onset);
+    println!(
+        "unit {unit}: sharp shift of {}σ at t={}",
+        spec.step, spec.onset
+    );
 
     // Batch training (the paper's current system).
     let obs = fleet.observation_window(unit, 149, 150);

@@ -27,11 +27,7 @@ fn full_loop_detects_injected_faults_with_low_false_alarms() {
             FaultClass::Healthy => healthy_flags += out.flags.len(),
             FaultClass::SharpShift => {
                 // Every sharply-shifted unit must be detected by t=649.
-                let hits = out
-                    .flags
-                    .iter()
-                    .filter(|f| spec.affects(f.sensor))
-                    .count();
+                let hits = out.flags.iter().filter(|f| spec.affects(f.sensor)).count();
                 if hits == 0 {
                     missed_fault_units += 1;
                 }
@@ -43,7 +39,10 @@ fn full_loop_detects_injected_faults_with_low_false_alarms() {
         }
     }
     assert_eq!(missed_fault_units, 0, "sharp shifts must be caught");
-    assert!(healthy_flags <= 2, "healthy units flagged {healthy_flags} sensors");
+    assert!(
+        healthy_flags <= 2,
+        "healthy units flagged {healthy_flags} sensors"
+    );
     m.shutdown();
 }
 
@@ -80,7 +79,10 @@ fn machine_page_html_renders_flags_in_critical_color() {
     let unit = m.anomalies()[0].unit;
     let html = m.machine_page_html(unit, 649, 200, 16).unwrap();
     assert!(html.contains(&format!("Machine {unit}")));
-    assert!(html.contains("var(--status-critical)"), "anomaly markers styled");
+    assert!(
+        html.contains("var(--status-critical)"),
+        "anomaly markers styled"
+    );
     assert!(html.contains("<svg"), "sparklines rendered");
     m.shutdown();
 }
@@ -111,7 +113,10 @@ fn fleet_overview_reflects_unit_health() {
         .iter()
         .filter(|u| shifted.contains(&u.unit) && u.flagged_sensors > 0)
         .count();
-    assert!(loud > 0, "at least one shifted unit visible in the overview");
+    assert!(
+        loud > 0,
+        "at least one shifted unit visible in the overview"
+    );
     m.shutdown();
 }
 

@@ -61,7 +61,11 @@ fn fdr_cuts_false_alarms_versus_uncorrected() {
         unc.mean_false_positives
     );
     // And the empirical FDR is controlled near the target q.
-    assert!(bh.empirical_fdr <= 0.10, "empirical FDR {}", bh.empirical_fdr);
+    assert!(
+        bh.empirical_fdr <= 0.10,
+        "empirical FDR {}",
+        bh.empirical_fdr
+    );
     // While power stays at least as high as Bonferroni's.
     assert!(
         bh.mean_power >= bon.mean_power - 1e-12,
@@ -70,7 +74,11 @@ fn fdr_cuts_false_alarms_versus_uncorrected() {
         bon.mean_power
     );
     // Uncorrected testing raises alarms on (virtually) every trial family.
-    assert!(unc.empirical_fwer > 0.8, "uncorrected FWER {}", unc.empirical_fwer);
+    assert!(
+        unc.empirical_fwer > 0.8,
+        "uncorrected FWER {}",
+        unc.empirical_fwer
+    );
 }
 
 #[test]
@@ -112,7 +120,11 @@ fn by_procedure_is_safe_under_the_correlated_faults() {
         .unwrap();
     assert!(by.1.empirical_fdr <= bh.1.empirical_fdr + 1e-12);
     assert!(by.1.mean_power <= bh.1.mean_power + 1e-12);
-    assert!(by.1.empirical_fdr <= 0.05, "BY empirical FDR {}", by.1.empirical_fdr);
+    assert!(
+        by.1.empirical_fdr <= 0.05,
+        "BY empirical FDR {}",
+        by.1.empirical_fdr
+    );
 }
 
 #[test]

@@ -36,8 +36,13 @@ fn data_survives_flush_and_compaction_cycles() {
     for unit in 0..20u32 {
         let u = unit.to_string();
         for ts in 0..50u64 {
-            tsd.put("energy", &[("unit", &u), ("sensor", "0")], ts, (unit as f64) + ts as f64)
-                .unwrap();
+            tsd.put(
+                "energy",
+                &[("unit", &u), ("sensor", "0")],
+                ts,
+                (unit as f64) + ts as f64,
+            )
+            .unwrap();
         }
     }
     let series = tsd.query("energy", &QueryFilter::any(), 0, 100).unwrap();
@@ -75,7 +80,8 @@ fn region_split_keeps_series_intact() {
     for unit in 0..30u32 {
         let u = unit.to_string();
         for ts in 0..10u64 {
-            tsd.put("energy", &[("unit", &u), ("sensor", "1")], ts, 1.0).unwrap();
+            tsd.put("energy", &[("unit", &u), ("sensor", "1")], ts, 1.0)
+                .unwrap();
         }
     }
     // Split every region once.
@@ -128,8 +134,11 @@ fn uid_table_shared_across_tsd_instances() {
         Client::connect(&master),
         TsdConfig::default(),
     );
-    tsd.put("energy", &[("unit", "9"), ("sensor", "3")], 1, 42.0).unwrap();
-    let series = tsd2.query("energy", &QueryFilter::any().with("unit", "9"), 0, 10).unwrap();
+    tsd.put("energy", &[("unit", "9"), ("sensor", "3")], 1, 42.0)
+        .unwrap();
+    let series = tsd2
+        .query("energy", &QueryFilter::any().with("unit", "9"), 0, 10)
+        .unwrap();
     assert_eq!(series.len(), 1);
     assert_eq!(series[0].points[0].value, 42.0);
     master.shutdown();

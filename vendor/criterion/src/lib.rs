@@ -1,0 +1,262 @@
+//! Vendored minimal subset of `criterion`.
+//!
+//! A plain wall-clock micro-benchmark harness with criterion's API shape:
+//! no statistics, no HTML reports — each benchmark runs a short calibrated
+//! loop and prints `ns/iter` (plus derived throughput when configured).
+//! Good enough to keep `cargo bench` runnable and the bench targets
+//! compiling in an environment without the real crate.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean ns/iter measured for the last `iter` call.
+    ns_per_iter: f64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, storing mean ns/iter. Runs a warmup call, then iterates
+    /// until the measurement budget (default 200ms) is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup + forces at least one execution
+        let budget = self.measurement_time;
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget || iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(group: &str, id: &str, ns: f64, throughput: Option<Throughput>) {
+    let mut line = String::new();
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let _ = write!(line, "{name:<50} {:>12}/iter", human_time(ns));
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / (ns / 1e9)),
+            Throughput::Bytes(n) => {
+                format!("{:.1} MiB/s", n as f64 / (ns / 1e9) / (1 << 20) as f64)
+            }
+        };
+        let _ = write!(line, " {per_sec:>16}");
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count is accepted for API compatibility; the vendored harness
+    /// is time-budgeted instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            measurement_time: self.criterion.measurement_time,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, b.ns_per_iter, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            measurement_time: self.criterion.measurement_time,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, b.ns_per_iter, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Harness entry point.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report("", id, b.ns_per_iter, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10).throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        sample_bench(&mut c);
+        c.bench_function("trivial", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,373 @@
+//! Vendored minimal subset of `crossbeam-channel`.
+//!
+//! A Mutex+Condvar MPMC channel supporting the operations this workspace
+//! uses: `bounded`/`unbounded`, blocking `send`/`recv`, `try_send`,
+//! `recv_timeout`, cloning on both ends, disconnection detection, and
+//! blocking iteration. A bounded capacity of 0 is treated as capacity 1
+//! (upstream's rendezvous semantics are not needed here).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: Option<usize>,
+}
+
+/// Sending half of a channel.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// Receiving half of a channel.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "Full(..)"),
+            TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (Sender(shared.clone()), Receiver(shared))
+}
+
+/// Create a bounded channel with the given capacity (0 is promoted to 1).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+impl<T> Sender<T> {
+    /// Block until the message is enqueued or every receiver is dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.0.inner.lock().unwrap();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.0.cap {
+                Some(cap) if inner.queue.len() >= cap => {
+                    inner = self.0.not_full.wait(inner).unwrap();
+                }
+                _ => break,
+            }
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue without blocking; fail with `Full` when at capacity.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.0.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.0.cap {
+            if inner.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().unwrap().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel capacity (`None` for unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.0.cap
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().unwrap().senders += 1;
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            drop(inner);
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.0.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.0.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.0.inner.lock().unwrap();
+        if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.0.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.0.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) = self
+                .0
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
+            inner = guard;
+            if res.timed_out() && inner.queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Blocking iterator: yields until the channel is empty and disconnected.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter(self)
+    }
+
+    /// Non-blocking iterator over currently queued messages.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter(self)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().unwrap().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().unwrap().receivers += 1;
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().unwrap();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            drop(inner);
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking iterator over received messages.
+pub struct Iter<'a, T>(&'a Receiver<T>);
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.0.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Non-blocking iterator over received messages.
+pub struct TryIter<'a, T>(&'a Receiver<T>);
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.0.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bounded_backpressure_and_order() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(tx);
+        let rest: Vec<_> = rx.iter().collect();
+        assert_eq!(rest, vec![2, 3]);
+    }
+
+    #[test]
+    fn disconnect_unblocks_receiver() {
+        let (tx, rx) = bounded::<u32>(4);
+        let h = thread::spawn(move || rx.recv());
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_sums_across_threads() {
+        let (tx, rx) = bounded(8);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().sum::<u64>())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..100u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = bounded::<u32>(1);
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+        drop(tx);
+    }
+}

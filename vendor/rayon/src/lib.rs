@@ -1,0 +1,89 @@
+//! Vendored **sequential** shim for `rayon`.
+//!
+//! `par_iter`/`par_chunks_mut`/`into_par_iter` return the corresponding
+//! std iterators, so all combinator chains (`.enumerate()`, `.map()`,
+//! `.for_each()`, `.collect()`, …) compile unchanged but execute on the
+//! calling thread. Results are bit-identical to the parallel versions for
+//! the deterministic workloads in this workspace; only wall-clock differs.
+
+/// Import the shim traits, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// `into_par_iter()` for any `IntoIterator` (ranges, vectors, maps, …).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter`/`par_chunks` on slices.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let v: Vec<usize> = (0..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_chunks_mut_mutates() {
+        let mut data = vec![1u32; 6];
+        data.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x += i as u32;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn par_iter_sums() {
+        let v = [1u64, 2, 3];
+        assert_eq!(v.par_iter().sum::<u64>(), 6);
+    }
+}

@@ -1,0 +1,362 @@
+//! Vendored minimal `serde_derive`.
+//!
+//! Hand-parses the derive input token stream (no `syn`/`quote`) and emits
+//! impls of the vendored `serde::Serialize` / `serde::Deserialize` traits.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! - structs with named fields (maps to a JSON object)
+//! - newtype structs (transparent)
+//! - enums with unit variants only (maps to the variant name as a string)
+//! - `#[serde(default)]` and `#[serde(default = "path")]` on named fields
+//!
+//! Anything else (generics, data-carrying variants, other serde attributes)
+//! panics at expansion time with a clear message, so unsupported uses fail
+//! the build loudly instead of serialising wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum FieldDefault {
+    /// Field is required when deserialising.
+    Required,
+    /// `#[serde(default)]` — use `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug)]
+enum Body {
+    Named(Vec<Field>),
+    Newtype,
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    body: Body,
+}
+
+/// Collect serde-relevant info from one attribute body (`serde(...)`).
+fn parse_serde_attr(tokens: Vec<TokenTree>, default: &mut FieldDefault) {
+    // tokens = [ Ident(serde), Group(paren, inner) ]
+    let mut iter = tokens.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // not a serde attribute (e.g. doc, derive, cfg) — ignore
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    match inner.as_slice() {
+        [TokenTree::Ident(id)] if id.to_string() == "default" => {
+            *default = FieldDefault::DefaultTrait;
+        }
+        [TokenTree::Ident(id), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if id.to_string() == "default" && eq.as_char() == '=' =>
+        {
+            let raw = lit.to_string();
+            let path = raw.trim_matches('"').to_string();
+            *default = FieldDefault::Path(path);
+        }
+        other => panic!(
+            "vendored serde_derive: unsupported serde attribute {:?} (only `default` and \
+             `default = \"path\"` are implemented — extend vendor/serde_derive)",
+            other
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+    }
+}
+
+/// Skip attributes at `i`, feeding serde ones into `default`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, default: &mut FieldDefault) -> usize {
+    loop {
+        match (tokens.get(i), tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                parse_serde_attr(g.stream().into_iter().collect(), default);
+                i += 2;
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = FieldDefault::Required;
+        i = skip_attrs(&tokens, i, &mut default);
+        i = skip_vis(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("vendored serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("vendored serde_derive: expected ':' after field, got {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Trailing comma produces an extra empty slot; detect it.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = FieldDefault::Required;
+        i = skip_attrs(&tokens, i, &mut ignored);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("vendored serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(name);
+                i += 1;
+            }
+            other => panic!(
+                "vendored serde_derive: enum variant `{name}` is not a unit variant \
+                 ({other:?}) — data-carrying enums are not supported"
+            ),
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut ignored = FieldDefault::Required;
+    let mut i = skip_attrs(&tokens, 0, &mut ignored);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    let body = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            match parse_tuple_fields(g.stream()) {
+                1 => Body::Newtype,
+                n => Body::Tuple(n),
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::UnitEnum(parse_unit_variants(g.stream()))
+        }
+        other => panic!("vendored serde_derive: unsupported item shape for `{name}`: {other:?}"),
+    };
+    Input { name, body }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.body {
+        Body::Named(fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}));\n",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut map = ::serde::json::Map::new();\n{inserts}\
+                 ::serde::json::Value::Object(map)"
+            )
+        }
+        Body::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::json::Value::String(\"{v}\".to_string()),\n")
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("vendored serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.body {
+        Body::Named(fields) => {
+            let field_exprs: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = match &f.default {
+                        FieldDefault::Required => format!(
+                            "return ::std::result::Result::Err(::serde::json::Error::msg(\
+                             \"missing field `{}` in {}\"))",
+                            f.name, name
+                        ),
+                        FieldDefault::DefaultTrait => {
+                            "::std::default::Default::default()".to_string()
+                        }
+                        FieldDefault::Path(path) => format!("{path}()"),
+                    };
+                    format!(
+                        "{0}: match obj.get(\"{0}\") {{\n\
+                         ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                         ::std::option::Option::None => {missing},\n}},\n",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                 ::serde::json::Error::msg(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{field_exprs}}})"
+            )
+        }
+        Body::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = value.as_array().ok_or_else(|| \
+                 ::serde::json::Error::msg(\"expected array for {name}\"))?;\n\
+                 if arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::json::Error::msg(\
+                 \"wrong arity for {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "match value.as_str() {{\n\
+                 ::std::option::Option::Some(s) => match s {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::json::Error::msg(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::std::option::Option::None => ::std::result::Result::Err(\
+                 ::serde::json::Error::msg(\"expected string for {name}\")),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::json::Value) \
+         -> ::std::result::Result<Self, ::serde::json::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("vendored serde_derive: generated invalid Deserialize impl")
+}

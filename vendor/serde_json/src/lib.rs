@@ -1,0 +1,105 @@
+//! Vendored minimal subset of `serde_json`, backed by the value model in
+//! the vendored `serde::json` module.
+
+pub use serde::json::{Error, Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serialise to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::write_compact(&value.to_value()))
+}
+
+/// Serialise to pretty JSON text (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::write_pretty(&value.to_value()))
+}
+
+/// Serialise to bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Convert any serialisable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Deserialise from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::json::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Deserialise from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::msg(e.to_string()))?;
+    from_str(text)
+}
+
+/// Rebuild a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Build a [`Value`] with JSON-like syntax. Object keys must be string
+/// literals; values may be nested `json!` syntax or single-token
+/// expressions implementing `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_roundtrip() {
+        let v = vec![(1.5f64, 2.5f64), (3.0, -4.0)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(f64, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_builds_nested_objects() {
+        let code = 404u32;
+        let msg = "not found".to_string();
+        let v = json!({"error": {"code": code, "message": msg}});
+        assert_eq!(v["error"]["code"].as_u64(), Some(404));
+        assert_eq!(v["error"]["message"].as_str(), Some("not found"));
+    }
+
+    #[test]
+    fn json_macro_arrays_and_literals() {
+        let v = json!([1, 2.5, "x", null, true]);
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 5);
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert!(arr[3].is_null());
+    }
+
+    #[test]
+    fn option_and_map_roundtrip() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<String, Option<u64>> = BTreeMap::new();
+        m.insert("a".into(), Some(1));
+        m.insert("b".into(), None);
+        let text = to_string(&m).unwrap();
+        let back: BTreeMap<String, Option<u64>> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+}
