@@ -1,0 +1,138 @@
+//! Command-line driver shared by the `pga-analyze` binary and the
+//! platform CLI's `pga analyze` subcommand.
+
+use std::env;
+use std::path::PathBuf;
+
+use crate::engine::{analyze, find_workspace_root, lex_workspace, Report};
+use crate::rules::all_rules;
+
+const USAGE: &str = "\
+pga-analyze: static analysis for the PGA workspace
+
+USAGE:
+    pga-analyze [OPTIONS]
+
+OPTIONS:
+    --deny-all        exit non-zero if any unsuppressed violation remains
+    --root <path>     workspace root (default: nearest [workspace] Cargo.toml)
+    --rule <id>       run only this rule (repeatable)
+    --list            list rules and exit
+    --help            show this help
+";
+
+/// Parsed arguments.
+struct Opts {
+    deny_all: bool,
+    root: Option<PathBuf>,
+    rules: Vec<String>,
+    list: bool,
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        deny_all: false,
+        root: None,
+        rules: Vec::new(),
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-all" => opts.deny_all = true,
+            "--list" => opts.list = true,
+            "--root" => {
+                let v = it.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--rule" => {
+                let v = it.next().ok_or("--rule requires a rule id")?;
+                opts.rules.push(v.clone());
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Run the analyzer. Returns the process exit code: 0 when clean (or in
+/// advisory mode), 1 for unsuppressed violations under `--deny-all`, 2
+/// for usage/environment errors.
+pub fn run(args: &[String]) -> i32 {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+
+    let mut rules = all_rules();
+    if opts.list {
+        for r in &rules {
+            println!("{:<16} {}", r.id(), r.describe());
+        }
+        return 0;
+    }
+    if !opts.rules.is_empty() {
+        let unknown: Vec<&String> = opts
+            .rules
+            .iter()
+            .filter(|id| !rules.iter().any(|r| r.id() == id.as_str()))
+            .collect();
+        if !unknown.is_empty() {
+            eprintln!(
+                "unknown rule(s): {}",
+                unknown
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            return 2;
+        }
+        rules.retain(|r| opts.rules.iter().any(|id| id == r.id()));
+    }
+
+    let root = match opts.root.or_else(|| {
+        env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "no workspace root found (looked for a Cargo.toml with [workspace]); pass --root"
+            );
+            return 2;
+        }
+    };
+
+    let ws = match lex_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("failed to read workspace under {}: {e}", root.display());
+            return 2;
+        }
+    };
+
+    let report = analyze(&ws, &rules);
+    print_report(&report);
+    if opts.deny_all && !report.is_clean() {
+        1
+    } else {
+        0
+    }
+}
+
+fn print_report(report: &Report) {
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    println!(
+        "pga-analyze: {} violation(s), {} suppressed by pga-allow",
+        report.violations.len(),
+        report.suppressed.len()
+    );
+}

@@ -1,0 +1,139 @@
+//! Workspace walking and the analyze driver: lex every first-party source
+//! file, run each rule, then apply test-region masking and `pga-allow`
+//! suppression to the raw findings.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{Rule, Violation, Workspace};
+use crate::source::SourceFile;
+
+/// Result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survive masking and suppression.
+    pub violations: Vec<Violation>,
+    /// Findings silenced by a `pga-allow` annotation.
+    pub suppressed: Vec<Violation>,
+    /// Count of findings dropped because they sit in test code.
+    pub in_tests: usize,
+}
+
+impl Report {
+    /// Zero unsuppressed findings?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Walk up from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lex every first-party source file: `crates/*/src/**/*.rs`. Vendored
+/// crates, integration tests, benches, and examples are out of scope —
+/// the rules target the production surface this workspace owns.
+pub fn lex_workspace(root: &Path) -> io::Result<Workspace> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for crate_dir in crate_dirs {
+        let krate = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        rs_files(&src, &mut paths)?;
+        for path in paths {
+            let text = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src_rel = path.strip_prefix(&src).unwrap_or(&path).to_path_buf();
+            files.push(SourceFile::from_crate_file(&rel, &krate, &src_rel, &text));
+        }
+    }
+    Ok(Workspace { files })
+}
+
+/// Run `rules` over `ws`, then mask test regions and apply `pga-allow`
+/// suppression. Malformed annotations surface as `pga-allow-syntax`
+/// violations (never suppressible — they mean a suppression is broken).
+pub fn analyze(ws: &Workspace, rules: &[Box<dyn Rule>]) -> Report {
+    let mut raw = Vec::new();
+    for rule in rules {
+        rule.check(ws, &mut raw);
+    }
+    for f in &ws.files {
+        for bad in &f.bad_allows {
+            raw.push(Violation {
+                rule: "pga-allow-syntax",
+                file: f.path.clone(),
+                line: bad.line,
+                message: bad.problem.clone(),
+            });
+        }
+    }
+
+    let mut report = Report::default();
+    for v in raw {
+        let Some(file) = ws.files.iter().find(|f| f.path == v.file) else {
+            report.violations.push(v);
+            continue;
+        };
+        if file.is_test_line(v.line) && v.rule != "pga-allow-syntax" {
+            report.in_tests += 1;
+            continue;
+        }
+        if v.rule != "pga-allow-syntax" && file.is_allowed(v.rule, v.line) {
+            report.suppressed.push(v);
+            continue;
+        }
+        report.violations.push(v);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}

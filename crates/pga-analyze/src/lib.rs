@@ -1,0 +1,27 @@
+//! `pga-analyze` — workspace lint engine and interleaving model checker.
+//!
+//! The static half lexes every first-party source file with a hand-rolled
+//! tokenizer (the vendor tree has no parser crates) and runs four rules
+//! over the token streams:
+//!
+//! - `determinism` — no ambient time/entropy on the deterministic-replay
+//!   surface (`pga-cluster::sim`, `pga-control::elastic`, `pga-sensorgen`)
+//! - `panic-path` — no `unwrap`/`expect`/direct indexing in
+//!   request-serving modules
+//! - `lock-discipline` — acyclic static lock-order graph, no guard held
+//!   across a lock-acquiring call
+//! - `relaxed-atomics` — audit `Ordering::Relaxed` in multi-field
+//!   snapshot assembly
+//!
+//! Deliberate violations carry `// pga-allow(<rule>): <reason>` escape
+//! hatches; `--deny-all` turns any unsuppressed finding into a non-zero
+//! exit for CI. The dynamic half ([`interleave`]) exhaustively explores
+//! thread interleavings of instrumented protocol models. See ANALYSIS.md
+//! at the workspace root for the full rule catalogue.
+
+pub mod cli;
+pub mod engine;
+pub mod interleave;
+pub mod rules;
+pub mod source;
+pub mod tokenizer;

@@ -1,0 +1,7 @@
+use std::env;
+use std::process;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    process::exit(pga_analyze::cli::run(&args));
+}

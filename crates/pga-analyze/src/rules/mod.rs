@@ -1,0 +1,48 @@
+//! Rule registry. Each rule sees the whole workspace at once — R3 needs a
+//! cross-file call-graph pass, so per-file granularity would be too narrow.
+
+pub mod determinism;
+pub mod lock_discipline;
+pub mod panic_path;
+pub mod relaxed_atomics;
+
+use crate::source::SourceFile;
+
+/// A lexed workspace (or fixture set) handed to every rule.
+pub struct Workspace {
+    /// All files in deterministic (path-sorted) order.
+    pub files: Vec<SourceFile>,
+}
+
+/// One finding, pre-suppression.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id (`panic-path`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A static-analysis rule.
+pub trait Rule {
+    /// Stable id used in output and `pga-allow` annotations.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn describe(&self) -> &'static str;
+    /// Append findings for the whole workspace.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Violation>);
+}
+
+/// All shipped rules, in documentation order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(determinism::Determinism),
+        Box::new(panic_path::PanicPath),
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(relaxed_atomics::RelaxedAtomics),
+    ]
+}

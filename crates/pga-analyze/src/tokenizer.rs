@@ -1,0 +1,384 @@
+//! A hand-rolled Rust tokenizer.
+//!
+//! The vendor tree carries no parser crates (`syn`, `proc-macro2`), so the
+//! analyzer lexes source itself. It only needs to be faithful enough for
+//! lint-grade pattern matching: identifiers, punctuation, and literal
+//! *spans* must be right (so rule needles never fire inside strings or
+//! comments), but literal *values* are never interpreted.
+//!
+//! Comments are captured separately with their line numbers — that is
+//! where `// pga-allow(<rule>): <reason>` escape hatches live.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Instant`, …).
+    Ident,
+    /// Single punctuation character (`.`, `[`, `::` arrives as two `:`).
+    Punct,
+    /// String, char, byte or numeric literal (content uninterpreted).
+    Literal,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its (1-based) source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (single char for punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this char?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// One comment (line or block) with the line it starts on. Text excludes
+/// the delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without `//` / `/* */` delimiters.
+    pub text: String,
+}
+
+/// Output of [`tokenize`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. Never fails: unterminated literals simply run to
+/// the end of input (good enough for linting; rustc rejects such files
+/// anyway).
+pub fn tokenize(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start_line = line;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && bytes[j] != '\n' {
+                text.push(bytes[j]);
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && depth > 0 {
+                if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    j += 2;
+                } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    j += 2;
+                } else {
+                    bump_line!(bytes[j]);
+                    text.push(bytes[j]);
+                    j += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings: r"...", r#"..."#, br#"..."# (any # count).
+        if c == 'r' || (c == 'b' && i + 1 < n && bytes[i + 1] == 'r') {
+            let r_at = if c == 'r' { i } else { i + 1 };
+            let mut j = r_at + 1;
+            let mut hashes = 0usize;
+            while j < n && bytes[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && bytes[j] == '"' {
+                let start_line = line;
+                j += 1;
+                // Scan to closing quote followed by `hashes` hashes.
+                while j < n {
+                    if bytes[j] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && j + 1 + k < n && bytes[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break;
+                        }
+                    }
+                    bump_line!(bytes[j]);
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            // Not a raw string after all: fall through to ident below.
+        }
+        // Strings (and byte strings: leading `b` lexes as part of the
+        // literal when directly followed by a quote).
+        if c == '"' || (c == 'b' && i + 1 < n && bytes[i + 1] == '"') {
+            let start_line = line;
+            let mut j = if c == '"' { i + 1 } else { i + 2 };
+            while j < n {
+                if bytes[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if bytes[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                bump_line!(bytes[j]);
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime. `'a'`/`'\n'` are chars; `'a` (no
+        // closing quote after one ident) is a lifetime.
+        if c == '\'' || (c == 'b' && i + 1 < n && bytes[i + 1] == '\'') {
+            let q = if c == '\'' { i } else { i + 1 };
+            if q + 1 < n && bytes[q + 1] == '\\' {
+                // Escaped char literal: '\x', '\'', '\u{..}'.
+                let mut j = q + 2;
+                while j < n && bytes[j] != '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = j + 1;
+                continue;
+            }
+            if q + 2 < n && bytes[q + 2] == '\'' {
+                // Plain char literal 'x'.
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = q + 3;
+                continue;
+            }
+            // Lifetime: consume ident chars.
+            let mut j = q + 1;
+            let mut text = String::from("'");
+            while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                text.push(bytes[j]);
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            let mut text = String::new();
+            while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                text.push(bytes[j]);
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number: digits plus alphanumeric suffixes (0xFF, 1_000u64, 1e-9);
+        // a `.` joins only when followed by a digit so `0..10` stays three
+        // tokens.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let mut j = i;
+            while j < n {
+                let d = bytes[j];
+                let joins = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && j + 1 < n && bytes[j + 1].is_ascii_digit())
+                    || ((d == '+' || d == '-')
+                        && j > i
+                        && (bytes[j - 1] == 'e' || bytes[j - 1] == 'E'));
+                if !joins {
+                    break;
+                }
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_lex() {
+        let lx = tokenize("fn main() { x.unwrap(); }");
+        let texts: Vec<&str> = lx.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["fn", "main", "(", ")", "{", "x", ".", "unwrap", "(", ")", ";", "}"]
+        );
+    }
+
+    #[test]
+    fn needles_inside_strings_and_comments_are_invisible() {
+        let src = r##"
+            // calls unwrap() here in prose
+            /* Instant::now in a block comment */
+            let s = "Instant::now() .unwrap()";
+            let r = r#"thread_rng"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        let lx = tokenize(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("unwrap() here"));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let lx = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        let lifetimes: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let lits = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let lx = tokenize(src);
+        let b = lx.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lx = tokenize("/* outer /* inner */ still outer */ let x = 1;");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn numeric_range_does_not_eat_dots() {
+        let lx = tokenize("for i in 0..10 {}");
+        let dots = lx.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn raw_identifier_r_is_not_a_raw_string() {
+        // `r` alone or `r#ident` must not be swallowed as a raw string.
+        let ids = idents("let r = 5; let x = r + 1;");
+        assert_eq!(ids, vec!["let", "r", "let", "x", "r"]);
+    }
+}

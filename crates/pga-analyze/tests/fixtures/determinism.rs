@@ -1,0 +1,39 @@
+// R1 fixture: lexed with origin pga-cluster::sim (deterministic-replay
+// surface). Lines tagged `V:<rule>` must be flagged; all others must not.
+// This file is never compiled — it is raw input for the analyzer tests.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn step_wallclock() -> Instant {
+    Instant::now() // V:determinism
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() // V:determinism
+}
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng(); // V:determinism
+    rng.next_u64()
+}
+
+pub fn reseed() -> StdRng {
+    StdRng::from_entropy() // V:determinism
+}
+
+pub fn fine_here(now_ms: u64, seed: u64) -> u64 {
+    // Time and seed as parameters: the sanctioned pattern.
+    now_ms.wrapping_mul(seed)
+}
+
+pub fn mentions_in_prose() -> Duration {
+    // Instant::now() in a comment is invisible, as is "thread_rng()" in a
+    // string:
+    let _doc = "call Instant::now() and thread_rng() elsewhere";
+    Duration::from_millis(1)
+}
+
+pub fn suppressed_clock() -> Instant {
+    // pga-allow(determinism): harness boundary — wall-clock enters here once, sim below is pure
+    Instant::now()
+}

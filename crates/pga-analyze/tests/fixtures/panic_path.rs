@@ -1,0 +1,57 @@
+// R2 fixture: lexed with origin pga-ingest::proxy (serving path). Lines
+// tagged `V:<rule>` must be flagged; all others must not. This file is
+// never compiled — it is raw input for the analyzer tests.
+
+pub fn direct_unwrap(batch: Option<Vec<u64>>) -> Vec<u64> {
+    batch.unwrap() // V:panic-path
+}
+
+pub fn direct_expect(batch: Option<Vec<u64>>) -> Vec<u64> {
+    batch.expect("batch present") // V:panic-path
+}
+
+pub fn direct_index(points: &[u64], cursor: usize) -> u64 {
+    points[cursor] // V:panic-path
+}
+
+pub fn index_after_call(pool: &Pool) -> u64 {
+    pool.targets()[0] // V:panic-path
+}
+
+pub fn fine_combinators(batch: Option<Vec<u64>>, points: &[u64]) -> u64 {
+    // unwrap_or / unwrap_or_else / get are the sanctioned spellings.
+    let b = batch.unwrap_or_default();
+    let first = points.get(0).copied().unwrap_or(0);
+    b.len() as u64 + first
+}
+
+pub fn fine_type_and_slice(points: &[u64]) -> (Vec<u64>, u64) {
+    // `Vec<u64>` generics, attribute brackets, and full-range slices are
+    // not indexing expressions.
+    let copy: Vec<u64> = points[..].to_vec();
+    let total: u64 = copy.iter().sum();
+    (copy, total)
+}
+
+pub fn suppressed_index(live: &[u64], rr: usize) -> u64 {
+    // pga-allow(panic-path): rr % live.len() is in bounds by construction
+    live[rr % live.len()]
+}
+
+// Malformed escape hatch: rule list but no ": reason" — must surface as
+// pga-allow-syntax and must NOT suppress the line below it.
+pub fn bad_annotation(batch: Option<u64>) -> u64 {
+    // pga-allow(panic-path) V:pga-allow-syntax
+    batch.unwrap() // V:panic-path
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let xs = [1u64, 2, 3];
+        assert_eq!(xs[1], 2);
+    }
+}

@@ -1,0 +1,42 @@
+// R4 fixture: seeded relaxed-ordering race, lexed with origin
+// pga-control::fixture. Lines tagged `V:<rule>` must be flagged. This
+// file is never compiled — it is raw input for the analyzer tests.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Ledger {
+    deposits: AtomicU64,
+    withdrawals: AtomicU64,
+    entries: AtomicUsize,
+}
+
+impl Ledger {
+    // Seeded race: a multi-field snapshot assembled from Relaxed loads.
+    // Nothing orders `deposits` against `withdrawals`, so the pair can be
+    // torn (a deposit visible whose matching withdrawal is not).
+    pub fn net(&self) -> u64 {
+        let d = self.deposits.load(Ordering::Relaxed); // V:relaxed-atomics
+        let w = self.withdrawals.load(Ordering::Relaxed);
+        d - w
+    }
+
+    // Single-field read: Relaxed is fine, no cross-field invariant.
+    pub fn entry_count(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    // Acquire-ordered snapshot: the sanctioned pattern.
+    pub fn net_synced(&self) -> u64 {
+        let d = self.deposits.load(Ordering::Acquire);
+        let w = self.withdrawals.load(Ordering::Acquire);
+        d - w
+    }
+
+    // Annotated snapshot: skew documented as acceptable.
+    pub fn net_estimate(&self) -> u64 {
+        // pga-allow(relaxed-atomics): advisory estimate; reader tolerates inter-field skew
+        let d = self.deposits.load(Ordering::Relaxed);
+        let w = self.withdrawals.load(Ordering::Relaxed);
+        d.saturating_sub(w)
+    }
+}

@@ -1,0 +1,93 @@
+//! Interleaving-explorer acceptance tests: every seeded-bug model variant
+//! must be caught with a concrete schedule, every faithful variant must
+//! pass all schedules, and the histogram model's bucket math must agree
+//! with the real `pga_control::telemetry` implementation it mirrors.
+
+use pga_analyze::interleave::models::{
+    bucket_index, HistogramModel, LeaseMigrationModel, RegistryCounterModel,
+};
+use pga_analyze::interleave::{explore, Outcome};
+
+#[test]
+fn histogram_real_protocol_passes_every_schedule() {
+    match explore(&HistogramModel { seeded_bug: false }) {
+        Outcome::Pass { schedules } => assert!(schedules > 100, "only {schedules} schedules"),
+        other => panic!("real histogram protocol failed: {other:?}"),
+    }
+}
+
+#[test]
+fn histogram_inverted_publish_order_is_caught() {
+    match explore(&HistogramModel { seeded_bug: true }) {
+        Outcome::Violation { schedule, message } => {
+            assert!(!schedule.is_empty());
+            assert!(
+                message.contains("snapshot counted"),
+                "unexpected diagnostic: {message}"
+            );
+        }
+        other => panic!("seeded histogram bug not caught: {other:?}"),
+    }
+}
+
+#[test]
+fn registry_counter_fetch_add_passes_every_schedule() {
+    match explore(&RegistryCounterModel { seeded_bug: false }) {
+        Outcome::Pass { schedules } => assert!(schedules > 1),
+        other => panic!("real counter protocol failed: {other:?}"),
+    }
+}
+
+#[test]
+fn registry_counter_split_increment_loses_updates() {
+    match explore(&RegistryCounterModel { seeded_bug: true }) {
+        Outcome::Violation { message, .. } => {
+            assert!(message.contains("lost update"), "unexpected: {message}")
+        }
+        other => panic!("seeded lost update not caught: {other:?}"),
+    }
+}
+
+#[test]
+fn lease_expiry_vs_migration_serialised_passes() {
+    match explore(&LeaseMigrationModel { seeded_bug: false }) {
+        Outcome::Pass { schedules } => assert!(schedules > 1),
+        other => panic!("serialised migration failed: {other:?}"),
+    }
+}
+
+#[test]
+fn lease_expiry_vs_unlocked_migration_races() {
+    match explore(&LeaseMigrationModel { seeded_bug: true }) {
+        Outcome::Violation { schedule, message } => {
+            assert!(!schedule.is_empty());
+            assert!(message.contains("dead node"), "unexpected: {message}");
+        }
+        other => panic!("seeded lease race not caught: {other:?}"),
+    }
+}
+
+#[test]
+fn model_bucket_math_matches_real_telemetry() {
+    let samples = [
+        0u64,
+        1,
+        2,
+        3,
+        127,
+        128,
+        129,
+        1 << 20,
+        (1 << 31) - 1,
+        1 << 31,
+        1 << 32,
+        u64::MAX,
+    ];
+    for v in samples {
+        assert_eq!(
+            bucket_index(v),
+            pga_control::telemetry::bucket_index(v),
+            "bucket divergence at value {v}"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Tier-1 gate: the live workspace must be analyzer-clean. Any new
+//! violation either gets fixed or gets an explicit `pga-allow` with a
+//! justification — silence is not an option.
+
+use std::path::Path;
+
+use pga_analyze::engine::{analyze, lex_workspace};
+use pga_analyze::rules::all_rules;
+
+#[test]
+fn live_workspace_has_zero_unsuppressed_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let ws = lex_workspace(&root).expect("lex workspace sources");
+    assert!(
+        ws.files.len() > 50,
+        "workspace walk looks wrong: only {} files",
+        ws.files.len()
+    );
+    let report = analyze(&ws, &all_rules());
+    let rendered: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message))
+        .collect();
+    assert!(
+        report.is_clean(),
+        "unsuppressed analyzer violations:\n{}",
+        rendered.join("\n")
+    );
+    // The suppressions that exist must all be justified ones we know about;
+    // a sudden jump usually means a rule regressed into noise.
+    assert!(
+        report.suppressed.len() < 60,
+        "suppression count exploded: {}",
+        report.suppressed.len()
+    );
+}

@@ -201,6 +201,7 @@ impl Coordinator {
                 .collect();
             for p in paths {
                 st.znodes.remove(&p);
+                // pga-allow(lock-discipline): state → watch-queue is the one global order; firing under the state lock keeps event order matching mutation order
                 st.fire(WatchEvent::SessionExpired(p.clone()));
                 removed.push(p);
             }
@@ -261,6 +262,7 @@ impl Coordinator {
                 ephemeral_owner: owner,
             },
         );
+        // pga-allow(lock-discipline): state → watch-queue is the one global order; firing under the state lock keeps event order matching mutation order
         st.fire(WatchEvent::Created(path.to_string()));
         Ok(())
     }
@@ -284,6 +286,7 @@ impl Coordinator {
         z.data = data;
         z.version += 1;
         let version = z.version;
+        // pga-allow(lock-discipline): state → watch-queue is the one global order; firing under the state lock keeps event order matching mutation order
         st.fire(WatchEvent::DataChanged {
             path: path.to_string(),
             version,
@@ -297,6 +300,7 @@ impl Coordinator {
         st.znodes
             .remove(path)
             .ok_or_else(|| CoordinatorError::NoNode(path.to_string()))?;
+        // pga-allow(lock-discipline): state → watch-queue is the one global order; firing under the state lock keeps event order matching mutation order
         st.fire(WatchEvent::Deleted(path.to_string()));
         Ok(())
     }
@@ -319,6 +323,7 @@ impl Coordinator {
             z.data = data;
             z.version += 1;
             let version = z.version;
+            // pga-allow(lock-discipline): state → watch-queue is the one global order; firing under the state lock keeps event order matching mutation order
             st.fire(WatchEvent::DataChanged {
                 path: path.to_string(),
                 version,
@@ -333,6 +338,7 @@ impl Coordinator {
                     ephemeral_owner: Some(session),
                 },
             );
+            // pga-allow(lock-discipline): state → watch-queue is the one global order; firing under the state lock keeps event order matching mutation order
             st.fire(WatchEvent::Created(path.to_string()));
             Ok(0)
         }

@@ -183,6 +183,7 @@ impl RpcServerBuilder {
                     }
                 }
             })
+            // pga-allow(panic-path): server startup, before any request is accepted — not a serving path
             .expect("spawn rpc server thread");
         (
             RpcHandle {

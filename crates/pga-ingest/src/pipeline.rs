@@ -80,7 +80,8 @@ impl IngestionPipeline {
 
     /// Ingest fleet ticks `[t0, t1)`, returning the measured throughput.
     pub fn run_range(&self, fleet: &Fleet, t0: u64, t1: u64) -> PipelineReport {
-        let proxy = ReverseProxy::spawn(self.tsds.clone(), self.proxy_config);
+        let proxy = ReverseProxy::spawn(self.tsds.clone(), self.proxy_config)
+            .expect("pipeline constructs a non-empty TSD pool");
         let start = Instant::now();
         let mut samples = 0u64;
         let mut buffer = Vec::with_capacity(fleet.config().total_sensors() as usize);
@@ -88,7 +89,9 @@ impl IngestionPipeline {
             fleet.tick_into(t, &mut buffer);
             for chunk in buffer.chunks(self.batch_size) {
                 samples += chunk.len() as u64;
-                proxy.submit(chunk.to_vec());
+                proxy
+                    .submit(chunk.to_vec())
+                    .expect("proxy stays up for the whole run");
             }
             buffer.clear();
         }

@@ -5,6 +5,7 @@
 //! the backpressure the paper added); worker threads drain the buffer and
 //! forward each batch to the next TSD in round-robin order.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -12,6 +13,32 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 
 use pga_sensorgen::SensorSample;
 use pga_tsdb::Tsd;
+
+/// Typed proxy failures — the request path never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProxyError {
+    /// Spawn was given an empty TSD pool.
+    EmptyPool,
+    /// Spawn was configured with zero worker threads.
+    NoWorkers,
+    /// The OS refused to spawn a worker thread.
+    SpawnFailed(String),
+    /// The proxy has been shut down; the batch was not accepted.
+    Stopped,
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::EmptyPool => write!(f, "proxy needs at least one TSD"),
+            ProxyError::NoWorkers => write!(f, "proxy needs at least one worker"),
+            ProxyError::SpawnFailed(e) => write!(f, "failed to spawn proxy worker: {e}"),
+            ProxyError::Stopped => write!(f, "proxy is stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
 
 /// Proxy tunables.
 #[derive(Debug, Clone, Copy)]
@@ -84,7 +111,7 @@ pub struct ReverseProxy {
 impl ReverseProxy {
     /// Spawn the proxy over a pool of TSD daemons. The daemon list must be
     /// non-empty; batches are distributed round-robin across it.
-    pub fn spawn(tsds: Vec<Arc<Tsd>>, config: ProxyConfig) -> Self {
+    pub fn spawn(tsds: Vec<Arc<Tsd>>, config: ProxyConfig) -> Result<Self, ProxyError> {
         Self::spawn_with_health(tsds, config, Arc::new(AlwaysHealthy))
     }
 
@@ -97,9 +124,13 @@ impl ReverseProxy {
         tsds: Vec<Arc<Tsd>>,
         config: ProxyConfig,
         health: Arc<dyn TargetHealth>,
-    ) -> Self {
-        assert!(!tsds.is_empty(), "proxy needs at least one TSD");
-        assert!(config.workers > 0, "proxy needs at least one worker");
+    ) -> Result<Self, ProxyError> {
+        if tsds.is_empty() {
+            return Err(ProxyError::EmptyPool);
+        }
+        if config.workers == 0 {
+            return Err(ProxyError::NoWorkers);
+        }
         let (tx, rx): (Sender<Vec<SensorSample>>, Receiver<Vec<SensorSample>>) =
             bounded(config.buffer_capacity);
         let metrics = Arc::new(ProxyMetrics::default());
@@ -111,63 +142,65 @@ impl ReverseProxy {
             let metrics = metrics.clone();
             let rr = rr.clone();
             let health = health.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("proxy-worker-{w}"))
-                    .spawn(move || {
-                        for batch in rx.iter() {
-                            let pick = rr.fetch_add(1, Ordering::Relaxed) % tsds.len();
-                            let target = (0..tsds.len())
-                                .map(|off| (pick + off) % tsds.len())
-                                .find(|&i| health.is_healthy(i))
-                                .unwrap_or(pick);
-                            if target != pick {
-                                metrics.rerouted.fetch_add(1, Ordering::Relaxed);
+            let handle = std::thread::Builder::new()
+                .name(format!("proxy-worker-{w}"))
+                .spawn(move || {
+                    for batch in rx.iter() {
+                        let pick = rr.fetch_add(1, Ordering::Relaxed) % tsds.len();
+                        let target = (0..tsds.len())
+                            .map(|off| (pick + off) % tsds.len())
+                            .find(|&i| health.is_healthy(i))
+                            .unwrap_or(pick);
+                        if target != pick {
+                            metrics.rerouted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let n = batch.len() as u64;
+                        let unit_strs: Vec<String> =
+                            batch.iter().map(|s| s.unit.to_string()).collect();
+                        let sensor_strs: Vec<String> =
+                            batch.iter().map(|s| s.sensor.to_string()).collect();
+                        let tag_pairs: Vec<[(&str, &str); 2]> = unit_strs
+                            .iter()
+                            .zip(&sensor_strs)
+                            .map(|(u, s)| [("unit", u.as_str()), ("sensor", s.as_str())])
+                            .collect();
+                        let points: Vec<pga_tsdb::BatchPoint> = batch
+                            .iter()
+                            .zip(&tag_pairs)
+                            .map(|(s, tags)| (&tags[..], s.timestamp, s.value))
+                            .collect();
+                        // `target` is reduced modulo `tsds.len()`, but
+                        // the serving path still refuses to panic on a
+                        // miss: count it as a forwarding error instead.
+                        match tsds.get(target).map(|t| t.put_batch("energy", &points)) {
+                            Some(Ok(())) => {
+                                metrics.batches_out.fetch_add(1, Ordering::Relaxed);
+                                metrics.samples_out.fetch_add(n, Ordering::Relaxed);
                             }
-                            let n = batch.len() as u64;
-                            let unit_strs: Vec<String> =
-                                batch.iter().map(|s| s.unit.to_string()).collect();
-                            let sensor_strs: Vec<String> =
-                                batch.iter().map(|s| s.sensor.to_string()).collect();
-                            let tag_pairs: Vec<[(&str, &str); 2]> = unit_strs
-                                .iter()
-                                .zip(&sensor_strs)
-                                .map(|(u, s)| [("unit", u.as_str()), ("sensor", s.as_str())])
-                                .collect();
-                            let points: Vec<pga_tsdb::BatchPoint> = batch
-                                .iter()
-                                .zip(&tag_pairs)
-                                .map(|(s, tags)| (&tags[..], s.timestamp, s.value))
-                                .collect();
-                            match tsds[target].put_batch("energy", &points) {
-                                Ok(()) => {
-                                    metrics.batches_out.fetch_add(1, Ordering::Relaxed);
-                                    metrics.samples_out.fetch_add(n, Ordering::Relaxed);
-                                }
-                                Err(_) => {
-                                    metrics.errors.fetch_add(1, Ordering::Relaxed);
-                                }
+                            Some(Err(_)) | None => {
+                                metrics.errors.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                    })
-                    .expect("spawn proxy worker"),
-            );
+                    }
+                })
+                .map_err(|e| ProxyError::SpawnFailed(e.to_string()))?;
+            workers.push(handle);
         }
-        ReverseProxy {
+        Ok(ReverseProxy {
             tx: Some(tx),
             metrics,
             workers,
-        }
+        })
     }
 
     /// Submit one batch; blocks while the buffer is full (backpressure).
-    pub fn submit(&self, batch: Vec<SensorSample>) {
+    /// Returns [`ProxyError::Stopped`] once the intake is closed or the
+    /// workers are gone — the caller decides whether that is fatal.
+    pub fn submit(&self, batch: Vec<SensorSample>) -> Result<(), ProxyError> {
+        let tx = self.tx.as_ref().ok_or(ProxyError::Stopped)?;
+        tx.send(batch).map_err(|_| ProxyError::Stopped)?;
         self.metrics.batches_in.fetch_add(1, Ordering::Relaxed);
-        self.tx
-            .as_ref()
-            .expect("proxy running")
-            .send(batch)
-            .expect("proxy workers alive");
+        Ok(())
     }
 
     /// Shared metrics handle.
@@ -241,9 +274,11 @@ mod tests {
     #[test]
     fn proxy_forwards_all_batches() {
         let (master, tsds) = stack(2, 3);
-        let proxy = ReverseProxy::spawn(tsds.clone(), ProxyConfig::default());
+        let proxy = ReverseProxy::spawn(tsds.clone(), ProxyConfig::default()).unwrap();
         for t in 0..20u64 {
-            proxy.submit(vec![sample(1, 1, t), sample(1, 2, t)]);
+            proxy
+                .submit(vec![sample(1, 1, t), sample(1, 2, t)])
+                .unwrap();
         }
         let metrics = proxy.drain_and_join();
         assert_eq!(metrics.batches_in.load(Ordering::Relaxed), 20);
@@ -268,9 +303,10 @@ mod tests {
                 buffer_capacity: 64,
                 workers: 1,
             },
-        );
+        )
+        .unwrap();
         for t in 0..40u64 {
-            proxy.submit(vec![sample(2, 3, t)]);
+            proxy.submit(vec![sample(2, 3, t)]).unwrap();
         }
         proxy.drain_and_join();
         for tsd in &tsds {
@@ -290,9 +326,10 @@ mod tests {
                 buffer_capacity: 2,
                 workers: 1,
             },
-        );
+        )
+        .unwrap();
         for t in 0..100u64 {
-            proxy.submit(vec![sample(1, 1, t)]);
+            proxy.submit(vec![sample(1, 1, t)]).unwrap();
         }
         let metrics = proxy.drain_and_join();
         assert_eq!(metrics.samples_out.load(Ordering::Relaxed), 100);
@@ -301,9 +338,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one TSD")]
     fn empty_tsd_pool_rejected() {
-        let _ = ReverseProxy::spawn(Vec::new(), ProxyConfig::default());
+        let err = ReverseProxy::spawn(Vec::new(), ProxyConfig::default())
+            .err()
+            .expect("empty pool must be rejected");
+        assert_eq!(err, ProxyError::EmptyPool);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let (master, tsds) = stack(1, 1);
+        let err = ReverseProxy::spawn(
+            tsds,
+            ProxyConfig {
+                buffer_capacity: 4,
+                workers: 0,
+            },
+        )
+        .err()
+        .expect("zero workers must be rejected");
+        assert_eq!(err, ProxyError::NoWorkers);
+        master.shutdown();
     }
 
     /// Regression: round-robin used to keep sending every other batch to a
@@ -331,9 +386,10 @@ mod tests {
                 workers: 1,
             },
             health,
-        );
+        )
+        .unwrap();
         for t in 0..20u64 {
-            proxy.submit(vec![sample(1, 1, t)]);
+            proxy.submit(vec![sample(1, 1, t)]).unwrap();
         }
         let metrics = proxy.drain_and_join();
         // The dead node's TSD received no new batches…

@@ -82,6 +82,7 @@ impl Master {
                     node.0.to_le_bytes().to_vec(),
                     session,
                 )
+                // pga-allow(panic-path): bootstrap-time only — the /rs namespace is empty before any node registers
                 .expect("fresh namespace");
             servers.insert(node, server);
             sessions.insert(node, session);
@@ -100,7 +101,10 @@ impl Master {
     /// round-robin across servers.
     pub fn create_table(&mut self, desc: &TableDescriptor) {
         assert!(
-            desc.split_points.windows(2).all(|w| w[0] < w[1]),
+            desc.split_points
+                .iter()
+                .zip(desc.split_points.iter().skip(1))
+                .all(|(a, b)| a < b),
             "split points must be ascending and unique"
         );
         let mut boundaries: Vec<Bytes> = Vec::with_capacity(desc.split_points.len() + 2);
@@ -112,15 +116,17 @@ impl Master {
             v.sort();
             v
         };
+        assert!(!nodes.is_empty(), "create_table needs a live server pool");
         let mut dir = Vec::new();
-        for (i, w) in boundaries.windows(2).enumerate() {
+        let ranges = boundaries.iter().zip(boundaries.iter().skip(1));
+        for ((start, end), &node) in ranges.zip(nodes.iter().cycle()) {
             self.next_region += 1;
             let id = RegionId(self.next_region);
             let range = RowRange {
-                start: w[0].clone(),
-                end: w[1].clone(),
+                start: start.clone(),
+                end: end.clone(),
             };
-            let node = nodes[i % nodes.len()];
+            // pga-allow(panic-path): node is drawn from servers.keys(), so the entry exists
             self.servers[&node].assign(Region::new(id, range.clone(), desc.region_config));
             dir.push(RegionInfo {
                 id,
@@ -187,6 +193,12 @@ impl Master {
         self.dead.extend(dead_nodes.iter().copied());
         let live = self.live_nodes();
         assert!(!live.is_empty(), "entire cluster died");
+        // The directory write lock is deliberately held across the whole
+        // unassign → recover → assign sweep: clients must never observe a
+        // directory entry pointing at a dead server mid-reassignment. The
+        // server-side locks acquired inside these calls (each server's
+        // region map, each region's WAL) always nest *under* the directory
+        // lock, here and in move_region — one global order, no cycle.
         let mut dir = self.directory.write();
         let mut rr = 0usize;
         for dead in &dead_nodes {
@@ -194,15 +206,20 @@ impl Master {
                 Some(s) => s,
                 None => continue,
             };
+            // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
             for rid in dead_server.hosted_regions() {
+                // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
                 if let Some(mut region) = dead_server.unassign(rid) {
                     // The memstore moved with the struct here, but in a real
                     // crash it is lost: model that by replaying the WAL into
                     // a region rebuilt from files. Since our Region keeps
                     // both, recovery is exercised via recover_from_wal.
+                    // pga-allow(lock-discipline): directory → region-WAL is the global lock order (see above)
                     region.recover_from_wal();
+                    // pga-allow(panic-path): live is asserted non-empty above
                     let target = live[rr % live.len()];
                     rr += 1;
+                    // pga-allow(panic-path, lock-discipline): target ∈ live ⊆ servers.keys(); directory → server-regions order (see above)
                     self.servers[&target].assign(region);
                     for info in dir.iter_mut() {
                         if info.id == rid {
@@ -239,6 +256,7 @@ impl Master {
             Ok((left, right)) => {
                 let nodes = self.live_nodes();
                 let pos = nodes.iter().position(|&n| n == info.server).unwrap_or(0);
+                // pga-allow(panic-path): the hosting server just answered unassign, so the live set is non-empty
                 let right_node = nodes[(pos + 1) % nodes.len()];
                 let left_info = RegionInfo {
                     id: left_id,
@@ -251,6 +269,7 @@ impl Master {
                     server: right_node,
                 };
                 server.assign(left);
+                // pga-allow(panic-path): right_node is drawn from live_nodes() ⊆ servers.keys()
                 self.servers[&right_node].assign(right);
                 let mut dir = self.directory.write();
                 dir.retain(|i| i.id != rid);
@@ -282,6 +301,7 @@ impl Master {
                 node.0.to_le_bytes().to_vec(),
                 session,
             )
+            // pga-allow(panic-path): node id is max(existing)+1, so its znode cannot pre-exist
             .expect("node id is fresh");
         self.servers.insert(node, server);
         self.sessions.insert(node, session);
@@ -311,10 +331,12 @@ impl Master {
             return true;
         }
         let mut dir = self.directory.write();
+        // pga-allow(lock-discipline): directory → server-regions is the global lock order (see tick)
         let region = match self.servers.get(&source).and_then(|s| s.unassign(rid)) {
             Some(r) => r,
             None => return false,
         };
+        // pga-allow(panic-path, lock-discipline): target checked in servers above; directory → server-regions order
         self.servers[&target].assign(region);
         for info in dir.iter_mut() {
             if info.id == rid {
@@ -342,9 +364,11 @@ impl Master {
         if targets.is_empty() {
             return None;
         }
+        // pga-allow(panic-path): node membership checked on entry
         let rids = self.servers[&node].hosted_regions();
         let mut moved = Vec::with_capacity(rids.len());
         for (i, rid) in rids.into_iter().enumerate() {
+            // pga-allow(panic-path): targets checked non-empty above
             if self.move_region(rid, targets[i % targets.len()]) {
                 moved.push(rid);
             }

@@ -248,8 +248,10 @@ impl Region {
         if all.len() < 2 {
             return Err(self);
         }
-        let mid_row = all[all.len() / 2].row.clone();
-        if Some(&mid_row[..]) == all.first().map(|kv| &kv.row[..]) {
+        let Some(mid_row) = all.get(all.len() / 2).map(|kv| kv.row.clone()) else {
+            return Err(self);
+        };
+        if all.first().map(|kv| &kv.row) == Some(&mid_row) {
             // All data shares one row: nothing to split on.
             return Err(self);
         }

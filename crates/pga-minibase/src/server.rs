@@ -145,11 +145,17 @@ impl RegionServer {
     }
 }
 
+// Region operations run under the server's `regions` map lock by design:
+// the map lock is what serialises request handling against reassignment
+// (unassign/assign from the master). The WAL mutex acquired inside
+// put_batch/flush always nests under it — `regions` → WAL-`inner` is this
+// server's fixed order and nothing acquires them the other way around.
 fn handle_request(regions: &Arc<RwLock<HashMap<RegionId, Region>>>, req: Request) -> Response {
     match req {
         Request::Put { region, kvs } => {
             let mut map = regions.write();
             match map.get_mut(&region) {
+                // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
                 Some(r) => match r.put_batch(kvs) {
                     Ok(()) => Response::Ok,
                     Err(_) => Response::WrongRegion,
@@ -168,6 +174,7 @@ fn handle_request(regions: &Arc<RwLock<HashMap<RegionId, Region>>>, req: Request
             let mut map = regions.write();
             match map.get_mut(&region) {
                 Some(r) => {
+                    // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
                     r.flush();
                     Response::Ok
                 }

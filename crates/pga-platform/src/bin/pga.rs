@@ -54,6 +54,8 @@ fn usage() -> ! {
                       surge and print the scaling timeline\n\
                       (--nodes N --base R --peak R --surge-at S --secs S\n\
                        [--ramp-secs S] [--static true])\n\
+           analyze    run the workspace lint engine (see ANALYSIS.md)\n\
+                      ([--deny-all] [--root path] [--rule id] [--list])\n\
          \n\
          experiment reproduction lives in the bench crate:\n\
            cargo run --release -p pga-bench --bin report_all"
@@ -333,6 +335,10 @@ fn cmd_elastic(map: &HashMap<String, String>) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
+    // `analyze` has boolean flags, so it keeps its own argument grammar.
+    if command == "analyze" {
+        std::process::exit(pga_analyze::cli::run(&args[1..]));
+    }
     let map = parse_args(&args[1..]);
     match command.as_str() {
         "gen" => cmd_gen(&map),

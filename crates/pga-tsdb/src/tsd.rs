@@ -49,8 +49,11 @@ pub struct TsdMetrics {
 }
 
 impl TsdMetrics {
-    /// Total storage RPCs.
+    /// Total storage RPCs. Approximate under concurrent traffic: the two
+    /// counters are independent monotonic totals read for reporting, so
+    /// one being a beat ahead of the other is tolerated.
     pub fn total_rpcs(&self) -> u64 {
+        // pga-allow(relaxed-atomics): independent monotonic counters; reporting tolerates skew
         self.put_rpcs.load(Ordering::Relaxed) + self.scan_rpcs.load(Ordering::Relaxed)
     }
 
