@@ -1,7 +1,9 @@
 //! R1 `determinism`: the deterministic-replay surface (the elastic
-//! simulator, the cluster simulator, and the sensor generator) must never
-//! read ambient time or entropy. Replays diverge silently otherwise — the
-//! exact failure class the elastic experiments depend on not having.
+//! simulator, the cluster simulator, the sensor generator, and the whole
+//! fault-injection harness) must never read ambient time or entropy.
+//! Replays diverge silently otherwise — the exact failure class the
+//! elastic experiments and `pga crashtest --seed N` reproducers depend
+//! on not having.
 
 use crate::rules::{Rule, Violation, Workspace};
 use crate::source::SourceFile;
@@ -15,6 +17,7 @@ fn in_scope(f: &SourceFile) -> bool {
     let top = f.module.first().map(String::as_str);
     match f.krate.as_str() {
         "pga-sensorgen" => true,
+        "pga-faultsim" => true,
         "pga-cluster" => top == Some("sim"),
         "pga-control" => top == Some("elastic"),
         _ => false,

@@ -10,6 +10,7 @@
 
 pub mod elastic;
 pub mod experiments;
+pub mod faults;
 pub mod table;
 
 pub use elastic::{elastic_scaling_experiment, ElasticScalingReport, ElasticScenarioRow};
@@ -21,4 +22,5 @@ pub use experiments::{
     EvalThroughput, FdrRow, Fig2Report, LatencyRow, PipelineThroughput, TrainingRow,
     WindowAblationRow,
 };
+pub use faults::{fault_durability_experiment, FaultDurabilityReport};
 pub use table::render_table;

@@ -1,0 +1,134 @@
+//! Seed campaigns: many `(seed, generated schedule)` runs, violation
+//! collection, and greedy schedule shrinking for failing cases.
+//!
+//! Each failing case is reported with the smallest still-failing schedule
+//! found by one-op removal, plus the exact `pga crashtest` command line
+//! that replays it byte-for-byte.
+
+use serde::Serialize;
+
+use crate::schedule::{format_schedule, generate, GeneratorConfig, Schedule};
+use crate::sim::{run_with_baseline, SimConfig, SimStats};
+
+/// Campaign shape.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// First seed (inclusive).
+    pub start_seed: u64,
+    /// Number of seeds to run.
+    pub seeds: u64,
+    /// Maximum ops per generated schedule.
+    pub max_ops: u32,
+    /// Per-run simulation shape.
+    pub sim: SimConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            start_seed: 0,
+            seeds: 64,
+            max_ops: 6,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    fn generator(&self) -> GeneratorConfig {
+        GeneratorConfig {
+            nodes: self.sim.nodes as u32,
+            steps: self.sim.steps,
+            max_ops: self.max_ops,
+            lease_ms: self.sim.lease_ms,
+        }
+    }
+}
+
+/// One seed that violated an oracle, with its shrunk reproducer.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailureCase {
+    /// The failing seed.
+    pub seed: u64,
+    /// The full generated schedule.
+    pub schedule: String,
+    /// Smallest still-failing schedule found by one-op removal.
+    pub shrunk: String,
+    /// Violations observed when replaying the shrunk schedule, rendered.
+    pub violations: Vec<String>,
+    /// Command line that replays the shrunk failure byte-for-byte.
+    pub replay: String,
+}
+
+/// Aggregate campaign result.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignReport {
+    /// Seeds executed.
+    pub seeds_run: u64,
+    /// Failing seeds with shrunk reproducers (empty on a faithful stack).
+    pub failures: Vec<FailureCase>,
+    /// Counters summed over every faulted run.
+    pub totals: SimStats,
+}
+
+impl CampaignReport {
+    /// `true` when no seed violated any oracle.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Greedy shrink: repeatedly drop the first schedule op whose removal
+/// keeps the run failing, until no single removal preserves the failure.
+pub fn shrink(seed: u64, schedule: &Schedule, sim: &SimConfig) -> Schedule {
+    let mut current = schedule.clone();
+    loop {
+        let mut reduced = false;
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if !run_with_baseline(seed, &candidate, sim)
+                .violations
+                .is_empty()
+            {
+                current = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return current;
+        }
+    }
+}
+
+/// Run a full campaign. Every seed runs its generated schedule plus the
+/// baseline (for the detection-equivalence oracle); failing seeds are
+/// shrunk before reporting.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let gen_cfg = config.generator();
+    let mut failures = Vec::new();
+    let mut totals = SimStats::default();
+    for seed in config.start_seed..config.start_seed + config.seeds {
+        let schedule = generate(seed, &gen_cfg);
+        let outcome = run_with_baseline(seed, &schedule, &config.sim);
+        totals.merge(&outcome.stats);
+        if !outcome.violations.is_empty() {
+            let shrunk = shrink(seed, &schedule, &config.sim);
+            let replayed = run_with_baseline(seed, &shrunk, &config.sim);
+            let shrunk_text = format_schedule(&shrunk);
+            failures.push(FailureCase {
+                seed,
+                schedule: format_schedule(&schedule),
+                shrunk: shrunk_text.clone(),
+                violations: replayed.violations.iter().map(|v| v.to_string()).collect(),
+                replay: format!("pga crashtest --seed {seed} --schedule {shrunk_text}"),
+            });
+        }
+    }
+    CampaignReport {
+        seeds_run: config.seeds,
+        failures,
+        totals,
+    }
+}

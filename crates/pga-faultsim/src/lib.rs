@@ -1,0 +1,40 @@
+//! Deterministic fault-injection harness for the storage stack.
+//!
+//! FoundationDB-style simulation testing over the **live**
+//! `pga-minibase` + `pga-tsdb` + `pga-ingest` components: a single `u64`
+//! seed deterministically derives the workload, the fault schedule and
+//! the fault plane's byte-level behaviour, so every run — and every
+//! failure — replays byte-for-byte. The paper's architecture claims its
+//! HBase/OpenTSDB substrate survives region-server failure without losing
+//! acknowledged sensor data (§III); this crate is the adversarial test of
+//! that claim on our reimplementation.
+//!
+//! * [`schedule`] — seeded fault schedules (crash, torn-WAL crash,
+//!   heartbeat partition, clock skew, split, migration, RPC ack drops)
+//!   with a compact replayable string form.
+//! * [`plane`] — the [`pga_minibase::FaultPlane`] implementation the sim
+//!   installs: armed torn tails with seeded garbage, per-node clock skew,
+//!   and the in-stack monotone-WAL oracle.
+//! * [`sim`] — the lockstep driver plus invariant oracles: no acked
+//!   sample lost, exactly-once retries, scan consistency across
+//!   split/migration, detection-output equivalence vs the baseline run.
+//! * [`campaign`] — multi-seed campaigns with greedy schedule shrinking
+//!   and `pga crashtest --seed N --schedule …` reproducers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod plane;
+pub mod schedule;
+pub mod sim;
+
+pub use campaign::{run_campaign, shrink, CampaignConfig, CampaignReport, FailureCase};
+pub use plane::SimFaultPlane;
+pub use schedule::{
+    format_schedule, generate, parse_schedule, FaultOp, GeneratorConfig, Schedule, ScheduledFault,
+};
+pub use sim::{run, run_with_baseline, SimConfig, SimOutcome, SimStats, Violation};
+
+#[cfg(test)]
+mod mutants;

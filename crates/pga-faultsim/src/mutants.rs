@@ -1,0 +1,195 @@
+//! Seeded protocol-bug mutants and the harness's own acceptance tests.
+//!
+//! Each mutant re-introduces a classic distributed-storage bug through
+//! the `pga-minibase` fault hooks; the campaign must detect every one of
+//! them within a bounded seed budget, while the faithful stack must
+//! survive the same schedules with zero violations.
+
+use std::sync::Arc;
+
+use pga_cluster::NodeId;
+use pga_minibase::{FaultHandle, FaultPlane, RegionId};
+
+use crate::campaign::{run_campaign, CampaignConfig};
+use crate::plane::SimFaultPlane;
+use crate::schedule::{generate, parse_schedule, GeneratorConfig};
+use crate::sim::{run_inner, run_with_baseline, SimConfig, SimOutcome, Violation};
+
+/// The three seeded bugs.
+#[derive(Debug, Clone, Copy)]
+enum Mutant {
+    /// Acks a put without appending to the WAL: a crash loses acked data.
+    AckBeforeWalAppend,
+    /// Crash recovery forgets to replay the unflushed WAL tail.
+    ReplaySkipsTail,
+    /// Migration ships store files but drops the memstore.
+    MigrationDropsMemstore,
+}
+
+/// Wraps the faithful sim plane, delegating injection hooks and breaking
+/// exactly one protocol point.
+#[derive(Debug)]
+struct MutantPlane {
+    inner: Arc<SimFaultPlane>,
+    mutant: Mutant,
+}
+
+impl FaultPlane for MutantPlane {
+    fn skip_wal_append(&self, _region: RegionId) -> bool {
+        matches!(self.mutant, Mutant::AckBeforeWalAppend)
+    }
+
+    fn skip_crash_replay(&self, _region: RegionId) -> bool {
+        matches!(self.mutant, Mutant::ReplaySkipsTail)
+    }
+
+    fn drop_memstore_on_move(&self, _region: RegionId) -> bool {
+        matches!(self.mutant, Mutant::MigrationDropsMemstore)
+    }
+
+    fn tear_wal(&self, region: RegionId, encoded: &mut Vec<u8>) {
+        self.inner.tear_wal(region, encoded)
+    }
+
+    fn skew_ms(&self, node: NodeId, now_ms: u64) -> u64 {
+        self.inner.skew_ms(node, now_ms)
+    }
+}
+
+fn test_sim() -> SimConfig {
+    SimConfig {
+        steps: 24,
+        batch_per_step: 3,
+        ..SimConfig::default()
+    }
+}
+
+fn run_with_mutant(seed: u64, mutant: Mutant, config: &SimConfig) -> SimOutcome {
+    let gen_cfg = GeneratorConfig {
+        nodes: config.nodes as u32,
+        steps: config.steps,
+        max_ops: 6,
+        lease_ms: config.lease_ms,
+    };
+    let schedule = generate(seed, &gen_cfg);
+    run_inner(seed, &schedule, config, &move |plane| {
+        let handle: FaultHandle = Arc::new(MutantPlane {
+            inner: plane,
+            mutant,
+        });
+        handle
+    })
+}
+
+/// Each mutant must be caught within this many generated seeds.
+const SEED_BUDGET: u64 = 24;
+
+fn detect(mutant: Mutant) -> Option<(u64, SimOutcome)> {
+    let config = test_sim();
+    (0..SEED_BUDGET)
+        .map(|seed| (seed, run_with_mutant(seed, mutant, &config)))
+        .find(|(_, outcome)| !outcome.violations.is_empty())
+}
+
+#[test]
+fn mutant_ack_before_wal_append_is_detected_within_budget() {
+    let (seed, outcome) = detect(Mutant::AckBeforeWalAppend).expect("mutant A never detected");
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::AckedDataLost { .. })),
+        "seed {seed}: expected acked-data loss, got {:?}",
+        outcome.violations
+    );
+}
+
+#[test]
+fn mutant_replay_skipping_tail_is_detected_within_budget() {
+    let (seed, outcome) = detect(Mutant::ReplaySkipsTail).expect("mutant B never detected");
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::AckedDataLost { .. })),
+        "seed {seed}: expected acked-data loss, got {:?}",
+        outcome.violations
+    );
+}
+
+#[test]
+fn mutant_migration_dropping_memstore_is_detected_within_budget() {
+    let (seed, outcome) = detect(Mutant::MigrationDropsMemstore).expect("mutant C never detected");
+    assert!(
+        outcome.violations.iter().any(|v| matches!(
+            v,
+            Violation::AckedDataLost { .. } | Violation::ScanMismatch { .. }
+        )),
+        "seed {seed}: expected data loss after migration, got {:?}",
+        outcome.violations
+    );
+}
+
+#[test]
+fn faithful_stack_survives_a_generated_campaign() {
+    let report = run_campaign(&CampaignConfig {
+        seeds: 6,
+        sim: test_sim(),
+        ..CampaignConfig::default()
+    });
+    assert!(
+        report.passed(),
+        "faithful stack violated oracles: {:?}",
+        report.failures
+    );
+    assert!(
+        report.totals.faults_injected() > 0,
+        "campaign injected no faults: {:?}",
+        report.totals
+    );
+    assert!(report.totals.batches_acked > 0);
+}
+
+#[test]
+fn handcrafted_schedule_exercises_every_injector_without_violations() {
+    let schedule =
+        parse_schedule("2:tear:1,4:drop:2,6:split:3,8:move:2:0,10:part:2:3,12:skew:0:25000")
+            .unwrap();
+    let config = test_sim();
+    let outcome = run_with_baseline(99, &schedule, &config);
+    assert_eq!(
+        outcome.violations,
+        Vec::new(),
+        "events: {:?}",
+        outcome.events
+    );
+    assert_eq!(outcome.stats.crashes, 1, "torn crash counts as a crash");
+    assert_eq!(outcome.stats.torn_crashes, 1);
+    assert_eq!(outcome.stats.rpc_drops, 2);
+    assert!(
+        outcome.events.iter().any(|e| e.contains("tear region=")),
+        "torn tail should fire during recovery: {:?}",
+        outcome.events
+    );
+    assert!(
+        outcome.stats.reassigned > 0,
+        "crash must trigger reassignment"
+    );
+}
+
+#[test]
+fn replaying_a_seed_and_schedule_is_byte_for_byte_identical() {
+    let config = test_sim();
+    let gen_cfg = GeneratorConfig {
+        nodes: config.nodes as u32,
+        steps: config.steps,
+        max_ops: 6,
+        lease_ms: config.lease_ms,
+    };
+    for seed in [3u64, 11, 17] {
+        let schedule = generate(seed, &gen_cfg);
+        let first = run_with_baseline(seed, &schedule, &config);
+        let second = run_with_baseline(seed, &schedule, &config);
+        assert_eq!(first, second, "seed {seed} replay diverged");
+    }
+}

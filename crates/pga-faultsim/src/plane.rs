@@ -1,0 +1,168 @@
+//! The harness-side [`FaultPlane`] implementation.
+//!
+//! One shared plane is installed on the master and every region. The sim
+//! driver arms it (tear targets, clock skews) as schedule ops fire; the
+//! storage stack consults it at the protocol points defined in
+//! `pga_minibase::fault`. All randomness comes from a seeded stream, so a
+//! given `(seed, schedule)` pair observes byte-identical garbage.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use pga_cluster::NodeId;
+use pga_minibase::{FaultPlane, RegionId, WriteAheadLog};
+
+/// Stream separator for the plane RNG (garbage bytes in torn tails).
+pub const PLANE_STREAM: u64 = 0xa91e_44c7_0d2b_63f5;
+
+struct PlaneState {
+    /// Regions whose next crash-recovery WAL image gets a torn tail.
+    tear_armed: BTreeSet<u64>,
+    /// Backward clock skew per node, applied to heartbeat stamps.
+    skew: BTreeMap<u32, u64>,
+    /// Seeded garbage source for torn tails.
+    rng: StdRng,
+    /// Injection log, in event order.
+    events: Vec<String>,
+    /// Oracle hits observed inside the stack (non-monotone WAL images).
+    violations: Vec<String>,
+    /// Torn tails actually injected.
+    tears: u64,
+}
+
+/// Deterministic fault plane driven by the simulation loop.
+pub struct SimFaultPlane {
+    state: Mutex<PlaneState>,
+}
+
+impl fmt::Debug for SimFaultPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("SimFaultPlane")
+            .field("tear_armed", &st.tear_armed)
+            .field("skew", &st.skew)
+            .field("events", &st.events.len())
+            .finish()
+    }
+}
+
+impl SimFaultPlane {
+    /// Build the plane for one simulation run.
+    pub fn new(seed: u64) -> Self {
+        SimFaultPlane {
+            state: Mutex::new(PlaneState {
+                tear_armed: BTreeSet::new(),
+                skew: BTreeMap::new(),
+                rng: StdRng::seed_from_u64(seed ^ PLANE_STREAM),
+                events: Vec::new(),
+                violations: Vec::new(),
+                tears: 0,
+            }),
+        }
+    }
+
+    /// Arm a torn tail for `region`'s next crash recovery.
+    pub fn arm_tear(&self, region: RegionId) {
+        self.state.lock().tear_armed.insert(region.0);
+    }
+
+    /// Install a backward heartbeat skew for `node`.
+    pub fn set_skew(&self, node: NodeId, delta_ms: u64) {
+        self.state.lock().skew.insert(node.0, delta_ms);
+    }
+
+    /// Drain the injection log accumulated so far.
+    pub fn take_events(&self) -> Vec<String> {
+        std::mem::take(&mut self.state.lock().events)
+    }
+
+    /// Oracle violations observed inside the stack (monotone-WAL checks).
+    pub fn violations(&self) -> Vec<String> {
+        self.state.lock().violations.clone()
+    }
+
+    /// Torn tails injected so far.
+    pub fn tears(&self) -> u64 {
+        self.state.lock().tears
+    }
+}
+
+impl FaultPlane for SimFaultPlane {
+    fn tear_wal(&self, region: RegionId, encoded: &mut Vec<u8>) {
+        let mut st = self.state.lock();
+        // Monotone-WAL oracle: every image the stack recovers from must
+        // decode with strictly increasing batch sequence ids. This runs on
+        // every crash recovery, torn or not.
+        let report = WriteAheadLog::decode_report(encoded);
+        if !report.monotone {
+            st.violations
+                .push(format!("non-monotone WAL image in region {}", region.0));
+        }
+        if st.tear_armed.remove(&region.0) {
+            let garbage = st.rng.gen_range(1..40usize);
+            let mut tail = vec![0u8; garbage];
+            st.rng.fill_bytes(&mut tail);
+            encoded.extend_from_slice(&tail);
+            st.tears += 1;
+            st.events.push(format!(
+                "tear region={} garbage_bytes={garbage} durable_records={}",
+                region.0, report.records
+            ));
+        }
+    }
+
+    fn skew_ms(&self, node: NodeId, now_ms: u64) -> u64 {
+        let st = self.state.lock();
+        match st.skew.get(&node.0) {
+            Some(delta) => now_ms.saturating_sub(*delta),
+            None => now_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_applies_only_to_armed_nodes() {
+        let plane = SimFaultPlane::new(1);
+        plane.set_skew(NodeId(2), 5_000);
+        assert_eq!(plane.skew_ms(NodeId(1), 20_000), 20_000);
+        assert_eq!(plane.skew_ms(NodeId(2), 20_000), 15_000);
+        assert_eq!(plane.skew_ms(NodeId(2), 3_000), 0);
+    }
+
+    #[test]
+    fn tear_fires_once_per_arming_and_is_seed_deterministic() {
+        let image = |seed: u64| {
+            let plane = SimFaultPlane::new(seed);
+            plane.arm_tear(RegionId(4));
+            let mut bytes = WriteAheadLog::new().encode();
+            plane.tear_wal(RegionId(4), &mut bytes);
+            let after_first = bytes.clone();
+            // Disarmed: a second recovery leaves the image alone.
+            plane.tear_wal(RegionId(4), &mut bytes);
+            assert_eq!(bytes, after_first);
+            assert_eq!(plane.tears(), 1);
+            after_first
+        };
+        assert_eq!(image(9), image(9));
+        assert_ne!(image(9), image(10));
+    }
+
+    #[test]
+    fn untouched_regions_pass_through_unchanged() {
+        let plane = SimFaultPlane::new(3);
+        plane.arm_tear(RegionId(4));
+        let clean = WriteAheadLog::new().encode();
+        let mut bytes = clean.clone();
+        plane.tear_wal(RegionId(9), &mut bytes);
+        assert_eq!(bytes, clean);
+        assert!(plane.violations().is_empty());
+    }
+}

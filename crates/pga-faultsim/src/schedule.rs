@@ -1,0 +1,260 @@
+//! Fault schedules: what goes wrong, and when.
+//!
+//! A schedule is a list of `(step, op)` pairs generated from a single
+//! `u64` seed. The schedule stream is separate from the workload stream
+//! (both derived from the seed by xoring distinct constants), so the
+//! baseline run of a seed — same workload, empty schedule — produces
+//! byte-identical data. Schedules round-trip through a compact string
+//! form (`"12:crash:1,30:tear:0,50:split:2"`) so a failing case can be
+//! replayed from the command line exactly as the campaign ran it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stream separator for the schedule RNG (vs workload / plane streams).
+pub const SCHEDULE_STREAM: u64 = 0x5c3d_a7e1_19b4_2f68;
+
+/// One injectable fault. The compact string form produced by
+/// [`format_schedule`] is the canonical serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Crash a node's region server: the RPC thread dies mid-traffic, the
+    /// memstore dies with the process, and the lease expires later —
+    /// recovery replays the WAL on a surviving node.
+    Crash {
+        /// Victim node.
+        node: u32,
+    },
+    /// Crash a node and tear the tail of every recovered WAL image,
+    /// modelling a record in flight when the process died.
+    TornCrash {
+        /// Victim node.
+        node: u32,
+    },
+    /// Suppress a node's heartbeats for `steps` sim steps: the server
+    /// keeps serving (writes land mid-partition) while its lease quietly
+    /// expires and the master reassigns its regions out from under it.
+    Partition {
+        /// Victim node.
+        node: u32,
+        /// Heartbeat-suppression duration in sim steps.
+        steps: u32,
+    },
+    /// Skew the clock a node stamps on heartbeats into the past by
+    /// `delta_ms`; past the lease this loses the lease like a partition.
+    Skew {
+        /// Victim node.
+        node: u32,
+        /// Backward skew in milliseconds.
+        delta_ms: u64,
+    },
+    /// Split the `slot % directory.len()`-th region at its median row,
+    /// raced against in-flight puts.
+    Split {
+        /// Directory slot selector.
+        slot: u32,
+    },
+    /// Migrate the `slot % directory.len()`-th region to `node`, raced
+    /// against in-flight puts.
+    Move {
+        /// Directory slot selector.
+        slot: u32,
+        /// Destination node.
+        node: u32,
+    },
+    /// Drop the next `writes` storage acks as seen by the proxy driver:
+    /// the write may have landed, but the driver must treat it as failed
+    /// and retry (the exactly-once path).
+    RpcDrop {
+        /// Number of acks to swallow.
+        writes: u32,
+    },
+}
+
+/// A fault op pinned to the sim step where it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Sim step (0-based) at which the op is applied.
+    pub step: u32,
+    /// The fault.
+    pub op: FaultOp,
+}
+
+/// A full schedule, in application order.
+pub type Schedule = Vec<ScheduledFault>;
+
+/// Render a schedule in the compact replayable form.
+pub fn format_schedule(schedule: &[ScheduledFault]) -> String {
+    let parts: Vec<String> = schedule
+        .iter()
+        .map(|f| {
+            let s = f.step;
+            match f.op {
+                FaultOp::Crash { node } => format!("{s}:crash:{node}"),
+                FaultOp::TornCrash { node } => format!("{s}:tear:{node}"),
+                FaultOp::Partition { node, steps } => format!("{s}:part:{node}:{steps}"),
+                FaultOp::Skew { node, delta_ms } => format!("{s}:skew:{node}:{delta_ms}"),
+                FaultOp::Split { slot } => format!("{s}:split:{slot}"),
+                FaultOp::Move { slot, node } => format!("{s}:move:{slot}:{node}"),
+                FaultOp::RpcDrop { writes } => format!("{s}:drop:{writes}"),
+            }
+        })
+        .collect();
+    parts.join(",")
+}
+
+/// Parse the compact form back into a schedule. The empty string is the
+/// empty (baseline) schedule.
+pub fn parse_schedule(text: &str) -> Result<Schedule, String> {
+    let mut out = Vec::new();
+    for part in text.split(',').filter(|p| !p.is_empty()) {
+        let fields: Vec<&str> = part.split(':').collect();
+        let num = |i: usize| -> Result<u32, String> {
+            fields
+                .get(i)
+                .ok_or_else(|| format!("`{part}`: missing field {i}"))?
+                .parse::<u32>()
+                .map_err(|e| format!("`{part}`: {e}"))
+        };
+        let step = num(0)?;
+        let kind = *fields
+            .get(1)
+            .ok_or_else(|| format!("`{part}`: missing op kind"))?;
+        let (op, arity) = match kind {
+            "crash" => (FaultOp::Crash { node: num(2)? }, 3),
+            "tear" => (FaultOp::TornCrash { node: num(2)? }, 3),
+            "part" => (
+                FaultOp::Partition {
+                    node: num(2)?,
+                    steps: num(3)?,
+                },
+                4,
+            ),
+            "skew" => (
+                FaultOp::Skew {
+                    node: num(2)?,
+                    delta_ms: num(3)? as u64,
+                },
+                4,
+            ),
+            "split" => (FaultOp::Split { slot: num(2)? }, 3),
+            "move" => (
+                FaultOp::Move {
+                    slot: num(2)?,
+                    node: num(3)?,
+                },
+                4,
+            ),
+            "drop" => (FaultOp::RpcDrop { writes: num(2)? }, 3),
+            other => return Err(format!("`{part}`: unknown op `{other}`")),
+        };
+        if fields.len() != arity {
+            return Err(format!("`{part}`: expected {arity} fields"));
+        }
+        out.push(ScheduledFault { step, op });
+    }
+    Ok(out)
+}
+
+/// Knobs for seeded schedule generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Nodes in the simulated cluster (victim selector range).
+    pub nodes: u32,
+    /// Sim steps available; ops land in `[1, steps * 3 / 4)` so the drain
+    /// phase can always observe recovery.
+    pub steps: u32,
+    /// Maximum ops per schedule (at least 2 are generated).
+    pub max_ops: u32,
+    /// Lease duration, used to scale clock-skew deltas past expiry.
+    pub lease_ms: u64,
+}
+
+/// Generate the seeded schedule for one campaign seed.
+pub fn generate(seed: u64, config: &GeneratorConfig) -> Schedule {
+    let mut rng = StdRng::seed_from_u64(seed ^ SCHEDULE_STREAM);
+    let count = rng.gen_range(2..=config.max_ops.max(2));
+    let hi = (config.steps * 3 / 4).max(2);
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let step = rng.gen_range(1..hi);
+        let node = rng.gen_range(0..config.nodes.max(1));
+        let op = match rng.gen_range(0..7u32) {
+            0 => FaultOp::Crash { node },
+            1 => FaultOp::TornCrash { node },
+            2 => FaultOp::Partition {
+                node,
+                steps: rng.gen_range(2..=6),
+            },
+            3 => FaultOp::Skew {
+                node,
+                delta_ms: rng.gen_range(config.lease_ms + 1..=config.lease_ms * 3),
+            },
+            4 => FaultOp::Split {
+                slot: rng.gen_range(0..16),
+            },
+            5 => FaultOp::Move {
+                slot: rng.gen_range(0..16),
+                node,
+            },
+            _ => FaultOp::RpcDrop {
+                writes: rng.gen_range(1..=4),
+            },
+        };
+        out.push(ScheduledFault { step, op });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> GeneratorConfig {
+        GeneratorConfig {
+            nodes: 3,
+            steps: 40,
+            max_ops: 6,
+            lease_ms: 10_000,
+        }
+    }
+
+    #[test]
+    fn format_parse_roundtrip_preserves_generated_schedules() {
+        for seed in 0..200u64 {
+            let schedule = generate(seed, &config());
+            let text = format_schedule(&schedule);
+            let back = parse_schedule(&text).unwrap();
+            assert_eq!(schedule, back, "seed {seed} via `{text}`");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(generate(7, &config()), generate(7, &config()));
+        assert_ne!(
+            format_schedule(&generate(7, &config())),
+            format_schedule(&generate(8, &config())),
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse_schedule("12:crash").is_err());
+        assert!(parse_schedule("12:warp:1").is_err());
+        assert!(parse_schedule("x:crash:1").is_err());
+        assert!(parse_schedule("1:crash:1:9").is_err());
+        assert_eq!(parse_schedule("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn every_op_kind_appears_across_seeds() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..100u64 {
+            for part in format_schedule(&generate(seed, &config())).split(',') {
+                kinds.insert(part.split(':').nth(1).unwrap().to_string());
+            }
+        }
+        assert_eq!(kinds.len(), 7, "generator should exercise all op kinds");
+    }
+}

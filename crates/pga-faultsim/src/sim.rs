@@ -1,0 +1,809 @@
+//! The deterministic simulation driver.
+//!
+//! One run boots the **live** storage stack — `pga-minibase` master,
+//! region servers and WALs, `pga-tsdb` daemons, the `pga-ingest` routing
+//! helpers — and drives a seeded workload through a seeded fault schedule
+//! in lockstep: one batch per step, simulated time advanced explicitly,
+//! coordinator leases expired by `Master::tick`. No wall clock and no
+//! ambient entropy anywhere: the workload, the schedule and the fault
+//! plane each draw from separate streams of the same `u64` seed, so a
+//! `(seed, schedule)` pair replays to a byte-identical trace.
+//!
+//! Invariant oracles checked against the run:
+//!
+//! * **No acked sample lost** — every batch the driver got an `Ok` for is
+//!   present, with the exact value, after all faults have resolved.
+//! * **Exactly-once** — retried batches (RPC drops, crashed servers) never
+//!   produce duplicate samples in query results.
+//! * **Scan consistency across split/migration** — after every split and
+//!   move, a full read-your-writes check over all acked series.
+//! * **Monotone WAL sequence ids** — every WAL image observed at crash
+//!   recovery decodes with strictly increasing batch sequences (checked
+//!   inside [`SimFaultPlane::tear_wal`]).
+//! * **Detection equivalence** — Benjamini–Hochberg anomaly flags over the
+//!   surviving data are identical with and without faults
+//!   ([`run_with_baseline`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use pga_cluster::coordinator::Coordinator;
+use pga_cluster::NodeId;
+use pga_ingest::{choose_target, HealthFn};
+use pga_minibase::{Client, FaultHandle, Master, RegionConfig, ServerConfig, TableDescriptor};
+use pga_stats::distributions::normal_cdf;
+use pga_stats::multiple::Procedure;
+use pga_tsdb::{BatchPoint, KeyCodec, KeyCodecConfig, QueryFilter, Tsd, TsdConfig, UidTable};
+
+use crate::plane::SimFaultPlane;
+use crate::schedule::{format_schedule, FaultOp, ScheduledFault};
+
+/// Stream separator for the workload RNG.
+pub const WORKLOAD_STREAM: u64 = 0x17f2_9c8b_e5d0_4a31;
+
+/// Simulation shape. The defaults run one seed in well under a second.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Region-server nodes (one TSD daemon each).
+    pub nodes: usize,
+    /// Workload steps (one batch per step; faults land in the first 3/4).
+    pub steps: u32,
+    /// Samples per step batch.
+    pub batch_per_step: usize,
+    /// Distinct generating units in the workload.
+    pub units: u32,
+    /// Sensors per unit.
+    pub sensors: u32,
+    /// Row-key salt buckets (also the pre-split count).
+    pub salt_buckets: u8,
+    /// Coordinator lease.
+    pub lease_ms: u64,
+    /// Simulated milliseconds per step.
+    pub step_ms: u64,
+    /// Write attempts per batch before declaring `WriteNeverAcked`; each
+    /// failed attempt advances simulated time one step so leases can
+    /// expire and recovery can run.
+    pub max_write_attempts: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nodes: 3,
+            steps: 40,
+            batch_per_step: 4,
+            units: 3,
+            sensors: 2,
+            salt_buckets: 4,
+            lease_ms: 10_000,
+            step_ms: 1_000,
+            max_write_attempts: 40,
+        }
+    }
+}
+
+/// One oracle violation. A faithful stack must never produce any.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A batch exhausted every forwarding attempt without an ack.
+    WriteNeverAcked {
+        /// Step the batch was generated at.
+        step: u32,
+        /// Series and attempt context.
+        detail: String,
+    },
+    /// An acked sample is missing (or has the wrong value) after recovery.
+    AckedDataLost {
+        /// `unit/sensor` series label.
+        series: String,
+        /// What was expected vs observed.
+        detail: String,
+    },
+    /// A scan returned samples that were never acked, duplicates, or
+    /// otherwise diverged from the acked history.
+    ScanMismatch {
+        /// `unit/sensor` series label.
+        series: String,
+        /// What was expected vs observed.
+        detail: String,
+    },
+    /// A final-phase query failed outright after the drain.
+    QueryFailed {
+        /// `unit/sensor` series label.
+        series: String,
+        /// The storage error.
+        detail: String,
+    },
+    /// A WAL image decoded with non-increasing batch sequence ids.
+    NonMonotoneWal {
+        /// Region context from the plane.
+        detail: String,
+    },
+    /// Anomaly flags differ between the faulted and baseline runs.
+    DetectionDiverged {
+        /// Flag diff summary.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::WriteNeverAcked { step, detail } => {
+                write!(f, "write-never-acked at step {step}: {detail}")
+            }
+            Violation::AckedDataLost { series, detail } => {
+                write!(f, "acked-data-lost [{series}]: {detail}")
+            }
+            Violation::ScanMismatch { series, detail } => {
+                write!(f, "scan-mismatch [{series}]: {detail}")
+            }
+            Violation::QueryFailed { series, detail } => {
+                write!(f, "query-failed [{series}]: {detail}")
+            }
+            Violation::NonMonotoneWal { detail } => {
+                write!(f, "non-monotone-wal: {detail}")
+            }
+            Violation::DetectionDiverged { detail } => {
+                write!(f, "detection-diverged: {detail}")
+            }
+        }
+    }
+}
+
+/// Injection and recovery counters for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct SimStats {
+    /// Batches acknowledged to the driver.
+    pub batches_acked: u64,
+    /// Samples inside those batches.
+    pub samples_acked: u64,
+    /// Failed forwarding attempts that were retried.
+    pub retries: u64,
+    /// Region-server crashes injected.
+    pub crashes: u64,
+    /// Crashes whose recovery WAL images were torn.
+    pub torn_crashes: u64,
+    /// Heartbeat partitions injected.
+    pub partitions: u64,
+    /// Clock skews injected.
+    pub skews: u64,
+    /// Region splits performed.
+    pub splits: u64,
+    /// Region migrations performed.
+    pub moves: u64,
+    /// Storage acks swallowed by the RPC-drop fault.
+    pub rpc_drops: u64,
+    /// Regions reassigned by the master's liveness sweep.
+    pub reassigned: u64,
+    /// Mid-run scan-consistency checks executed.
+    pub mid_checks: u64,
+    /// Schedule ops skipped by the last-healthy-node guard.
+    pub guarded_skips: u64,
+}
+
+impl SimStats {
+    /// Fold another run's counters into this aggregate.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.batches_acked += other.batches_acked;
+        self.samples_acked += other.samples_acked;
+        self.retries += other.retries;
+        self.crashes += other.crashes;
+        self.torn_crashes += other.torn_crashes;
+        self.partitions += other.partitions;
+        self.skews += other.skews;
+        self.splits += other.splits;
+        self.moves += other.moves;
+        self.rpc_drops += other.rpc_drops;
+        self.reassigned += other.reassigned;
+        self.mid_checks += other.mid_checks;
+        self.guarded_skips += other.guarded_skips;
+    }
+
+    /// Total faults injected (any kind).
+    pub fn faults_injected(&self) -> u64 {
+        self.crashes + self.partitions + self.skews + self.splits + self.moves + self.rpc_drops
+    }
+}
+
+/// Everything one run produced: the replayable trace and the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Seed the run was driven by.
+    pub seed: u64,
+    /// Schedule in replayable string form.
+    pub schedule: String,
+    /// Ordered injection/recovery trace.
+    pub events: Vec<String>,
+    /// Oracle violations (empty on a faithful stack).
+    pub violations: Vec<Violation>,
+    /// Counters.
+    pub stats: SimStats,
+    /// Per-series Benjamini–Hochberg anomaly flags over the stored data,
+    /// in series order. Empty when a final query failed.
+    pub flags: Vec<(String, bool)>,
+}
+
+type SeriesKey = (u32, u32);
+
+struct Driver<'a> {
+    config: &'a SimConfig,
+    plane: Arc<SimFaultPlane>,
+    master: Master,
+    tsds: Vec<Arc<Tsd>>,
+    now_ms: u64,
+    next_ts: u64,
+    rr: usize,
+    /// Nodes whose server thread was crashed.
+    crashed: BTreeSet<u32>,
+    /// Nodes with heartbeats suppressed → remaining steps.
+    partitioned: BTreeMap<u32, u32>,
+    /// Nodes with a permanent clock skew installed — their lease is doomed
+    /// even if a concurrent partition heals in time.
+    skewed: BTreeSet<u32>,
+    /// Victims of any liveness fault — the guard keeps at least one node
+    /// out of this set so `Master::tick` always has a survivor.
+    doomed: BTreeSet<u32>,
+    /// Pending injected ack drops.
+    drop_budget: u32,
+    /// Acked history: series → timestamp → value.
+    expected: BTreeMap<SeriesKey, BTreeMap<u64, f64>>,
+    /// Series that had a `WriteNeverAcked` batch — their stores may hold
+    /// unacked samples, so they are excluded from exactness checks.
+    tainted: BTreeSet<SeriesKey>,
+    events: Vec<String>,
+    violations: Vec<Violation>,
+    stats: SimStats,
+    wl: StdRng,
+}
+
+fn series_label(key: SeriesKey) -> String {
+    format!("unit={}/sensor={}", key.0, key.1)
+}
+
+impl<'a> Driver<'a> {
+    fn new(
+        seed: u64,
+        config: &'a SimConfig,
+        wrap: &dyn Fn(Arc<SimFaultPlane>) -> FaultHandle,
+    ) -> Self {
+        let plane = Arc::new(SimFaultPlane::new(seed));
+        let codec = KeyCodec::new(
+            KeyCodecConfig {
+                salt_buckets: config.salt_buckets,
+                row_span_secs: 3600,
+            },
+            UidTable::new(),
+        );
+        let coord = Coordinator::new(config.lease_ms);
+        let mut master = Master::bootstrap(config.nodes, ServerConfig::default(), coord, 0);
+        master.set_fault_plane(wrap(plane.clone()));
+        master.create_table(&TableDescriptor {
+            name: "tsdb".into(),
+            split_points: codec.split_points(),
+            region_config: RegionConfig::default(),
+        });
+        let tsds = (0..config.nodes)
+            .map(|_| {
+                Arc::new(Tsd::new(
+                    codec.clone(),
+                    Client::connect(&master),
+                    TsdConfig::default(),
+                ))
+            })
+            .collect();
+        Driver {
+            config,
+            plane,
+            master,
+            tsds,
+            now_ms: 0,
+            next_ts: 0,
+            rr: 0,
+            crashed: BTreeSet::new(),
+            partitioned: BTreeMap::new(),
+            skewed: BTreeSet::new(),
+            doomed: BTreeSet::new(),
+            drop_budget: 0,
+            expected: BTreeMap::new(),
+            tainted: BTreeSet::new(),
+            events: Vec::new(),
+            violations: Vec::new(),
+            stats: SimStats::default(),
+            wl: StdRng::seed_from_u64(seed ^ WORKLOAD_STREAM),
+        }
+    }
+
+    fn log(&mut self, msg: String) {
+        self.events.push(msg);
+    }
+
+    /// Advance simulated time one step: heartbeat every node that can,
+    /// then run the master's liveness sweep.
+    fn advance(&mut self) {
+        self.now_ms += self.config.step_ms;
+        let now = self.now_ms;
+        for node in self.master.live_nodes() {
+            if self.crashed.contains(&node.0) || self.partitioned.contains_key(&node.0) {
+                continue;
+            }
+            self.master.heartbeat(node, now);
+        }
+        let reassigned = self.master.tick(now);
+        if !reassigned.is_empty() {
+            self.stats.reassigned += reassigned.len() as u64;
+            let ids: Vec<u64> = reassigned.iter().map(|r| r.0).collect();
+            self.log(format!("t={now} reassigned regions {ids:?}"));
+        }
+        // Heal partitions whose window elapsed; a node that kept its lease
+        // through the partition is healthy again and leaves the doomed set.
+        let healed: Vec<u32> = self
+            .partitioned
+            .iter_mut()
+            .filter_map(|(&node, steps)| {
+                *steps = steps.saturating_sub(1);
+                (*steps == 0).then_some(node)
+            })
+            .collect();
+        for node in healed {
+            self.partitioned.remove(&node);
+            if self.master.live_nodes().contains(&NodeId(node))
+                && !self.crashed.contains(&node)
+                && !self.skewed.contains(&node)
+            {
+                self.doomed.remove(&node);
+                self.log(format!(
+                    "t={now} partition healed on node {node} (lease survived)"
+                ));
+            } else {
+                self.log(format!(
+                    "t={now} partition healed on node {node} (lease lost)"
+                ));
+            }
+        }
+        for e in self.plane.take_events() {
+            self.log(format!("t={now} {e}"));
+        }
+    }
+
+    /// `true` when hitting `node` with a liveness fault would leave no
+    /// unharmed heartbeating node — `Master::tick` requires a survivor.
+    fn would_doom_last_node(&self, node: u32) -> bool {
+        !self
+            .master
+            .live_nodes()
+            .iter()
+            .any(|n| n.0 != node && !self.doomed.contains(&n.0))
+    }
+
+    fn apply_op(&mut self, fault: &ScheduledFault) {
+        let now = self.now_ms;
+        match fault.op {
+            FaultOp::Crash { node } | FaultOp::TornCrash { node } => {
+                if self.crashed.contains(&node) || self.would_doom_last_node(node) {
+                    self.stats.guarded_skips += 1;
+                    self.log(format!("t={now} skip crash node {node} (guard)"));
+                    return;
+                }
+                if let FaultOp::TornCrash { .. } = fault.op {
+                    // Arm a torn tail for every region the victim hosts:
+                    // their WAL images are what recovery will read back.
+                    if let Some(server) = self.master.server(NodeId(node)) {
+                        for rid in server.hosted_regions() {
+                            self.plane.arm_tear(rid);
+                        }
+                    }
+                    self.stats.torn_crashes += 1;
+                }
+                if let Some(server) = self.master.server(NodeId(node)) {
+                    server.shutdown();
+                }
+                self.crashed.insert(node);
+                self.doomed.insert(node);
+                self.stats.crashes += 1;
+                self.log(format!("t={now} crash node {node}"));
+            }
+            FaultOp::Partition { node, steps } => {
+                if self.crashed.contains(&node) || self.would_doom_last_node(node) {
+                    self.stats.guarded_skips += 1;
+                    self.log(format!("t={now} skip partition node {node} (guard)"));
+                    return;
+                }
+                self.partitioned.insert(node, steps);
+                self.doomed.insert(node);
+                self.stats.partitions += 1;
+                self.log(format!("t={now} partition node {node} for {steps} steps"));
+            }
+            FaultOp::Skew { node, delta_ms } => {
+                if self.crashed.contains(&node) || self.would_doom_last_node(node) {
+                    self.stats.guarded_skips += 1;
+                    self.log(format!("t={now} skip skew node {node} (guard)"));
+                    return;
+                }
+                self.plane.set_skew(NodeId(node), delta_ms);
+                self.skewed.insert(node);
+                self.doomed.insert(node);
+                self.stats.skews += 1;
+                self.log(format!("t={now} skew node {node} by -{delta_ms}ms"));
+            }
+            FaultOp::Split { slot } => {
+                let rid = {
+                    let dir = self.master.directory();
+                    let dir = dir.read();
+                    if dir.is_empty() {
+                        return;
+                    }
+                    dir[slot as usize % dir.len()].id
+                };
+                match self.master.split_region(rid) {
+                    Some((l, r)) => {
+                        self.stats.splits += 1;
+                        self.log(format!(
+                            "t={now} split region {} into {}/{}",
+                            rid.0, l.0, r.0
+                        ));
+                        self.scan_check("post-split");
+                    }
+                    None => self.log(format!("t={now} split region {} refused", rid.0)),
+                }
+            }
+            FaultOp::Move { slot, node } => {
+                let rid = {
+                    let dir = self.master.directory();
+                    let dir = dir.read();
+                    if dir.is_empty() {
+                        return;
+                    }
+                    dir[slot as usize % dir.len()].id
+                };
+                let target = NodeId(node);
+                if self.crashed.contains(&node) || !self.master.live_nodes().contains(&target) {
+                    self.stats.guarded_skips += 1;
+                    self.log(format!("t={now} skip move to dead node {node}"));
+                    return;
+                }
+                if self.master.move_region(rid, target) {
+                    self.stats.moves += 1;
+                    self.log(format!("t={now} move region {} to node {node}", rid.0));
+                    self.scan_check("post-move");
+                } else {
+                    self.log(format!(
+                        "t={now} move region {} to node {node} refused",
+                        rid.0
+                    ));
+                }
+            }
+            FaultOp::RpcDrop { writes } => {
+                self.drop_budget += writes;
+                self.stats.rpc_drops += writes as u64;
+                self.log(format!("t={now} arm {writes} rpc ack drops"));
+            }
+        }
+    }
+
+    /// A TSD fronted by a node that has not crashed (clients route through
+    /// the shared directory, so any surviving daemon can serve).
+    fn healthy_tsd(&self) -> Option<&Arc<Tsd>> {
+        (0..self.tsds.len())
+            .find(|i| !self.crashed.contains(&(*i as u32)))
+            .and_then(|i| self.tsds.get(i))
+    }
+
+    /// Query one series' stored points through a surviving TSD.
+    fn query_series(&self, key: SeriesKey) -> Result<Vec<(u64, f64)>, String> {
+        let tsd = self
+            .healthy_tsd()
+            .ok_or_else(|| "no surviving tsd".to_string())?;
+        let unit = key.0.to_string();
+        let sensor = key.1.to_string();
+        let filter = QueryFilter::any()
+            .with("unit", &unit)
+            .with("sensor", &sensor);
+        let series = tsd
+            .query("energy", &filter, 0, self.next_ts + 10)
+            .map_err(|e| e.to_string())?;
+        let mut points: Vec<(u64, f64)> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| (p.timestamp, p.value)))
+            .collect();
+        points.sort_by_key(|p| p.0);
+        Ok(points)
+    }
+
+    /// Compare one series' stored points against the acked history.
+    /// Returns a violation if they diverge.
+    fn check_series(&self, key: SeriesKey, stored: &[(u64, f64)]) -> Option<Violation> {
+        let acked = self.expected.get(&key)?;
+        let label = series_label(key);
+        // Loss first: every acked sample must be present with its value.
+        for (&ts, &value) in acked {
+            match stored.iter().find(|(t, _)| *t == ts) {
+                None => {
+                    return Some(Violation::AckedDataLost {
+                        series: label,
+                        detail: format!("acked ts={ts} value={value} missing from scan"),
+                    })
+                }
+                Some(&(_, got)) if got != value => {
+                    return Some(Violation::AckedDataLost {
+                        series: label,
+                        detail: format!("acked ts={ts} expected {value} got {got}"),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        if self.tainted.contains(&key) {
+            // Unacked writes may legitimately survive for this series.
+            return None;
+        }
+        if stored.len() != acked.len() {
+            return Some(Violation::ScanMismatch {
+                series: label,
+                detail: format!(
+                    "stored {} points, acked {} — duplicates or unacked extras",
+                    stored.len(),
+                    acked.len()
+                ),
+            });
+        }
+        None
+    }
+
+    /// Mid-run read-your-writes check after a split or migration. Query
+    /// errors are logged, not flagged: mid-fault RPC failures are expected;
+    /// the post-drain final check is authoritative.
+    fn scan_check(&mut self, context: &str) {
+        self.stats.mid_checks += 1;
+        let keys: Vec<SeriesKey> = self.expected.keys().copied().collect();
+        let mut found = Vec::new();
+        for key in keys {
+            match self.query_series(key) {
+                Err(e) => {
+                    let now = self.now_ms;
+                    self.log(format!("t={now} {context} check skipped ({e})"));
+                    return;
+                }
+                Ok(stored) => {
+                    if let Some(v) = self.check_series(key, &stored) {
+                        found.push(v);
+                    }
+                }
+            }
+        }
+        self.violations.extend(found);
+    }
+
+    /// Generate this step's batch from the workload stream and forward it
+    /// with retries, advancing simulated time between failed attempts.
+    fn step_workload(&mut self, step: u32) {
+        let batch: Vec<(u32, u32, u64, f64)> = (0..self.config.batch_per_step)
+            .map(|_| {
+                let unit = self.wl.gen_range(0..self.config.units.max(1));
+                let sensor = self.wl.gen_range(0..self.config.sensors.max(1));
+                let ts = self.next_ts;
+                self.next_ts += 1;
+                let noise: f64 = self.wl.gen_range(-1.0..1.0);
+                let value = (unit * 10 + sensor) as f64 + noise;
+                (unit, sensor, ts, value)
+            })
+            .collect();
+        let tags: Vec<(String, String)> = batch
+            .iter()
+            .map(|&(u, s, _, _)| (u.to_string(), s.to_string()))
+            .collect();
+        let pairs: Vec<[(&str, &str); 2]> = tags
+            .iter()
+            .map(|(u, s)| [("unit", u.as_str()), ("sensor", s.as_str())])
+            .collect();
+        let points: Vec<BatchPoint> = batch
+            .iter()
+            .zip(&pairs)
+            .map(|(&(_, _, ts, value), tags)| (&tags[..], ts, value))
+            .collect();
+        for _ in 0..self.config.max_write_attempts.max(1) {
+            let pick = self.rr;
+            self.rr += 1;
+            let crashed = self.crashed.clone();
+            let health = HealthFn(move |i: usize| !crashed.contains(&(i as u32)));
+            let target = choose_target(pick, self.tsds.len(), &health);
+            let result = self
+                .tsds
+                .get(target)
+                .map(|t| t.put_batch("energy", &points));
+            let acked = match result {
+                Some(Ok(())) => {
+                    if self.drop_budget > 0 {
+                        // The write may have landed, but the driver never
+                        // sees the ack: it must retry, and the retry must
+                        // land exactly once.
+                        self.drop_budget -= 1;
+                        let now = self.now_ms;
+                        self.log(format!("t={now} dropped storage ack (retry forced)"));
+                        false
+                    } else {
+                        true
+                    }
+                }
+                Some(Err(_)) | None => false,
+            };
+            if acked {
+                self.stats.batches_acked += 1;
+                self.stats.samples_acked += batch.len() as u64;
+                for &(u, s, ts, value) in &batch {
+                    self.expected.entry((u, s)).or_default().insert(ts, value);
+                }
+                return;
+            }
+            self.stats.retries += 1;
+            self.advance();
+        }
+        let mut series: Vec<String> = batch
+            .iter()
+            .map(|&(u, s, _, _)| series_label((u, s)))
+            .collect();
+        series.sort();
+        series.dedup();
+        for &(u, s, _, _) in &batch {
+            self.tainted.insert((u, s));
+        }
+        self.violations.push(Violation::WriteNeverAcked {
+            step,
+            detail: format!(
+                "batch of {} for {series:?} after {} attempts",
+                batch.len(),
+                self.config.max_write_attempts
+            ),
+        });
+    }
+
+    /// Post-drain authoritative oracle pass. Returns the stored points per
+    /// series for the detection oracle (None when a query failed).
+    fn final_checks(&mut self) -> Option<BTreeMap<SeriesKey, Vec<(u64, f64)>>> {
+        let keys: Vec<SeriesKey> = self.expected.keys().copied().collect();
+        let mut stored_all = BTreeMap::new();
+        let mut ok = true;
+        for key in keys {
+            match self.query_series(key) {
+                Err(e) => {
+                    self.violations.push(Violation::QueryFailed {
+                        series: series_label(key),
+                        detail: e,
+                    });
+                    ok = false;
+                }
+                Ok(stored) => {
+                    if let Some(v) = self.check_series(key, &stored) {
+                        self.violations.push(v);
+                    }
+                    stored_all.insert(key, stored);
+                }
+            }
+        }
+        for v in self.plane.violations() {
+            self.violations
+                .push(Violation::NonMonotoneWal { detail: v });
+        }
+        ok.then_some(stored_all)
+    }
+}
+
+/// Benjamini–Hochberg anomaly flags over stored per-series data: one
+/// two-sided z-test per series comparing the trailing quarter against the
+/// full history, FDR-controlled at 5% across the family.
+fn detection_flags(stored: &BTreeMap<SeriesKey, Vec<(u64, f64)>>) -> Vec<(String, bool)> {
+    let keys: Vec<SeriesKey> = stored.keys().copied().collect();
+    let ps: Vec<f64> = keys
+        .iter()
+        .map(|k| {
+            let values: Vec<f64> = stored[k].iter().map(|&(_, v)| v).collect();
+            let n = values.len();
+            if n < 8 {
+                return 1.0;
+            }
+            let mean = values.iter().sum::<f64>() / n as f64;
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+            let sd = var.sqrt();
+            if sd <= f64::EPSILON {
+                return 1.0;
+            }
+            let tail = &values[n - (n / 4).max(2)..];
+            let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+            let z = (tail_mean - mean) / (sd / (tail.len() as f64).sqrt());
+            2.0 * (1.0 - normal_cdf(z.abs()))
+        })
+        .collect();
+    if ps.is_empty() {
+        return Vec::new();
+    }
+    let rejections = Procedure::BenjaminiHochberg.apply(&ps, 0.05);
+    keys.iter()
+        .zip(rejections.rejected)
+        .map(|(&k, r)| (series_label(k), r))
+        .collect()
+}
+
+pub(crate) fn run_inner(
+    seed: u64,
+    schedule: &[ScheduledFault],
+    config: &SimConfig,
+    wrap: &dyn Fn(Arc<SimFaultPlane>) -> FaultHandle,
+) -> SimOutcome {
+    let mut driver = Driver::new(seed, config, wrap);
+    for step in 0..config.steps {
+        let due: Vec<ScheduledFault> = schedule
+            .iter()
+            .filter(|f| f.step == step)
+            .copied()
+            .collect();
+        for fault in &due {
+            driver.apply_op(fault);
+        }
+        driver.step_workload(step);
+        driver.advance();
+    }
+    // Drain: enough quiet steps for every pending lease expiry and
+    // reassignment to complete before the authoritative checks.
+    let drain = config.lease_ms / config.step_ms.max(1) + 5;
+    for _ in 0..drain {
+        driver.advance();
+    }
+    let flags = driver
+        .final_checks()
+        .map(|stored| detection_flags(&stored))
+        .unwrap_or_default();
+    driver.master.shutdown();
+    SimOutcome {
+        seed,
+        schedule: format_schedule(schedule),
+        events: driver.events,
+        violations: driver.violations,
+        stats: driver.stats,
+        flags,
+    }
+}
+
+fn faithful_plane(plane: Arc<SimFaultPlane>) -> FaultHandle {
+    plane
+}
+
+/// Run one `(seed, schedule)` pair against the live stack.
+pub fn run(seed: u64, schedule: &[ScheduledFault], config: &SimConfig) -> SimOutcome {
+    run_inner(seed, schedule, config, &faithful_plane)
+}
+
+/// Run the faulted schedule **and** the baseline (same seed, no faults),
+/// appending a [`Violation::DetectionDiverged`] if the Benjamini–Hochberg
+/// anomaly flags differ on the surviving data, and surfacing any baseline
+/// violations (a faithful baseline must be clean).
+pub fn run_with_baseline(seed: u64, schedule: &[ScheduledFault], config: &SimConfig) -> SimOutcome {
+    let mut outcome = run(seed, schedule, config);
+    if schedule.is_empty() {
+        return outcome;
+    }
+    let baseline = run(seed, &[], config);
+    for v in &baseline.violations {
+        outcome.violations.push(Violation::ScanMismatch {
+            series: "baseline".into(),
+            detail: format!("baseline run itself violated: {v:?}"),
+        });
+    }
+    if !outcome.flags.is_empty() && !baseline.flags.is_empty() && outcome.flags != baseline.flags {
+        let diff: Vec<&String> = outcome
+            .flags
+            .iter()
+            .zip(&baseline.flags)
+            .filter(|(a, b)| a != b)
+            .map(|(a, _)| &a.0)
+            .collect();
+        outcome.violations.push(Violation::DetectionDiverged {
+            detail: format!("flags differ from baseline for {diff:?}"),
+        });
+    }
+    outcome
+}

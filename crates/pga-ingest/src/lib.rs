@@ -27,4 +27,7 @@ pub use experiment::{
     IngestReportSummary, ProxyAblationReport, SaltingAblationReport,
 };
 pub use pipeline::{IngestionPipeline, PipelineReport};
-pub use proxy::{ProxyConfig, ProxyMetrics, ReverseProxy};
+pub use proxy::{
+    choose_target, AlwaysHealthy, HealthFn, ProxyConfig, ProxyError, ProxyMetrics, ReverseProxy,
+    TargetHealth,
+};

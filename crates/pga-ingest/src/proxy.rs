@@ -47,6 +47,14 @@ pub struct ProxyConfig {
     pub buffer_capacity: usize,
     /// Forwarding worker threads.
     pub workers: usize,
+    /// Forwarding attempts per batch before it is counted as an error.
+    /// Each retry re-picks a (healthy) target, so a batch submitted while
+    /// a region server is crashed lands once recovery reassigns its
+    /// regions — never twice, since identical cells deduplicate in the
+    /// store. Values below 1 behave as 1.
+    pub max_forward_attempts: usize,
+    /// Pause between failed forwarding attempts (lets recovery proceed).
+    pub retry_backoff: std::time::Duration,
 }
 
 impl Default for ProxyConfig {
@@ -54,6 +62,8 @@ impl Default for ProxyConfig {
         ProxyConfig {
             buffer_capacity: 256,
             workers: 2,
+            max_forward_attempts: 3,
+            retry_backoff: std::time::Duration::from_millis(1),
         }
     }
 }
@@ -67,10 +77,12 @@ pub struct ProxyMetrics {
     pub batches_out: AtomicU64,
     /// Samples forwarded.
     pub samples_out: AtomicU64,
-    /// Forwarding errors (storage failures).
+    /// Forwarding errors (storage failures after all attempts).
     pub errors: AtomicU64,
     /// Round-robin picks rerouted past an unhealthy target.
     pub rerouted: AtomicU64,
+    /// Failed forwarding attempts that were retried on another pick.
+    pub retries: AtomicU64,
 }
 
 /// Health view over the TSD pool, indexed like the `tsds` slice given to
@@ -99,6 +111,22 @@ impl<F: Fn(usize) -> bool + Send + Sync + 'static> TargetHealth for HealthFn<F> 
     fn is_healthy(&self, index: usize) -> bool {
         (self.0)(index)
     }
+}
+
+/// Health-aware round-robin target choice: starting from `pick`, advance
+/// (wrapping) to the first index `health` reports up; if every target is
+/// down the original pick is returned — the caller forwards anyway and
+/// relies on retries. Shared by the proxy workers and the deterministic
+/// fault-simulation harness so both route identically.
+pub fn choose_target(pick: usize, len: usize, health: &dyn TargetHealth) -> usize {
+    if len == 0 {
+        return pick;
+    }
+    let pick = pick % len;
+    (0..len)
+        .map(|off| (pick + off) % len)
+        .find(|&i| health.is_healthy(i))
+        .unwrap_or(pick)
 }
 
 /// The reverse proxy. Submission blocks when the buffer is full.
@@ -146,14 +174,6 @@ impl ReverseProxy {
                 .name(format!("proxy-worker-{w}"))
                 .spawn(move || {
                     for batch in rx.iter() {
-                        let pick = rr.fetch_add(1, Ordering::Relaxed) % tsds.len();
-                        let target = (0..tsds.len())
-                            .map(|off| (pick + off) % tsds.len())
-                            .find(|&i| health.is_healthy(i))
-                            .unwrap_or(pick);
-                        if target != pick {
-                            metrics.rerouted.fetch_add(1, Ordering::Relaxed);
-                        }
                         let n = batch.len() as u64;
                         let unit_strs: Vec<String> =
                             batch.iter().map(|s| s.unit.to_string()).collect();
@@ -169,16 +189,37 @@ impl ReverseProxy {
                             .zip(&tag_pairs)
                             .map(|(s, tags)| (&tags[..], s.timestamp, s.value))
                             .collect();
-                        // `target` is reduced modulo `tsds.len()`, but
-                        // the serving path still refuses to panic on a
-                        // miss: count it as a forwarding error instead.
-                        match tsds.get(target).map(|t| t.put_batch("energy", &points)) {
-                            Some(Ok(())) => {
-                                metrics.batches_out.fetch_add(1, Ordering::Relaxed);
-                                metrics.samples_out.fetch_add(n, Ordering::Relaxed);
+                        // Retry loop: every attempt re-picks round-robin
+                        // past unhealthy targets, so a batch caught by a
+                        // crash is re-forwarded once recovery catches up.
+                        // Re-putting identical samples is safe — the
+                        // store deduplicates identical cells, so retried
+                        // batches land exactly once.
+                        let mut attempt = 0usize;
+                        loop {
+                            let pick = rr.fetch_add(1, Ordering::Relaxed) % tsds.len();
+                            let target = choose_target(pick, tsds.len(), health.as_ref());
+                            if target != pick {
+                                metrics.rerouted.fetch_add(1, Ordering::Relaxed);
                             }
-                            Some(Err(_)) | None => {
-                                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                            // `target` is reduced modulo `tsds.len()`, but
+                            // the serving path still refuses to panic on a
+                            // miss: treat it as a failed attempt instead.
+                            match tsds.get(target).map(|t| t.put_batch("energy", &points)) {
+                                Some(Ok(())) => {
+                                    metrics.batches_out.fetch_add(1, Ordering::Relaxed);
+                                    metrics.samples_out.fetch_add(n, Ordering::Relaxed);
+                                    break;
+                                }
+                                Some(Err(_)) | None => {
+                                    attempt += 1;
+                                    if attempt >= config.max_forward_attempts.max(1) {
+                                        metrics.errors.fetch_add(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    metrics.retries.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::sleep(config.retry_backoff);
+                                }
                             }
                         }
                     }
@@ -302,6 +343,7 @@ mod tests {
             ProxyConfig {
                 buffer_capacity: 64,
                 workers: 1,
+                ..ProxyConfig::default()
             },
         )
         .unwrap();
@@ -325,6 +367,7 @@ mod tests {
             ProxyConfig {
                 buffer_capacity: 2,
                 workers: 1,
+                ..ProxyConfig::default()
             },
         )
         .unwrap();
@@ -353,11 +396,75 @@ mod tests {
             ProxyConfig {
                 buffer_capacity: 4,
                 workers: 0,
+                ..ProxyConfig::default()
             },
         )
         .err()
         .expect("zero workers must be rejected");
         assert_eq!(err, ProxyError::NoWorkers);
+        master.shutdown();
+    }
+
+    /// Satellite: a batch submitted while a region server is crashed (its
+    /// lease not yet expired, so health checks still pass) is retried
+    /// until recovery reassigns the dead server's regions, and then lands
+    /// **exactly once** — no loss, and no duplicate samples in scans even
+    /// though earlier attempts may have partially written.
+    #[test]
+    fn retried_batches_land_exactly_once_after_recovery() {
+        let (mut master, tsds) = stack(2, 2);
+        // Crash node 1's region server outright. The directory still maps
+        // half the salt buckets to it, so forwards through ANY tsd fail
+        // for those regions until the master reassigns them.
+        master.server(pga_cluster::NodeId(1)).unwrap().shutdown();
+        let proxy = ReverseProxy::spawn(
+            tsds.clone(),
+            ProxyConfig {
+                // Large enough to hold every submission: the test thread
+                // must get past submit() to drive recovery while the
+                // worker is still retrying.
+                buffer_capacity: 256,
+                workers: 1,
+                max_forward_attempts: 5000,
+                retry_backoff: std::time::Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+        // Spread series across units so several salt buckets — including
+        // ones hosted on the dead node — receive writes.
+        for t in 0..20u64 {
+            for unit in 0..8u32 {
+                proxy.submit(vec![sample(unit, 1, t)]).unwrap();
+            }
+        }
+        // Wait until the worker has actually hit the dead server…
+        let metrics = proxy.metrics();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while metrics.retries.load(Ordering::Relaxed) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never hit the crashed server"
+            );
+            std::thread::yield_now();
+        }
+        // …then recover: node 0 keeps heartbeating, node 1's lease
+        // expires, tick() reassigns its regions through WAL replay.
+        master.heartbeat(pga_cluster::NodeId(0), 15_000);
+        master.tick(20_000);
+        let metrics = proxy.drain_and_join();
+        assert_eq!(metrics.errors.load(Ordering::Relaxed), 0, "nothing dropped");
+        assert!(
+            metrics.retries.load(Ordering::Relaxed) > 0,
+            "retries happened"
+        );
+        assert_eq!(metrics.samples_out.load(Ordering::Relaxed), 160);
+        // Exactly once: every sample visible, none duplicated, even where
+        // a failed attempt partially wrote before erroring.
+        let series = tsds[0]
+            .query("energy", &QueryFilter::any(), 0, 100)
+            .unwrap();
+        let total: usize = series.iter().map(|s| s.points.len()).sum();
+        assert_eq!(total, 160);
         master.shutdown();
     }
 
@@ -384,6 +491,7 @@ mod tests {
             ProxyConfig {
                 buffer_capacity: 64,
                 workers: 1,
+                ..ProxyConfig::default()
             },
             health,
         )

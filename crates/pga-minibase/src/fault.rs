@@ -1,0 +1,91 @@
+//! Injectable fault plane for deterministic simulation testing.
+//!
+//! Every hook has a faithful no-op default ([`NoFaults`]), so production
+//! code paths behave identically unless a harness (the `pga-faultsim`
+//! crate) installs a plane via [`crate::Master::set_fault_plane`]. The
+//! hooks sit at the exact protocol points where a real deployment can
+//! fail:
+//!
+//! * [`FaultPlane::skip_wal_append`] — models the "ack before the WAL
+//!   append is durable" protocol bug (seeded mutant A).
+//! * [`FaultPlane::skip_crash_replay`] — models recovery that forgets to
+//!   replay the unflushed WAL tail (seeded mutant B).
+//! * [`FaultPlane::drop_memstore_on_move`] — models a migration that ships
+//!   store files but loses the memstore (seeded mutant C).
+//! * [`FaultPlane::tear_wal`] — mutates the encoded WAL bytes observed at
+//!   crash-recovery time, modelling a torn/truncated tail from a record
+//!   that was in flight when the process died.
+//! * [`FaultPlane::skew_ms`] — skews the clock a node stamps on its
+//!   coordinator heartbeats, modelling clock drift that can expire a
+//!   healthy lease.
+
+use std::sync::Arc;
+
+use pga_cluster::NodeId;
+
+use crate::region::RegionId;
+
+/// Shared handle to a fault plane (cloned into every region and master).
+pub type FaultHandle = Arc<dyn FaultPlane>;
+
+/// Injection points consulted by the live storage stack. All methods
+/// default to the faithful behaviour; implementations must be cheap and
+/// deterministic — they run inside the serving path.
+pub trait FaultPlane: Send + Sync + std::fmt::Debug {
+    /// When `true`, the region acks a `put_batch` **without** appending to
+    /// the WAL (deliberately broken durability — mutant A).
+    fn skip_wal_append(&self, _region: RegionId) -> bool {
+        false
+    }
+
+    /// When `true`, crash recovery skips replaying the unflushed WAL tail
+    /// into the rebuilt memstore (deliberately broken recovery — mutant B).
+    fn skip_crash_replay(&self, _region: RegionId) -> bool {
+        false
+    }
+
+    /// When `true`, a master-driven migration drops the region's memstore
+    /// instead of shipping it (deliberately broken migration — mutant C).
+    fn drop_memstore_on_move(&self, _region: RegionId) -> bool {
+        false
+    }
+
+    /// Mutate the encoded WAL bytes a recovering region reads back, e.g.
+    /// append a partial record or truncate the tail. The decoder must
+    /// recover exactly the durable prefix regardless.
+    fn tear_wal(&self, _region: RegionId, _encoded: &mut Vec<u8>) {}
+
+    /// Skew the timestamp `node` stamps on coordinator heartbeats.
+    /// Returning a value in the past makes the node's lease appear stale.
+    fn skew_ms(&self, _node: NodeId, now_ms: u64) -> u64 {
+        now_ms
+    }
+}
+
+/// The faithful plane: every hook is a no-op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFaults;
+
+impl FaultPlane for NoFaults {}
+
+/// The default shared handle used when no harness is attached.
+pub fn no_faults() -> FaultHandle {
+    Arc::new(NoFaults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_faithful() {
+        let plane = no_faults();
+        assert!(!plane.skip_wal_append(RegionId(1)));
+        assert!(!plane.skip_crash_replay(RegionId(1)));
+        assert!(!plane.drop_memstore_on_move(RegionId(1)));
+        let mut bytes = vec![1, 2, 3];
+        plane.tear_wal(RegionId(1), &mut bytes);
+        assert_eq!(bytes, vec![1, 2, 3]);
+        assert_eq!(plane.skew_ms(NodeId(0), 42), 42);
+    }
+}

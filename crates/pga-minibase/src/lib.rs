@@ -21,12 +21,15 @@
 //!   handled an equal proportion of the writes"), liveness via the
 //!   coordinator and reassignment of regions from dead servers.
 //! * [`client`] — routing client with retry-on-stale-directory.
+//! * [`fault`] — injectable fault plane (no-op by default) used by the
+//!   `pga-faultsim` deterministic crash/partition harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod diskstore;
+pub mod fault;
 pub mod kv;
 pub mod master;
 pub mod memstore;
@@ -40,6 +43,7 @@ pub use client::{Client, ClientError};
 pub use diskstore::{
     load_store_files, persist_store_files, read_store_file, write_store_file, DiskStoreError,
 };
+pub use fault::{no_faults, FaultHandle, FaultPlane, NoFaults};
 pub use kv::{KeyValue, RowRange};
 pub use master::{Master, RegionInfo, TableDescriptor};
 pub use memstore::MemStore;
@@ -47,4 +51,4 @@ pub use region::{Region, RegionConfig, RegionId};
 pub use scanner::merge_scan;
 pub use server::{RegionServer, Request, Response, ServerConfig};
 pub use storefile::StoreFile;
-pub use wal::WriteAheadLog;
+pub use wal::{WalDecodeReport, WriteAheadLog};

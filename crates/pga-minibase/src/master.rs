@@ -18,6 +18,7 @@ use parking_lot::RwLock;
 use pga_cluster::coordinator::{Coordinator, SessionId};
 use pga_cluster::NodeId;
 
+use crate::fault::{no_faults, FaultHandle};
 use crate::kv::RowRange;
 use crate::region::{Region, RegionConfig, RegionId};
 use crate::server::{RegionServer, ServerConfig};
@@ -59,6 +60,7 @@ pub struct Master {
     directory: Directory,
     coordinator: Coordinator,
     next_region: u64,
+    fault: FaultHandle,
 }
 
 impl Master {
@@ -94,6 +96,17 @@ impl Master {
             directory: Arc::new(RwLock::new(Vec::new())),
             coordinator,
             next_region: 0,
+            fault: no_faults(),
+        }
+    }
+
+    /// Install a fault plane on the master and every hosted region
+    /// (simulation harnesses only; the default plane is a no-op). Regions
+    /// created or split later inherit the handle.
+    pub fn set_fault_plane(&mut self, fault: FaultHandle) {
+        self.fault = fault.clone();
+        for server in self.servers.values() {
+            server.set_fault_plane(fault.clone());
         }
     }
 
@@ -126,8 +139,10 @@ impl Master {
                 start: start.clone(),
                 end: end.clone(),
             };
+            let mut region = Region::new(id, range.clone(), desc.region_config);
+            region.set_fault_plane(self.fault.clone());
             // pga-allow(panic-path): node is drawn from servers.keys(), so the entry exists
-            self.servers[&node].assign(Region::new(id, range.clone(), desc.region_config));
+            self.servers[&node].assign(region);
             dir.push(RegionInfo {
                 id,
                 range,
@@ -167,9 +182,12 @@ impl Master {
     }
 
     /// Heartbeat one server's coordinator session (driven by the harness).
+    /// The timestamp passes through the fault plane's clock-skew hook, so
+    /// a skewed node stamps stale heartbeats and can lose its lease.
     pub fn heartbeat(&self, node: NodeId, now_ms: u64) {
+        let stamped = self.fault.skew_ms(node, now_ms);
         if let Some(&session) = self.sessions.get(&node) {
-            let _ = self.coordinator.heartbeat(session, now_ms);
+            let _ = self.coordinator.heartbeat(session, stamped);
         }
     }
 
@@ -190,6 +208,9 @@ impl Master {
         if dead_nodes.is_empty() {
             return reassigned;
         }
+        // Deterministic sweep order regardless of coordinator/session map
+        // iteration order — fault-simulation traces must be replayable.
+        dead_nodes.sort();
         self.dead.extend(dead_nodes.iter().copied());
         let live = self.live_nodes();
         assert!(!live.is_empty(), "entire cluster died");
@@ -210,12 +231,12 @@ impl Master {
             for rid in dead_server.hosted_regions() {
                 // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
                 if let Some(mut region) = dead_server.unassign(rid) {
-                    // The memstore moved with the struct here, but in a real
-                    // crash it is lost: model that by replaying the WAL into
-                    // a region rebuilt from files. Since our Region keeps
-                    // both, recovery is exercised via recover_from_wal.
+                    // A real crash loses the memstore with the process:
+                    // crash_recover drops it, reads the WAL back through
+                    // its byte encoding (where the fault plane may tear
+                    // the tail) and replays the surviving records.
                     // pga-allow(lock-discipline): directory → region-WAL is the global lock order (see above)
-                    region.recover_from_wal();
+                    region.crash_recover();
                     // pga-allow(panic-path): live is asserted non-empty above
                     let target = live[rr % live.len()];
                     rr += 1;
@@ -332,10 +353,15 @@ impl Master {
         }
         let mut dir = self.directory.write();
         // pga-allow(lock-discipline): directory → server-regions is the global lock order (see tick)
-        let region = match self.servers.get(&source).and_then(|s| s.unassign(rid)) {
+        let mut region = match self.servers.get(&source).and_then(|s| s.unassign(rid)) {
             Some(r) => r,
             None => return false,
         };
+        // Deliberate injection site: mutant C drops the memstore during
+        // migration; the faithful plane ships the region intact.
+        if self.fault.drop_memstore_on_move(rid) {
+            region.clear_memstore();
+        }
         // pga-allow(panic-path, lock-discipline): target checked in servers above; directory → server-regions order
         self.servers[&target].assign(region);
         for info in dir.iter_mut() {

@@ -10,6 +10,7 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{no_faults, FaultHandle};
 use crate::kv::{KeyValue, RowRange};
 use crate::memstore::MemStore;
 use crate::scanner::merge_scan;
@@ -74,6 +75,7 @@ pub struct Region {
     files: Vec<StoreFile>,
     next_file_seq: u64,
     metrics: RegionMetrics,
+    fault: FaultHandle,
 }
 
 /// Errors from region operations.
@@ -112,7 +114,14 @@ impl Region {
             files: Vec::new(),
             next_file_seq: 1,
             metrics: RegionMetrics::default(),
+            fault: no_faults(),
         }
+    }
+
+    /// Install a fault plane (simulation harnesses only; the default is
+    /// the faithful no-op plane). Split daughters inherit the handle.
+    pub fn set_fault_plane(&mut self, fault: FaultHandle) {
+        self.fault = fault;
     }
 
     /// Region id.
@@ -145,7 +154,11 @@ impl Region {
                 });
             }
         }
-        self.wal.append_batch(&kvs);
+        // Deliberate injection site: mutant A (ack-before-WAL-append)
+        // suppresses the append; the faithful plane never does.
+        if !self.fault.skip_wal_append(self.id) {
+            self.wal.append_batch(&kvs);
+        }
         self.metrics.cells_written += kvs.len() as u64;
         for kv in kvs {
             self.memstore.put(kv);
@@ -265,6 +278,8 @@ impl Region {
         };
         let mut left = Region::new(left_id, left_range, self.config);
         let mut right = Region::new(right_id, right_range, self.config);
+        left.fault = self.fault.clone();
+        right.fault = self.fault.clone();
         let (l_cells, r_cells): (Vec<KeyValue>, Vec<KeyValue>) =
             all.into_iter().partition(|kv| kv.row < mid_row);
         left.files = vec![StoreFile::from_sorted(l_cells, 1)];
@@ -281,6 +296,32 @@ impl Region {
         for kv in self.wal.replay() {
             self.memstore.put(kv);
         }
+    }
+
+    /// Full crash recovery: the memstore is **dropped** (it died with the
+    /// serving process), the WAL is read back through its byte encoding —
+    /// exposed to [`crate::fault::FaultPlane::tear_wal`] so harnesses can
+    /// tear the tail the way a mid-append crash would — and the surviving
+    /// records are replayed into a fresh memstore.
+    pub fn crash_recover(&mut self) {
+        self.memstore = MemStore::new();
+        // Deliberate injection site: mutant B (replay skips the unflushed
+        // tail) stops here; the faithful plane always replays.
+        if self.fault.skip_crash_replay(self.id) {
+            return;
+        }
+        let mut encoded = self.wal.encode();
+        self.fault.tear_wal(self.id, &mut encoded);
+        self.wal = WriteAheadLog::from_encoded(&encoded);
+        for kv in self.wal.replay() {
+            self.memstore.put(kv);
+        }
+    }
+
+    /// Drop the memstore (mutant C's migration bug; harness-driven via
+    /// [`crate::fault::FaultPlane::drop_memstore_on_move`]).
+    pub(crate) fn clear_memstore(&mut self) {
+        self.memstore = MemStore::new();
     }
 
     /// Spill the current store files to `dir` (the HDFS-analog durability
@@ -313,6 +354,7 @@ impl Region {
             files,
             next_file_seq,
             metrics: RegionMetrics::default(),
+            fault: no_faults(),
         };
         region.recover_from_wal();
         Ok(region)
@@ -537,6 +579,44 @@ mod tests {
         assert_eq!(cells.len(), 3);
         assert!(cells.iter().any(|c| &c.value[..] == b"unflushed-c"));
         assert!(cells.iter().any(|c| &c.value[..] == b"flushed-a"));
+    }
+
+    #[test]
+    fn crash_recover_drops_memstore_and_replays_wal_bytes() {
+        let mut r = region();
+        r.put_batch(vec![kv("a", 1, "flushed")]).unwrap();
+        r.flush();
+        r.put_batch(vec![kv("b", 1, "unflushed")]).unwrap();
+        r.crash_recover();
+        let cells = r.scan(&RowRange::all());
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().any(|c| &c.value[..] == b"unflushed"));
+        // Writes keep working on the recovered region and sequence ids
+        // continue from the replayed log.
+        r.put_batch(vec![kv("c", 1, "post")]).unwrap();
+        assert_eq!(r.scan(&RowRange::all()).len(), 3);
+        assert_eq!(r.wal().batch_sequences().len(), 2);
+    }
+
+    #[derive(Debug)]
+    struct SkipReplay;
+    impl crate::fault::FaultPlane for SkipReplay {
+        fn skip_crash_replay(&self, _region: RegionId) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn mutant_hook_skipping_replay_loses_the_unflushed_tail() {
+        let mut r = region();
+        r.set_fault_plane(std::sync::Arc::new(SkipReplay));
+        r.put_batch(vec![kv("a", 1, "flushed")]).unwrap();
+        r.flush();
+        r.put_batch(vec![kv("b", 1, "unflushed")]).unwrap();
+        r.crash_recover();
+        let cells = r.scan(&RowRange::all());
+        assert_eq!(cells.len(), 1, "broken recovery must lose the tail");
+        assert_eq!(&cells[0].value[..], b"flushed");
     }
 
     #[test]

@@ -125,9 +125,22 @@ impl RegionServer {
         self.regions.write().remove(&id)
     }
 
-    /// Ids of regions currently hosted.
+    /// Ids of regions currently hosted, sorted — callers (the master's
+    /// reassignment sweep, the fault harness) rely on a deterministic
+    /// order for replayable traces.
     pub fn hosted_regions(&self) -> Vec<RegionId> {
-        self.regions.read().keys().copied().collect()
+        let mut ids: Vec<RegionId> = self.regions.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Install a fault plane on every currently hosted region (simulation
+    /// harnesses only; regions assigned later inherit through the master).
+    pub fn set_fault_plane(&self, fault: crate::fault::FaultHandle) {
+        let mut map = self.regions.write();
+        for region in map.values_mut() {
+            region.set_fault_plane(fault.clone());
+        }
     }
 
     /// Cells written across all hosted regions (monitoring).

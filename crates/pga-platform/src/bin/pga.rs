@@ -56,6 +56,10 @@ fn usage() -> ! {
                        [--ramp-secs S] [--static true])\n\
            analyze    run the workspace lint engine (see ANALYSIS.md)\n\
                       ([--deny-all] [--root path] [--rule id] [--list])\n\
+           crashtest  deterministic fault-injection campaign against the\n\
+                      live storage stack (see DESIGN.md, Fault model)\n\
+                      (--seeds N [--start-seed N] | --seed N\n\
+                       [--schedule 12:crash:1,30:tear:0,...])\n\
          \n\
          experiment reproduction lives in the bench crate:\n\
            cargo run --release -p pga-bench --bin report_all"
@@ -332,6 +336,106 @@ fn cmd_elastic(map: &HashMap<String, String>) {
     );
 }
 
+/// Run the deterministic fault-injection harness: either one seed (with
+/// an optional explicit schedule, for replaying a reported failure) or a
+/// campaign over a seed range with shrinking. Exits non-zero on any
+/// oracle violation.
+fn cmd_crashtest(map: &HashMap<String, String>) {
+    use pga_faultsim::{
+        format_schedule, generate, parse_schedule, run_campaign, run_with_baseline, CampaignConfig,
+        GeneratorConfig, SimConfig,
+    };
+
+    let sim = SimConfig::default();
+    if map.contains_key("seed") && !map.contains_key("seeds") {
+        // Single-run mode: replay one seed, printing the full trace.
+        let seed = get(map, "seed", 0u64);
+        let schedule = match map.get("schedule") {
+            Some(text) => parse_schedule(text).unwrap_or_else(|e| {
+                eprintln!("bad --schedule: {e}");
+                std::process::exit(2);
+            }),
+            None => generate(
+                seed,
+                &GeneratorConfig {
+                    nodes: sim.nodes as u32,
+                    steps: sim.steps,
+                    max_ops: 6,
+                    lease_ms: sim.lease_ms,
+                },
+            ),
+        };
+        let outcome = run_with_baseline(seed, &schedule, &sim);
+        println!(
+            "seed {seed}  schedule {}",
+            if outcome.schedule.is_empty() {
+                "(baseline)"
+            } else {
+                &outcome.schedule
+            }
+        );
+        for event in &outcome.events {
+            println!("  {event}");
+        }
+        println!(
+            "acked {} batches / {} samples, {} retries, {} faults injected",
+            outcome.stats.batches_acked,
+            outcome.stats.samples_acked,
+            outcome.stats.retries,
+            outcome.stats.faults_injected()
+        );
+        if outcome.violations.is_empty() {
+            println!("all invariants held");
+        } else {
+            for v in &outcome.violations {
+                println!("VIOLATION: {v}");
+            }
+            println!(
+                "replay: pga crashtest --seed {seed} --schedule {}",
+                format_schedule(&schedule)
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Campaign mode.
+    let config = CampaignConfig {
+        start_seed: get(map, "start-seed", 0u64),
+        seeds: get(map, "seeds", 64u64),
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&config);
+    println!(
+        "{} seeds: {} batches acked, {} retries, {} crashes ({} torn), \
+         {} partitions, {} skews, {} splits, {} moves, {} ack drops, \
+         {} reassignments",
+        report.seeds_run,
+        report.totals.batches_acked,
+        report.totals.retries,
+        report.totals.crashes,
+        report.totals.torn_crashes,
+        report.totals.partitions,
+        report.totals.skews,
+        report.totals.splits,
+        report.totals.moves,
+        report.totals.rpc_drops,
+        report.totals.reassigned,
+    );
+    if report.passed() {
+        println!("all invariants held across {} seeds", report.seeds_run);
+    } else {
+        for case in &report.failures {
+            println!("seed {} FAILED (shrunk: {})", case.seed, case.shrunk);
+            for v in &case.violations {
+                println!("  {v}");
+            }
+            println!("  {}", case.replay);
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -346,6 +450,7 @@ fn main() {
         "dashboard" => cmd_dashboard(&map),
         "import" => cmd_import(&map),
         "elastic" => cmd_elastic(&map),
+        "crashtest" => cmd_crashtest(&map),
         _ => usage(),
     }
 }
