@@ -5,6 +5,7 @@ pub mod determinism;
 pub mod lock_discipline;
 pub mod panic_path;
 pub mod relaxed_atomics;
+pub mod retry_discipline;
 
 use crate::source::SourceFile;
 
@@ -44,5 +45,6 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(panic_path::PanicPath),
         Box::new(lock_discipline::LockDiscipline),
         Box::new(relaxed_atomics::RelaxedAtomics),
+        Box::new(retry_discipline::RetryDiscipline),
     ]
 }

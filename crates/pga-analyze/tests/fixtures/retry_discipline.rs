@@ -1,0 +1,61 @@
+//! Fixture for `retry-discipline`. Lexed under `pga-tsdb`/`tsd` (a
+//! request-serving module); never compiled. Expected findings are marked
+//! with the usual in-line rule markers.
+
+use std::sync::mpsc;
+use std::thread::sleep;
+use std::time::Duration;
+
+fn fixed_sleep_in_loop(mut attempts: u32) {
+    loop {
+        if attempts == 0 {
+            break;
+        }
+        attempts -= 1;
+        sleep(Duration::from_millis(50)); // V:retry-discipline
+    }
+}
+
+fn fixed_sleep_in_while(tries: u32) {
+    let mut i = 0;
+    while i < tries {
+        std::thread::sleep(Duration::from_millis(10)); // V:retry-discipline
+        i += 1;
+    }
+}
+
+fn fixed_sleep_in_for(paces: &[u64]) {
+    for ms in paces {
+        std::thread::sleep(Duration::from_millis(*ms)); // V:retry-discipline
+    }
+}
+
+fn one_shot_pause_is_legal() {
+    // Not in a retry loop: a single pause cannot synchronize clients.
+    sleep(Duration::from_millis(1));
+}
+
+fn unbounded_std_channel() {
+    let (tx, rx) = mpsc::channel(); // V:retry-discipline
+    drop((tx, rx));
+}
+
+fn unbounded_crossbeam_style() {
+    let (tx, rx) = unbounded(); // V:retry-discipline
+    drop((tx, rx));
+}
+
+fn bounded_channels_are_legal() {
+    let (tx, rx) = mpsc::sync_channel(8);
+    drop((tx, rx));
+    let (tx, rx) = bounded(16);
+    drop((tx, rx));
+}
+
+fn waived_probe_pacing(mut probes: u32) {
+    while probes > 0 {
+        // pga-allow(retry-discipline): fixture waiver — deliberate fixed pacing
+        sleep(Duration::from_millis(5));
+        probes -= 1;
+    }
+}

@@ -15,6 +15,7 @@ const DETERMINISM_FX: &str = include_str!("fixtures/determinism.rs");
 const PANIC_FX: &str = include_str!("fixtures/panic_path.rs");
 const LOCK_FX: &str = include_str!("fixtures/lock_cycle.rs");
 const RELAXED_FX: &str = include_str!("fixtures/relaxed_race.rs");
+const RETRY_FX: &str = include_str!("fixtures/retry_discipline.rs");
 
 /// Lex every fixture under an origin that puts it in its rule's scope.
 fn fixture_workspace() -> Workspace {
@@ -29,6 +30,7 @@ fn fixture_workspace() -> Workspace {
                 &["fixture"],
                 RELAXED_FX,
             ),
+            SourceFile::with_origin("fx/retry_discipline.rs", "pga-tsdb", &["tsd"], RETRY_FX),
         ],
     }
 }
@@ -105,6 +107,15 @@ fn relaxed_race_fixture_matches_markers() {
 }
 
 #[test]
+fn retry_discipline_fixture_matches_markers() {
+    let report = fixture_report();
+    assert_eq!(
+        findings(&report, "fx/retry_discipline.rs"),
+        markers(RETRY_FX)
+    );
+}
+
+#[test]
 fn pga_allow_suppresses_exactly_once_per_fixture() {
     let report = fixture_report();
     let mut suppressed: Vec<(&str, &str)> = report
@@ -119,6 +130,7 @@ fn pga_allow_suppresses_exactly_once_per_fixture() {
             ("fx/determinism.rs", "determinism"),
             ("fx/panic_path.rs", "panic-path"),
             ("fx/relaxed_race.rs", "relaxed-atomics"),
+            ("fx/retry_discipline.rs", "retry-discipline"),
         ]
     );
 }
@@ -141,6 +153,7 @@ fn write_fixture_workspace() -> PathBuf {
         ("crates/pga-ingest/src/proxy.rs", PANIC_FX),
         ("crates/pga-minibase/src/fixture.rs", LOCK_FX),
         ("crates/pga-control/src/fixture.rs", RELAXED_FX),
+        ("crates/pga-tsdb/src/tsd.rs", RETRY_FX),
     ];
     for (rel, text) in files {
         let path = root.join(rel);

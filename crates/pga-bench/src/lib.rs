@@ -11,6 +11,7 @@
 pub mod elastic;
 pub mod experiments;
 pub mod faults;
+pub mod overload;
 pub mod table;
 
 pub use elastic::{elastic_scaling_experiment, ElasticScalingReport, ElasticScenarioRow};
@@ -23,4 +24,5 @@ pub use experiments::{
     WindowAblationRow,
 };
 pub use faults::{fault_durability_experiment, FaultDurabilityReport};
+pub use overload::{overload_storm_experiment, OverloadStormReport, GOODPUT_FLOOR};
 pub use table::render_table;

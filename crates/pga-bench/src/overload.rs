@@ -1,0 +1,118 @@
+//! E18 — end-to-end overload control under storm load.
+//!
+//! Two halves, both deterministic:
+//!
+//! 1. **Calibrated storm model** ([`pga_cluster::simulate_overload`]): a
+//!    source at 3× calibrated capacity with one slow server, run through
+//!    the full overload-control stack (bounded buffer with typed submit
+//!    rejection, watermark admission, circuit breakers with hedged
+//!    re-routing, deadlines) and through both seed stacks — the unbounded
+//!    buffering proxy and the proxyless firehose. The controlled arm must
+//!    keep goodput ≥ 80% of calibrated capacity with a bounded p99; the
+//!    seed arms demonstrate the two collapse modes (unbounded latency,
+//!    crashed servers).
+//! 2. **Live-stack storm campaign** ([`pga_faultsim::run_storm_campaign`]):
+//!    seeded schedules with guaranteed storms and slow-server windows
+//!    against the real storage stack, checked by the batch-accounting and
+//!    no-acked-loss oracles — every submitted batch resolves to an ack or
+//!    a typed error, never silence.
+
+use pga_cluster::{simulate_overload, OverloadConfig, OverloadMode, OverloadReport};
+use pga_faultsim::{run_storm_campaign, CampaignConfig, SimStats};
+use serde::Serialize;
+
+/// Goodput floor the controlled arm must clear, as a fraction of
+/// calibrated (all-healthy) cluster capacity.
+pub const GOODPUT_FLOOR: f64 = 0.8;
+
+/// E18 artifact: the three model arms plus the live-stack storm verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverloadStormReport {
+    /// Overload-controlled stack under the storm.
+    pub controlled: OverloadReport,
+    /// Seed stack (unbounded buffer, fixed routing, no feedback).
+    pub seed_buffered: OverloadReport,
+    /// Seed stack without a proxy (the §III-B crash mode).
+    pub seed_direct: OverloadReport,
+    /// `controlled.goodput_fraction >= GOODPUT_FLOOR`.
+    pub goodput_target_met: bool,
+    /// Live-stack storm campaign seeds executed.
+    pub storm_seeds_run: u64,
+    /// `true` when every storm-campaign oracle held on every seed.
+    pub storm_campaign_passed: bool,
+    /// Shrunk replay command lines for failing storm seeds (empty when
+    /// passed).
+    pub storm_failures: Vec<String>,
+    /// Injection totals over the storm campaign.
+    pub storm_totals: SimStats,
+}
+
+impl OverloadStormReport {
+    /// Overall E18 verdict.
+    pub fn passed(&self) -> bool {
+        self.goodput_target_met
+            && self.storm_campaign_passed
+            && self.controlled.conserves_samples()
+            && self.controlled.lost_in_queue == 0.0
+            && self.controlled.dropped == 0.0
+    }
+}
+
+/// Run E18: the calibrated storm model over all three stacks plus a
+/// `storm_seeds`-seed live-stack storm campaign.
+pub fn overload_storm_experiment(storm_seeds: u64) -> OverloadStormReport {
+    let controlled = simulate_overload(&OverloadConfig::e18(5, OverloadMode::Controlled));
+    let seed_buffered = simulate_overload(&OverloadConfig::e18(5, OverloadMode::SeedBuffered));
+    let seed_direct = simulate_overload(&OverloadConfig::e18(5, OverloadMode::SeedDirect));
+    let campaign = run_storm_campaign(&CampaignConfig {
+        seeds: storm_seeds,
+        ..CampaignConfig::default()
+    });
+    OverloadStormReport {
+        goodput_target_met: controlled.goodput_fraction >= GOODPUT_FLOOR,
+        controlled,
+        seed_buffered,
+        seed_direct,
+        storm_seeds_run: campaign.seeds_run,
+        storm_campaign_passed: campaign.passed(),
+        storm_failures: campaign.failures.iter().map(|f| f.replay.clone()).collect(),
+        storm_totals: campaign.totals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e18_holds_in_quick_mode() {
+        let rep = overload_storm_experiment(4);
+        assert!(
+            rep.passed(),
+            "overload verdict failed: goodput {} campaign {:?}",
+            rep.controlled.goodput_fraction,
+            rep.storm_failures
+        );
+        // Both collapse modes are visible in the seed arms.
+        assert!(rep.seed_buffered.p99_latency_secs > rep.controlled.p99_latency_secs * 10.0);
+        assert!(rep.seed_direct.crashes > 0);
+        // The live stack actually saw storms and Busy traffic.
+        assert!(rep.storm_totals.storms >= 4);
+        assert!(rep.storm_totals.busy_rejections > 0);
+        assert_eq!(
+            rep.storm_totals.batches_generated,
+            rep.storm_totals.batches_acked
+        );
+    }
+
+    #[test]
+    fn e18_is_deterministic() {
+        let a = overload_storm_experiment(2);
+        let b = overload_storm_experiment(2);
+        assert_eq!(a.controlled, b.controlled);
+        assert_eq!(a.seed_buffered, b.seed_buffered);
+        assert_eq!(a.seed_direct, b.seed_direct);
+        assert_eq!(a.storm_totals, b.storm_totals);
+        assert_eq!(a.passed(), b.passed());
+    }
+}

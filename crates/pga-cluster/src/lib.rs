@@ -27,10 +27,13 @@ pub mod rpc;
 pub mod sim;
 
 pub use coordinator::{Coordinator, CoordinatorError, SessionId};
-pub use rpc::{RpcError, RpcHandle, RpcServerBuilder, RpcStats, ServerState};
+pub use rpc::{
+    default_clock_ms, AdmissionConfig, ClockMs, RequestClass, RpcError, RpcHandle,
+    RpcServerBuilder, RpcStats, ServerState,
+};
 pub use sim::{
-    hotspot_shares, simulate_ingestion, uniform_shares, IngestReport, ProxyMode, SimClusterConfig,
-    SimServerState,
+    hotspot_shares, simulate_ingestion, simulate_overload, uniform_shares, IngestReport,
+    OverloadConfig, OverloadMode, OverloadReport, ProxyMode, SimClusterConfig, SimServerState,
 };
 
 /// Identifier of a node (region server / TSD daemon) in the cluster.

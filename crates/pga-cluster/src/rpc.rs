@@ -5,18 +5,101 @@
 //!
 //! * [`RpcHandle::call`] — blocking send: the caller waits for queue space.
 //!   This is what the reverse proxy's backpressure gives the system.
-//! * [`RpcHandle::try_call`] — non-blocking send: a full queue returns
+//! * [`RpcHandle::cast`] — non-blocking send: a full queue returns
 //!   [`RpcError::Overloaded`] and charges an overload strike against the
 //!   server. Once strikes reach the configured threshold the server
 //!   *crashes* (stops serving), modelling the paper's observed region
 //!   server failures under unthrottled OpenTSDB write storms.
+//! * [`RpcHandle::call_with`] — admission-controlled send: once queue
+//!   occupancy crosses a per-class watermark the request is rejected with
+//!   a typed [`RpcError::Busy`] carrying a `retry_after_ms` hint, instead
+//!   of blocking the producer forever. Ingest writes degrade first (lower
+//!   watermark — the proxy buffers and retries them without loss); scan
+//!   reads are shed only past a higher critical watermark so the fleet
+//!   view stays alive as long as possible. Requests may also carry an
+//!   absolute deadline: the server drops expired work with a typed
+//!   [`RpcError::DeadlineExpired`] rather than serving dead requests.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::sync::OnceLock;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam_channel::{bounded, Sender, TrySendError};
+
+/// Millisecond clock used for deadlines and admission `retry_after` hints.
+/// Injectable so deterministic simulations can drive it from sim time.
+pub type ClockMs = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// Milliseconds since the first call in this process — the default
+/// [`ClockMs`]. A single shared epoch means every server and caller in the
+/// process agrees on absolute deadline values.
+pub fn default_clock_ms() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_millis() as u64
+}
+
+/// Priority class of an admission-controlled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// Ingest write: degraded *first* (lower watermark). Writes are
+    /// buffered and retried by the proxy, so shedding them converts
+    /// overload into delay, never loss.
+    Write,
+    /// Detection/scan read: shed only past the higher critical watermark,
+    /// keeping the operator fleet view alive while writes back off.
+    Read,
+}
+
+/// Watermark-based admission policy for one server queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Queue occupancy (0..=1) at which writes get `Busy`.
+    pub write_shed_watermark: f64,
+    /// Queue occupancy (0..=1) at which reads get `Busy`. Must be ≥ the
+    /// write watermark: reads are shed *after* writes degrade.
+    pub read_shed_watermark: f64,
+    /// Base of the `retry_after_ms` hint; scaled up with occupancy.
+    pub retry_after_base_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            write_shed_watermark: 0.75,
+            read_shed_watermark: 0.90,
+            retry_after_base_ms: 2,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Admission control disabled: nothing is ever shed pre-queue. This is
+    /// the seed-equivalent configuration used as the E18 control arm.
+    pub fn disabled() -> Self {
+        AdmissionConfig {
+            write_shed_watermark: f64::INFINITY,
+            read_shed_watermark: f64::INFINITY,
+            retry_after_base_ms: 2,
+        }
+    }
+
+    /// Watermark for a request class.
+    pub fn watermark(&self, class: RequestClass) -> f64 {
+        match class {
+            RequestClass::Write => self.write_shed_watermark,
+            RequestClass::Read => self.read_shed_watermark,
+        }
+    }
+
+    /// Deterministic `retry_after_ms` hint: grows with occupancy so
+    /// callers back off harder the deeper the queue is.
+    pub fn retry_after_ms(&self, occupancy: f64) -> u64 {
+        let scale = 1 + (occupancy.clamp(0.0, 2.0) * 4.0) as u64;
+        self.retry_after_base_ms.max(1) * scale
+    }
+}
 
 /// Lifecycle of an RPC server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,8 +125,16 @@ impl ServerState {
 /// Errors surfaced to RPC callers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RpcError {
-    /// The queue was full (only from [`RpcHandle::try_call`]).
+    /// The queue was full (only from [`RpcHandle::cast`]).
     Overloaded,
+    /// Admission control shed the request: queue occupancy crossed the
+    /// watermark for this request's class. Retry after the hinted delay.
+    Busy {
+        /// Suggested minimum backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before the server could serve it.
+    DeadlineExpired,
     /// The server has crashed from overload.
     Crashed,
     /// The server was stopped cleanly.
@@ -54,6 +145,10 @@ impl std::fmt::Display for RpcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RpcError::Overloaded => write!(f, "rpc queue full"),
+            RpcError::Busy { retry_after_ms } => {
+                write!(f, "server busy, retry after {retry_after_ms}ms")
+            }
+            RpcError::DeadlineExpired => write!(f, "deadline expired before service"),
             RpcError::Crashed => write!(f, "server crashed from overload"),
             RpcError::Stopped => write!(f, "server stopped"),
         }
@@ -68,16 +163,24 @@ impl std::error::Error for RpcError {}
 pub struct RpcStats {
     /// Requests fully processed.
     pub processed: AtomicU64,
-    /// try_call attempts rejected because the queue was full.
+    /// Cast attempts rejected because the queue was full.
     pub overloads: AtomicU64,
     /// Nanoseconds spent inside the handler.
     pub busy_ns: AtomicU64,
+    /// Writes shed by admission control (`Busy`).
+    pub shed_writes: AtomicU64,
+    /// Reads shed by admission control (`Busy`).
+    pub shed_reads: AtomicU64,
+    /// Requests dropped because their deadline expired.
+    pub deadline_expired: AtomicU64,
 }
 
 struct Shared {
     state: AtomicU8,
     stats: RpcStats,
     crash_threshold: u64,
+    admission: AdmissionConfig,
+    clock: ClockMs,
 }
 
 impl Shared {
@@ -88,8 +191,11 @@ impl Shared {
 
 struct Envelope<Req, Resp> {
     req: Req,
+    /// Absolute deadline on the server's [`ClockMs`]; expired envelopes
+    /// are dropped with a typed error instead of being served.
+    deadline_ms: Option<u64>,
     /// `None` for one-way casts: the response is discarded.
-    reply: Option<Sender<Resp>>,
+    reply: Option<Sender<Result<Resp, RpcError>>>,
 }
 
 /// Client handle to a spawned RPC server. Cloneable; the server thread
@@ -115,6 +221,8 @@ pub struct RpcServerBuilder {
     name: String,
     queue_capacity: usize,
     crash_threshold: u64,
+    admission: AdmissionConfig,
+    clock: Option<ClockMs>,
 }
 
 impl RpcServerBuilder {
@@ -124,7 +232,24 @@ impl RpcServerBuilder {
             name: name.into(),
             queue_capacity: 1024,
             crash_threshold: u64::MAX,
+            admission: AdmissionConfig::disabled(),
+            clock: None,
         }
+    }
+
+    /// Enable watermark-based admission control for [`RpcHandle::call_with`]
+    /// callers. Default: disabled (seed behavior).
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Override the millisecond clock used for deadline checks and
+    /// `retry_after` hints. Default: [`default_clock_ms`]. Deterministic
+    /// simulations inject sim time here.
+    pub fn clock(mut self, clock: ClockMs) -> Self {
+        self.clock = Some(clock);
+        self
     }
 
     /// Bound the RPC queue (HBase `hbase.regionserver.handler.count` ×
@@ -154,6 +279,8 @@ impl RpcServerBuilder {
             state: AtomicU8::new(0),
             stats: RpcStats::default(),
             crash_threshold: self.crash_threshold,
+            admission: self.admission,
+            clock: self.clock.unwrap_or_else(|| Arc::new(default_clock_ms)),
         });
         let worker_shared = shared.clone();
         let thread_name = self.name.clone();
@@ -165,6 +292,19 @@ impl RpcServerBuilder {
                         // Crashed mid-flight: drop remaining requests.
                         drop(env.reply);
                         continue;
+                    }
+                    if let Some(d) = env.deadline_ms {
+                        if (worker_shared.clock)() >= d {
+                            // Dead request: reply typed, never serve it.
+                            worker_shared
+                                .stats
+                                .deadline_expired
+                                .fetch_add(1, Ordering::Relaxed);
+                            if let Some(reply) = env.reply {
+                                let _ = reply.send(Err(RpcError::DeadlineExpired));
+                            }
+                            continue;
+                        }
                     }
                     let start = Instant::now();
                     let resp = handler(env.req);
@@ -179,7 +319,7 @@ impl RpcServerBuilder {
                     // Caller may have given up (or cast one-way); ignore
                     // send failures.
                     if let Some(reply) = env.reply {
-                        let _ = reply.send(resp);
+                        let _ = reply.send(Ok(resp));
                     }
                 }
             })
@@ -249,6 +389,26 @@ impl<Req: Send + 'static, Resp: Send + 'static> RpcHandle<Req, Resp> {
         self.shared.stats.busy_ns.load(Ordering::Relaxed)
     }
 
+    /// Writes shed by admission control.
+    pub fn shed_writes(&self) -> u64 {
+        self.shared.stats.shed_writes.load(Ordering::Relaxed)
+    }
+
+    /// Reads shed by admission control.
+    pub fn shed_reads(&self) -> u64 {
+        self.shared.stats.shed_reads.load(Ordering::Relaxed)
+    }
+
+    /// Requests dropped because their deadline expired.
+    pub fn deadline_expired(&self) -> u64 {
+        self.shared.stats.deadline_expired.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds on this server's deadline clock right now.
+    pub fn now_ms(&self) -> u64 {
+        (self.shared.clock)()
+    }
+
     /// Requests currently waiting in the RPC queue — the telemetry signal
     /// the control plane scales on (§III-B's overload precursor).
     pub fn queue_depth(&self) -> usize {
@@ -272,13 +432,80 @@ impl<Req: Send + 'static, Resp: Send + 'static> RpcHandle<Req, Resp> {
         self.tx
             .send(Envelope {
                 req,
+                deadline_ms: None,
                 reply: Some(reply_tx),
             })
             .map_err(|_| RpcError::Stopped)?;
-        reply_rx.recv().map_err(|_| match self.shared.state() {
-            ServerState::Crashed => RpcError::Crashed,
-            _ => RpcError::Stopped,
-        })
+        match reply_rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(match self.shared.state() {
+                ServerState::Crashed => RpcError::Crashed,
+                _ => RpcError::Stopped,
+            }),
+        }
+    }
+
+    /// Admission-controlled call: never blocks the producer on a full or
+    /// over-watermark queue. Sheds the request with a typed
+    /// [`RpcError::Busy`] (plus a `retry_after_ms` hint) once occupancy
+    /// crosses the watermark for `class`, and tags the enqueued request
+    /// with an optional absolute deadline (server-clock milliseconds) past
+    /// which the server drops it as [`RpcError::DeadlineExpired`].
+    pub fn call_with(
+        &self,
+        req: Req,
+        class: RequestClass,
+        deadline_ms: Option<u64>,
+    ) -> Result<Resp, RpcError> {
+        match self.shared.state() {
+            ServerState::Healthy => {}
+            ServerState::Crashed => return Err(RpcError::Crashed),
+            ServerState::Stopped => return Err(RpcError::Stopped),
+        }
+        if let Some(d) = deadline_ms {
+            if (self.shared.clock)() >= d {
+                // Already dead on arrival: don't waste queue space.
+                self.shared
+                    .stats
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(RpcError::DeadlineExpired);
+            }
+        }
+        let capacity = self.tx.capacity().unwrap_or(usize::MAX).max(1);
+        let occupancy = self.tx.len() as f64 / capacity as f64;
+        if occupancy >= self.shared.admission.watermark(class) {
+            return Err(self.shed(class, occupancy));
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        match self.tx.try_send(Envelope {
+            req,
+            deadline_ms,
+            reply: Some(reply_tx),
+        }) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(result) => result,
+                Err(_) => Err(match self.shared.state() {
+                    ServerState::Crashed => RpcError::Crashed,
+                    _ => RpcError::Stopped,
+                }),
+            },
+            // Queue filled between the occupancy probe and the send: the
+            // same shed path, never a blocking producer.
+            Err(TrySendError::Full(_)) => Err(self.shed(class, 1.0)),
+            Err(TrySendError::Disconnected(_)) => Err(RpcError::Stopped),
+        }
+    }
+
+    fn shed(&self, class: RequestClass, occupancy: f64) -> RpcError {
+        let counter = match class {
+            RequestClass::Write => &self.shared.stats.shed_writes,
+            RequestClass::Read => &self.shared.stats.shed_reads,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        RpcError::Busy {
+            retry_after_ms: self.shared.admission.retry_after_ms(occupancy),
+        }
     }
 
     /// One-way, non-blocking cast: enqueue the request and return without
@@ -292,7 +519,11 @@ impl<Req: Send + 'static, Resp: Send + 'static> RpcHandle<Req, Resp> {
             ServerState::Crashed => return Err(RpcError::Crashed),
             ServerState::Stopped => return Err(RpcError::Stopped),
         }
-        match self.tx.try_send(Envelope { req, reply: None }) {
+        match self.tx.try_send(Envelope {
+            req,
+            deadline_ms: None,
+            reply: None,
+        }) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => {
                 let strikes = self.shared.stats.overloads.fetch_add(1, Ordering::AcqRel) + 1;
@@ -416,6 +647,152 @@ mod tests {
         assert_eq!(h.overloads(), 0);
         assert_eq!(h.state(), ServerState::Healthy);
         assert!(h.busy_ns() > 0);
+        drop(h);
+        runner.join();
+    }
+
+    #[test]
+    fn admission_sheds_writes_before_reads() {
+        // Slow handler, capacity 10: writes shed at 40%, reads at 80%.
+        let (h, runner) = RpcServerBuilder::new("admit")
+            .queue_capacity(10)
+            .admission(AdmissionConfig {
+                write_shed_watermark: 0.4,
+                read_shed_watermark: 0.8,
+                retry_after_base_ms: 2,
+            })
+            .spawn(|x: u32| {
+                std::thread::sleep(Duration::from_millis(30));
+                x
+            });
+        // Fill the queue past the write watermark with one-way casts.
+        for i in 0..6 {
+            h.cast(i).unwrap();
+        }
+        // Writes now get Busy with a retry hint…
+        let w = h.call_with(99, RequestClass::Write, None);
+        match w {
+            Err(RpcError::Busy { retry_after_ms }) => assert!(retry_after_ms >= 2),
+            other => panic!("expected Busy for write, got {other:?}"),
+        }
+        // …while reads are still admitted (occupancy below read watermark).
+        let depth_before = h.queue_depth();
+        assert!(depth_before < 8, "test setup: below read watermark");
+        assert_eq!(h.call_with(7, RequestClass::Read, None).unwrap(), 7);
+        assert!(h.shed_writes() >= 1);
+        assert_eq!(h.shed_reads(), 0);
+        drop(h);
+        runner.join();
+    }
+
+    #[test]
+    fn reads_shed_past_critical_watermark() {
+        let (h, runner) = RpcServerBuilder::new("admit-read")
+            .queue_capacity(4)
+            .admission(AdmissionConfig {
+                write_shed_watermark: 0.25,
+                read_shed_watermark: 0.5,
+                retry_after_base_ms: 1,
+            })
+            .spawn(|x: u32| {
+                std::thread::sleep(Duration::from_millis(100));
+                x
+            });
+        for i in 0..3 {
+            h.cast(i).unwrap();
+        }
+        assert!(matches!(
+            h.call_with(8, RequestClass::Read, None),
+            Err(RpcError::Busy { .. })
+        ));
+        assert!(h.shed_reads() >= 1);
+        drop(h);
+        runner.join();
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error_not_service() {
+        use std::sync::atomic::AtomicU64 as Clock;
+        let now = Arc::new(Clock::new(100));
+        let clock_now = now.clone();
+        let (h, runner) = RpcServerBuilder::new("deadline")
+            .clock(Arc::new(move || clock_now.load(Ordering::SeqCst)))
+            .spawn(|x: u32| x);
+        // Deadline in the future: served.
+        assert_eq!(h.call_with(1, RequestClass::Write, Some(500)).unwrap(), 1);
+        // Deadline in the past: typed rejection before enqueue.
+        now.store(1_000, Ordering::SeqCst);
+        assert_eq!(
+            h.call_with(2, RequestClass::Write, Some(500)).unwrap_err(),
+            RpcError::DeadlineExpired
+        );
+        assert_eq!(h.deadline_expired(), 1);
+        assert_eq!(h.processed(), 1);
+        drop(h);
+        runner.join();
+    }
+
+    #[test]
+    fn server_drops_work_that_expires_in_queue() {
+        use std::sync::atomic::AtomicU64 as Clock;
+        let now = Arc::new(Clock::new(0));
+        let server_now = now.clone();
+        // Handler advances the clock past every later deadline: requests
+        // behind the first one expire while queued.
+        let tick = now.clone();
+        let (h, runner) = RpcServerBuilder::new("queue-expiry")
+            .queue_capacity(8)
+            .clock(Arc::new(move || server_now.load(Ordering::SeqCst)))
+            .spawn(move |x: u32| {
+                tick.store(10_000, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                x
+            });
+        let mut joins = Vec::new();
+        for i in 0..4u32 {
+            let h = h.clone();
+            joins.push(std::thread::spawn(move || {
+                h.call_with(i, RequestClass::Write, Some(5_000))
+            }));
+        }
+        let mut served = 0u32;
+        let mut expired = 0u32;
+        for j in joins {
+            match j.join().unwrap() {
+                Ok(_) => served += 1,
+                Err(RpcError::DeadlineExpired) => expired += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        // At least the first request is served; everything that waited
+        // behind the clock jump is dropped with a typed error.
+        assert!(served >= 1, "one request must be served");
+        assert_eq!(served + expired, 4);
+        assert_eq!(h.deadline_expired() as u32, expired);
+        drop(h);
+        runner.join();
+    }
+
+    #[test]
+    fn call_with_never_blocks_on_full_queue() {
+        let (h, runner) = RpcServerBuilder::new("nonblock")
+            .queue_capacity(1)
+            .spawn(|x: u32| {
+                std::thread::sleep(Duration::from_millis(100));
+                x
+            });
+        // Saturate: one in service, one queued.
+        h.cast(0).unwrap();
+        while h.queue_depth() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        h.cast(1).unwrap();
+        // Even with admission disabled, call_with resolves immediately
+        // with Busy instead of blocking the producer.
+        let start = Instant::now();
+        let r = h.call_with(2, RequestClass::Write, None);
+        assert!(matches!(r, Err(RpcError::Busy { .. })));
+        assert!(start.elapsed() < Duration::from_millis(50));
         drop(h);
         runner.join();
     }

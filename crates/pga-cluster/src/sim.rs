@@ -288,6 +288,452 @@ pub fn simulate_ingestion(
     }
 }
 
+/// Which overload-control stack a simulated storm runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverloadMode {
+    /// Full overload control: bounded proxy buffer with typed submit
+    /// rejection, watermark admission at the servers, per-target circuit
+    /// breakers with hedged re-routing, and deadline expiry of stale
+    /// buffered work.
+    Controlled,
+    /// The seed stack: unbounded proxy buffers, fixed per-target routing,
+    /// no server pushback, no deadlines. Nothing is dropped — and nothing
+    /// tells the producer to slow down, so latency grows without bound.
+    SeedBuffered,
+    /// No proxy at all: producers fire at the servers directly; overflow
+    /// drops RPCs, strikes accumulate, servers crash (§III-B's failure).
+    SeedDirect,
+}
+
+/// Parameters of an E18 overload storm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Underlying cluster shape and calibration.
+    pub cluster: SimClusterConfig,
+    /// Offered load as a multiple of calibrated (all-healthy) capacity.
+    pub overload_factor: f64,
+    /// Index of the slow server.
+    pub slow_node: usize,
+    /// Slow server's service rate as a fraction of a healthy node's.
+    pub slow_factor: f64,
+    /// Storm duration in virtual seconds (the source stops after this;
+    /// the run continues until all in-flight work resolves).
+    pub storm_secs: f64,
+    /// Which stack handles the storm.
+    pub mode: OverloadMode,
+    /// Server-side admission watermark: a put is Busy-rejected when queue
+    /// occupancy is at or above `watermark × queue_capacity`.
+    pub shed_watermark: f64,
+    /// Deadline budget per batch, from submit to server admission.
+    pub deadline_secs: f64,
+    /// Consecutive Busy responses that trip a target's breaker.
+    pub breaker_failure_threshold: u32,
+    /// Seconds an open breaker excludes its target.
+    pub breaker_cooldown_secs: f64,
+    /// Proxy buffer capacity in samples (Controlled mode only).
+    pub proxy_buffer_capacity: f64,
+}
+
+impl OverloadConfig {
+    /// The E18 shape: a small cluster at 3× offered load with one server
+    /// at quarter speed for a 30-second storm.
+    pub fn e18(nodes: usize, mode: OverloadMode) -> Self {
+        OverloadConfig {
+            cluster: SimClusterConfig::paper_calibration(nodes),
+            overload_factor: 3.0,
+            slow_node: 0,
+            slow_factor: 0.25,
+            storm_secs: 30.0,
+            mode,
+            shed_watermark: 0.75,
+            deadline_secs: 1.0,
+            breaker_failure_threshold: 3,
+            breaker_cooldown_secs: 0.5,
+            proxy_buffer_capacity: 80_000.0,
+        }
+    }
+
+    /// All-healthy cluster capacity in samples/sec — the goodput yardstick.
+    pub fn calibrated_capacity(&self) -> f64 {
+        self.cluster.nodes as f64 * self.cluster.effective_rate()
+    }
+}
+
+/// Outcome of one simulated overload storm. The conservation ledger holds
+/// exactly: `offered = completed + busy_rejected + deadline_expired +
+/// dropped + lost_in_queue + backlog_end`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadReport {
+    /// Stack the storm ran against.
+    pub mode: OverloadMode,
+    /// Samples the source offered during the storm.
+    pub offered: f64,
+    /// Samples durably processed (acked).
+    pub completed: f64,
+    /// Samples rejected at submit with a typed Busy (producer retried or
+    /// shed knowingly — never silent).
+    pub busy_rejected: f64,
+    /// Samples dropped with a typed deadline expiry before admission.
+    pub deadline_expired: f64,
+    /// Samples dropped silently (SeedDirect overflow only).
+    pub dropped: f64,
+    /// Admitted-but-unacked samples lost to server crashes.
+    pub lost_in_queue: f64,
+    /// Samples still in flight when the run hit its step cap.
+    pub backlog_end: f64,
+    /// Completed samples/sec during the storm window.
+    pub goodput: f64,
+    /// `goodput / calibrated_capacity`.
+    pub goodput_fraction: f64,
+    /// 99th-percentile submit→ack latency over completed samples.
+    pub p99_latency_secs: f64,
+    /// Worst-case completed-sample latency.
+    pub max_latency_secs: f64,
+    /// Servers that crashed.
+    pub crashes: usize,
+    /// Circuit-breaker trips (Controlled mode).
+    pub breaker_trips: u64,
+    /// Virtual seconds until every in-flight sample resolved.
+    pub duration_secs: f64,
+}
+
+impl OverloadReport {
+    /// `true` when every offered sample is accounted for by the typed
+    /// ledger (no silent loss anywhere).
+    pub fn conserves_samples(&self) -> bool {
+        let ledger = self.completed
+            + self.busy_rejected
+            + self.deadline_expired
+            + self.dropped
+            + self.lost_in_queue
+            + self.backlog_end;
+        (ledger - self.offered).abs() < 1.0
+    }
+}
+
+/// Per-target step breaker for the overload model: consecutive Busy
+/// responses trip it open for a cooldown; any accepted put closes it.
+struct StepBreaker {
+    consecutive: u32,
+    open_until: f64,
+    trips: u64,
+}
+
+impl StepBreaker {
+    fn new() -> Self {
+        StepBreaker {
+            consecutive: 0,
+            open_until: 0.0,
+            trips: 0,
+        }
+    }
+
+    fn allow(&self, now: f64) -> bool {
+        now >= self.open_until
+    }
+
+    fn on_busy(&mut self, now: f64, threshold: u32, cooldown: f64) {
+        self.consecutive += 1;
+        if self.consecutive >= threshold && now >= self.open_until {
+            self.open_until = now + cooldown;
+            self.trips += 1;
+            self.consecutive = 0;
+        }
+    }
+
+    fn on_ok(&mut self) {
+        self.consecutive = 0;
+    }
+}
+
+/// One buffered batch: submit time plus sample count.
+#[derive(Clone, Copy)]
+struct Batch {
+    submitted: f64,
+    samples: f64,
+}
+
+/// Run one E18 overload storm: a source at `overload_factor ×` calibrated
+/// capacity against a cluster with one slow server, through the stack
+/// selected by `cfg.mode`. Batch-granular and fully deterministic.
+pub fn simulate_overload(cfg: &OverloadConfig) -> OverloadReport {
+    let n = cfg.cluster.nodes;
+    assert!(cfg.slow_node < n, "slow node must exist");
+    let rate = cfg.cluster.effective_rate();
+    let rates: Vec<f64> = (0..n)
+        .map(|s| {
+            if s == cfg.slow_node {
+                rate * cfg.slow_factor
+            } else {
+                rate
+            }
+        })
+        .collect();
+    let batch = cfg.cluster.samples_per_rpc;
+    let qcap = cfg.cluster.queue_capacity;
+    let watermark_cap = cfg.shed_watermark * qcap;
+    let offered_rate = cfg.overload_factor * cfg.calibrated_capacity();
+    let dt = cfg.cluster.dt_secs;
+
+    let mut queues: Vec<std::collections::VecDeque<Batch>> =
+        (0..n).map(|_| std::collections::VecDeque::new()).collect();
+    let mut queue_depth = vec![0.0f64; n];
+    let mut carry = vec![0.0f64; n]; // partial service progress
+    let mut strikes = vec![0u64; n];
+    let mut crashed = vec![false; n];
+    let mut breakers: Vec<StepBreaker> = (0..n).map(|_| StepBreaker::new()).collect();
+    // Controlled: one shared FIFO. Seed arms: per-target FIFOs.
+    let mut shared: std::collections::VecDeque<Batch> = std::collections::VecDeque::new();
+    let mut shared_depth = 0.0f64;
+    let mut per_target: Vec<std::collections::VecDeque<Batch>> =
+        (0..n).map(|_| std::collections::VecDeque::new()).collect();
+    let mut per_target_depth = vec![0.0f64; n];
+
+    let mut offered = 0.0;
+    let mut completed = 0.0;
+    let mut completed_in_window = 0.0;
+    let mut busy_rejected = 0.0;
+    let mut deadline_expired = 0.0;
+    let mut dropped = 0.0;
+    let mut lost_in_queue = 0.0;
+    let mut latencies: Vec<(f64, f64)> = Vec::new(); // (latency, samples)
+    let mut arrival_frac = 0.0f64;
+    let mut rr = 0usize;
+    let mut step = 0u64;
+
+    loop {
+        let now = step as f64 * dt;
+        let storming = now < cfg.storm_secs;
+        // 1. Source submits batches.
+        if storming {
+            arrival_frac += offered_rate * dt;
+            while arrival_frac >= batch {
+                arrival_frac -= batch;
+                offered += batch;
+                let b = Batch {
+                    submitted: now,
+                    samples: batch,
+                };
+                match cfg.mode {
+                    OverloadMode::Controlled => {
+                        if shared_depth + batch <= cfg.proxy_buffer_capacity {
+                            shared.push_back(b);
+                            shared_depth += batch;
+                        } else {
+                            // Typed Busy at submit: the producer knows.
+                            busy_rejected += batch;
+                        }
+                    }
+                    OverloadMode::SeedBuffered => {
+                        let t = rr % n;
+                        rr += 1;
+                        per_target[t].push_back(b);
+                        per_target_depth[t] += batch;
+                    }
+                    OverloadMode::SeedDirect => {
+                        let t = rr % n;
+                        rr += 1;
+                        if crashed[t] {
+                            dropped += batch;
+                            continue;
+                        }
+                        if queue_depth[t] + batch <= qcap {
+                            queues[t].push_back(b);
+                            queue_depth[t] += batch;
+                        } else {
+                            dropped += batch;
+                            strikes[t] += 1;
+                            if strikes[t] >= cfg.cluster.crash_overflow_threshold {
+                                crashed[t] = true;
+                                lost_in_queue += queue_depth[t];
+                                queues[t].clear();
+                                queue_depth[t] = 0.0;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // 2. Proxy admits buffered work into server queues.
+        match cfg.mode {
+            OverloadMode::Controlled => {
+                'admit: while let Some(&head) = shared.front() {
+                    if now - head.submitted > cfg.deadline_secs {
+                        // Stale work is dropped with a typed error, never
+                        // served late and never silently lost.
+                        shared.pop_front();
+                        shared_depth -= head.samples;
+                        deadline_expired += head.samples;
+                        continue;
+                    }
+                    // Hedged placement: rotate through targets, skipping
+                    // open breakers; a watermark refusal is a Busy.
+                    let mut placed = false;
+                    for _ in 0..n {
+                        let t = rr % n;
+                        rr += 1;
+                        if !breakers[t].allow(now) {
+                            continue;
+                        }
+                        if queue_depth[t] + head.samples <= watermark_cap {
+                            shared.pop_front();
+                            shared_depth -= head.samples;
+                            queues[t].push_back(head);
+                            queue_depth[t] += head.samples;
+                            breakers[t].on_ok();
+                            placed = true;
+                            break;
+                        }
+                        breakers[t].on_busy(
+                            now,
+                            cfg.breaker_failure_threshold,
+                            cfg.breaker_cooldown_secs,
+                        );
+                    }
+                    if !placed {
+                        break 'admit; // every routable target is saturated
+                    }
+                }
+            }
+            OverloadMode::SeedBuffered => {
+                for t in 0..n {
+                    while let Some(&head) = per_target[t].front() {
+                        if queue_depth[t] + head.samples > qcap {
+                            break;
+                        }
+                        per_target[t].pop_front();
+                        per_target_depth[t] -= head.samples;
+                        queues[t].push_back(head);
+                        queue_depth[t] += head.samples;
+                    }
+                }
+            }
+            OverloadMode::SeedDirect => {}
+        }
+        // 3. Servers drain.
+        let done_at = now + dt;
+        for t in 0..n {
+            if crashed[t] {
+                continue;
+            }
+            let mut budget = rates[t] * dt + carry[t];
+            while let Some(&head) = queues[t].front() {
+                if head.samples > budget {
+                    break;
+                }
+                budget -= head.samples;
+                queues[t].pop_front();
+                queue_depth[t] -= head.samples;
+                completed += head.samples;
+                if done_at <= cfg.storm_secs {
+                    completed_in_window += head.samples;
+                }
+                latencies.push((done_at - head.submitted, head.samples));
+            }
+            carry[t] = if queues[t].is_empty() { 0.0 } else { budget };
+        }
+        step += 1;
+        let in_flight =
+            shared_depth + per_target_depth.iter().sum::<f64>() + queue_depth.iter().sum::<f64>();
+        if !storming && in_flight < 1e-9 {
+            break;
+        }
+        if step >= cfg.cluster.max_steps {
+            // Whatever is still buffered is the terminal backlog.
+            let mut backlog = shared_depth + per_target_depth.iter().sum::<f64>();
+            backlog += queue_depth.iter().sum::<f64>();
+            return finish_overload(
+                cfg,
+                offered,
+                completed,
+                completed_in_window,
+                busy_rejected,
+                deadline_expired,
+                dropped,
+                lost_in_queue,
+                backlog,
+                &latencies,
+                &crashed,
+                &breakers,
+                step as f64 * dt,
+            );
+        }
+        // SeedDirect with everyone crashed: nothing will ever drain.
+        if !storming && crashed.iter().all(|&c| c) {
+            break;
+        }
+    }
+    finish_overload(
+        cfg,
+        offered,
+        completed,
+        completed_in_window,
+        busy_rejected,
+        deadline_expired,
+        dropped,
+        lost_in_queue,
+        0.0,
+        &latencies,
+        &crashed,
+        &breakers,
+        step as f64 * dt,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_overload(
+    cfg: &OverloadConfig,
+    offered: f64,
+    completed: f64,
+    completed_in_window: f64,
+    busy_rejected: f64,
+    deadline_expired: f64,
+    dropped: f64,
+    lost_in_queue: f64,
+    backlog_end: f64,
+    latencies: &[(f64, f64)],
+    crashed: &[bool],
+    breakers: &[StepBreaker],
+    duration_secs: f64,
+) -> OverloadReport {
+    let total_mass: f64 = latencies.iter().map(|&(_, m)| m).sum();
+    let (p99, max) = if total_mass <= 0.0 {
+        (0.0, 0.0)
+    } else {
+        let mut sorted: Vec<(f64, f64)> = latencies.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let target = 0.99 * total_mass;
+        let mut seen = 0.0;
+        let mut p99 = sorted.last().map(|&(l, _)| l).unwrap_or(0.0);
+        for &(lat, mass) in &sorted {
+            seen += mass;
+            if seen >= target {
+                p99 = lat;
+                break;
+            }
+        }
+        (p99, sorted.last().map(|&(l, _)| l).unwrap_or(0.0))
+    };
+    let goodput = completed_in_window / cfg.storm_secs;
+    OverloadReport {
+        mode: cfg.mode,
+        offered,
+        completed,
+        busy_rejected,
+        deadline_expired,
+        dropped,
+        lost_in_queue,
+        backlog_end,
+        goodput,
+        goodput_fraction: goodput / cfg.calibrated_capacity(),
+        p99_latency_secs: p99,
+        max_latency_secs: max,
+        crashes: crashed.iter().filter(|&&c| c).count(),
+        breaker_trips: breakers.iter().map(|b| b.trips).sum(),
+        duration_secs,
+    }
+}
+
 /// Uniform share vector (perfectly salted keys over pre-split regions).
 pub fn uniform_shares(nodes: usize) -> Vec<f64> {
     vec![1.0 / nodes as f64; nodes]
@@ -476,6 +922,85 @@ mod tests {
     #[should_panic(expected = "one share per node")]
     fn share_length_mismatch_panics() {
         simulate_ingestion(&cfg(3), &[0.5, 0.5], 10.0, 1.0, ProxyMode::Buffered);
+    }
+
+    #[test]
+    fn e18_controlled_storm_keeps_goodput_and_bounded_p99() {
+        let r = simulate_overload(&OverloadConfig::e18(5, OverloadMode::Controlled));
+        assert!(r.conserves_samples(), "ledger leak: {r:?}");
+        assert!(
+            r.goodput_fraction >= 0.8,
+            "goodput fraction {} under storm",
+            r.goodput_fraction
+        );
+        // Bounded tail: proxy wait is capped by the deadline, queue wait
+        // by watermark backlog at the slowest node's rate.
+        let cfg = OverloadConfig::e18(5, OverloadMode::Controlled);
+        let slow_rate = cfg.cluster.effective_rate() * cfg.slow_factor;
+        let bound = cfg.deadline_secs
+            + cfg.shed_watermark * cfg.cluster.queue_capacity / slow_rate
+            + 2.0 * cfg.cluster.dt_secs;
+        assert!(
+            r.p99_latency_secs <= bound,
+            "p99 {} exceeds bound {bound}",
+            r.p99_latency_secs
+        );
+        // Every mechanism actually fired.
+        assert!(r.busy_rejected > 0.0, "submit admission never pushed back");
+        assert!(r.deadline_expired > 0.0, "deadlines never fired");
+        assert!(r.breaker_trips > 0, "breakers never tripped");
+        assert_eq!(r.crashes, 0);
+        assert_eq!(r.dropped, 0.0, "controlled mode never drops silently");
+        assert_eq!(r.lost_in_queue, 0.0, "no admitted work may die");
+    }
+
+    #[test]
+    fn e18_seed_buffered_latency_collapses_without_feedback() {
+        let controlled = simulate_overload(&OverloadConfig::e18(5, OverloadMode::Controlled));
+        let seed = simulate_overload(&OverloadConfig::e18(5, OverloadMode::SeedBuffered));
+        assert!(seed.conserves_samples(), "ledger leak: {seed:?}");
+        // The seed stack tells the producer nothing...
+        assert_eq!(seed.busy_rejected, 0.0);
+        assert_eq!(seed.deadline_expired, 0.0);
+        // ...and pays with an unbounded tail: p99 an order of magnitude
+        // past the controlled stack's, max latency far past the storm.
+        assert!(
+            seed.p99_latency_secs > 10.0 * controlled.p99_latency_secs,
+            "seed p99 {} vs controlled {}",
+            seed.p99_latency_secs,
+            controlled.p99_latency_secs
+        );
+        assert!(
+            seed.max_latency_secs > 30.0,
+            "seed max latency {} should dwarf the storm",
+            seed.max_latency_secs
+        );
+    }
+
+    #[test]
+    fn e18_seed_direct_storm_crashes_servers() {
+        let r = simulate_overload(&OverloadConfig::e18(5, OverloadMode::SeedDirect));
+        assert!(r.conserves_samples(), "ledger leak: {r:?}");
+        assert!(r.crashes > 0, "direct firehose must crash servers");
+        assert!(r.dropped > 0.0, "direct overflow drops silently");
+        assert!(
+            r.goodput_fraction < 0.8,
+            "seed-direct goodput {} should collapse",
+            r.goodput_fraction
+        );
+    }
+
+    #[test]
+    fn e18_is_deterministic() {
+        for mode in [
+            OverloadMode::Controlled,
+            OverloadMode::SeedBuffered,
+            OverloadMode::SeedDirect,
+        ] {
+            let a = simulate_overload(&OverloadConfig::e18(5, mode));
+            let b = simulate_overload(&OverloadConfig::e18(5, mode));
+            assert_eq!(a, b, "mode {mode:?} replay diverged");
+        }
     }
 
     #[test]

@@ -49,6 +49,8 @@ pub struct ElasticController<P: ScalingPolicy> {
     /// Per-region cumulative writes at the previous tick, for share deltas.
     prev_region_writes: HashMap<RegionId, u64>,
     prev_total_written: u64,
+    /// Latest ingest-proxy stats handed in via [`Self::report_ingest`].
+    ingest_stats: Vec<NodeStats>,
 }
 
 impl<P: ScalingPolicy> ElasticController<P> {
@@ -61,6 +63,7 @@ impl<P: ScalingPolicy> ElasticController<P> {
             tick: 0,
             prev_region_writes: HashMap::new(),
             prev_total_written: 0,
+            ingest_stats: Vec::new(),
         }
     }
 
@@ -104,7 +107,23 @@ impl<P: ScalingPolicy> ElasticController<P> {
             overloads: handle.overloads(),
             crashed,
             mean_batch: 0.0,
+            is_proxy: false,
+            shed_writes: handle.shed_writes(),
+            shed_reads: handle.shed_reads(),
+            deadline_expired: handle.deadline_expired(),
+            breaker_trips: 0,
+            ingest_buffer_depth: 0,
+            ingest_buffer_capacity: 0,
         })
+    }
+
+    /// Report ingest-proxy stats for the next tick. The proxy is not a
+    /// cluster node (it holds no coordinator session), so the harness
+    /// hands its overload snapshot to the controller, which folds it into
+    /// the fleet view and the policy's backlog-pressure signal.
+    pub fn report_ingest(&mut self, stats: NodeStats) {
+        self.ingest_stats.retain(|s| s.node != stats.node);
+        self.ingest_stats.push(stats);
     }
 
     /// Per-region write shares since the previous tick, for the hot-region
@@ -165,10 +184,16 @@ impl<P: ScalingPolicy> ElasticController<P> {
                 let _ = publish(master.coordinator(), session, &stats);
             }
         }
-        let snapshot = FleetSnapshot::scrape(master.coordinator());
+        let mut snapshot = FleetSnapshot::scrape(master.coordinator());
+        // Fold in ingest-proxy stats (sessionless, so never scraped).
+        snapshot.nodes.extend(self.ingest_stats.iter().cloned());
+        snapshot.nodes.sort_by_key(|s| s.node);
 
         // 2. Observe. Service utilization is approximated by write-rate
         //    growth; without a wall clock the queue signals dominate.
+        //    Backlog pressure is the ingest side backing up: proxy buffer
+        //    occupancy is the leading indicator that offered load exceeds
+        //    what admission control is letting through.
         let total_written = snapshot.total_samples_written();
         let wrote_something = total_written > self.prev_total_written;
         self.prev_total_written = total_written;
@@ -177,7 +202,7 @@ impl<P: ScalingPolicy> ElasticController<P> {
             active_nodes: snapshot.live_nodes(),
             mean_queue_utilization: snapshot.mean_queue_utilization(),
             service_utilization: if wrote_something { 0.5 } else { 0.0 },
-            backlog_pressure: 0.0,
+            backlog_pressure: snapshot.ingest_pressure(),
             crashed_nodes: snapshot.crashed_nodes(),
         };
 
@@ -288,6 +313,45 @@ mod tests {
         let r3 = ctl.step(&mut master, 3000);
         assert_eq!(r3.decommissioned, vec![NodeId(2)]);
         assert_eq!(master.live_nodes().len(), 2);
+        master.shutdown();
+    }
+
+    #[test]
+    fn reported_ingest_stats_drive_backlog_pressure() {
+        let mut master = boot(2, &[b"m"]);
+        let mut ctl = ElasticController::new(Scripted(Vec::new()), ServerConfig::default());
+        let mut proxy = NodeStats {
+            node: 1000,
+            tick: 0,
+            queue_depth: 0,
+            queue_capacity: 0,
+            samples_written: 0,
+            memstore_bytes: 0,
+            flushes: 0,
+            compactions: 0,
+            overloads: 0,
+            crashed: false,
+            mean_batch: 0.0,
+            is_proxy: true,
+            shed_writes: 7,
+            shed_reads: 0,
+            deadline_expired: 0,
+            breaker_trips: 1,
+            ingest_buffer_depth: 80,
+            ingest_buffer_capacity: 100,
+        };
+        ctl.report_ingest(proxy.clone());
+        let r = ctl.step(&mut master, 1000);
+        assert!((r.observation.backlog_pressure - 0.8).abs() < 1e-9);
+        // The proxy appears in the fleet view but never in the serving count.
+        assert!(r.snapshot.nodes.iter().any(|n| n.is_proxy));
+        assert_eq!(r.observation.active_nodes, 2);
+        // Re-reporting the same proxy replaces, not duplicates.
+        proxy.ingest_buffer_depth = 10;
+        ctl.report_ingest(proxy);
+        let r = ctl.step(&mut master, 2000);
+        assert!((r.observation.backlog_pressure - 0.1).abs() < 1e-9);
+        assert_eq!(r.snapshot.nodes.iter().filter(|n| n.is_proxy).count(), 1);
         master.shutdown();
     }
 

@@ -122,6 +122,22 @@ pub struct MetricsRegistry {
     pub crash_events: AtomicU64,
     /// Histogram of admitted batch sizes.
     pub batch_sizes: Histogram,
+    /// Flag (0/1): this registry belongs to an ingest proxy, not a
+    /// region server. Proxy stats are excluded from serving-fleet
+    /// aggregates and feed the backlog-pressure signal instead.
+    pub is_proxy: AtomicU64,
+    /// Counter: write RPCs shed by admission control.
+    pub shed_writes: AtomicU64,
+    /// Counter: read RPCs shed by admission control.
+    pub shed_reads: AtomicU64,
+    /// Counter: requests dropped because their deadline expired.
+    pub deadline_expired: AtomicU64,
+    /// Counter: circuit-breaker trips observed (proxy side).
+    pub breaker_trips: AtomicU64,
+    /// Gauge: batches buffered in the ingest proxy right now.
+    pub ingest_buffer_depth: AtomicU64,
+    /// Gauge: ingest proxy buffer capacity.
+    pub ingest_buffer_capacity: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -154,6 +170,13 @@ impl MetricsRegistry {
             overloads: self.overloads.load(Ordering::Relaxed),
             crashed: self.crash_events.load(Ordering::Relaxed) > 0,
             mean_batch: self.batch_sizes.mean(),
+            is_proxy: self.is_proxy.load(Ordering::Relaxed) > 0,
+            shed_writes: self.shed_writes.load(Ordering::Relaxed),
+            shed_reads: self.shed_reads.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            ingest_buffer_depth: self.ingest_buffer_depth.load(Ordering::Relaxed),
+            ingest_buffer_capacity: self.ingest_buffer_capacity.load(Ordering::Relaxed),
         }
     }
 }
@@ -183,6 +206,29 @@ pub struct NodeStats {
     pub crashed: bool,
     /// Mean admitted batch size.
     pub mean_batch: f64,
+    /// This snapshot comes from an ingest proxy, not a region server.
+    /// Defaults (and all the fields below) keep pre-overload snapshots
+    /// parseable: an old publisher simply reports no overload activity.
+    #[serde(default)]
+    pub is_proxy: bool,
+    /// Cumulative write RPCs shed by admission control.
+    #[serde(default)]
+    pub shed_writes: u64,
+    /// Cumulative read RPCs shed by admission control.
+    #[serde(default)]
+    pub shed_reads: u64,
+    /// Cumulative requests dropped on deadline expiry.
+    #[serde(default)]
+    pub deadline_expired: u64,
+    /// Cumulative circuit-breaker trips (proxy side).
+    #[serde(default)]
+    pub breaker_trips: u64,
+    /// Batches buffered in the ingest proxy at snapshot time.
+    #[serde(default)]
+    pub ingest_buffer_depth: u64,
+    /// Ingest proxy buffer capacity.
+    #[serde(default)]
+    pub ingest_buffer_capacity: u64,
 }
 
 impl NodeStats {
@@ -193,6 +239,20 @@ impl NodeStats {
         } else {
             self.queue_depth as f64 / self.queue_capacity as f64
         }
+    }
+
+    /// Ingest buffer occupancy in `[0, 1]` (0 when capacity is unknown).
+    pub fn ingest_buffer_utilization(&self) -> f64 {
+        if self.ingest_buffer_capacity == 0 || self.ingest_buffer_capacity == u64::MAX {
+            0.0
+        } else {
+            self.ingest_buffer_depth as f64 / self.ingest_buffer_capacity as f64
+        }
+    }
+
+    /// Total RPCs this node shed under admission control.
+    pub fn total_sheds(&self) -> u64 {
+        self.shed_writes + self.shed_reads
     }
 }
 
@@ -235,39 +295,34 @@ impl FleetSnapshot {
         FleetSnapshot { nodes }
     }
 
-    /// Number of live (non-crashed) nodes.
+    /// Live serving nodes: not crashed and not an ingest proxy. Scaling
+    /// decisions size the region-server fleet, so proxies never count.
+    fn serving(&self) -> impl Iterator<Item = &NodeStats> {
+        self.nodes.iter().filter(|n| !n.crashed && !n.is_proxy)
+    }
+
+    /// Number of live (non-crashed, non-proxy) serving nodes.
     pub fn live_nodes(&self) -> usize {
-        self.nodes.iter().filter(|n| !n.crashed).count()
+        self.serving().count()
     }
 
-    /// Sum of queue depths across live nodes.
+    /// Sum of queue depths across live serving nodes.
     pub fn total_queue_depth(&self) -> u64 {
-        self.nodes
-            .iter()
-            .filter(|n| !n.crashed)
-            .map(|n| n.queue_depth)
-            .sum()
+        self.serving().map(|n| n.queue_depth).sum()
     }
 
-    /// Mean queue occupancy across live nodes (0 when empty).
+    /// Mean queue occupancy across live serving nodes (0 when empty).
     pub fn mean_queue_utilization(&self) -> f64 {
         let live = self.live_nodes();
         if live == 0 {
             return 0.0;
         }
-        self.nodes
-            .iter()
-            .filter(|n| !n.crashed)
-            .map(|n| n.queue_utilization())
-            .sum::<f64>()
-            / live as f64
+        self.serving().map(|n| n.queue_utilization()).sum::<f64>() / live as f64
     }
 
-    /// Highest queue occupancy across live nodes.
+    /// Highest queue occupancy across live serving nodes.
     pub fn max_queue_utilization(&self) -> f64 {
-        self.nodes
-            .iter()
-            .filter(|n| !n.crashed)
+        self.serving()
             .map(|n| n.queue_utilization())
             .fold(0.0, f64::max)
     }
@@ -277,9 +332,35 @@ impl FleetSnapshot {
         self.nodes.iter().map(|n| n.samples_written).sum()
     }
 
-    /// Nodes flagged crashed.
+    /// Nodes flagged crashed (proxies included — a dead proxy matters).
     pub fn crashed_nodes(&self) -> usize {
         self.nodes.iter().filter(|n| n.crashed).count()
+    }
+
+    /// Highest ingest-proxy buffer occupancy in `[0, 1]` — the primary
+    /// "storm is backing up" signal for the scaling policy.
+    pub fn ingest_pressure(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_proxy && !n.crashed)
+            .map(|n| n.ingest_buffer_utilization())
+            .fold(0.0, f64::max)
+    }
+
+    /// Cumulative admission sheds across the whole fleet (servers and
+    /// proxies alike).
+    pub fn total_sheds(&self) -> u64 {
+        self.nodes.iter().map(|n| n.total_sheds()).sum()
+    }
+
+    /// Cumulative deadline expiries across the fleet.
+    pub fn total_deadline_expired(&self) -> u64 {
+        self.nodes.iter().map(|n| n.deadline_expired).sum()
+    }
+
+    /// Cumulative circuit-breaker trips across the fleet.
+    pub fn total_breaker_trips(&self) -> u64 {
+        self.nodes.iter().map(|n| n.breaker_trips).sum()
     }
 }
 
@@ -300,6 +381,13 @@ mod tests {
             overloads: 0,
             crashed: false,
             mean_batch: 0.0,
+            is_proxy: false,
+            shed_writes: 0,
+            shed_reads: 0,
+            deadline_expired: 0,
+            breaker_trips: 0,
+            ingest_buffer_depth: 0,
+            ingest_buffer_capacity: 0,
         }
     }
 
@@ -402,6 +490,44 @@ mod tests {
         assert_eq!(snap.nodes.len(), 1);
         assert_eq!(snap.nodes[0].node, 0);
         assert_eq!(snap.nodes[0].queue_depth, 20);
+    }
+
+    #[test]
+    fn proxy_stats_feed_pressure_but_not_serving_aggregates() {
+        let mut proxy = stats(100, 0, 0);
+        proxy.is_proxy = true;
+        proxy.ingest_buffer_depth = 90;
+        proxy.ingest_buffer_capacity = 100;
+        proxy.shed_writes = 5;
+        proxy.breaker_trips = 2;
+        let mut server = stats(0, 10, 100);
+        server.shed_reads = 3;
+        server.deadline_expired = 4;
+        let snap = FleetSnapshot {
+            nodes: vec![server, proxy],
+        };
+        // Serving aggregates exclude the proxy.
+        assert_eq!(snap.live_nodes(), 1);
+        assert_eq!(snap.total_queue_depth(), 10);
+        assert!((snap.max_queue_utilization() - 0.1).abs() < 1e-9);
+        // Overload signals come through.
+        assert!((snap.ingest_pressure() - 0.9).abs() < 1e-9);
+        assert_eq!(snap.total_sheds(), 8);
+        assert_eq!(snap.total_deadline_expired(), 4);
+        assert_eq!(snap.total_breaker_trips(), 2);
+    }
+
+    #[test]
+    fn pre_overload_snapshots_still_parse() {
+        // A snapshot published before the overload fields existed must
+        // deserialize with all-default overload telemetry.
+        let legacy = r#"{"node":3,"tick":9,"queue_depth":5,"queue_capacity":64,
+            "samples_written":12,"memstore_bytes":0,"flushes":1,"compactions":0,
+            "overloads":0,"crashed":false,"mean_batch":2.5}"#;
+        let s: NodeStats = serde_json::from_str(legacy).unwrap();
+        assert!(!s.is_proxy);
+        assert_eq!(s.total_sheds(), 0);
+        assert_eq!(s.ingest_buffer_utilization(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Brownout: graceful degradation of online evaluation under overload.
+//!
+//! When the ingest/storage side is saturated, the worst response is to
+//! stall the fleet view while full-resolution scoring queues up behind
+//! overloaded scans. Instead the monitor *browns out*: it keeps
+//! refreshing every unit on a documented sampled-sensor subset (every
+//! `stride`-th sensor) and marks outcomes degraded, so operators see a
+//! coarser but *live* picture rather than a stale one. The gate is a
+//! hysteresis loop on the overload signal — enter high, exit low — so a
+//! noisy signal cannot flap the pipeline between modes every tick.
+
+use serde::{Deserialize, Serialize};
+
+/// Brownout tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrownoutConfig {
+    /// Overload pressure (0..=1) at or above which brownout engages.
+    pub enter_pressure: f64,
+    /// Pressure at or below which brownout disengages. Must be below
+    /// `enter_pressure` for hysteresis.
+    pub exit_pressure: f64,
+    /// Sensor stride in degraded mode: score sensors `{0, s, 2s, …}`.
+    pub stride: usize,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            enter_pressure: 0.75,
+            exit_pressure: 0.50,
+            stride: 4,
+        }
+    }
+}
+
+impl BrownoutConfig {
+    /// Validate the invariants the gate relies on.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.enter_pressure) {
+            return Err(format!(
+                "enter_pressure {} not in [0,1]",
+                self.enter_pressure
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.exit_pressure) {
+            return Err(format!("exit_pressure {} not in [0,1]", self.exit_pressure));
+        }
+        if self.exit_pressure >= self.enter_pressure {
+            return Err(format!(
+                "exit_pressure {} must be below enter_pressure {}",
+                self.exit_pressure, self.enter_pressure
+            ));
+        }
+        if self.stride == 0 {
+            return Err("stride must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Evaluation fidelity chosen by the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalMode {
+    /// Score every sensor.
+    Full,
+    /// Score the sampled subset; outcomes are flagged degraded.
+    Degraded,
+}
+
+/// Hysteresis gate over the overload signal. Deterministic: mode depends
+/// only on the sequence of observed pressures.
+#[derive(Debug, Clone)]
+pub struct BrownoutGate {
+    config: BrownoutConfig,
+    engaged: bool,
+    transitions: u64,
+}
+
+impl BrownoutGate {
+    /// A disengaged gate. Panics on an invalid config (construction-time
+    /// check, not a serving path).
+    pub fn new(config: BrownoutConfig) -> Self {
+        // pga-allow(panic-path): constructor validation before any traffic is served
+        config.validate().expect("valid brownout config");
+        BrownoutGate {
+            config,
+            engaged: false,
+            transitions: 0,
+        }
+    }
+
+    /// Feed the current overload pressure (0..=1); returns the mode to
+    /// evaluate with this tick.
+    pub fn observe(&mut self, pressure: f64) -> EvalMode {
+        if self.engaged {
+            if pressure <= self.config.exit_pressure {
+                self.engaged = false;
+                self.transitions += 1;
+            }
+        } else if pressure >= self.config.enter_pressure {
+            self.engaged = true;
+            self.transitions += 1;
+        }
+        self.mode()
+    }
+
+    /// Current mode without feeding a new observation.
+    pub fn mode(&self) -> EvalMode {
+        if self.engaged {
+            EvalMode::Degraded
+        } else {
+            EvalMode::Full
+        }
+    }
+
+    /// Stride to use when the mode is [`EvalMode::Degraded`].
+    pub fn stride(&self) -> usize {
+        self.config.stride
+    }
+
+    /// Mode changes so far (monitoring; flapping indicator).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_engages_high_exits_low_with_hysteresis() {
+        let mut g = BrownoutGate::new(BrownoutConfig::default());
+        assert_eq!(g.observe(0.3), EvalMode::Full);
+        assert_eq!(g.observe(0.74), EvalMode::Full, "below enter");
+        assert_eq!(g.observe(0.80), EvalMode::Degraded, "entered");
+        // In the hysteresis band: stays degraded.
+        assert_eq!(g.observe(0.60), EvalMode::Degraded);
+        assert_eq!(g.observe(0.74), EvalMode::Degraded);
+        // Below exit: recovers.
+        assert_eq!(g.observe(0.50), EvalMode::Full);
+        assert_eq!(g.transitions(), 2);
+    }
+
+    #[test]
+    fn noisy_signal_in_band_does_not_flap() {
+        let mut g = BrownoutGate::new(BrownoutConfig::default());
+        g.observe(0.9);
+        for i in 0..100 {
+            // Oscillate inside (exit, enter): mode must not change.
+            let p = 0.55 + 0.015 * ((i % 10) as f64);
+            assert_eq!(g.observe(p), EvalMode::Degraded);
+        }
+        assert_eq!(g.transitions(), 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(BrownoutConfig {
+            enter_pressure: 0.5,
+            exit_pressure: 0.6,
+            stride: 2,
+        }
+        .validate()
+        .is_err());
+        assert!(BrownoutConfig {
+            enter_pressure: 0.5,
+            exit_pressure: 0.2,
+            stride: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(BrownoutConfig::default().validate().is_ok());
+    }
+}

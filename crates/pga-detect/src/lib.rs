@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod brownout;
 mod cusum;
 mod model;
 mod online;
 mod streaming;
 mod trainer;
 
+pub use brownout::{BrownoutConfig, BrownoutGate, EvalMode};
 pub use cusum::{CusumDetector, CusumState};
 pub use model::{BlockModel, UnitModel, BLOCK_SENSORS};
 pub use online::{EvalOutcome, OnlineEvaluator, SensorFlag};

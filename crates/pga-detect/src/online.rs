@@ -38,6 +38,15 @@ pub struct EvalOutcome {
     pub block_p_values: Vec<(usize, f64)>,
     /// Samples scored (rows × sensors).
     pub samples_scored: u64,
+    /// `true` when this outcome was produced in brownout mode from a
+    /// sampled sensor subset — consumers must treat unsampled sensors as
+    /// *unknown*, not healthy.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Sensors actually scored (equals `p_values.len()` in full mode;
+    /// the stride subset size in brownout mode).
+    #[serde(default)]
+    pub sensors_evaluated: u64,
 }
 
 /// Evaluator bound to one trained unit model.
@@ -149,6 +158,84 @@ impl OnlineEvaluator {
             rejected: rej.rejected,
             block_p_values,
             samples_scored: (n * p) as u64,
+            degraded: false,
+            sensors_evaluated: p as u64,
+        }
+    }
+
+    /// Brownout evaluation: score only every `stride`-th sensor (the
+    /// documented sampled subset `{0, stride, 2·stride, …}`) so the fleet
+    /// view keeps refreshing under overload at a fraction of the cost.
+    ///
+    /// Contract: unsampled sensors get `p = 1.0` and are never rejected —
+    /// they are *unknown*, not cleared; the outcome is marked
+    /// [`EvalOutcome::degraded`] so dashboards can badge it; the block T²
+    /// view is omitted (it needs every sensor in a block). FDR control is
+    /// applied to the sampled p-values only, preserving calibration on
+    /// the subset actually tested.
+    pub fn evaluate_sampled(&self, window: &Matrix, stride: usize) -> EvalOutcome {
+        let stride = stride.max(1);
+        if stride == 1 {
+            return self.evaluate(window);
+        }
+        let (n, p) = window.shape();
+        assert_eq!(p, self.model.sensors(), "sensor count mismatch");
+        assert!(n > 0, "window must be non-empty");
+        let sampled: Vec<usize> = (0..p).step_by(stride).collect();
+        // Window means for sampled sensors only.
+        let mut means = vec![0.0; p];
+        for r in 0..n {
+            let row = window.row(r);
+            for &j in &sampled {
+                means[j] += row[j];
+            }
+        }
+        let inv = 1.0 / n as f64;
+        for &j in &sampled {
+            means[j] *= inv;
+        }
+        let var_factor = (1.0 / n as f64 + 1.0 / self.model.trained_rows.max(1) as f64).sqrt();
+        let sampled_p: Vec<f64> = sampled
+            .iter()
+            .map(|&j| {
+                let std = self.model.stds[j];
+                if std == 0.0 {
+                    return if means[j] == self.model.means[j] {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                }
+                let z = (means[j] - self.model.means[j]) / (std * var_factor);
+                pga_stats::two_sided_p_from_z(z)
+            })
+            .collect();
+        let rej = self.procedure.apply(&sampled_p, self.alpha);
+        // Expand back to full width: unsampled sensors are unknown.
+        let mut p_values = vec![1.0; p];
+        let mut rejected = vec![false; p];
+        let mut flags = Vec::new();
+        for (k, &j) in sampled.iter().enumerate() {
+            p_values[j] = sampled_p[k];
+            rejected[j] = rej.rejected[k];
+            if rej.rejected[k] {
+                flags.push(SensorFlag {
+                    sensor: j as u32,
+                    p_value: sampled_p[k],
+                    window_mean: means[j],
+                    baseline_mean: self.model.means[j],
+                });
+            }
+        }
+        EvalOutcome {
+            unit: self.model.unit,
+            p_values,
+            flags,
+            rejected,
+            block_p_values: Vec::new(),
+            samples_scored: (n * sampled.len()) as u64,
+            degraded: true,
+            sensors_evaluated: sampled.len() as u64,
         }
     }
 
@@ -292,5 +379,59 @@ mod tests {
         let ev = trained_evaluator(&fleet, 0);
         let w = Matrix::zeros(5, 3);
         ev.evaluate(&w);
+    }
+
+    #[test]
+    fn sampled_evaluation_is_flagged_degraded_and_scores_subset() {
+        let fleet = Fleet::new(FleetConfig::paper_scale(59));
+        let unit = fleet.units_with_class(FaultClass::SharpShift)[0];
+        let spec = *fleet.fault(unit);
+        let ev = trained_evaluator(&fleet, unit);
+        let w = fleet.observation_window(unit, spec.onset + 49, 50);
+        let p = fleet.config().sensors_per_unit as usize;
+
+        let full = ev.evaluate(&w);
+        assert!(!full.degraded);
+        assert_eq!(full.sensors_evaluated, p as u64);
+
+        let stride = 4usize;
+        let out = ev.evaluate_sampled(&w, stride);
+        assert!(out.degraded, "sampled outcome must carry the degraded flag");
+        let expected = (0..p).step_by(stride).count() as u64;
+        assert_eq!(out.sensors_evaluated, expected);
+        assert_eq!(out.samples_scored, 50 * expected);
+        assert_eq!(out.p_values.len(), p, "full-width p-value family");
+        // Unsampled sensors are unknown, never flagged healthy-or-faulty.
+        for (s, pv) in out.p_values.iter().enumerate() {
+            if s % stride != 0 {
+                assert_eq!(*pv, 1.0, "unsampled sensor {s} must not carry evidence");
+            }
+        }
+        assert!(out
+            .flags
+            .iter()
+            .all(|f| (f.sensor as usize).is_multiple_of(stride)));
+        // The fault group spans >= stride sensors, so sampled scoring must
+        // still land flags inside it.
+        let sampled_fault_hits = out.flags.iter().filter(|f| spec.affects(f.sensor)).count();
+        assert!(
+            sampled_fault_hits > 0,
+            "brownout evaluation must still surface the fault group"
+        );
+        assert!(
+            out.block_p_values.is_empty(),
+            "block T² omitted in brownout"
+        );
+    }
+
+    #[test]
+    fn stride_one_sampling_matches_full_evaluation() {
+        let fleet = Fleet::new(FleetConfig::small(61));
+        let ev = trained_evaluator(&fleet, 0);
+        let w = fleet.observation_window(0, 199, 25);
+        let full = ev.evaluate(&w);
+        let sampled = ev.evaluate_sampled(&w, 1);
+        assert_eq!(sampled.p_values, full.p_values);
+        assert!(!sampled.degraded, "stride 1 is full fidelity");
     }
 }

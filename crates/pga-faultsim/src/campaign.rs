@@ -7,7 +7,7 @@
 
 use serde::Serialize;
 
-use crate::schedule::{format_schedule, generate, GeneratorConfig, Schedule};
+use crate::schedule::{format_schedule, generate, generate_storm, GeneratorConfig, Schedule};
 use crate::sim::{run_with_baseline, SimConfig, SimStats};
 
 /// Campaign shape.
@@ -106,11 +106,26 @@ pub fn shrink(seed: u64, schedule: &Schedule, sim: &SimConfig) -> Schedule {
 /// baseline (for the detection-equivalence oracle); failing seeds are
 /// shrunk before reporting.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    campaign_with(config, &generate)
+}
+
+/// Run a storm campaign: every seed's schedule is guaranteed to contain a
+/// storm and a slow-server window on top of the usual faults, so the
+/// overload oracles (batch accounting, Busy-retried-to-resolution) get
+/// exercised on every seed rather than by chance.
+pub fn run_storm_campaign(config: &CampaignConfig) -> CampaignReport {
+    campaign_with(config, &generate_storm)
+}
+
+fn campaign_with(
+    config: &CampaignConfig,
+    gen: &dyn Fn(u64, &GeneratorConfig) -> Schedule,
+) -> CampaignReport {
     let gen_cfg = config.generator();
     let mut failures = Vec::new();
     let mut totals = SimStats::default();
     for seed in config.start_seed..config.start_seed + config.seeds {
-        let schedule = generate(seed, &gen_cfg);
+        let schedule = gen(seed, &gen_cfg);
         let outcome = run_with_baseline(seed, &schedule, &config.sim);
         totals.merge(&outcome.stats);
         if !outcome.violations.is_empty() {

@@ -10,8 +10,8 @@
 //! that claim on our reimplementation.
 //!
 //! * [`schedule`] — seeded fault schedules (crash, torn-WAL crash,
-//!   heartbeat partition, clock skew, split, migration, RPC ack drops)
-//!   with a compact replayable string form.
+//!   heartbeat partition, clock skew, split, migration, RPC ack drops,
+//!   ingest storms, slow servers) with a compact replayable string form.
 //! * [`plane`] — the [`pga_minibase::FaultPlane`] implementation the sim
 //!   installs: armed torn tails with seeded garbage, per-node clock skew,
 //!   and the in-stack monotone-WAL oracle.
@@ -29,10 +29,13 @@ pub mod plane;
 pub mod schedule;
 pub mod sim;
 
-pub use campaign::{run_campaign, shrink, CampaignConfig, CampaignReport, FailureCase};
+pub use campaign::{
+    run_campaign, run_storm_campaign, shrink, CampaignConfig, CampaignReport, FailureCase,
+};
 pub use plane::SimFaultPlane;
 pub use schedule::{
-    format_schedule, generate, parse_schedule, FaultOp, GeneratorConfig, Schedule, ScheduledFault,
+    format_schedule, generate, generate_storm, parse_schedule, FaultOp, GeneratorConfig, Schedule,
+    ScheduledFault,
 };
 pub use sim::{run, run_with_baseline, SimConfig, SimOutcome, SimStats, Violation};
 

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use pga_cluster::NodeId;
 use pga_minibase::{FaultHandle, FaultPlane, RegionId};
 
-use crate::campaign::{run_campaign, CampaignConfig};
+use crate::campaign::{run_campaign, run_storm_campaign, CampaignConfig};
 use crate::plane::SimFaultPlane;
 use crate::schedule::{generate, parse_schedule, GeneratorConfig};
 use crate::sim::{run_inner, run_with_baseline, SimConfig, SimOutcome, Violation};
@@ -148,6 +148,77 @@ fn faithful_stack_survives_a_generated_campaign() {
         report.totals
     );
     assert!(report.totals.batches_acked > 0);
+}
+
+#[test]
+fn faithful_stack_survives_a_storm_campaign() {
+    let report = run_storm_campaign(&CampaignConfig {
+        seeds: 6,
+        sim: test_sim(),
+        ..CampaignConfig::default()
+    });
+    assert!(
+        report.passed(),
+        "faithful stack violated overload oracles: {:?}",
+        report.failures
+    );
+    // Every seed carried a storm and a slow-server window; the Busy path
+    // must actually have fired and every batch must have resolved.
+    assert!(report.totals.storms >= 6, "storms: {:?}", report.totals);
+    assert!(report.totals.slow_faults >= 6);
+    assert!(
+        report.totals.busy_rejections > 0,
+        "slow servers never rejected anything: {:?}",
+        report.totals
+    );
+    assert_eq!(
+        report.totals.batches_generated, report.totals.batches_acked,
+        "a clean storm campaign acks every generated batch"
+    );
+}
+
+#[test]
+fn handcrafted_storm_and_slow_server_resolve_every_batch() {
+    let schedule = parse_schedule("3:storm:3:4,5:slow:1:5,8:slow:0:3").unwrap();
+    let config = test_sim();
+    let outcome = run_with_baseline(7, &schedule, &config);
+    assert_eq!(
+        outcome.violations,
+        Vec::new(),
+        "events: {:?}",
+        outcome.events
+    );
+    assert_eq!(outcome.stats.storms, 1);
+    assert_eq!(outcome.stats.slow_faults, 2);
+    assert!(outcome.stats.busy_rejections > 0);
+    assert_eq!(outcome.stats.batches_generated, outcome.stats.batches_acked);
+    // The storm multiplied offered load: more samples acked than the
+    // stormless shape would produce.
+    assert!(
+        outcome.stats.samples_acked > (config.steps * config.batch_per_step as u32) as u64,
+        "storm should inflate offered load: {:?}",
+        outcome.stats
+    );
+}
+
+/// Regression: campaign seed 252 shrank to this trace. A torn-WAL crash
+/// plus a plain crash leave exactly one live node, and that node sits
+/// inside a slow window — with per-workload-step wind-down the window no
+/// longer expires mid-retry-storm, so unconditional Busy re-routing
+/// starved the batch to `WriteNeverAcked`. The driver must fall through
+/// and forward to the slow node when no healthy alternative exists.
+#[test]
+fn slow_window_on_the_last_live_node_does_not_starve_writes() {
+    let schedule = parse_schedule("17:crash:2,1:tear:0,13:slow:1:5").unwrap();
+    let config = test_sim();
+    let outcome = run_with_baseline(252, &schedule, &config);
+    assert_eq!(
+        outcome.violations,
+        Vec::new(),
+        "events: {:?}",
+        outcome.events
+    );
+    assert_eq!(outcome.stats.batches_generated, outcome.stats.batches_acked);
 }
 
 #[test]

@@ -14,6 +14,12 @@ use rand::{Rng, SeedableRng};
 /// Stream separator for the schedule RNG (vs workload / plane streams).
 pub const SCHEDULE_STREAM: u64 = 0x5c3d_a7e1_19b4_2f68;
 
+/// Stream separator for the overload-op RNG. Storm and slow-server ops
+/// draw from their own stream so adding them never shifts the base
+/// schedule a seed generated before overload ops existed — replay
+/// commands and mutant-detection budgets keep their meaning.
+pub const STORM_STREAM: u64 = 0x93ab_50c7_6e21_fd04;
+
 /// One injectable fault. The compact string form produced by
 /// [`format_schedule`] is the canonical serialization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +75,32 @@ pub enum FaultOp {
         /// Number of acks to swallow.
         writes: u32,
     },
+    /// Multiply the workload's batch size by `mult` for `steps` steps —
+    /// an ingest storm. A load-shaping op: the baseline run keeps it, so
+    /// the detection-equivalence oracle compares like against like.
+    Storm {
+        /// Batch-size multiplier (≥ 2 when generated).
+        mult: u32,
+        /// Storm duration in sim steps.
+        steps: u32,
+    },
+    /// Make a node's storage path answer with synthetic `Busy` rejections
+    /// for `steps` steps — a slow server. The driver must re-route and
+    /// every rejected batch must still resolve to an ack or a typed error.
+    SlowServer {
+        /// Victim node.
+        node: u32,
+        /// Slowness duration in sim steps.
+        steps: u32,
+    },
+}
+
+impl FaultOp {
+    /// Load-shaping ops change the offered workload rather than breaking
+    /// the stack; the detection-equivalence baseline keeps them.
+    pub fn is_load_shaping(&self) -> bool {
+        matches!(self, FaultOp::Storm { .. })
+    }
 }
 
 /// A fault op pinned to the sim step where it fires.
@@ -97,6 +129,8 @@ pub fn format_schedule(schedule: &[ScheduledFault]) -> String {
                 FaultOp::Split { slot } => format!("{s}:split:{slot}"),
                 FaultOp::Move { slot, node } => format!("{s}:move:{slot}:{node}"),
                 FaultOp::RpcDrop { writes } => format!("{s}:drop:{writes}"),
+                FaultOp::Storm { mult, steps } => format!("{s}:storm:{mult}:{steps}"),
+                FaultOp::SlowServer { node, steps } => format!("{s}:slow:{node}:{steps}"),
             }
         })
         .collect();
@@ -146,6 +180,20 @@ pub fn parse_schedule(text: &str) -> Result<Schedule, String> {
                 4,
             ),
             "drop" => (FaultOp::RpcDrop { writes: num(2)? }, 3),
+            "storm" => (
+                FaultOp::Storm {
+                    mult: num(2)?,
+                    steps: num(3)?,
+                },
+                4,
+            ),
+            "slow" => (
+                FaultOp::SlowServer {
+                    node: num(2)?,
+                    steps: num(3)?,
+                },
+                4,
+            ),
             other => return Err(format!("`{part}`: unknown op `{other}`")),
         };
         if fields.len() != arity {
@@ -203,6 +251,60 @@ pub fn generate(seed: u64, config: &GeneratorConfig) -> Schedule {
         };
         out.push(ScheduledFault { step, op });
     }
+    // Overload ops ride a separate stream (see [`STORM_STREAM`]): the base
+    // schedule above is byte-identical to what this seed generated before
+    // storms existed.
+    let mut storm_rng = StdRng::seed_from_u64(seed ^ STORM_STREAM);
+    if storm_rng.gen_bool(0.4) {
+        out.push(ScheduledFault {
+            step: storm_rng.gen_range(1..hi),
+            op: FaultOp::Storm {
+                mult: storm_rng.gen_range(2..=3),
+                steps: storm_rng.gen_range(2..=5),
+            },
+        });
+    }
+    if storm_rng.gen_bool(0.4) {
+        out.push(ScheduledFault {
+            step: storm_rng.gen_range(1..hi),
+            op: FaultOp::SlowServer {
+                node: storm_rng.gen_range(0..config.nodes.max(1)),
+                steps: storm_rng.gen_range(2..=6),
+            },
+        });
+    }
+    out
+}
+
+/// Generate a storm-focused schedule: the seeded base schedule plus a
+/// guaranteed storm and slow-server op. Used by storm campaigns so every
+/// seed exercises the overload path rather than the ~40% the plain
+/// generator hits.
+pub fn generate_storm(seed: u64, config: &GeneratorConfig) -> Schedule {
+    let mut out = generate(seed, config);
+    let hi = (config.steps * 3 / 4).max(2);
+    let mut rng = StdRng::seed_from_u64(seed ^ STORM_STREAM ^ 0xff);
+    if !out.iter().any(|f| matches!(f.op, FaultOp::Storm { .. })) {
+        out.push(ScheduledFault {
+            step: rng.gen_range(1..hi),
+            op: FaultOp::Storm {
+                mult: rng.gen_range(2..=3),
+                steps: rng.gen_range(3..=6),
+            },
+        });
+    }
+    if !out
+        .iter()
+        .any(|f| matches!(f.op, FaultOp::SlowServer { .. }))
+    {
+        out.push(ScheduledFault {
+            step: rng.gen_range(1..hi),
+            op: FaultOp::SlowServer {
+                node: rng.gen_range(0..config.nodes.max(1)),
+                steps: rng.gen_range(2..=6),
+            },
+        });
+    }
     out
 }
 
@@ -255,6 +357,46 @@ mod tests {
                 kinds.insert(part.split(':').nth(1).unwrap().to_string());
             }
         }
-        assert_eq!(kinds.len(), 7, "generator should exercise all op kinds");
+        assert_eq!(kinds.len(), 9, "generator should exercise all op kinds");
+        assert!(kinds.contains("storm"));
+        assert!(kinds.contains("slow"));
+    }
+
+    #[test]
+    fn overload_ops_ride_their_own_stream() {
+        // Stripping storm/slow from a generated schedule must reproduce the
+        // base stream exactly: a seed's pre-overload ops never shift.
+        for seed in 0..50u64 {
+            let full = generate(seed, &config());
+            let base: Schedule = full
+                .iter()
+                .filter(|f| !matches!(f.op, FaultOp::Storm { .. } | FaultOp::SlowServer { .. }))
+                .copied()
+                .collect();
+            let prefix_len = base.len();
+            assert_eq!(&full[..prefix_len], &base[..], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn storm_schedules_always_contain_overload_ops() {
+        for seed in 0..32u64 {
+            let schedule = generate_storm(seed, &config());
+            assert!(
+                schedule
+                    .iter()
+                    .any(|f| matches!(f.op, FaultOp::Storm { .. })),
+                "seed {seed} missing storm"
+            );
+            assert!(
+                schedule
+                    .iter()
+                    .any(|f| matches!(f.op, FaultOp::SlowServer { .. })),
+                "seed {seed} missing slow server"
+            );
+            // And the storm form still round-trips.
+            let text = format_schedule(&schedule);
+            assert_eq!(parse_schedule(&text).unwrap(), schedule, "via `{text}`");
+        }
     }
 }

@@ -112,6 +112,12 @@ pub enum Violation {
         /// What was expected vs observed.
         detail: String,
     },
+    /// A batch left the generator without resolving to an ack or a typed
+    /// `WriteNeverAcked` — silent loss in the submit path.
+    BatchUnaccounted {
+        /// Generated/acked/never-acked ledger.
+        detail: String,
+    },
     /// A final-phase query failed outright after the drain.
     QueryFailed {
         /// `unit/sensor` series label.
@@ -142,6 +148,9 @@ impl fmt::Display for Violation {
             }
             Violation::ScanMismatch { series, detail } => {
                 write!(f, "scan-mismatch [{series}]: {detail}")
+            }
+            Violation::BatchUnaccounted { detail } => {
+                write!(f, "batch-unaccounted: {detail}")
             }
             Violation::QueryFailed { series, detail } => {
                 write!(f, "query-failed [{series}]: {detail}")
@@ -185,6 +194,15 @@ pub struct SimStats {
     pub mid_checks: u64,
     /// Schedule ops skipped by the last-healthy-node guard.
     pub guarded_skips: u64,
+    /// Batches handed to the submit path (acked + never-acked must equal
+    /// this — the batch-accounting oracle).
+    pub batches_generated: u64,
+    /// Ingest storms injected.
+    pub storms: u64,
+    /// Slow-server windows injected.
+    pub slow_faults: u64,
+    /// Synthetic `Busy` rejections served by slow nodes.
+    pub busy_rejections: u64,
 }
 
 impl SimStats {
@@ -203,11 +221,22 @@ impl SimStats {
         self.reassigned += other.reassigned;
         self.mid_checks += other.mid_checks;
         self.guarded_skips += other.guarded_skips;
+        self.batches_generated += other.batches_generated;
+        self.storms += other.storms;
+        self.slow_faults += other.slow_faults;
+        self.busy_rejections += other.busy_rejections;
     }
 
     /// Total faults injected (any kind).
     pub fn faults_injected(&self) -> u64 {
-        self.crashes + self.partitions + self.skews + self.splits + self.moves + self.rpc_drops
+        self.crashes
+            + self.partitions
+            + self.skews
+            + self.splits
+            + self.moves
+            + self.rpc_drops
+            + self.storms
+            + self.slow_faults
     }
 }
 
@@ -251,6 +280,10 @@ struct Driver<'a> {
     doomed: BTreeSet<u32>,
     /// Pending injected ack drops.
     drop_budget: u32,
+    /// Active storm: `(batch multiplier, steps remaining)`.
+    storm: Option<(u32, u32)>,
+    /// Slow nodes → steps of synthetic `Busy` remaining.
+    slow: BTreeMap<u32, u32>,
     /// Acked history: series → timestamp → value.
     expected: BTreeMap<SeriesKey, BTreeMap<u64, f64>>,
     /// Series that had a `WriteNeverAcked` batch — their stores may hold
@@ -310,6 +343,8 @@ impl<'a> Driver<'a> {
             skewed: BTreeSet::new(),
             doomed: BTreeSet::new(),
             drop_budget: 0,
+            storm: None,
+            slow: BTreeMap::new(),
             expected: BTreeMap::new(),
             tainted: BTreeSet::new(),
             events: Vec::new(),
@@ -368,6 +403,38 @@ impl<'a> Driver<'a> {
         }
         for e in self.plane.take_events() {
             self.log(format!("t={now} {e}"));
+        }
+    }
+
+    /// Wind down storms and slow-server windows by one *workload* step.
+    ///
+    /// Deliberately separate from [`Driver::advance`]: retries between
+    /// write attempts also advance simulated time, and if they consumed
+    /// storm duration the faulted run would draw a different number of
+    /// workload samples than its baseline, desynchronizing the detection
+    /// oracle's RNG streams. Load shaping is defined in workload steps.
+    fn wind_down_overload(&mut self) {
+        let now = self.now_ms;
+        if let Some((mult, steps)) = self.storm {
+            let left = steps.saturating_sub(1);
+            if left == 0 {
+                self.storm = None;
+                self.log(format!("t={now} storm x{mult} subsided"));
+            } else {
+                self.storm = Some((mult, left));
+            }
+        }
+        let recovered: Vec<u32> = self
+            .slow
+            .iter_mut()
+            .filter_map(|(&node, steps)| {
+                *steps = steps.saturating_sub(1);
+                (*steps == 0).then_some(node)
+            })
+            .collect();
+        for node in recovered {
+            self.slow.remove(&node);
+            self.log(format!("t={now} node {node} no longer slow"));
         }
     }
 
@@ -483,6 +550,18 @@ impl<'a> Driver<'a> {
                 self.stats.rpc_drops += writes as u64;
                 self.log(format!("t={now} arm {writes} rpc ack drops"));
             }
+            FaultOp::Storm { mult, steps } => {
+                self.storm = Some((mult.max(2), steps.max(1)));
+                self.stats.storms += 1;
+                self.log(format!("t={now} storm x{mult} for {steps} steps"));
+            }
+            FaultOp::SlowServer { node, steps } => {
+                // A slow server still heartbeats and keeps its lease — it
+                // answers Busy, it doesn't die — so no doom guard.
+                self.slow.insert(node, steps.max(1));
+                self.stats.slow_faults += 1;
+                self.log(format!("t={now} node {node} slow for {steps} steps"));
+            }
         }
     }
 
@@ -582,7 +661,8 @@ impl<'a> Driver<'a> {
     /// Generate this step's batch from the workload stream and forward it
     /// with retries, advancing simulated time between failed attempts.
     fn step_workload(&mut self, step: u32) {
-        let batch: Vec<(u32, u32, u64, f64)> = (0..self.config.batch_per_step)
+        let mult = self.storm.map(|(m, _)| m as usize).unwrap_or(1);
+        let batch: Vec<(u32, u32, u64, f64)> = (0..self.config.batch_per_step * mult)
             .map(|_| {
                 let unit = self.wl.gen_range(0..self.config.units.max(1));
                 let sensor = self.wl.gen_range(0..self.config.sensors.max(1));
@@ -606,12 +686,28 @@ impl<'a> Driver<'a> {
             .zip(&pairs)
             .map(|(&(_, _, ts, value), tags)| (&tags[..], ts, value))
             .collect();
+        self.stats.batches_generated += 1;
         for _ in 0..self.config.max_write_attempts.max(1) {
             let pick = self.rr;
             self.rr += 1;
             let crashed = self.crashed.clone();
             let health = HealthFn(move |i: usize| !crashed.contains(&(i as u32)));
             let target = choose_target(pick, self.tsds.len(), &health);
+            if self.slow.contains_key(&(target as u32)) {
+                let alternative = (0..self.tsds.len() as u32)
+                    .any(|i| !self.crashed.contains(&i) && !self.slow.contains_key(&i));
+                if alternative {
+                    // Synthetic Busy from the slow node: the driver must
+                    // re-route and the batch must still resolve.
+                    self.stats.busy_rejections += 1;
+                    self.stats.retries += 1;
+                    self.advance();
+                    continue;
+                }
+                // Every live node is slow: Busy is advisory, not a loss
+                // authorization, so forward anyway and eat the latency.
+                self.advance();
+            }
             let result = self
                 .tsds
                 .get(target)
@@ -746,12 +842,29 @@ pub(crate) fn run_inner(
         }
         driver.step_workload(step);
         driver.advance();
+        driver.wind_down_overload();
     }
     // Drain: enough quiet steps for every pending lease expiry and
     // reassignment to complete before the authoritative checks.
     let drain = config.lease_ms / config.step_ms.max(1) + 5;
     for _ in 0..drain {
         driver.advance();
+    }
+    // Batch accounting: every generated batch resolved to an ack or a
+    // typed WriteNeverAcked. Anything else is silent loss in the submit
+    // path — the overload contract forbids it.
+    let never_acked = driver
+        .violations
+        .iter()
+        .filter(|v| matches!(v, Violation::WriteNeverAcked { .. }))
+        .count() as u64;
+    if driver.stats.batches_generated != driver.stats.batches_acked + never_acked {
+        driver.violations.push(Violation::BatchUnaccounted {
+            detail: format!(
+                "generated {} != acked {} + never-acked {never_acked}",
+                driver.stats.batches_generated, driver.stats.batches_acked
+            ),
+        });
     }
     let flags = driver
         .final_checks()
@@ -777,16 +890,24 @@ pub fn run(seed: u64, schedule: &[ScheduledFault], config: &SimConfig) -> SimOut
     run_inner(seed, schedule, config, &faithful_plane)
 }
 
-/// Run the faulted schedule **and** the baseline (same seed, no faults),
-/// appending a [`Violation::DetectionDiverged`] if the Benjamini–Hochberg
-/// anomaly flags differ on the surviving data, and surfacing any baseline
+/// Run the faulted schedule **and** the baseline (same seed, with only
+/// the load-shaping ops kept — a storm changes what data exists, so the
+/// baseline must offer the same load), appending a
+/// [`Violation::DetectionDiverged`] if the Benjamini–Hochberg anomaly
+/// flags differ on the surviving data, and surfacing any baseline
 /// violations (a faithful baseline must be clean).
 pub fn run_with_baseline(seed: u64, schedule: &[ScheduledFault], config: &SimConfig) -> SimOutcome {
     let mut outcome = run(seed, schedule, config);
-    if schedule.is_empty() {
+    let baseline_schedule: Vec<ScheduledFault> = schedule
+        .iter()
+        .filter(|f| f.op.is_load_shaping())
+        .copied()
+        .collect();
+    if schedule.len() == baseline_schedule.len() {
+        // Nothing breaks the stack in this schedule: it is its own baseline.
         return outcome;
     }
-    let baseline = run(seed, &[], config);
+    let baseline = run(seed, &baseline_schedule, config);
     for v in &baseline.violations {
         outcome.violations.push(Violation::ScanMismatch {
             series: "baseline".into(),

@@ -1,0 +1,192 @@
+//! Jittered exponential backoff with a retry budget.
+//!
+//! Replaces the proxy's original fixed-duration retry sleep. A fixed
+//! sleep synchronises every retrying worker into lockstep waves that
+//! re-overload the recovering server; exponential growth with
+//! deterministic jitter decorrelates them, and a token-bucket retry
+//! budget bounds the *rate* amplification retries can add on top of
+//! offered load. The budget never drops work: when it is exhausted,
+//! retries simply proceed at the slowest (capped) pace instead of the
+//! fast exponential schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// SplitMix64: tiny deterministic hash for jitter. No global RNG state —
+/// the same (seed, attempt) pair always produces the same delay, which
+/// keeps retry traces replayable.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Exponential backoff policy: `base * 2^attempt`, capped, with
+/// deterministic half-range jitter (delay drawn from `[d/2, d]`).
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffPolicy {
+    /// First-retry delay (the legacy `retry_backoff` value).
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Delay for the `attempt`-th retry (0-based), jittered by `seed`.
+    /// Deterministic: same `(attempt, seed)` → same delay.
+    pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
+        let base_ms = self.base.as_millis().max(1) as u64;
+        let cap_ms = self.cap.as_millis().max(1) as u64;
+        let exp = base_ms.saturating_mul(1u64 << attempt.min(20)).min(cap_ms);
+        // Jitter into [exp/2, exp] so concurrent retriers decorrelate
+        // without ever waiting longer than the exponential schedule.
+        let half = (exp / 2).max(1);
+        let jitter = splitmix64(seed ^ u64::from(attempt)) % half;
+        Duration::from_millis(exp - jitter)
+    }
+
+    /// Block the current thread for the jittered delay of `attempt`.
+    pub fn pause(&self, attempt: u32, seed: u64) {
+        std::thread::sleep(self.delay(attempt, seed));
+    }
+
+    /// Block for at least `floor_ms` (a server `retry_after` hint) and at
+    /// least the jittered delay of `attempt`.
+    pub fn pause_at_least(&self, attempt: u32, seed: u64, floor_ms: u64) {
+        let d = self
+            .delay(attempt, seed)
+            .max(Duration::from_millis(floor_ms));
+        std::thread::sleep(d.min(self.cap.max(Duration::from_millis(floor_ms))));
+    }
+}
+
+/// Token-bucket retry budget (milli-token fixed point): each retry spends
+/// one token, each success deposits a fraction of one. When the bucket is
+/// empty the caller must fall back to its slowest pace — the budget bounds
+/// retry *rate*, it never authorises dropping a batch.
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Current tokens × 1000.
+    tokens_milli: AtomicU64,
+    /// Bucket capacity × 1000.
+    cap_milli: u64,
+    /// Deposit per success × 1000.
+    deposit_milli: u64,
+}
+
+impl RetryBudget {
+    /// A budget holding `cap` retry tokens, starting full, refilled by
+    /// `deposit_per_success` tokens (fractional) per successful forward.
+    pub fn new(cap: u32, deposit_per_success: f64) -> Self {
+        let cap_milli = u64::from(cap.max(1)) * 1000;
+        RetryBudget {
+            tokens_milli: AtomicU64::new(cap_milli),
+            cap_milli,
+            deposit_milli: (deposit_per_success.clamp(0.0, 1000.0) * 1000.0) as u64,
+        }
+    }
+
+    /// Spend one retry token. `false` means the bucket is empty: retry at
+    /// the slowest pace instead of the fast exponential schedule.
+    pub fn try_spend(&self) -> bool {
+        let mut current = self.tokens_milli.load(Ordering::Relaxed);
+        loop {
+            if current < 1000 {
+                return false;
+            }
+            match self.tokens_milli.compare_exchange_weak(
+                current,
+                current - 1000,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Deposit the per-success refill, saturating at the cap.
+    pub fn on_success(&self) {
+        let mut current = self.tokens_milli.load(Ordering::Relaxed);
+        loop {
+            let next = (current + self.deposit_milli).min(self.cap_milli);
+            if next == current {
+                return;
+            }
+            match self.tokens_milli.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Whole tokens currently available (monitoring).
+    pub fn tokens(&self) -> u64 {
+        self.tokens_milli.load(Ordering::Relaxed) / 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_grows_exponentially_to_the_cap() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(64),
+        };
+        // Jitter keeps each delay within [exp/2, exp].
+        for attempt in 0..12u32 {
+            let exp = (2u64 << attempt.min(20)).clamp(2, 64);
+            let d = p.delay(attempt, 42).as_millis() as u64;
+            assert!(d <= exp, "attempt {attempt}: {d} > {exp}");
+            assert!(d > exp / 2 - 1, "attempt {attempt}: {d} too small vs {exp}");
+        }
+        // Far attempts are capped.
+        assert!(p.delay(30, 7).as_millis() as u64 <= 64);
+    }
+
+    #[test]
+    fn delay_is_deterministic_and_jittered() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay(3, 99), p.delay(3, 99));
+        // Different seeds decorrelate (at least one pair differs across a
+        // few attempts — jitter range at attempt 6 is 32ms wide).
+        let differs = (0..8u64).any(|s| p.delay(6, s) != p.delay(6, s + 1000));
+        assert!(differs, "jitter should vary with seed");
+    }
+
+    #[test]
+    fn budget_spends_down_and_refills_on_success() {
+        let b = RetryBudget::new(2, 0.5);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "bucket empty");
+        b.on_success();
+        assert!(!b.try_spend(), "half a token is not enough");
+        b.on_success();
+        assert!(b.try_spend(), "two successes buy one retry");
+        // Refill saturates at the cap.
+        for _ in 0..100 {
+            b.on_success();
+        }
+        assert_eq!(b.tokens(), 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-target circuit breakers for the reverse proxy.
+//!
+//! Closed → Open → HalfOpen, driven entirely by an injected millisecond
+//! clock so deterministic simulations can replay transitions. The breaker
+//! is *advisory*: it steers round-robin traffic away from a failing
+//! target, but when every target is disallowed the proxy still forwards
+//! to the original pick (acting as the probe), so a batch is never parked
+//! forever behind an open breaker — the no-acked-loss guarantee does not
+//! depend on breaker state.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Breaker state machine positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic allowed, consecutive failures counted.
+    Closed,
+    /// Tripped: traffic disallowed until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: a limited number of probe requests may pass;
+    /// one success closes the breaker, one failure reopens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    fn from_u8(v: u8) -> BreakerState {
+        match v {
+            0 => BreakerState::Closed,
+            1 => BreakerState::Open,
+            _ => BreakerState::HalfOpen,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// Breaker tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// Cooldown before an Open breaker lets probes through (ms).
+    pub open_cooldown_ms: u64,
+    /// Probes allowed through a HalfOpen breaker at once.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_cooldown_ms: 50,
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// One breaker guarding one forwarding target. Thread-safe; every
+/// transition is CAS-guarded so concurrent workers agree on state.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: AtomicU8,
+    consecutive_failures: AtomicU32,
+    opened_at_ms: AtomicU64,
+    probes_in_flight: AtomicU32,
+    /// Closed→Open transitions since construction (monitoring).
+    trips: AtomicU64,
+    config: BreakerConfig,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tunables.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            state: AtomicU8::new(BreakerState::Closed.as_u8()),
+            consecutive_failures: AtomicU32::new(0),
+            opened_at_ms: AtomicU64::new(0),
+            probes_in_flight: AtomicU32::new(0),
+            trips: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// Current state (transitions Open → HalfOpen lazily on inspection).
+    pub fn state(&self) -> BreakerState {
+        BreakerState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Closed→Open transitions so far.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Whether a request may be sent to this target at `now_ms`. An Open
+    /// breaker flips to HalfOpen once the cooldown elapses; HalfOpen
+    /// admits up to `half_open_probes` concurrent probes.
+    pub fn allow(&self, now_ms: u64) -> bool {
+        match self.state() {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let opened = self.opened_at_ms.load(Ordering::Acquire);
+                if now_ms.saturating_sub(opened) < self.config.open_cooldown_ms {
+                    return false;
+                }
+                // Cooldown over: race to be the half-opener.
+                if self
+                    .state
+                    .compare_exchange(
+                        BreakerState::Open.as_u8(),
+                        BreakerState::HalfOpen.as_u8(),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    self.probes_in_flight.store(0, Ordering::Release);
+                }
+                self.try_probe()
+            }
+            BreakerState::HalfOpen => self.try_probe(),
+        }
+    }
+
+    fn try_probe(&self) -> bool {
+        let mut current = self.probes_in_flight.load(Ordering::Acquire);
+        loop {
+            if current >= self.config.half_open_probes.max(1) {
+                return false;
+            }
+            match self.probes_in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Record a successful forward: closes the breaker from any state and
+    /// resets the failure streak.
+    pub fn on_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Release);
+        self.probes_in_flight.store(0, Ordering::Release);
+        self.state
+            .store(BreakerState::Closed.as_u8(), Ordering::Release);
+    }
+
+    /// Record a failed forward at `now_ms`. A HalfOpen probe failure
+    /// reopens immediately; a Closed streak reaching the threshold trips
+    /// the breaker. Returns `true` when this call moved the breaker into
+    /// Open (a trip or re-open), so callers can count trip events.
+    pub fn on_failure(&self, now_ms: u64) -> bool {
+        match self.state() {
+            BreakerState::HalfOpen => {
+                self.open_at(now_ms);
+                true
+            }
+            BreakerState::Closed => {
+                let streak = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+                if streak >= self.config.failure_threshold.max(1) {
+                    self.open_at(now_ms);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::Open => {
+                // Forward-anyway fallback failed while open: refresh the
+                // cooldown so probes wait for a full quiet period.
+                self.opened_at_ms.store(now_ms, Ordering::Release);
+                false
+            }
+        }
+    }
+
+    fn open_at(&self, now_ms: u64) {
+        self.opened_at_ms.store(now_ms, Ordering::Release);
+        self.consecutive_failures.store(0, Ordering::Release);
+        self.probes_in_flight.store(0, Ordering::Release);
+        let prev = self
+            .state
+            .swap(BreakerState::Open.as_u8(), Ordering::AcqRel);
+        if prev != BreakerState::Open.as_u8() {
+            self.trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown_ms: 100,
+            half_open_probes: 1,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = breaker();
+        assert!(!b.on_failure(0));
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_success(); // streak reset
+        assert!(!b.on_failure(1));
+        assert!(!b.on_failure(2));
+        assert!(b.state() == BreakerState::Closed);
+        assert!(b.on_failure(3), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_blocks_until_cooldown_then_probes() {
+        let b = breaker();
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert!(!b.allow(50), "cooldown not elapsed");
+        assert!(b.allow(150), "first probe allowed after cooldown");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(150), "second concurrent probe blocked");
+    }
+
+    #[test]
+    fn half_open_success_closes_failure_reopens() {
+        let b = breaker();
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert!(b.allow(200));
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Trip again, probe again, fail the probe: reopen immediately.
+        for t in 300..303 {
+            b.on_failure(t);
+        }
+        assert!(b.allow(500));
+        assert!(b.on_failure(500), "probe failure reopens");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(540), "cooldown restarts from the reopen");
+        assert!(b.allow(600));
+    }
+}

@@ -18,16 +18,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
+pub mod breaker;
 pub mod experiment;
 pub mod pipeline;
 pub mod proxy;
 
+pub use backoff::{BackoffPolicy, RetryBudget};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use experiment::{
     fig2_scaling_experiment, linear_fit, proxy_ablation, routing_shares, salting_ablation, Fig2Row,
     IngestReportSummary, ProxyAblationReport, SaltingAblationReport,
 };
 pub use pipeline::{IngestionPipeline, PipelineReport};
 pub use proxy::{
-    choose_target, AlwaysHealthy, HealthFn, ProxyConfig, ProxyError, ProxyMetrics, ReverseProxy,
-    TargetHealth,
+    choose_routable, choose_target, AlwaysHealthy, HealthFn, ProxyClock, ProxyConfig, ProxyError,
+    ProxyMetrics, ProxyOverloadSnapshot, ReverseProxy, TargetHealth,
 };

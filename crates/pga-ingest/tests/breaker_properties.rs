@@ -1,0 +1,174 @@
+//! Property tests for the circuit-breaker state machine.
+//!
+//! Two families:
+//! 1. Model equivalence — the concrete [`CircuitBreaker`] agrees with a
+//!    tiny reference state machine on every reachable transition for
+//!    arbitrary op sequences (allow / success / failure at arbitrary,
+//!    monotone times).
+//! 2. Batch conservation — a virtual-time forwarding loop routed through
+//!    breakers over targets that fail and recover never loses or
+//!    duplicates an acked batch, across open/half-open transitions,
+//!    and always terminates once some target is available again.
+
+use proptest::prelude::*;
+
+use pga_ingest::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use pga_ingest::choose_routable;
+
+const THRESHOLD: u32 = 3;
+const COOLDOWN: u64 = 100;
+
+fn config() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: THRESHOLD,
+        open_cooldown_ms: COOLDOWN,
+        half_open_probes: 1,
+    }
+}
+
+/// Reference model of the documented semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Model {
+    Closed { streak: u32 },
+    Open { since: u64 },
+    HalfOpen { probes: u32 },
+}
+
+impl Model {
+    fn state(&self) -> BreakerState {
+        match self {
+            Model::Closed { .. } => BreakerState::Closed,
+            Model::Open { .. } => BreakerState::Open,
+            Model::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    fn allow(&mut self, now: u64) -> bool {
+        match *self {
+            Model::Closed { .. } => true,
+            Model::Open { since } => {
+                if now.saturating_sub(since) < COOLDOWN {
+                    false
+                } else {
+                    *self = Model::HalfOpen { probes: 1 };
+                    true
+                }
+            }
+            Model::HalfOpen { probes } => {
+                if probes < 1 {
+                    *self = Model::HalfOpen { probes: probes + 1 };
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_success(&mut self) {
+        *self = Model::Closed { streak: 0 };
+    }
+
+    fn on_failure(&mut self, now: u64) {
+        match *self {
+            Model::HalfOpen { .. } => *self = Model::Open { since: now },
+            Model::Closed { streak } => {
+                if streak + 1 >= THRESHOLD {
+                    *self = Model::Open { since: now };
+                } else {
+                    *self = Model::Closed { streak: streak + 1 };
+                }
+            }
+            Model::Open { .. } => *self = Model::Open { since: now },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Allow,
+    Success,
+    Failure,
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Allow),
+        Just(Op::Success),
+        Just(Op::Failure),
+        (1u64..200).prop_map(Op::Advance),
+    ]
+}
+
+proptest! {
+    /// The concrete breaker tracks the reference model exactly: same
+    /// observable state, same allow decisions, for any op sequence.
+    #[test]
+    fn breaker_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let breaker = CircuitBreaker::new(config());
+        let mut model = Model::Closed { streak: 0 };
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Advance(d) => now += d,
+                Op::Allow => {
+                    let got = breaker.allow(now);
+                    let want = model.allow(now);
+                    prop_assert_eq!(got, want, "allow at t={}", now);
+                }
+                Op::Success => {
+                    breaker.on_success();
+                    model.on_success();
+                }
+                Op::Failure => {
+                    breaker.on_failure(now);
+                    model.on_failure(now);
+                }
+            }
+            prop_assert_eq!(breaker.state(), model.state(), "state at t={}", now);
+        }
+    }
+
+    /// Forwarding through breakers never loses or duplicates an acked
+    /// batch: targets fail until scripted recovery times, the router
+    /// consults breaker state each attempt (with the forward-anyway
+    /// fallback when everything is disallowed), and every batch ends
+    /// acked exactly once in bounded virtual time.
+    #[test]
+    fn no_acked_batch_lost_across_transitions(
+        recover_a in 0u64..2_000,
+        recover_b in 0u64..2_000,
+        batches in 1usize..40,
+        step_ms in 1u64..50,
+    ) {
+        let breakers = [CircuitBreaker::new(config()), CircuitBreaker::new(config())];
+        let recover = [recover_a, recover_b];
+        let mut now = 0u64;
+        let mut acked = vec![0u32; batches];
+        let mut rr = 0usize;
+        for acks in acked.iter_mut() {
+            // Liveness bound: a batch must land well before this.
+            let mut spins = 0u32;
+            loop {
+                spins += 1;
+                prop_assert!(spins < 10_000, "batch starved at t={}", now);
+                let pick = rr % 2;
+                rr += 1;
+                let target = choose_routable(pick, 2, |i| breakers[i].allow(now));
+                let up = now >= recover[target];
+                if up {
+                    breakers[target].on_success();
+                    *acks += 1;
+                    break;
+                }
+                breakers[target].on_failure(now);
+                now += step_ms; // virtual backoff
+            }
+        }
+        // Exactly once, none lost.
+        for (i, &a) in acked.iter().enumerate() {
+            prop_assert_eq!(a, 1, "batch {} acked {} times", i, a);
+        }
+    }
+}

@@ -6,7 +6,7 @@ use crate::kv::{KeyValue, RowRange};
 use crate::master::{locate, Directory, Master};
 use crate::region::RegionId;
 use crate::server::{Request, Response};
-use pga_cluster::rpc::{RpcError, RpcHandle};
+use pga_cluster::rpc::{RequestClass, RpcError, RpcHandle};
 use pga_cluster::NodeId;
 
 /// Client-side errors.
@@ -16,8 +16,27 @@ pub enum ClientError {
     NoRegionForRow(Vec<u8>),
     /// RPC to a region server failed.
     Rpc(RpcError),
+    /// Admission control shed the request; retry after the hinted delay.
+    /// The batch is safe to resubmit whole: duplicate cells are idempotent
+    /// (same row/qualifier/timestamp) and readers dedup by timestamp.
+    Busy {
+        /// Suggested minimum backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before the server served it.
+    DeadlineExpired,
     /// Routing kept failing after directory refreshes.
     RetriesExhausted,
+}
+
+impl ClientError {
+    /// Retry hint if this is a `Busy` rejection.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ClientError::Busy { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -25,12 +44,24 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::NoRegionForRow(r) => write!(f, "no region for row {r:?}"),
             ClientError::Rpc(e) => write!(f, "rpc error: {e}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy, retry after {retry_after_ms}ms")
+            }
+            ClientError::DeadlineExpired => write!(f, "deadline expired before service"),
             ClientError::RetriesExhausted => write!(f, "routing retries exhausted"),
         }
     }
 }
 
 impl std::error::Error for ClientError {}
+
+fn map_rpc(e: RpcError) -> ClientError {
+    match e {
+        RpcError::Busy { retry_after_ms } => ClientError::Busy { retry_after_ms },
+        RpcError::DeadlineExpired => ClientError::DeadlineExpired,
+        other => ClientError::Rpc(other),
+    }
+}
 
 /// A MiniBase client bound to one in-process cluster.
 ///
@@ -41,6 +72,17 @@ pub struct Client {
     directory: Directory,
     handles: HashMap<NodeId, RpcHandle<Request, Response>>,
     max_retries: usize,
+}
+
+#[derive(Clone, Copy)]
+enum PutMode {
+    /// Seed semantics: wait for queue space (producer-side backpressure).
+    Blocking,
+    /// Overload-control semantics: typed `Busy` shed + deadline tag.
+    Admitted {
+        /// Absolute server-clock deadline in milliseconds.
+        deadline_ms: Option<u64>,
+    },
 }
 
 impl Client {
@@ -60,8 +102,27 @@ impl Client {
     }
 
     /// Write a batch of cells, routing each to its region. Returns the
-    /// number of cells written.
+    /// number of cells written. Blocking path (seed semantics): a full
+    /// server queue applies backpressure by making this call wait.
     pub fn put(&self, kvs: Vec<KeyValue>) -> Result<usize, ClientError> {
+        self.put_inner(kvs, PutMode::Blocking)
+    }
+
+    /// Admission-controlled write: never blocks on a saturated server.
+    /// Over-watermark queues reject with [`ClientError::Busy`] and an
+    /// optional absolute deadline (server-clock ms) rides with the batch
+    /// so the server drops it as [`ClientError::DeadlineExpired`] instead
+    /// of serving dead work. On `Busy`, resubmit the whole batch: cells
+    /// already written are idempotent and readers dedup by timestamp.
+    pub fn put_admitted(
+        &self,
+        kvs: Vec<KeyValue>,
+        deadline_ms: Option<u64>,
+    ) -> Result<usize, ClientError> {
+        self.put_inner(kvs, PutMode::Admitted { deadline_ms })
+    }
+
+    fn put_inner(&self, kvs: Vec<KeyValue>, mode: PutMode) -> Result<usize, ClientError> {
         let total = kvs.len();
         let mut pending = kvs;
         for _attempt in 0..=self.max_retries {
@@ -81,14 +142,21 @@ impl Client {
                     .handles
                     .get(&node)
                     .ok_or(ClientError::Rpc(RpcError::Stopped))?;
-                match handle.call(Request::Put {
+                let req = Request::Put {
                     region,
                     kvs: batch.clone(),
-                }) {
+                };
+                let sent = match mode {
+                    PutMode::Blocking => handle.call(req),
+                    PutMode::Admitted { deadline_ms } => {
+                        handle.call_with(req, RequestClass::Write, deadline_ms)
+                    }
+                };
+                match sent {
                     Ok(Response::Ok) => {}
                     Ok(Response::WrongRegion) => retry.extend(batch),
                     Ok(_) => return Err(ClientError::Rpc(RpcError::Stopped)),
-                    Err(e) => return Err(ClientError::Rpc(e)),
+                    Err(e) => return Err(map_rpc(e)),
                 }
             }
             pending = retry;
@@ -100,8 +168,27 @@ impl Client {
         }
     }
 
+    /// Admission-controlled scan: sheds with [`ClientError::Busy`] only
+    /// past the *read* watermark — higher than the write watermark, so the
+    /// fleet view outlives ingest under overload.
+    pub fn scan_admitted(
+        &self,
+        range: &RowRange,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<KeyValue>, ClientError> {
+        self.scan_inner(range, Some(deadline_ms))
+    }
+
     /// Scan a row range across every overlapping region, merged in order.
     pub fn scan(&self, range: &RowRange) -> Result<Vec<KeyValue>, ClientError> {
+        self.scan_inner(range, None)
+    }
+
+    fn scan_inner(
+        &self,
+        range: &RowRange,
+        admitted: Option<Option<u64>>,
+    ) -> Result<Vec<KeyValue>, ClientError> {
         let infos: Vec<_> = {
             let dir = self.directory.read();
             dir.iter()
@@ -115,14 +202,19 @@ impl Client {
                 .handles
                 .get(&info.server)
                 .ok_or(ClientError::Rpc(RpcError::Stopped))?;
-            match handle.call(Request::Scan {
+            let req = Request::Scan {
                 region: info.id,
                 range: range.clone(),
-            }) {
+            };
+            let sent = match admitted {
+                None => handle.call(req),
+                Some(deadline_ms) => handle.call_with(req, RequestClass::Read, deadline_ms),
+            };
+            match sent {
                 Ok(Response::Cells(cells)) => out.extend(cells),
                 Ok(Response::WrongRegion) => {} // split raced us; daughters cover it
                 Ok(_) => return Err(ClientError::Rpc(RpcError::Stopped)),
-                Err(e) => return Err(ClientError::Rpc(e)),
+                Err(e) => return Err(map_rpc(e)),
             }
         }
         out.sort();

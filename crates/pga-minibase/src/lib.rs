@@ -49,6 +49,6 @@ pub use master::{Master, RegionInfo, TableDescriptor};
 pub use memstore::MemStore;
 pub use region::{Region, RegionConfig, RegionId};
 pub use scanner::merge_scan;
-pub use server::{RegionServer, Request, Response, ServerConfig};
+pub use server::{request_class, RegionServer, Request, Response, ServerConfig};
 pub use storefile::StoreFile;
 pub use wal::{WalDecodeReport, WriteAheadLog};

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use pga_cluster::rpc::{RpcHandle, RpcServerBuilder, ServerRunner};
+use pga_cluster::rpc::{AdmissionConfig, RequestClass, RpcHandle, RpcServerBuilder, ServerRunner};
 use pga_cluster::NodeId;
 
 use crate::kv::{KeyValue, RowRange};
@@ -24,6 +24,11 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Overload strikes before the server crashes (u64::MAX = never).
     pub crash_after_overloads: u64,
+    /// Watermark admission policy for admission-controlled callers
+    /// ([`RpcHandle::call_with`]). Disabled by default (seed behavior);
+    /// overload-aware deployments enable it so producers get typed
+    /// `Busy{retry_after}` rejections instead of blocking forever.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -31,7 +36,20 @@ impl Default for ServerConfig {
         ServerConfig {
             queue_capacity: 1024,
             crash_after_overloads: u64::MAX,
+            admission: AdmissionConfig::disabled(),
         }
+    }
+}
+
+/// Admission class of a request: puts/flushes/compactions degrade first
+/// (the proxy retries them losslessly); scans and metrics reads keep the
+/// fleet view alive until the critical watermark.
+pub fn request_class(req: &Request) -> RequestClass {
+    match req {
+        Request::Put { .. } | Request::Flush { .. } | Request::Compact { .. } => {
+            RequestClass::Write
+        }
+        Request::Scan { .. } | Request::Metrics => RequestClass::Read,
     }
 }
 
@@ -96,6 +114,7 @@ impl RegionServer {
         let (handle, runner) = RpcServerBuilder::new(format!("rs-{}", node.0))
             .queue_capacity(config.queue_capacity)
             .crash_after_overloads(config.crash_after_overloads)
+            .admission(config.admission)
             .spawn(move |req: Request| handle_request(&serving, req));
         RegionServer {
             node,

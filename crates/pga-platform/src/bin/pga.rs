@@ -60,6 +60,10 @@ fn usage() -> ! {
                       live storage stack (see DESIGN.md, Fault model)\n\
                       (--seeds N [--start-seed N] | --seed N\n\
                        [--schedule 12:crash:1,30:tear:0,...])\n\
+           overload   storm showdown: the overload-controlled stack vs\n\
+                      both seed stacks at Nx calibrated capacity with one\n\
+                      slow server, plus a live-stack storm campaign\n\
+                      (--nodes N --factor F --secs S --storm-seeds N)\n\
          \n\
          experiment reproduction lives in the bench crate:\n\
            cargo run --release -p pga-bench --bin report_all"
@@ -436,6 +440,84 @@ fn cmd_crashtest(map: &HashMap<String, String>) {
     }
 }
 
+/// Reproduce the E18 overload showdown: the full overload-control stack
+/// and both seed stacks under a storm at `--factor` times calibrated
+/// capacity with one slow server, followed by a deterministic storm
+/// campaign against the live storage stack. Exits non-zero when the
+/// goodput floor, conservation ledger, or any storm oracle fails.
+fn cmd_overload(map: &HashMap<String, String>) {
+    use pga_cluster::{simulate_overload, OverloadConfig, OverloadMode, OverloadReport};
+    use pga_faultsim::{run_storm_campaign, CampaignConfig};
+
+    let nodes = get(map, "nodes", 5usize).max(2);
+    let factor = get(map, "factor", 3.0f64).max(1.0);
+    let secs = get(map, "secs", 30.0f64).max(1.0);
+    let storm_seeds = get(map, "storm-seeds", 16u64).max(1);
+
+    let run = |mode: OverloadMode| -> OverloadReport {
+        let mut cfg = OverloadConfig::e18(nodes, mode);
+        cfg.overload_factor = factor;
+        cfg.storm_secs = secs;
+        simulate_overload(&cfg)
+    };
+    let controlled = run(OverloadMode::Controlled);
+    let buffered = run(OverloadMode::SeedBuffered);
+    let direct = run(OverloadMode::SeedDirect);
+
+    println!(
+        "storm: {factor:.1}x calibrated capacity for {secs:.0}s over {nodes} nodes, node 0 slow"
+    );
+    let show = |label: &str, r: &OverloadReport| {
+        println!(
+            "  {label:<12} goodput {:>5.1}%  p99 {:>8.2}s  busy {:>9.0}  expired {:>8.0}  \
+             silent loss {:>9.0}  crashes {}",
+            r.goodput_fraction * 100.0,
+            r.p99_latency_secs,
+            r.busy_rejected,
+            r.deadline_expired,
+            r.dropped + r.lost_in_queue,
+            r.crashes
+        );
+    };
+    show("controlled", &controlled);
+    show("seed-buffer", &buffered);
+    show("seed-direct", &direct);
+
+    println!("storm campaign: {storm_seeds} seeds against the live storage stack…");
+    let campaign = run_storm_campaign(&CampaignConfig {
+        seeds: storm_seeds,
+        ..CampaignConfig::default()
+    });
+    println!(
+        "  {} storms, {} slow-server windows, {} Busy rejections, {}/{} batches acked",
+        campaign.totals.storms,
+        campaign.totals.slow_faults,
+        campaign.totals.busy_rejections,
+        campaign.totals.batches_acked,
+        campaign.totals.batches_generated
+    );
+    let held = controlled.goodput_fraction >= 0.8
+        && controlled.conserves_samples()
+        && controlled.dropped == 0.0
+        && controlled.lost_in_queue == 0.0
+        && campaign.passed();
+    if held {
+        println!(
+            "overload control held: goodput >= 80% of calibrated capacity, \
+             every sample delivered or typed-rejected, no silent loss"
+        );
+    } else {
+        for case in &campaign.failures {
+            println!("  seed {} FAILED: {}", case.seed, case.replay);
+        }
+        println!(
+            "OVERLOAD VERDICT FAILED (controlled goodput {:.1}%)",
+            controlled.goodput_fraction * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -451,6 +533,7 @@ fn main() {
         "import" => cmd_import(&map),
         "elastic" => cmd_elastic(&map),
         "crashtest" => cmd_crashtest(&map),
+        "overload" => cmd_overload(&map),
         _ => usage(),
     }
 }

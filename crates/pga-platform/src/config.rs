@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use pga_control::HysteresisConfig;
+use pga_detect::BrownoutConfig;
 use pga_sensorgen::FleetConfig;
 use pga_stats::Procedure;
 
@@ -31,6 +32,10 @@ pub struct PlatformConfig {
     /// in older configs, so it defaults.
     #[serde(default)]
     pub scaling: HysteresisConfig,
+    /// Brownout gate for online evaluation under ingest overload
+    /// (pga-detect). Absent in pre-overload configs, so it defaults.
+    #[serde(default)]
+    pub brownout: BrownoutConfig,
 }
 
 impl PlatformConfig {
@@ -53,6 +58,7 @@ impl PlatformConfig {
             procedure: Procedure::BenjaminiHochberg,
             workers: 4,
             scaling: HysteresisConfig::default(),
+            brownout: BrownoutConfig::default(),
         }
     }
 
@@ -96,6 +102,7 @@ impl PlatformConfig {
         if s.scale_out_step == 0 || s.scale_in_step == 0 {
             return Err("scaling steps must be positive".into());
         }
+        self.brownout.validate()?;
         Ok(())
     }
 }
@@ -131,6 +138,10 @@ mod tests {
         c.scaling.min_nodes = 10;
         c.scaling.max_nodes = 2;
         assert!(c.validate().is_err());
+
+        let mut c = PlatformConfig::demo(1);
+        c.brownout.exit_pressure = c.brownout.enter_pressure + 0.1;
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -148,6 +159,24 @@ mod tests {
         let back: PlatformConfig =
             serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
         assert_eq!(back.scaling, HysteresisConfig::default());
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn configs_without_brownout_section_still_parse() {
+        // A config serialized before overload control existed.
+        let serde_json::Value::Object(obj) = serde_json::to_value(&PlatformConfig::demo(3)) else {
+            panic!("config must serialize to an object");
+        };
+        let mut pruned = serde_json::Map::new();
+        for (k, val) in obj.iter() {
+            if k != "brownout" {
+                pruned.insert(k.clone(), val.clone());
+            }
+        }
+        let back: PlatformConfig =
+            serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
+        assert_eq!(back.brownout, BrownoutConfig::default());
         assert!(back.validate().is_ok());
     }
 

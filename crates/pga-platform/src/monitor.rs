@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use pga_dataflow::Dataflow;
-use pga_detect::{train_unit, EvalOutcome, OnlineEvaluator, UnitModel};
+use pga_detect::{train_unit, BrownoutGate, EvalMode, EvalOutcome, OnlineEvaluator, UnitModel};
 use pga_ingest::{IngestionPipeline, PipelineReport};
 use pga_linalg::Matrix;
 use pga_sensorgen::Fleet;
@@ -80,6 +80,7 @@ pub struct Monitor {
     evaluators: Vec<OnlineEvaluator>,
     anomalies: Vec<AnomalyRecord>,
     last_ingest: Option<PipelineReport>,
+    brownout: BrownoutGate,
 }
 
 impl Monitor {
@@ -89,6 +90,7 @@ impl Monitor {
         let fleet = Fleet::new(config.fleet.clone());
         let pipeline =
             IngestionPipeline::new(config.storage_nodes, config.tsd_count, config.batch_size);
+        let brownout = BrownoutGate::new(config.brownout);
         Ok(Monitor {
             config,
             fleet,
@@ -96,6 +98,7 @@ impl Monitor {
             evaluators: Vec::new(),
             anomalies: Vec::new(),
             last_ingest: None,
+            brownout,
         })
     }
 
@@ -220,20 +223,40 @@ impl Monitor {
         !self.evaluators.is_empty()
     }
 
+    /// Feed the brownout gate the current ingest-overload pressure
+    /// (0..=1) — typically [`pga_control`]'s `FleetSnapshot::ingest_pressure`
+    /// or a proxy buffer-utilization reading. Returns the evaluation
+    /// fidelity subsequent [`Monitor::evaluate_at`] calls will use.
+    pub fn observe_pressure(&mut self, pressure: f64) -> EvalMode {
+        self.brownout.observe(pressure)
+    }
+
+    /// Current evaluation fidelity chosen by the brownout gate.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.brownout.mode()
+    }
+
     /// Evaluate every unit's window ending at `t_end` against its model.
     /// Detected anomalies are recorded and written back to the TSDB under
-    /// the `anomaly` metric.
+    /// the `anomaly` metric. Under brownout (see
+    /// [`Monitor::observe_pressure`]) evaluation runs on the sampled
+    /// sensor subset and outcomes are flagged degraded.
     pub fn evaluate_at(&mut self, t_end: u64) -> Result<Vec<EvalOutcome>, MonitorError> {
         if self.evaluators.is_empty() {
             return Err(MonitorError::NotTrained);
         }
         let len = self.config.eval_window;
         let period = self.config.fleet.sample_period_secs;
+        let mode = self.brownout.mode();
+        let stride = self.brownout.stride();
         let mut outcomes = Vec::with_capacity(self.evaluators.len());
         for ev in &self.evaluators {
             let unit = ev.model().unit;
             let w = self.window_from_store(unit, t_end, len)?;
-            let out = ev.evaluate(&w);
+            let out = match mode {
+                EvalMode::Full => ev.evaluate(&w),
+                EvalMode::Degraded => ev.evaluate_sampled(&w, stride),
+            };
             for flag in &out.flags {
                 self.anomalies.push(AnomalyRecord {
                     unit,
@@ -436,5 +459,35 @@ mod tests {
         let mut c = PlatformConfig::demo(1);
         c.tsd_count = 0;
         assert!(matches!(Monitor::new(c), Err(MonitorError::Config(_))));
+    }
+
+    #[test]
+    fn brownout_degrades_evaluation_and_recovers() {
+        let mut config = PlatformConfig::demo(11);
+        config.fleet.units = 2;
+        config.fleet.sensors_per_unit = 16;
+        let p = config.fleet.sensors_per_unit as usize;
+        let stride = config.brownout.stride;
+        let mut m = Monitor::new(config).unwrap();
+        m.ingest_range(0, 210);
+        m.train(149).unwrap();
+
+        // Overload pressure above the enter mark: degraded, sampled subset.
+        assert_eq!(m.observe_pressure(0.9), EvalMode::Degraded);
+        let degraded = m.evaluate_at(205).unwrap();
+        for out in &degraded {
+            assert!(out.degraded);
+            assert_eq!(out.sensors_evaluated, (0..p).step_by(stride).count() as u64);
+            assert_eq!(out.p_values.len(), p, "full width, unsampled p = 1");
+        }
+
+        // Pressure back below the exit mark: full fidelity again.
+        assert_eq!(m.observe_pressure(0.2), EvalMode::Full);
+        let full = m.evaluate_at(208).unwrap();
+        for out in &full {
+            assert!(!out.degraded);
+            assert_eq!(out.sensors_evaluated, p as u64);
+        }
+        m.shutdown();
     }
 }

@@ -83,7 +83,25 @@ impl std::fmt::Display for TsdError {
     }
 }
 
-impl std::error::Error for TsdError {}
+impl TsdError {
+    /// `true` when the storage layer shed the request with a typed `Busy`
+    /// (admission control) — safe to retry after the hinted delay.
+    pub fn is_busy(&self) -> bool {
+        self.retry_after_ms().is_some()
+    }
+
+    /// Retry hint carried by a `Busy` rejection, if any.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            TsdError::Storage(e) => e.retry_after_ms(),
+        }
+    }
+
+    /// `true` when the request's deadline expired before service.
+    pub fn is_deadline_expired(&self) -> bool {
+        matches!(self, TsdError::Storage(ClientError::DeadlineExpired))
+    }
+}
 
 impl From<ClientError> for TsdError {
     fn from(e: ClientError) -> Self {
@@ -139,6 +157,29 @@ impl Tsd {
     /// per region (OpenTSDB's batched `put`). Each element is
     /// `(tags, timestamp, value)`.
     pub fn put_batch(&self, metric: &str, points: &[BatchPoint<'_>]) -> Result<(), TsdError> {
+        self.put_batch_inner(metric, points, None)
+    }
+
+    /// Admission-controlled batched put: the storage layer sheds with a
+    /// typed `Busy` instead of blocking, and an optional absolute deadline
+    /// (server-clock ms) rides with the batch so servers drop expired work
+    /// rather than serving it. Duplicate resubmission after `Busy` is safe:
+    /// the read path dedups by timestamp.
+    pub fn put_batch_admitted(
+        &self,
+        metric: &str,
+        points: &[BatchPoint<'_>],
+        deadline_ms: Option<u64>,
+    ) -> Result<(), TsdError> {
+        self.put_batch_inner(metric, points, Some(deadline_ms))
+    }
+
+    fn put_batch_inner(
+        &self,
+        metric: &str,
+        points: &[BatchPoint<'_>],
+        admitted: Option<Option<u64>>,
+    ) -> Result<(), TsdError> {
         if points.is_empty() {
             return Ok(());
         }
@@ -156,7 +197,10 @@ impl Tsd {
             ));
         }
         let n = kvs.len() as u64;
-        self.client.put(kvs)?;
+        match admitted {
+            None => self.client.put(kvs)?,
+            Some(deadline_ms) => self.client.put_admitted(kvs, deadline_ms)?,
+        };
         self.metrics.put_rpcs.fetch_add(1, Ordering::Relaxed);
         self.metrics.points_written.fetch_add(n, Ordering::Relaxed);
         Ok(())
