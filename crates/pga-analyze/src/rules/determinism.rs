@@ -1,6 +1,7 @@
 //! R1 `determinism`: the deterministic-replay surface (the elastic
-//! simulator, the cluster simulator, the sensor generator, and the whole
-//! fault-injection harness) must never read ambient time or entropy.
+//! simulator, the cluster simulator, the sensor generator, the serving
+//! query engine, and the whole fault-injection harness) must never read
+//! ambient time or entropy.
 //! Replays diverge silently otherwise — the exact failure class the
 //! elastic experiments and `pga crashtest --seed N` reproducers depend
 //! on not having.
@@ -18,6 +19,9 @@ fn in_scope(f: &SourceFile) -> bool {
     match f.krate.as_str() {
         "pga-sensorgen" => true,
         "pga-faultsim" => true,
+        // The serving engine injects its clock (`ClockMs`) so cache TTLs
+        // and shard deadlines replay; ambient time would undo that.
+        "pga-query" => true,
         "pga-cluster" => top == Some("sim"),
         "pga-control" => top == Some("elastic"),
         _ => false,

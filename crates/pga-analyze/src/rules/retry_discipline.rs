@@ -16,6 +16,7 @@ const SCOPE: &[(&str, &[&str])] = &[
     ("pga-minibase", &["server", "region", "master"]),
     ("pga-tsdb", &["api", "tsd"]),
     ("pga-cluster", &["rpc"]),
+    ("pga-query", &[]),
 ];
 
 fn in_scope(f: &SourceFile) -> bool {

@@ -491,6 +491,60 @@ fn main() {
         pga_bench::GOODPUT_FLOOR * 100.0);
     save("e18_overload", &overload);
 
+    // ---------------------------------------------------------------- E19
+    println!("== E19: serving-layer queries — raw scans vs rollups vs result cache ==");
+    let qcfg = if quick {
+        pga_bench::QueryBenchConfig::quick()
+    } else {
+        pga_bench::QueryBenchConfig::full()
+    };
+    let queries = pga_bench::query_serving_experiment(&qcfg);
+    let qarm = |a: &pga_bench::QueryArm| {
+        vec![
+            a.label.clone(),
+            format!("{:.2}", a.p50_ms),
+            format!("{:.2}", a.p99_ms),
+            format!("{:.0}", a.sustained_qps),
+            a.rollup_plans.to_string(),
+            a.cache_hits.to_string(),
+            a.partials.to_string(),
+        ]
+    };
+    let rows = vec![
+        [
+            "arm",
+            "p50 (ms)",
+            "p99 (ms)",
+            "QPS",
+            "rollup plans",
+            "cache hits",
+            "partials",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        qarm(&queries.raw),
+        qarm(&queries.rollup),
+        qarm(&queries.cached),
+    ];
+    println!("{}", render_table(&rows));
+    println!(
+        "concurrent ingest: {} samples at {:.0} samples/s; speedups vs raw: rollup {:.1}x QPS, rollup+cache {:.1}x QPS / {:.1}x p99",
+        queries.ingest_samples,
+        queries.ingest_throughput,
+        queries.qps_speedup_rollup,
+        queries.qps_speedup_cached,
+        queries.p99_speedup_cached
+    );
+    println!(
+        "oracles: {} answer mismatches, {} stale anomaly flags — verdict {}",
+        queries.answer_mismatches,
+        queries.stale_anomaly_flags,
+        if queries.passed() { "held" } else { "FAILED" }
+    );
+    println!("paper §V: dashboards need interactive latency over months of retained data; write-time rollups plus an invalidated result cache serve repeated panel refreshes without rescanning raw cells.");
+    save("BENCH_queries", &queries);
+
     // ------------------------------------------------- real pipeline sanity
     println!("== real thread-scale pipeline (storage stack on this host) ==");
     let pipe = pipeline_throughput_experiment(4, if quick { 20 } else { 100 }, 17);

@@ -12,6 +12,7 @@ pub mod elastic;
 pub mod experiments;
 pub mod faults;
 pub mod overload;
+pub mod queries;
 pub mod table;
 
 pub use elastic::{elastic_scaling_experiment, ElasticScalingReport, ElasticScenarioRow};
@@ -25,4 +26,5 @@ pub use experiments::{
 };
 pub use faults::{fault_durability_experiment, FaultDurabilityReport};
 pub use overload::{overload_storm_experiment, OverloadStormReport, GOODPUT_FLOOR};
+pub use queries::{query_serving_experiment, QueryArm, QueryBenchConfig, QueryServingReport};
 pub use table::render_table;

@@ -114,6 +114,12 @@ impl<P: ScalingPolicy> ElasticController<P> {
             breaker_trips: 0,
             ingest_buffer_depth: 0,
             ingest_buffer_capacity: 0,
+            // Region servers run no serving-layer engine; TSD-side
+            // registries publish the query counters.
+            query_cache_hits: 0,
+            query_cache_misses: 0,
+            query_fanout: 0,
+            query_partials: 0,
         })
     }
 
@@ -339,6 +345,10 @@ mod tests {
             breaker_trips: 1,
             ingest_buffer_depth: 80,
             ingest_buffer_capacity: 100,
+            query_cache_hits: 0,
+            query_cache_misses: 0,
+            query_fanout: 0,
+            query_partials: 0,
         };
         ctl.report_ingest(proxy.clone());
         let r = ctl.step(&mut master, 1000);

@@ -138,6 +138,15 @@ pub struct MetricsRegistry {
     pub ingest_buffer_depth: AtomicU64,
     /// Gauge: ingest proxy buffer capacity.
     pub ingest_buffer_capacity: AtomicU64,
+    /// Gauge: serving-layer result-cache hits (cumulative; mirrored from
+    /// the query engine's counters at publish time).
+    pub query_cache_hits: AtomicU64,
+    /// Gauge: serving-layer result-cache misses.
+    pub query_cache_misses: AtomicU64,
+    /// Gauge: serving-layer scatter-gather shard scans fanned out.
+    pub query_fanout: AtomicU64,
+    /// Gauge: serving-layer queries answered with partial results.
+    pub query_partials: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -146,6 +155,18 @@ impl MetricsRegistry {
         let r = MetricsRegistry::default();
         r.queue_capacity.store(queue_capacity, Ordering::Relaxed);
         r
+    }
+
+    /// Mirror the serving layer's cumulative query counters into this
+    /// registry so the next published [`NodeStats`] carries them. The
+    /// engine owns the counters; telemetry only reflects the latest
+    /// totals, so these are gauges despite being monotonic at the source.
+    pub fn record_query_serving(&self, hits: u64, misses: u64, fanout: u64, partials: u64) {
+        // pga-allow(relaxed-atomics): independent gauges; scrape tolerates inter-field skew
+        self.query_cache_hits.store(hits, Ordering::Relaxed);
+        self.query_cache_misses.store(misses, Ordering::Relaxed);
+        self.query_fanout.store(fanout, Ordering::Relaxed);
+        self.query_partials.store(partials, Ordering::Relaxed);
     }
 
     /// Snapshot the registry into the serializable wire form.
@@ -177,6 +198,10 @@ impl MetricsRegistry {
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             ingest_buffer_depth: self.ingest_buffer_depth.load(Ordering::Relaxed),
             ingest_buffer_capacity: self.ingest_buffer_capacity.load(Ordering::Relaxed),
+            query_cache_hits: self.query_cache_hits.load(Ordering::Relaxed),
+            query_cache_misses: self.query_cache_misses.load(Ordering::Relaxed),
+            query_fanout: self.query_fanout.load(Ordering::Relaxed),
+            query_partials: self.query_partials.load(Ordering::Relaxed),
         }
     }
 }
@@ -229,6 +254,21 @@ pub struct NodeStats {
     /// Ingest proxy buffer capacity.
     #[serde(default)]
     pub ingest_buffer_capacity: u64,
+    /// Cumulative serving-layer result-cache hits. Defaults (with the
+    /// three fields below) keep pre-serving snapshots parseable: an old
+    /// publisher simply reports no query-serving activity.
+    #[serde(default)]
+    pub query_cache_hits: u64,
+    /// Cumulative serving-layer result-cache misses.
+    #[serde(default)]
+    pub query_cache_misses: u64,
+    /// Cumulative scatter-gather shard scans fanned out by the serving
+    /// layer.
+    #[serde(default)]
+    pub query_fanout: u64,
+    /// Cumulative queries answered with partial results.
+    #[serde(default)]
+    pub query_partials: u64,
 }
 
 impl NodeStats {
@@ -253,6 +293,16 @@ impl NodeStats {
     /// Total RPCs this node shed under admission control.
     pub fn total_sheds(&self) -> u64 {
         self.shed_writes + self.shed_reads
+    }
+
+    /// Serving-layer cache hit ratio in `[0, 1]` (0 before any query).
+    pub fn query_cache_hit_ratio(&self) -> f64 {
+        let total = self.query_cache_hits + self.query_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.query_cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -362,6 +412,29 @@ impl FleetSnapshot {
     pub fn total_breaker_trips(&self) -> u64 {
         self.nodes.iter().map(|n| n.breaker_trips).sum()
     }
+
+    /// Fleet-wide serving-layer cache hit ratio in `[0, 1]` (0 before
+    /// any query anywhere).
+    pub fn query_cache_hit_ratio(&self) -> f64 {
+        let hits: u64 = self.nodes.iter().map(|n| n.query_cache_hits).sum();
+        let misses: u64 = self.nodes.iter().map(|n| n.query_cache_misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Cumulative scatter-gather fan-out across the fleet's serving
+    /// layer.
+    pub fn total_query_fanout(&self) -> u64 {
+        self.nodes.iter().map(|n| n.query_fanout).sum()
+    }
+
+    /// Cumulative partial-result queries across the fleet.
+    pub fn total_query_partials(&self) -> u64 {
+        self.nodes.iter().map(|n| n.query_partials).sum()
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +461,10 @@ mod tests {
             breaker_trips: 0,
             ingest_buffer_depth: 0,
             ingest_buffer_capacity: 0,
+            query_cache_hits: 0,
+            query_cache_misses: 0,
+            query_fanout: 0,
+            query_partials: 0,
         }
     }
 
@@ -528,6 +605,39 @@ mod tests {
         assert!(!s.is_proxy);
         assert_eq!(s.total_sheds(), 0);
         assert_eq!(s.ingest_buffer_utilization(), 0.0);
+        // Pre-serving snapshots report no query activity either.
+        assert_eq!(s.query_cache_hits + s.query_cache_misses, 0);
+        assert_eq!(s.query_cache_hit_ratio(), 0.0);
+        assert_eq!(s.query_fanout, 0);
+    }
+
+    #[test]
+    fn query_serving_telemetry_flows_registry_to_fleet() {
+        let reg = MetricsRegistry::new(64);
+        reg.record_query_serving(30, 10, 160, 2);
+        let snap = reg.snapshot(4, 7);
+        assert_eq!(snap.query_cache_hits, 30);
+        assert_eq!(snap.query_cache_misses, 10);
+        assert!((snap.query_cache_hit_ratio() - 0.75).abs() < 1e-9);
+        // Re-publishing newer engine totals overwrites the gauges.
+        reg.record_query_serving(60, 20, 320, 2);
+        let snap2 = reg.snapshot(4, 8);
+        assert_eq!(snap2.query_fanout, 320);
+
+        let mut other = stats(5, 0, 64);
+        other.query_cache_hits = 20;
+        other.query_cache_misses = 20;
+        other.query_fanout = 80;
+        other.query_partials = 1;
+        let fleet = FleetSnapshot {
+            nodes: vec![snap2, other],
+        };
+        // (60 + 20) hits over (80 + 40) lookups.
+        assert!((fleet.query_cache_hit_ratio() - 80.0 / 120.0).abs() < 1e-9);
+        assert_eq!(fleet.total_query_fanout(), 400);
+        assert_eq!(fleet.total_query_partials(), 3);
+        // A fleet that never queried reports ratio 0, not NaN.
+        assert_eq!(FleetSnapshot { nodes: vec![] }.query_cache_hit_ratio(), 0.0);
     }
 
     #[test]

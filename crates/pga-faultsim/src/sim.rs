@@ -35,7 +35,10 @@ use serde::Serialize;
 use pga_cluster::coordinator::Coordinator;
 use pga_cluster::NodeId;
 use pga_ingest::{choose_target, HealthFn};
-use pga_minibase::{Client, FaultHandle, Master, RegionConfig, ServerConfig, TableDescriptor};
+use pga_minibase::{
+    Client, FaultHandle, Master, RegionConfig, RowRange, ServerConfig, TableDescriptor,
+};
+use pga_query::rollup::{self, RollupCell, RollupWriter};
 use pga_stats::distributions::normal_cdf;
 use pga_stats::multiple::Procedure;
 use pga_tsdb::{BatchPoint, KeyCodec, KeyCodecConfig, QueryFilter, Tsd, TsdConfig, UidTable};
@@ -45,6 +48,12 @@ use crate::schedule::{format_schedule, FaultOp, ScheduledFault};
 
 /// Stream separator for the workload RNG.
 pub const WORKLOAD_STREAM: u64 = 0x17f2_9c8b_e5d0_4a31;
+
+/// Rollup tier installed on every simulated daemon when
+/// [`SimConfig::rollups`] is on. One short tier keeps buckets sealing
+/// every minute of workload time, so crash schedules reliably catch
+/// sealed cells mid-flight.
+pub const ROLLUP_TIER: u64 = 60;
 
 /// Simulation shape. The defaults run one seed in well under a second.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +78,11 @@ pub struct SimConfig {
     /// failed attempt advances simulated time one step so leases can
     /// expire and recovery can run.
     pub max_write_attempts: usize,
+    /// Install write-time rollup maintenance (one [`ROLLUP_TIER`]-second
+    /// tier per daemon) and run the rollup durability oracle after the
+    /// drain: persisted rollup cells must survive crashes and agree with
+    /// the acked raw history.
+    pub rollups: bool,
 }
 
 impl Default for SimConfig {
@@ -83,6 +97,7 @@ impl Default for SimConfig {
             lease_ms: 10_000,
             step_ms: 1_000,
             max_write_attempts: 40,
+            rollups: true,
         }
     }
 }
@@ -135,6 +150,15 @@ pub enum Violation {
         /// Flag diff summary.
         detail: String,
     },
+    /// A rollup shadow cell that survived recovery diverged from the
+    /// acked raw history: corruption, a phantom second, or an aggregate
+    /// that no acked data can explain.
+    RollupInconsistent {
+        /// `unit/sensor` series label (`rollup` for undecodable cells).
+        series: String,
+        /// What was expected vs observed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -160,6 +184,9 @@ impl fmt::Display for Violation {
             }
             Violation::DetectionDiverged { detail } => {
                 write!(f, "detection-diverged: {detail}")
+            }
+            Violation::RollupInconsistent { series, detail } => {
+                write!(f, "rollup-inconsistent [{series}]: {detail}")
             }
         }
     }
@@ -203,6 +230,10 @@ pub struct SimStats {
     pub slow_faults: u64,
     /// Synthetic `Busy` rejections served by slow nodes.
     pub busy_rejections: u64,
+    /// Rollup cells scanned and verified after the drain.
+    pub rollup_cells: u64,
+    /// Seconds of coverage claimed by those cells' presence bitmaps.
+    pub rollup_seconds: u64,
 }
 
 impl SimStats {
@@ -225,6 +256,8 @@ impl SimStats {
         self.storms += other.storms;
         self.slow_faults += other.slow_faults;
         self.busy_rejections += other.busy_rejections;
+        self.rollup_cells += other.rollup_cells;
+        self.rollup_seconds += other.rollup_seconds;
     }
 
     /// Total faults injected (any kind).
@@ -321,7 +354,7 @@ impl<'a> Driver<'a> {
             split_points: codec.split_points(),
             region_config: RegionConfig::default(),
         });
-        let tsds = (0..config.nodes)
+        let tsds: Vec<Arc<Tsd>> = (0..config.nodes)
             .map(|_| {
                 Arc::new(Tsd::new(
                     codec.clone(),
@@ -330,6 +363,18 @@ impl<'a> Driver<'a> {
                 ))
             })
             .collect();
+        if config.rollups {
+            // Every daemon maintains the serving-layer pre-aggregates on
+            // its own put path, exactly like production: distinct writer
+            // ids keep concurrently sealed cells distinguishable at read.
+            for (i, tsd) in tsds.iter().enumerate() {
+                tsd.set_observer(Arc::new(RollupWriter::new(
+                    codec.clone(),
+                    vec![ROLLUP_TIER],
+                    i as u8,
+                )));
+            }
+        }
         Driver {
             config,
             plane,
@@ -787,6 +832,134 @@ impl<'a> Driver<'a> {
         }
         ok.then_some(stored_all)
     }
+
+    /// Post-drain rollup durability oracle. Seals the surviving writers'
+    /// open buckets, scans the tier shadow metric through a healthy
+    /// daemon, and checks every cell against the acked raw history. A
+    /// crash may lose a daemon's *open* accumulators — rollups are
+    /// derived data and the raw path stays authoritative — but a cell
+    /// that was persisted must come back after WAL recovery and region
+    /// reassignment, decode, agree with its own presence bitmap, and
+    /// aggregate exactly the acked values it claims to cover.
+    fn rollup_checks(&mut self) {
+        let mut flush_failures = Vec::new();
+        for (i, tsd) in self.tsds.iter().enumerate() {
+            if self.crashed.contains(&(i as u32)) {
+                continue;
+            }
+            if let Err(e) = tsd.flush_observer() {
+                flush_failures.push(format!("rollup flush on node {i} failed ({e})"));
+            }
+        }
+        let now = self.now_ms;
+        for msg in flush_failures {
+            self.log(format!("t={now} {msg}"));
+        }
+        let Some(tsd) = self.healthy_tsd().cloned() else {
+            return;
+        };
+        let codec = tsd.codec().clone();
+        let shadow = rollup::tier_metric(ROLLUP_TIER, "energy");
+        let mut cells = Vec::new();
+        for salt in codec.salt_range() {
+            let (s, e) = codec.scan_range(salt, &shadow, 0, self.next_ts + ROLLUP_TIER);
+            if s.is_empty() && e.is_empty() {
+                // The tier metric was never interned: no cell ever sealed.
+                return;
+            }
+            match tsd.client().scan(&RowRange::new(s, e)) {
+                Ok(mut kvs) => cells.append(&mut kvs),
+                Err(e) => {
+                    self.violations.push(Violation::QueryFailed {
+                        series: "rollup".into(),
+                        detail: format!("rollup scan salt {salt}: {e}"),
+                    });
+                    return;
+                }
+            }
+        }
+        // Newest version of each (row, qualifier) wins, like the read path.
+        cells.sort();
+        cells.dedup_by(|a, b| a.row == b.row && a.qualifier == b.qualifier);
+        for kv in &cells {
+            match rollup::decode_cell(&codec, ROLLUP_TIER, kv) {
+                Some(cell) => {
+                    self.stats.rollup_cells += 1;
+                    self.check_rollup_cell(&cell);
+                }
+                None => self.violations.push(Violation::RollupInconsistent {
+                    series: "rollup".into(),
+                    detail: "undecodable rollup cell survived recovery".into(),
+                }),
+            }
+        }
+    }
+
+    /// One cell of the rollup oracle: bitmap coverage must equal the
+    /// count, and for untainted series every claimed second must map to
+    /// an acked sample whose values reproduce the cell's aggregates.
+    fn check_rollup_cell(&mut self, cell: &RollupCell) {
+        let tag = |k: &str| {
+            cell.tags
+                .iter()
+                .find(|(a, _)| a == k)
+                .and_then(|(_, v)| v.parse::<u32>().ok())
+        };
+        let (Some(unit), Some(sensor)) = (tag("unit"), tag("sensor")) else {
+            self.violations.push(Violation::RollupInconsistent {
+                series: "rollup".into(),
+                detail: format!("cell with foreign tags {:?}", cell.tags),
+            });
+            return;
+        };
+        let key = (unit, sensor);
+        let label = series_label(key);
+        let seconds: Vec<u64> = (0..ROLLUP_TIER)
+            .filter(|s| cell.bitmap[(s / 8) as usize] & (1 << (s % 8)) != 0)
+            .map(|s| cell.bucket + s)
+            .collect();
+        self.stats.rollup_seconds += seconds.len() as u64;
+        if seconds.len() as u64 != cell.count {
+            self.violations.push(Violation::RollupInconsistent {
+                series: label,
+                detail: format!("count {} != bitmap coverage {}", cell.count, seconds.len()),
+            });
+            return;
+        }
+        if seconds.is_empty() || self.tainted.contains(&key) {
+            // Tainted series may legitimately aggregate unacked writes.
+            return;
+        }
+        let acked = self.expected.get(&key);
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &ts in &seconds {
+            match acked.and_then(|m| m.get(&ts)) {
+                None => {
+                    self.violations.push(Violation::RollupInconsistent {
+                        series: label,
+                        detail: format!("bitmap claims unacked second ts={ts}"),
+                    });
+                    return;
+                }
+                Some(&v) => {
+                    min = min.min(v);
+                    max = max.max(v);
+                    sum += v;
+                }
+            }
+        }
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + b.abs());
+        if cell.min != min || cell.max != max || !close(cell.sum, sum) {
+            self.violations.push(Violation::RollupInconsistent {
+                series: label,
+                detail: format!(
+                    "aggregates diverge from acked history: cell (min {} max {} sum {}) \
+                     vs raw (min {min} max {max} sum {sum})",
+                    cell.min, cell.max, cell.sum
+                ),
+            });
+        }
+    }
 }
 
 /// Benjamini–Hochberg anomaly flags over stored per-series data: one
@@ -866,6 +1039,11 @@ pub(crate) fn run_inner(
             ),
         });
     }
+    if config.rollups {
+        // Before the raw checks, so the flush puts are also covered by
+        // the WAL-monotonicity sweep inside `final_checks`.
+        driver.rollup_checks();
+    }
     let flags = driver
         .final_checks()
         .map(|stored| detection_flags(&stored))
@@ -927,4 +1105,45 @@ pub fn run_with_baseline(seed: u64, schedule: &[ScheduledFault], config: &SimCon
         });
     }
     outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::parse_schedule;
+
+    /// The serving-layer durability regression: rollup shadow cells
+    /// persisted before a region-server crash must survive WAL recovery
+    /// and reassignment, and must still agree with the acked raw history
+    /// when read through a surviving daemon.
+    #[test]
+    fn rollup_rows_survive_region_server_crash() {
+        let config = SimConfig::default();
+        assert!(config.rollups, "rollups are on by default");
+        // Crash late enough that several buckets sealed and persisted
+        // first (the workload clock passes 120 s around step 30).
+        let schedule = parse_schedule("30:crash:1").unwrap();
+        let outcome = run(7, &schedule, &config);
+        assert_eq!(outcome.violations, vec![], "events: {:#?}", outcome.events);
+        assert_eq!(outcome.stats.crashes, 1);
+        assert!(outcome.stats.reassigned > 0, "crash must move regions");
+        assert!(outcome.stats.rollup_cells > 0, "no rollup cells survived");
+        assert!(
+            outcome.stats.rollup_seconds >= ROLLUP_TIER,
+            "expected at least one sealed bucket of coverage, got {} seconds",
+            outcome.stats.rollup_seconds
+        );
+    }
+
+    /// A raw-only stack (no serving layer) is still a supported shape.
+    #[test]
+    fn rollups_can_be_disabled() {
+        let config = SimConfig {
+            rollups: false,
+            ..SimConfig::default()
+        };
+        let outcome = run(7, &[], &config);
+        assert_eq!(outcome.violations, vec![]);
+        assert_eq!(outcome.stats.rollup_cells, 0);
+    }
 }

@@ -123,6 +123,26 @@ impl IngestionPipeline {
         &self.tsds[0]
     }
 
+    /// Borrow every TSD daemon (the serving layer installs write-path
+    /// observers per daemon; observer writer ids are the indices here).
+    pub fn tsds(&self) -> &[Arc<Tsd>] {
+        &self.tsds
+    }
+
+    /// Borrow the master (read-path subsystems connect their own clients).
+    pub fn master(&self) -> &Master {
+        &self.master
+    }
+
+    /// Seal and persist every TSD's open write-path observer buckets
+    /// (rollup accumulators). No-op for TSDs without observers.
+    pub fn flush_observers(&self) -> Result<(), pga_tsdb::TsdError> {
+        for tsd in &self.tsds {
+            tsd.flush_observer()?;
+        }
+        Ok(())
+    }
+
     /// Shut the cluster down.
     pub fn shutdown(&self) {
         self.master.shutdown();

@@ -64,6 +64,13 @@ fn usage() -> ! {
                       both seed stacks at Nx calibrated capacity with one\n\
                       slow server, plus a live-stack storm campaign\n\
                       (--nodes N --factor F --secs S --storm-seeds N)\n\
+           queries    E19 serving-layer showdown: raw scans vs rollups vs\n\
+                      rollup+cache (p50/p99, sustained QPS) while ingest\n\
+                      keeps running; fails unless rollup answers match raw\n\
+                      exactly, no cached anomaly view is stale, and the\n\
+                      10x bar holds\n\
+                      (--mode quick|full --nodes N --tsds N --units N\n\
+                       --sensors N --history S --queries N --seed N)\n\
          \n\
          experiment reproduction lives in the bench crate:\n\
            cargo run --release -p pga-bench --bin report_all"
@@ -145,22 +152,42 @@ fn cmd_dashboard(map: &HashMap<String, String>) {
                 ("GET", "/") => Some(HttpResponse::html(m.fleet_overview_html(0.0))),
                 ("GET", "/heatmap") => Some(HttpResponse::html(m.heatmap_html(0, ticks - 1, 50))),
                 ("GET", p) if p.starts_with("/machine/") => {
-                    let unit: u32 = p["/machine/".len()..].parse().ok()?;
+                    // Typed JSON errors instead of empty 404 pages: a bad
+                    // unit is a client error, a storage/shard failure is a
+                    // degraded backend — clients must be able to tell.
+                    let Ok(unit) = p["/machine/".len()..].parse::<u32>() else {
+                        return Some(HttpResponse::error_json(
+                            404,
+                            "not_found",
+                            "machine id must be a non-negative integer",
+                        ));
+                    };
                     if unit >= units {
-                        return None;
+                        return Some(HttpResponse::error_json(
+                            404,
+                            "not_found",
+                            &format!("unit {unit} outside fleet of {units}"),
+                        ));
                     }
-                    m.machine_page_html(unit, ticks - 1, 300, 24)
-                        .ok()
-                        .map(HttpResponse::html)
+                    Some(match m.machine_page_html(unit, ticks - 1, 300, 24) {
+                        Ok(html) => HttpResponse::html(html),
+                        Err(e) => HttpResponse::error_json(503, "degraded", &e.to_string()),
+                    })
                 }
                 ("POST", "/api/put") => Some(match pga_tsdb::handle_put(m.tsd(), &req.body) {
                     Ok(n) => HttpResponse::json(format!("{{\"success\":{n}}}")),
                     Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
                 }),
-                ("POST", "/api/query") => Some(match pga_tsdb::handle_query(m.tsd(), &req.body) {
-                    Ok(json) => HttpResponse::json(json),
-                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
-                }),
+                ("POST", "/api/query") => {
+                    // Served by the pga-query engine: rollup planning,
+                    // scatter-gather with shard deadlines, result cache.
+                    Some(
+                        match pga_tsdb::handle_query_with(&**m.engine(), &req.body) {
+                            Ok(json) => HttpResponse::json(json),
+                            Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                        },
+                    )
+                }
                 _ => None,
             }
         })
@@ -518,6 +545,84 @@ fn cmd_overload(map: &HashMap<String, String>) {
     }
 }
 
+/// Reproduce E19 from the CLI: measure the serving layer (rollups,
+/// scatter-gather, result cache) against raw scans on the live storage
+/// stack while a background writer keeps ingesting. Exits non-zero unless
+/// rollup answers equal raw answers exactly, every cached anomaly view
+/// reflects fresh flags after invalidation, and the rollup+cache arm
+/// clears the 10x bar on sustained QPS or p99 latency.
+fn cmd_queries(map: &HashMap<String, String>) {
+    use pga_bench::{query_serving_experiment, render_table, QueryArm, QueryBenchConfig};
+
+    let base = if map.get("mode").map(String::as_str) == Some("full") {
+        QueryBenchConfig::full()
+    } else {
+        QueryBenchConfig::quick()
+    };
+    let cfg = QueryBenchConfig {
+        nodes: get(map, "nodes", base.nodes),
+        tsd_count: get(map, "tsds", base.tsd_count),
+        units: get(map, "units", base.units),
+        sensors_per_unit: get(map, "sensors", base.sensors_per_unit),
+        history_secs: get(map, "history", base.history_secs),
+        queries: get(map, "queries", base.queries),
+        downsample_secs: get(map, "downsample", base.downsample_secs),
+        seed: get(map, "seed", base.seed),
+    };
+    println!(
+        "serving-layer showdown: {} units x {} sensors, {}s history, {} queries/arm",
+        cfg.units, cfg.sensors_per_unit, cfg.history_secs, cfg.queries
+    );
+    let rep = query_serving_experiment(&cfg);
+    let arm = |a: &QueryArm| {
+        vec![
+            a.label.clone(),
+            format!("{:.2}", a.p50_ms),
+            format!("{:.2}", a.p99_ms),
+            format!("{:.0}", a.sustained_qps),
+            a.rollup_plans.to_string(),
+            a.cache_hits.to_string(),
+            a.partials.to_string(),
+        ]
+    };
+    let rows = vec![
+        [
+            "arm",
+            "p50 (ms)",
+            "p99 (ms)",
+            "QPS",
+            "rollup plans",
+            "cache hits",
+            "partials",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        arm(&rep.raw),
+        arm(&rep.rollup),
+        arm(&rep.cached),
+    ];
+    println!("{}", render_table(&rows));
+    println!(
+        "concurrent ingest: {} samples at {:.0} samples/s",
+        rep.ingest_samples, rep.ingest_throughput
+    );
+    println!(
+        "speedups vs raw: rollup {:.1}x QPS, rollup+cache {:.1}x QPS / {:.1}x p99",
+        rep.qps_speedup_rollup, rep.qps_speedup_cached, rep.p99_speedup_cached
+    );
+    println!(
+        "oracles: {} answer mismatches, {} stale anomaly flags",
+        rep.answer_mismatches, rep.stale_anomaly_flags
+    );
+    if rep.passed() {
+        println!("serving-layer verdict held: exact answers, fresh flags, >= 10x");
+    } else {
+        println!("QUERY VERDICT FAILED");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -534,6 +639,7 @@ fn main() {
         "elastic" => cmd_elastic(&map),
         "crashtest" => cmd_crashtest(&map),
         "overload" => cmd_overload(&map),
+        "queries" => cmd_queries(&map),
         _ => usage(),
     }
 }

@@ -36,6 +36,91 @@ pub struct PlatformConfig {
     /// (pga-detect). Absent in pre-overload configs, so it defaults.
     #[serde(default)]
     pub brownout: BrownoutConfig,
+    /// Serving-layer query engine (pga-query): rollup tiers, shard
+    /// deadlines, result cache. Absent in pre-serving configs, so it
+    /// defaults.
+    #[serde(default)]
+    pub query: QueryConfig,
+}
+
+/// Serving-layer (pga-query) settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryConfig {
+    /// Maintain write-time rollups and route dashboard queries through the
+    /// serving engine. Off = every query is a raw scan (the pre-serving
+    /// behaviour).
+    pub rollups_enabled: bool,
+    /// Rollup tier widths in seconds, ascending. Each must divide the
+    /// 3600 s row span and stay within `pga_query::rollup::MAX_TIER_SECS`.
+    pub tiers: Vec<u64>,
+    /// Per-shard scatter-gather scan deadline in milliseconds.
+    pub shard_deadline_ms: u64,
+    /// Downsample windows within this many tier-buckets of the range end
+    /// are served raw (the buckets may still be open in writers).
+    pub tail_buckets: u64,
+    /// Result-cache entry lifetime in milliseconds.
+    pub cache_ttl_ms: u64,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Result-cache entries per shard.
+    pub cache_capacity_per_shard: usize,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            rollups_enabled: true,
+            tiers: vec![60, 600],
+            shard_deadline_ms: 250,
+            tail_buckets: 2,
+            cache_ttl_ms: 5_000,
+            cache_shards: 8,
+            cache_capacity_per_shard: 256,
+        }
+    }
+}
+
+impl QueryConfig {
+    /// Range checks (called from [`PlatformConfig::validate`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tiers.is_empty() {
+            return Err("query tiers must not be empty".into());
+        }
+        for (i, &t) in self.tiers.iter().enumerate() {
+            if t == 0 || t > pga_query::rollup::MAX_TIER_SECS {
+                return Err(format!("query tier {t} out of range"));
+            }
+            if 3600 % t != 0 {
+                return Err(format!("query tier {t} must divide the 3600 s row span"));
+            }
+            if i > 0 && self.tiers[i - 1] >= t {
+                return Err("query tiers must be strictly ascending".into());
+            }
+        }
+        if self.shard_deadline_ms == 0 {
+            return Err("query shard deadline must be positive".into());
+        }
+        if self.cache_shards == 0 || self.cache_capacity_per_shard == 0 {
+            return Err("query cache must have at least one shard and slot".into());
+        }
+        Ok(())
+    }
+
+    /// Lower to the engine's own configuration type.
+    pub fn engine_config(&self) -> pga_query::QueryEngineConfig {
+        pga_query::QueryEngineConfig {
+            exec: pga_query::ExecConfig {
+                tiers: self.tiers.clone(),
+                shard_deadline_ms: self.shard_deadline_ms,
+                tail_buckets: self.tail_buckets,
+            },
+            cache: pga_query::CacheConfig {
+                shards: self.cache_shards,
+                ttl_ms: self.cache_ttl_ms,
+                capacity_per_shard: self.cache_capacity_per_shard,
+            },
+        }
+    }
 }
 
 impl PlatformConfig {
@@ -59,6 +144,7 @@ impl PlatformConfig {
             workers: 4,
             scaling: HysteresisConfig::default(),
             brownout: BrownoutConfig::default(),
+            query: QueryConfig::default(),
         }
     }
 
@@ -103,6 +189,7 @@ impl PlatformConfig {
             return Err("scaling steps must be positive".into());
         }
         self.brownout.validate()?;
+        self.query.validate()?;
         Ok(())
     }
 }
@@ -142,6 +229,22 @@ mod tests {
         let mut c = PlatformConfig::demo(1);
         c.brownout.exit_pressure = c.brownout.enter_pressure + 0.1;
         assert!(c.validate().is_err());
+
+        let mut c = PlatformConfig::demo(1);
+        c.query.tiers = vec![];
+        assert!(c.validate().is_err());
+
+        let mut c = PlatformConfig::demo(1);
+        c.query.tiers = vec![7]; // does not divide the row span
+        assert!(c.validate().is_err());
+
+        let mut c = PlatformConfig::demo(1);
+        c.query.tiers = vec![600, 60]; // not ascending
+        assert!(c.validate().is_err());
+
+        let mut c = PlatformConfig::demo(1);
+        c.query.shard_deadline_ms = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -177,6 +280,24 @@ mod tests {
         let back: PlatformConfig =
             serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
         assert_eq!(back.brownout, BrownoutConfig::default());
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn configs_without_query_section_still_parse() {
+        // A config serialized before the serving-layer query engine existed.
+        let serde_json::Value::Object(obj) = serde_json::to_value(&PlatformConfig::demo(3)) else {
+            panic!("config must serialize to an object");
+        };
+        let mut pruned = serde_json::Map::new();
+        for (k, val) in obj.iter() {
+            if k != "query" {
+                pruned.insert(k.clone(), val.clone());
+            }
+        }
+        let back: PlatformConfig =
+            serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
+        assert_eq!(back.query, QueryConfig::default());
         assert!(back.validate().is_ok());
     }
 

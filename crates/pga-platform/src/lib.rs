@@ -26,5 +26,5 @@ mod config;
 mod monitor;
 
 pub use alerts::{rank_alerts, Alert};
-pub use config::PlatformConfig;
+pub use config::{PlatformConfig, QueryConfig};
 pub use monitor::{AnomalyRecord, Monitor, MonitorError};

@@ -1,11 +1,16 @@
 //! The integrated monitor: ingest → store → query → detect → visualize.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use pga_dataflow::Dataflow;
 use pga_detect::{train_unit, BrownoutGate, EvalMode, EvalOutcome, OnlineEvaluator, UnitModel};
 use pga_ingest::{IngestionPipeline, PipelineReport};
 use pga_linalg::Matrix;
+use pga_minibase::Client;
+use pga_query::{QueryEngine, RollupWriter};
 use pga_sensorgen::Fleet;
 use pga_tsdb::QueryFilter;
 use pga_viz::{
@@ -77,6 +82,7 @@ pub struct Monitor {
     config: PlatformConfig,
     fleet: Fleet,
     pipeline: IngestionPipeline,
+    engine: Arc<QueryEngine>,
     evaluators: Vec<OnlineEvaluator>,
     anomalies: Vec<AnomalyRecord>,
     last_ingest: Option<PipelineReport>,
@@ -90,16 +96,42 @@ impl Monitor {
         let fleet = Fleet::new(config.fleet.clone());
         let pipeline =
             IngestionPipeline::new(config.storage_nodes, config.tsd_count, config.batch_size);
+        // Write-time rollup maintenance: one observer per TSD daemon, the
+        // daemon index doubling as the rollup writer id so concurrent
+        // writers never collide on a cell.
+        if config.query.rollups_enabled {
+            for (i, tsd) in pipeline.tsds().iter().enumerate() {
+                tsd.set_observer(Arc::new(RollupWriter::new(
+                    tsd.codec().clone(),
+                    config.query.tiers.clone(),
+                    i as u8,
+                )));
+            }
+        }
+        // The serving-layer engine reads through its own storage client so
+        // dashboard scatter-gather never contends on the ingest clients.
+        let engine = Arc::new(QueryEngine::new(
+            pipeline.tsd().codec().clone(),
+            Client::connect(pipeline.master()),
+            config.query.engine_config(),
+        ));
         let brownout = BrownoutGate::new(config.brownout);
         Ok(Monitor {
             config,
             fleet,
             pipeline,
+            engine,
             evaluators: Vec::new(),
             anomalies: Vec::new(),
             last_ingest: None,
             brownout,
         })
+    }
+
+    /// Borrow the serving-layer query engine — the mount point for the
+    /// dashboard's `/api/query` ([`pga_tsdb::handle_query_with`]).
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.engine
     }
 
     /// Borrow the fleet (ground truth access for experiments).
@@ -135,6 +167,11 @@ impl Monitor {
     /// Ingest fleet ticks `[t0, t1)` through the proxy into storage.
     pub fn ingest_range(&mut self, t0: u64, t1: u64) -> PipelineReport {
         let report = self.pipeline.run_range(&self.fleet, t0, t1);
+        // Seal open rollup buckets at the tick boundary. Best-effort: on
+        // failure the cells stay buffered in the TSDs and ride with the
+        // next put or flush, and the engine's raw tail patching covers the
+        // still-open horizon meanwhile.
+        let _ = self.pipeline.flush_observers();
         self.last_ingest = Some(report.clone());
         report
     }
@@ -151,16 +188,24 @@ impl Monitor {
         assert!(len > 0);
         let period = self.config.fleet.sample_period_secs;
         let start_tick = t_end + 1 - len as u64;
-        let series = self
-            .pipeline
-            .tsd()
-            .query(
-                "energy",
-                &QueryFilter::any().with("unit", &unit.to_string()),
-                start_tick * period,
-                t_end * period,
-            )
-            .map_err(|e| MonitorError::Storage(e.to_string()))?;
+        // Full-resolution read through the serving engine: a raw plan, but
+        // scatter-gathered across shards and result-cached for the
+        // dashboard's repeated renders of the same window.
+        let out = self.engine.query(
+            "energy",
+            &QueryFilter::any().with("unit", &unit.to_string()),
+            start_tick * period,
+            t_end * period,
+            None,
+        );
+        if let Some(p) = out.partial {
+            return Err(MonitorError::Storage(format!(
+                "partial result: {}/{} shards failed",
+                p.failed_shards.len(),
+                p.total_shards
+            )));
+        }
+        let series = out.series;
         let p = self.config.fleet.sensors_per_unit as usize;
         let mut m = Matrix::zeros(len, p);
         let mut seen = vec![0usize; p];
@@ -281,6 +326,15 @@ impl Monitor {
                         strength,
                     )
                     .map_err(|e| MonitorError::Storage(e.to_string()))?;
+                // A freshly flagged series must never hide behind a stale
+                // chart: drop every cached result covering it.
+                let flagged: BTreeMap<String, String> = [
+                    ("unit".to_string(), u.clone()),
+                    ("sensor".to_string(), s.clone()),
+                ]
+                .into();
+                self.engine.invalidate_series("energy", &flagged);
+                self.engine.invalidate_series("anomaly", &flagged);
             }
             outcomes.push(out);
         }
@@ -391,12 +445,22 @@ impl Monitor {
     }
 
     /// Render the fleet anomaly heatmap (units × time buckets) as a
-    /// standalone HTML page.
+    /// standalone HTML page. Events are read back from the `anomaly`
+    /// metric **through the serving engine** (cached, scatter-gathered) —
+    /// the heatmap shows what the storage layer has, not what this
+    /// process remembers.
     pub fn heatmap_html(&self, start: u64, end: u64, bucket_secs: u64) -> String {
-        let events: Vec<(u32, u64)> = self
-            .anomalies
+        let out = self
+            .engine
+            .query("anomaly", &QueryFilter::any(), start, end, None);
+        let events: Vec<(u32, u64)> = out
+            .series
             .iter()
-            .map(|a| (a.unit, a.timestamp))
+            .filter_map(|s| {
+                let unit: u32 = s.tags.get("unit")?.parse().ok()?;
+                Some(s.points.iter().map(move |p| (unit, p.timestamp)))
+            })
+            .flatten()
             .collect();
         let units: Vec<u32> = (0..self.config.fleet.units).collect();
         let data = pga_viz::HeatmapData::from_events(&events, units, start, end, bucket_secs);

@@ -1,0 +1,551 @@
+//! Parallel scatter-gather execution across salt shards, with per-shard
+//! deadlines, typed partial results, and rollup/raw splicing.
+//!
+//! One thread per salt bucket issues admission-controlled scans against
+//! the storage layer with an absolute deadline; a shard that is shed
+//! (`Busy`), times out, or fails does **not** sink the query — its error
+//! is reported in a [`PartialInfo`] alongside whatever the healthy shards
+//! returned, reusing the overload-control vocabulary of the ingest path.
+//!
+//! ## Splicing
+//!
+//! A rollup plan serves only downsample windows that are (a) entirely
+//! inside the requested range and (b) older than the *tail horizon* — the
+//! last few tier buckets before `end`, which may still sit unsealed in
+//! writers. The head (a partial leading window) and the tail are patched
+//! from raw data; window edges are epoch-aligned on both sides, so the
+//! three regions never overlap and never split a window.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pga_cluster::rpc::ClockMs;
+use pga_minibase::{Client, ClientError, KeyValue, RowRange};
+use pga_tsdb::{Aggregator, DataPoint, KeyCodec, PartialInfo, QueryFilter, ShardError, TimeSeries};
+
+use crate::plan::{self, Plan};
+use crate::rollup::{decode_cell, merge_cells, tier_metric, RollupCell};
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Rollup tier widths available to the planner, ascending seconds.
+    pub tiers: Vec<u64>,
+    /// Per-shard scan deadline in milliseconds (absolute deadline =
+    /// clock() + this at query start).
+    pub shard_deadline_ms: u64,
+    /// Downsample windows intersecting the last `tail_buckets * tier`
+    /// seconds before `end` are served raw: those buckets may still be
+    /// open in writers.
+    pub tail_buckets: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            tiers: vec![60, 600],
+            shard_deadline_ms: 250,
+            tail_buckets: 2,
+        }
+    }
+}
+
+/// What one execution produced.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Assembled series, sorted by tags.
+    pub series: Vec<TimeSeries>,
+    /// Shard failures, if any.
+    pub partial: Option<PartialInfo>,
+    /// The plan that actually ran (a rollup plan degenerates to [`Plan::Raw`]
+    /// when the range is too short or the tier has no data yet).
+    pub plan: Plan,
+    /// Scans fanned out (shards × regions weighting excluded; one unit per
+    /// salt bucket).
+    pub fanout: u32,
+}
+
+/// Classify a storage error the way the API layer does.
+fn shard_error(salt: u8, e: &ClientError) -> ShardError {
+    let (kind, retry) = match e {
+        ClientError::Busy { retry_after_ms } => ("busy", Some(*retry_after_ms)),
+        ClientError::DeadlineExpired => ("deadline_expired", None),
+        _ => ("storage", None),
+    };
+    ShardError {
+        shard: salt,
+        kind: kind.to_string(),
+        retry_after_ms: retry,
+    }
+}
+
+/// Run one query. See the module docs for the execution shape.
+#[allow(clippy::too_many_arguments)]
+pub fn execute(
+    client: &Client,
+    codec: &KeyCodec,
+    cfg: &ExecConfig,
+    clock: &ClockMs,
+    metric: &str,
+    filter: &QueryFilter,
+    start: u64,
+    end: u64,
+    downsample: Option<(u64, Aggregator)>,
+) -> ExecResult {
+    let mut plan = plan::choose(&cfg.tiers, downsample.map(|(d, _)| d));
+    let mut splice = None;
+    if let Plan::Rollup { tier } = plan {
+        let (d, _) = downsample.expect("rollup plan implies downsample");
+        match splice_bounds(codec, metric, tier, d, cfg.tail_buckets, start, end) {
+            Some(b) => splice = Some(b),
+            None => plan = Plan::Raw,
+        }
+    }
+    match (plan, splice) {
+        (Plan::Rollup { tier }, Some((ru_lo, ru_hi))) => execute_rollup(
+            client, codec, cfg, clock, metric, filter, start, end, downsample, tier, ru_lo, ru_hi,
+        ),
+        _ => execute_raw(
+            client, codec, cfg, clock, metric, filter, start, end, downsample,
+        ),
+    }
+}
+
+/// Rollup-served window bounds `[ru_lo, ru_hi)`, or `None` when the plan
+/// is not viable (no rollup data interned yet, or the range too short to
+/// contain a full window outside the tail horizon).
+fn splice_bounds(
+    codec: &KeyCodec,
+    metric: &str,
+    tier: u64,
+    d: u64,
+    tail_buckets: u64,
+    start: u64,
+    end: u64,
+) -> Option<(u64, u64)> {
+    use pga_tsdb::uid::UidKind;
+    codec
+        .uids()
+        .lookup(UidKind::Metric, &tier_metric(tier, metric))?;
+    let ru_lo = start.div_ceil(d) * d;
+    let cutoff = (end + 1).saturating_sub(tail_buckets * tier);
+    let ru_hi = cutoff - cutoff % d;
+    (ru_lo < ru_hi).then_some((ru_lo, ru_hi))
+}
+
+/// Scan `[start, end]` of `metric` on one salt, admission-controlled.
+/// Empty result for a metric the UID table has never seen.
+fn scan_salt(
+    client: &Client,
+    codec: &KeyCodec,
+    salt: u8,
+    metric: &str,
+    start: u64,
+    end: u64,
+    deadline: u64,
+) -> Result<Vec<KeyValue>, ClientError> {
+    let (s, e) = codec.scan_range(salt, metric, start, end);
+    if s.is_empty() && e.is_empty() {
+        return Ok(Vec::new());
+    }
+    client.scan_admitted(&RowRange::new(s, e), Some(deadline))
+}
+
+/// Fan scans out, one thread per salt; results come back indexed by salt
+/// so assembly order is deterministic.
+fn scatter<F, T>(codec: &KeyCodec, run: F) -> Vec<(u8, Result<T, ClientError>)>
+where
+    F: Fn(u8) -> Result<T, ClientError> + Sync,
+    T: Send,
+{
+    let salts: Vec<u8> = codec.salt_range().collect();
+    let run = &run;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = salts
+            .iter()
+            .map(|&salt| scope.spawn(move || run(salt)))
+            .collect();
+        salts
+            .iter()
+            .zip(handles)
+            .map(|(&salt, h)| (salt, h.join().expect("shard scan panicked")))
+            .collect()
+    })
+}
+
+/// Group raw cells into per-series point lists, mirroring the TSD's
+/// read-path semantics (skip non-raw qualifiers, newest version wins).
+fn assemble_raw(
+    codec: &KeyCodec,
+    cells: &[KeyValue],
+    filter: &QueryFilter,
+    keep: impl Fn(u64) -> bool,
+) -> BTreeMap<Vec<(String, String)>, Vec<DataPoint>> {
+    let mut series: BTreeMap<Vec<(String, String)>, Vec<DataPoint>> = BTreeMap::new();
+    for cell in cells {
+        if cell.qualifier.len() != 2 || cell.qualifier[..] == [0xFF, 0xFF] {
+            continue; // compacted blob column: raw cells carry the data
+        }
+        if let Some(p) = codec.decode(&cell.row, &cell.qualifier, &cell.value) {
+            if !keep(p.timestamp) {
+                continue;
+            }
+            let tag_map: BTreeMap<String, String> = p.tags.iter().cloned().collect();
+            if !filter.matches(&tag_map) {
+                continue;
+            }
+            series.entry(p.tags.clone()).or_default().push(DataPoint {
+                timestamp: p.timestamp,
+                value: p.value,
+            });
+        }
+    }
+    for points in series.values_mut() {
+        points.sort_by_key(|p| p.timestamp);
+        points.dedup_by_key(|p| p.timestamp);
+    }
+    series
+}
+
+fn to_series(
+    metric: &str,
+    grouped: BTreeMap<Vec<(String, String)>, Vec<DataPoint>>,
+    downsample: Option<(u64, Aggregator)>,
+) -> Vec<TimeSeries> {
+    grouped
+        .into_iter()
+        .map(|(tags, points)| {
+            let s = TimeSeries {
+                metric: metric.to_string(),
+                tags: tags.into_iter().collect(),
+                points,
+            };
+            match downsample {
+                Some((d, agg)) => s.downsample(d, agg),
+                None => s,
+            }
+        })
+        .collect()
+}
+
+fn partial_from(errors: Vec<ShardError>, total: u32) -> Option<PartialInfo> {
+    (!errors.is_empty()).then_some(PartialInfo {
+        failed_shards: errors,
+        total_shards: total,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_raw(
+    client: &Client,
+    codec: &KeyCodec,
+    cfg: &ExecConfig,
+    clock: &ClockMs,
+    metric: &str,
+    filter: &QueryFilter,
+    start: u64,
+    end: u64,
+    downsample: Option<(u64, Aggregator)>,
+) -> ExecResult {
+    let deadline = clock() + cfg.shard_deadline_ms;
+    let shards = scatter(codec, |salt| {
+        scan_salt(client, codec, salt, metric, start, end, deadline)
+    });
+    let fanout = shards.len() as u32;
+    let mut errors = Vec::new();
+    let mut cells = Vec::new();
+    for (salt, r) in shards {
+        match r {
+            Ok(mut c) => cells.append(&mut c),
+            Err(e) => errors.push(shard_error(salt, &e)),
+        }
+    }
+    let grouped = assemble_raw(codec, &cells, filter, |ts| ts >= start && ts <= end);
+    ExecResult {
+        series: to_series(metric, grouped, downsample),
+        partial: partial_from(errors, fanout),
+        plan: Plan::Raw,
+        fanout,
+    }
+}
+
+/// Per-window aggregate state assembled from merged tier buckets.
+#[derive(Clone, Copy)]
+struct WindowAcc {
+    min: f64,
+    max: f64,
+    sum: f64,
+    count: u64,
+    tainted: bool,
+}
+
+impl WindowAcc {
+    fn finish(&self, agg: Aggregator) -> f64 {
+        match agg {
+            Aggregator::Avg => self.sum / self.count as f64,
+            Aggregator::Sum => self.sum,
+            Aggregator::Min => self.min,
+            Aggregator::Max => self.max,
+            Aggregator::Count => self.count as f64,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_rollup(
+    client: &Client,
+    codec: &KeyCodec,
+    cfg: &ExecConfig,
+    clock: &ClockMs,
+    metric: &str,
+    filter: &QueryFilter,
+    start: u64,
+    end: u64,
+    downsample: Option<(u64, Aggregator)>,
+    tier: u64,
+    ru_lo: u64,
+    ru_hi: u64,
+) -> ExecResult {
+    let (d, agg) = downsample.expect("rollup plan implies downsample");
+    let shadow = tier_metric(tier, metric);
+    let deadline = clock() + cfg.shard_deadline_ms;
+    // One thread per salt runs the rollup scan plus the raw head/tail
+    // patches under a single deadline.
+    let shards = scatter(codec, |salt| {
+        let ru = scan_salt(client, codec, salt, &shadow, ru_lo, ru_hi - 1, deadline)?;
+        let mut raw = Vec::new();
+        if start < ru_lo {
+            raw.extend(scan_salt(
+                client,
+                codec,
+                salt,
+                metric,
+                start,
+                ru_lo - 1,
+                deadline,
+            )?);
+        }
+        if ru_hi <= end {
+            raw.extend(scan_salt(
+                client, codec, salt, metric, ru_hi, end, deadline,
+            )?);
+        }
+        Ok((ru, raw))
+    });
+    let fanout = shards.len() as u32;
+    let mut errors = Vec::new();
+    let mut rollup_cells = Vec::new();
+    let mut raw_cells = Vec::new();
+    for (salt, r) in shards {
+        match r {
+            Ok((mut ru, mut raw)) => {
+                rollup_cells.append(&mut ru);
+                raw_cells.append(&mut raw);
+            }
+            Err(e) => errors.push(shard_error(salt, &e)),
+        }
+    }
+
+    // Version resolution: for re-sealed buckets several cells share a
+    // (row, qualifier); the KeyValue order puts the newest version first,
+    // so a sort + dedup keeps exactly the winning cell.
+    rollup_cells.sort();
+    rollup_cells.dedup_by(|a, b| a.row == b.row && a.qualifier == b.qualifier);
+
+    // Merge cells per (series, bucket), then fold buckets into d-windows.
+    type BucketKey = (Vec<(String, String)>, u64);
+    let mut per_bucket: HashMap<BucketKey, Vec<RollupCell>> = HashMap::new();
+    for kv in &rollup_cells {
+        if let Some(cell) = decode_cell(codec, tier, kv) {
+            if cell.bucket < ru_lo || cell.bucket + tier > ru_hi {
+                continue; // row-span rounding over-fetches; clip to region
+            }
+            let tag_map: BTreeMap<String, String> = cell.tags.iter().cloned().collect();
+            if !filter.matches(&tag_map) {
+                continue;
+            }
+            per_bucket
+                .entry((cell.tags.clone(), cell.bucket))
+                .or_default()
+                .push(cell);
+        }
+    }
+    let mut windows: BTreeMap<Vec<(String, String)>, BTreeMap<u64, WindowAcc>> = BTreeMap::new();
+    for ((tags, bucket), mut cells) in per_bucket {
+        let Some(m) = merge_cells(&mut cells) else {
+            continue;
+        };
+        let w = bucket - bucket % d;
+        let acc = windows
+            .entry(tags)
+            .or_default()
+            .entry(w)
+            .or_insert(WindowAcc {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                sum: 0.0,
+                count: 0,
+                tainted: false,
+            });
+        acc.min = acc.min.min(m.min);
+        acc.max = acc.max.max(m.max);
+        acc.sum += m.sum;
+        acc.count += m.count;
+        acc.tainted |= m.tainted;
+    }
+
+    // Tainted windows (overlapping writer bitmaps — some point was
+    // delivered twice) are recomputed from raw data rather than served
+    // double-counted. One scan per distinct window, shared by every
+    // tainted series in it.
+    let tainted_windows: Vec<u64> = {
+        let mut ws: Vec<u64> = windows
+            .values()
+            .flat_map(|m| m.iter().filter(|(_, a)| a.tainted).map(|(&w, _)| w))
+            .collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    };
+    for w in tainted_windows {
+        let deadline = clock() + cfg.shard_deadline_ms;
+        let shards = scatter(codec, |salt| {
+            scan_salt(client, codec, salt, metric, w, w + d - 1, deadline)
+        });
+        let mut cells = Vec::new();
+        let mut failed = false;
+        for (salt, r) in shards {
+            match r {
+                Ok(mut c) => cells.append(&mut c),
+                Err(e) => {
+                    errors.push(shard_error(salt, &e));
+                    failed = true;
+                }
+            }
+        }
+        let grouped = assemble_raw(codec, &cells, filter, |ts| ts >= w && ts < w + d);
+        for (tags, accs) in windows.iter_mut() {
+            let Some(acc) = accs.get_mut(&w) else {
+                continue;
+            };
+            if !acc.tainted {
+                continue;
+            }
+            match grouped.get(tags) {
+                Some(points) if !failed => {
+                    let mut fresh = WindowAcc {
+                        min: f64::INFINITY,
+                        max: f64::NEG_INFINITY,
+                        sum: 0.0,
+                        count: 0,
+                        tainted: false,
+                    };
+                    for p in points {
+                        fresh.min = fresh.min.min(p.value);
+                        fresh.max = fresh.max.max(p.value);
+                        fresh.sum += p.value;
+                        fresh.count += 1;
+                    }
+                    *acc = fresh;
+                }
+                // Recompute impossible (shard failure) or no raw points
+                // survived: drop the window rather than serve a bad value.
+                _ => {
+                    accs.remove(&w);
+                }
+            }
+        }
+    }
+
+    // Raw head/tail patches, downsampled; windows are disjoint from the
+    // rollup region by alignment.
+    let grouped = assemble_raw(codec, &raw_cells, filter, |ts| {
+        (ts >= start && ts < ru_lo) || (ts >= ru_hi && ts <= end)
+    });
+    let mut out: BTreeMap<Vec<(String, String)>, BTreeMap<u64, f64>> = BTreeMap::new();
+    for (tags, points) in grouped {
+        let ds = TimeSeries {
+            metric: metric.to_string(),
+            tags: BTreeMap::new(),
+            points,
+        }
+        .downsample(d, agg);
+        let entry = out.entry(tags).or_default();
+        for p in ds.points {
+            entry.insert(p.timestamp, p.value);
+        }
+    }
+    for (tags, accs) in windows {
+        let entry = out.entry(tags).or_default();
+        for (w, acc) in accs {
+            entry.insert(w, acc.finish(agg));
+        }
+    }
+
+    let series = out
+        .into_iter()
+        .filter(|(_, points)| !points.is_empty())
+        .map(|(tags, points)| TimeSeries {
+            metric: metric.to_string(),
+            tags: tags.into_iter().collect(),
+            points: points
+                .into_iter()
+                .map(|(timestamp, value)| DataPoint { timestamp, value })
+                .collect(),
+        })
+        .collect();
+    ExecResult {
+        series,
+        partial: partial_from(errors, fanout),
+        plan: Plan::Rollup { tier },
+        fanout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_tsdb::{KeyCodecConfig, UidTable};
+
+    fn codec() -> KeyCodec {
+        KeyCodec::new(
+            KeyCodecConfig {
+                salt_buckets: 4,
+                row_span_secs: 3600,
+            },
+            UidTable::new(),
+        )
+    }
+
+    #[test]
+    fn splice_bounds_align_and_respect_tail() {
+        let c = codec();
+        // Intern the shadow metric so the plan is viable.
+        c.row_key(&tier_metric(60, "energy"), &[("unit", "1")], 0);
+        // start 130 → first full 300s window at 300; end 3599, tail 2×60
+        // → cutoff 3480 → ru_hi 3300.
+        assert_eq!(
+            splice_bounds(&c, "energy", 60, 300, 2, 130, 3599),
+            Some((300, 3300))
+        );
+        // Range too short for any full window outside the tail: raw.
+        assert_eq!(splice_bounds(&c, "energy", 60, 300, 2, 100, 500), None);
+        // Unknown shadow metric (no rollups written yet): raw.
+        assert_eq!(splice_bounds(&c, "other", 60, 300, 2, 0, 100_000), None);
+    }
+
+    #[test]
+    fn window_acc_matches_aggregators() {
+        let acc = WindowAcc {
+            min: 1.0,
+            max: 9.0,
+            sum: 12.0,
+            count: 4,
+            tainted: false,
+        };
+        assert_eq!(acc.finish(Aggregator::Avg), 3.0);
+        assert_eq!(acc.finish(Aggregator::Sum), 12.0);
+        assert_eq!(acc.finish(Aggregator::Min), 1.0);
+        assert_eq!(acc.finish(Aggregator::Max), 9.0);
+        assert_eq!(acc.finish(Aggregator::Count), 4.0);
+    }
+}

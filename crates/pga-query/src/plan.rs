@@ -1,0 +1,106 @@
+//! The query planner: pick the cheapest storage tier that can answer a
+//! `(range, downsample interval)` request exactly.
+//!
+//! A tier `t` can serve a downsample of interval `d` iff `t` divides `d`
+//! (every `d`-window is a whole number of `t`-buckets; both are epoch
+//! aligned, so bucket edges coincide with window edges). Among the viable
+//! tiers the **largest** is cheapest — it reads the fewest cells. Raw scans
+//! remain only for fine-grained drill-down (`d` below the smallest tier,
+//! or not a tier multiple) and for undownsampled point queries.
+
+/// How a query will be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// Scan raw cells.
+    Raw,
+    /// Scan the shadow metric of one rollup tier.
+    Rollup {
+        /// Tier width in seconds.
+        tier: u64,
+    },
+}
+
+impl Plan {
+    /// Stable label for telemetry and experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Plan::Raw => "raw",
+            Plan::Rollup { .. } => "rollup",
+        }
+    }
+}
+
+/// Choose the execution plan for a request. `downsample` is the requested
+/// interval in seconds, `None` for point queries.
+pub fn choose(tiers: &[u64], downsample: Option<u64>) -> Plan {
+    let Some(d) = downsample else {
+        return Plan::Raw;
+    };
+    if d == 0 {
+        return Plan::Raw;
+    }
+    tiers
+        .iter()
+        .filter(|&&t| t > 0 && d % t == 0)
+        .max()
+        .map_or(Plan::Raw, |&t| Plan::Rollup { tier: t })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn point_queries_scan_raw() {
+        assert_eq!(choose(&[60, 600], None), Plan::Raw);
+    }
+
+    #[test]
+    fn fine_drilldown_falls_back_to_raw() {
+        assert_eq!(choose(&[60, 600], Some(30)), Plan::Raw);
+        assert_eq!(choose(&[60, 600], Some(90)), Plan::Raw);
+    }
+
+    #[test]
+    fn largest_dividing_tier_wins() {
+        assert_eq!(choose(&[60, 600], Some(60)), Plan::Rollup { tier: 60 });
+        assert_eq!(choose(&[60, 600], Some(120)), Plan::Rollup { tier: 60 });
+        assert_eq!(choose(&[60, 600], Some(600)), Plan::Rollup { tier: 600 });
+        assert_eq!(choose(&[60, 600], Some(1200)), Plan::Rollup { tier: 600 });
+        assert_eq!(choose(&[60, 600], Some(3600)), Plan::Rollup { tier: 600 });
+    }
+
+    #[test]
+    fn no_tiers_means_raw() {
+        assert_eq!(choose(&[], Some(600)), Plan::Raw);
+    }
+
+    proptest! {
+        /// The planner never picks an unconfigured or non-dividing tier,
+        /// and when it picks one it picks the largest viable.
+        #[test]
+        fn chosen_tier_is_largest_viable(
+            tiers in proptest::collection::vec(1u64..=900, 0..5),
+            d in 1u64..7200,
+        ) {
+            match choose(&tiers, Some(d)) {
+                Plan::Rollup { tier } => {
+                    prop_assert!(tiers.contains(&tier));
+                    prop_assert_eq!(d % tier, 0);
+                    prop_assert!(tier <= d);
+                    for &t in &tiers {
+                        if d % t == 0 {
+                            prop_assert!(t <= tier, "larger viable tier {} skipped", t);
+                        }
+                    }
+                }
+                Plan::Raw => {
+                    for &t in &tiers {
+                        prop_assert!(d % t != 0, "viable tier {} not used", t);
+                    }
+                }
+            }
+        }
+    }
+}

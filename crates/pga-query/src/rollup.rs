@@ -1,0 +1,504 @@
+//! Write-time rollup maintenance: tiered pre-aggregates kept in MiniBase
+//! rows alongside the raw data.
+//!
+//! Every acknowledged raw batch updates, per configured tier `t`, one open
+//! accumulator per `(series, t-aligned bucket)`. When a later point moves a
+//! series past its open bucket the bucket is **sealed** into a cell and
+//! rides along with the TSD's next storage RPC (see
+//! [`pga_tsdb::PutObserver`] — the observer only ever sees acked data, so a
+//! shed or failed batch never contributes phantom aggregates).
+//!
+//! ## Storage layout
+//!
+//! Rollups reuse the raw row-key layout verbatim under a shadow metric name
+//! `"\u{1}ru:<tier>:<metric>"` ([`tier_metric`]), so they salt, split and
+//! route exactly like the raw series they summarise. The cell format
+//! differs from raw cells:
+//!
+//! * **qualifier** (4 bytes): `[offset u16 BE][writer id u8][generation u8]`
+//!   — `offset` is the bucket start within the row span. Raw readers skip
+//!   these (qualifier length != 2), raw 2-byte qualifiers are skipped here.
+//! * **value**: `[min f64][max f64][sum f64][count u64]` big-endian,
+//!   followed by a presence bitmap with one bit per second of the bucket.
+//! * **version timestamp**: `bucket_start * 1000 + count` — among cells
+//!   with the same `(row, qualifier)` the one aggregating *more* points
+//!   wins version resolution, so re-sealing after a retried batch is
+//!   monotone. This is why tiers are capped at [`MAX_TIER_SECS`]: the
+//!   count must stay below 1000 to fit the millisecond version space of
+//!   one bucket.
+//!
+//! ## Multi-writer safety
+//!
+//! A reverse proxy may spread one series' batches across several TSDs, each
+//! with its own [`RollupWriter`]. Writers never coordinate: each tags its
+//! cells with `(writer id, generation)` and the per-second presence bitmap.
+//! At read time cells of one bucket merge only if their bitmaps are
+//! disjoint; any overlap means two writers both counted some second
+//! (duplicate delivery after a retried batch) and the bucket is *tainted* —
+//! the executor recomputes the affected window from raw data instead of
+//! serving a double-counted aggregate.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pga_minibase::KeyValue;
+use pga_tsdb::uid::RESERVED_PREFIX;
+use pga_tsdb::{BatchPoint, KeyCodec, PutObserver};
+
+/// Largest allowed tier width in seconds. Bounded so a bucket's point
+/// count (at one point per second per series) fits the `bucket * 1000`
+/// millisecond version window — see the module docs on version resolution.
+pub const MAX_TIER_SECS: u64 = 900;
+
+/// Shadow metric name carrying tier `t` rollups of `metric`. The
+/// [`RESERVED_PREFIX`] keeps these out of `/api/suggest`.
+pub fn tier_metric(tier: u64, metric: &str) -> String {
+    format!("{RESERVED_PREFIX}ru:{tier}:{metric}")
+}
+
+/// Inverse of [`tier_metric`]: `(tier, raw metric)` if `name` is a rollup
+/// shadow metric.
+pub fn parse_tier_metric(name: &str) -> Option<(u64, &str)> {
+    let rest = name.strip_prefix(RESERVED_PREFIX)?.strip_prefix("ru:")?;
+    let (tier, metric) = rest.split_once(':')?;
+    Some((tier.parse().ok()?, metric))
+}
+
+/// Bytes in the presence bitmap of a `tier`-second bucket.
+pub fn bitmap_len(tier: u64) -> usize {
+    tier.div_ceil(8) as usize
+}
+
+/// Encode a rollup cell qualifier.
+pub fn encode_qualifier(offset: u16, writer: u8, gen: u8) -> Bytes {
+    let o = offset.to_be_bytes();
+    Bytes::copy_from_slice(&[o[0], o[1], writer, gen])
+}
+
+/// Decode a rollup cell qualifier into `(offset, writer, generation)`.
+pub fn decode_qualifier(q: &[u8]) -> Option<(u16, u8, u8)> {
+    if q.len() != 4 {
+        return None;
+    }
+    Some((u16::from_be_bytes([q[0], q[1]]), q[2], q[3]))
+}
+
+/// Encode a rollup cell value blob.
+pub fn encode_value(min: f64, max: f64, sum: f64, count: u64, bitmap: &[u8]) -> Bytes {
+    let mut v = Vec::with_capacity(32 + bitmap.len());
+    v.extend_from_slice(&min.to_be_bytes());
+    v.extend_from_slice(&max.to_be_bytes());
+    v.extend_from_slice(&sum.to_be_bytes());
+    v.extend_from_slice(&count.to_be_bytes());
+    v.extend_from_slice(bitmap);
+    Bytes::from(v)
+}
+
+/// Decode a rollup value blob for a `tier`-second bucket.
+pub fn decode_value(tier: u64, v: &[u8]) -> Option<(f64, f64, f64, u64, Vec<u8>)> {
+    if v.len() != 32 + bitmap_len(tier) {
+        return None;
+    }
+    let f = |i: usize| f64::from_be_bytes(v[i..i + 8].try_into().unwrap());
+    let count = u64::from_be_bytes(v[24..32].try_into().unwrap());
+    Some((f(0), f(8), f(16), count, v[32..].to_vec()))
+}
+
+/// A decoded rollup cell: one writer's view of one `(series, bucket)`.
+#[derive(Debug, Clone)]
+pub struct RollupCell {
+    /// Sorted `(tag key, tag value)` pairs identifying the series.
+    pub tags: Vec<(String, String)>,
+    /// Bucket start timestamp in seconds.
+    pub bucket: u64,
+    /// Writer id that sealed the cell.
+    pub writer: u8,
+    /// Seal generation (distinguishes re-opened buckets of one writer).
+    pub gen: u8,
+    /// Minimum of the bucket's points.
+    pub min: f64,
+    /// Maximum of the bucket's points.
+    pub max: f64,
+    /// Sum of the bucket's points, in arrival order.
+    pub sum: f64,
+    /// Number of points aggregated.
+    pub count: u64,
+    /// Presence bitmap, one bit per second of the bucket.
+    pub bitmap: Vec<u8>,
+}
+
+/// Decode a scanned cell of a tier shadow metric. `None` for malformed
+/// cells and for raw-format (2-byte qualifier) strays.
+pub fn decode_cell(codec: &KeyCodec, tier: u64, kv: &KeyValue) -> Option<RollupCell> {
+    let (offset, writer, gen) = decode_qualifier(&kv.qualifier)?;
+    let (_, tags, base) = codec.decode_row(&kv.row)?;
+    let (min, max, sum, count, bitmap) = decode_value(tier, &kv.value)?;
+    Some(RollupCell {
+        tags,
+        bucket: base + offset as u64,
+        writer,
+        gen,
+        min,
+        max,
+        sum,
+        count,
+        bitmap,
+    })
+}
+
+/// The read-time merge of every cell of one `(series, bucket)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergedBucket {
+    /// Minimum across cells.
+    pub min: f64,
+    /// Maximum across cells.
+    pub max: f64,
+    /// Sum across cells, folded in `(writer, generation)` order.
+    pub sum: f64,
+    /// Total point count.
+    pub count: u64,
+    /// `true` when two cells claim the same second: some point was counted
+    /// twice (duplicate delivery) and the aggregate cannot be trusted —
+    /// recompute the window from raw data.
+    pub tainted: bool,
+}
+
+/// Merge the cells of one `(series, bucket)`. Cells are folded in
+/// `(writer, generation)` order so the floating-point sum is deterministic
+/// regardless of scan interleaving.
+pub fn merge_cells(cells: &mut [RollupCell]) -> Option<MergedBucket> {
+    if cells.is_empty() {
+        return None;
+    }
+    cells.sort_by_key(|c| (c.writer, c.gen));
+    let mut seen = vec![0u8; cells[0].bitmap.len()];
+    let mut merged = MergedBucket {
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+        sum: 0.0,
+        count: 0,
+        tainted: false,
+    };
+    for c in cells.iter() {
+        if c.bitmap.len() != seen.len() {
+            merged.tainted = true; // mixed tier widths: malformed, recompute
+            continue;
+        }
+        for (s, b) in seen.iter_mut().zip(&c.bitmap) {
+            if *s & *b != 0 {
+                merged.tainted = true;
+            }
+            *s |= *b;
+        }
+        merged.min = merged.min.min(c.min);
+        merged.max = merged.max.max(c.max);
+        merged.sum += c.sum;
+        merged.count += c.count;
+    }
+    Some(merged)
+}
+
+struct OpenBucket {
+    start: u64,
+    gen: u8,
+    row: Bytes,
+    min: f64,
+    max: f64,
+    sum: f64,
+    count: u64,
+    bitmap: Vec<u8>,
+}
+
+#[derive(Default)]
+struct SeriesState {
+    open: Option<OpenBucket>,
+    next_gen: u8,
+}
+
+/// Key: `(tier, metric, sorted tags)`.
+type SeriesKey = (u64, String, Vec<(String, String)>);
+
+/// Write-path rollup maintainer: a [`PutObserver`] that accumulates every
+/// acknowledged point into per-tier open buckets and emits sealed cells.
+pub struct RollupWriter {
+    codec: KeyCodec,
+    tiers: Vec<u64>,
+    writer_id: u8,
+    state: Mutex<HashMap<SeriesKey, SeriesState>>,
+}
+
+impl RollupWriter {
+    /// Build a writer. `tiers` must be strictly ascending, each at most
+    /// [`MAX_TIER_SECS`] and dividing the codec's row span (so a bucket
+    /// never straddles two rows).
+    pub fn new(codec: KeyCodec, tiers: Vec<u64>, writer_id: u8) -> Self {
+        let span = codec.config().row_span_secs;
+        assert!(!tiers.is_empty(), "at least one rollup tier required");
+        for (i, &t) in tiers.iter().enumerate() {
+            assert!(t > 0 && t <= MAX_TIER_SECS, "tier {t} out of range");
+            assert!(
+                span.is_multiple_of(t),
+                "tier {t} must divide the row span {span}"
+            );
+            assert!(i == 0 || tiers[i - 1] < t, "tiers must be ascending");
+        }
+        RollupWriter {
+            codec,
+            tiers,
+            writer_id,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Configured tier widths, ascending.
+    pub fn tiers(&self) -> &[u64] {
+        &self.tiers
+    }
+
+    fn seal(&self, b: OpenBucket) -> KeyValue {
+        let span = self.codec.config().row_span_secs;
+        KeyValue::new(
+            b.row,
+            encode_qualifier((b.start % span) as u16, self.writer_id, b.gen),
+            b.start * 1000 + b.count,
+            encode_value(b.min, b.max, b.sum, b.count, &b.bitmap),
+        )
+    }
+}
+
+impl PutObserver for RollupWriter {
+    fn on_batch(&self, metric: &str, points: &[BatchPoint<'_>]) -> Vec<KeyValue> {
+        if metric.starts_with(RESERVED_PREFIX) {
+            return Vec::new(); // never roll up a rollup
+        }
+        let mut sealed = Vec::new();
+        let mut state = self.state.lock();
+        for &(tags, ts, value) in points {
+            let mut owned: Vec<(String, String)> = tags
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+            owned.sort();
+            for &tier in &self.tiers {
+                let bucket = ts - ts % tier;
+                let key = (tier, metric.to_string(), owned.clone());
+                let series = state.entry(key).or_default();
+                match &mut series.open {
+                    Some(open) if open.start == bucket => {
+                        let bit = (ts - bucket) as usize;
+                        if open.bitmap[bit / 8] & (1 << (bit % 8)) != 0 {
+                            continue; // second already counted (duplicate)
+                        }
+                        open.bitmap[bit / 8] |= 1 << (bit % 8);
+                        open.min = open.min.min(value);
+                        open.max = open.max.max(value);
+                        open.sum += value;
+                        open.count += 1;
+                    }
+                    open_slot => {
+                        if let Some(prev) = open_slot.take() {
+                            sealed.push(self.seal(prev));
+                        }
+                        let refs: Vec<(&str, &str)> = owned
+                            .iter()
+                            .map(|(k, v)| (k.as_str(), v.as_str()))
+                            .collect();
+                        let row = self
+                            .codec
+                            .row_key(&tier_metric(tier, metric), &refs, bucket);
+                        let gen = series.next_gen;
+                        series.next_gen = series.next_gen.wrapping_add(1);
+                        let mut bitmap = vec![0u8; bitmap_len(tier)];
+                        let bit = (ts - bucket) as usize;
+                        bitmap[bit / 8] |= 1 << (bit % 8);
+                        series.open = Some(OpenBucket {
+                            start: bucket,
+                            gen,
+                            row,
+                            min: value,
+                            max: value,
+                            sum: value,
+                            count: 1,
+                            bitmap,
+                        });
+                    }
+                }
+            }
+        }
+        sealed
+    }
+
+    fn flush(&self) -> Vec<KeyValue> {
+        let mut state = self.state.lock();
+        let mut sealed = Vec::new();
+        for series in state.values_mut() {
+            if let Some(open) = series.open.take() {
+                sealed.push(self.seal(open));
+            }
+        }
+        sealed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_tsdb::{KeyCodecConfig, UidTable};
+
+    fn codec() -> KeyCodec {
+        KeyCodec::new(
+            KeyCodecConfig {
+                salt_buckets: 4,
+                row_span_secs: 3600,
+            },
+            UidTable::new(),
+        )
+    }
+
+    const TAGS: &[(&str, &str)] = &[("unit", "1"), ("sensor", "2")];
+
+    #[test]
+    fn tier_metric_roundtrip() {
+        let name = tier_metric(60, "energy");
+        assert!(name.starts_with(RESERVED_PREFIX));
+        assert_eq!(parse_tier_metric(&name), Some((60, "energy")));
+        assert_eq!(parse_tier_metric("energy"), None);
+    }
+
+    #[test]
+    fn value_blob_roundtrip() {
+        let bm = vec![0b1010_0001u8; bitmap_len(60)];
+        let blob = encode_value(-1.5, 9.25, 30.0, 7, &bm);
+        let (min, max, sum, count, bitmap) = decode_value(60, &blob).unwrap();
+        assert_eq!((min, max, sum, count), (-1.5, 9.25, 30.0, 7));
+        assert_eq!(bitmap, bm);
+        assert!(decode_value(600, &blob).is_none(), "wrong tier length");
+    }
+
+    #[test]
+    fn qualifier_roundtrip() {
+        let q = encode_qualifier(3540, 3, 9);
+        assert_eq!(q.len(), 4);
+        assert_eq!(decode_qualifier(&q), Some((3540, 3, 9)));
+        assert_eq!(decode_qualifier(&[0, 1]), None, "raw qualifiers rejected");
+    }
+
+    #[test]
+    fn writer_seals_on_bucket_advance() {
+        let c = codec();
+        let w = RollupWriter::new(c.clone(), vec![60], 0);
+        // Two points in bucket 0, then one in bucket 60 seals the first.
+        assert!(w
+            .on_batch("energy", &[(TAGS, 10, 2.0), (TAGS, 20, 4.0)])
+            .is_empty());
+        let sealed = w.on_batch("energy", &[(TAGS, 61, 7.0)]);
+        assert_eq!(sealed.len(), 1);
+        let cell = decode_cell(&c, 60, &sealed[0]).unwrap();
+        assert_eq!(cell.bucket, 0);
+        assert_eq!(
+            (cell.min, cell.max, cell.sum, cell.count),
+            (2.0, 4.0, 6.0, 2)
+        );
+        assert_eq!(cell.writer, 0);
+        // Bits 10 and 20 are set, nothing else.
+        let ones: u32 = cell.bitmap.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 2);
+        assert_ne!(cell.bitmap[10 / 8] & (1 << (10 % 8)), 0);
+    }
+
+    #[test]
+    fn duplicate_second_is_counted_once() {
+        let c = codec();
+        let w = RollupWriter::new(c.clone(), vec![60], 0);
+        w.on_batch("energy", &[(TAGS, 5, 1.0), (TAGS, 5, 100.0)]);
+        let sealed = w.flush();
+        let cell = decode_cell(&c, 60, &sealed[0]).unwrap();
+        assert_eq!(cell.count, 1, "same second must not double-count");
+        assert_eq!(cell.sum, 1.0);
+    }
+
+    #[test]
+    fn flush_seals_and_reopen_gets_fresh_generation() {
+        let c = codec();
+        let w = RollupWriter::new(c.clone(), vec![60], 2);
+        w.on_batch("energy", &[(TAGS, 5, 1.0)]);
+        let first = w.flush();
+        assert_eq!(first.len(), 1);
+        assert!(w.flush().is_empty(), "nothing left open");
+        // Same bucket again: different generation, distinct qualifier.
+        w.on_batch("energy", &[(TAGS, 6, 2.0)]);
+        let second = w.flush();
+        let a = decode_cell(&c, 60, &first[0]).unwrap();
+        let b = decode_cell(&c, 60, &second[0]).unwrap();
+        assert_eq!(a.bucket, b.bucket);
+        assert_eq!((a.writer, b.writer), (2, 2));
+        assert_ne!(a.gen, b.gen);
+        assert_ne!(first[0].qualifier, second[0].qualifier);
+    }
+
+    #[test]
+    fn rollup_metrics_are_never_rolled_up() {
+        let w = RollupWriter::new(codec(), vec![60], 0);
+        w.on_batch(&tier_metric(60, "energy"), &[(TAGS, 5, 1.0)]);
+        assert!(w.flush().is_empty());
+    }
+
+    #[test]
+    fn merge_disjoint_cells_sums() {
+        let c = codec();
+        let a_writer = RollupWriter::new(c.clone(), vec![60], 0);
+        let b_writer = RollupWriter::new(c.clone(), vec![60], 1);
+        a_writer.on_batch("energy", &[(TAGS, 1, 1.0), (TAGS, 3, 3.0)]);
+        b_writer.on_batch("energy", &[(TAGS, 2, 10.0)]);
+        let mut cells: Vec<RollupCell> = a_writer
+            .flush()
+            .iter()
+            .chain(b_writer.flush().iter())
+            .map(|kv| decode_cell(&c, 60, kv).unwrap())
+            .collect();
+        let m = merge_cells(&mut cells).unwrap();
+        assert!(!m.tainted);
+        assert_eq!((m.min, m.max, m.sum, m.count), (1.0, 10.0, 14.0, 3));
+    }
+
+    #[test]
+    fn merge_flags_overlapping_seconds_as_tainted() {
+        let c = codec();
+        let a_writer = RollupWriter::new(c.clone(), vec![60], 0);
+        let b_writer = RollupWriter::new(c.clone(), vec![60], 1);
+        // Both writers saw second 7 — a retried batch delivered twice.
+        a_writer.on_batch("energy", &[(TAGS, 7, 1.0)]);
+        b_writer.on_batch("energy", &[(TAGS, 7, 1.0)]);
+        let mut cells: Vec<RollupCell> = a_writer
+            .flush()
+            .iter()
+            .chain(b_writer.flush().iter())
+            .map(|kv| decode_cell(&c, 60, kv).unwrap())
+            .collect();
+        assert!(merge_cells(&mut cells).unwrap().tainted);
+    }
+
+    #[test]
+    fn version_timestamp_prefers_larger_count() {
+        let c = codec();
+        let w = RollupWriter::new(c.clone(), vec![60], 0);
+        w.on_batch("energy", &[(TAGS, 5, 1.0)]);
+        let short = w.flush();
+        w.on_batch("energy", &[(TAGS, 6, 1.0), (TAGS, 7, 1.0)]);
+        let long = w.flush();
+        assert!(long[0].timestamp > short[0].timestamp);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the row span")]
+    fn tier_must_divide_row_span() {
+        RollupWriter::new(codec(), vec![7], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tier_above_cap_rejected() {
+        RollupWriter::new(codec(), vec![1800], 0);
+    }
+}

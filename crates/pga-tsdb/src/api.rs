@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::query::{Aggregator, QueryFilter};
+use crate::query::{Aggregator, QueryFilter, TimeSeries};
 use crate::tsd::{Tsd, TsdError};
 
 /// One datapoint of an `/api/put` body (OpenTSDB's schema).
@@ -68,6 +68,128 @@ pub struct QueryResponseSeries {
     pub dps: BTreeMap<String, f64>,
 }
 
+/// Typed description of one failed shard of a scatter-gather query —
+/// the wire form of the read path's partial-result contract. `kind` is
+/// one of `"busy"`, `"deadline_expired"`, `"storage"`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardError {
+    /// Salt shard (region) that failed.
+    pub shard: u8,
+    /// Failure class: `busy`, `deadline_expired`, or `storage`.
+    pub kind: String,
+    /// Retry hint carried by a `busy` rejection.
+    #[serde(default)]
+    pub retry_after_ms: Option<u64>,
+}
+
+/// Partial-result descriptor attached to degraded query responses: which
+/// shards failed out of how many, so a dashboard can render the series it
+/// did get and badge the chart as degraded instead of hanging or showing
+/// an empty plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialInfo {
+    /// Shards that failed, with their typed failure class.
+    pub failed_shards: Vec<ShardError>,
+    /// Total shards the query fanned out to.
+    pub total_shards: u32,
+}
+
+impl PartialInfo {
+    /// Merge another sub-query's partial info into this one.
+    pub fn merge(&mut self, other: PartialInfo) {
+        self.failed_shards.extend(other.failed_shards);
+        self.total_shards += other.total_shards;
+    }
+}
+
+/// Result of executing one sub-query: the series that were assembled plus
+/// an optional partial-result marker when some shards failed.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Series assembled (downsampling already applied when requested).
+    pub series: Vec<TimeSeries>,
+    /// Present when one or more shards failed.
+    pub partial: Option<PartialInfo>,
+}
+
+/// A query execution strategy behind `/api/query`. The raw [`Tsd`] path
+/// implements it directly; `pga-query`'s planned rollup/scatter-gather
+/// engine implements it for the dashboard serving layer.
+pub trait QueryExecutor {
+    /// Execute one `(metric, filter, range, downsample)` sub-query.
+    /// Never blocks unboundedly: failed or slow shards surface in
+    /// [`ExecOutcome::partial`] instead of an error.
+    fn execute(
+        &self,
+        metric: &str,
+        filter: &QueryFilter,
+        start: u64,
+        end: u64,
+        downsample: Option<(u64, Aggregator)>,
+    ) -> ExecOutcome;
+}
+
+impl QueryExecutor for Tsd {
+    /// The raw path: full scans, serial per shard. A storage failure
+    /// degrades the whole request (the serial scan cannot tell which
+    /// later shards would have succeeded).
+    fn execute(
+        &self,
+        metric: &str,
+        filter: &QueryFilter,
+        start: u64,
+        end: u64,
+        downsample: Option<(u64, Aggregator)>,
+    ) -> ExecOutcome {
+        let total_shards = self.codec().salt_range().len() as u32;
+        match self.query(metric, filter, start, end) {
+            Ok(series) => ExecOutcome {
+                series: series
+                    .into_iter()
+                    .map(|s| match downsample {
+                        Some((interval, agg)) => s.downsample(interval, agg),
+                        None => s,
+                    })
+                    .collect(),
+                partial: None,
+            },
+            Err(e) => ExecOutcome {
+                series: Vec::new(),
+                partial: Some(PartialInfo {
+                    failed_shards: vec![ShardError {
+                        shard: 0,
+                        kind: shard_error_kind(&e),
+                        retry_after_ms: e.retry_after_ms(),
+                    }],
+                    total_shards,
+                }),
+            },
+        }
+    }
+}
+
+/// Map a storage error to its wire failure class.
+pub fn shard_error_kind(e: &TsdError) -> String {
+    if e.is_busy() {
+        "busy".into()
+    } else if e.is_deadline_expired() {
+        "deadline_expired".into()
+    } else {
+        "storage".into()
+    }
+}
+
+/// Body of a degraded (HTTP 503) query response: the typed partial-result
+/// descriptor plus every series that *was* assembled, so clients can
+/// render a degraded chart rather than an empty one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradedBody {
+    /// Which shards failed, out of how many.
+    pub partial: PartialInfo,
+    /// Series that were assembled despite the failures.
+    pub series: Vec<QueryResponseSeries>,
+}
+
 /// API failure, rendered as an OpenTSDB-style error JSON.
 #[derive(Debug)]
 pub enum ApiError {
@@ -75,6 +197,8 @@ pub enum ApiError {
     BadRequest(String),
     /// Storage failure.
     Storage(TsdError),
+    /// Some query shards failed: partial results attached.
+    Degraded(Box<DegradedBody>),
 }
 
 impl ApiError {
@@ -83,14 +207,31 @@ impl ApiError {
         match self {
             ApiError::BadRequest(_) => 400,
             ApiError::Storage(_) => 500,
+            ApiError::Degraded(_) => 503,
         }
     }
 
-    /// OpenTSDB-style error body.
+    /// OpenTSDB-style error body. Degraded responses additionally carry
+    /// `partial` and `series` alongside `error`.
     pub fn to_json(&self) -> String {
         let (code, msg) = match self {
             ApiError::BadRequest(m) => (400, m.clone()),
             ApiError::Storage(e) => (500, e.to_string()),
+            ApiError::Degraded(d) => {
+                let msg = format!(
+                    "partial results: {}/{} shards failed",
+                    d.partial.failed_shards.len(),
+                    d.partial.total_shards
+                );
+                let partial = serde_json::to_value(&d.partial);
+                let series = serde_json::to_value(&d.series);
+                let body = serde_json::json!({
+                    "error": {"code": 503, "message": msg},
+                    "partial": partial,
+                    "series": series,
+                });
+                return serde_json::to_string(&body).unwrap_or_default();
+            }
         };
         serde_json::json!({"error": {"code": code, "message": msg}}).to_string()
     }
@@ -101,6 +242,12 @@ impl std::fmt::Display for ApiError {
         match self {
             ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
             ApiError::Storage(e) => write!(f, "storage: {e}"),
+            ApiError::Degraded(d) => write!(
+                f,
+                "degraded: {}/{} shards failed",
+                d.partial.failed_shards.len(),
+                d.partial.total_shards
+            ),
         }
     }
 }
@@ -206,14 +353,29 @@ pub fn handle_suggest(tsd: &Tsd, query_string: &str) -> Result<String, ApiError>
     serde_json::to_string(&names).map_err(|e| ApiError::BadRequest(e.to_string()))
 }
 
-/// Handle an `/api/query` body. Returns the response JSON.
+/// Handle an `/api/query` body against the raw [`Tsd`] path. Shard
+/// failures surface as [`ApiError::Degraded`] (HTTP 503) with the typed
+/// partial-result body.
 pub fn handle_query(tsd: &Tsd, body: &str) -> Result<String, ApiError> {
+    handle_query_with(tsd, body)
+}
+
+/// Handle an `/api/query` body through any [`QueryExecutor`] — the raw
+/// TSD path or the serving-layer engine from `pga-query`. When every
+/// shard answers, returns the OpenTSDB-style series array; when some
+/// shards fail, returns [`ApiError::Degraded`] carrying both the typed
+/// shard errors and every series that was assembled.
+pub fn handle_query_with<E: QueryExecutor + ?Sized>(
+    exec: &E,
+    body: &str,
+) -> Result<String, ApiError> {
     let req: QueryRequest =
         serde_json::from_str(body).map_err(|e| ApiError::BadRequest(e.to_string()))?;
     if req.end < req.start {
         return Err(ApiError::BadRequest("end before start".into()));
     }
     let mut out: Vec<QueryResponseSeries> = Vec::new();
+    let mut partial: Option<PartialInfo> = None;
     for sub in &req.queries {
         let mut filter = QueryFilter::any();
         for (k, v) in &sub.tags {
@@ -224,14 +386,8 @@ pub fn handle_query(tsd: &Tsd, body: &str) -> Result<String, ApiError> {
             .as_deref()
             .map(parse_downsample)
             .transpose()?;
-        let series = tsd
-            .query(&sub.metric, &filter, req.start, req.end)
-            .map_err(ApiError::Storage)?;
-        for s in series {
-            let s = match downsample {
-                Some((interval, agg)) => s.downsample(interval, agg),
-                None => s,
-            };
+        let outcome = exec.execute(&sub.metric, &filter, req.start, req.end, downsample);
+        for s in outcome.series {
             out.push(QueryResponseSeries {
                 metric: s.metric.clone(),
                 tags: s.tags.clone(),
@@ -242,6 +398,18 @@ pub fn handle_query(tsd: &Tsd, body: &str) -> Result<String, ApiError> {
                     .collect(),
             });
         }
+        if let Some(p) = outcome.partial {
+            match &mut partial {
+                Some(acc) => acc.merge(p),
+                None => partial = Some(p),
+            }
+        }
+    }
+    if let Some(partial) = partial {
+        return Err(ApiError::Degraded(Box::new(DegradedBody {
+            partial,
+            series: out,
+        })));
     }
     serde_json::to_string(&out).map_err(|e| ApiError::BadRequest(e.to_string()))
 }
@@ -400,6 +568,75 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&e.to_json()).unwrap();
         assert_eq!(v["error"]["code"], 400);
         assert_eq!(v["error"]["message"], "nope");
+    }
+
+    /// Executor that fails one shard but still returns a series — the
+    /// partial-result contract a slow region server produces.
+    struct HalfDeadExecutor;
+
+    impl QueryExecutor for HalfDeadExecutor {
+        fn execute(
+            &self,
+            metric: &str,
+            _filter: &QueryFilter,
+            _start: u64,
+            _end: u64,
+            _downsample: Option<(u64, Aggregator)>,
+        ) -> ExecOutcome {
+            ExecOutcome {
+                series: vec![TimeSeries {
+                    metric: metric.to_string(),
+                    tags: BTreeMap::new(),
+                    points: vec![crate::query::DataPoint {
+                        timestamp: 1,
+                        value: 2.0,
+                    }],
+                }],
+                partial: Some(PartialInfo {
+                    failed_shards: vec![ShardError {
+                        shard: 3,
+                        kind: "busy".into(),
+                        retry_after_ms: Some(40),
+                    }],
+                    total_shards: 4,
+                }),
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_query_returns_typed_503_with_partial_series() {
+        let body = r#"{"start":0,"end":10,"queries":[{"metric":"energy"}]}"#;
+        let err = handle_query_with(&HalfDeadExecutor, body).unwrap_err();
+        assert_eq!(err.status(), 503);
+        let v: serde_json::Value = serde_json::from_str(&err.to_json()).unwrap();
+        assert_eq!(v["error"]["code"], 503);
+        assert_eq!(v["partial"]["total_shards"], 4);
+        assert_eq!(v["partial"]["failed_shards"][0]["shard"], 3);
+        assert_eq!(v["partial"]["failed_shards"][0]["kind"], "busy");
+        assert_eq!(v["partial"]["failed_shards"][0]["retry_after_ms"], 40);
+        // The series that did come back ride along for degraded charts.
+        assert_eq!(v["series"][0]["dps"]["1"], 2.0);
+    }
+
+    #[test]
+    fn tsd_implements_executor_with_downsample() {
+        let (m, t) = tsd();
+        for ts in 0..20u64 {
+            t.put("energy", &[("unit", "1")], ts, ts as f64).unwrap();
+        }
+        let out = QueryExecutor::execute(
+            &t,
+            "energy",
+            &QueryFilter::any(),
+            0,
+            19,
+            Some((10, Aggregator::Avg)),
+        );
+        assert!(out.partial.is_none());
+        assert_eq!(out.series[0].points.len(), 2);
+        assert_eq!(out.series[0].points[0].value, 4.5);
+        m.shutdown();
     }
 
     #[test]

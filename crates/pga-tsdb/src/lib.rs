@@ -28,10 +28,11 @@ pub mod tsd;
 pub mod uid;
 
 pub use api::{
-    handle_put, handle_query, handle_suggest, ApiError, PutDatapoint, QueryRequest,
-    QueryResponseSeries, SubQuery,
+    handle_put, handle_query, handle_query_with, handle_suggest, parse_downsample, ApiError,
+    DegradedBody, ExecOutcome, PartialInfo, PutDatapoint, QueryExecutor, QueryRequest,
+    QueryResponseSeries, ShardError, SubQuery,
 };
 pub use codec::{KeyCodec, KeyCodecConfig};
 pub use query::{aggregate_series, Aggregator, DataPoint, QueryFilter, TimeSeries};
-pub use tsd::{BatchPoint, Tsd, TsdConfig, TsdError, TsdMetrics};
+pub use tsd::{BatchPoint, PutObserver, Tsd, TsdConfig, TsdError, TsdMetrics};
 pub use uid::{Uid, UidTable};

@@ -31,43 +31,34 @@ impl TimeSeries {
     }
 
     /// Downsample into fixed windows of `interval` seconds using `agg`.
-    /// Window boundaries are aligned to multiples of the interval; empty
-    /// windows produce no point (OpenTSDB semantics).
+    /// Window boundaries are anchored to epoch-aligned multiples of the
+    /// interval (never to the first datapoint); empty windows produce no
+    /// point (OpenTSDB semantics).
+    ///
+    /// The fold is keyed by window start, so a window revisited
+    /// non-contiguously (unsorted input, or duplicate timestamps arriving
+    /// out of order) accumulates into one bucket instead of emitting the
+    /// same window twice. For input already in timestamp order each
+    /// window's values are accumulated in that order, which keeps the
+    /// floating-point sum bitwise reproducible — the rollup tiers in
+    /// `pga-query` rely on that for their byte-for-byte cross-check.
     pub fn downsample(&self, interval: u64, agg: Aggregator) -> TimeSeries {
         assert!(interval > 0, "interval must be positive");
-        let mut out = Vec::new();
-        let mut window_start: Option<u64> = None;
-        let mut acc = AggState::new();
+        let mut windows: BTreeMap<u64, AggState> = BTreeMap::new();
         for p in &self.points {
             let w = p.timestamp - p.timestamp % interval;
-            match window_start {
-                Some(ws) if ws == w => acc.add(p.value),
-                Some(ws) => {
-                    out.push(DataPoint {
-                        timestamp: ws,
-                        value: acc.finish(agg),
-                    });
-                    acc = AggState::new();
-                    acc.add(p.value);
-                    window_start = Some(w);
-                    let _ = ws;
-                }
-                None => {
-                    acc.add(p.value);
-                    window_start = Some(w);
-                }
-            }
-        }
-        if let Some(ws) = window_start {
-            out.push(DataPoint {
-                timestamp: ws,
-                value: acc.finish(agg),
-            });
+            windows.entry(w).or_insert_with(AggState::new).add(p.value);
         }
         TimeSeries {
             metric: self.metric.clone(),
             tags: self.tags.clone(),
-            points: out,
+            points: windows
+                .into_iter()
+                .map(|(timestamp, acc)| DataPoint {
+                    timestamp,
+                    value: acc.finish(agg),
+                })
+                .collect(),
         }
     }
 }
@@ -249,6 +240,41 @@ mod tests {
     fn downsample_empty_series() {
         let s = series(&[]);
         assert!(s.downsample(10, Aggregator::Avg).points.is_empty());
+    }
+
+    #[test]
+    fn downsample_windows_anchor_to_epoch_not_first_point() {
+        // First datapoint at ts=7: the window must start at 0 (epoch
+        // aligned), not at 7.
+        let s = series(&[(7, 1.0), (9, 3.0), (12, 5.0)]);
+        let d = s.downsample(10, Aggregator::Avg);
+        assert_eq!(d.points.len(), 2);
+        assert_eq!(d.points[0].timestamp, 0);
+        assert_eq!(d.points[0].value, 2.0);
+        assert_eq!(d.points[1].timestamp, 10);
+        assert_eq!(d.points[1].value, 5.0);
+    }
+
+    #[test]
+    fn downsample_merges_noncontiguous_window_revisits() {
+        // Unsorted input revisits window 0 after window 10 was opened.
+        // The old single-open-window fold emitted window 0 twice; the
+        // keyed fold must merge the revisit into one bucket.
+        let s = series(&[(0, 1.0), (10, 4.0), (5, 3.0)]);
+        let d = s.downsample(10, Aggregator::Sum);
+        assert_eq!(
+            d.points,
+            vec![
+                DataPoint {
+                    timestamp: 0,
+                    value: 4.0
+                },
+                DataPoint {
+                    timestamp: 10,
+                    value: 4.0
+                },
+            ]
+        );
     }
 
     #[test]

@@ -27,6 +27,23 @@ use crate::query::{DataPoint, QueryFilter, TimeSeries};
 /// One `(tags, timestamp, value)` element of a batched put.
 pub type BatchPoint<'a> = (&'a [(&'a str, &'a str)], u64, f64);
 
+/// Write-path observer: sees every **successfully acknowledged** batch and
+/// may derive extra cells (rollup pre-aggregates, indexes) to be persisted
+/// alongside the raw data. Derived cells are buffered by the TSD and ride
+/// along with the *next* storage RPC, so a failed or shed batch never
+/// contributes — the observer only accumulates data the storage layer has
+/// acked, and buffered cells are retried until a put succeeds (or
+/// [`Tsd::flush_observer`] writes them out).
+pub trait PutObserver: Send + Sync {
+    /// `points` of `metric` were durably acknowledged. Returns derived
+    /// cells now ready to persist (typically aggregate buckets sealed by
+    /// this batch's arrival).
+    fn on_batch(&self, metric: &str, points: &[BatchPoint<'_>]) -> Vec<KeyValue>;
+
+    /// Seal and return every open accumulator (shutdown / idle flush).
+    fn flush(&self) -> Vec<KeyValue>;
+}
+
 /// TSD configuration.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TsdConfig {
@@ -118,6 +135,10 @@ pub struct Tsd {
     /// Last row key seen per series hash — detects row rollover for the
     /// write-path compaction model.
     open_rows: Mutex<HashMap<u64, Bytes>>,
+    /// Write-path observer (rollup maintenance), if installed.
+    observer: parking_lot::RwLock<Option<Arc<dyn PutObserver>>>,
+    /// Observer-derived cells awaiting the next successful put.
+    pending_derived: Mutex<Vec<KeyValue>>,
 }
 
 impl Tsd {
@@ -129,12 +150,54 @@ impl Tsd {
             config,
             metrics: Arc::new(TsdMetrics::default()),
             open_rows: Mutex::new(HashMap::new()),
+            observer: parking_lot::RwLock::new(None),
+            pending_derived: Mutex::new(Vec::new()),
         }
     }
 
     /// Borrow the codec.
     pub fn codec(&self) -> &KeyCodec {
         &self.codec
+    }
+
+    /// Borrow the storage client (read-path subsystems issue their own
+    /// scans through it).
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// Install a write-path observer. At most one; installing replaces
+    /// the previous one (pending derived cells are kept — they are
+    /// already acknowledged data).
+    pub fn set_observer(&self, observer: Arc<dyn PutObserver>) {
+        *self.observer.write() = Some(observer);
+    }
+
+    /// Seal every open observer accumulator and persist all buffered
+    /// derived cells in one put. No-op without an observer or pending
+    /// cells. On failure the cells stay buffered for the next attempt.
+    pub fn flush_observer(&self) -> Result<(), TsdError> {
+        let observer = self.observer.read().clone();
+        let mut cells = std::mem::take(&mut *self.pending_derived.lock());
+        if let Some(obs) = observer {
+            cells.extend(obs.flush());
+        }
+        if cells.is_empty() {
+            return Ok(());
+        }
+        // pga-allow(lock-discipline): the observer read guard above is a temporary dropped at its own statement; only the cloned Arc reaches this put
+        match self.client.put(cells.clone()) {
+            Ok(_) => {
+                self.metrics.put_rpcs.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                let mut pending = self.pending_derived.lock();
+                cells.append(&mut pending);
+                *pending = cells;
+                Err(e.into())
+            }
+        }
     }
 
     /// Shared metrics handle.
@@ -197,12 +260,37 @@ impl Tsd {
             ));
         }
         let n = kvs.len() as u64;
-        match admitted {
-            None => self.client.put(kvs)?,
-            Some(deadline_ms) => self.client.put_admitted(kvs, deadline_ms)?,
+        // Derived cells buffered by the observer ride along with this RPC.
+        let carried: Vec<KeyValue> = std::mem::take(&mut *self.pending_derived.lock());
+        let carried_n = carried.len();
+        kvs.extend(carried.iter().cloned());
+        let result = match admitted {
+            None => self.client.put(kvs),
+            Some(deadline_ms) => self.client.put_admitted(kvs, deadline_ms),
         };
+        if let Err(e) = result {
+            // Re-buffer the derived cells (ahead of any buffered since);
+            // the raw batch itself is the caller's to retry.
+            if carried_n > 0 {
+                let mut pending = self.pending_derived.lock();
+                let mut restored = carried;
+                restored.append(&mut pending);
+                *pending = restored;
+            }
+            return Err(e.into());
+        }
         self.metrics.put_rpcs.fetch_add(1, Ordering::Relaxed);
         self.metrics.points_written.fetch_add(n, Ordering::Relaxed);
+        // Only acknowledged points reach the observer: a shed or failed
+        // batch above returned early, so a proxy retrying it elsewhere
+        // cannot double-count its contribution.
+        let observer = self.observer.read().clone();
+        if let Some(obs) = observer {
+            let sealed = obs.on_batch(metric, points);
+            if !sealed.is_empty() {
+                self.pending_derived.lock().extend(sealed);
+            }
+        }
         Ok(())
     }
 

@@ -10,6 +10,11 @@ use std::collections::HashMap;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
+/// Reserved name prefix for system-internal series (rollup tiers and the
+/// like). Names carrying it are interned and queryable but hidden from
+/// `/api/suggest`, the way OpenTSDB hides its rollup shadow metrics.
+pub const RESERVED_PREFIX: char = '\u{1}';
+
 /// A 3-byte unique id (16.7M distinct names per kind, like OpenTSDB).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Uid(pub [u8; 3]);
@@ -108,13 +113,14 @@ impl UidTable {
     }
 
     /// Names interned in a namespace that start with `prefix`, sorted,
-    /// capped at `max` (backs the `/api/suggest` endpoint).
+    /// capped at `max` (backs the `/api/suggest` endpoint). Reserved
+    /// system names ([`RESERVED_PREFIX`]) never appear.
     pub fn suggest(&self, kind: UidKind, prefix: &str, max: usize) -> Vec<String> {
         let space = self.space(kind).read();
         let mut names: Vec<String> = space
             .forward
             .keys()
-            .filter(|n| n.starts_with(prefix))
+            .filter(|n| n.starts_with(prefix) && !n.starts_with(RESERVED_PREFIX))
             .cloned()
             .collect();
         names.sort();
@@ -182,6 +188,18 @@ mod tests {
         assert_eq!(uids[299].as_u32(), 300);
         // Byte layout is big-endian-ish: 256th id rolls the middle byte.
         assert_eq!(uids[255].0, [0, 1, 0]);
+    }
+
+    #[test]
+    fn suggest_hides_reserved_names() {
+        let t = UidTable::new();
+        t.get_or_create(UidKind::Metric, "energy");
+        t.get_or_create(UidKind::Metric, &format!("{RESERVED_PREFIX}ru:60:energy"));
+        assert_eq!(t.suggest(UidKind::Metric, "", 10), vec!["energy"]);
+        assert!(t
+            .suggest(UidKind::Metric, &RESERVED_PREFIX.to_string(), 10)
+            .is_empty());
+        assert_eq!(t.len(UidKind::Metric), 2, "reserved names still intern");
     }
 
     #[test]

@@ -60,6 +60,40 @@ impl HttpResponse {
             body: body.into(),
         }
     }
+
+    /// Typed JSON error body: `{"error":{"code":…,"type":…,"message":…}}`.
+    ///
+    /// Dashboard routes return this instead of an empty page when a
+    /// shard fails or a path is invalid, so clients can distinguish "no
+    /// data" from "degraded backend" (mirrors the partial-result envelope
+    /// of the query API).
+    pub fn error_json(status: u16, kind: &str, message: &str) -> Self {
+        HttpResponse::json_status(
+            status,
+            format!(
+                "{{\"error\":{{\"code\":{status},\"type\":\"{}\",\"message\":\"{}\"}}}}",
+                escape_json(kind),
+                escape_json(message)
+            ),
+        )
+    }
+}
+
+/// Minimal JSON string escaping for error payloads.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn status_text(code: u16) -> &'static str {
@@ -69,6 +103,7 @@ fn status_text(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
@@ -328,6 +363,35 @@ mod tests {
             let (head, _) = get(server.addr(), "/");
             assert!(head.starts_with("HTTP/1.1 200"));
         }
+        server.stop();
+    }
+
+    #[test]
+    fn error_json_is_typed_and_escaped() {
+        let r = HttpResponse::error_json(503, "degraded", "1/4 shards \"busy\"\nretry later");
+        assert_eq!(r.status, 503);
+        assert_eq!(r.content_type, "application/json");
+        assert_eq!(
+            r.body,
+            "{\"error\":{\"code\":503,\"type\":\"degraded\",\
+             \"message\":\"1/4 shards \\\"busy\\\"\\nretry later\"}}"
+        );
+        // Parses back as JSON with the fields intact.
+        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(v["error"]["code"], 503);
+        assert_eq!(v["error"]["type"], "degraded");
+    }
+
+    #[test]
+    fn error_json_rides_the_wire_with_status_text() {
+        let handler: RequestHandler = Arc::new(|req: &HttpRequest| {
+            (req.path == "/degraded").then(|| HttpResponse::error_json(503, "degraded", "shard 2"))
+        });
+        let server = DashboardServer::start_with(0, handler).unwrap();
+        let (head, body) = get(server.addr(), "/degraded");
+        assert!(head.starts_with("HTTP/1.1 503 Service Unavailable"));
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"code\":503"));
         server.stop();
     }
 

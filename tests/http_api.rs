@@ -50,19 +50,38 @@ fn serving_monitor() -> (DashboardServer, Arc<Mutex<Monitor>>) {
                 ("GET", "/") => Some(HttpResponse::html(m.fleet_overview_html(0.0))),
                 ("GET", "/heatmap") => Some(HttpResponse::html(m.heatmap_html(0, 599, 50))),
                 ("GET", p) if p.starts_with("/machine/") => {
-                    let unit: u32 = p["/machine/".len()..].parse().ok()?;
-                    m.machine_page_html(unit, 599, 100, 8)
-                        .ok()
-                        .map(HttpResponse::html)
+                    let Ok(unit) = p["/machine/".len()..].parse::<u32>() else {
+                        return Some(HttpResponse::error_json(
+                            404,
+                            "not_found",
+                            "machine id must be a non-negative integer",
+                        ));
+                    };
+                    if unit >= 4 {
+                        return Some(HttpResponse::error_json(
+                            404,
+                            "not_found",
+                            &format!("unit {unit} outside fleet of 4"),
+                        ));
+                    }
+                    Some(match m.machine_page_html(unit, 599, 100, 8) {
+                        Ok(html) => HttpResponse::html(html),
+                        Err(e) => HttpResponse::error_json(503, "degraded", &e.to_string()),
+                    })
                 }
                 ("POST", "/api/put") => Some(match pga_tsdb::handle_put(m.tsd(), &req.body) {
                     Ok(n) => HttpResponse::json(format!("{{\"success\":{n}}}")),
                     Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
                 }),
-                ("POST", "/api/query") => Some(match pga_tsdb::handle_query(m.tsd(), &req.body) {
-                    Ok(json) => HttpResponse::json(json),
-                    Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
-                }),
+                ("POST", "/api/query") => {
+                    // Served by the pga-query engine, like the pga CLI.
+                    Some(
+                        match pga_tsdb::handle_query_with(&**m.engine(), &req.body) {
+                            Ok(json) => HttpResponse::json(json),
+                            Err(e) => HttpResponse::json_status(e.status(), e.to_json()),
+                        },
+                    )
+                }
                 _ => None,
             }
         })
@@ -144,8 +163,34 @@ fn dashboard_and_api_over_one_socket() {
     assert_eq!(status, 400);
     assert!(body.contains("\"error\""));
 
-    let (status, _) = request(addr, "GET", "/machine/999", "");
+    // Bad machine ids are typed JSON errors, not empty 404 pages: a
+    // client can tell "no such unit" from "no data yet".
+    let (status, body) = request(addr, "GET", "/machine/999", "");
     assert_eq!(status, 404);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["error"]["code"], 404);
+    assert_eq!(v["error"]["type"], "not_found");
+    let (status, body) = request(addr, "GET", "/machine/banana", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"error\""));
+
+    // The serving engine answered the API traffic, and its counters flow
+    // into control-plane telemetry (cache hit ratio, scatter-gather
+    // fan-out in NodeStats).
+    let stats = monitor.lock().engine().stats();
+    assert!(stats.queries > 0);
+    assert!(stats.fanout_total > 0, "queries scatter across salt shards");
+    let reg = pga_control::MetricsRegistry::new(0);
+    reg.record_query_serving(
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.fanout_total,
+        stats.partials,
+    );
+    let node = reg.snapshot(0, 0);
+    assert_eq!(node.query_fanout, stats.fanout_total);
+    assert_eq!(node.query_cache_hits, stats.cache_hits);
+    assert_eq!(node.query_partials, 0, "healthy stack serves no partials");
 
     server.stop();
     monitor.lock().shutdown();
