@@ -19,6 +19,10 @@ fn in_scope(f: &SourceFile) -> bool {
     match f.krate.as_str() {
         "pga-sensorgen" => true,
         "pga-faultsim" => true,
+        // The replication plane (quorum tracking, promotion choice, lag
+        // accounting) replays inside the fault simulator; ambient time or
+        // entropy would make failover schedules unreproducible.
+        "pga-repl" => true,
         // The serving engine injects its clock (`ClockMs`) so cache TTLs
         // and shard deadlines replay; ambient time would undo that.
         "pga-query" => true,

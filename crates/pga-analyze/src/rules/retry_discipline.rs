@@ -17,6 +17,7 @@ const SCOPE: &[(&str, &[&str])] = &[
     ("pga-tsdb", &["api", "tsd"]),
     ("pga-cluster", &["rpc"]),
     ("pga-query", &[]),
+    ("pga-repl", &[]),
 ];
 
 fn in_scope(f: &SourceFile) -> bool {

@@ -28,9 +28,12 @@ fn live_workspace_has_zero_unsuppressed_violations() {
         rendered.join("\n")
     );
     // The suppressions that exist must all be justified ones we know about;
-    // a sudden jump usually means a rule regressed into noise.
+    // a sudden jump usually means a rule regressed into noise. Raised from
+    // 60 when the analyzer scopes grew to cover pga-repl's replication paths
+    // (lock-discipline on the documented regions → WAL-inner order, panic-path
+    // on modulo-bounded indexing in promotion).
     assert!(
-        report.suppressed.len() < 60,
+        report.suppressed.len() < 70,
         "suppression count exploded: {}",
         report.suppressed.len()
     );

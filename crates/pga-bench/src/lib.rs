@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod faults;
 pub mod overload;
 pub mod queries;
+pub mod repl;
 pub mod table;
 
 pub use elastic::{elastic_scaling_experiment, ElasticScalingReport, ElasticScenarioRow};
@@ -27,4 +28,7 @@ pub use experiments::{
 pub use faults::{fault_durability_experiment, FaultDurabilityReport};
 pub use overload::{overload_storm_experiment, OverloadStormReport, GOODPUT_FLOOR};
 pub use queries::{query_serving_experiment, QueryArm, QueryBenchConfig, QueryServingReport};
+pub use repl::{
+    failover_experiment, AvailabilityRow, CampaignSummary, FailoverReport, AVAILABILITY_BAR,
+};
 pub use table::render_table;

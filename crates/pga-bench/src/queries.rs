@@ -161,6 +161,7 @@ fn make_engine(pipeline: &IngestionPipeline, tiers: Vec<u64>, ttl_ms: u64) -> Qu
                 // answers and distort the comparison.
                 shard_deadline_ms: 15_000,
                 tail_buckets: 2,
+                hedge: None,
             },
             cache: CacheConfig {
                 shards: 8,

@@ -95,6 +95,20 @@ impl<P: ScalingPolicy> ElasticController<P> {
                 _ => (0, 0),
             }
         };
+        // Replication plane: worst follower lag and region count for the
+        // regions this node leads, plus the promotions that made it a
+        // primary — all from the master's authoritative view, so they
+        // stay correct even while the node itself is unreachable.
+        let (repl_lag_batches, repl_regions) = master
+            .replication_report()
+            .iter()
+            .filter(|s| s.primary == node)
+            .fold((0u64, 0u64), |(lag, n), s| (lag.max(s.max_lag()), n + 1));
+        let repl_failovers = master
+            .failover_events()
+            .iter()
+            .filter(|e| e.to == node)
+            .count() as u64;
         Some(NodeStats {
             node: node.0,
             tick,
@@ -120,6 +134,14 @@ impl<P: ScalingPolicy> ElasticController<P> {
             query_cache_misses: 0,
             query_fanout: 0,
             query_partials: 0,
+            repl_lag_batches,
+            repl_regions,
+            repl_failovers,
+            // Fencing and follower reads are observed client-side; the
+            // TSD registries mirror them via `record_replication`.
+            repl_fence_rejections: 0,
+            repl_follower_reads: 0,
+            repl_hedged_scans: 0,
         })
     }
 
@@ -349,6 +371,12 @@ mod tests {
             query_cache_misses: 0,
             query_fanout: 0,
             query_partials: 0,
+            repl_lag_batches: 0,
+            repl_regions: 0,
+            repl_failovers: 0,
+            repl_fence_rejections: 0,
+            repl_follower_reads: 0,
+            repl_hedged_scans: 0,
         };
         ctl.report_ingest(proxy.clone());
         let r = ctl.step(&mut master, 1000);

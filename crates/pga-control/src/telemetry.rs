@@ -147,6 +147,22 @@ pub struct MetricsRegistry {
     pub query_fanout: AtomicU64,
     /// Gauge: serving-layer queries answered with partial results.
     pub query_partials: AtomicU64,
+    /// Gauge: worst follower lag (WAL batches behind the primary) across
+    /// the replicated regions this node leads.
+    pub repl_lag_batches: AtomicU64,
+    /// Gauge: replicated regions this node is the primary for.
+    pub repl_regions: AtomicU64,
+    /// Gauge: promotions that made this node a primary (cumulative at
+    /// the source — the master's failover log).
+    pub repl_failovers: AtomicU64,
+    /// Gauge: epoch-fenced replication RPCs observed by this node's
+    /// clients (deposed writers denied a vote).
+    pub repl_fence_rejections: AtomicU64,
+    /// Gauge: scans served from a follower copy under the bounded-
+    /// staleness read policy.
+    pub repl_follower_reads: AtomicU64,
+    /// Gauge: scans hedged to a follower after a slow/dead primary.
+    pub repl_hedged_scans: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -167,6 +183,33 @@ impl MetricsRegistry {
         self.query_cache_misses.store(misses, Ordering::Relaxed);
         self.query_fanout.store(fanout, Ordering::Relaxed);
         self.query_partials.store(partials, Ordering::Relaxed);
+    }
+
+    /// Mirror replication-plane counters into this registry so the next
+    /// published [`NodeStats`] carries them. Lag and region count come
+    /// from the master's replication report; the read-path counters come
+    /// from the client-side lag book. Gauges despite being monotonic at
+    /// the source, like [`MetricsRegistry::record_query_serving`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_replication(
+        &self,
+        lag_batches: u64,
+        regions: u64,
+        failovers: u64,
+        fence_rejections: u64,
+        follower_reads: u64,
+        hedged_scans: u64,
+    ) {
+        // pga-allow(relaxed-atomics): independent gauges; scrape tolerates inter-field skew
+        self.repl_lag_batches.store(lag_batches, Ordering::Relaxed);
+        self.repl_regions.store(regions, Ordering::Relaxed);
+        self.repl_failovers.store(failovers, Ordering::Relaxed);
+        self.repl_fence_rejections
+            .store(fence_rejections, Ordering::Relaxed);
+        self.repl_follower_reads
+            .store(follower_reads, Ordering::Relaxed);
+        self.repl_hedged_scans
+            .store(hedged_scans, Ordering::Relaxed);
     }
 
     /// Snapshot the registry into the serializable wire form.
@@ -202,6 +245,12 @@ impl MetricsRegistry {
             query_cache_misses: self.query_cache_misses.load(Ordering::Relaxed),
             query_fanout: self.query_fanout.load(Ordering::Relaxed),
             query_partials: self.query_partials.load(Ordering::Relaxed),
+            repl_lag_batches: self.repl_lag_batches.load(Ordering::Relaxed),
+            repl_regions: self.repl_regions.load(Ordering::Relaxed),
+            repl_failovers: self.repl_failovers.load(Ordering::Relaxed),
+            repl_fence_rejections: self.repl_fence_rejections.load(Ordering::Relaxed),
+            repl_follower_reads: self.repl_follower_reads.load(Ordering::Relaxed),
+            repl_hedged_scans: self.repl_hedged_scans.load(Ordering::Relaxed),
         }
     }
 }
@@ -269,6 +318,27 @@ pub struct NodeStats {
     /// Cumulative queries answered with partial results.
     #[serde(default)]
     pub query_partials: u64,
+    /// Worst follower lag (WAL batches behind the primary) across the
+    /// replicated regions this node leads. Defaults (with the five
+    /// fields below) keep pre-replication snapshots parseable: an old
+    /// publisher simply reports an unreplicated node.
+    #[serde(default)]
+    pub repl_lag_batches: u64,
+    /// Replicated regions this node is the primary for.
+    #[serde(default)]
+    pub repl_regions: u64,
+    /// Promotions that made this node a primary.
+    #[serde(default)]
+    pub repl_failovers: u64,
+    /// Epoch-fenced replication RPCs (deposed writers denied a vote).
+    #[serde(default)]
+    pub repl_fence_rejections: u64,
+    /// Scans served from a follower copy under bounded staleness.
+    #[serde(default)]
+    pub repl_follower_reads: u64,
+    /// Scans hedged to a follower after a slow/dead primary.
+    #[serde(default)]
+    pub repl_hedged_scans: u64,
 }
 
 impl NodeStats {
@@ -435,6 +505,42 @@ impl FleetSnapshot {
     pub fn total_query_partials(&self) -> u64 {
         self.nodes.iter().map(|n| n.query_partials).sum()
     }
+
+    /// Worst follower lag (WAL batches) across every replicated region
+    /// in the fleet.
+    pub fn max_replication_lag(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.repl_lag_batches)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Replicated regions led across the fleet (each region counted once,
+    /// on its primary).
+    pub fn replicated_regions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.repl_regions).sum()
+    }
+
+    /// Cumulative primary failovers across the fleet (each promotion
+    /// counted once, on the promoted node).
+    pub fn total_failovers(&self) -> u64 {
+        self.nodes.iter().map(|n| n.repl_failovers).sum()
+    }
+
+    /// Cumulative epoch-fence rejections observed across the fleet.
+    pub fn total_fence_rejections(&self) -> u64 {
+        self.nodes.iter().map(|n| n.repl_fence_rejections).sum()
+    }
+
+    /// Cumulative follower-served reads (bounded-staleness plus hedged)
+    /// across the fleet.
+    pub fn total_follower_reads(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.repl_follower_reads + n.repl_hedged_scans)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -465,6 +571,12 @@ mod tests {
             query_cache_misses: 0,
             query_fanout: 0,
             query_partials: 0,
+            repl_lag_batches: 0,
+            repl_regions: 0,
+            repl_failovers: 0,
+            repl_fence_rejections: 0,
+            repl_follower_reads: 0,
+            repl_hedged_scans: 0,
         }
     }
 
@@ -483,6 +595,43 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: NodeStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn replication_counters_flow_into_fleet_aggregates() {
+        let reg = MetricsRegistry::new(64);
+        reg.record_replication(5, 2, 1, 3, 40, 7);
+        let a = reg.snapshot(0, 1);
+        assert_eq!(
+            (a.repl_lag_batches, a.repl_regions, a.repl_failovers),
+            (5, 2, 1)
+        );
+        let mut b = stats(1, 0, 64);
+        b.repl_lag_batches = 9;
+        b.repl_regions = 1;
+        b.repl_fence_rejections = 2;
+        b.repl_hedged_scans = 6;
+        let fleet = FleetSnapshot {
+            nodes: vec![a.clone(), b],
+        };
+        assert_eq!(fleet.max_replication_lag(), 9);
+        assert_eq!(fleet.replicated_regions(), 3);
+        assert_eq!(fleet.total_failovers(), 1);
+        assert_eq!(fleet.total_fence_rejections(), 5);
+        assert_eq!(fleet.total_follower_reads(), 53);
+        // Pre-replication snapshots (no repl fields at all) still parse.
+        let serde_json::Value::Object(obj) = serde_json::to_value(&a) else {
+            panic!("NodeStats must serialize to an object");
+        };
+        let mut pruned = serde_json::Map::new();
+        for (k, val) in obj.iter() {
+            if !k.starts_with("repl_") {
+                pruned.insert(k.clone(), val.clone());
+            }
+        }
+        let back: NodeStats = serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
+        assert_eq!(back.repl_lag_batches, 0);
+        assert_eq!(back.repl_regions, 0);
     }
 
     #[test]

@@ -36,7 +36,8 @@ use pga_cluster::coordinator::Coordinator;
 use pga_cluster::NodeId;
 use pga_ingest::{choose_target, HealthFn};
 use pga_minibase::{
-    Client, FaultHandle, Master, RegionConfig, RowRange, ServerConfig, TableDescriptor,
+    Client, FaultHandle, Master, RegionConfig, Request, Response, RowRange, ServerConfig,
+    TableDescriptor,
 };
 use pga_query::rollup::{self, RollupCell, RollupWriter};
 use pga_stats::distributions::normal_cdf;
@@ -83,6 +84,12 @@ pub struct SimConfig {
     /// drain: persisted rollup cells must survive crashes and agree with
     /// the acked raw history.
     pub rollups: bool,
+    /// Copies per region (primary + followers). `1` is the classic
+    /// single-copy stack — byte-identical traces to pre-replication
+    /// builds. At `factor > 1` puts quorum-ack through WAL shipping, a
+    /// primary crash is survived by promoting the most-caught-up
+    /// follower, and the replication oracles run after the drain.
+    pub replication_factor: usize,
 }
 
 impl Default for SimConfig {
@@ -98,6 +105,7 @@ impl Default for SimConfig {
             step_ms: 1_000,
             max_write_attempts: 40,
             rollups: true,
+            replication_factor: 1,
         }
     }
 }
@@ -159,6 +167,16 @@ pub enum Violation {
         /// What was expected vs observed.
         detail: String,
     },
+    /// A follower copy disagrees with its primary after the drain: a cell
+    /// the primary cannot explain (split-brain double-ack through a
+    /// deposed primary, or a mis-applied ship), a value mismatch, or a
+    /// follower applied further than the primary has written.
+    ReplicaDiverged {
+        /// Region id.
+        region: u64,
+        /// What diverged.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -187,6 +205,9 @@ impl fmt::Display for Violation {
             }
             Violation::RollupInconsistent { series, detail } => {
                 write!(f, "rollup-inconsistent [{series}]: {detail}")
+            }
+            Violation::ReplicaDiverged { region, detail } => {
+                write!(f, "replica-diverged [region {region}]: {detail}")
             }
         }
     }
@@ -234,6 +255,14 @@ pub struct SimStats {
     pub rollup_cells: u64,
     /// Seconds of coverage claimed by those cells' presence bitmaps.
     pub rollup_seconds: u64,
+    /// Primary failovers (follower promotions) performed by the master.
+    pub failovers: u64,
+    /// Follower copies compared cell-by-cell against their primary after
+    /// the drain.
+    pub replica_checks: u64,
+    /// Epoch-fenced replication RPCs observed by the storage clients —
+    /// each one is a deposed writer denied a vote.
+    pub fence_rejections: u64,
 }
 
 impl SimStats {
@@ -258,6 +287,9 @@ impl SimStats {
         self.busy_rejections += other.busy_rejections;
         self.rollup_cells += other.rollup_cells;
         self.rollup_seconds += other.rollup_seconds;
+        self.failovers += other.failovers;
+        self.replica_checks += other.replica_checks;
+        self.fence_rejections += other.fence_rejections;
     }
 
     /// Total faults injected (any kind).
@@ -322,6 +354,8 @@ struct Driver<'a> {
     /// Series that had a `WriteNeverAcked` batch — their stores may hold
     /// unacked samples, so they are excluded from exactness checks.
     tainted: BTreeSet<SeriesKey>,
+    /// Master failovers already reflected in post-failover scan checks.
+    failovers_seen: u64,
     events: Vec<String>,
     violations: Vec<Violation>,
     stats: SimStats,
@@ -349,11 +383,16 @@ impl<'a> Driver<'a> {
         let coord = Coordinator::new(config.lease_ms);
         let mut master = Master::bootstrap(config.nodes, ServerConfig::default(), coord, 0);
         master.set_fault_plane(wrap(plane.clone()));
-        master.create_table(&TableDescriptor {
+        let desc = TableDescriptor {
             name: "tsdb".into(),
             split_points: codec.split_points(),
             region_config: RegionConfig::default(),
-        });
+        };
+        if config.replication_factor > 1 {
+            master.create_replicated_table(&desc, config.replication_factor);
+        } else {
+            master.create_table(&desc);
+        }
         let tsds: Vec<Arc<Tsd>> = (0..config.nodes)
             .map(|_| {
                 Arc::new(Tsd::new(
@@ -392,6 +431,7 @@ impl<'a> Driver<'a> {
             slow: BTreeMap::new(),
             expected: BTreeMap::new(),
             tainted: BTreeSet::new(),
+            failovers_seen: 0,
             events: Vec::new(),
             violations: Vec::new(),
             stats: SimStats::default(),
@@ -480,6 +520,19 @@ impl<'a> Driver<'a> {
         for node in recovered {
             self.slow.remove(&node);
             self.log(format!("t={now} node {node} no longer slow"));
+        }
+    }
+
+    /// Scan consistency through promotion: a failover must leave every
+    /// acked write readable through the new primary. Run only between
+    /// workload steps — never from inside a write retry (where a batch
+    /// can sit applied on a primary but not yet quorum-acked, and would
+    /// masquerade as an unacked extra).
+    fn post_failover_check(&mut self) {
+        let failovers = self.master.failovers();
+        if failovers > self.failovers_seen {
+            self.failovers_seen = failovers;
+            self.scan_check("post-failover");
         }
     }
 
@@ -667,12 +720,23 @@ impl<'a> Driver<'a> {
             return None;
         }
         if stored.len() != acked.len() {
+            let extras: Vec<u64> = stored
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|t| !acked.contains_key(t))
+                .take(8)
+                .collect();
             return Some(Violation::ScanMismatch {
                 series: label,
                 detail: format!(
-                    "stored {} points, acked {} — duplicates or unacked extras",
+                    "stored {} points, acked {} — {}",
                     stored.len(),
-                    acked.len()
+                    acked.len(),
+                    if extras.is_empty() {
+                        "duplicate timestamps".to_string()
+                    } else {
+                        format!("unacked extras at ts {extras:?}")
+                    }
                 ),
             });
         }
@@ -895,6 +959,64 @@ impl<'a> Driver<'a> {
         }
     }
 
+    /// Post-drain replica-divergence oracle. For every replicated region,
+    /// scan the primary and each follower copy directly (no client
+    /// routing) and require the follower's view to be a value-exact
+    /// subset of the primary's: a follower may trail by un-shipped
+    /// batches, but a cell the primary cannot explain means a deposed
+    /// primary double-acked a write or a ship was mis-applied. The
+    /// follower's applied sequence must also never pass the primary's.
+    fn replication_checks(&mut self) {
+        let report = self.master.replication_report();
+        for status in report {
+            let Some(primary) = self.master.server(status.primary) else {
+                continue;
+            };
+            let primary_cells: BTreeSet<_> = match primary.handle().call(Request::Scan {
+                region: status.region,
+                range: RowRange::all(),
+            }) {
+                Ok(Response::Cells(cells)) => cells.into_iter().collect(),
+                _ => continue, // primary crashed post-drain: nothing to anchor on
+            };
+            for &(node, _) in &status.followers {
+                let Some(server) = self.master.server(node) else {
+                    continue;
+                };
+                let reply = server.handle().call(Request::FollowerScan {
+                    region: status.region,
+                    range: RowRange::all(),
+                });
+                let Ok(Response::FollowerCells { cells, applied_seq }) = reply else {
+                    continue;
+                };
+                self.stats.replica_checks += 1;
+                if applied_seq > status.primary_seq {
+                    self.violations.push(Violation::ReplicaDiverged {
+                        region: status.region.0,
+                        detail: format!(
+                            "follower {} applied seq {applied_seq} past primary seq {}",
+                            node.0, status.primary_seq
+                        ),
+                    });
+                }
+                for kv in &cells {
+                    if !primary_cells.contains(kv) {
+                        self.violations.push(Violation::ReplicaDiverged {
+                            region: status.region.0,
+                            detail: format!(
+                                "follower {} holds a cell the primary cannot explain \
+                                 (row {:?} ts {})",
+                                node.0, kv.row, kv.timestamp
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
     /// One cell of the rollup oracle: bitmap coverage must equal the
     /// count, and for untainted series every claimed second must map to
     /// an acked sample whose values reproduce the cell's aggregates.
@@ -1016,6 +1138,9 @@ pub(crate) fn run_inner(
         driver.step_workload(step);
         driver.advance();
         driver.wind_down_overload();
+        if config.replication_factor > 1 {
+            driver.post_failover_check();
+        }
     }
     // Drain: enough quiet steps for every pending lease expiry and
     // reassignment to complete before the authoritative checks.
@@ -1043,6 +1168,15 @@ pub(crate) fn run_inner(
         // Before the raw checks, so the flush puts are also covered by
         // the WAL-monotonicity sweep inside `final_checks`.
         driver.rollup_checks();
+    }
+    if config.replication_factor > 1 {
+        driver.replication_checks();
+        driver.stats.failovers = driver.master.failovers();
+        driver.stats.fence_rejections = driver
+            .tsds
+            .iter()
+            .map(|t| t.client().repl_book().snapshot().fence_rejections)
+            .sum();
     }
     let flags = driver
         .final_checks()
@@ -1133,6 +1267,60 @@ mod tests {
             "expected at least one sealed bucket of coverage, got {} seconds",
             outcome.stats.rollup_seconds
         );
+    }
+
+    /// The tentpole regression: at RF=2 a primary crash is survived by
+    /// promoting the crashed node's followers, every acked write stays
+    /// readable through the new primaries, and the surviving follower
+    /// copies agree with their primaries cell-for-cell.
+    #[test]
+    fn replicated_primary_crash_promotes_without_data_loss() {
+        let config = SimConfig {
+            replication_factor: 2,
+            ..SimConfig::default()
+        };
+        let schedule = parse_schedule("30:crash:1").unwrap();
+        let outcome = run(7, &schedule, &config);
+        assert_eq!(outcome.violations, vec![], "events: {:#?}", outcome.events);
+        assert_eq!(outcome.stats.crashes, 1);
+        assert!(
+            outcome.stats.failovers > 0,
+            "node 1 hosts primaries; its crash must promote followers"
+        );
+        assert!(
+            outcome.stats.replica_checks > 0,
+            "surviving follower copies must be compared against primaries"
+        );
+    }
+
+    /// RF=3 tolerates losing one copy without even needing the second
+    /// follower: quorum 2 of 3 keeps acking through the crash window.
+    #[test]
+    fn rf3_crash_keeps_acking_and_stays_consistent() {
+        let config = SimConfig {
+            nodes: 4,
+            replication_factor: 3,
+            ..SimConfig::default()
+        };
+        let schedule = parse_schedule("20:crash:0").unwrap();
+        let outcome = run(11, &schedule, &config);
+        assert_eq!(outcome.violations, vec![], "events: {:#?}", outcome.events);
+        assert!(outcome.stats.failovers > 0);
+        assert!(outcome.stats.replica_checks > 0);
+    }
+
+    /// `replication_factor: 1` must not change a single byte of the
+    /// classic trace: same events, same stats, same flags.
+    #[test]
+    fn factor_one_is_byte_identical_to_the_classic_stack() {
+        let config = SimConfig::default();
+        assert_eq!(config.replication_factor, 1);
+        let schedule = parse_schedule("10:crash:2,20:move:1:0").unwrap();
+        let a = run(13, &schedule, &config);
+        let b = run(13, &schedule, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.stats.failovers, 0);
+        assert_eq!(a.stats.replica_checks, 0);
     }
 
     /// A raw-only stack (no serving layer) is still a supported shape.

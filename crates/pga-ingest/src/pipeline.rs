@@ -42,6 +42,20 @@ impl IngestionPipeline {
     /// Assemble a stack: `nodes` region servers, `tsd_count` TSD daemons,
     /// salted keys with one bucket per node, pre-split table.
     pub fn new(nodes: usize, tsd_count: usize, batch_size: usize) -> Self {
+        Self::new_replicated(nodes, tsd_count, batch_size, 1)
+    }
+
+    /// Like [`IngestionPipeline::new`], but every region gets `factor`
+    /// copies (primary + followers on distinct nodes): puts quorum-ack
+    /// through the client's WAL shipping, scans can hedge to followers.
+    /// `factor <= 1` is exactly [`IngestionPipeline::new`]; `factor`
+    /// must not exceed `nodes`.
+    pub fn new_replicated(
+        nodes: usize,
+        tsd_count: usize,
+        batch_size: usize,
+        factor: usize,
+    ) -> Self {
         let codec = KeyCodec::new(
             KeyCodecConfig {
                 salt_buckets: nodes as u8,
@@ -51,11 +65,14 @@ impl IngestionPipeline {
         );
         let coord = Coordinator::new(60_000);
         let mut master = Master::bootstrap(nodes, ServerConfig::default(), coord, 0);
-        master.create_table(&TableDescriptor {
-            name: "tsdb".into(),
-            split_points: codec.split_points(),
-            region_config: RegionConfig::default(),
-        });
+        master.create_replicated_table(
+            &TableDescriptor {
+                name: "tsdb".into(),
+                split_points: codec.split_points(),
+                region_config: RegionConfig::default(),
+            },
+            factor,
+        );
         let tsds: Vec<Arc<Tsd>> = (0..tsd_count)
             .map(|_| {
                 Arc::new(Tsd::new(

@@ -1,13 +1,25 @@
 //! Routing client: groups batches by region, retries on stale directory.
+//!
+//! When a directory entry carries follower copies, the client runs the
+//! replication protocol transparently inside [`Client::put`]: the batch
+//! goes to the primary (one durable vote), ships to every follower under
+//! the primary-assigned WAL sequence, and the put is acknowledged only
+//! once a write quorum of copies is durable. Epoch fencing keeps a
+//! deposed primary's acks out of the quorum. Read-side, followers serve
+//! bounded-staleness scans ([`Client::scan_bounded`]) and hedged scans
+//! fail over to a replica when the primary is slow or gone
+//! ([`Client::scan_hedged`]).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::kv::{KeyValue, RowRange};
-use crate::master::{locate, Directory, Master};
+use crate::master::{locate, Directory, Master, RegionInfo};
 use crate::region::RegionId;
 use crate::server::{Request, Response};
 use pga_cluster::rpc::{RequestClass, RpcError, RpcHandle};
 use pga_cluster::NodeId;
+use pga_repl::{FollowerReadPolicy, LagBook, QuorumDecision, QuorumTracker, ReplicationConfig};
 
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +39,11 @@ pub enum ClientError {
     DeadlineExpired,
     /// Routing kept failing after directory refreshes.
     RetriesExhausted,
+    /// A replicated put could not reach its write quorum (replicas dead,
+    /// fenced, or unreachable) even after directory refreshes. The batch
+    /// was NOT acknowledged; resubmitting it whole is safe — any copies
+    /// that did land are idempotent (same row/qualifier/timestamp).
+    NoQuorum,
 }
 
 impl ClientError {
@@ -49,6 +66,7 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::DeadlineExpired => write!(f, "deadline expired before service"),
             ClientError::RetriesExhausted => write!(f, "routing retries exhausted"),
+            ClientError::NoQuorum => write!(f, "replicated put failed to reach write quorum"),
         }
     }
 }
@@ -72,6 +90,22 @@ pub struct Client {
     directory: Directory,
     handles: HashMap<NodeId, RpcHandle<Request, Response>>,
     max_retries: usize,
+    /// Replication health observed by this client (lag per region,
+    /// fence rejections, follower/hedged reads) — telemetry scrapes it.
+    repl: Arc<LagBook>,
+}
+
+/// Outcome of one replicated-put attempt (internal).
+enum ReplPut {
+    /// Quorum durable; the batch is acknowledged.
+    Done,
+    /// Stale view — re-locate and retry. `quorum` marks a genuine
+    /// quorum shortfall (dead/unreachable followers) as opposed to
+    /// fencing or mis-routing, so exhaustion can report `NoQuorum`.
+    Refresh {
+        /// Whether the failure was a quorum shortfall.
+        quorum: bool,
+    },
 }
 
 #[derive(Clone, Copy)]
@@ -98,7 +132,14 @@ impl Client {
             directory: master.directory(),
             handles,
             max_retries: 3,
+            repl: Arc::new(LagBook::new()),
         }
+    }
+
+    /// The replication-health ledger this client maintains (shared with
+    /// telemetry exporters).
+    pub fn repl_book(&self) -> Arc<LagBook> {
+        self.repl.clone()
     }
 
     /// Write a batch of cells, routing each to its region. Returns the
@@ -125,22 +166,39 @@ impl Client {
     fn put_inner(&self, kvs: Vec<KeyValue>, mode: PutMode) -> Result<usize, ClientError> {
         let total = kvs.len();
         let mut pending = kvs;
+        let mut quorum_failed = false;
         for _attempt in 0..=self.max_retries {
             if pending.is_empty() {
                 return Ok(total);
             }
-            // Group by (region, server) under the current directory.
-            let mut groups: HashMap<(RegionId, NodeId), Vec<KeyValue>> = HashMap::new();
+            // Group by region under the current directory (the entry
+            // carries the primary and any follower copies).
+            let mut groups: HashMap<RegionId, (RegionInfo, Vec<KeyValue>)> = HashMap::new();
             for kv in pending.drain(..) {
                 let info = locate(&self.directory, &kv.row)
                     .ok_or_else(|| ClientError::NoRegionForRow(kv.row.to_vec()))?;
-                groups.entry((info.id, info.server)).or_default().push(kv);
+                groups
+                    .entry(info.id)
+                    .or_insert_with(|| (info, Vec::new()))
+                    .1
+                    .push(kv);
             }
             let mut retry = Vec::new();
-            for ((region, node), batch) in groups {
+            quorum_failed = false;
+            for (region, (info, batch)) in groups {
+                if !info.followers.is_empty() {
+                    match self.put_replicated(&info, &batch, mode)? {
+                        ReplPut::Done => {}
+                        ReplPut::Refresh { quorum } => {
+                            quorum_failed |= quorum;
+                            retry.extend(batch);
+                        }
+                    }
+                    continue;
+                }
                 let handle = self
                     .handles
-                    .get(&node)
+                    .get(&info.server)
                     .ok_or(ClientError::Rpc(RpcError::Stopped))?;
                 let req = Request::Put {
                     region,
@@ -163,8 +221,100 @@ impl Client {
         }
         if pending.is_empty() {
             Ok(total)
+        } else if quorum_failed {
+            Err(ClientError::NoQuorum)
         } else {
             Err(ClientError::RetriesExhausted)
+        }
+    }
+
+    /// One replicated-put attempt under the directory's current view of
+    /// the region: primary append (one vote), follower ships, quorum
+    /// decision. `Refresh` means the view was stale (fenced, mis-routed,
+    /// or quorum short) — the caller re-locates and retries the batch,
+    /// which is safe because shipped copies are idempotent.
+    fn put_replicated(
+        &self,
+        info: &RegionInfo,
+        batch: &[KeyValue],
+        mode: PutMode,
+    ) -> Result<ReplPut, ClientError> {
+        let quorum = ReplicationConfig {
+            factor: 1 + info.followers.len(),
+            ..ReplicationConfig::default()
+        }
+        .effective_quorum();
+        let mut tracker = QuorumTracker::new(quorum);
+        let handle = self
+            .handles
+            .get(&info.server)
+            .ok_or(ClientError::Rpc(RpcError::Stopped))?;
+        let req = Request::PutReplicated {
+            region: info.id,
+            epoch: info.epoch,
+            kvs: batch.to_vec(),
+        };
+        let sent = match mode {
+            PutMode::Blocking => handle.call(req),
+            PutMode::Admitted { deadline_ms } => {
+                handle.call_with(req, RequestClass::Write, deadline_ms)
+            }
+        };
+        let seq = match sent {
+            Ok(Response::Appended { seq }) => {
+                tracker.record_ack(info.server);
+                seq
+            }
+            Ok(Response::Fenced { .. }) => {
+                self.repl.record_fence_rejection();
+                return Ok(ReplPut::Refresh { quorum: false });
+            }
+            Ok(Response::WrongRegion) => return Ok(ReplPut::Refresh { quorum: false }),
+            Ok(_) => return Err(ClientError::Rpc(RpcError::Stopped)),
+            Err(e) => return Err(map_rpc(e)),
+        };
+        let mut applied = Vec::with_capacity(info.followers.len());
+        for &follower in &info.followers {
+            let Some(h) = self.handles.get(&follower) else {
+                continue;
+            };
+            let req = Request::Ship {
+                region: info.id,
+                epoch: info.epoch,
+                seq,
+                kvs: batch.to_vec(),
+            };
+            let sent = match mode {
+                PutMode::Blocking => h.call(req),
+                PutMode::Admitted { deadline_ms } => {
+                    h.call_with(req, RequestClass::Write, deadline_ms)
+                }
+            };
+            match sent {
+                Ok(Response::ShipAck { applied_seq }) => {
+                    tracker.record_ack(follower);
+                    applied.push(applied_seq);
+                }
+                Ok(Response::Fenced { epoch }) => {
+                    tracker.record_fenced(epoch);
+                    self.repl.record_fence_rejection();
+                }
+                // A mis-routed or otherwise unusable answer is no vote.
+                Ok(_) => {}
+                // A dead, partitioned, or saturated follower is no vote;
+                // the quorum decision below settles the outcome.
+                Err(_) => {}
+            }
+        }
+        match tracker.decision() {
+            QuorumDecision::Committed => {
+                if let Some(&min_applied) = applied.iter().min() {
+                    self.repl.observe(info.id.0, seq, min_applied);
+                }
+                Ok(ReplPut::Done)
+            }
+            QuorumDecision::Fenced(_) => Ok(ReplPut::Refresh { quorum: false }),
+            QuorumDecision::Pending => Ok(ReplPut::Refresh { quorum: true }),
         }
     }
 
@@ -221,6 +371,166 @@ impl Client {
         Ok(out)
     }
 
+    /// Hedged scan: try each region's primary under `primary_deadline_ms`
+    /// (set near the fleet's scan p99 — the hedge trigger), and when the
+    /// primary is saturated, late, or gone, fail the shard over to its
+    /// follower copies under `deadline_ms`. Unreplicated regions
+    /// propagate the primary's error unchanged. A hedged answer may
+    /// trail the primary by in-flight ships; callers that need bounded
+    /// staleness use [`Client::scan_bounded`].
+    pub fn scan_hedged(
+        &self,
+        range: &RowRange,
+        primary_deadline_ms: Option<u64>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<KeyValue>, ClientError> {
+        let infos: Vec<_> = {
+            let dir = self.directory.read();
+            dir.iter()
+                .filter(|i| i.range.overlaps(range))
+                .cloned()
+                .collect()
+        };
+        let mut out = Vec::new();
+        for info in infos {
+            let primary = match self.handles.get(&info.server) {
+                Some(h) => h.call_with(
+                    Request::Scan {
+                        region: info.id,
+                        range: range.clone(),
+                    },
+                    RequestClass::Read,
+                    primary_deadline_ms,
+                ),
+                None => Err(RpcError::Stopped),
+            };
+            match primary {
+                Ok(Response::Cells(cells)) => {
+                    out.extend(cells);
+                    continue;
+                }
+                Ok(Response::WrongRegion) => continue, // split raced us
+                Ok(_) => return Err(ClientError::Rpc(RpcError::Stopped)),
+                Err(e) if info.followers.is_empty() => return Err(map_rpc(e)),
+                Err(primary_err) => {
+                    // Hedge: first follower copy that answers wins.
+                    let mut hedged = None;
+                    for &f in &info.followers {
+                        let Some(h) = self.handles.get(&f) else {
+                            continue;
+                        };
+                        if let Ok(Response::FollowerCells { cells, .. }) = h.call_with(
+                            Request::FollowerScan {
+                                region: info.id,
+                                range: range.clone(),
+                            },
+                            RequestClass::Read,
+                            deadline_ms,
+                        ) {
+                            hedged = Some(cells);
+                            break;
+                        }
+                    }
+                    match hedged {
+                        Some(cells) => {
+                            self.repl.record_hedged_scan();
+                            out.extend(cells);
+                        }
+                        None => return Err(map_rpc(primary_err)),
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Bounded-staleness follower read: serve each region's shard from a
+    /// follower copy when its applied WAL sequence trails the primary by
+    /// at most `policy.max_lag` batches (checked against the primary's
+    /// live position), falling back to the primary otherwise. When the
+    /// primary cannot even report its position, a follower answer is
+    /// accepted as-is — availability over freshness, the documented
+    /// failover-read mode.
+    pub fn scan_bounded(
+        &self,
+        range: &RowRange,
+        policy: &FollowerReadPolicy,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<KeyValue>, ClientError> {
+        let infos: Vec<_> = {
+            let dir = self.directory.read();
+            dir.iter()
+                .filter(|i| i.range.overlaps(range))
+                .cloned()
+                .collect()
+        };
+        let mut out = Vec::new();
+        for info in infos {
+            let mut served = false;
+            if !info.followers.is_empty() {
+                let primary_seq = self.handles.get(&info.server).and_then(|h| {
+                    match h.call_with(
+                        Request::ReplicaStatus { region: info.id },
+                        RequestClass::Read,
+                        deadline_ms,
+                    ) {
+                        Ok(Response::Status { last_seq, .. }) => Some(last_seq),
+                        _ => None,
+                    }
+                });
+                for &f in &info.followers {
+                    let Some(h) = self.handles.get(&f) else {
+                        continue;
+                    };
+                    if let Ok(Response::FollowerCells { cells, applied_seq }) = h.call_with(
+                        Request::FollowerScan {
+                            region: info.id,
+                            range: range.clone(),
+                        },
+                        RequestClass::Read,
+                        deadline_ms,
+                    ) {
+                        let fresh_enough = match primary_seq {
+                            Some(p) => policy.allow(p, applied_seq),
+                            None => true, // primary gone: availability mode
+                        };
+                        if fresh_enough {
+                            if let Some(p) = primary_seq {
+                                self.repl.observe(info.id.0, p, applied_seq);
+                            }
+                            self.repl.record_follower_read();
+                            out.extend(cells);
+                            served = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !served {
+                let handle = self
+                    .handles
+                    .get(&info.server)
+                    .ok_or(ClientError::Rpc(RpcError::Stopped))?;
+                match handle.call_with(
+                    Request::Scan {
+                        region: info.id,
+                        range: range.clone(),
+                    },
+                    RequestClass::Read,
+                    deadline_ms,
+                ) {
+                    Ok(Response::Cells(cells)) => out.extend(cells),
+                    Ok(Response::WrongRegion) => {} // split raced us
+                    Ok(_) => return Err(ClientError::Rpc(RpcError::Stopped)),
+                    Err(e) => return Err(map_rpc(e)),
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
     /// Flush every region (test/bench hygiene).
     pub fn flush_all(&self) -> Result<(), ClientError> {
         let infos: Vec<_> = self.directory.read().clone();
@@ -241,7 +551,7 @@ mod tests {
     use super::*;
     use crate::master::TableDescriptor;
     use crate::region::RegionConfig;
-    use crate::server::ServerConfig;
+    use crate::server::{Request, Response, ServerConfig};
     use bytes::Bytes;
     use pga_cluster::coordinator::Coordinator;
 
@@ -314,6 +624,166 @@ mod tests {
         c.put(vec![kv("a", 1), kv("z", 1)]).unwrap();
         c.flush_all().unwrap();
         assert_eq!(c.scan(&RowRange::all()).unwrap().len(), 2);
+        m.shutdown();
+    }
+
+    fn replicated_cluster(
+        nodes: usize,
+        factor: usize,
+        splits: &[&[u8]],
+        lease_ms: u64,
+    ) -> (Master, Client) {
+        let coord = Coordinator::new(lease_ms);
+        let mut m = Master::bootstrap(nodes, ServerConfig::default(), coord, 0);
+        m.create_replicated_table(
+            &TableDescriptor {
+                name: "t".into(),
+                split_points: splits.iter().map(|s| Bytes::from(s.to_vec())).collect(),
+                region_config: RegionConfig::default(),
+            },
+            factor,
+        );
+        let c = Client::connect(&m);
+        (m, c)
+    }
+
+    #[test]
+    fn replicated_put_ships_to_quorum_and_followers_mirror() {
+        let (m, c) = replicated_cluster(3, 3, &[], 1000);
+        c.put(vec![kv("a", 1), kv("b", 1)]).unwrap();
+        let info = m.directory().read()[0].clone();
+        assert_eq!(info.followers.len(), 2);
+        // Every follower applied the shipped batch.
+        for &f in &info.followers {
+            match m
+                .server(f)
+                .unwrap()
+                .handle()
+                .call(Request::FollowerScan {
+                    region: info.id,
+                    range: RowRange::all(),
+                })
+                .unwrap()
+            {
+                Response::FollowerCells { cells, applied_seq } => {
+                    assert_eq!(cells.len(), 2);
+                    assert_eq!(applied_seq, 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let snap = c.repl_book().snapshot();
+        assert_eq!(snap.replicated_regions, 1);
+        assert_eq!(snap.max_lag_batches, 0);
+        m.shutdown();
+    }
+
+    #[test]
+    fn dead_follower_denies_quorum_at_factor_two() {
+        let (m, c) = replicated_cluster(2, 2, &[], 1000);
+        let info = m.directory().read()[0].clone();
+        // Kill the only follower: quorum is 2, the primary alone has 1 vote.
+        m.server(info.followers[0]).unwrap().shutdown();
+        let err = c.put(vec![kv("a", 1)]).unwrap_err();
+        assert!(matches!(err, ClientError::NoQuorum), "got {err:?}");
+        m.shutdown();
+    }
+
+    #[test]
+    fn scan_hedged_serves_from_follower_when_primary_is_down() {
+        let (m, c) = replicated_cluster(3, 2, &[], 1000);
+        c.put(vec![kv("a", 1), kv("z", 1)]).unwrap();
+        let info = m.directory().read()[0].clone();
+        m.server(info.server).unwrap().shutdown();
+        // Deadlines are absolute on the servers' shared clock.
+        let wall = pga_cluster::rpc::default_clock_ms();
+        let cells = c
+            .scan_hedged(&RowRange::all(), Some(wall + 1000), Some(wall + 1000))
+            .unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(c.repl_book().snapshot().hedged_scans, 1);
+        m.shutdown();
+    }
+
+    #[test]
+    fn bounded_staleness_read_prefers_follower_within_lag_budget() {
+        let (m, c) = replicated_cluster(3, 2, &[], 1000);
+        c.put(vec![kv("a", 1)]).unwrap();
+        // Fresh follower: served from the replica. Deadlines are absolute
+        // on the servers' shared clock.
+        let deadline = || Some(pga_cluster::rpc::default_clock_ms() + 1000);
+        let policy = FollowerReadPolicy { max_lag: 0 };
+        let cells = c
+            .scan_bounded(&RowRange::all(), &policy, deadline())
+            .unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(c.repl_book().snapshot().follower_reads, 1);
+        // Write straight to the primary (bypassing replication) so the
+        // follower trails by one batch; a zero-lag policy must fall back
+        // to the primary and observe the new row.
+        let info = m.directory().read()[0].clone();
+        match m
+            .server(info.server)
+            .unwrap()
+            .handle()
+            .call(Request::Put {
+                region: info.id,
+                kvs: vec![kv("b", 1)],
+            })
+            .unwrap()
+        {
+            Response::Ok => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let cells = c
+            .scan_bounded(&RowRange::all(), &policy, deadline())
+            .unwrap();
+        assert_eq!(
+            cells.len(),
+            2,
+            "stale follower must not serve zero-lag read"
+        );
+        assert_eq!(c.repl_book().snapshot().follower_reads, 1);
+        // A lag budget of one batch accepts the trailing follower again.
+        let relaxed = FollowerReadPolicy { max_lag: 1 };
+        let cells = c
+            .scan_bounded(&RowRange::all(), &relaxed, deadline())
+            .unwrap();
+        assert_eq!(cells.len(), 1, "follower view trails by the direct write");
+        assert_eq!(c.repl_book().snapshot().follower_reads, 2);
+        m.shutdown();
+    }
+
+    #[test]
+    fn acked_writes_survive_primary_crash_and_failover() {
+        let (mut m, c) = replicated_cluster(3, 2, &[], 100);
+        for i in 0..20 {
+            c.put(vec![kv(&format!("row{i:02}"), 1)]).unwrap();
+        }
+        let info = m.directory().read()[0].clone();
+        let old_primary = info.server;
+        let follower = info.followers[0];
+        m.server(old_primary).unwrap().shutdown();
+        // Survivors heartbeat; the dead primary's lease expires.
+        for n in m.nodes() {
+            if n != old_primary {
+                m.heartbeat(n, 500);
+            }
+        }
+        m.tick(500);
+        let promoted = m.directory().read()[0].clone();
+        assert_eq!(
+            promoted.server, follower,
+            "most-caught-up follower promoted"
+        );
+        assert!(
+            promoted.epoch > info.epoch,
+            "promotion must fence the old epoch"
+        );
+        // Every acked write is still readable through the ordinary path.
+        let cells = c.scan(&RowRange::all()).unwrap();
+        assert_eq!(cells.len(), 20);
+        assert_eq!(m.failovers(), 1);
         m.shutdown();
     }
 }

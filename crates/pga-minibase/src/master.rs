@@ -17,6 +17,7 @@ use parking_lot::RwLock;
 
 use pga_cluster::coordinator::{Coordinator, SessionId};
 use pga_cluster::NodeId;
+use pga_repl::choose_promotee;
 
 use crate::fault::{no_faults, FaultHandle};
 use crate::kv::RowRange;
@@ -42,8 +43,70 @@ pub struct RegionInfo {
     pub id: RegionId,
     /// Row range served.
     pub range: RowRange,
-    /// Hosting node.
+    /// Hosting node (the primary copy when `followers` is non-empty).
     pub server: NodeId,
+    /// Nodes hosting follower copies (empty = unreplicated). The
+    /// replication driver ships every primary-acked WAL batch here.
+    pub followers: Vec<NodeId>,
+    /// Replication-group epoch. Writes and ships stamped with any other
+    /// epoch are rejected by the replicas (fencing); bumped on every
+    /// promotion.
+    pub epoch: u64,
+}
+
+impl RegionInfo {
+    /// Every node hosting a copy of this region (primary first).
+    pub fn replicas(&self) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(self.server).chain(self.followers.iter().copied())
+    }
+
+    /// Whether `node` hosts any copy of this region.
+    pub fn hosts_copy(&self, node: NodeId) -> bool {
+        self.server == node || self.followers.contains(&node)
+    }
+}
+
+/// One failover performed by [`Master::tick`]: a dead primary's region
+/// promoted onto its most-caught-up surviving follower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// The region that failed over.
+    pub region: RegionId,
+    /// The dead primary.
+    pub from: NodeId,
+    /// The promoted follower.
+    pub to: NodeId,
+    /// The epoch installed by the promotion.
+    pub epoch: u64,
+    /// Master-clock time of the sweep that promoted.
+    pub at_ms: u64,
+}
+
+/// Replication position of one region: the primary's last assigned WAL
+/// sequence against each follower's applied sequence.
+#[derive(Debug, Clone)]
+pub struct RegionReplicationStatus {
+    /// Region id.
+    pub region: RegionId,
+    /// Primary node.
+    pub primary: NodeId,
+    /// Current epoch.
+    pub epoch: u64,
+    /// Primary's last assigned WAL sequence.
+    pub primary_seq: u64,
+    /// `(follower node, applied sequence)` per follower copy.
+    pub followers: Vec<(NodeId, u64)>,
+}
+
+impl RegionReplicationStatus {
+    /// Batches the slowest follower trails the primary by.
+    pub fn max_lag(&self) -> u64 {
+        self.followers
+            .iter()
+            .map(|&(_, seq)| self.primary_seq.saturating_sub(seq))
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Shared region directory — the `hbase:meta` analog. Clients hold a clone
@@ -61,6 +124,16 @@ pub struct Master {
     coordinator: Coordinator,
     next_region: u64,
     fault: FaultHandle,
+    /// Copies per region the master maintains (1 = unreplicated). Set by
+    /// [`Master::create_replicated_table`]; re-replication after a
+    /// failover restores this factor when spare nodes exist.
+    desired_factor: usize,
+    /// Round-robin cursor for re-replication placement.
+    repl_rr: usize,
+    /// Promotions performed across all ticks.
+    failovers: u64,
+    /// Every promotion, in sweep order.
+    failover_log: Vec<FailoverEvent>,
 }
 
 impl Master {
@@ -97,6 +170,10 @@ impl Master {
             coordinator,
             next_region: 0,
             fault: no_faults(),
+            desired_factor: 1,
+            repl_rr: 0,
+            failovers: 0,
+            failover_log: Vec::new(),
         }
     }
 
@@ -147,9 +224,52 @@ impl Master {
                 id,
                 range,
                 server: node,
+                followers: Vec::new(),
+                epoch: 1,
             });
         }
         *self.directory.write() = dir;
+    }
+
+    /// Create a table with `factor` copies of every region: the primary
+    /// is assigned round-robin exactly as [`Master::create_table`] does,
+    /// and `factor - 1` follower copies (forked empty from the primary)
+    /// land on the next distinct nodes in the rotation. Requires at
+    /// least `factor` live servers so every copy sits on its own node —
+    /// the region map is keyed by id, so two copies on one server would
+    /// silently collide. `factor <= 1` degenerates to an unreplicated
+    /// table.
+    pub fn create_replicated_table(&mut self, desc: &TableDescriptor, factor: usize) {
+        self.create_table(desc);
+        if factor <= 1 {
+            self.desired_factor = 1;
+            return;
+        }
+        let nodes = self.live_nodes();
+        assert!(
+            nodes.len() >= factor,
+            "replication factor {factor} needs at least that many live servers, have {}",
+            nodes.len()
+        );
+        self.desired_factor = factor;
+        let mut dir = self.directory.write();
+        for info in dir.iter_mut() {
+            // pga-allow(panic-path): create_table just assigned this region to info.server
+            let primary_pos = nodes.iter().position(|&n| n == info.server).unwrap();
+            for k in 1..factor {
+                // pga-allow(panic-path): index is taken modulo nodes.len(), non-empty at bootstrap
+                let target = nodes[(primary_pos + k) % nodes.len()];
+                // pga-allow(panic-path): the primary server hosts the region it was just assigned
+                let fork = self.servers[&info.server]
+                    // pga-allow(lock-discipline): bootstrap-time; directory → server-regions is the global lock order
+                    .fork_region_follower(info.id)
+                    // pga-allow(panic-path): the primary server hosts the region it was just assigned
+                    .expect("primary hosts the region");
+                // pga-allow(panic-path, lock-discipline): target ∈ nodes ⊆ servers.keys(); directory → server-regions is the global lock order
+                self.servers[&target].assign(fork);
+                info.followers.push(target);
+            }
+        }
     }
 
     /// The shared directory handle for clients.
@@ -220,8 +340,139 @@ impl Master {
         // server-side locks acquired inside these calls (each server's
         // region map, each region's WAL) always nest *under* the directory
         // lock, here and in move_region — one global order, no cycle.
+        let dead_set: std::collections::HashSet<NodeId> = dead_nodes.iter().copied().collect();
         let mut dir = self.directory.write();
         let mut rr = 0usize;
+        // Phase 1 — replicated regions. A dead primary is *promoted
+        // around*, not recovered: the most-caught-up surviving follower
+        // (which holds every quorum-acked write by construction) becomes
+        // primary under a bumped epoch, fencing the deposed primary's
+        // writer out of future quorums. Dead follower copies are pruned.
+        // No WAL replay happens on this path — the survivor's memstore is
+        // intact, which is exactly the availability win over lease
+        // recovery.
+        let mut handled: std::collections::HashSet<RegionId> = std::collections::HashSet::new();
+        for info in dir.iter_mut() {
+            if info.followers.is_empty() {
+                continue;
+            }
+            let primary_dead = dead_set.contains(&info.server);
+            let dead_followers: Vec<NodeId> = info
+                .followers
+                .iter()
+                .copied()
+                .filter(|n| dead_set.contains(n))
+                .collect();
+            if !primary_dead && dead_followers.is_empty() {
+                continue;
+            }
+            handled.insert(info.id);
+            for &n in &dead_followers {
+                if let Some(s) = self.servers.get(&n) {
+                    // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
+                    s.unassign(info.id);
+                }
+            }
+            info.followers.retain(|n| !dead_set.contains(n));
+            if !primary_dead {
+                reassigned.push(info.id);
+                continue;
+            }
+            // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
+            let survivors: Vec<(NodeId, u64)> = info
+                .followers
+                .iter()
+                .filter_map(|&n| {
+                    self.servers
+                        .get(&n)
+                        // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
+                        .and_then(|s| s.region_applied_seq(info.id))
+                        .map(|seq| (n, seq))
+                })
+                .collect();
+            let new_epoch = info.epoch + 1;
+            if let Some(promotee) = choose_promotee(&survivors) {
+                if let Some(s) = self.servers.get(&info.server) {
+                    // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
+                    s.unassign(info.id);
+                }
+                // pga-allow(panic-path, lock-discipline): promotee ∈ info.followers ⊆ servers.keys(); directory → server-regions is the global lock order
+                self.servers[&promotee].promote_region(info.id, new_epoch);
+                for &(n, _) in &survivors {
+                    if n != promotee {
+                        // pga-allow(panic-path, lock-discipline): survivor nodes were just read from servers; directory → server-regions is the global lock order
+                        self.servers[&n].set_region_epoch(info.id, new_epoch);
+                    }
+                }
+                self.failovers += 1;
+                self.failover_log.push(FailoverEvent {
+                    region: info.id,
+                    from: info.server,
+                    to: promotee,
+                    epoch: new_epoch,
+                    at_ms: now_ms,
+                });
+                info.server = promotee;
+                info.followers.retain(|&n| n != promotee);
+                info.epoch = new_epoch;
+                reassigned.push(info.id);
+            } else if let Some(mut region) = self
+                .servers
+                .get(&info.server)
+                // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
+                .and_then(|s| s.unassign(info.id))
+            {
+                // Every copy died in one sweep: fall back to single-copy
+                // lease recovery from the primary's shared WAL, still
+                // under a bumped epoch so stragglers stay fenced.
+                // pga-allow(lock-discipline): directory → region-WAL is the global lock order (see above)
+                region.crash_recover();
+                region.set_epoch(new_epoch);
+                // pga-allow(panic-path): live is asserted non-empty above
+                let target = live[rr % live.len()];
+                rr += 1;
+                // pga-allow(panic-path, lock-discipline): target ∈ live ⊆ servers.keys(); directory → server-regions is the global lock order
+                self.servers[&target].assign(region);
+                info.server = target;
+                info.followers.clear();
+                info.epoch = new_epoch;
+                reassigned.push(info.id);
+            }
+        }
+        // Phase 1b — re-replication: restore the desired factor by
+        // forking fresh follower copies from each primary onto live
+        // nodes not yet hosting a copy.
+        if self.desired_factor > 1 {
+            for info in dir.iter_mut() {
+                while 1 + info.followers.len() < self.desired_factor {
+                    let mut target = None;
+                    for i in 0..live.len() {
+                        // pga-allow(panic-path): index is taken modulo live.len(), non-zero inside this loop
+                        let cand = live[(self.repl_rr + i) % live.len()];
+                        if !info.hosts_copy(cand) {
+                            target = Some(cand);
+                            self.repl_rr += i + 1;
+                            break;
+                        }
+                    }
+                    let Some(target) = target else { break };
+                    let Some(fork) = self
+                        .servers
+                        .get(&info.server)
+                        // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
+                        .and_then(|s| s.fork_region_follower(info.id))
+                    else {
+                        break;
+                    };
+                    // pga-allow(panic-path, lock-discipline): target ∈ live ⊆ servers.keys(); directory → server-regions is the global lock order
+                    self.servers[&target].assign(fork);
+                    info.followers.push(target);
+                }
+            }
+        }
+        // Phase 2 — unreplicated regions: the original crash-recovery
+        // sweep (drop memstore, replay the shared WAL through its byte
+        // encoding, reassign round-robin).
         for dead in &dead_nodes {
             let dead_server = match self.servers.get(dead) {
                 Some(s) => s,
@@ -229,6 +480,9 @@ impl Master {
             };
             // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
             for rid in dead_server.hosted_regions() {
+                if handled.contains(&rid) {
+                    continue;
+                }
                 // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
                 if let Some(mut region) = dead_server.unassign(rid) {
                     // A real crash loses the memstore with the process:
@@ -267,6 +521,12 @@ impl Master {
             let dir = self.directory.read();
             dir.iter().find(|i| i.id == rid)?.clone()
         };
+        if !info.followers.is_empty() {
+            // Splitting a replicated region would need a coordinated
+            // multi-copy split (every replica at the same WAL point);
+            // refuse rather than diverge the copies.
+            return None;
+        }
         let server = self.servers.get(&info.server)?;
         let region = server.unassign(rid)?;
         self.next_region += 1;
@@ -283,11 +543,15 @@ impl Master {
                     id: left_id,
                     range: left.range().clone(),
                     server: info.server,
+                    followers: Vec::new(),
+                    epoch: 1,
                 };
                 let right_info = RegionInfo {
                     id: right_id,
                     range: right.range().clone(),
                     server: right_node,
+                    followers: Vec::new(),
+                    epoch: 1,
                 };
                 server.assign(left);
                 // pga-allow(panic-path): right_node is drawn from live_nodes() ⊆ servers.keys()
@@ -344,7 +608,15 @@ impl Master {
         let source = {
             let dir = self.directory.read();
             match dir.iter().find(|i| i.id == rid) {
-                Some(info) => info.server,
+                Some(info) => {
+                    if info.followers.contains(&target) {
+                        // The target already hosts a follower copy; the
+                        // region map is keyed by id, so assigning the
+                        // primary there would silently overwrite it.
+                        return false;
+                    }
+                    info.server
+                }
                 None => return false,
             }
         };
@@ -382,6 +654,17 @@ impl Master {
         if self.dead.contains(&node) || !self.servers.contains_key(&node) {
             return None;
         }
+        if self
+            .directory
+            .read()
+            .iter()
+            .any(|i| !i.followers.is_empty() && i.hosts_copy(node))
+        {
+            // Draining a node that hosts replicated copies would need
+            // follower hand-off; the elastic tier runs unreplicated, so
+            // refuse rather than orphan copies.
+            return None;
+        }
         let targets: Vec<NodeId> = self
             .live_nodes()
             .into_iter()
@@ -406,6 +689,56 @@ impl Master {
             s.shutdown();
         }
         Some(moved)
+    }
+
+    /// Promotions performed across all liveness sweeps.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Every promotion performed, in sweep order.
+    pub fn failover_events(&self) -> &[FailoverEvent] {
+        &self.failover_log
+    }
+
+    /// The replication factor the master maintains (1 = unreplicated).
+    pub fn replication_factor(&self) -> usize {
+        self.desired_factor
+    }
+
+    /// Replication position of every replicated region: the primary's
+    /// last WAL sequence against each follower's applied sequence. Feeds
+    /// telemetry (max lag) and the fault harness's divergence oracle.
+    pub fn replication_report(&self) -> Vec<RegionReplicationStatus> {
+        let dir = self.directory.read();
+        dir.iter()
+            .filter(|info| !info.followers.is_empty())
+            .map(|info| RegionReplicationStatus {
+                region: info.id,
+                primary: info.server,
+                epoch: info.epoch,
+                primary_seq: self
+                    .servers
+                    .get(&info.server)
+                    // pga-allow(lock-discipline): directory → server-regions is the global lock order (see tick)
+                    .and_then(|s| s.region_applied_seq(info.id))
+                    .unwrap_or(0),
+                followers: info
+                    .followers
+                    .iter()
+                    .map(|&n| {
+                        (
+                            n,
+                            self.servers
+                                .get(&n)
+                                // pga-allow(lock-discipline): directory → server-regions is the global lock order (see tick)
+                                .and_then(|s| s.region_applied_seq(info.id))
+                                .unwrap_or(0),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect()
     }
 
     /// The coordinator this master registers servers with.
@@ -636,6 +969,119 @@ mod tests {
         assert!(m.split_region(rid).is_none());
         assert_eq!(m.directory().read().len(), 1);
         assert!(m.server(NodeId(0)).unwrap().hosted_regions().contains(&rid));
+        m.shutdown();
+    }
+
+    /// Ship `seq` directly to a follower copy so replicas diverge in lag.
+    fn ship_to(m: &Master, node: NodeId, info: &RegionInfo, seq: u64, row: &[u8]) {
+        match m
+            .server(node)
+            .unwrap()
+            .handle()
+            .call(Request::Ship {
+                region: info.id,
+                epoch: info.epoch,
+                seq,
+                kvs: vec![KeyValue::new(row.to_vec(), b"q".to_vec(), 1, b"v".to_vec())],
+            })
+            .unwrap()
+        {
+            Response::ShipAck { applied_seq } => assert_eq!(applied_seq, seq),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failover_promotes_most_caught_up_follower_and_fences_epoch() {
+        let coord = Coordinator::new(100);
+        let mut m = Master::bootstrap(4, ServerConfig::default(), coord, 0);
+        m.create_replicated_table(&table(&[]), 3);
+        let info = m.directory().read()[0].clone();
+        let (lagging, ahead) = (info.followers[0], info.followers[1]);
+        // One follower applies two shipped batches, the other only one.
+        ship_to(&m, lagging, &info, 1, b"a");
+        ship_to(&m, ahead, &info, 1, b"a");
+        ship_to(&m, ahead, &info, 2, b"b");
+        m.server(info.server).unwrap().shutdown();
+        for n in m.nodes() {
+            if n != info.server {
+                m.heartbeat(n, 500);
+            }
+        }
+        m.tick(500);
+        let promoted = m.directory().read()[0].clone();
+        assert_eq!(
+            promoted.server, ahead,
+            "promotion must pick max applied seq"
+        );
+        assert_eq!(promoted.epoch, info.epoch + 1);
+        assert_eq!(m.failovers(), 1);
+        let ev = &m.failover_events()[0];
+        assert_eq!(
+            (ev.from, ev.to, ev.epoch),
+            (info.server, ahead, info.epoch + 1)
+        );
+        // The surviving (now lagging) follower was fenced to the new epoch:
+        // a ship stamped with the old epoch is rejected.
+        match m
+            .server(lagging)
+            .unwrap()
+            .handle()
+            .call(Request::Ship {
+                region: info.id,
+                epoch: info.epoch,
+                seq: 2,
+                kvs: vec![KeyValue::new(
+                    b"c".to_vec(),
+                    b"q".to_vec(),
+                    1,
+                    b"v".to_vec(),
+                )],
+            })
+            .unwrap()
+        {
+            Response::Fenced { epoch } => assert_eq!(epoch, info.epoch + 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        m.shutdown();
+    }
+
+    #[test]
+    fn failover_rereplicates_back_to_desired_factor() {
+        let coord = Coordinator::new(100);
+        let mut m = Master::bootstrap(3, ServerConfig::default(), coord, 0);
+        m.create_replicated_table(&table(&[]), 2);
+        let info = m.directory().read()[0].clone();
+        m.server(info.server).unwrap().shutdown();
+        for n in m.nodes() {
+            if n != info.server {
+                m.heartbeat(n, 500);
+            }
+        }
+        m.tick(500);
+        // The follower was promoted and a fresh copy forked onto the spare
+        // node, restoring the replication factor.
+        let report = m.replication_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].primary, info.followers[0]);
+        assert_eq!(report[0].followers.len(), 1);
+        assert_ne!(
+            report[0].followers[0].0, info.server,
+            "dead node not reused"
+        );
+        assert_ne!(report[0].followers[0].0, report[0].primary);
+        m.shutdown();
+    }
+
+    #[test]
+    fn replicated_regions_refuse_split_and_follower_targeted_moves() {
+        let coord = Coordinator::new(1000);
+        let mut m = Master::bootstrap(3, ServerConfig::default(), coord, 0);
+        m.create_replicated_table(&table(&[]), 2);
+        let info = m.directory().read()[0].clone();
+        assert!(m.split_region(info.id).is_none());
+        assert!(!m.move_region(info.id, info.followers[0]));
+        assert!(m.decommission_server(info.followers[0]).is_none());
         m.shutdown();
     }
 }

@@ -10,12 +10,14 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
+use pga_repl::{Epoch, ReplicaRole};
+
 use crate::fault::{no_faults, FaultHandle};
 use crate::kv::{KeyValue, RowRange};
 use crate::memstore::MemStore;
 use crate::scanner::merge_scan;
 use crate::storefile::StoreFile;
-use crate::wal::WriteAheadLog;
+use crate::wal::{SequenceId, WriteAheadLog};
 
 /// Identifier of a region within the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -76,6 +78,12 @@ pub struct Region {
     next_file_seq: u64,
     metrics: RegionMetrics,
     fault: FaultHandle,
+    /// Replication-group generation; writes and ships stamped with any
+    /// other epoch are rejected (fencing). Starts at 1 so epoch 0 can
+    /// never match.
+    epoch: Epoch,
+    /// Whether this copy serves writes or replays shipped WAL.
+    role: ReplicaRole,
 }
 
 /// Errors from region operations.
@@ -115,6 +123,8 @@ impl Region {
             next_file_seq: 1,
             metrics: RegionMetrics::default(),
             fault: no_faults(),
+            epoch: 1,
+            role: ReplicaRole::Primary,
         }
     }
 
@@ -147,6 +157,13 @@ impl Region {
     /// Write a batch: WAL first, then memstore; flushes/compacts if
     /// thresholds are crossed. Rejects rows outside the region.
     pub fn put_batch(&mut self, kvs: Vec<KeyValue>) -> Result<(), RegionError> {
+        self.put_batch_assign(kvs).map(|_| ())
+    }
+
+    /// [`Region::put_batch`] returning the WAL sequence id assigned to
+    /// the batch — the id the replication driver stamps on follower
+    /// ships so every replica agrees on batch ordering.
+    pub fn put_batch_assign(&mut self, kvs: Vec<KeyValue>) -> Result<SequenceId, RegionError> {
         for kv in &kvs {
             if !self.range.contains(&kv.row) {
                 return Err(RegionError::WrongRegion {
@@ -156,8 +173,67 @@ impl Region {
         }
         // Deliberate injection site: mutant A (ack-before-WAL-append)
         // suppresses the append; the faithful plane never does.
-        if !self.fault.skip_wal_append(self.id) {
-            self.wal.append_batch(&kvs);
+        let seq = if !self.fault.skip_wal_append(self.id) {
+            self.wal.append_batch(&kvs)
+        } else {
+            self.wal.last_sequence()
+        };
+        self.metrics.cells_written += kvs.len() as u64;
+        for kv in kvs {
+            self.memstore.put(kv);
+        }
+        if self.memstore.heap_size() >= self.config.memstore_flush_bytes {
+            self.flush();
+        }
+        Ok(seq)
+    }
+
+    /// Replication-group epoch of this copy.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Install a new epoch (promotion or route refresh, master-driven).
+    pub fn set_epoch(&mut self, epoch: Epoch) {
+        self.epoch = epoch;
+    }
+
+    /// This copy's role in the replication group.
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+
+    /// Change the role (promotion, or demotion when forking followers).
+    pub fn set_role(&mut self, role: ReplicaRole) {
+        self.role = role;
+    }
+
+    /// Last WAL sequence this copy has durable — on a primary the last
+    /// assigned batch, on a follower the last applied ship.
+    pub fn applied_seq(&self) -> SequenceId {
+        self.wal.last_sequence()
+    }
+
+    /// Apply a WAL batch shipped by the primary under the primary's
+    /// sequence id. Returns `true` when the batch advanced this follower,
+    /// `false` for a duplicate/stale ship (already durable here — the
+    /// caller may still count it toward the quorum). Row-range checks
+    /// mirror `put_batch`: primary and follower serve the same range, so
+    /// an out-of-range row means a mis-routed ship.
+    pub fn apply_replicated(
+        &mut self,
+        seq: SequenceId,
+        kvs: Vec<KeyValue>,
+    ) -> Result<bool, RegionError> {
+        for kv in &kvs {
+            if !self.range.contains(&kv.row) {
+                return Err(RegionError::WrongRegion {
+                    row: kv.row.clone(),
+                });
+            }
+        }
+        if !self.wal.append_batch_with_seq(seq, &kvs) {
+            return Ok(false);
         }
         self.metrics.cells_written += kvs.len() as u64;
         for kv in kvs {
@@ -166,7 +242,35 @@ impl Region {
         if self.memstore.heap_size() >= self.config.memstore_flush_bytes {
             self.flush();
         }
-        Ok(())
+        Ok(true)
+    }
+
+    /// Fork a fresh follower copy of this region: a snapshot of every
+    /// currently visible cell becomes the follower's base store file, and
+    /// its WAL starts after this copy's last sequence so only ships
+    /// newer than the snapshot are accepted. Used to (re)seed followers
+    /// at table creation and to restore the replication factor after a
+    /// failover consumed one.
+    pub fn fork_follower(&self) -> Region {
+        let cells = self.scan(&RowRange::all());
+        let files = if cells.is_empty() {
+            Vec::new()
+        } else {
+            vec![StoreFile::from_sorted(cells, 1)]
+        };
+        Region {
+            id: self.id,
+            range: self.range.clone(),
+            config: self.config,
+            wal: WriteAheadLog::with_start_sequence(self.wal.last_sequence()),
+            memstore: MemStore::new(),
+            files,
+            next_file_seq: 2,
+            metrics: RegionMetrics::default(),
+            fault: self.fault.clone(),
+            epoch: self.epoch,
+            role: ReplicaRole::Follower,
+        }
     }
 
     /// Flush the memstore into a new store file and advance the WAL mark.
@@ -355,6 +459,8 @@ impl Region {
             next_file_seq,
             metrics: RegionMetrics::default(),
             fault: no_faults(),
+            epoch: 1,
+            role: ReplicaRole::Primary,
         };
         region.recover_from_wal();
         Ok(region)
@@ -617,6 +723,79 @@ mod tests {
         let cells = r.scan(&RowRange::all());
         assert_eq!(cells.len(), 1, "broken recovery must lose the tail");
         assert_eq!(&cells[0].value[..], b"flushed");
+    }
+
+    #[test]
+    fn replicated_apply_mirrors_primary_and_dedups_ships() {
+        let mut primary = region();
+        let mut follower = primary.fork_follower();
+        assert_eq!(follower.role(), ReplicaRole::Follower);
+        let seq = primary.put_batch_assign(vec![kv("a", 1, "v1")]).unwrap();
+        assert!(follower
+            .apply_replicated(seq, vec![kv("a", 1, "v1")])
+            .unwrap());
+        assert!(
+            !follower
+                .apply_replicated(seq, vec![kv("a", 1, "v1")])
+                .unwrap(),
+            "duplicate ship is a no-op"
+        );
+        assert_eq!(follower.applied_seq(), primary.applied_seq());
+        assert_eq!(
+            follower.scan(&RowRange::all()),
+            primary.scan(&RowRange::all())
+        );
+    }
+
+    #[test]
+    fn fork_follower_snapshots_existing_data_and_rejects_old_ships() {
+        let mut primary = region();
+        let s1 = primary.put_batch_assign(vec![kv("a", 1, "va")]).unwrap();
+        primary.flush();
+        primary.put_batch(vec![kv("b", 1, "vb")]).unwrap();
+        let mut follower = primary.fork_follower();
+        // Snapshot already covers both cells.
+        assert_eq!(follower.scan(&RowRange::all()).len(), 2);
+        assert_eq!(follower.applied_seq(), primary.applied_seq());
+        // A stale re-ship of the snapshot data must not duplicate.
+        assert!(!follower
+            .apply_replicated(s1, vec![kv("a", 1, "va")])
+            .unwrap());
+        // New writes ship normally.
+        let s3 = primary.put_batch_assign(vec![kv("c", 1, "vc")]).unwrap();
+        assert!(follower
+            .apply_replicated(s3, vec![kv("c", 1, "vc")])
+            .unwrap());
+        assert_eq!(follower.scan(&RowRange::all()).len(), 3);
+    }
+
+    #[test]
+    fn follower_survives_crash_recovery_of_shipped_wal() {
+        let mut primary = region();
+        let mut follower = primary.fork_follower();
+        for i in 0..5 {
+            let seq = primary
+                .put_batch_assign(vec![kv(&format!("r{i}"), 1, "v")])
+                .unwrap();
+            follower
+                .apply_replicated(seq, vec![kv(&format!("r{i}"), 1, "v")])
+                .unwrap();
+        }
+        follower.crash_recover();
+        assert_eq!(follower.scan(&RowRange::all()).len(), 5);
+        assert_eq!(follower.applied_seq(), primary.applied_seq());
+    }
+
+    #[test]
+    fn epoch_bookkeeping() {
+        let mut r = region();
+        assert_eq!(r.epoch(), 1);
+        r.set_epoch(4);
+        assert_eq!(r.epoch(), 4);
+        let f = r.fork_follower();
+        assert_eq!(f.epoch(), 4, "forked follower inherits the epoch");
+        r.set_role(ReplicaRole::Follower);
+        assert_eq!(r.role(), ReplicaRole::Follower);
     }
 
     #[test]

@@ -46,10 +46,15 @@ impl Default for ServerConfig {
 /// fleet view alive until the critical watermark.
 pub fn request_class(req: &Request) -> RequestClass {
     match req {
-        Request::Put { .. } | Request::Flush { .. } | Request::Compact { .. } => {
-            RequestClass::Write
-        }
-        Request::Scan { .. } | Request::Metrics => RequestClass::Read,
+        Request::Put { .. }
+        | Request::PutReplicated { .. }
+        | Request::Ship { .. }
+        | Request::Flush { .. }
+        | Request::Compact { .. } => RequestClass::Write,
+        Request::Scan { .. }
+        | Request::FollowerScan { .. }
+        | Request::ReplicaStatus { .. }
+        | Request::Metrics => RequestClass::Read,
     }
 }
 
@@ -69,6 +74,42 @@ pub enum Request {
         region: RegionId,
         /// Row range to scan.
         range: RowRange,
+    },
+    /// Write a batch into a replicated region's primary, fenced by the
+    /// writer's epoch. Answers [`Response::Appended`] with the WAL
+    /// sequence id the writer must stamp on follower ships.
+    PutReplicated {
+        /// Target region.
+        region: RegionId,
+        /// The replication-group epoch the writer believes is current.
+        epoch: u64,
+        /// Cells to write.
+        kvs: Vec<KeyValue>,
+    },
+    /// Replicate a primary-assigned WAL batch onto a follower copy.
+    Ship {
+        /// Target region.
+        region: RegionId,
+        /// The replication-group epoch the writer believes is current.
+        epoch: u64,
+        /// Sequence id the primary assigned to this batch.
+        seq: u64,
+        /// Cells in the batch.
+        kvs: Vec<KeyValue>,
+    },
+    /// Scan a follower copy; the answer carries the follower's applied
+    /// sequence so the reader can enforce its staleness bound.
+    FollowerScan {
+        /// Target region.
+        region: RegionId,
+        /// Row range to scan.
+        range: RowRange,
+    },
+    /// Ask a replica for its replication position (last durable WAL
+    /// sequence and epoch).
+    ReplicaStatus {
+        /// Target region.
+        region: RegionId,
     },
     /// Force a memstore flush.
     Flush {
@@ -96,6 +137,38 @@ pub enum Response {
     WrongRegion,
     /// Region metrics by id.
     Metrics(Vec<(RegionId, RegionMetrics)>),
+    /// A replicated put is durable on the primary under this WAL
+    /// sequence id (one quorum vote; ship it to followers next).
+    Appended {
+        /// Sequence id assigned to the batch.
+        seq: u64,
+    },
+    /// The sender's epoch is stale: the replication group has moved on
+    /// (a promotion happened) and this replica will not accept the
+    /// write. Carries the replica's current epoch.
+    Fenced {
+        /// The replica's current epoch.
+        epoch: u64,
+    },
+    /// A shipped batch is durable on this follower.
+    ShipAck {
+        /// The follower's last durable WAL sequence after the ship.
+        applied_seq: u64,
+    },
+    /// Follower scan results plus the follower's replication position.
+    FollowerCells {
+        /// Cells scanned.
+        cells: Vec<KeyValue>,
+        /// The follower's last durable WAL sequence.
+        applied_seq: u64,
+    },
+    /// A replica's replication position.
+    Status {
+        /// Last durable WAL sequence on this replica.
+        last_seq: u64,
+        /// The replica's current epoch.
+        epoch: u64,
+    },
 }
 
 /// A running region server plus its assignment surface.
@@ -162,6 +235,49 @@ impl RegionServer {
         }
     }
 
+    /// Last durable WAL sequence of a hosted copy of `id`, or `None`
+    /// when not hosted. The master's failover sweep reads this directly
+    /// (in-process) to pick the most-caught-up surviving follower.
+    pub fn region_applied_seq(&self, id: RegionId) -> Option<u64> {
+        self.regions.read().get(&id).map(|r| r.applied_seq())
+    }
+
+    /// Promote a hosted follower copy of `id` to primary under
+    /// `new_epoch` (master-driven failover). Returns `false` when the
+    /// region is not hosted here.
+    pub fn promote_region(&self, id: RegionId, new_epoch: u64) -> bool {
+        let mut map = self.regions.write();
+        match map.get_mut(&id) {
+            Some(r) => {
+                r.set_role(pga_repl::ReplicaRole::Primary);
+                r.set_epoch(new_epoch);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Install `new_epoch` on a hosted copy of `id` (master-driven after
+    /// a promotion elsewhere, so surviving followers fence the deposed
+    /// primary's writer too). Returns `false` when not hosted.
+    pub fn set_region_epoch(&self, id: RegionId, new_epoch: u64) -> bool {
+        let mut map = self.regions.write();
+        match map.get_mut(&id) {
+            Some(r) => {
+                r.set_epoch(new_epoch);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fork a fresh follower copy of a hosted region (see
+    /// [`Region::fork_follower`]); the master assigns the fork to
+    /// another server to (re)establish the replication factor.
+    pub fn fork_region_follower(&self, id: RegionId) -> Option<Region> {
+        self.regions.read().get(&id).map(|r| r.fork_follower())
+    }
+
     /// Cells written across all hosted regions (monitoring).
     pub fn total_cells_written(&self) -> u64 {
         self.regions
@@ -199,6 +315,70 @@ fn handle_request(regions: &Arc<RwLock<HashMap<RegionId, Region>>>, req: Request
             let map = regions.read();
             match map.get(&region) {
                 Some(r) => Response::Cells(r.scan(&range)),
+                None => Response::WrongRegion,
+            }
+        }
+        Request::PutReplicated { region, epoch, kvs } => {
+            let mut map = regions.write();
+            match map.get_mut(&region) {
+                Some(r) => {
+                    if r.epoch() != epoch {
+                        return Response::Fenced { epoch: r.epoch() };
+                    }
+                    // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
+                    match r.put_batch_assign(kvs) {
+                        Ok(seq) => Response::Appended { seq },
+                        Err(_) => Response::WrongRegion,
+                    }
+                }
+                None => Response::WrongRegion,
+            }
+        }
+        Request::Ship {
+            region,
+            epoch,
+            seq,
+            kvs,
+        } => {
+            let mut map = regions.write();
+            match map.get_mut(&region) {
+                Some(r) => {
+                    if r.epoch() != epoch {
+                        return Response::Fenced { epoch: r.epoch() };
+                    }
+                    // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
+                    match r.apply_replicated(seq, kvs) {
+                        // Duplicate/stale ships are already durable here,
+                        // so both outcomes ack with the current position.
+                        Ok(_) => Response::ShipAck {
+                            // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
+                            applied_seq: r.applied_seq(),
+                        },
+                        Err(_) => Response::WrongRegion,
+                    }
+                }
+                None => Response::WrongRegion,
+            }
+        }
+        Request::FollowerScan { region, range } => {
+            let map = regions.read();
+            match map.get(&region) {
+                Some(r) => Response::FollowerCells {
+                    cells: r.scan(&range),
+                    // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
+                    applied_seq: r.applied_seq(),
+                },
+                None => Response::WrongRegion,
+            }
+        }
+        Request::ReplicaStatus { region } => {
+            let map = regions.read();
+            match map.get(&region) {
+                Some(r) => Response::Status {
+                    // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
+                    last_seq: r.applied_seq(),
+                    epoch: r.epoch(),
+                },
                 None => Response::WrongRegion,
             }
         }
@@ -341,6 +521,108 @@ mod tests {
         assert!(a.hosted_regions().is_empty());
         a.shutdown();
         b.shutdown();
+    }
+
+    #[test]
+    fn replicated_put_ship_and_fencing_through_rpc() {
+        let primary = RegionServer::spawn(NodeId(0), ServerConfig::default());
+        let follower = RegionServer::spawn(NodeId(1), ServerConfig::default());
+        let region = Region::new(RegionId(1), RowRange::all(), RegionConfig::default());
+        let fork = region.fork_follower();
+        primary.assign(region);
+        follower.assign(fork);
+
+        // Primary append under the current epoch.
+        let seq = match primary
+            .handle()
+            .call(Request::PutReplicated {
+                region: RegionId(1),
+                epoch: 1,
+                kvs: vec![kv("a")],
+            })
+            .unwrap()
+        {
+            Response::Appended { seq } => seq,
+            other => panic!("unexpected {other:?}"),
+        };
+
+        // Ship to the follower; it acks with its new position.
+        match follower
+            .handle()
+            .call(Request::Ship {
+                region: RegionId(1),
+                epoch: 1,
+                seq,
+                kvs: vec![kv("a")],
+            })
+            .unwrap()
+        {
+            Response::ShipAck { applied_seq } => assert_eq!(applied_seq, seq),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Follower scan reports cells plus position.
+        match follower
+            .handle()
+            .call(Request::FollowerScan {
+                region: RegionId(1),
+                range: RowRange::all(),
+            })
+            .unwrap()
+        {
+            Response::FollowerCells { cells, applied_seq } => {
+                assert_eq!(cells.len(), 1);
+                assert_eq!(applied_seq, seq);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Epoch bump fences the old writer on both replicas.
+        assert!(follower.set_region_epoch(RegionId(1), 2));
+        match follower
+            .handle()
+            .call(Request::Ship {
+                region: RegionId(1),
+                epoch: 1,
+                seq: seq + 1,
+                kvs: vec![kv("b")],
+            })
+            .unwrap()
+        {
+            Response::Fenced { epoch } => assert_eq!(epoch, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(primary.promote_region(RegionId(1), 2));
+        match primary
+            .handle()
+            .call(Request::PutReplicated {
+                region: RegionId(1),
+                epoch: 1,
+                kvs: vec![kv("c")],
+            })
+            .unwrap()
+        {
+            Response::Fenced { epoch } => assert_eq!(epoch, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Status reflects position and epoch.
+        match primary
+            .handle()
+            .call(Request::ReplicaStatus {
+                region: RegionId(1),
+            })
+            .unwrap()
+        {
+            Response::Status { last_seq, epoch } => {
+                assert_eq!(last_seq, seq);
+                assert_eq!(epoch, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(primary.region_applied_seq(RegionId(1)), Some(seq));
+        primary.shutdown();
+        follower.shutdown();
     }
 
     #[test]

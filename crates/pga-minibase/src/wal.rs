@@ -71,6 +71,41 @@ impl WriteAheadLog {
         seq
     }
 
+    /// Append a batch under a sequence id assigned elsewhere — the
+    /// replication path, where a follower replays WAL records shipped by
+    /// the primary under the primary's sequence numbering. Accepted only
+    /// when `seq` advances the log (strictly greater than the last
+    /// sequence), keeping a follower WAL monotone even when ships arrive
+    /// duplicated or stale after a retry. Returns `false` for a rejected
+    /// (stale/duplicate) batch, which the caller must treat as already
+    /// applied.
+    pub fn append_batch_with_seq(&self, seq: SequenceId, kvs: &[KeyValue]) -> bool {
+        let mut inner = self.inner.lock();
+        if seq <= inner.next_seq {
+            return false;
+        }
+        inner.next_seq = seq;
+        inner.entries.reserve(kvs.len());
+        for kv in kvs {
+            inner.entries.push((seq, kv.clone()));
+        }
+        true
+    }
+
+    /// Empty log whose sequence numbering starts after `seq`. Used when
+    /// forking a fresh follower from a primary snapshot: the snapshot
+    /// covers everything through `seq`, so the follower's WAL must accept
+    /// shipped batches from `seq + 1` onward and reject anything older.
+    pub fn with_start_sequence(seq: SequenceId) -> Self {
+        WriteAheadLog {
+            inner: Arc::new(Mutex::new(WalInner {
+                entries: Vec::new(),
+                next_seq: seq,
+                flushed_through: seq,
+            })),
+        }
+    }
+
     /// Entries newer than the flush mark, in append order — the data a
     /// recovering server must replay into a fresh memstore.
     pub fn replay(&self) -> Vec<KeyValue> {
@@ -460,6 +495,38 @@ mod tests {
             .replay()
             .is_empty());
         assert!(WriteAheadLog::from_encoded(&[]).replay().is_empty());
+    }
+
+    #[test]
+    fn append_with_seq_is_monotone_and_idempotent() {
+        let wal = WriteAheadLog::new();
+        assert!(wal.append_batch_with_seq(3, &[kv("a", 1)]));
+        assert!(
+            !wal.append_batch_with_seq(3, &[kv("a", 1)]),
+            "duplicate ship must be rejected"
+        );
+        assert!(
+            !wal.append_batch_with_seq(2, &[kv("stale", 1)]),
+            "stale ship must be rejected"
+        );
+        assert!(wal.append_batch_with_seq(5, &[kv("b", 2)]));
+        assert_eq!(wal.batch_sequences(), vec![3, 5]);
+        assert_eq!(wal.last_sequence(), 5);
+        // Local appends continue after the shipped numbering.
+        assert_eq!(wal.append_batch(&[kv("c", 3)]), 6);
+    }
+
+    #[test]
+    fn start_sequence_rejects_pre_snapshot_ships() {
+        let wal = WriteAheadLog::with_start_sequence(7);
+        assert_eq!(wal.last_sequence(), 7);
+        assert!(!wal.append_batch_with_seq(7, &[kv("old", 1)]));
+        assert!(wal.append_batch_with_seq(8, &[kv("new", 1)]));
+        assert_eq!(wal.replay().len(), 1);
+        // Encode/decode keeps the start mark.
+        let back = WriteAheadLog::from_encoded(&wal.encode());
+        assert_eq!(back.last_sequence(), 8);
+        assert!(!back.append_batch_with_seq(8, &[kv("dup", 1)]));
     }
 
     #[test]

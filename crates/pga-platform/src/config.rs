@@ -41,6 +41,11 @@ pub struct PlatformConfig {
     /// defaults.
     #[serde(default)]
     pub query: QueryConfig,
+    /// Storage-tier replication (pga-repl): copies per region, write
+    /// quorum, follower-read staleness budget, scan-hedge trigger.
+    /// Absent in pre-replication configs, so it defaults to single-copy.
+    #[serde(default)]
+    pub replication: pga_repl::ReplicationConfig,
 }
 
 /// Serving-layer (pga-query) settings.
@@ -106,13 +111,19 @@ impl QueryConfig {
         Ok(())
     }
 
-    /// Lower to the engine's own configuration type.
-    pub fn engine_config(&self) -> pga_query::QueryEngineConfig {
+    /// Lower to the engine's own configuration type. `hedge` comes from
+    /// the replication section ([`PlatformConfig::hedge_policy`]): shard
+    /// scans fail over to follower replicas only when regions have them.
+    pub fn engine_config(
+        &self,
+        hedge: Option<pga_repl::HedgePolicy>,
+    ) -> pga_query::QueryEngineConfig {
         pga_query::QueryEngineConfig {
             exec: pga_query::ExecConfig {
                 tiers: self.tiers.clone(),
                 shard_deadline_ms: self.shard_deadline_ms,
                 tail_buckets: self.tail_buckets,
+                hedge,
             },
             cache: pga_query::CacheConfig {
                 shards: self.cache_shards,
@@ -145,7 +156,18 @@ impl PlatformConfig {
             scaling: HysteresisConfig::default(),
             brownout: BrownoutConfig::default(),
             query: QueryConfig::default(),
+            replication: pga_repl::ReplicationConfig::default(),
         }
+    }
+
+    /// Hedge policy for the query engine: present only when regions have
+    /// follower copies to hedge to.
+    pub fn hedge_policy(&self) -> Option<pga_repl::HedgePolicy> {
+        self.replication
+            .replicated()
+            .then_some(pga_repl::HedgePolicy {
+                delay_ms: self.replication.hedge_delay_ms,
+            })
     }
 
     /// Validate ranges.
@@ -190,6 +212,14 @@ impl PlatformConfig {
         }
         self.brownout.validate()?;
         self.query.validate()?;
+        self.replication.validate()?;
+        if self.replication.factor > self.storage_nodes {
+            return Err(format!(
+                "replication factor {} needs distinct nodes but the storage \
+                 tier has only {}",
+                self.replication.factor, self.storage_nodes
+            ));
+        }
         Ok(())
     }
 }
@@ -299,6 +329,47 @@ mod tests {
             serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
         assert_eq!(back.query, QueryConfig::default());
         assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn configs_without_replication_section_still_parse() {
+        // A config serialized before storage-tier replication existed.
+        let serde_json::Value::Object(obj) = serde_json::to_value(&PlatformConfig::demo(3)) else {
+            panic!("config must serialize to an object");
+        };
+        let mut pruned = serde_json::Map::new();
+        for (k, val) in obj.iter() {
+            if k != "replication" {
+                pruned.insert(k.clone(), val.clone());
+            }
+        }
+        let back: PlatformConfig =
+            serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
+        assert_eq!(back.replication, pga_repl::ReplicationConfig::default());
+        assert!(!back.replication.replicated());
+        assert!(back.hedge_policy().is_none());
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn replication_validation_and_hedge_policy() {
+        let mut c = PlatformConfig::demo(1);
+        c.replication.factor = 2;
+        assert!(c.validate().is_ok());
+        assert_eq!(
+            c.hedge_policy(),
+            Some(pga_repl::HedgePolicy {
+                delay_ms: c.replication.hedge_delay_ms
+            })
+        );
+        // More copies than storage nodes cannot be placed distinctly.
+        c.replication.factor = c.storage_nodes + 1;
+        assert!(c.validate().is_err());
+        // Quorum larger than the factor can never be met.
+        let mut c = PlatformConfig::demo(1);
+        c.replication.factor = 2;
+        c.replication.write_quorum = 3;
+        assert!(c.validate().is_err());
     }
 
     #[test]

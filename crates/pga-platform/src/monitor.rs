@@ -14,7 +14,8 @@ use pga_query::{QueryEngine, RollupWriter};
 use pga_sensorgen::Fleet;
 use pga_tsdb::QueryFilter;
 use pga_viz::{
-    fleet_overview_page, machine_page, FleetOverview, Health, MachinePage, SensorPanel, UnitStatus,
+    cluster_page, fleet_overview_page, machine_page, ClusterNodeRow, ClusterView, FleetOverview,
+    Health, MachinePage, SensorPanel, UnitStatus,
 };
 
 use crate::config::PlatformConfig;
@@ -94,8 +95,12 @@ impl Monitor {
     pub fn new(config: PlatformConfig) -> Result<Self, MonitorError> {
         config.validate().map_err(MonitorError::Config)?;
         let fleet = Fleet::new(config.fleet.clone());
-        let pipeline =
-            IngestionPipeline::new(config.storage_nodes, config.tsd_count, config.batch_size);
+        let pipeline = IngestionPipeline::new_replicated(
+            config.storage_nodes,
+            config.tsd_count,
+            config.batch_size,
+            config.replication.factor,
+        );
         // Write-time rollup maintenance: one observer per TSD daemon, the
         // daemon index doubling as the rollup writer id so concurrent
         // writers never collide on a cell.
@@ -113,7 +118,7 @@ impl Monitor {
         let engine = Arc::new(QueryEngine::new(
             pipeline.tsd().codec().clone(),
             Client::connect(pipeline.master()),
-            config.query.engine_config(),
+            config.query.engine_config(config.hedge_policy()),
         ));
         let brownout = BrownoutGate::new(config.brownout);
         Ok(Monitor {
@@ -444,6 +449,62 @@ impl Monitor {
         fleet_overview_page(&self.fleet_overview_data(eval_rate))
     }
 
+    /// Build the cluster replication view from the storage control
+    /// plane: region placement and failover history from the master,
+    /// read-path counters (follower reads, hedged scans, fence
+    /// rejections) summed over every storage client's lag book — the
+    /// ingest TSDs plus the serving engine.
+    pub fn cluster_view_data(&self) -> ClusterView {
+        let master = self.pipeline.master();
+        let live: std::collections::BTreeSet<_> = master.live_nodes().into_iter().collect();
+        let report = master.replication_report();
+        let directory = master.directory().read().clone();
+        let nodes = master
+            .nodes()
+            .into_iter()
+            .map(|node| {
+                let (lag, _) = report
+                    .iter()
+                    .filter(|s| s.primary == node)
+                    .fold((0u64, 0u64), |(lag, n), s| (lag.max(s.max_lag()), n + 1));
+                ClusterNodeRow {
+                    node: node.0,
+                    alive: live.contains(&node),
+                    primary_regions: directory.iter().filter(|r| r.server == node).count(),
+                    follower_regions: directory
+                        .iter()
+                        .filter(|r| r.followers.contains(&node))
+                        .count(),
+                    replication_lag: lag,
+                    failovers: master
+                        .failover_events()
+                        .iter()
+                        .filter(|e| e.to == node)
+                        .count() as u64,
+                }
+            })
+            .collect();
+        let mut books = pga_repl::LagSnapshot::default();
+        for tsd in self.pipeline.tsds() {
+            books = books.merge(&tsd.client().repl_book().snapshot());
+        }
+        books = books.merge(&self.engine.client().repl_book().snapshot());
+        ClusterView {
+            replication_factor: master.replication_factor(),
+            nodes,
+            lag_alert: self.config.replication.follower_read_max_lag,
+            total_failovers: master.failovers(),
+            fence_rejections: books.fence_rejections,
+            follower_reads: books.follower_reads,
+            hedged_scans: books.hedged_scans,
+        }
+    }
+
+    /// Render the cluster replication page to HTML.
+    pub fn cluster_page_html(&self) -> String {
+        cluster_page(&self.cluster_view_data())
+    }
+
     /// Render the fleet anomaly heatmap (units × time buckets) as a
     /// standalone HTML page. Events are read back from the `anomaly`
     /// metric **through the serving engine** (cached, scatter-gathered) —
@@ -515,6 +576,30 @@ mod tests {
                 assert_eq!(w.get(t as usize, s as usize), m.fleet().sample(2, s, t));
             }
         }
+        m.shutdown();
+    }
+
+    #[test]
+    fn cluster_view_reflects_replicated_placement() {
+        let mut config = PlatformConfig::demo(9);
+        config.fleet.units = 2;
+        config.fleet.sensors_per_unit = 8;
+        config.replication.factor = 2;
+        let mut m = Monitor::new(config).unwrap();
+        m.ingest_range(0, 4);
+        let view = m.cluster_view_data();
+        assert_eq!(view.replication_factor, 2);
+        assert_eq!(view.nodes.len(), 4);
+        assert_eq!(view.live_nodes(), 4);
+        // RF=2: every region led somewhere and followed somewhere else.
+        let primaries: usize = view.nodes.iter().map(|n| n.primary_regions).sum();
+        let followers: usize = view.nodes.iter().map(|n| n.follower_regions).sum();
+        assert!(primaries > 0);
+        assert_eq!(primaries, followers);
+        assert_eq!(view.total_failovers, 0);
+        let html = m.cluster_page_html();
+        assert!(html.contains("Cluster replication"));
+        assert!(html.contains("RF 2"));
         m.shutdown();
     }
 

@@ -20,6 +20,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use pga_cluster::rpc::ClockMs;
 use pga_minibase::{Client, ClientError, KeyValue, RowRange};
+use pga_repl::HedgePolicy;
 use pga_tsdb::{Aggregator, DataPoint, KeyCodec, PartialInfo, QueryFilter, ShardError, TimeSeries};
 
 use crate::plan::{self, Plan};
@@ -37,6 +38,10 @@ pub struct ExecConfig {
     /// seconds before `end` are served raw: those buckets may still be
     /// open in writers.
     pub tail_buckets: u64,
+    /// When set, shard scans hedge to a follower replica after the
+    /// primary has been slow (or shedding) for `delay_ms` — set near the
+    /// fleet's scan p99. `None` keeps the single-copy scan path.
+    pub hedge: Option<HedgePolicy>,
 }
 
 impl Default for ExecConfig {
@@ -45,6 +50,7 @@ impl Default for ExecConfig {
             tiers: vec![60, 600],
             shard_deadline_ms: 250,
             tail_buckets: 2,
+            hedge: None,
         }
     }
 }
@@ -133,7 +139,10 @@ fn splice_bounds(
 }
 
 /// Scan `[start, end]` of `metric` on one salt, admission-controlled.
-/// Empty result for a metric the UID table has never seen.
+/// Empty result for a metric the UID table has never seen. With a hedge
+/// trigger, a primary that is slow or shedding past the trigger fails
+/// the shard over to a follower replica under the full deadline.
+#[allow(clippy::too_many_arguments)]
 fn scan_salt(
     client: &Client,
     codec: &KeyCodec,
@@ -142,12 +151,26 @@ fn scan_salt(
     start: u64,
     end: u64,
     deadline: u64,
+    hedge_trigger: Option<u64>,
 ) -> Result<Vec<KeyValue>, ClientError> {
     let (s, e) = codec.scan_range(salt, metric, start, end);
     if s.is_empty() && e.is_empty() {
         return Ok(Vec::new());
     }
-    client.scan_admitted(&RowRange::new(s, e), Some(deadline))
+    let range = RowRange::new(s, e);
+    match hedge_trigger {
+        Some(primary_deadline) => {
+            client.scan_hedged(&range, Some(primary_deadline), Some(deadline))
+        }
+        None => client.scan_admitted(&range, Some(deadline)),
+    }
+}
+
+/// Absolute primary-scan deadline acting as the hedge trigger: the hedge
+/// delay, capped at the shard deadline itself.
+fn hedge_trigger(cfg: &ExecConfig, now: u64) -> Option<u64> {
+    cfg.hedge
+        .map(|h| now + h.delay_ms.min(cfg.shard_deadline_ms))
 }
 
 /// Fan scans out, one thread per salt; results come back indexed by salt
@@ -246,9 +269,11 @@ fn execute_raw(
     end: u64,
     downsample: Option<(u64, Aggregator)>,
 ) -> ExecResult {
-    let deadline = clock() + cfg.shard_deadline_ms;
+    let now = clock();
+    let deadline = now + cfg.shard_deadline_ms;
+    let hedge = hedge_trigger(cfg, now);
     let shards = scatter(codec, |salt| {
-        scan_salt(client, codec, salt, metric, start, end, deadline)
+        scan_salt(client, codec, salt, metric, start, end, deadline, hedge)
     });
     let fanout = shards.len() as u32;
     let mut errors = Vec::new();
@@ -307,11 +332,22 @@ fn execute_rollup(
 ) -> ExecResult {
     let (d, agg) = downsample.expect("rollup plan implies downsample");
     let shadow = tier_metric(tier, metric);
-    let deadline = clock() + cfg.shard_deadline_ms;
+    let now = clock();
+    let deadline = now + cfg.shard_deadline_ms;
+    let hedge = hedge_trigger(cfg, now);
     // One thread per salt runs the rollup scan plus the raw head/tail
     // patches under a single deadline.
     let shards = scatter(codec, |salt| {
-        let ru = scan_salt(client, codec, salt, &shadow, ru_lo, ru_hi - 1, deadline)?;
+        let ru = scan_salt(
+            client,
+            codec,
+            salt,
+            &shadow,
+            ru_lo,
+            ru_hi - 1,
+            deadline,
+            hedge,
+        )?;
         let mut raw = Vec::new();
         if start < ru_lo {
             raw.extend(scan_salt(
@@ -322,11 +358,12 @@ fn execute_rollup(
                 start,
                 ru_lo - 1,
                 deadline,
+                hedge,
             )?);
         }
         if ru_hi <= end {
             raw.extend(scan_salt(
-                client, codec, salt, metric, ru_hi, end, deadline,
+                client, codec, salt, metric, ru_hi, end, deadline, hedge,
             )?);
         }
         Ok((ru, raw))
@@ -407,9 +444,11 @@ fn execute_rollup(
         ws
     };
     for w in tainted_windows {
-        let deadline = clock() + cfg.shard_deadline_ms;
+        let now = clock();
+        let deadline = now + cfg.shard_deadline_ms;
+        let hedge = hedge_trigger(cfg, now);
         let shards = scatter(codec, |salt| {
-            scan_salt(client, codec, salt, metric, w, w + d - 1, deadline)
+            scan_salt(client, codec, salt, metric, w, w + d - 1, deadline, hedge)
         });
         let mut cells = Vec::new();
         let mut failed = false;

@@ -146,6 +146,13 @@ impl QueryEngine {
         &self.config.exec.tiers
     }
 
+    /// The storage client the executor scatter-gathers through. Exposed
+    /// so the platform can fold its replication lag book (follower
+    /// reads, hedged scans, fence rejections) into cluster telemetry.
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
     fn cache_key(
         metric: &str,
         filter: &QueryFilter,

@@ -1,0 +1,77 @@
+//! Region replication protocol for the minibase storage tier.
+//!
+//! The source paper's storage substrate descends from HBase/OpenTSDB,
+//! where each region is served by exactly one server: a crash means the
+//! region is unavailable until the master's lease recovery notices, and
+//! the always-on dashboards the paper assumes go dark for the whole lease
+//! window. This crate holds the *protocol* side of the fix — the pure,
+//! mechanism-free rules for quorum-acked WAL shipping, epoch fencing,
+//! bounded-staleness follower reads, hedged scans, and failover
+//! promotion. The *mechanism* (region servers that apply shipped WAL,
+//! clients that collect quorums, a master that promotes) lives in
+//! `pga-minibase`, which depends on this crate; keeping the protocol
+//! dependency-free lets the master, the client, and the fault simulator
+//! all evaluate the same rules without import cycles.
+//!
+//! Protocol summary:
+//!
+//! * Every replicated region has one **primary** and `factor - 1`
+//!   **followers**, each on a distinct server. The region's route entry
+//!   carries an **epoch**; every write and ship is stamped with the epoch
+//!   the writer believes is current, and replicas reject mismatches.
+//! * A put is acknowledged only once a **write quorum** (majority of
+//!   `factor`) has the batch durable in its WAL — the primary's own
+//!   append plus `write_quorum - 1` follower ship-acks, tracked by
+//!   [`QuorumTracker`].
+//! * On primary failure the master promotes the **most-caught-up**
+//!   surviving follower ([`choose_promotee`]) and bumps the epoch, so a
+//!   deposed primary's acks can never reach quorum again (fencing).
+//! * Followers serve **bounded-staleness reads** ([`FollowerReadPolicy`]):
+//!   a scan is routed to a follower only when its applied sequence trails
+//!   the primary by at most a configured number of WAL batches.
+//! * Scatter-gather scans **hedge** ([`HedgePolicy`]): when the primary
+//!   has not answered within a p99-derived delay, the same scan is sent
+//!   to a replica and the first answer wins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lag;
+pub mod promote;
+pub mod quorum;
+pub mod read;
+
+pub use config::ReplicationConfig;
+pub use lag::{LagBook, LagSnapshot};
+pub use promote::choose_promotee;
+pub use quorum::{QuorumDecision, QuorumTracker};
+pub use read::{FollowerReadPolicy, HedgePolicy};
+
+/// Epoch (generation) number of a region's replication group. Bumped on
+/// every promotion; replicas reject writes and ships stamped with any
+/// other epoch, which fences a deposed primary out of the quorum.
+pub type Epoch = u64;
+
+/// A replica's role within a region's replication group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ReplicaRole {
+    /// Serves writes, assigns WAL sequence ids, and is the scan authority.
+    Primary,
+    /// Applies shipped WAL and serves bounded-staleness reads.
+    Follower,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_roundtrip_through_serde() {
+        for role in [ReplicaRole::Primary, ReplicaRole::Follower] {
+            let json = serde_json::to_string(&role).unwrap();
+            let back: ReplicaRole = serde_json::from_str(&json).unwrap();
+            assert_eq!(role, back);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Write-quorum accounting for one replicated put.
+//!
+//! The client-side replication driver creates one [`QuorumTracker`] per
+//! put batch: the primary's `Appended` response is the first vote, each
+//! follower `ShipAck` adds one, and any replica answering `Fenced`
+//! (epoch mismatch) poisons the attempt — the writer's route is stale
+//! and must be refreshed before retrying. The tracker is deliberately
+//! pure state-machine: no channels, no clocks, so the fault simulator
+//! and property tests can drive it through every interleaving.
+
+use pga_cluster::NodeId;
+
+use crate::Epoch;
+
+/// Outcome of a replicated put attempt so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumDecision {
+    /// Not enough durable copies yet; keep shipping.
+    Pending,
+    /// The write quorum is durable — the put may be acknowledged.
+    Committed,
+    /// A replica rejected the writer's epoch: the group has moved on
+    /// (promotion happened). Carries the highest epoch seen so the
+    /// writer can refresh its routes. The put MUST NOT be acked from
+    /// this attempt.
+    Fenced(Epoch),
+}
+
+/// Tracks durable-copy votes for a single put batch.
+#[derive(Debug, Clone)]
+pub struct QuorumTracker {
+    need: usize,
+    voters: Vec<NodeId>,
+    fenced_at: Option<Epoch>,
+}
+
+impl QuorumTracker {
+    /// Tracker requiring `write_quorum` durable copies (primary
+    /// included). A quorum of 0 is treated as 1: the primary alone.
+    pub fn new(write_quorum: usize) -> Self {
+        QuorumTracker {
+            need: write_quorum.max(1),
+            voters: Vec::with_capacity(write_quorum.max(1)),
+            fenced_at: None,
+        }
+    }
+
+    /// Record that `node` has the batch durable in its WAL. Duplicate
+    /// acks from the same node (retried ships) count once.
+    pub fn record_ack(&mut self, node: NodeId) {
+        if !self.voters.contains(&node) {
+            self.voters.push(node);
+        }
+    }
+
+    /// Record that `node` rejected the write with `their_epoch` — the
+    /// writer is behind the group. The highest epoch seen is kept.
+    pub fn record_fenced(&mut self, their_epoch: Epoch) {
+        self.fenced_at = Some(match self.fenced_at {
+            Some(e) => e.max(their_epoch),
+            None => their_epoch,
+        });
+    }
+
+    /// Durable copies recorded so far.
+    pub fn votes(&self) -> usize {
+        self.voters.len()
+    }
+
+    /// Current decision. Fencing dominates: once any replica has
+    /// rejected the epoch, the attempt can never commit even if a quorum
+    /// of stale replicas acked — the group membership the writer used is
+    /// no longer authoritative.
+    pub fn decision(&self) -> QuorumDecision {
+        if let Some(e) = self.fenced_at {
+            return QuorumDecision::Fenced(e);
+        }
+        if self.voters.len() >= self.need {
+            QuorumDecision::Committed
+        } else {
+            QuorumDecision::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_at_quorum_not_before() {
+        let mut t = QuorumTracker::new(2);
+        assert_eq!(t.decision(), QuorumDecision::Pending);
+        t.record_ack(NodeId(0));
+        assert_eq!(t.decision(), QuorumDecision::Pending);
+        t.record_ack(NodeId(2));
+        assert_eq!(t.decision(), QuorumDecision::Committed);
+    }
+
+    #[test]
+    fn duplicate_acks_count_once() {
+        let mut t = QuorumTracker::new(2);
+        t.record_ack(NodeId(1));
+        t.record_ack(NodeId(1));
+        t.record_ack(NodeId(1));
+        assert_eq!(t.votes(), 1);
+        assert_eq!(t.decision(), QuorumDecision::Pending);
+    }
+
+    #[test]
+    fn fencing_dominates_even_after_quorum_votes() {
+        let mut t = QuorumTracker::new(2);
+        t.record_ack(NodeId(0));
+        t.record_ack(NodeId(1));
+        assert_eq!(t.decision(), QuorumDecision::Committed);
+        t.record_fenced(7);
+        assert_eq!(t.decision(), QuorumDecision::Fenced(7));
+        // Later acks cannot un-fence.
+        t.record_ack(NodeId(2));
+        assert_eq!(t.decision(), QuorumDecision::Fenced(7));
+    }
+
+    #[test]
+    fn highest_fencing_epoch_wins() {
+        let mut t = QuorumTracker::new(3);
+        t.record_fenced(4);
+        t.record_fenced(2);
+        assert_eq!(t.decision(), QuorumDecision::Fenced(4));
+    }
+
+    #[test]
+    fn zero_quorum_degenerates_to_primary_only() {
+        let mut t = QuorumTracker::new(0);
+        assert_eq!(t.decision(), QuorumDecision::Pending);
+        t.record_ack(NodeId(5));
+        assert_eq!(t.decision(), QuorumDecision::Committed);
+    }
+}

@@ -1,0 +1,211 @@
+//! Cluster replication page: per-node replication health for the
+//! storage tier — regions led, follower copies hosted, WAL shipping
+//! lag, and failover history — plus fleet-wide replication counters.
+//!
+//! Pure data in ([`ClusterView`]), HTML out ([`cluster_page`]), like the
+//! machine page and fleet overview: the platform layer maps its control
+//! plane (master directory, telemetry scrape, client lag books) into the
+//! view struct and this module only renders.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dashboard::Health;
+use crate::svg::escape;
+
+/// One storage node's replication row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterNodeRow {
+    /// Node id.
+    pub node: u32,
+    /// Whether the node currently answers RPC.
+    pub alive: bool,
+    /// Regions this node is the primary for.
+    pub primary_regions: usize,
+    /// Follower copies this node hosts.
+    pub follower_regions: usize,
+    /// Worst follower lag (WAL batches behind the primary) across the
+    /// regions this node leads.
+    pub replication_lag: u64,
+    /// Promotions that made this node a primary.
+    pub failovers: u64,
+}
+
+impl ClusterNodeRow {
+    /// Health of the row: dead nodes are critical, lagging primaries
+    /// (past `lag_alert` batches) are a warning, everything else is good.
+    pub fn health(&self, lag_alert: u64) -> Health {
+        if !self.alive {
+            Health::Critical
+        } else if self.replication_lag > lag_alert {
+            Health::Warning
+        } else {
+            Health::Good
+        }
+    }
+}
+
+/// Input to the cluster replication page.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterView {
+    /// Copies the master maintains per region (1 = unreplicated).
+    pub replication_factor: usize,
+    /// Per-node rows, sorted by node id.
+    pub nodes: Vec<ClusterNodeRow>,
+    /// Follower lag (WAL batches) above which a primary shows as
+    /// lagging rather than healthy.
+    pub lag_alert: u64,
+    /// Cumulative primary promotions across the cluster.
+    pub total_failovers: u64,
+    /// Cumulative epoch-fenced replication RPCs (deposed writers denied
+    /// a vote).
+    pub fence_rejections: u64,
+    /// Cumulative scans served from a follower under bounded staleness.
+    pub follower_reads: u64,
+    /// Cumulative scans hedged to a follower after a slow primary.
+    pub hedged_scans: u64,
+}
+
+impl ClusterView {
+    /// Worst follower lag across every primary in the cluster.
+    pub fn max_replication_lag(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.replication_lag)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Live nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+}
+
+/// Render the cluster replication page: an analytics strip (replication
+/// factor, worst lag, failovers, follower-served reads) over a per-node
+/// table with the same status palette and text labels as the fleet
+/// overview.
+pub fn cluster_page(view: &ClusterView) -> String {
+    let mut body = String::from("<h1>Cluster replication</h1>");
+    body.push_str(&format!(
+        "<div class=\"analytics\">\
+         <div class=\"stat\"><div class=\"v\">RF {}</div><div class=\"k\">replication factor</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}/{}</div><div class=\"k\">nodes live</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">worst lag (batches)</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">failovers</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">fence rejections</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">follower reads</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">hedged scans</div></div>\
+         </div>",
+        view.replication_factor,
+        view.live_nodes(),
+        view.nodes.len(),
+        view.max_replication_lag(),
+        view.total_failovers,
+        view.fence_rejections,
+        view.follower_reads,
+        view.hedged_scans,
+    ));
+    body.push_str(
+        "<table class=\"units\"><tr><th>node</th><th>status</th>\
+         <th>primary regions</th><th>follower copies</th>\
+         <th>lag (batches)</th><th>failovers</th></tr>",
+    );
+    for n in &view.nodes {
+        let health = n.health(view.lag_alert);
+        let status = if n.alive {
+            health.label().to_string()
+        } else {
+            "down".to_string()
+        };
+        body.push_str(&format!(
+            "<tr><td>{}</td>\
+             <td><span class=\"dot\" style=\"background:{}\"></span> {}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            n.node,
+            health.color_var(),
+            escape(&status),
+            n.primary_regions,
+            n.follower_regions,
+            n.replication_lag,
+            n.failovers,
+        ));
+    }
+    body.push_str("</table>");
+    crate::dashboard::page_shell("Cluster replication", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_view() -> ClusterView {
+        ClusterView {
+            replication_factor: 2,
+            nodes: vec![
+                ClusterNodeRow {
+                    node: 0,
+                    alive: true,
+                    primary_regions: 2,
+                    follower_regions: 1,
+                    replication_lag: 0,
+                    failovers: 0,
+                },
+                ClusterNodeRow {
+                    node: 1,
+                    alive: true,
+                    primary_regions: 1,
+                    follower_regions: 2,
+                    replication_lag: 7,
+                    failovers: 1,
+                },
+                ClusterNodeRow {
+                    node: 2,
+                    alive: false,
+                    primary_regions: 0,
+                    follower_regions: 0,
+                    replication_lag: 0,
+                    failovers: 0,
+                },
+            ],
+            lag_alert: 4,
+            total_failovers: 1,
+            fence_rejections: 3,
+            follower_reads: 25,
+            hedged_scans: 6,
+        }
+    }
+
+    #[test]
+    fn cluster_page_structure() {
+        let view = sample_view();
+        let html = cluster_page(&view);
+        assert!(html.contains("<h1>Cluster replication</h1>"));
+        assert!(html.contains("RF 2"));
+        assert!(html.contains("2/3"));
+        assert!(html.contains("fence rejections"));
+        assert!(html.contains("hedged scans"));
+        // Status is text, never color alone.
+        assert!(html.contains("healthy"));
+        assert!(html.contains("warning"));
+        assert!(html.contains("down"));
+    }
+
+    #[test]
+    fn health_tracks_liveness_then_lag() {
+        let view = sample_view();
+        assert_eq!(view.nodes[0].health(view.lag_alert), Health::Good);
+        assert_eq!(view.nodes[1].health(view.lag_alert), Health::Warning);
+        assert_eq!(view.nodes[2].health(view.lag_alert), Health::Critical);
+        assert_eq!(view.max_replication_lag(), 7);
+        assert_eq!(view.live_nodes(), 2);
+    }
+
+    #[test]
+    fn view_round_trips_through_json() {
+        let view = sample_view();
+        let json = serde_json::to_string(&view).unwrap();
+        let back: ClusterView = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -141,7 +141,7 @@ table.units th { color: var(--text-secondary); font-weight: 600; }
 .stat .k { font-size: 12px; color: var(--text-secondary); }
 "#;
 
-fn page_shell(title: &str, body: &str) -> String {
+pub(crate) fn page_shell(title: &str, body: &str) -> String {
     format!(
         "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
          <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\

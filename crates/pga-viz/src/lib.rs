@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod charts;
+pub mod cluster;
 pub mod dashboard;
 pub mod heatmap;
 pub mod scale;
@@ -30,6 +31,7 @@ pub mod server;
 pub mod svg;
 
 pub use charts::{detail_chart, sparkline, ChartConfig};
+pub use cluster::{cluster_page, ClusterNodeRow, ClusterView};
 pub use dashboard::{
     fleet_overview_page, machine_page, FleetOverview, Health, MachinePage, SensorPanel, UnitStatus,
 };

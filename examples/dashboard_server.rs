@@ -4,6 +4,7 @@
 //!
 //! Routes:
 //!   GET  /              — fleet overview
+//!   GET  /cluster       — cluster replication page
 //!   GET  /machine/<id>  — machine page (Figure 3)
 //!   POST /api/put       — OpenTSDB-style datapoint ingestion (JSON)
 //!   POST /api/query     — OpenTSDB-style range query (JSON)
@@ -42,6 +43,7 @@ fn main() {
             let m = monitor.lock();
             match (req.method.as_str(), req.path.as_str()) {
                 ("GET", "/") => Some(HttpResponse::html(m.fleet_overview_html(evaluated as f64))),
+                ("GET", "/cluster") => Some(HttpResponse::html(m.cluster_page_html())),
                 ("GET", "/heatmap") => Some(HttpResponse::html(m.heatmap_html(0, 699, 50))),
                 ("GET", p) if p.starts_with("/machine/") => {
                     let unit: u32 = p["/machine/".len()..].parse().ok()?;
@@ -71,6 +73,7 @@ fn main() {
     println!("dashboard at http://{}/", server.addr());
     println!("machine pages at http://{}/machine/<0..9>", server.addr());
     println!("anomaly heatmap at http://{}/heatmap", server.addr());
+    println!("cluster replication at http://{}/cluster", server.addr());
     println!(
         "OpenTSDB-style API at http://{}/api/put and /api/query",
         server.addr()

@@ -48,6 +48,7 @@ fn serving_monitor() -> (DashboardServer, Arc<Mutex<Monitor>>) {
             let m = monitor.lock();
             match (req.method.as_str(), req.path.as_str()) {
                 ("GET", "/") => Some(HttpResponse::html(m.fleet_overview_html(0.0))),
+                ("GET", "/cluster") => Some(HttpResponse::html(m.cluster_page_html())),
                 ("GET", "/heatmap") => Some(HttpResponse::html(m.heatmap_html(0, 599, 50))),
                 ("GET", p) if p.starts_with("/machine/") => {
                     let Ok(unit) = p["/machine/".len()..].parse::<u32>() else {
@@ -104,6 +105,12 @@ fn dashboard_and_api_over_one_socket() {
     let (status, body) = request(addr, "GET", "/machine/0", "");
     assert_eq!(status, 200);
     assert!(body.contains("Machine 0"));
+
+    // Cluster replication page.
+    let (status, body) = request(addr, "GET", "/cluster", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("Cluster replication"));
+    assert!(body.contains("replication factor"));
 
     // Heatmap page.
     let (status, body) = request(addr, "GET", "/heatmap", "");
