@@ -11,7 +11,8 @@
 //!
 //! * [`schedule`] — seeded fault schedules (crash, torn-WAL crash,
 //!   heartbeat partition, clock skew, split, migration, RPC ack drops,
-//!   ingest storms, slow servers) with a compact replayable string form.
+//!   ingest storms, slow servers, in-transit replication ship drops)
+//!   with a compact replayable string form.
 //! * [`plane`] — the [`pga_minibase::FaultPlane`] implementation the sim
 //!   installs: armed torn tails with seeded garbage, per-node clock skew,
 //!   and the in-stack monotone-WAL oracle.
@@ -34,8 +35,8 @@ pub use campaign::{
 };
 pub use plane::SimFaultPlane;
 pub use schedule::{
-    format_schedule, generate, generate_storm, parse_schedule, FaultOp, GeneratorConfig, Schedule,
-    ScheduledFault,
+    format_schedule, generate, generate_repl, generate_storm, parse_schedule, FaultOp,
+    GeneratorConfig, Schedule, ScheduledFault,
 };
 pub use sim::{run, run_with_baseline, SimConfig, SimOutcome, SimStats, Violation};
 

@@ -12,10 +12,10 @@ use pga_minibase::{FaultHandle, FaultPlane, RegionId};
 
 use crate::campaign::{run_campaign, run_storm_campaign, CampaignConfig};
 use crate::plane::SimFaultPlane;
-use crate::schedule::{generate, parse_schedule, GeneratorConfig};
+use crate::schedule::{generate, generate_repl, parse_schedule, GeneratorConfig, Schedule};
 use crate::sim::{run_inner, run_with_baseline, SimConfig, SimOutcome, Violation};
 
-/// The three seeded bugs.
+/// The four seeded bugs.
 #[derive(Debug, Clone, Copy)]
 enum Mutant {
     /// Acks a put without appending to the WAL: a crash loses acked data.
@@ -24,6 +24,11 @@ enum Mutant {
     ReplaySkipsTail,
     /// Migration ships store files but drops the memstore.
     MigrationDropsMemstore,
+    /// A follower applies shipped batches without the WAL contiguity
+    /// check: a lost ship leaves a silent hole, yet the follower reports
+    /// the highest applied sequence and would win promotion over replicas
+    /// that actually hold every acked write.
+    GapTolerantFollower,
 }
 
 /// Wraps the faithful sim plane, delegating injection hooks and breaking
@@ -47,12 +52,20 @@ impl FaultPlane for MutantPlane {
         matches!(self.mutant, Mutant::MigrationDropsMemstore)
     }
 
+    fn allow_ship_gap(&self, _region: RegionId) -> bool {
+        matches!(self.mutant, Mutant::GapTolerantFollower)
+    }
+
     fn tear_wal(&self, region: RegionId, encoded: &mut Vec<u8>) {
         self.inner.tear_wal(region, encoded)
     }
 
     fn skew_ms(&self, node: NodeId, now_ms: u64) -> u64 {
         self.inner.skew_ms(node, now_ms)
+    }
+
+    fn drop_ship(&self, region: RegionId) -> bool {
+        self.inner.drop_ship(region)
     }
 }
 
@@ -64,14 +77,19 @@ fn test_sim() -> SimConfig {
     }
 }
 
-fn run_with_mutant(seed: u64, mutant: Mutant, config: &SimConfig) -> SimOutcome {
+fn run_with_mutant_gen(
+    seed: u64,
+    mutant: Mutant,
+    config: &SimConfig,
+    gen: &dyn Fn(u64, &GeneratorConfig) -> Schedule,
+) -> SimOutcome {
     let gen_cfg = GeneratorConfig {
         nodes: config.nodes as u32,
         steps: config.steps,
         max_ops: 6,
         lease_ms: config.lease_ms,
     };
-    let schedule = generate(seed, &gen_cfg);
+    let schedule = gen(seed, &gen_cfg);
     run_inner(seed, &schedule, config, &move |plane| {
         let handle: FaultHandle = Arc::new(MutantPlane {
             inner: plane,
@@ -79,6 +97,10 @@ fn run_with_mutant(seed: u64, mutant: Mutant, config: &SimConfig) -> SimOutcome 
         });
         handle
     })
+}
+
+fn run_with_mutant(seed: u64, mutant: Mutant, config: &SimConfig) -> SimOutcome {
+    run_with_mutant_gen(seed, mutant, config, &generate)
 }
 
 /// Each mutant must be caught within this many generated seeds.
@@ -89,6 +111,18 @@ fn detect(mutant: Mutant) -> Option<(u64, SimOutcome)> {
     (0..SEED_BUDGET)
         .map(|seed| (seed, run_with_mutant(seed, mutant, &config)))
         .find(|(_, outcome)| !outcome.violations.is_empty())
+}
+
+/// Replicated sim shape for the mutant-D budget: RF=3 over four nodes, so
+/// a dropped ship still quorum-commits through the other follower and the
+/// hole survives to the post-drain oracle instead of forcing a retry that
+/// re-carries the lost cells.
+fn repl_sim() -> SimConfig {
+    SimConfig {
+        nodes: 4,
+        replication_factor: 3,
+        ..test_sim()
+    }
 }
 
 #[test]
@@ -128,6 +162,57 @@ fn mutant_migration_dropping_memstore_is_detected_within_budget() {
         "seed {seed}: expected data loss after migration, got {:?}",
         outcome.violations
     );
+}
+
+#[test]
+fn mutant_gap_tolerant_follower_is_detected_within_budget() {
+    let config = repl_sim();
+    let found = (0..SEED_BUDGET)
+        .map(|seed| {
+            (
+                seed,
+                run_with_mutant_gen(seed, Mutant::GapTolerantFollower, &config, &generate_repl),
+            )
+        })
+        .find(|(_, outcome)| {
+            outcome
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::ReplicaDiverged { .. }))
+        });
+    let (seed, outcome) = found.expect("mutant D never detected");
+    assert!(
+        outcome.stats.ship_drops > 0,
+        "seed {seed}: detection must come from an in-transit ship loss"
+    );
+}
+
+/// The faithful stack survives the exact schedules used to corner mutant
+/// D: lost ships are refused as gaps and backfilled, so no replica ever
+/// diverges. Node-death-only fault sets cannot make this distinction —
+/// the follower must stay live while its ship is lost.
+#[test]
+fn faithful_replicated_stack_survives_ship_drop_schedules() {
+    let config = repl_sim();
+    let gen_cfg = GeneratorConfig {
+        nodes: config.nodes as u32,
+        steps: config.steps,
+        max_ops: 6,
+        lease_ms: config.lease_ms,
+    };
+    let mut drops = 0;
+    for seed in 0..6u64 {
+        let schedule = generate_repl(seed, &gen_cfg);
+        let outcome = crate::sim::run(seed, &schedule, &config);
+        assert_eq!(
+            outcome.violations,
+            vec![],
+            "seed {seed} events: {:#?}",
+            outcome.events
+        );
+        drops += outcome.stats.ship_drops;
+    }
+    assert!(drops > 0, "no seed actually lost a ship in transit");
 }
 
 #[test]

@@ -32,6 +32,10 @@ struct PlaneState {
     violations: Vec<String>,
     /// Torn tails actually injected.
     tears: u64,
+    /// Replication ships still armed to drop.
+    ship_drops_armed: u64,
+    /// Replication ships actually dropped in transit.
+    ship_drops: u64,
 }
 
 /// Deterministic fault plane driven by the simulation loop.
@@ -61,6 +65,8 @@ impl SimFaultPlane {
                 events: Vec::new(),
                 violations: Vec::new(),
                 tears: 0,
+                ship_drops_armed: 0,
+                ship_drops: 0,
             }),
         }
     }
@@ -88,6 +94,16 @@ impl SimFaultPlane {
     /// Torn tails injected so far.
     pub fn tears(&self) -> u64 {
         self.state.lock().tears
+    }
+
+    /// Arm the next `count` replication ships to be lost in transit.
+    pub fn arm_ship_drops(&self, count: u32) {
+        self.state.lock().ship_drops_armed += count as u64;
+    }
+
+    /// Replication ships actually dropped so far.
+    pub fn ship_drops(&self) -> u64 {
+        self.state.lock().ship_drops
     }
 }
 
@@ -122,6 +138,19 @@ impl FaultPlane for SimFaultPlane {
             None => now_ms,
         }
     }
+
+    fn drop_ship(&self, region: RegionId) -> bool {
+        let mut st = self.state.lock();
+        if st.ship_drops_armed == 0 {
+            return false;
+        }
+        st.ship_drops_armed -= 1;
+        st.ship_drops += 1;
+        let left = st.ship_drops_armed;
+        st.events
+            .push(format!("shipdrop region={} ({left} armed left)", region.0));
+        true
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +182,24 @@ mod tests {
         };
         assert_eq!(image(9), image(9));
         assert_ne!(image(9), image(10));
+    }
+
+    #[test]
+    fn ship_drops_fire_exactly_as_armed() {
+        let plane = SimFaultPlane::new(5);
+        assert!(!plane.drop_ship(RegionId(1)), "unarmed plane drops nothing");
+        plane.arm_ship_drops(2);
+        assert!(plane.drop_ship(RegionId(1)));
+        assert!(plane.drop_ship(RegionId(2)));
+        assert!(!plane.drop_ship(RegionId(1)), "budget exhausted");
+        assert_eq!(plane.ship_drops(), 2);
+        assert_eq!(
+            plane.take_events(),
+            vec![
+                "shipdrop region=1 (1 armed left)".to_string(),
+                "shipdrop region=2 (0 armed left)".to_string(),
+            ]
+        );
     }
 
     #[test]

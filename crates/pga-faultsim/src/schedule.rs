@@ -20,6 +20,11 @@ pub const SCHEDULE_STREAM: u64 = 0x5c3d_a7e1_19b4_2f68;
 /// commands and mutant-detection budgets keep their meaning.
 pub const STORM_STREAM: u64 = 0x93ab_50c7_6e21_fd04;
 
+/// Stream separator for the replication-op RNG. Ship-drop ops ride their
+/// own stream for the same reason storms do: a seed's pre-replication
+/// ops never shift.
+pub const SHIP_STREAM: u64 = 0x2b74_c9e6_51a8_3df2;
+
 /// One injectable fault. The compact string form produced by
 /// [`format_schedule`] is the canonical serialization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +98,15 @@ pub enum FaultOp {
         /// Slowness duration in sim steps.
         steps: u32,
     },
+    /// Lose the next `count` replication ships in transit: the follower
+    /// stays live but never applies the batch, so the next ship to it is
+    /// non-contiguous. The faithful stack must refuse the hole and
+    /// backfill; a gap-tolerant follower (mutant D) silently retains it.
+    /// A no-op at `replication_factor: 1` (nothing ever ships).
+    ShipDrop {
+        /// Number of ships to swallow.
+        count: u32,
+    },
 }
 
 impl FaultOp {
@@ -131,6 +145,7 @@ pub fn format_schedule(schedule: &[ScheduledFault]) -> String {
                 FaultOp::RpcDrop { writes } => format!("{s}:drop:{writes}"),
                 FaultOp::Storm { mult, steps } => format!("{s}:storm:{mult}:{steps}"),
                 FaultOp::SlowServer { node, steps } => format!("{s}:slow:{node}:{steps}"),
+                FaultOp::ShipDrop { count } => format!("{s}:shipdrop:{count}"),
             }
         })
         .collect();
@@ -194,6 +209,7 @@ pub fn parse_schedule(text: &str) -> Result<Schedule, String> {
                 },
                 4,
             ),
+            "shipdrop" => (FaultOp::ShipDrop { count: num(2)? }, 3),
             other => return Err(format!("`{part}`: unknown op `{other}`")),
         };
         if fields.len() != arity {
@@ -270,6 +286,35 @@ pub fn generate(seed: u64, config: &GeneratorConfig) -> Schedule {
             op: FaultOp::SlowServer {
                 node: storm_rng.gen_range(0..config.nodes.max(1)),
                 steps: storm_rng.gen_range(2..=6),
+            },
+        });
+    }
+    // Replication ops likewise ride their own stream (see [`SHIP_STREAM`]).
+    let mut ship_rng = StdRng::seed_from_u64(seed ^ SHIP_STREAM);
+    if ship_rng.gen_bool(0.4) {
+        out.push(ScheduledFault {
+            step: ship_rng.gen_range(1..hi),
+            op: FaultOp::ShipDrop {
+                count: ship_rng.gen_range(1..=3),
+            },
+        });
+    }
+    out
+}
+
+/// Generate a replication-focused schedule: the seeded base schedule plus
+/// a guaranteed ship-drop op. Used by replicated campaigns and the
+/// mutant-D detection budget, so every seed exercises the follower
+/// contiguity path rather than the ~40% the plain generator hits.
+pub fn generate_repl(seed: u64, config: &GeneratorConfig) -> Schedule {
+    let mut out = generate(seed, config);
+    let hi = (config.steps * 3 / 4).max(2);
+    let mut rng = StdRng::seed_from_u64(seed ^ SHIP_STREAM ^ 0xff);
+    if !out.iter().any(|f| matches!(f.op, FaultOp::ShipDrop { .. })) {
+        out.push(ScheduledFault {
+            step: rng.gen_range(1..hi),
+            op: FaultOp::ShipDrop {
+                count: rng.gen_range(1..=3),
             },
         });
     }
@@ -357,24 +402,48 @@ mod tests {
                 kinds.insert(part.split(':').nth(1).unwrap().to_string());
             }
         }
-        assert_eq!(kinds.len(), 9, "generator should exercise all op kinds");
+        assert_eq!(kinds.len(), 10, "generator should exercise all op kinds");
         assert!(kinds.contains("storm"));
         assert!(kinds.contains("slow"));
+        assert!(kinds.contains("shipdrop"));
     }
 
     #[test]
     fn overload_ops_ride_their_own_stream() {
-        // Stripping storm/slow from a generated schedule must reproduce the
-        // base stream exactly: a seed's pre-overload ops never shift.
+        // Stripping the later-era ops (storm/slow/shipdrop) from a
+        // generated schedule must reproduce the base stream exactly: a
+        // seed's pre-overload ops never shift.
         for seed in 0..50u64 {
             let full = generate(seed, &config());
             let base: Schedule = full
                 .iter()
-                .filter(|f| !matches!(f.op, FaultOp::Storm { .. } | FaultOp::SlowServer { .. }))
+                .filter(|f| {
+                    !matches!(
+                        f.op,
+                        FaultOp::Storm { .. }
+                            | FaultOp::SlowServer { .. }
+                            | FaultOp::ShipDrop { .. }
+                    )
+                })
                 .copied()
                 .collect();
             let prefix_len = base.len();
             assert_eq!(&full[..prefix_len], &base[..], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn repl_schedules_always_contain_a_ship_drop() {
+        for seed in 0..32u64 {
+            let schedule = generate_repl(seed, &config());
+            assert!(
+                schedule
+                    .iter()
+                    .any(|f| matches!(f.op, FaultOp::ShipDrop { .. })),
+                "seed {seed} missing ship drop"
+            );
+            let text = format_schedule(&schedule);
+            assert_eq!(parse_schedule(&text).unwrap(), schedule, "via `{text}`");
         }
     }
 

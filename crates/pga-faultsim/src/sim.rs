@@ -263,6 +263,9 @@ pub struct SimStats {
     /// Epoch-fenced replication RPCs observed by the storage clients —
     /// each one is a deposed writer denied a vote.
     pub fence_rejections: u64,
+    /// Replication ships dropped in transit while the follower stayed
+    /// live (the contiguity/backfill path's trigger).
+    pub ship_drops: u64,
 }
 
 impl SimStats {
@@ -290,6 +293,7 @@ impl SimStats {
         self.failovers += other.failovers;
         self.replica_checks += other.replica_checks;
         self.fence_rejections += other.fence_rejections;
+        self.ship_drops += other.ship_drops;
     }
 
     /// Total faults injected (any kind).
@@ -302,6 +306,7 @@ impl SimStats {
             + self.rpc_drops
             + self.storms
             + self.slow_faults
+            + self.ship_drops
     }
 }
 
@@ -660,6 +665,14 @@ impl<'a> Driver<'a> {
                 self.stats.slow_faults += 1;
                 self.log(format!("t={now} node {node} slow for {steps} steps"));
             }
+            FaultOp::ShipDrop { count } => {
+                // Arms the plane; `stats.ship_drops` counts ships actually
+                // lost (collected from the plane post-drain), so an armed
+                // drop that never fires — e.g. at factor 1, where nothing
+                // ships — is not reported as an injected fault.
+                self.plane.arm_ship_drops(count);
+                self.log(format!("t={now} arm {count} replication ship drops"));
+            }
         }
     }
 
@@ -965,7 +978,12 @@ impl<'a> Driver<'a> {
     /// subset of the primary's: a follower may trail by un-shipped
     /// batches, but a cell the primary cannot explain means a deposed
     /// primary double-acked a write or a ship was mis-applied. The
-    /// follower's applied sequence must also never pass the primary's.
+    /// follower's applied sequence must also never pass the primary's —
+    /// and when it *equals* the primary's, WAL contiguity makes that a
+    /// claim of holding every batch, so the views must match exactly: a
+    /// caught-up follower missing cells is a silently swallowed hole (the
+    /// gap-tolerant bug a pure subset check can never see, since a holey
+    /// follower is still a subset).
     fn replication_checks(&mut self) {
         let report = self.master.replication_report();
         for status in report {
@@ -997,6 +1015,19 @@ impl<'a> Driver<'a> {
                         detail: format!(
                             "follower {} applied seq {applied_seq} past primary seq {}",
                             node.0, status.primary_seq
+                        ),
+                    });
+                }
+                if applied_seq == status.primary_seq && cells.len() != primary_cells.len() {
+                    self.violations.push(Violation::ReplicaDiverged {
+                        region: status.region.0,
+                        detail: format!(
+                            "follower {} claims to be caught up at seq {applied_seq} but \
+                             holds {} cells vs the primary's {} — a WAL hole was silently \
+                             retained",
+                            node.0,
+                            cells.len(),
+                            primary_cells.len()
                         ),
                     });
                 }
@@ -1178,6 +1209,7 @@ pub(crate) fn run_inner(
             .map(|t| t.client().repl_book().snapshot().fence_rejections)
             .sum();
     }
+    driver.stats.ship_drops = driver.plane.ship_drops();
     let flags = driver
         .final_checks()
         .map(|stored| detection_flags(&stored))
@@ -1307,6 +1339,36 @@ mod tests {
         assert_eq!(outcome.violations, vec![], "events: {:#?}", outcome.events);
         assert!(outcome.stats.failovers > 0);
         assert!(outcome.stats.replica_checks > 0);
+    }
+
+    /// Transient ship loss with the follower still live: the contiguity
+    /// check turns the follower's next ship into a gap report, the writer
+    /// backfills from the primary's retained WAL tail, and every oracle —
+    /// including the caught-up-means-identical replica check — stays
+    /// green.
+    #[test]
+    fn dropped_ships_are_backfilled_without_divergence() {
+        let config = SimConfig {
+            replication_factor: 2,
+            ..SimConfig::default()
+        };
+        let schedule = parse_schedule("10:shipdrop:2,22:shipdrop:1").unwrap();
+        let outcome = run(7, &schedule, &config);
+        assert_eq!(outcome.violations, vec![], "events: {:#?}", outcome.events);
+        assert!(
+            outcome.stats.ship_drops > 0,
+            "no ship was actually dropped: {:?}",
+            outcome.stats
+        );
+        assert!(outcome.stats.replica_checks > 0);
+        assert!(
+            outcome
+                .events
+                .iter()
+                .any(|e| e.contains("shipdrop region=")),
+            "plane should log the in-transit losses: {:?}",
+            outcome.events
+        );
     }
 
     /// `replication_factor: 1` must not change a single byte of the

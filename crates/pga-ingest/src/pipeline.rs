@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use pga_cluster::coordinator::Coordinator;
 use pga_minibase::{Client, Master, RegionConfig, ServerConfig, TableDescriptor};
+use pga_repl::ReplicationConfig;
 use pga_sensorgen::Fleet;
 use pga_tsdb::{KeyCodec, KeyCodecConfig, Tsd, TsdConfig, UidTable};
 
@@ -56,6 +57,27 @@ impl IngestionPipeline {
         batch_size: usize,
         factor: usize,
     ) -> Self {
+        Self::new_with_replication(
+            nodes,
+            tsd_count,
+            batch_size,
+            &ReplicationConfig {
+                factor,
+                ..ReplicationConfig::default()
+            },
+        )
+    }
+
+    /// Like [`IngestionPipeline::new_replicated`], but honours the full
+    /// replication config — in particular an explicit `write_quorum` is
+    /// stamped onto every region so the client's quorum-acked write path
+    /// enforces it instead of the majority default.
+    pub fn new_with_replication(
+        nodes: usize,
+        tsd_count: usize,
+        batch_size: usize,
+        replication: &ReplicationConfig,
+    ) -> Self {
         let codec = KeyCodec::new(
             KeyCodecConfig {
                 salt_buckets: nodes as u8,
@@ -65,13 +87,13 @@ impl IngestionPipeline {
         );
         let coord = Coordinator::new(60_000);
         let mut master = Master::bootstrap(nodes, ServerConfig::default(), coord, 0);
-        master.create_replicated_table(
+        master.create_replicated_table_cfg(
             &TableDescriptor {
                 name: "tsdb".into(),
                 split_points: codec.split_points(),
                 region_config: RegionConfig::default(),
             },
-            factor,
+            replication,
         );
         let tsds: Vec<Arc<Tsd>> = (0..tsd_count)
             .map(|_| {

@@ -19,7 +19,7 @@ use crate::region::RegionId;
 use crate::server::{Request, Response};
 use pga_cluster::rpc::{RequestClass, RpcError, RpcHandle};
 use pga_cluster::NodeId;
-use pga_repl::{FollowerReadPolicy, LagBook, QuorumDecision, QuorumTracker, ReplicationConfig};
+use pga_repl::{FollowerReadPolicy, LagBook, QuorumDecision, QuorumTracker};
 
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +78,37 @@ fn map_rpc(e: RpcError) -> ClientError {
         RpcError::Busy { retry_after_ms } => ClientError::Busy { retry_after_ms },
         RpcError::DeadlineExpired => ClientError::DeadlineExpired,
         other => ClientError::Rpc(other),
+    }
+}
+
+/// What a bounded-staleness read learned about a region's primary when it
+/// asked for the replication position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrimaryView {
+    /// The primary answered: its last assigned WAL sequence.
+    At(u64),
+    /// The primary is gone for good (server stopped or crashed). Only
+    /// here may a follower answer bypass the staleness check —
+    /// availability over freshness, the documented failover-read mode.
+    Gone,
+    /// The primary is alive but could not answer right now (admission
+    /// shed, deadline miss, saturated queue, or a nonsense reply). The
+    /// staleness bound must NOT be waived — under overload an unchecked
+    /// follower could be arbitrarily stale while the primary is healthy —
+    /// so the read goes to the primary path and surfaces its typed error.
+    Transient,
+}
+
+/// Classify the primary's answer to a `ReplicaStatus` probe. Split out of
+/// [`Client::scan_bounded`] so the gone-vs-transient distinction is unit
+/// testable without staging real admission shedding.
+fn classify_primary_status(result: Result<Response, RpcError>) -> PrimaryView {
+    match result {
+        Ok(Response::Status { last_seq, .. }) => PrimaryView::At(last_seq),
+        Err(RpcError::Stopped | RpcError::Crashed) => PrimaryView::Gone,
+        // Busy / DeadlineExpired / Overloaded, or a mis-routed answer:
+        // the primary exists, it just did not answer this probe.
+        Err(_) | Ok(_) => PrimaryView::Transient,
     }
 }
 
@@ -239,11 +270,11 @@ impl Client {
         batch: &[KeyValue],
         mode: PutMode,
     ) -> Result<ReplPut, ClientError> {
-        let quorum = ReplicationConfig {
-            factor: 1 + info.followers.len(),
-            ..ReplicationConfig::default()
-        }
-        .effective_quorum();
+        // The effective write quorum was resolved from the deployment's
+        // ReplicationConfig when the table was created and rides on the
+        // directory entry — an explicit quorum == factor must bind here,
+        // not be silently replaced by the default majority.
+        let quorum = info.write_quorum.max(1);
         let mut tracker = QuorumTracker::new(quorum);
         let handle = self
             .handles
@@ -295,6 +326,19 @@ impl Client {
                     tracker.record_ack(follower);
                     applied.push(applied_seq);
                 }
+                Ok(Response::ShipGap { applied_seq }) => {
+                    // The follower refused to open a WAL hole: an earlier
+                    // ship to it was lost (shed, partitioned, dropped).
+                    // Backfill the missing batches from the primary's
+                    // retained tail — a caught-up follower still earns
+                    // its quorum vote for this batch.
+                    if let Some(pos) =
+                        self.backfill_follower(info, follower, applied_seq, seq, mode)
+                    {
+                        tracker.record_ack(follower);
+                        applied.push(pos);
+                    }
+                }
                 Ok(Response::Fenced { epoch }) => {
                     tracker.record_fenced(epoch);
                     self.repl.record_fence_rejection();
@@ -316,6 +360,81 @@ impl Client {
             QuorumDecision::Fenced(_) => Ok(ReplPut::Refresh { quorum: false }),
             QuorumDecision::Pending => Ok(ReplPut::Refresh { quorum: true }),
         }
+    }
+
+    /// Catch a gapped follower up from the primary's retained WAL tail.
+    ///
+    /// `follower_at` is the follower's contiguous position, `target_seq`
+    /// the batch whose ship was refused as a gap. Reads the primary's
+    /// tail past `follower_at` (a read-class repair RPC, so it survives
+    /// the write-side shedding that likely caused the gap), verifies it
+    /// runs contiguously from `follower_at + 1` through at least
+    /// `target_seq`, and re-ships every batch in order. Returns the
+    /// follower's new position once caught up; `None` when backfill
+    /// could not complete — the tail was flushed away, the follower died
+    /// or re-gapped mid-stream, or a promotion fenced the epoch. Failing
+    /// is safe: the follower's WAL stays a contiguous prefix, so its
+    /// applied sequence keeps honestly reporting what it holds and it
+    /// simply casts no vote for this put.
+    fn backfill_follower(
+        &self,
+        info: &RegionInfo,
+        follower: NodeId,
+        follower_at: u64,
+        target_seq: u64,
+        mode: PutMode,
+    ) -> Option<u64> {
+        let primary = self.handles.get(&info.server)?;
+        let req = Request::WalTail {
+            region: info.id,
+            epoch: info.epoch,
+            from_seq: follower_at,
+        };
+        let sent = match mode {
+            PutMode::Blocking => primary.call(req),
+            PutMode::Admitted { deadline_ms } => {
+                primary.call_with(req, RequestClass::Read, deadline_ms)
+            }
+        };
+        let batches = match sent {
+            Ok(Response::WalBatches { batches }) => batches,
+            _ => return None,
+        };
+        // The tail must cover (follower_at, target_seq] without holes;
+        // anything short means the primary already flushed part of it.
+        // Batches past target_seq (concurrent writers) ship too — their
+        // own writers just collect Stale acks, which is harmless.
+        let mut expect = follower_at + 1;
+        for (s, _) in &batches {
+            if *s != expect {
+                return None;
+            }
+            expect += 1;
+        }
+        if expect <= target_seq {
+            return None;
+        }
+        let h = self.handles.get(&follower)?;
+        let mut position = follower_at;
+        for (s, kvs) in batches {
+            let req = Request::Ship {
+                region: info.id,
+                epoch: info.epoch,
+                seq: s,
+                kvs,
+            };
+            let sent = match mode {
+                PutMode::Blocking => h.call(req),
+                PutMode::Admitted { deadline_ms } => {
+                    h.call_with(req, RequestClass::Write, deadline_ms)
+                }
+            };
+            match sent {
+                Ok(Response::ShipAck { applied_seq }) => position = applied_seq,
+                _ => return None,
+            }
+        }
+        (position >= target_seq).then_some(position)
     }
 
     /// Admission-controlled scan: sheds with [`ClientError::Busy`] only
@@ -448,10 +567,13 @@ impl Client {
     /// Bounded-staleness follower read: serve each region's shard from a
     /// follower copy when its applied WAL sequence trails the primary by
     /// at most `policy.max_lag` batches (checked against the primary's
-    /// live position), falling back to the primary otherwise. When the
-    /// primary cannot even report its position, a follower answer is
-    /// accepted as-is — availability over freshness, the documented
-    /// failover-read mode.
+    /// live position), falling back to the primary otherwise. Only when
+    /// the primary is gone for good (stopped or crashed) is a follower
+    /// answer accepted without the check — availability over freshness,
+    /// the documented failover-read mode. A merely *transient* status
+    /// failure (admission shed, deadline miss) does not waive the bound:
+    /// the shard is read from the primary path instead, surfacing its
+    /// typed `Busy`/`DeadlineExpired` error rather than stale data.
     pub fn scan_bounded(
         &self,
         range: &RowRange,
@@ -469,40 +591,47 @@ impl Client {
         for info in infos {
             let mut served = false;
             if !info.followers.is_empty() {
-                let primary_seq = self.handles.get(&info.server).and_then(|h| {
-                    match h.call_with(
+                let view = match self.handles.get(&info.server) {
+                    // No handle at all: the server is gone from this
+                    // client's world, same as stopped.
+                    None => PrimaryView::Gone,
+                    Some(h) => classify_primary_status(h.call_with(
                         Request::ReplicaStatus { region: info.id },
                         RequestClass::Read,
                         deadline_ms,
-                    ) {
-                        Ok(Response::Status { last_seq, .. }) => Some(last_seq),
-                        _ => None,
-                    }
-                });
-                for &f in &info.followers {
-                    let Some(h) = self.handles.get(&f) else {
-                        continue;
-                    };
-                    if let Ok(Response::FollowerCells { cells, applied_seq }) = h.call_with(
-                        Request::FollowerScan {
-                            region: info.id,
-                            range: range.clone(),
-                        },
-                        RequestClass::Read,
-                        deadline_ms,
-                    ) {
-                        let fresh_enough = match primary_seq {
-                            Some(p) => policy.allow(p, applied_seq),
-                            None => true, // primary gone: availability mode
+                    )),
+                };
+                // A transient status failure skips follower serving
+                // entirely — the primary-path fallback below surfaces
+                // the typed error instead of waiving the bound.
+                if view != PrimaryView::Transient {
+                    for &f in &info.followers {
+                        let Some(h) = self.handles.get(&f) else {
+                            continue;
                         };
-                        if fresh_enough {
-                            if let Some(p) = primary_seq {
-                                self.repl.observe(info.id.0, p, applied_seq);
+                        if let Ok(Response::FollowerCells { cells, applied_seq }) = h.call_with(
+                            Request::FollowerScan {
+                                region: info.id,
+                                range: range.clone(),
+                            },
+                            RequestClass::Read,
+                            deadline_ms,
+                        ) {
+                            let fresh_enough = match view {
+                                PrimaryView::At(p) => policy.allow(p, applied_seq),
+                                // Primary gone for good: availability mode.
+                                PrimaryView::Gone => true,
+                                PrimaryView::Transient => false,
+                            };
+                            if fresh_enough {
+                                if let PrimaryView::At(p) = view {
+                                    self.repl.observe(info.id.0, p, applied_seq);
+                                }
+                                self.repl.record_follower_read();
+                                out.extend(cells);
+                                served = true;
+                                break;
                             }
-                            self.repl.record_follower_read();
-                            out.extend(cells);
-                            served = true;
-                            break;
                         }
                     }
                 }
@@ -687,6 +816,131 @@ mod tests {
         let err = c.put(vec![kv("a", 1)]).unwrap_err();
         assert!(matches!(err, ClientError::NoQuorum), "got {err:?}");
         m.shutdown();
+    }
+
+    #[test]
+    fn explicit_full_quorum_is_enforced_on_the_write_path() {
+        let coord = Coordinator::new(1000);
+        let mut m = Master::bootstrap(3, ServerConfig::default(), coord, 0);
+        m.create_replicated_table_cfg(
+            &TableDescriptor {
+                name: "t".into(),
+                split_points: vec![],
+                region_config: RegionConfig::default(),
+            },
+            &pga_repl::ReplicationConfig {
+                factor: 3,
+                write_quorum: 3,
+                ..pga_repl::ReplicationConfig::default()
+            },
+        );
+        let c = Client::connect(&m);
+        // All copies live: a full-quorum write commits.
+        c.put(vec![kv("a", 1)]).unwrap();
+        // One dead follower leaves 2 of 3 copies — a majority, which the
+        // old default-quorum path would happily ack. The configured
+        // quorum of 3 must refuse instead.
+        let info = m.directory().read()[0].clone();
+        m.server(info.followers[1]).unwrap().shutdown();
+        let err = c.put(vec![kv("b", 1)]).unwrap_err();
+        assert!(matches!(err, ClientError::NoQuorum), "got {err:?}");
+        m.shutdown();
+    }
+
+    /// Fault plane that loses the next `n` replication ships in transit.
+    #[derive(Debug)]
+    struct DropNextShips(std::sync::atomic::AtomicI64);
+    impl crate::fault::FaultPlane for DropNextShips {
+        fn drop_ship(&self, _region: RegionId) -> bool {
+            self.0.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) > 0
+        }
+    }
+
+    #[test]
+    fn lost_ship_gaps_the_follower_and_backfill_restores_the_vote() {
+        let coord = Coordinator::new(1000);
+        let mut m = Master::bootstrap(3, ServerConfig::default(), coord, 0);
+        m.create_replicated_table(
+            &TableDescriptor {
+                name: "t".into(),
+                split_points: vec![],
+                region_config: RegionConfig::default(),
+            },
+            2,
+        );
+        let c = Client::connect(&m);
+        c.put(vec![kv("a", 1)]).unwrap();
+        // Lose exactly one ship: the follower misses that batch while
+        // staying live, so the next ship arrives non-contiguous.
+        m.set_fault_plane(std::sync::Arc::new(DropNextShips(
+            std::sync::atomic::AtomicI64::new(1),
+        )));
+        c.put(vec![kv("b", 1)]).unwrap();
+        c.put(vec![kv("c", 1)]).unwrap();
+        // The quorum held throughout (backfill re-earned the follower's
+        // vote) and the follower holds every batch with no hole — its
+        // position matches the primary's exactly.
+        let info = m.directory().read()[0].clone();
+        let report = m.replication_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(
+            report[0].followers[0].1, report[0].primary_seq,
+            "follower caught up contiguously"
+        );
+        match m
+            .server(info.followers[0])
+            .unwrap()
+            .handle()
+            .call(Request::FollowerScan {
+                region: info.id,
+                range: RowRange::all(),
+            })
+            .unwrap()
+        {
+            Response::FollowerCells { cells, .. } => {
+                assert_eq!(cells.len(), 3, "no acked write missing on the follower");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        m.shutdown();
+    }
+
+    #[test]
+    fn primary_status_classification_distinguishes_gone_from_transient() {
+        // Dead-for-good errors waive the staleness bound...
+        assert_eq!(
+            classify_primary_status(Err(RpcError::Stopped)),
+            PrimaryView::Gone
+        );
+        assert_eq!(
+            classify_primary_status(Err(RpcError::Crashed)),
+            PrimaryView::Gone
+        );
+        // ...transient overload must NOT (the read falls back to the
+        // primary path and surfaces the typed error instead).
+        assert_eq!(
+            classify_primary_status(Err(RpcError::Busy { retry_after_ms: 5 })),
+            PrimaryView::Transient
+        );
+        assert_eq!(
+            classify_primary_status(Err(RpcError::DeadlineExpired)),
+            PrimaryView::Transient
+        );
+        assert_eq!(
+            classify_primary_status(Err(RpcError::Overloaded)),
+            PrimaryView::Transient
+        );
+        assert_eq!(
+            classify_primary_status(Ok(Response::WrongRegion)),
+            PrimaryView::Transient
+        );
+        assert_eq!(
+            classify_primary_status(Ok(Response::Status {
+                last_seq: 7,
+                epoch: 1
+            })),
+            PrimaryView::At(7)
+        );
     }
 
     #[test]

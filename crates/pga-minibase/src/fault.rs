@@ -18,6 +18,13 @@
 //! * [`FaultPlane::skew_ms`] — skews the clock a node stamps on its
 //!   coordinator heartbeats, modelling clock drift that can expire a
 //!   healthy lease.
+//! * [`FaultPlane::drop_ship`] — loses a replication ship in transit
+//!   while the follower stays live, modelling admission shedding or a
+//!   transient partition on the ship path.
+//! * [`FaultPlane::allow_ship_gap`] — a follower accepts ships past a
+//!   missing batch, leaving a hole in its WAL (seeded mutant D: the
+//!   gapped follower reports the highest applied sequence and would be
+//!   promoted over replicas that actually hold every acked write).
 
 use std::sync::Arc;
 
@@ -60,6 +67,22 @@ pub trait FaultPlane: Send + Sync + std::fmt::Debug {
     fn skew_ms(&self, _node: NodeId, now_ms: u64) -> u64 {
         now_ms
     }
+
+    /// When `true`, the next replication ship to a copy of `region` is
+    /// lost in transit: the follower stays live but never applies the
+    /// batch, and the shipper sees an unusable answer (no quorum vote) —
+    /// the transient loss that the follower's contiguity check must
+    /// surface as a gap on the *next* ship.
+    fn drop_ship(&self, _region: RegionId) -> bool {
+        false
+    }
+
+    /// When `true`, a follower applies shipped batches without the WAL
+    /// contiguity check, silently retaining holes (deliberately broken
+    /// replication — mutant D).
+    fn allow_ship_gap(&self, _region: RegionId) -> bool {
+        false
+    }
 }
 
 /// The faithful plane: every hook is a no-op.
@@ -87,5 +110,7 @@ mod tests {
         plane.tear_wal(RegionId(1), &mut bytes);
         assert_eq!(bytes, vec![1, 2, 3]);
         assert_eq!(plane.skew_ms(NodeId(0), 42), 42);
+        assert!(!plane.drop_ship(RegionId(1)));
+        assert!(!plane.allow_ship_gap(RegionId(1)));
     }
 }

@@ -17,7 +17,7 @@ use parking_lot::RwLock;
 
 use pga_cluster::coordinator::{Coordinator, SessionId};
 use pga_cluster::NodeId;
-use pga_repl::choose_promotee;
+use pga_repl::{choose_promotee, ReplicationConfig};
 
 use crate::fault::{no_faults, FaultHandle};
 use crate::kv::RowRange;
@@ -52,6 +52,13 @@ pub struct RegionInfo {
     /// epoch are rejected by the replicas (fencing); bumped on every
     /// promotion.
     pub epoch: u64,
+    /// Copies that must hold a batch durably before the client may ack
+    /// it — the *effective* write quorum resolved from the deployment's
+    /// [`ReplicationConfig`] at table creation (1 for unreplicated
+    /// regions). Deliberately **not** reduced when copies die: a
+    /// `quorum == factor` deployment keeps failing writes honestly until
+    /// re-replication restores the factor.
+    pub write_quorum: usize,
 }
 
 impl RegionInfo {
@@ -226,6 +233,7 @@ impl Master {
                 server: node,
                 followers: Vec::new(),
                 epoch: 1,
+                write_quorum: 1,
             });
         }
         *self.directory.write() = dir;
@@ -240,7 +248,23 @@ impl Master {
     /// silently collide. `factor <= 1` degenerates to an unreplicated
     /// table.
     pub fn create_replicated_table(&mut self, desc: &TableDescriptor, factor: usize) {
+        self.create_replicated_table_cfg(
+            desc,
+            &ReplicationConfig {
+                factor,
+                ..ReplicationConfig::default()
+            },
+        );
+    }
+
+    /// [`Master::create_replicated_table`] with the full replication
+    /// config: the config's **effective write quorum** (majority by
+    /// default, or the explicit `write_quorum` knob) is stamped on every
+    /// directory entry, so clients enforce the deployment's configured
+    /// durability on the write path rather than re-deriving a default.
+    pub fn create_replicated_table_cfg(&mut self, desc: &TableDescriptor, cfg: &ReplicationConfig) {
         self.create_table(desc);
+        let factor = cfg.factor;
         if factor <= 1 {
             self.desired_factor = 1;
             return;
@@ -252,8 +276,10 @@ impl Master {
             nodes.len()
         );
         self.desired_factor = factor;
+        let quorum = cfg.effective_quorum();
         let mut dir = self.directory.write();
         for info in dir.iter_mut() {
+            info.write_quorum = quorum;
             // pga-allow(panic-path): create_table just assigned this region to info.server
             let primary_pos = nodes.iter().position(|&n| n == info.server).unwrap();
             for k in 1..factor {
@@ -545,6 +571,7 @@ impl Master {
                     server: info.server,
                     followers: Vec::new(),
                     epoch: 1,
+                    write_quorum: 1,
                 };
                 let right_info = RegionInfo {
                     id: right_id,
@@ -552,6 +579,7 @@ impl Master {
                     server: right_node,
                     followers: Vec::new(),
                     epoch: 1,
+                    write_quorum: 1,
                 };
                 server.assign(left);
                 // pga-allow(panic-path): right_node is drawn from live_nodes() ⊆ servers.keys()
@@ -1071,6 +1099,43 @@ mod tests {
         );
         assert_ne!(report[0].followers[0].0, report[0].primary);
         m.shutdown();
+    }
+
+    #[test]
+    fn replicated_table_cfg_stamps_effective_quorum_on_directory() {
+        let coord = Coordinator::new(100);
+        let mut m = Master::bootstrap(3, ServerConfig::default(), coord, 0);
+        m.create_replicated_table_cfg(
+            &table(&[b"m"]),
+            &ReplicationConfig {
+                factor: 3,
+                write_quorum: 3,
+                ..ReplicationConfig::default()
+            },
+        );
+        for info in m.directory().read().iter() {
+            assert_eq!(info.write_quorum, 3, "explicit quorum threads through");
+            assert_eq!(info.followers.len(), 2);
+        }
+        // The factor-only path resolves to a majority quorum, and the
+        // stamp survives promotion (directory entries mutate in place).
+        let coord = Coordinator::new(100);
+        let mut m2 = Master::bootstrap(3, ServerConfig::default(), coord, 0);
+        m2.create_replicated_table(&table(&[]), 3);
+        let info = m2.directory().read()[0].clone();
+        assert_eq!(info.write_quorum, 2, "majority of 3");
+        m2.server(info.server).unwrap().shutdown();
+        for n in m2.nodes() {
+            if n != info.server {
+                m2.heartbeat(n, 500);
+            }
+        }
+        m2.tick(500);
+        let promoted = m2.directory().read()[0].clone();
+        assert_ne!(promoted.server, info.server);
+        assert_eq!(promoted.write_quorum, 2, "quorum survives failover");
+        m.shutdown();
+        m2.shutdown();
     }
 
     #[test]

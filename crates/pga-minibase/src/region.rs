@@ -10,7 +10,7 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
-use pga_repl::{Epoch, ReplicaRole};
+use pga_repl::{Epoch, ReplicaRole, ShipOutcome};
 
 use crate::fault::{no_faults, FaultHandle};
 use crate::kv::{KeyValue, RowRange};
@@ -215,16 +215,19 @@ impl Region {
     }
 
     /// Apply a WAL batch shipped by the primary under the primary's
-    /// sequence id. Returns `true` when the batch advanced this follower,
-    /// `false` for a duplicate/stale ship (already durable here — the
-    /// caller may still count it toward the quorum). Row-range checks
-    /// mirror `put_batch`: primary and follower serve the same range, so
-    /// an out-of-range row means a mis-routed ship.
+    /// sequence id. [`ShipOutcome::Applied`] advanced this copy,
+    /// [`ShipOutcome::Stale`] is a duplicate/stale ship (already durable
+    /// here — the caller may still count it toward the quorum), and
+    /// [`ShipOutcome::Gap`] means an earlier batch is missing: nothing
+    /// was applied and the shipper must backfill from the primary's WAL
+    /// tail ([`Region::wal_batches_after`]) before this copy can vote.
+    /// Row-range checks mirror `put_batch`: primary and follower serve
+    /// the same range, so an out-of-range row means a mis-routed ship.
     pub fn apply_replicated(
         &mut self,
         seq: SequenceId,
         kvs: Vec<KeyValue>,
-    ) -> Result<bool, RegionError> {
+    ) -> Result<ShipOutcome, RegionError> {
         for kv in &kvs {
             if !self.range.contains(&kv.row) {
                 return Err(RegionError::WrongRegion {
@@ -232,8 +235,16 @@ impl Region {
                 });
             }
         }
-        if !self.wal.append_batch_with_seq(seq, &kvs) {
-            return Ok(false);
+        // Deliberate injection site: mutant D (gap-tolerant follower)
+        // skips the contiguity check, so a missed ship leaves a silent
+        // hole; the faithful plane always enforces seq == last + 1.
+        let outcome = if self.fault.allow_ship_gap(self.id) {
+            self.wal.append_batch_with_seq_allow_gap(seq, &kvs)
+        } else {
+            self.wal.append_batch_with_seq(seq, &kvs)
+        };
+        if outcome != ShipOutcome::Applied {
+            return Ok(outcome);
         }
         self.metrics.cells_written += kvs.len() as u64;
         for kv in kvs {
@@ -242,7 +253,22 @@ impl Region {
         if self.memstore.heap_size() >= self.config.memstore_flush_bytes {
             self.flush();
         }
-        Ok(true)
+        Ok(ShipOutcome::Applied)
+    }
+
+    /// Whether the fault plane drops the next replication ship touching
+    /// this region (simulation-only; the faithful plane never does).
+    pub fn ship_dropped(&self) -> bool {
+        self.fault.drop_ship(self.id)
+    }
+
+    /// Retained WAL batches newer than `after`, in order — the tail a
+    /// primary serves so a gapped follower can be backfilled. Bounded by
+    /// the flush mark: batches already flushed to store files are gone,
+    /// and a follower that far behind must stay behind (its applied
+    /// sequence honestly reports its contiguous prefix).
+    pub fn wal_batches_after(&self, after: SequenceId) -> Vec<(SequenceId, Vec<KeyValue>)> {
+        self.wal.batches_after(after)
     }
 
     /// Fork a fresh follower copy of this region: a snapshot of every
@@ -731,13 +757,17 @@ mod tests {
         let mut follower = primary.fork_follower();
         assert_eq!(follower.role(), ReplicaRole::Follower);
         let seq = primary.put_batch_assign(vec![kv("a", 1, "v1")]).unwrap();
-        assert!(follower
-            .apply_replicated(seq, vec![kv("a", 1, "v1")])
-            .unwrap());
-        assert!(
-            !follower
+        assert_eq!(
+            follower
                 .apply_replicated(seq, vec![kv("a", 1, "v1")])
                 .unwrap(),
+            ShipOutcome::Applied
+        );
+        assert_eq!(
+            follower
+                .apply_replicated(seq, vec![kv("a", 1, "v1")])
+                .unwrap(),
+            ShipOutcome::Stale,
             "duplicate ship is a no-op"
         );
         assert_eq!(follower.applied_seq(), primary.applied_seq());
@@ -758,15 +788,60 @@ mod tests {
         assert_eq!(follower.scan(&RowRange::all()).len(), 2);
         assert_eq!(follower.applied_seq(), primary.applied_seq());
         // A stale re-ship of the snapshot data must not duplicate.
-        assert!(!follower
-            .apply_replicated(s1, vec![kv("a", 1, "va")])
-            .unwrap());
+        assert_eq!(
+            follower
+                .apply_replicated(s1, vec![kv("a", 1, "va")])
+                .unwrap(),
+            ShipOutcome::Stale
+        );
         // New writes ship normally.
         let s3 = primary.put_batch_assign(vec![kv("c", 1, "vc")]).unwrap();
-        assert!(follower
-            .apply_replicated(s3, vec![kv("c", 1, "vc")])
-            .unwrap());
+        assert_eq!(
+            follower
+                .apply_replicated(s3, vec![kv("c", 1, "vc")])
+                .unwrap(),
+            ShipOutcome::Applied
+        );
         assert_eq!(follower.scan(&RowRange::all()).len(), 3);
+    }
+
+    #[test]
+    fn gapped_ship_is_rejected_and_backfill_heals_it() {
+        let mut primary = region();
+        let mut follower = primary.fork_follower();
+        let s1 = primary.put_batch_assign(vec![kv("a", 1, "va")]).unwrap();
+        let s2 = primary.put_batch_assign(vec![kv("b", 1, "vb")]).unwrap();
+        let s3 = primary.put_batch_assign(vec![kv("c", 1, "vc")]).unwrap();
+        follower
+            .apply_replicated(s1, vec![kv("a", 1, "va")])
+            .unwrap();
+        // Ship s2 is lost; s3 must not leave a hole in the follower.
+        assert_eq!(
+            follower
+                .apply_replicated(s3, vec![kv("c", 1, "vc")])
+                .unwrap(),
+            ShipOutcome::Gap
+        );
+        assert_eq!(follower.applied_seq(), s1, "position stays honest");
+        assert_eq!(follower.scan(&RowRange::all()).len(), 1, "nothing applied");
+        // Backfill from the primary's retained WAL tail, then the ship
+        // that gapped succeeds.
+        let tail = primary.wal_batches_after(s1);
+        assert_eq!(
+            tail.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![s2, s3]
+        );
+        for (s, kvs) in tail {
+            assert_eq!(
+                follower.apply_replicated(s, kvs).unwrap(),
+                ShipOutcome::Applied
+            );
+        }
+        assert_eq!(follower.applied_seq(), primary.applied_seq());
+        assert_eq!(
+            follower.scan(&RowRange::all()),
+            primary.scan(&RowRange::all())
+        );
     }
 
     #[test]

@@ -51,9 +51,14 @@ pub fn request_class(req: &Request) -> RequestClass {
         | Request::Ship { .. }
         | Request::Flush { .. }
         | Request::Compact { .. } => RequestClass::Write,
+        // WalTail is repair traffic: it reads the primary's retained WAL
+        // so a gapped follower can rejoin the quorum. Classing it as a
+        // read keeps backfill alive under the very overload that shed
+        // the ship in the first place.
         Request::Scan { .. }
         | Request::FollowerScan { .. }
         | Request::ReplicaStatus { .. }
+        | Request::WalTail { .. }
         | Request::Metrics => RequestClass::Read,
     }
 }
@@ -111,6 +116,17 @@ pub enum Request {
         /// Target region.
         region: RegionId,
     },
+    /// Read the primary's retained WAL batches newer than `from_seq` —
+    /// the backfill source for a follower whose ship was rejected as a
+    /// gap ([`Response::ShipGap`]).
+    WalTail {
+        /// Target region.
+        region: RegionId,
+        /// The replication-group epoch the reader believes is current.
+        epoch: u64,
+        /// Return batches with sequence ids strictly greater than this.
+        from_seq: u64,
+    },
     /// Force a memstore flush.
     Flush {
         /// Target region.
@@ -154,6 +170,22 @@ pub enum Response {
     ShipAck {
         /// The follower's last durable WAL sequence after the ship.
         applied_seq: u64,
+    },
+    /// A shipped batch was rejected because an earlier batch is missing
+    /// here: applying it would leave a hole in the follower's WAL, which
+    /// would let failover promote a copy missing acked writes. Nothing
+    /// was applied; the shipper must backfill from `applied_seq + 1`.
+    ShipGap {
+        /// The follower's last durable WAL sequence (its contiguous
+        /// prefix — everything at or below this is held).
+        applied_seq: u64,
+    },
+    /// The primary's retained WAL tail (see [`Request::WalTail`]).
+    WalBatches {
+        /// `(sequence, cells)` per retained batch, ascending. Starts at
+        /// `from_seq + 1` only if that batch is still retained (not yet
+        /// flushed away); the caller must verify contiguity.
+        batches: Vec<(u64, Vec<KeyValue>)>,
     },
     /// Follower scan results plus the follower's replication position.
     FollowerCells {
@@ -346,15 +378,52 @@ fn handle_request(regions: &Arc<RwLock<HashMap<RegionId, Region>>>, req: Request
                     if r.epoch() != epoch {
                         return Response::Fenced { epoch: r.epoch() };
                     }
+                    // Deliberate injection site: a ship-drop fault loses
+                    // this RPC before the follower applies it — the
+                    // follower stays live but misses the batch, exactly
+                    // the transient loss the contiguity check must catch
+                    // on the next ship. The shipper sees an unusable
+                    // answer (no quorum vote), same as a lost RPC.
+                    if r.ship_dropped() {
+                        return Response::WrongRegion;
+                    }
                     // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
                     match r.apply_replicated(seq, kvs) {
                         // Duplicate/stale ships are already durable here,
                         // so both outcomes ack with the current position.
-                        Ok(_) => Response::ShipAck {
+                        Ok(pga_repl::ShipOutcome::Applied | pga_repl::ShipOutcome::Stale) => {
+                            Response::ShipAck {
+                                // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
+                                applied_seq: r.applied_seq(),
+                            }
+                        }
+                        // An earlier batch is missing: refuse the hole
+                        // and report the contiguous position so the
+                        // shipper can backfill from the primary's tail.
+                        Ok(pga_repl::ShipOutcome::Gap) => Response::ShipGap {
                             // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
                             applied_seq: r.applied_seq(),
                         },
                         Err(_) => Response::WrongRegion,
+                    }
+                }
+                None => Response::WrongRegion,
+            }
+        }
+        Request::WalTail {
+            region,
+            epoch,
+            from_seq,
+        } => {
+            let map = regions.read();
+            match map.get(&region) {
+                Some(r) => {
+                    if r.epoch() != epoch {
+                        return Response::Fenced { epoch: r.epoch() };
+                    }
+                    Response::WalBatches {
+                        // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
+                        batches: r.wal_batches_after(from_seq),
                     }
                 }
                 None => Response::WrongRegion,
@@ -621,6 +690,102 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(primary.region_applied_seq(RegionId(1)), Some(seq));
+        primary.shutdown();
+        follower.shutdown();
+    }
+
+    #[test]
+    fn gapped_ship_reports_position_and_wal_tail_backfills() {
+        let primary = RegionServer::spawn(NodeId(0), ServerConfig::default());
+        let follower = RegionServer::spawn(NodeId(1), ServerConfig::default());
+        let region = Region::new(RegionId(1), RowRange::all(), RegionConfig::default());
+        let fork = region.fork_follower();
+        primary.assign(region);
+        follower.assign(fork);
+        let mut seqs = Vec::new();
+        for row in ["a", "b", "c"] {
+            match primary
+                .handle()
+                .call(Request::PutReplicated {
+                    region: RegionId(1),
+                    epoch: 1,
+                    kvs: vec![kv(row)],
+                })
+                .unwrap()
+            {
+                Response::Appended { seq } => seqs.push(seq),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let ship = |seq: u64, row: &str| {
+            follower
+                .handle()
+                .call(Request::Ship {
+                    region: RegionId(1),
+                    epoch: 1,
+                    seq,
+                    kvs: vec![kv(row)],
+                })
+                .unwrap()
+        };
+        // First batch lands; the second ship is "lost"; the third must be
+        // refused as a gap, reporting the follower's contiguous position.
+        match ship(seqs[0], "a") {
+            Response::ShipAck { applied_seq } => assert_eq!(applied_seq, seqs[0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match ship(seqs[2], "c") {
+            Response::ShipGap { applied_seq } => assert_eq!(applied_seq, seqs[0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A stale-epoch tail read is fenced like any replication RPC.
+        assert!(follower.set_region_epoch(RegionId(1), 1)); // no-op, keeps epoch 1
+        match primary
+            .handle()
+            .call(Request::WalTail {
+                region: RegionId(1),
+                epoch: 9,
+                from_seq: seqs[0],
+            })
+            .unwrap()
+        {
+            Response::Fenced { epoch } => assert_eq!(epoch, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The primary's tail covers the hole; replaying it in order heals
+        // the follower and the once-gapped ship acks as stale.
+        let batches = match primary
+            .handle()
+            .call(Request::WalTail {
+                region: RegionId(1),
+                epoch: 1,
+                from_seq: seqs[0],
+            })
+            .unwrap()
+        {
+            Response::WalBatches { batches } => batches,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(
+            batches.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![seqs[1], seqs[2]]
+        );
+        for (seq, kvs) in batches {
+            match follower
+                .handle()
+                .call(Request::Ship {
+                    region: RegionId(1),
+                    epoch: 1,
+                    seq,
+                    kvs,
+                })
+                .unwrap()
+            {
+                Response::ShipAck { applied_seq } => assert_eq!(applied_seq, seq),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(follower.region_applied_seq(RegionId(1)), Some(seqs[2]));
         primary.shutdown();
         follower.shutdown();
     }

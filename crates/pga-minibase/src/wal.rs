@@ -10,6 +10,8 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+use pga_repl::ShipOutcome;
+
 use crate::kv::KeyValue;
 
 /// Sequence number assigned to each appended batch.
@@ -74,22 +76,70 @@ impl WriteAheadLog {
     /// Append a batch under a sequence id assigned elsewhere — the
     /// replication path, where a follower replays WAL records shipped by
     /// the primary under the primary's sequence numbering. Accepted only
-    /// when `seq` advances the log (strictly greater than the last
-    /// sequence), keeping a follower WAL monotone even when ships arrive
-    /// duplicated or stale after a retry. Returns `false` for a rejected
-    /// (stale/duplicate) batch, which the caller must treat as already
-    /// applied.
-    pub fn append_batch_with_seq(&self, seq: SequenceId, kvs: &[KeyValue]) -> bool {
+    /// when `seq` is the **next** sequence (`last_sequence() + 1`): a
+    /// duplicate or stale ship is [`ShipOutcome::Stale`] (already durable
+    /// here), and a ship that would leave a hole is [`ShipOutcome::Gap`]
+    /// and applies nothing. Contiguity is what lets failover promotion
+    /// read `last_sequence()` as "holds every batch up to here" — a
+    /// gapped WAL would report the position of its newest batch while
+    /// silently missing earlier acked ones.
+    pub fn append_batch_with_seq(&self, seq: SequenceId, kvs: &[KeyValue]) -> ShipOutcome {
         let mut inner = self.inner.lock();
         if seq <= inner.next_seq {
-            return false;
+            return ShipOutcome::Stale;
+        }
+        if seq != inner.next_seq + 1 {
+            return ShipOutcome::Gap;
         }
         inner.next_seq = seq;
         inner.entries.reserve(kvs.len());
         for kv in kvs {
             inner.entries.push((seq, kv.clone()));
         }
-        true
+        ShipOutcome::Applied
+    }
+
+    /// [`WriteAheadLog::append_batch_with_seq`] without the contiguity
+    /// check: any sequence beyond the last is accepted, holes included.
+    /// This is the *broken* pre-backfill semantics, kept solely as the
+    /// injection target for the gap-tolerant-follower mutant — the
+    /// faithful stack must never call it.
+    pub fn append_batch_with_seq_allow_gap(
+        &self,
+        seq: SequenceId,
+        kvs: &[KeyValue],
+    ) -> ShipOutcome {
+        let mut inner = self.inner.lock();
+        if seq <= inner.next_seq {
+            return ShipOutcome::Stale;
+        }
+        inner.next_seq = seq;
+        inner.entries.reserve(kvs.len());
+        for kv in kvs {
+            inner.entries.push((seq, kv.clone()));
+        }
+        ShipOutcome::Applied
+    }
+
+    /// Retained batches with sequence ids strictly greater than `after`,
+    /// in append order — the tail a primary serves to backfill a gapped
+    /// follower. Only covers what [`WriteAheadLog::mark_flushed`] has not
+    /// discarded: a tail that no longer reaches back to `after + 1` means
+    /// the follower cannot be caught up from this log and must stay
+    /// behind (safe — its applied sequence honestly reports its prefix).
+    pub fn batches_after(&self, after: SequenceId) -> Vec<(SequenceId, Vec<KeyValue>)> {
+        let inner = self.inner.lock();
+        let mut out: Vec<(SequenceId, Vec<KeyValue>)> = Vec::new();
+        for (seq, kv) in inner.entries.iter() {
+            if *seq <= after {
+                continue;
+            }
+            match out.last_mut() {
+                Some((s, kvs)) if *s == *seq => kvs.push(kv.clone()),
+                _ => out.push((*seq, vec![kv.clone()])),
+            }
+        }
+        out
     }
 
     /// Empty log whose sequence numbering starts after `seq`. Used when
@@ -498,35 +548,113 @@ mod tests {
     }
 
     #[test]
-    fn append_with_seq_is_monotone_and_idempotent() {
+    fn append_with_seq_is_contiguous_and_idempotent() {
         let wal = WriteAheadLog::new();
-        assert!(wal.append_batch_with_seq(3, &[kv("a", 1)]));
-        assert!(
-            !wal.append_batch_with_seq(3, &[kv("a", 1)]),
+        assert_eq!(
+            wal.append_batch_with_seq(1, &[kv("a", 1)]),
+            ShipOutcome::Applied
+        );
+        assert_eq!(
+            wal.append_batch_with_seq(1, &[kv("a", 1)]),
+            ShipOutcome::Stale,
             "duplicate ship must be rejected"
         );
-        assert!(
-            !wal.append_batch_with_seq(2, &[kv("stale", 1)]),
+        assert_eq!(
+            wal.append_batch_with_seq(2, &[kv("b", 2)]),
+            ShipOutcome::Applied
+        );
+        assert_eq!(
+            wal.append_batch_with_seq(1, &[kv("stale", 1)]),
+            ShipOutcome::Stale,
             "stale ship must be rejected"
         );
-        assert!(wal.append_batch_with_seq(5, &[kv("b", 2)]));
-        assert_eq!(wal.batch_sequences(), vec![3, 5]);
-        assert_eq!(wal.last_sequence(), 5);
+        assert_eq!(wal.batch_sequences(), vec![1, 2]);
+        assert_eq!(wal.last_sequence(), 2);
         // Local appends continue after the shipped numbering.
-        assert_eq!(wal.append_batch(&[kv("c", 3)]), 6);
+        assert_eq!(wal.append_batch(&[kv("c", 3)]), 3);
+    }
+
+    #[test]
+    fn append_with_seq_rejects_holes_and_applies_nothing() {
+        let wal = WriteAheadLog::new();
+        assert_eq!(
+            wal.append_batch_with_seq(1, &[kv("a", 1)]),
+            ShipOutcome::Applied
+        );
+        // Batch 2 was lost in transit; batch 3 must not open a hole.
+        assert_eq!(
+            wal.append_batch_with_seq(3, &[kv("c", 3)]),
+            ShipOutcome::Gap
+        );
+        assert_eq!(wal.last_sequence(), 1, "a rejected gap advances nothing");
+        assert_eq!(wal.batch_sequences(), vec![1]);
+        assert_eq!(wal.replay().len(), 1);
+        // Backfilling the missing batch unblocks the tail.
+        assert_eq!(
+            wal.append_batch_with_seq(2, &[kv("b", 2)]),
+            ShipOutcome::Applied
+        );
+        assert_eq!(
+            wal.append_batch_with_seq(3, &[kv("c", 3)]),
+            ShipOutcome::Applied
+        );
+        assert_eq!(wal.batch_sequences(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn allow_gap_variant_reproduces_the_holey_wal() {
+        // The mutant hook's semantics: the gap lands, last_sequence lies.
+        let wal = WriteAheadLog::new();
+        assert_eq!(
+            wal.append_batch_with_seq_allow_gap(1, &[kv("a", 1)]),
+            ShipOutcome::Applied
+        );
+        assert_eq!(
+            wal.append_batch_with_seq_allow_gap(3, &[kv("c", 3)]),
+            ShipOutcome::Applied
+        );
+        assert_eq!(wal.last_sequence(), 3);
+        assert_eq!(wal.batch_sequences(), vec![1, 3], "hole retained");
+        assert_eq!(
+            wal.append_batch_with_seq_allow_gap(2, &[kv("b", 2)]),
+            ShipOutcome::Stale,
+            "the hole can never be healed afterwards"
+        );
+    }
+
+    #[test]
+    fn batches_after_serves_the_retained_tail() {
+        let wal = wal_with_batches(4); // seqs 1..=4, batch b has b+1 cells
+        let tail = wal.batches_after(2);
+        assert_eq!(tail.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(tail[0].1.len(), 3);
+        assert_eq!(tail[1].1.len(), 4);
+        assert!(wal.batches_after(4).is_empty());
+        // Flushing bounds what backfill can serve.
+        wal.mark_flushed(3);
+        assert_eq!(wal.batches_after(0).len(), 1, "only batch 4 retained");
     }
 
     #[test]
     fn start_sequence_rejects_pre_snapshot_ships() {
         let wal = WriteAheadLog::with_start_sequence(7);
         assert_eq!(wal.last_sequence(), 7);
-        assert!(!wal.append_batch_with_seq(7, &[kv("old", 1)]));
-        assert!(wal.append_batch_with_seq(8, &[kv("new", 1)]));
+        assert_eq!(
+            wal.append_batch_with_seq(7, &[kv("old", 1)]),
+            ShipOutcome::Stale
+        );
+        assert_eq!(
+            wal.append_batch_with_seq(8, &[kv("new", 1)]),
+            ShipOutcome::Applied
+        );
         assert_eq!(wal.replay().len(), 1);
         // Encode/decode keeps the start mark.
         let back = WriteAheadLog::from_encoded(&wal.encode());
         assert_eq!(back.last_sequence(), 8);
-        assert!(!back.append_batch_with_seq(8, &[kv("dup", 1)]));
+        assert_eq!(
+            back.append_batch_with_seq(8, &[kv("dup", 1)]),
+            ShipOutcome::Stale
+        );
     }
 
     #[test]

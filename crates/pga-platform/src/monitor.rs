@@ -95,11 +95,11 @@ impl Monitor {
     pub fn new(config: PlatformConfig) -> Result<Self, MonitorError> {
         config.validate().map_err(MonitorError::Config)?;
         let fleet = Fleet::new(config.fleet.clone());
-        let pipeline = IngestionPipeline::new_replicated(
+        let pipeline = IngestionPipeline::new_with_replication(
             config.storage_nodes,
             config.tsd_count,
             config.batch_size,
-            config.replication.factor,
+            &config.replication,
         );
         // Write-time rollup maintenance: one observer per TSD daemon, the
         // daemon index doubling as the rollup writer id so concurrent

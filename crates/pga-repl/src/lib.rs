@@ -62,6 +62,26 @@ pub enum ReplicaRole {
     Follower,
 }
 
+/// Outcome of applying a primary-assigned WAL batch on a replica.
+///
+/// The promotion rule ([`choose_promotee`]) trusts a replica's applied
+/// sequence as proof it holds *every* batch up to that sequence, so a
+/// follower WAL must stay a contiguous prefix of the primary's: a ship
+/// that would leave a hole is rejected as [`ShipOutcome::Gap`] and the
+/// shipper backfills the missing batches before the follower may vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipOutcome {
+    /// The batch extended the replica's WAL (`seq == last + 1`).
+    Applied,
+    /// Duplicate or stale ship (`seq <= last`) — already durable here,
+    /// so the shipper may still count the replica toward the quorum.
+    Stale,
+    /// The ship would leave a sequence hole (`seq > last + 1`); nothing
+    /// was applied. The shipper must backfill `(last, seq)` from the
+    /// primary's WAL tail before this replica can vote.
+    Gap,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,8 +5,13 @@
 //! durable on at least `write_quorum - 1` followers, so the follower
 //! with the highest applied sequence is guaranteed to hold every acked
 //! write — promoting anything less-caught-up could silently lose acked
-//! data. Ties break toward the lowest node id so the choice is
-//! deterministic across master replays.
+//! data. That guarantee leans on a second invariant: a follower's WAL is
+//! always a **contiguous prefix** of the primary's numbering (ships that
+//! would leave a hole are rejected as [`crate::ShipOutcome::Gap`] and
+//! backfilled before the follower may vote), so an applied sequence is
+//! proof of holding every batch at or below it, never just the highest
+//! one that happened to arrive. Ties break toward the lowest node id so
+//! the choice is deterministic across master replays.
 
 use pga_cluster::NodeId;
 
