@@ -2,6 +2,7 @@
 //! file, run each rule, then apply test-region masking and `pga-allow`
 //! suppression to the raw findings.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -16,6 +17,9 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Findings silenced by a `pga-allow` annotation.
     pub suppressed: Vec<Violation>,
+    /// `stale-allow` advisories: annotations that no longer suppress any
+    /// finding. Advisory in normal runs; `--deny-all` promotes them.
+    pub advisories: Vec<Violation>,
     /// Count of findings dropped because they sit in test code.
     pub in_tests: usize,
 }
@@ -99,7 +103,9 @@ pub fn lex_workspace(root: &Path) -> io::Result<Workspace> {
 
 /// Run `rules` over `ws`, then mask test regions and apply `pga-allow`
 /// suppression. Malformed annotations surface as `pga-allow-syntax`
-/// violations (never suppressible — they mean a suppression is broken).
+/// violations (never suppressible — they mean a suppression is broken),
+/// and annotations that suppressed nothing surface as `stale-allow`
+/// advisories so dead waivers can't silently accumulate.
 pub fn analyze(ws: &Workspace, rules: &[Box<dyn Rule>]) -> Report {
     let mut raw = Vec::new();
     for rule in rules {
@@ -116,7 +122,53 @@ pub fn analyze(ws: &Workspace, rules: &[Box<dyn Rule>]) -> Report {
         }
     }
 
+    // Mark allow usage against the raw findings *before* test masking: an
+    // allow covering a finding that test-masking later drops is still
+    // doing its documented job and must not read as stale.
+    let active: BTreeSet<&str> = rules.iter().map(|r| r.id()).collect();
+    let mut used: Vec<Vec<bool>> = ws
+        .files
+        .iter()
+        .map(|f| vec![false; f.allows.len()])
+        .collect();
+    for v in &raw {
+        if v.rule == "pga-allow-syntax" {
+            continue;
+        }
+        if let Some(fi) = ws.files.iter().position(|f| f.path == v.file) {
+            for (ai, a) in ws.files[fi].allows.iter().enumerate() {
+                let covers = a.line == v.line || a.line + 1 == v.line;
+                if covers && a.rules.iter().any(|r| r.as_str() == v.rule) {
+                    used[fi][ai] = true;
+                }
+            }
+        }
+    }
+
     let mut report = Report::default();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (ai, a) in f.allows.iter().enumerate() {
+            if used[fi][ai] || f.is_test_line(a.line) {
+                continue;
+            }
+            // Only call it stale when every listed rule actually ran:
+            // under a `--rules` subset the allow may serve a rule this
+            // run never checked.
+            if !a.rules.iter().all(|r| active.contains(r.as_str())) {
+                continue;
+            }
+            report.advisories.push(Violation {
+                rule: "stale-allow",
+                file: f.path.clone(),
+                line: a.line,
+                message: format!(
+                    "pga-allow({}) no longer suppresses anything — the finding it waived is gone; delete the annotation (reason was: \"{}\")",
+                    a.rules.join(", "),
+                    a.reason,
+                ),
+            });
+        }
+    }
     for v in raw {
         let Some(file) = ws.files.iter().find(|f| f.path == v.file) else {
             report.violations.push(v);
@@ -134,6 +186,9 @@ pub fn analyze(ws: &Workspace, rules: &[Box<dyn Rule>]) -> Report {
     }
     report
         .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .advisories
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     report
 }

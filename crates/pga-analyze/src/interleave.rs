@@ -8,8 +8,27 @@
 //! snapshot has no cross-field consistency", the explorer *demonstrates*
 //! the interleaving that breaks it (and shows the fixed protocol passing
 //! every schedule).
+//!
+//! Two explorers share the [`Model`] trait. [`explore`] is the original
+//! naive schedule DFS — it re-walks identical states reached by different
+//! interleavings, which is fine for the small handshake models.
+//! [`explore_dedup`] hashes every state it expands and skips subtrees
+//! rooted at already-seen states, turning the schedule tree into a state
+//! *space* walk; with [`ExploreLimits`] bounding depth and distinct
+//! states it scales to protocol models with crash and message-drop
+//! transitions ([`replication::ReplicationModel`]). Because a model's
+//! `step` is deterministic per `(state, tid)`, a revisited state's
+//! subtree can only repeat what its first visit already proved, so the
+//! two explorers agree on the outcome classification (the witness
+//! schedule may differ — dedup reaches the shared state by its first
+//! discovered path).
 
 pub mod models;
+pub mod replication;
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
 
 /// One instrumented concurrent protocol.
 pub trait Model {
@@ -126,6 +145,163 @@ fn dfs<M: Model>(
     Ok(())
 }
 
+/// Bounds for the state-space explorer.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Longest schedule expanded before the run is declared runaway.
+    pub max_depth: usize,
+    /// Distinct states expanded before giving up with
+    /// [`SpaceOutcome::BudgetExceeded`].
+    pub max_states: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_depth: MAX_DEPTH,
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// Result of a state-space exploration with dedup and budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceOutcome {
+    /// Every reachable state satisfied the invariant.
+    Pass {
+        /// Distinct states explored.
+        states: usize,
+    },
+    /// Some reachable state broke the invariant.
+    Violation {
+        /// Thread ids stepped, in order, up to the failure.
+        schedule: Vec<usize>,
+        /// The invariant's explanation.
+        message: String,
+    },
+    /// A reachable state where no thread can run but not all finished.
+    Deadlock {
+        /// Thread ids stepped, in order, up to the deadlock.
+        schedule: Vec<usize>,
+    },
+    /// The state budget ran out before the space was covered — the run
+    /// proves nothing either way; raise the budget or shrink the model.
+    BudgetExceeded {
+        /// Distinct states explored when the budget tripped.
+        states: usize,
+    },
+}
+
+impl SpaceOutcome {
+    /// Did the full bounded space pass?
+    pub fn passed(&self) -> bool {
+        matches!(self, SpaceOutcome::Pass { .. })
+    }
+}
+
+/// 64-bit fingerprint of a state. Collisions would silently prune an
+/// unexplored subtree; at the ≤10⁶-state budgets used here the collision
+/// odds are ~2⁻⁴⁴ per pair — acceptable for a bug-finding checker,
+/// documented in ANALYSIS.md.
+fn fingerprint<S: Hash>(s: &S) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// Explore the reachable state space of `model` depth-first with
+/// default limits, deduplicating states by hash.
+pub fn explore_dedup<M>(model: &M) -> SpaceOutcome
+where
+    M: Model,
+    M::State: Hash,
+{
+    explore_dedup_limits(model, ExploreLimits::default())
+}
+
+/// [`explore_dedup`] with explicit depth/state budgets.
+pub fn explore_dedup_limits<M>(model: &M, limits: ExploreLimits) -> SpaceOutcome
+where
+    M: Model,
+    M::State: Hash,
+{
+    let init = model.init();
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(fingerprint(&init));
+    let mut path: Vec<usize> = Vec::new();
+    match dfs_dedup(model, init, &mut path, &mut seen, &limits) {
+        Ok(()) => SpaceOutcome::Pass { states: seen.len() },
+        Err(out) => out,
+    }
+}
+
+fn dfs_dedup<M>(
+    model: &M,
+    state: M::State,
+    path: &mut Vec<usize>,
+    seen: &mut HashSet<u64>,
+    limits: &ExploreLimits,
+) -> Result<(), SpaceOutcome>
+where
+    M: Model,
+    M::State: Hash,
+{
+    let n = model.threads();
+    let all_finished = (0..n).all(|t| model.finished(&state, t));
+    if all_finished {
+        return match model.check(&state, true) {
+            Ok(()) => Ok(()),
+            Err(message) => Err(SpaceOutcome::Violation {
+                schedule: path.clone(),
+                message,
+            }),
+        };
+    }
+    if path.len() >= limits.max_depth {
+        return Err(SpaceOutcome::Violation {
+            schedule: path.clone(),
+            message: format!(
+                "model `{}` exceeded {} steps",
+                model.name(),
+                limits.max_depth
+            ),
+        });
+    }
+    if seen.len() >= limits.max_states {
+        return Err(SpaceOutcome::BudgetExceeded { states: seen.len() });
+    }
+    let runnable: Vec<usize> = (0..n).filter(|&t| model.enabled(&state, t)).collect();
+    if runnable.is_empty() {
+        return Err(SpaceOutcome::Deadlock {
+            schedule: path.clone(),
+        });
+    }
+    for tid in runnable {
+        let mut next = state.clone();
+        model.step(&mut next, tid);
+        path.push(tid);
+        let checked = match model.check(&next, false) {
+            Ok(()) => {
+                // A previously-seen state already had its subtree
+                // explored (steps are deterministic per (state, tid)), so
+                // only fresh states recurse.
+                if seen.insert(fingerprint(&next)) {
+                    dfs_dedup(model, next, path, seen, limits)
+                } else {
+                    Ok(())
+                }
+            }
+            Err(message) => Err(SpaceOutcome::Violation {
+                schedule: path.clone(),
+                message,
+            }),
+        };
+        path.pop();
+        checked?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,7 +310,7 @@ mod tests {
     /// log has both entries. Always true — sanity-checks the explorer.
     struct Appender;
 
-    #[derive(Clone, Default)]
+    #[derive(Clone, Default, Hash)]
     struct AppendState {
         log: Vec<usize>,
         done: [bool; 2],
@@ -212,6 +388,35 @@ mod tests {
         match explore(&Blocker) {
             Outcome::Deadlock { schedule } => assert_eq!(schedule, vec![0]),
             other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dedup_explorer_agrees_on_toy_models() {
+        // The two append orders produce distinct logs, so dedup prunes
+        // nothing here — 5 states: init, two mid, two final.
+        match explore_dedup(&Appender) {
+            SpaceOutcome::Pass { states } => assert_eq!(states, 5),
+            other => panic!("expected pass, got {other:?}"),
+        }
+        match explore_dedup(&Blocker) {
+            SpaceOutcome::Deadlock { schedule } => assert_eq!(schedule, vec![0]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_budget_trips_as_budget_exceeded() {
+        let out = explore_dedup_limits(
+            &Appender,
+            ExploreLimits {
+                max_depth: MAX_DEPTH,
+                max_states: 2,
+            },
+        );
+        match out {
+            SpaceOutcome::BudgetExceeded { states } => assert!(states >= 2),
+            other => panic!("expected budget exceeded, got {other:?}"),
         }
     }
 }

@@ -32,7 +32,7 @@ pub struct HistogramModel {
 /// Values the two recorder threads record.
 const HIST_VALUES: [u64; 2] = [3, 300];
 
-#[derive(Clone, Default)]
+#[derive(Clone, Default, Hash)]
 pub struct HistogramState {
     buckets: [u64; 32],
     sum: u64,
@@ -132,7 +132,7 @@ pub struct RegistryCounterModel {
 /// Increments each writer performs.
 const INCREMENTS: u64 = 2;
 
-#[derive(Clone, Default)]
+#[derive(Clone, Default, Hash)]
 pub struct CounterState {
     value: u64,
     /// Per-thread: increments completed so far.
@@ -202,7 +202,7 @@ pub struct LeaseMigrationModel {
     pub seeded_bug: bool,
 }
 
-#[derive(Clone)]
+#[derive(Clone, Hash)]
 pub struct LeaseState {
     /// Liveness of nodes A (0) and B (1).
     alive: [bool; 2],

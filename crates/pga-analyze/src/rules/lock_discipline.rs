@@ -12,88 +12,12 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::{CALL_STOPLIST, NON_CALL_KEYWORDS};
 use crate::rules::{Rule, Violation, Workspace};
 use crate::tokenizer::{Token, TokenKind};
 
 /// Method names that acquire a lock when called with no arguments.
 const LOCK_OPS: &[&str] = &["lock", "read", "write"];
-
-/// Callee names never resolved through the name-based call graph: they
-/// collide with std/collection methods and would fabricate edges.
-const CALL_STOPLIST: &[&str] = &[
-    "new",
-    "default",
-    "clone",
-    "drop",
-    "fmt",
-    "from",
-    "into",
-    "try_from",
-    "eq",
-    "cmp",
-    "hash",
-    "next",
-    "get",
-    "get_mut",
-    "insert",
-    "remove",
-    "push",
-    "pop",
-    "len",
-    "is_empty",
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "contains",
-    "contains_key",
-    "entry",
-    "extend",
-    "drain",
-    "clear",
-    "take",
-    "send",
-    "recv",
-    "try_send",
-    "try_recv",
-    "join",
-    "spawn",
-    "min",
-    "max",
-    "abs",
-    "name",
-    "id",
-    "to_string",
-    "as_str",
-    "as_ref",
-    "as_mut",
-    "unwrap_or",
-    "map",
-    "and_then",
-    "ok",
-    "is_some",
-    "is_none",
-    "is_ok",
-    "is_err",
-    "retain",
-    "sort",
-    "sort_by",
-    "split",
-    "merge",
-    "start",
-    "stop",
-    "close",
-    "reset",
-    "load",
-    "store",
-    "swap",
-];
-
-/// Keywords that look like `ident (` but are not calls.
-const NON_CALL_KEYWORDS: &[&str] = &[
-    "if", "while", "match", "for", "return", "fn", "loop", "in", "let", "else", "move", "pub",
-    "impl", "where", "as", "ref", "mut", "box", "unsafe",
-];
 
 /// One acquisition, in-function edge, or call observed in pass A.
 #[derive(Debug)]

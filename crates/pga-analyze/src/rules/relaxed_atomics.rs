@@ -6,10 +6,12 @@
 //! give it no cross-field consistency. Single-field relaxed counters are
 //! fine and stay silent.
 //!
-//! Known miss (documented in ANALYSIS.md): loads made through local
-//! bindings rather than `self.field` / `x.field` paths are invisible.
+//! Loads laundered through local bindings (`let c = &self.count;` then
+//! `c.load(Relaxed)`) are traced via a per-function alias map, so an
+//! alias can't hide a snapshot field from the heuristic (this closed the
+//! miss the first shipping of R4 documented).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::rules::{Rule, Violation, Workspace};
 use crate::tokenizer::{Token, TokenKind};
@@ -74,6 +76,63 @@ fn loaded_field(tokens: &[Token], i: usize, fields: &BTreeSet<String>) -> Option
     }
 }
 
+/// Local aliases of atomic fields declared in `span`:
+/// `let c = &self.count;` / `let c = &registry.count;` map `c` →
+/// `count` when `count` is a declared atomic field. Only simple
+/// `let <ident> = & <path> . <field> ;` bindings are traced — enough to
+/// see through the one-hop laundering the snapshot paths actually use.
+fn alias_map(
+    tokens: &[Token],
+    body_start: usize,
+    body_end: usize,
+    fields: &BTreeSet<String>,
+) -> BTreeMap<String, String> {
+    let mut aliases = BTreeMap::new();
+    let mut i = body_start;
+    while i + 4 < body_end {
+        let is_binding = tokens[i].is_ident("let")
+            && tokens[i + 1].kind == TokenKind::Ident
+            && tokens[i + 2].is_punct('=')
+            && tokens[i + 3].is_punct('&');
+        if !is_binding {
+            i += 1;
+            continue;
+        }
+        // Find the statement's `;` within a short window and require the
+        // expression to end `. field ;` with a declared atomic field.
+        let mut j = i + 4;
+        let limit = (i + 16).min(body_end);
+        while j < limit && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+        if j < limit
+            && j >= 2
+            && tokens[j - 1].kind == TokenKind::Ident
+            && tokens[j - 2].is_punct('.')
+            && fields.contains(&tokens[j - 1].text)
+        {
+            aliases.insert(tokens[i + 1].text.clone(), tokens[j - 1].text.clone());
+        }
+        i = j;
+    }
+    aliases
+}
+
+/// For a `load` ident at `i` whose receiver is a bare local (`c.load(..)`),
+/// resolve the local through the function's alias map. The receiver must
+/// NOT itself be a path segment (`x.c.load(..)` is a field access, handled
+/// — or rejected — by [`loaded_field`], not an alias read).
+fn aliased_field(tokens: &[Token], i: usize, aliases: &BTreeMap<String, String>) -> Option<String> {
+    let j = i.checked_sub(2)?; // skip the `.` before `load`
+    let recv = &tokens[j];
+    let is_bare_local = recv.kind == TokenKind::Ident && (j == 0 || !tokens[j - 1].is_punct('.'));
+    if is_bare_local {
+        aliases.get(&recv.text).cloned()
+    } else {
+        None
+    }
+}
+
 /// Ordering name inside the `load(..)` argument list, if written literally.
 fn load_ordering(tokens: &[Token], open: usize) -> Option<String> {
     let mut depth = 0i32;
@@ -115,6 +174,7 @@ impl Rule for RelaxedAtomics {
         for f in &ws.files {
             let toks = &f.lexed.tokens;
             for span in &f.fns {
+                let aliases = alias_map(toks, span.body_start, span.body_end, &fields);
                 let mut loaded: BTreeSet<String> = BTreeSet::new();
                 let mut relaxed: Vec<(String, u32)> = Vec::new();
                 let mut i = span.body_start;
@@ -125,7 +185,9 @@ impl Rule for RelaxedAtomics {
                         && toks[i - 1].is_punct('.')
                         && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false);
                     if is_load {
-                        if let Some(field) = loaded_field(toks, i, &fields) {
+                        let field = loaded_field(toks, i, &fields)
+                            .or_else(|| aliased_field(toks, i, &aliases));
+                        if let Some(field) = field {
                             loaded.insert(field.clone());
                             if load_ordering(toks, i + 1).as_deref() == Some("Relaxed") {
                                 relaxed.push((field, t.line));

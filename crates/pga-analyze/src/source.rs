@@ -28,13 +28,16 @@ pub struct BadAllow {
     pub problem: String,
 }
 
-/// Span of one `fn` item: name plus body token range.
+/// Span of one `fn` item: name plus signature and body token ranges.
 #[derive(Debug, Clone)]
 pub struct FnSpan {
     /// Function name.
     pub name: String,
     /// Line of the `fn` keyword.
     pub line: u32,
+    /// Token index of the `fn` keyword itself — the signature (generics,
+    /// parameter list, return type) spans `sig_start..body_start`.
+    pub sig_start: usize,
     /// Token index of the body's opening `{`.
     pub body_start: usize,
     /// Token index one past the body's closing `}`.
@@ -313,6 +316,7 @@ fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
             fns.push(FnSpan {
                 name: name_tok.text.clone(),
                 line: tokens[i].line,
+                sig_start: i,
                 body_start: open,
                 body_end: close,
             });

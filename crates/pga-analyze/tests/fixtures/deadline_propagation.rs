@@ -1,0 +1,42 @@
+// R6 fixture: deadline forwarding across resolved calls, lexed with
+// origin pga-repl::fx_deadline. Lines tagged `V:<rule>` must be flagged.
+// This file is never compiled — it is raw input for the analyzer tests.
+
+pub struct Shard;
+
+impl Shard {
+    // The deadline-capable downstream hop every caller below resolves to
+    // (unique name in the fixture workspace, so resolution is exact).
+    pub fn fetch_rows(&self, unit: u32, deadline_ms: u64) -> u32 {
+        unit + (deadline_ms as u32)
+    }
+
+    // Forwards its budget verbatim: clean.
+    pub fn scan_forwarding(&self, unit: u32, deadline_ms: u64) -> u32 {
+        self.fetch_rows(unit, deadline_ms)
+    }
+
+    // Narrows the budget before forwarding: still clean — any
+    // deadline-named identifier in the argument list counts.
+    pub fn scan_narrowed(&self, unit: u32, deadline_ms: u64) -> u32 {
+        self.fetch_rows(unit, deadline_ms / 2)
+    }
+
+    // Drops its budget on the floor: the downstream hop runs unbounded.
+    pub fn scan_dropping(&self, unit: u32, deadline_ms: u64) -> u32 {
+        let _ = deadline_ms;
+        self.fetch_rows(unit, 0) // V:deadline-propagation
+    }
+
+    // Receives no deadline: out of the rule's premise, clean.
+    pub fn scan_unbudgeted(&self, unit: u32) -> u32 {
+        self.fetch_rows(unit, 5_000)
+    }
+
+    // Waived drop: a prefetch documented to outlive the request budget.
+    pub fn prefetch(&self, unit: u32, deadline_ms: u64) -> u32 {
+        let _ = deadline_ms;
+        // pga-allow(deadline-propagation): prefetch intentionally outlives the request budget
+        self.fetch_rows(unit, 60_000)
+    }
+}

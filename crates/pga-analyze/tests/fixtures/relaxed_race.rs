@@ -32,6 +32,15 @@ impl Ledger {
         d - w
     }
 
+    // Alias-laundered snapshot: the loads go through local borrows of the
+    // fields, so the alias map must resolve them back to `deposits` /
+    // `withdrawals` for the multi-field heuristic to fire.
+    pub fn net_via_alias(&self) -> u64 {
+        let d = &self.deposits;
+        let w = &self.withdrawals;
+        d.load(Ordering::Relaxed) - w.load(Ordering::Relaxed) // V:relaxed-atomics
+    }
+
     // Annotated snapshot: skew documented as acceptable.
     pub fn net_estimate(&self) -> u64 {
         // pga-allow(relaxed-atomics): advisory estimate; reader tolerates inter-field skew

@@ -16,6 +16,9 @@ const PANIC_FX: &str = include_str!("fixtures/panic_path.rs");
 const LOCK_FX: &str = include_str!("fixtures/lock_cycle.rs");
 const RELAXED_FX: &str = include_str!("fixtures/relaxed_race.rs");
 const RETRY_FX: &str = include_str!("fixtures/retry_discipline.rs");
+const DEADLINE_FX: &str = include_str!("fixtures/deadline_propagation.rs");
+const FENCING_FX: &str = include_str!("fixtures/epoch_fencing.rs");
+const CONFIG_FX: &str = include_str!("fixtures/config_compat.rs");
 
 /// Lex every fixture under an origin that puts it in its rule's scope.
 fn fixture_workspace() -> Workspace {
@@ -31,6 +34,24 @@ fn fixture_workspace() -> Workspace {
                 RELAXED_FX,
             ),
             SourceFile::with_origin("fx/retry_discipline.rs", "pga-tsdb", &["tsd"], RETRY_FX),
+            SourceFile::with_origin(
+                "fx/deadline_propagation.rs",
+                "pga-repl",
+                &["fx_deadline"],
+                DEADLINE_FX,
+            ),
+            SourceFile::with_origin(
+                "fx/epoch_fencing.rs",
+                "pga-minibase",
+                &["fx_fencing"],
+                FENCING_FX,
+            ),
+            SourceFile::with_origin(
+                "fx/config_compat.rs",
+                "pga-platform",
+                &["fx_config"],
+                CONFIG_FX,
+            ),
         ],
     }
 }
@@ -116,6 +137,36 @@ fn retry_discipline_fixture_matches_markers() {
 }
 
 #[test]
+fn deadline_propagation_fixture_matches_markers() {
+    let report = fixture_report();
+    assert_eq!(
+        findings(&report, "fx/deadline_propagation.rs"),
+        markers(DEADLINE_FX)
+    );
+}
+
+#[test]
+fn epoch_fencing_fixture_matches_markers() {
+    let report = fixture_report();
+    assert_eq!(
+        findings(&report, "fx/epoch_fencing.rs"),
+        markers(FENCING_FX)
+    );
+    // The fixed-point path must stay silent: `apply_inner` is only
+    // reached through an epoch-comparing caller.
+    assert!(!report
+        .violations
+        .iter()
+        .any(|v| v.file == "fx/epoch_fencing.rs" && v.message.contains("apply_inner")));
+}
+
+#[test]
+fn config_compat_fixture_matches_markers() {
+    let report = fixture_report();
+    assert_eq!(findings(&report, "fx/config_compat.rs"), markers(CONFIG_FX));
+}
+
+#[test]
 fn pga_allow_suppresses_exactly_once_per_fixture() {
     let report = fixture_report();
     let mut suppressed: Vec<(&str, &str)> = report
@@ -127,12 +178,66 @@ fn pga_allow_suppresses_exactly_once_per_fixture() {
     assert_eq!(
         suppressed,
         vec![
+            ("fx/config_compat.rs", "config-compat"),
+            ("fx/deadline_propagation.rs", "deadline-propagation"),
             ("fx/determinism.rs", "determinism"),
+            ("fx/epoch_fencing.rs", "epoch-fencing"),
             ("fx/panic_path.rs", "panic-path"),
             ("fx/relaxed_race.rs", "relaxed-atomics"),
             ("fx/retry_discipline.rs", "retry-discipline"),
         ]
     );
+    // Every fixture allow earns its keep: no stale-allow advisories.
+    assert!(report.advisories.is_empty());
+}
+
+#[test]
+fn stale_allow_surfaces_as_advisory() {
+    let src = "\
+// pga-allow(panic-path): waived long ago; the code it covered is gone
+pub fn calm() -> u32 {
+    4
+}
+";
+    let ws = Workspace {
+        files: vec![SourceFile::with_origin(
+            "fx/stale.rs",
+            "pga-ingest",
+            &["proxy"],
+            src,
+        )],
+    };
+    let report = engine::analyze(&ws, &all_rules());
+    assert!(report.violations.is_empty());
+    assert_eq!(report.advisories.len(), 1);
+    let adv = &report.advisories[0];
+    assert_eq!((adv.rule, adv.line), ("stale-allow", 1));
+    assert!(adv.message.contains("panic-path"));
+    assert!(adv.message.contains("waived long ago"));
+}
+
+#[test]
+fn allow_for_unchecked_rule_is_never_stale() {
+    // Under a --rules subset that skips panic-path, the annotation may
+    // serve a rule this run never checked — it must not read as stale.
+    let src = "\
+// pga-allow(panic-path): waived long ago; the code it covered is gone
+pub fn calm() -> u32 {
+    4
+}
+";
+    let ws = Workspace {
+        files: vec![SourceFile::with_origin(
+            "fx/stale.rs",
+            "pga-ingest",
+            &["proxy"],
+            src,
+        )],
+    };
+    let mut rules = all_rules();
+    rules.retain(|r| r.id() == "determinism");
+    let report = engine::analyze(&ws, &rules);
+    assert!(report.advisories.is_empty());
 }
 
 #[test]
@@ -154,6 +259,9 @@ fn write_fixture_workspace() -> PathBuf {
         ("crates/pga-minibase/src/fixture.rs", LOCK_FX),
         ("crates/pga-control/src/fixture.rs", RELAXED_FX),
         ("crates/pga-tsdb/src/tsd.rs", RETRY_FX),
+        ("crates/pga-repl/src/fx_deadline.rs", DEADLINE_FX),
+        ("crates/pga-minibase/src/fx_fencing.rs", FENCING_FX),
+        ("crates/pga-platform/src/fx_config.rs", CONFIG_FX),
     ];
     for (rel, text) in files {
         let path = root.join(rel);
@@ -171,9 +279,12 @@ fn deny_all_exits_nonzero_on_fixture_workspace() {
     let root_arg = root.to_string_lossy().into_owned();
     let deny = vec!["--root".to_string(), root_arg.clone(), "--deny-all".into()];
     assert_eq!(pga_analyze::cli::run(&deny), 1);
-    // Advisory mode reports but does not fail.
-    let advise = vec!["--root".to_string(), root_arg];
+    // Advisory mode reports but does not fail, and --json shares its
+    // exit-code semantics.
+    let advise = vec!["--root".to_string(), root_arg.clone()];
     assert_eq!(pga_analyze::cli::run(&advise), 0);
+    let json = vec!["--root".to_string(), root_arg, "--json".into()];
+    assert_eq!(pga_analyze::cli::run(&json), 0);
 }
 
 #[test]

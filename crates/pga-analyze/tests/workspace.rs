@@ -37,4 +37,16 @@ fn live_workspace_has_zero_unsuppressed_violations() {
         "suppression count exploded: {}",
         report.suppressed.len()
     );
+    // Dead waivers must not accumulate: every pga-allow in the tree
+    // still suppresses the finding it was written for.
+    let stale: Vec<String> = report
+        .advisories
+        .iter()
+        .map(|v| format!("{}:{}: {}", v.file, v.line, v.message))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale pga-allow annotations:\n{}",
+        stale.join("\n")
+    );
 }

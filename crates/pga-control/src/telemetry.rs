@@ -178,7 +178,6 @@ impl MetricsRegistry {
     /// engine owns the counters; telemetry only reflects the latest
     /// totals, so these are gauges despite being monotonic at the source.
     pub fn record_query_serving(&self, hits: u64, misses: u64, fanout: u64, partials: u64) {
-        // pga-allow(relaxed-atomics): independent gauges; scrape tolerates inter-field skew
         self.query_cache_hits.store(hits, Ordering::Relaxed);
         self.query_cache_misses.store(misses, Ordering::Relaxed);
         self.query_fanout.store(fanout, Ordering::Relaxed);
@@ -200,7 +199,6 @@ impl MetricsRegistry {
         follower_reads: u64,
         hedged_scans: u64,
     ) {
-        // pga-allow(relaxed-atomics): independent gauges; scrape tolerates inter-field skew
         self.repl_lag_batches.store(lag_batches, Ordering::Relaxed);
         self.repl_regions.store(regions, Ordering::Relaxed);
         self.repl_failovers.store(failovers, Ordering::Relaxed);

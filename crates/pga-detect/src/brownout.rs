@@ -80,7 +80,6 @@ impl BrownoutGate {
     /// A disengaged gate. Panics on an invalid config (construction-time
     /// check, not a serving path).
     pub fn new(config: BrownoutConfig) -> Self {
-        // pga-allow(panic-path): constructor validation before any traffic is served
         config.validate().expect("valid brownout config");
         BrownoutGate {
             config,

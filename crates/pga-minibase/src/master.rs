@@ -404,7 +404,6 @@ impl Master {
                 reassigned.push(info.id);
                 continue;
             }
-            // pga-allow(lock-discipline): directory → server-regions is the global lock order (see above)
             let survivors: Vec<(NodeId, u64)> = info
                 .followers
                 .iter()

@@ -157,6 +157,7 @@ impl Region {
     /// Write a batch: WAL first, then memstore; flushes/compacts if
     /// thresholds are crossed. Rejects rows outside the region.
     pub fn put_batch(&mut self, kvs: Vec<KeyValue>) -> Result<(), RegionError> {
+        // pga-allow(epoch-fencing): single-copy Put path — the RPC carries no epoch; replicated writes route through PutReplicated, which fences before put_batch_assign, and lease expiry bounds a deposed primary here
         self.put_batch_assign(kvs).map(|_| ())
     }
 
