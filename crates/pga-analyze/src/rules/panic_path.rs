@@ -13,7 +13,7 @@ use crate::tokenizer::{Token, TokenKind};
 const SCOPE: &[(&str, &[&str])] = &[
     ("pga-ingest", &["proxy"]),
     ("pga-minibase", &["server", "region", "master"]),
-    ("pga-tsdb", &["api"]),
+    ("pga-tsdb", &["api", "block", "compact"]),
     ("pga-cluster", &["rpc"]),
 ];
 
@@ -57,7 +57,7 @@ impl Rule for PanicPath {
     }
 
     fn describe(&self) -> &'static str {
-        "no unwrap()/expect()/direct indexing in request-serving modules (proxy, minibase server/region/master, tsdb api, cluster rpc)"
+        "no unwrap()/expect()/direct indexing in request-serving modules (proxy, minibase server/region/master, tsdb api/block/compact, cluster rpc)"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Violation>) {

@@ -600,6 +600,52 @@ fn main() {
     );
     save("BENCH_failover", &failover);
 
+    // ---------------------------------------------------------------- E21
+    println!("== E21: sealed-block scans + batched columnar detection vs legacy ==");
+    let bcfg = if quick {
+        pga_bench::BlockBenchConfig::quick()
+    } else {
+        pga_bench::BlockBenchConfig::full()
+    };
+    let blocks = pga_bench::block_format_experiment(&bcfg);
+    let rows = vec![
+        vec![
+            "arm".to_string(),
+            "pass (ms)".to_string(),
+            "throughput".to_string(),
+        ],
+        vec![
+            blocks.scan_legacy.label.clone(),
+            format!("{:.2}", blocks.scan_legacy.pass_ms),
+            format!("{:.1} MB/s", blocks.scan_legacy.bytes_per_sec / 1e6),
+        ],
+        vec![
+            blocks.scan_blocks.label.clone(),
+            format!("{:.2}", blocks.scan_blocks.pass_ms),
+            format!("{:.1} MB/s", blocks.scan_blocks.bytes_per_sec / 1e6),
+        ],
+        vec![
+            blocks.detect_rowmajor.label.clone(),
+            format!("{:.2}", blocks.detect_rowmajor.pass_ms),
+            format!("{:.0} samples/s", blocks.detect_rowmajor.samples_per_sec),
+        ],
+        vec![
+            blocks.detect_columnar.label.clone(),
+            format!("{:.2}", blocks.detect_columnar.pass_ms),
+            format!("{:.0} samples/s", blocks.detect_columnar.samples_per_sec),
+        ],
+    ];
+    println!("{}", render_table(&rows));
+    println!(
+        "speedups: scan {:.1}x bytes/s, detect {:.1}x samples/s; {} scan / {} verdict mismatches (verdict {})\n",
+        blocks.scan_speedup,
+        blocks.detect_speedup,
+        blocks.scan_mismatches,
+        blocks.eval_mismatches,
+        if blocks.passed() { "HELD" } else { "FAILED" },
+    );
+    save("BENCH_blocks", &blocks);
+
     // ------------------------------------------------- real pipeline sanity
     println!("== real thread-scale pipeline (storage stack on this host) ==");
     let pipe = pipeline_throughput_experiment(4, if quick { 20 } else { 100 }, 17);

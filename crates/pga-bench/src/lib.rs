@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blocks;
 pub mod elastic;
 pub mod experiments;
 pub mod faults;
@@ -16,6 +17,7 @@ pub mod queries;
 pub mod repl;
 pub mod table;
 
+pub use blocks::{block_format_experiment, BlockBenchConfig, BlockBenchReport, DetectArm, ScanArm};
 pub use elastic::{elastic_scaling_experiment, ElasticScalingReport, ElasticScenarioRow};
 pub use experiments::{
     alpha_sweep_experiment, compaction_ablation, compaction_ablation_single,

@@ -17,6 +17,13 @@
 //!    Benjamini–Hochberg FDR procedure (or any baseline from
 //!    [`pga_stats::multiple`]) to decide which sensors to flag.
 //!
+//! Columnar path: the block store serves windows as per-sensor column
+//! slices, so training ([`train_unit_columns`],
+//! [`StreamingTrainer::update_columns`]) and evaluation
+//! ([`OnlineEvaluator::evaluate_columns`], fleet-wide via
+//! [`BatchEvaluator`]) accept that shape directly — many units per pass,
+//! bit-identical to the row-major paths.
+//!
 //! Blocks: with 1000 sensors per unit a full 1000×1000 Jacobi SVD is
 //! wasteful — fault correlation in the generator (and in the physical
 //! systems the paper describes) is local to small sensor groups, so models
@@ -26,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod brownout;
 mod cusum;
 mod model;
@@ -33,9 +41,10 @@ mod online;
 mod streaming;
 mod trainer;
 
+pub use batch::{BatchEvaluator, ColumnWindow};
 pub use brownout::{BrownoutConfig, BrownoutGate, EvalMode};
 pub use cusum::{CusumDetector, CusumState};
 pub use model::{BlockModel, UnitModel, BLOCK_SENSORS};
 pub use online::{EvalOutcome, OnlineEvaluator, SensorFlag};
 pub use streaming::StreamingTrainer;
-pub use trainer::{train_fleet, train_unit, TrainError};
+pub use trainer::{train_fleet, train_unit, train_unit_columns, TrainError};

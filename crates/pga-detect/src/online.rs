@@ -101,6 +101,44 @@ impl OnlineEvaluator {
         }
         let inv = 1.0 / n as f64;
         pga_linalg::scale(&mut means, inv);
+        self.score_means(n, means)
+    }
+
+    /// Evaluate a window presented as **per-sensor column slices** — the
+    /// shape the columnar block store hands back ([`pga_tsdb`]'s
+    /// `ColumnSeries::values`) — without materialising a row-major window.
+    ///
+    /// Each column sums in sample order, the exact addition sequence the
+    /// row-major `axpy` loop of [`OnlineEvaluator::evaluate`] performs, so
+    /// the two paths agree **bit-for-bit** (the differential suite pins
+    /// this).
+    pub fn evaluate_columns(&self, columns: &[&[f64]]) -> EvalOutcome {
+        let p = columns.len();
+        assert_eq!(p, self.model.sensors(), "sensor count mismatch");
+        let n = columns.first().map_or(0, |c| c.len());
+        assert!(n > 0, "window must be non-empty");
+        assert!(
+            columns.iter().all(|c| c.len() == n),
+            "ragged columns: every sensor needs {n} samples"
+        );
+        let inv = 1.0 / n as f64;
+        let means: Vec<f64> = columns
+            .iter()
+            .map(|col| {
+                let mut acc = 0.0;
+                for &x in *col {
+                    acc += x;
+                }
+                acc * inv
+            })
+            .collect();
+        self.score_means(n, means)
+    }
+
+    /// Shared scoring core: per-sensor z-tests, FDR control, and block T²
+    /// from a window-mean vector computed over `n` samples.
+    fn score_means(&self, n: usize, means: Vec<f64>) -> EvalOutcome {
+        let p = means.len();
         // Per-sensor z-test p-values. The baseline mean is itself an
         // estimate from `trained_rows` observations, so the standard error
         // of (window mean − trained mean) is σ·√(1/n + 1/n_train);

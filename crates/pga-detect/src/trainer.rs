@@ -76,6 +76,30 @@ pub fn train_unit(unit: u32, observations: &Matrix) -> Result<UnitModel, TrainEr
     Ok(model)
 }
 
+/// Train one unit's model from **per-sensor column slices** — the shape
+/// the columnar block store hands back. The columns are transposed into
+/// the row-major observation window and trained with [`train_unit`], so
+/// the resulting model is identical to batch training on the same data.
+pub fn train_unit_columns(unit: u32, columns: &[&[f64]]) -> Result<UnitModel, TrainError> {
+    let p = columns.len();
+    let n = columns.first().map_or(0, |c| c.len());
+    if n < 2 {
+        return Err(TrainError::InsufficientData { rows: n });
+    }
+    if columns.iter().any(|c| c.len() != n) {
+        return Err(TrainError::Decomposition(format!(
+            "ragged columns: every sensor needs {n} samples"
+        )));
+    }
+    let mut obs = Matrix::zeros(n, p);
+    for (j, col) in columns.iter().enumerate() {
+        for (r, &v) in col.iter().enumerate() {
+            obs.set(r, j, v);
+        }
+    }
+    train_unit(unit, &obs)
+}
+
 /// Train the whole fleet in parallel on the dataflow engine, optionally
 /// caching each model ("results … are cached to HDFS").
 ///
@@ -148,6 +172,22 @@ mod tests {
                 b.start
             );
         }
+    }
+
+    #[test]
+    fn columnar_training_equals_row_major() {
+        let fleet = Fleet::new(FleetConfig::small(17));
+        let obs = fleet.observation_window(0, 119, 120);
+        let cols: Vec<Vec<f64>> = (0..obs.cols()).map(|c| obs.col(c)).collect();
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let a = train_unit(0, &obs).unwrap();
+        let b = train_unit_columns(0, &refs).unwrap();
+        assert_eq!(a, b, "transposed input must yield the identical model");
+        assert!(matches!(
+            train_unit_columns(0, &[&[1.0][..]]),
+            Err(TrainError::InsufficientData { rows: 1 })
+        ));
+        assert!(train_unit_columns(0, &[&[1.0, 2.0][..], &[3.0][..]]).is_err());
     }
 
     #[test]

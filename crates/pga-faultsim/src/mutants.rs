@@ -15,7 +15,7 @@ use crate::plane::SimFaultPlane;
 use crate::schedule::{generate, generate_repl, parse_schedule, GeneratorConfig, Schedule};
 use crate::sim::{run_inner, run_with_baseline, SimConfig, SimOutcome, Violation};
 
-/// The four seeded bugs.
+/// The five seeded bugs.
 #[derive(Debug, Clone, Copy)]
 enum Mutant {
     /// Acks a put without appending to the WAL: a crash loses acked data.
@@ -29,6 +29,11 @@ enum Mutant {
     /// the highest applied sequence and would win promotion over replicas
     /// that actually hold every acked write.
     GapTolerantFollower,
+    /// The sealing compactor, re-sealing a row that already holds a
+    /// block, keeps the block and drops the raw cells that landed after
+    /// the first seal — acked late writes silently vanish at the next
+    /// compaction.
+    CompactionDropsMutableTail,
 }
 
 /// Wraps the faithful sim plane, delegating injection hooks and breaking
@@ -54,6 +59,10 @@ impl FaultPlane for MutantPlane {
 
     fn allow_ship_gap(&self, _region: RegionId) -> bool {
         matches!(self.mutant, Mutant::GapTolerantFollower)
+    }
+
+    fn drop_sealed_overlap(&self, _region: RegionId) -> bool {
+        matches!(self.mutant, Mutant::CompactionDropsMutableTail)
     }
 
     fn tear_wal(&self, region: RegionId, encoded: &mut Vec<u8>) {
@@ -184,6 +193,69 @@ fn mutant_gap_tolerant_follower_is_detected_within_budget() {
     assert!(
         outcome.stats.ship_drops > 0,
         "seed {seed}: detection must come from an in-transit ship loss"
+    );
+}
+
+/// Block-sealing sim shape for the mutant-E budget: compactions run every
+/// few steps and the workload writes a slice of timestamps late, so every
+/// re-seal faces raw cells overlapping an existing block.
+fn block_sim() -> SimConfig {
+    SimConfig {
+        block_compaction: true,
+        ..test_sim()
+    }
+}
+
+#[test]
+fn mutant_compaction_dropping_mutable_tail_is_detected_within_budget() {
+    let config = block_sim();
+    let found = (0..SEED_BUDGET)
+        .map(|seed| {
+            (
+                seed,
+                run_with_mutant_gen(seed, Mutant::CompactionDropsMutableTail, &config, &generate),
+            )
+        })
+        .find(|(_, outcome)| !outcome.violations.is_empty());
+    let (seed, outcome) = found.expect("mutant E never detected");
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::AckedDataLost { .. })),
+        "seed {seed}: expected acked late writes to vanish, got {:?}",
+        outcome.violations
+    );
+    assert!(
+        outcome.stats.late_fills > 0,
+        "seed {seed}: detection must come from a late mutable-tail write"
+    );
+}
+
+/// The faithful sealing compactor survives the exact sim shape used to
+/// corner mutant E: every late fill is merged into the re-sealed block
+/// (raw wins ties), so no acked write is ever lost to compaction.
+#[test]
+fn faithful_stack_survives_block_compaction_campaign() {
+    let report = run_campaign(&CampaignConfig {
+        seeds: 6,
+        sim: block_sim(),
+        ..CampaignConfig::default()
+    });
+    assert!(
+        report.passed(),
+        "faithful sealing compactor violated oracles: {:?}",
+        report.failures
+    );
+    assert!(
+        report.totals.compactions > 0,
+        "campaign never compacted: {:?}",
+        report.totals
+    );
+    assert!(
+        report.totals.late_fills > 0,
+        "campaign never exercised the mutable-tail overlap: {:?}",
+        report.totals
     );
 }
 

@@ -24,8 +24,9 @@
 //!   surviving data are identical with and without faults
 //!   ([`run_with_baseline`]).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -42,7 +43,9 @@ use pga_minibase::{
 use pga_query::rollup::{self, RollupCell, RollupWriter};
 use pga_stats::distributions::normal_cdf;
 use pga_stats::multiple::Procedure;
-use pga_tsdb::{BatchPoint, KeyCodec, KeyCodecConfig, QueryFilter, Tsd, TsdConfig, UidTable};
+use pga_tsdb::{
+    BatchPoint, BlockRewriter, KeyCodec, KeyCodecConfig, QueryFilter, Tsd, TsdConfig, UidTable,
+};
 
 use crate::plane::SimFaultPlane;
 use crate::schedule::{format_schedule, FaultOp, ScheduledFault};
@@ -55,6 +58,16 @@ pub const WORKLOAD_STREAM: u64 = 0x17f2_9c8b_e5d0_4a31;
 /// every minute of workload time, so crash schedules reliably catch
 /// sealed cells mid-flight.
 pub const ROLLUP_TIER: u64 = 60;
+
+/// Row span (seconds) used when [`SimConfig::block_compaction`] is on —
+/// short enough that rows fill, fall behind the seal watermark, and get
+/// sealed into columnar blocks several times per run. The rollup tier
+/// shrinks to match (it must divide the row span).
+pub const SIM_ROW_SPAN: u64 = 20;
+
+/// With block compaction on, storage is major-compacted (running the
+/// sealing rewriter) every this many workload steps.
+const COMPACT_EVERY_STEPS: u32 = 8;
 
 /// Simulation shape. The defaults run one seed in well under a second.
 #[derive(Debug, Clone, Copy)]
@@ -90,6 +103,14 @@ pub struct SimConfig {
     /// primary crash is survived by promoting the most-caught-up
     /// follower, and the replication oracles run after the drain.
     pub replication_factor: usize,
+    /// Install the columnar block-sealing compaction rewriter and run
+    /// periodic major compactions through it. The workload then also
+    /// deliberately skips a slice of timestamps and writes them *late* —
+    /// after their row has sealed — so every later compaction faces the
+    /// sealed-block/mutable-tail overlap the rewriter must merge (and
+    /// mutant E drops). `false` keeps traces byte-identical to
+    /// pre-blocks builds.
+    pub block_compaction: bool,
 }
 
 impl Default for SimConfig {
@@ -106,6 +127,7 @@ impl Default for SimConfig {
             max_write_attempts: 40,
             rollups: true,
             replication_factor: 1,
+            block_compaction: false,
         }
     }
 }
@@ -266,6 +288,12 @@ pub struct SimStats {
     /// Replication ships dropped in transit while the follower stayed
     /// live (the contiguity/backfill path's trigger).
     pub ship_drops: u64,
+    /// Major compactions run through the block-sealing rewriter.
+    pub compactions: u64,
+    /// Workload samples written late, into rows that may already hold a
+    /// sealed block — the mutable-tail overlap the compaction oracle
+    /// depends on actually occurring.
+    pub late_fills: u64,
 }
 
 impl SimStats {
@@ -294,6 +322,8 @@ impl SimStats {
         self.replica_checks += other.replica_checks;
         self.fence_rejections += other.fence_rejections;
         self.ship_drops += other.ship_drops;
+        self.compactions += other.compactions;
+        self.late_fills += other.late_fills;
     }
 
     /// Total faults injected (any kind).
@@ -330,6 +360,17 @@ pub struct SimOutcome {
 
 type SeriesKey = (u32, u32);
 
+/// The rollup tier for a sim shape: [`ROLLUP_TIER`] normally, shrunk to
+/// the short row span in block-compaction mode (a tier must divide the
+/// row span it is stored under).
+fn rollup_tier(config: &SimConfig) -> u64 {
+    if config.block_compaction {
+        SIM_ROW_SPAN
+    } else {
+        ROLLUP_TIER
+    }
+}
+
 struct Driver<'a> {
     config: &'a SimConfig,
     plane: Arc<SimFaultPlane>,
@@ -359,6 +400,13 @@ struct Driver<'a> {
     /// Series that had a `WriteNeverAcked` batch — their stores may hold
     /// unacked samples, so they are excluded from exactness checks.
     tainted: BTreeSet<SeriesKey>,
+    /// The block-sealing rewriter (installed on the master), holding the
+    /// seal watermark the driver advances on each ack. `None` when
+    /// [`SimConfig::block_compaction`] is off.
+    block_rewriter: Option<Arc<BlockRewriter>>,
+    /// Timestamps skipped by the workload, to be written late — after
+    /// the row they fall in has sealed.
+    holes: VecDeque<u64>,
     /// Master failovers already reflected in post-failover scan checks.
     failovers_seen: u64,
     events: Vec<String>,
@@ -378,10 +426,15 @@ impl<'a> Driver<'a> {
         wrap: &dyn Fn(Arc<SimFaultPlane>) -> FaultHandle,
     ) -> Self {
         let plane = Arc::new(SimFaultPlane::new(seed));
+        let row_span_secs = if config.block_compaction {
+            SIM_ROW_SPAN
+        } else {
+            3600
+        };
         let codec = KeyCodec::new(
             KeyCodecConfig {
                 salt_buckets: config.salt_buckets,
-                row_span_secs: 3600,
+                row_span_secs,
             },
             UidTable::new(),
         );
@@ -398,6 +451,18 @@ impl<'a> Driver<'a> {
         } else {
             master.create_table(&desc);
         }
+        // The driver advances the watermark itself from its ack ledger —
+        // the exact "acked to the caller" frontier the oracles check — so
+        // sealing decisions are identical no matter which daemon served a
+        // write.
+        let block_rewriter = config.block_compaction.then(|| {
+            let rewriter = Arc::new(BlockRewriter::new(
+                row_span_secs,
+                Arc::new(AtomicU64::new(0)),
+            ));
+            master.set_compaction_rewriter(rewriter.clone());
+            rewriter
+        });
         let tsds: Vec<Arc<Tsd>> = (0..config.nodes)
             .map(|_| {
                 Arc::new(Tsd::new(
@@ -411,10 +476,11 @@ impl<'a> Driver<'a> {
             // Every daemon maintains the serving-layer pre-aggregates on
             // its own put path, exactly like production: distinct writer
             // ids keep concurrently sealed cells distinguishable at read.
+            let tier = rollup_tier(config);
             for (i, tsd) in tsds.iter().enumerate() {
                 tsd.set_observer(Arc::new(RollupWriter::new(
                     codec.clone(),
-                    vec![ROLLUP_TIER],
+                    vec![tier],
                     i as u8,
                 )));
             }
@@ -436,6 +502,8 @@ impl<'a> Driver<'a> {
             slow: BTreeMap::new(),
             expected: BTreeMap::new(),
             tainted: BTreeSet::new(),
+            block_rewriter,
+            holes: VecDeque::new(),
             failovers_seen: 0,
             events: Vec::new(),
             violations: Vec::new(),
@@ -780,6 +848,30 @@ impl<'a> Driver<'a> {
         self.violations.extend(found);
     }
 
+    /// Next workload timestamp. With block compaction on, a slice of
+    /// timestamps is skipped when first reached and written only once
+    /// they are at least two row spans stale — by then their row has
+    /// sealed, so the write lands as a mutable-tail overlap on a block.
+    fn draw_ts(&mut self) -> u64 {
+        if self.block_rewriter.is_some() {
+            let ripe = self
+                .holes
+                .front()
+                .is_some_and(|&h| h + 2 * SIM_ROW_SPAN <= self.next_ts);
+            if ripe && self.wl.gen_range(0..3u32) == 0 {
+                self.stats.late_fills += 1;
+                return self.holes.pop_front().unwrap();
+            }
+            if self.wl.gen_range(0..5u32) == 0 {
+                self.holes.push_back(self.next_ts);
+                self.next_ts += 1;
+            }
+        }
+        let ts = self.next_ts;
+        self.next_ts += 1;
+        ts
+    }
+
     /// Generate this step's batch from the workload stream and forward it
     /// with retries, advancing simulated time between failed attempts.
     fn step_workload(&mut self, step: u32) {
@@ -788,8 +880,7 @@ impl<'a> Driver<'a> {
             .map(|_| {
                 let unit = self.wl.gen_range(0..self.config.units.max(1));
                 let sensor = self.wl.gen_range(0..self.config.sensors.max(1));
-                let ts = self.next_ts;
-                self.next_ts += 1;
+                let ts = self.draw_ts();
                 let noise: f64 = self.wl.gen_range(-1.0..1.0);
                 let value = (unit * 10 + sensor) as f64 + noise;
                 (unit, sensor, ts, value)
@@ -856,6 +947,11 @@ impl<'a> Driver<'a> {
                 for &(u, s, ts, value) in &batch {
                     self.expected.entry((u, s)).or_default().insert(ts, value);
                 }
+                if let Some(rewriter) = &self.block_rewriter {
+                    if let Some(max_ts) = batch.iter().map(|&(_, _, ts, _)| ts).max() {
+                        rewriter.advance(max_ts);
+                    }
+                }
                 return;
             }
             self.stats.retries += 1;
@@ -878,6 +974,31 @@ impl<'a> Driver<'a> {
                 self.config.max_write_attempts
             ),
         });
+    }
+
+    /// Major-compact all storage through a surviving daemon, running the
+    /// installed block-sealing rewriter. Best-effort: a compaction that
+    /// races a crashed region logs and moves on — the authoritative
+    /// checks still run over whatever state results.
+    fn compact_storage(&mut self, context: &str) {
+        let Some(tsd) = self.healthy_tsd().cloned() else {
+            return;
+        };
+        let now = self.now_ms;
+        match tsd.compact_now() {
+            Ok(()) => {
+                self.stats.compactions += 1;
+                let watermark = self
+                    .block_rewriter
+                    .as_ref()
+                    .map(|r| r.watermark())
+                    .unwrap_or(0);
+                self.log(format!(
+                    "t={now} {context} compaction ran (seal watermark {watermark})"
+                ));
+            }
+            Err(e) => self.log(format!("t={now} {context} compaction failed ({e})")),
+        }
     }
 
     /// Post-drain authoritative oracle pass. Returns the stored points per
@@ -935,11 +1056,12 @@ impl<'a> Driver<'a> {
         let Some(tsd) = self.healthy_tsd().cloned() else {
             return;
         };
+        let tier = rollup_tier(self.config);
         let codec = tsd.codec().clone();
-        let shadow = rollup::tier_metric(ROLLUP_TIER, "energy");
+        let shadow = rollup::tier_metric(tier, "energy");
         let mut cells = Vec::new();
         for salt in codec.salt_range() {
-            let (s, e) = codec.scan_range(salt, &shadow, 0, self.next_ts + ROLLUP_TIER);
+            let (s, e) = codec.scan_range(salt, &shadow, 0, self.next_ts + tier);
             if s.is_empty() && e.is_empty() {
                 // The tier metric was never interned: no cell ever sealed.
                 return;
@@ -959,7 +1081,7 @@ impl<'a> Driver<'a> {
         cells.sort();
         cells.dedup_by(|a, b| a.row == b.row && a.qualifier == b.qualifier);
         for kv in &cells {
-            match rollup::decode_cell(&codec, ROLLUP_TIER, kv) {
+            match rollup::decode_cell(&codec, tier, kv) {
                 Some(cell) => {
                     self.stats.rollup_cells += 1;
                     self.check_rollup_cell(&cell);
@@ -1067,7 +1189,7 @@ impl<'a> Driver<'a> {
         };
         let key = (unit, sensor);
         let label = series_label(key);
-        let seconds: Vec<u64> = (0..ROLLUP_TIER)
+        let seconds: Vec<u64> = (0..rollup_tier(self.config))
             .filter(|s| cell.bitmap[(s / 8) as usize] & (1 << (s % 8)) != 0)
             .map(|s| cell.bucket + s)
             .collect();
@@ -1172,6 +1294,9 @@ pub(crate) fn run_inner(
         if config.replication_factor > 1 {
             driver.post_failover_check();
         }
+        if config.block_compaction && (step + 1) % COMPACT_EVERY_STEPS == 0 {
+            driver.compact_storage("scheduled");
+        }
     }
     // Drain: enough quiet steps for every pending lease expiry and
     // reassignment to complete before the authoritative checks.
@@ -1194,6 +1319,11 @@ pub(crate) fn run_inner(
                 driver.stats.batches_generated, driver.stats.batches_acked
             ),
         });
+    }
+    if config.block_compaction {
+        // One final seal so the authoritative scans read through blocks,
+        // not around them.
+        driver.compact_storage("post-drain");
     }
     if config.rollups {
         // Before the raw checks, so the flush puts are also covered by
@@ -1383,6 +1513,62 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.stats.failovers, 0);
         assert_eq!(a.stats.replica_checks, 0);
+    }
+
+    /// The compaction oracle: with block sealing and late mutable-tail
+    /// fills on, a region-server crash mid-run must not lose a single
+    /// acked sample — sealed blocks persist in store files, the unflushed
+    /// tail replays from the WAL, and late fills survive the re-seal.
+    #[test]
+    fn sealed_blocks_survive_crashes_without_losing_acked_data() {
+        let config = SimConfig {
+            block_compaction: true,
+            ..SimConfig::default()
+        };
+        let schedule = parse_schedule("30:crash:1").unwrap();
+        let outcome = run(7, &schedule, &config);
+        assert_eq!(outcome.violations, vec![], "events: {:#?}", outcome.events);
+        assert!(
+            outcome.stats.compactions >= 2,
+            "sealing never ran: {:?}",
+            outcome.stats
+        );
+        assert!(
+            outcome.stats.late_fills > 0,
+            "no mutable-tail overlap was exercised: {:?}",
+            outcome.stats
+        );
+    }
+
+    /// Torn-WAL crash interleaved with sealing compactions: the torn tail
+    /// is discarded, the durable prefix replays, and the next compaction
+    /// re-seals over the recovered cells without corrupting anything.
+    #[test]
+    fn torn_crash_between_seals_keeps_blocks_consistent() {
+        let config = SimConfig {
+            block_compaction: true,
+            ..SimConfig::default()
+        };
+        let schedule = parse_schedule("18:tear:2,26:move:1:0").unwrap();
+        let outcome = run(11, &schedule, &config);
+        assert_eq!(outcome.violations, vec![], "events: {:#?}", outcome.events);
+        assert_eq!(outcome.stats.torn_crashes, 1);
+        assert!(outcome.stats.compactions >= 2);
+    }
+
+    /// Block compaction replays byte-for-byte: sealing, late fills and
+    /// the workload all draw from seeded streams only.
+    #[test]
+    fn block_compaction_replays_deterministically() {
+        let config = SimConfig {
+            block_compaction: true,
+            ..SimConfig::default()
+        };
+        let schedule = parse_schedule("10:crash:2,20:split:1").unwrap();
+        let a = run(13, &schedule, &config);
+        let b = run(13, &schedule, &config);
+        assert_eq!(a, b);
+        assert!(a.stats.late_fills > 0);
     }
 
     /// A raw-only stack (no serving layer) is still a supported shape.

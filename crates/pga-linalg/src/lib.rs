@@ -6,9 +6,15 @@
 //! authors used Spark MLlib's distributed matrix routines; this crate
 //! provides the equivalent dense kernels from scratch:
 //!
-//! * [`Matrix`] — a row-major dense `f64` matrix with the usual algebra,
-//!   including a cache-blocked, [rayon]-parallel multiply.
-//! * [`covariance_matrix`] — sample covariance of an observation matrix.
+//! * [`Matrix`] — a row-major dense `f64` matrix with the usual algebra;
+//!   the multiply is cache-tiled over all three loop dimensions (serial
+//!   and [rayon]-parallel variants share one band kernel and agree
+//!   bit-for-bit), with a textbook [`Matrix::naive_matmul`] kept as the
+//!   differential baseline.
+//! * [`covariance_matrix`] — sample covariance of an observation matrix,
+//!   computed as a cache-tiled Gram update over column tiles;
+//!   [`covariance_naive`] is the unblocked reference it is verified
+//!   against.
 //! * [`eigh`] — cyclic Jacobi eigendecomposition of symmetric matrices.
 //! * [`svd`] — one-sided Jacobi SVD built on the same rotations.
 //! * [`CholeskyFactor`] — Cholesky factorisation, used by the data
@@ -30,7 +36,9 @@ mod vector;
 pub use cholesky::{equicorrelation, CholeskyError, CholeskyFactor};
 pub use eig::{eigh, EigResult, JacobiOptions};
 pub use matrix::Matrix;
-pub use stat::{column_means, column_variances, covariance_matrix, standardize_columns};
+pub use stat::{
+    column_means, column_variances, covariance_matrix, covariance_naive, standardize_columns,
+};
 pub use svd::{svd, SvdResult};
 pub use vector::{axpy, dot, norm2, scale};
 

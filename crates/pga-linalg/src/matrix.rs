@@ -212,8 +212,72 @@ impl Matrix {
             .collect())
     }
 
-    /// Serial matrix multiply `self * other` with an ikj loop order so the
-    /// innermost loop streams both operand rows.
+    /// Textbook triple-loop multiply (ijk, dot-product inner loop).
+    ///
+    /// Deliberately unoptimised: this is the differential baseline the
+    /// tiled kernels are verified against (within `1e-9` elementwise),
+    /// kept simple enough to audit by eye.
+    pub fn naive_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "naive_matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for j in 0..other.cols {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.get(i, k) * other.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The cache-tiled multiply kernel over one horizontal band of the
+    /// output: rows `i0..i0+out_rows.len()/n` of `self * other`.
+    ///
+    /// Loop order is `k0 → i → k → j-tile`: the `k`-tile of `other` (at
+    /// most `BLOCK` rows) is streamed repeatedly while resident in cache,
+    /// and each inner `axpy` runs over a contiguous `j`-tile of both the
+    /// output row and `other`'s row, so the working set per iteration is
+    /// three `BLOCK`-length slices — sized for L1.
+    fn matmul_band(&self, other: &Matrix, i0: usize, out_rows: &mut [f64]) {
+        let n = other.cols;
+        let band = out_rows.len() / n.max(1);
+        let mut k0 = 0;
+        while k0 < self.cols {
+            let k1 = (k0 + BLOCK).min(self.cols);
+            for bi in 0..band {
+                let a_row = self.row(i0 + bi);
+                let out_row = &mut out_rows[bi * n..(bi + 1) * n];
+                for (k, &aik) in a_row.iter().enumerate().take(k1).skip(k0) {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    let mut j0 = 0;
+                    while j0 < n {
+                        let j1 = (j0 + BLOCK).min(n);
+                        crate::vector::axpy(aik, &b_row[j0..j1], &mut out_row[j0..j1]);
+                        j0 = j1;
+                    }
+                }
+            }
+            k0 = k1;
+        }
+    }
+
+    /// Serial cache-tiled matrix multiply `self * other`.
+    ///
+    /// One band of `BLOCK` output rows at a time through
+    /// [`Matrix::matmul_band`] — identical arithmetic to [`Matrix::par_matmul`]
+    /// modulo thread scheduling (each output element's summation order is
+    /// the same, so the two agree bit-for-bit).
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -222,27 +286,20 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                crate::vector::axpy(aik, b_row, out_row);
-            }
+        let n = other.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        for (band, chunk) in out.data.chunks_mut(BLOCK * n.max(1)).enumerate() {
+            self.matmul_band(other, band * BLOCK, chunk);
         }
         Ok(out)
     }
 
-    /// Cache-blocked, rayon-parallel matrix multiply.
+    /// Cache-tiled, rayon-parallel matrix multiply.
     ///
-    /// Row blocks of the output are independent, so they are farmed out with
-    /// `par_chunks_mut`; within a block the kernel is the same ikj order as
-    /// [`Matrix::matmul`], tiled over `k` to keep the working set of `other`
-    /// resident in L1/L2.
+    /// Bands of `BLOCK` output rows are independent, so they are farmed
+    /// out with `par_chunks_mut`; within a band the kernel is the tiled
+    /// [`Matrix::matmul_band`], so results are bit-identical to the serial
+    /// [`Matrix::matmul`].
     pub fn par_matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -254,21 +311,10 @@ impl Matrix {
         let n = other.cols;
         let mut out = Matrix::zeros(self.rows, n);
         out.data
-            .par_chunks_mut(n)
+            .par_chunks_mut(BLOCK * n.max(1))
             .enumerate()
-            .for_each(|(i, out_row)| {
-                let a_row = self.row(i);
-                let mut k0 = 0;
-                while k0 < self.cols {
-                    let k1 = (k0 + BLOCK).min(self.cols);
-                    for (k, &aik) in a_row.iter().enumerate().take(k1).skip(k0) {
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        crate::vector::axpy(aik, other.row(k), out_row);
-                    }
-                    k0 = k1;
-                }
+            .for_each(|(band, chunk)| {
+                self.matmul_band(other, band * BLOCK, chunk);
             });
         Ok(out)
     }
@@ -345,27 +391,76 @@ mod tests {
         assert_eq!(c, expected);
     }
 
-    #[test]
-    fn par_matmul_matches_serial() {
-        let mut a = Matrix::zeros(37, 53);
-        let mut b = Matrix::zeros(53, 29);
-        // Deterministic pseudo-random fill without pulling in rand here.
-        let mut x = 1u64;
-        let mut next = || {
-            x = x
+    /// Deterministic pseudo-random fill without pulling in rand here.
+    fn fill(m: &mut Matrix, seed: &mut u64) {
+        for v in &mut m.data {
+            *seed = seed
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            ((x >> 33) as f64) / (u32::MAX as f64) - 0.5
-        };
-        for v in &mut a.data {
-            *v = next();
+            *v = ((*seed >> 33) as f64) / (u32::MAX as f64) - 0.5;
         }
-        for v in &mut b.data {
-            *v = next();
+    }
+
+    #[test]
+    fn par_matmul_is_bit_identical_to_serial() {
+        let mut seed = 1u64;
+        // Sizes straddling the BLOCK boundary in every dimension.
+        for (m, k, n) in [(37, 53, 29), (64, 64, 64), (65, 130, 67), (1, 200, 1)] {
+            let mut a = Matrix::zeros(m, k);
+            let mut b = Matrix::zeros(k, n);
+            fill(&mut a, &mut seed);
+            fill(&mut b, &mut seed);
+            let serial = a.matmul(&b).unwrap();
+            let parallel = a.par_matmul(&b).unwrap();
+            assert_eq!(serial, parallel, "{m}x{k}x{n}: same kernel, same bits");
         }
-        let serial = a.matmul(&b).unwrap();
-        let parallel = a.par_matmul(&b).unwrap();
-        assert!(serial.max_abs_diff(&parallel).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn tiled_matmul_matches_naive_reference() {
+        let mut seed = 7u64;
+        for (m, k, n) in [(37, 53, 29), (70, 64, 70), (128, 100, 3)] {
+            let mut a = Matrix::zeros(m, k);
+            let mut b = Matrix::zeros(k, n);
+            fill(&mut a, &mut seed);
+            fill(&mut b, &mut seed);
+            let naive = a.naive_matmul(&b).unwrap();
+            let tiled = a.matmul(&b).unwrap();
+            assert!(naive.max_abs_diff(&tiled).unwrap() < 1e-9, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_matches_naive_on_ill_conditioned_input() {
+        // Hilbert-like matrix times its transpose: wildly varying element
+        // magnitudes stress summation-order differences.
+        let p = 70;
+        let mut h = Matrix::zeros(p, p);
+        for i in 0..p {
+            for j in 0..p {
+                h.set(
+                    i,
+                    j,
+                    1.0 / (i + j + 1) as f64 * if (i + j) % 2 == 0 { 1e6 } else { 1e-6 },
+                );
+            }
+        }
+        let ht = h.transpose();
+        let naive = h.naive_matmul(&ht).unwrap();
+        let tiled = h.matmul(&ht).unwrap();
+        let scale = naive.frobenius_norm().max(1.0);
+        assert!(naive.max_abs_diff(&tiled).unwrap() / scale < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_shapes_multiply_cleanly() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        assert_eq!(a.matmul(&b).unwrap(), Matrix::zeros(3, 4));
+        assert_eq!(a.par_matmul(&b).unwrap(), Matrix::zeros(3, 4));
+        let e = Matrix::zeros(0, 5);
+        let f = Matrix::zeros(5, 0);
+        assert_eq!(e.matmul(&f).unwrap(), Matrix::zeros(0, 0));
     }
 
     #[test]

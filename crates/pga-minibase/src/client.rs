@@ -673,6 +673,25 @@ impl Client {
         }
         Ok(())
     }
+
+    /// Flush then major-compact every region — with a compaction rewriter
+    /// installed this is what seals finished rows into columnar blocks.
+    pub fn compact_all(&self) -> Result<(), ClientError> {
+        let infos: Vec<_> = self.directory.read().clone();
+        for info in infos {
+            if let Some(handle) = self.handles.get(&info.server) {
+                match handle.call(Request::Flush { region: info.id }) {
+                    Ok(_) => {}
+                    Err(e) => return Err(ClientError::Rpc(e)),
+                }
+                match handle.call(Request::Compact { region: info.id }) {
+                    Ok(_) => {}
+                    Err(e) => return Err(ClientError::Rpc(e)),
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

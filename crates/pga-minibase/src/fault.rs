@@ -25,6 +25,10 @@
 //!   missing batch, leaving a hole in its WAL (seeded mutant D: the
 //!   gapped follower reports the highest applied sequence and would be
 //!   promoted over replicas that actually hold every acked write).
+//! * [`FaultPlane::drop_sealed_overlap`] — the compaction rewriter drops
+//!   raw cells overlapping an already-sealed block instead of merging
+//!   them (seeded mutant E: late-arriving points vanish at the next
+//!   compaction).
 
 use std::sync::Arc;
 
@@ -83,6 +87,14 @@ pub trait FaultPlane: Send + Sync + std::fmt::Debug {
     fn allow_ship_gap(&self, _region: RegionId) -> bool {
         false
     }
+
+    /// When `true`, the compaction rewriter drops raw cells that overlap
+    /// an existing sealed block instead of merging them — the "the block
+    /// is already complete" bug that silently loses late-arriving points
+    /// (deliberately broken compaction — mutant E).
+    fn drop_sealed_overlap(&self, _region: RegionId) -> bool {
+        false
+    }
 }
 
 /// The faithful plane: every hook is a no-op.
@@ -112,5 +124,6 @@ mod tests {
         assert_eq!(plane.skew_ms(NodeId(0), 42), 42);
         assert!(!plane.drop_ship(RegionId(1)));
         assert!(!plane.allow_ship_gap(RegionId(1)));
+        assert!(!plane.drop_sealed_overlap(RegionId(1)));
     }
 }

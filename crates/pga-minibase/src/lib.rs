@@ -13,6 +13,9 @@
 //! * [`scanner`] — k-way merge scans across the memstore and store files.
 //! * [`region`] — a contiguous row range: WAL + memstore + store files,
 //!   with flush, compaction and midpoint splits.
+//! * [`rewrite`] — pluggable compaction rewriters (HBase-coprocessor
+//!   style); `pga-tsdb` uses this to seal finished rows into columnar
+//!   blocks.
 //! * [`server`] — a region server: an RPC thread (bounded queue, crash
 //!   semantics from [`pga_cluster::rpc`]) serving puts/scans over the
 //!   regions assigned to it.
@@ -34,6 +37,7 @@ pub mod kv;
 pub mod master;
 pub mod memstore;
 pub mod region;
+pub mod rewrite;
 pub mod scanner;
 pub mod server;
 pub mod storefile;
@@ -48,6 +52,7 @@ pub use kv::{KeyValue, RowRange};
 pub use master::{Master, RegionInfo, TableDescriptor};
 pub use memstore::MemStore;
 pub use region::{Region, RegionConfig, RegionId};
+pub use rewrite::{CompactionRewriter, RewriteContext, RewriterHandle};
 pub use scanner::merge_scan;
 pub use server::{request_class, RegionServer, Request, Response, ServerConfig};
 pub use storefile::StoreFile;

@@ -131,6 +131,9 @@ pub struct Master {
     coordinator: Coordinator,
     next_region: u64,
     fault: FaultHandle,
+    /// Optional compaction rewriter installed on every region (existing
+    /// and future), mirroring the fault-plane propagation.
+    rewriter: Option<crate::rewrite::RewriterHandle>,
     /// Copies per region the master maintains (1 = unreplicated). Set by
     /// [`Master::create_replicated_table`]; re-replication after a
     /// failover restores this factor when spare nodes exist.
@@ -177,6 +180,7 @@ impl Master {
             coordinator,
             next_region: 0,
             fault: no_faults(),
+            rewriter: None,
             desired_factor: 1,
             repl_rr: 0,
             failovers: 0,
@@ -191,6 +195,16 @@ impl Master {
         self.fault = fault.clone();
         for server in self.servers.values() {
             server.set_fault_plane(fault.clone());
+        }
+    }
+
+    /// Install a compaction rewriter on every hosted region; regions
+    /// created or split later inherit it, mirroring
+    /// [`Master::set_fault_plane`].
+    pub fn set_compaction_rewriter(&mut self, rewriter: crate::rewrite::RewriterHandle) {
+        self.rewriter = Some(rewriter.clone());
+        for server in self.servers.values() {
+            server.set_compaction_rewriter(rewriter.clone());
         }
     }
 
@@ -225,6 +239,9 @@ impl Master {
             };
             let mut region = Region::new(id, range.clone(), desc.region_config);
             region.set_fault_plane(self.fault.clone());
+            if let Some(rewriter) = &self.rewriter {
+                region.set_compaction_rewriter(rewriter.clone());
+            }
             // pga-allow(panic-path): node is drawn from servers.keys(), so the entry exists
             self.servers[&node].assign(region);
             dir.push(RegionInfo {

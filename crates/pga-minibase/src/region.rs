@@ -15,6 +15,7 @@ use pga_repl::{Epoch, ReplicaRole, ShipOutcome};
 use crate::fault::{no_faults, FaultHandle};
 use crate::kv::{KeyValue, RowRange};
 use crate::memstore::MemStore;
+use crate::rewrite::{RewriteContext, RewriterHandle};
 use crate::scanner::merge_scan;
 use crate::storefile::StoreFile;
 use crate::wal::{SequenceId, WriteAheadLog};
@@ -64,6 +65,10 @@ pub struct RegionMetrics {
     pub compactions: u64,
     /// Cells rewritten by compactions.
     pub compacted_cells: u64,
+    /// Rows whose cells a [`crate::rewrite::CompactionRewriter`] replaced
+    /// (e.g. sealed into columnar blocks).
+    #[serde(default)]
+    pub rewritten_rows: u64,
 }
 
 /// One region of the table.
@@ -78,6 +83,9 @@ pub struct Region {
     next_file_seq: u64,
     metrics: RegionMetrics,
     fault: FaultHandle,
+    /// Optional compaction rewriter; consulted per row during
+    /// [`Region::compact`].
+    rewriter: Option<RewriterHandle>,
     /// Replication-group generation; writes and ships stamped with any
     /// other epoch are rejected (fencing). Starts at 1 so epoch 0 can
     /// never match.
@@ -123,6 +131,7 @@ impl Region {
             next_file_seq: 1,
             metrics: RegionMetrics::default(),
             fault: no_faults(),
+            rewriter: None,
             epoch: 1,
             role: ReplicaRole::Primary,
         }
@@ -132,6 +141,18 @@ impl Region {
     /// the faithful no-op plane). Split daughters inherit the handle.
     pub fn set_fault_plane(&mut self, fault: FaultHandle) {
         self.fault = fault;
+    }
+
+    /// Install a compaction rewriter; subsequent compactions offer every
+    /// row of their merged output to it. Split daughters and forked
+    /// followers inherit the handle.
+    pub fn set_compaction_rewriter(&mut self, rewriter: RewriterHandle) {
+        self.rewriter = Some(rewriter);
+    }
+
+    /// Whether a compaction rewriter is installed.
+    pub fn has_compaction_rewriter(&self) -> bool {
+        self.rewriter.is_some()
     }
 
     /// Region id.
@@ -295,6 +316,7 @@ impl Region {
             next_file_seq: 2,
             metrics: RegionMetrics::default(),
             fault: self.fault.clone(),
+            rewriter: self.rewriter.clone(),
             epoch: self.epoch,
             role: ReplicaRole::Follower,
         }
@@ -316,9 +338,12 @@ impl Region {
         }
     }
 
-    /// Merge every store file into one (major compaction).
+    /// Merge every store file into one (major compaction). With a
+    /// [`crate::rewrite::CompactionRewriter`] installed, every row of the
+    /// merged output is offered to it — even a single-file compaction is
+    /// worthwhile then, because the rewriter may seal rows.
     pub fn compact(&mut self) {
-        if self.files.len() <= 1 {
+        if self.files.is_empty() || (self.files.len() <= 1 && self.rewriter.is_none()) {
             return;
         }
         let priorities: Vec<u64> = self.files.iter().map(|f| f.sequence()).collect();
@@ -344,6 +369,42 @@ impl Region {
                 }
                 kept <= self.config.max_versions
             });
+        }
+        if let Some(rewriter) = self.rewriter.clone() {
+            let drop_sealed_overlap = self.fault.drop_sealed_overlap(self.id);
+            let mut rewritten: Vec<KeyValue> = Vec::with_capacity(merged.len());
+            let mut changed = false;
+            let mut i = 0;
+            while i < merged.len() {
+                let Some(row) = merged.get(i).map(|kv| kv.row.clone()) else {
+                    break;
+                };
+                let mut j = i;
+                while merged.get(j).map(|kv| &kv.row) == Some(&row) {
+                    j += 1;
+                }
+                let group = merged.get(i..j).unwrap_or(&[]);
+                let ctx = RewriteContext {
+                    region: self.id,
+                    row: &row,
+                    drop_sealed_overlap,
+                };
+                match rewriter.rewrite_row(&ctx, group) {
+                    Some(replacement) => {
+                        changed = true;
+                        self.metrics.rewritten_rows += 1;
+                        rewritten.extend(replacement);
+                    }
+                    None => rewritten.extend_from_slice(group),
+                }
+                i = j;
+            }
+            if changed {
+                // Rewriters emit qualifiers in their own order; restore
+                // the global sort before building the store file.
+                rewritten.sort();
+                merged = rewritten;
+            }
         }
         self.metrics.compacted_cells += merged.len() as u64;
         self.metrics.compactions += 1;
@@ -411,6 +472,8 @@ impl Region {
         let mut right = Region::new(right_id, right_range, self.config);
         left.fault = self.fault.clone();
         right.fault = self.fault.clone();
+        left.rewriter = self.rewriter.clone();
+        right.rewriter = self.rewriter.clone();
         let (l_cells, r_cells): (Vec<KeyValue>, Vec<KeyValue>) =
             all.into_iter().partition(|kv| kv.row < mid_row);
         left.files = vec![StoreFile::from_sorted(l_cells, 1)];
@@ -486,6 +549,7 @@ impl Region {
             next_file_seq,
             metrics: RegionMetrics::default(),
             fault: no_faults(),
+            rewriter: None,
             epoch: 1,
             role: ReplicaRole::Primary,
         };

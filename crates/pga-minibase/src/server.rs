@@ -267,6 +267,16 @@ impl RegionServer {
         }
     }
 
+    /// Install a compaction rewriter on every currently hosted region
+    /// (regions assigned later inherit through the master, mirroring
+    /// [`RegionServer::set_fault_plane`]).
+    pub fn set_compaction_rewriter(&self, rewriter: crate::rewrite::RewriterHandle) {
+        let mut map = self.regions.write();
+        for region in map.values_mut() {
+            region.set_compaction_rewriter(rewriter.clone());
+        }
+    }
+
     /// Last durable WAL sequence of a hosted copy of `id`, or `None`
     /// when not hosted. The master's failover sweep reads this directly
     /// (in-process) to pick the most-caught-up surviving follower.

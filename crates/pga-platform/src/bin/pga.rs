@@ -78,6 +78,13 @@ fn usage() -> ! {
                       10x bar holds\n\
                       (--mode quick|full --nodes N --tsds N --units N\n\
                        --sensors N --history S --queries N --seed N)\n\
+           blocks     E21 sealed-block showdown: columnar block scans +\n\
+                      batched columnar detection vs the legacy\n\
+                      cell-by-cell decode + row-major loop; fails unless\n\
+                      answers match byte-for-byte, verdicts are\n\
+                      bit-identical, and both 10x bars hold\n\
+                      (--mode quick|full --nodes N --units N --sensors N\n\
+                       --history S --row-span S --seed N [--smoke])\n\
          \n\
          experiment reproduction lives in the bench crate:\n\
            cargo run --release -p pga-bench --bin report_all"
@@ -701,6 +708,88 @@ fn cmd_queries(map: &HashMap<String, String>) {
     }
 }
 
+/// Reproduce E21 from the CLI: seal the ingested history into columnar
+/// blocks and race the block-path scan + columnar batch detector against
+/// the legacy cell-by-cell decode + row-major loop, storage to verdict.
+/// Exits non-zero unless block answers equal legacy answers byte-for-byte
+/// (before and after sealing), batched verdicts are bit-identical to the
+/// row-major evaluator's, and both speedups clear the 10x bar. With
+/// `--smoke`, also writes `target/experiments/BENCH_blocks.json`.
+fn cmd_blocks(map: &HashMap<String, String>, smoke: bool) {
+    use pga_bench::{block_format_experiment, render_table, BlockBenchConfig};
+
+    let base = if map.get("mode").map(String::as_str) == Some("full") {
+        BlockBenchConfig::full()
+    } else {
+        BlockBenchConfig::quick()
+    };
+    let cfg = BlockBenchConfig {
+        nodes: get(map, "nodes", base.nodes),
+        salt_buckets: get(map, "salts", base.salt_buckets),
+        row_span_secs: get(map, "row-span", base.row_span_secs),
+        units: get(map, "units", base.units),
+        sensors_per_unit: get(map, "sensors", base.sensors_per_unit),
+        history_secs: get(map, "history", base.history_secs),
+        scan_iters: get(map, "scan-iters", base.scan_iters),
+        eval_iters: get(map, "eval-iters", base.eval_iters),
+        train_window: get(map, "train-window", base.train_window),
+        seed: get(map, "seed", base.seed),
+    };
+    println!(
+        "sealed-block showdown: {} units x {} sensors, {}s history, {}s rows",
+        cfg.units, cfg.sensors_per_unit, cfg.history_secs, cfg.row_span_secs
+    );
+    let rep = block_format_experiment(&cfg);
+    let rows = vec![
+        ["arm", "pass (ms)", "throughput"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        vec![
+            rep.scan_legacy.label.clone(),
+            format!("{:.2}", rep.scan_legacy.pass_ms),
+            format!("{:.1} MB/s", rep.scan_legacy.bytes_per_sec / 1e6),
+        ],
+        vec![
+            rep.scan_blocks.label.clone(),
+            format!("{:.2}", rep.scan_blocks.pass_ms),
+            format!("{:.1} MB/s", rep.scan_blocks.bytes_per_sec / 1e6),
+        ],
+        vec![
+            rep.detect_rowmajor.label.clone(),
+            format!("{:.2}", rep.detect_rowmajor.pass_ms),
+            format!("{:.0} samples/s", rep.detect_rowmajor.samples_per_sec),
+        ],
+        vec![
+            rep.detect_columnar.label.clone(),
+            format!("{:.2}", rep.detect_columnar.pass_ms),
+            format!("{:.0} samples/s", rep.detect_columnar.samples_per_sec),
+        ],
+    ];
+    println!("{}", render_table(&rows));
+    println!(
+        "speedups: scan {:.1}x bytes/s, detect {:.1}x samples/s (bar: 10x)",
+        rep.scan_speedup, rep.detect_speedup
+    );
+    println!(
+        "oracles: {} scan mismatches, {} verdict mismatches",
+        rep.scan_mismatches, rep.eval_mismatches
+    );
+    if smoke {
+        std::fs::create_dir_all("target/experiments").expect("create experiments dir");
+        let json = serde_json::to_string_pretty(&rep).expect("report serialises");
+        std::fs::write("target/experiments/BENCH_blocks.json", json)
+            .expect("write BENCH_blocks.json");
+        println!("wrote target/experiments/BENCH_blocks.json");
+    }
+    if rep.passed() {
+        println!("block verdict held: exact answers, bit-identical verdicts, >= 10x");
+    } else {
+        println!("BLOCK VERDICT FAILED");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -719,6 +808,7 @@ fn main() {
         "overload" => cmd_overload(&map),
         "failover" => cmd_failover(&map),
         "queries" => cmd_queries(&map),
+        "blocks" => cmd_blocks(&map, args.iter().any(|a| a == "--smoke")),
         _ => usage(),
     }
 }

@@ -26,6 +26,9 @@ use pga_tsdb::{Aggregator, DataPoint, KeyCodec, PartialInfo, QueryFilter, ShardE
 use crate::plan::{self, Plan};
 use crate::rollup::{decode_cell, merge_cells, tier_metric, RollupCell};
 
+/// Assembled raw reads: codec-order tag pairs → windowed points.
+type SeriesPoints = BTreeMap<Vec<(String, String)>, Vec<DataPoint>>;
+
 /// Executor tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecConfig {
@@ -195,38 +198,58 @@ where
     })
 }
 
-/// Group raw cells into per-series point lists, mirroring the TSD's
-/// read-path semantics (skip non-raw qualifiers, newest version wins).
+/// Group scanned cells into per-series point lists, mirroring the TSD's
+/// block-aware read-path semantics (skip blob/rollup qualifiers, newest
+/// version wins, sealed blocks spliced with raw cells — raw wins ties).
+///
+/// A sealed block that fails to decode fails the whole assembly with a
+/// typed `corrupt_block` shard error — never a silent wrong answer.
 fn assemble_raw(
     codec: &KeyCodec,
     cells: &[KeyValue],
     filter: &QueryFilter,
     keep: impl Fn(u64) -> bool,
-) -> BTreeMap<Vec<(String, String)>, Vec<DataPoint>> {
-    let mut series: BTreeMap<Vec<(String, String)>, Vec<DataPoint>> = BTreeMap::new();
-    for cell in cells {
-        if cell.qualifier.len() != 2 || cell.qualifier[..] == [0xFF, 0xFF] {
-            continue; // compacted blob column: raw cells carry the data
-        }
-        if let Some(p) = codec.decode(&cell.row, &cell.qualifier, &cell.value) {
-            if !keep(p.timestamp) {
-                continue;
-            }
-            let tag_map: BTreeMap<String, String> = p.tags.iter().cloned().collect();
-            if !filter.matches(&tag_map) {
-                continue;
-            }
-            series.entry(p.tags.clone()).or_default().push(DataPoint {
-                timestamp: p.timestamp,
-                value: p.value,
-            });
+) -> Result<SeriesPoints, ShardError> {
+    let mut assembled = BTreeMap::new();
+    if pga_tsdb::query::assemble_columns(codec, cells, filter, 0, u64::MAX, &mut assembled).is_err()
+    {
+        return Err(corrupt_block_error(cells));
+    }
+    let mut series = BTreeMap::new();
+    for (tags, (timestamps, values)) in assembled {
+        let (timestamps, values) = pga_tsdb::query::canonicalize_columns(timestamps, values);
+        let points: Vec<DataPoint> = timestamps
+            .iter()
+            .zip(values.iter())
+            .filter(|&(&ts, _)| keep(ts))
+            .map(|(&ts, &v)| DataPoint {
+                timestamp: ts,
+                value: v,
+            })
+            .collect();
+        if !points.is_empty() {
+            series.insert(tags, points);
         }
     }
-    for points in series.values_mut() {
-        points.sort_by_key(|p| p.timestamp);
-        points.dedup_by_key(|p| p.timestamp);
+    Ok(series)
+}
+
+/// Attribute a block decode failure to the shard that served it: re-probe
+/// the block cells (error path only) and take the salt byte of the first
+/// undecodable one.
+fn corrupt_block_error(cells: &[KeyValue]) -> ShardError {
+    let shard = cells
+        .iter()
+        .find(|c| {
+            pga_tsdb::is_block_qualifier(&c.qualifier) && pga_tsdb::decode_block(&c.value).is_err()
+        })
+        .and_then(|c| c.row.first().copied())
+        .unwrap_or(0);
+    ShardError {
+        shard,
+        kind: "corrupt_block".to_string(),
+        retry_after_ms: None,
     }
-    series
 }
 
 fn to_series(
@@ -284,7 +307,15 @@ fn execute_raw(
             Err(e) => errors.push(shard_error(salt, &e)),
         }
     }
-    let grouped = assemble_raw(codec, &cells, filter, |ts| ts >= start && ts <= end);
+    let grouped = match assemble_raw(codec, &cells, filter, |ts| ts >= start && ts <= end) {
+        Ok(g) => g,
+        Err(e) => {
+            // Integrity failure: serve nothing rather than a partial row
+            // that silently omits the sealed range.
+            errors.push(e);
+            BTreeMap::new()
+        }
+    };
     ExecResult {
         series: to_series(metric, grouped, downsample),
         partial: partial_from(errors, fanout),
@@ -461,7 +492,14 @@ fn execute_rollup(
                 }
             }
         }
-        let grouped = assemble_raw(codec, &cells, filter, |ts| ts >= w && ts < w + d);
+        let grouped = match assemble_raw(codec, &cells, filter, |ts| ts >= w && ts < w + d) {
+            Ok(g) => g,
+            Err(e) => {
+                errors.push(e);
+                failed = true;
+                BTreeMap::new()
+            }
+        };
         for (tags, accs) in windows.iter_mut() {
             let Some(acc) = accs.get_mut(&w) else {
                 continue;
@@ -497,9 +535,15 @@ fn execute_rollup(
 
     // Raw head/tail patches, downsampled; windows are disjoint from the
     // rollup region by alignment.
-    let grouped = assemble_raw(codec, &raw_cells, filter, |ts| {
+    let grouped = match assemble_raw(codec, &raw_cells, filter, |ts| {
         (ts >= start && ts < ru_lo) || (ts >= ru_hi && ts <= end)
-    });
+    }) {
+        Ok(g) => g,
+        Err(e) => {
+            errors.push(e);
+            BTreeMap::new()
+        }
+    };
     let mut out: BTreeMap<Vec<(String, String)>, BTreeMap<u64, f64>> = BTreeMap::new();
     for (tags, points) in grouped {
         let ds = TimeSeries {

@@ -45,7 +45,7 @@ use std::sync::Arc;
 pub use cache::{CacheConfig, ResultCache};
 pub use exec::{ExecConfig, ExecResult};
 pub use plan::Plan;
-pub use rollup::RollupWriter;
+pub use rollup::{RollupCompactor, RollupWriter};
 
 /// Engine configuration: executor knobs plus cache sizing.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -321,6 +321,79 @@ mod tests {
                 .unwrap();
             }
         }
+    }
+
+    /// Sealing rows into columnar blocks must be invisible to the query
+    /// engine: identical answers before and after compaction, and the
+    /// rollup splice path still matches raw downsampling over blocks.
+    #[test]
+    fn engine_answers_survive_block_sealing() {
+        let (mut master, tsd) = stack(3, 4);
+        master.set_compaction_rewriter(tsd.block_rewriter());
+        ingest(&tsd, 7200);
+        let engine = engine_for(&master, &tsd);
+        let before = engine.query("energy", &QueryFilter::any(), 0, 10_000, None);
+        assert!(before.partial.is_none());
+        tsd.compact_now().unwrap();
+        let after = engine.query("energy", &QueryFilter::any(), 0, 10_000, None);
+        assert!(after.partial.is_none());
+        assert_eq!(before.series, after.series);
+        let pts: usize = after.series.iter().map(|s| s.points.len()).sum();
+        assert_eq!(pts, 2 * 7200);
+        master.shutdown();
+    }
+
+    /// Canonicalizing compaction (rollup cells folded per bucket, raw rows
+    /// sealed into blocks) must leave rollup-served answers byte-for-byte
+    /// identical to downsampling raw data.
+    #[test]
+    fn rollup_answers_survive_canonicalizing_compaction() {
+        let (mut master, tsd) = stack(3, 4);
+        master.set_compaction_rewriter(Arc::new(crate::rollup::RollupCompactor::new(
+            tsd.codec().clone(),
+            Some(tsd.block_rewriter()),
+        )));
+        tsd.set_observer(Arc::new(RollupWriter::new(
+            tsd.codec().clone(),
+            vec![60, 600],
+            0,
+        )));
+        ingest(&tsd, 7200);
+        tsd.flush_observer().unwrap();
+        let engine = engine_for(&master, &tsd);
+        let before = engine.query(
+            "energy",
+            &QueryFilter::any(),
+            130,
+            7100,
+            Some((60, Aggregator::Sum)),
+        );
+        assert_eq!(before.plan, Plan::Rollup { tier: 60 });
+        tsd.compact_now().unwrap();
+        let after = engine.query(
+            "energy",
+            &QueryFilter::any(),
+            130,
+            7100,
+            Some((60, Aggregator::Sum)),
+        );
+        assert_eq!(after.plan, Plan::Rollup { tier: 60 });
+        assert!(after.partial.is_none());
+        assert_eq!(before.series.len(), after.series.len());
+        for (b, a) in before.series.iter().zip(&after.series) {
+            assert_eq!(b.tags, a.tags);
+            assert_eq!(b.points.len(), a.points.len());
+            for (bp, ap) in b.points.iter().zip(&a.points) {
+                assert_eq!(bp.timestamp, ap.timestamp);
+                assert_eq!(bp.value.to_be_bytes(), ap.value.to_be_bytes());
+            }
+        }
+        // Raw-plan answers survive too (blocks spliced transparently).
+        let raw = engine.query("energy", &QueryFilter::any(), 0, 10_000, None);
+        assert!(raw.partial.is_none());
+        let pts: usize = raw.series.iter().map(|s| s.points.len()).sum();
+        assert_eq!(pts, 2 * 7200);
+        master.shutdown();
     }
 
     /// The tentpole correctness bar: for every aggregator, a rollup-served

@@ -199,6 +199,127 @@ pub fn merge_cells(cells: &mut [RollupCell]) -> Option<MergedBucket> {
     Some(merged)
 }
 
+/// Compaction-time canonicalizer for rollup shadow rows, chaining to an
+/// inner rewriter (the block sealer) for everything else.
+///
+/// A bucket written by several TSDs carries one cell per `(writer,
+/// generation)`. Once sealed they never change individually, so compaction
+/// folds each bucket's cells into **one canonical cell** — same merge the
+/// read path performs ([`merge_cells`]), applied once instead of on every
+/// query. The canonical cell keeps the *first* `(writer, gen)` qualifier
+/// in merge order, so a late straggler cell still folds against it in the
+/// exact floating-point order the un-compacted read would have used.
+///
+/// Buckets whose bitmaps overlap (tainted — a duplicate delivery) are left
+/// **untouched**: collapsing them would OR the overlap away and hide the
+/// taint from the executor's recompute-from-raw path.
+pub struct RollupCompactor {
+    codec: KeyCodec,
+    inner: Option<pga_minibase::RewriterHandle>,
+}
+
+impl std::fmt::Debug for RollupCompactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollupCompactor")
+            .field("chained", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl RollupCompactor {
+    /// Build a canonicalizer. `inner` (usually the TSD's block sealer)
+    /// handles every non-rollup row.
+    pub fn new(codec: KeyCodec, inner: Option<pga_minibase::RewriterHandle>) -> Self {
+        RollupCompactor { codec, inner }
+    }
+}
+
+impl pga_minibase::CompactionRewriter for RollupCompactor {
+    fn rewrite_row(
+        &self,
+        ctx: &pga_minibase::RewriteContext<'_>,
+        cells: &[KeyValue],
+    ) -> Option<Vec<KeyValue>> {
+        let tier = self
+            .codec
+            .decode_row(ctx.row)
+            .and_then(|(metric, _, _)| parse_tier_metric(&metric).map(|(t, _)| t));
+        let Some(tier) = tier else {
+            // Not a rollup shadow row: the chained rewriter decides.
+            return self.inner.as_ref()?.rewrite_row(ctx, cells);
+        };
+
+        // Newest version per qualifier, grouped by bucket offset. Cells we
+        // cannot parse pass through untouched.
+        let mut buckets: HashMap<u16, Vec<&KeyValue>> = HashMap::new();
+        let mut passthrough: Vec<KeyValue> = Vec::new();
+        let mut last_qual: Option<&[u8]> = None;
+        for cell in cells {
+            let newest = last_qual != Some(&cell.qualifier[..]);
+            last_qual = Some(&cell.qualifier[..]);
+            if !newest {
+                continue; // superseded version
+            }
+            match decode_qualifier(&cell.qualifier) {
+                Some((offset, _, _)) if decode_value(tier, &cell.value).is_some() => {
+                    buckets.entry(offset).or_default().push(cell);
+                }
+                _ => passthrough.push(cell.clone()),
+            }
+        }
+
+        let mut out = passthrough;
+        let mut changed = false;
+        let mut offsets: Vec<u16> = buckets.keys().copied().collect();
+        offsets.sort_unstable();
+        for offset in offsets {
+            let Some(group) = buckets.get(&offset) else {
+                continue;
+            };
+            let mut decoded: Vec<(&KeyValue, RollupCell)> = Vec::new();
+            for &kv in group {
+                let Some(cell) = decode_cell(&self.codec, tier, kv) else {
+                    decoded.clear();
+                    break;
+                };
+                decoded.push((kv, cell));
+            }
+            if decoded.len() < 2 {
+                out.extend(group.iter().map(|&kv| kv.clone()));
+                continue;
+            }
+            decoded.sort_by_key(|(_, c)| (c.writer, c.gen));
+            let mut cells_only: Vec<RollupCell> = decoded.iter().map(|(_, c)| c.clone()).collect();
+            let Some(merged) = merge_cells(&mut cells_only) else {
+                out.extend(group.iter().map(|&kv| kv.clone()));
+                continue;
+            };
+            if merged.tainted {
+                // Keep the overlap visible: the executor must recompute.
+                out.extend(group.iter().map(|&kv| kv.clone()));
+                continue;
+            }
+            let mut bitmap = vec![0u8; bitmap_len(tier)];
+            for (_, c) in &decoded {
+                for (b, cb) in bitmap.iter_mut().zip(&c.bitmap) {
+                    *b |= *cb;
+                }
+            }
+            let Some((first_kv, first)) = decoded.first() else {
+                continue;
+            };
+            out.push(KeyValue {
+                row: first_kv.row.clone(),
+                qualifier: encode_qualifier(offset, first.writer, first.gen),
+                timestamp: first.bucket * 1000 + merged.count,
+                value: encode_value(merged.min, merged.max, merged.sum, merged.count, &bitmap),
+            });
+            changed = true;
+        }
+        changed.then_some(out)
+    }
+}
+
 struct OpenBucket {
     start: u64,
     gen: u8,
@@ -488,6 +609,88 @@ mod tests {
         w.on_batch("energy", &[(TAGS, 6, 1.0), (TAGS, 7, 1.0)]);
         let long = w.flush();
         assert!(long[0].timestamp > short[0].timestamp);
+    }
+
+    fn compactor_ctx<'a>(row: &'a [u8]) -> pga_minibase::RewriteContext<'a> {
+        pga_minibase::RewriteContext {
+            region: pga_minibase::RegionId(1),
+            row,
+            drop_sealed_overlap: false,
+        }
+    }
+
+    #[test]
+    fn compactor_folds_disjoint_writers_into_one_cell() {
+        let c = codec();
+        let a_writer = RollupWriter::new(c.clone(), vec![60], 0);
+        let b_writer = RollupWriter::new(c.clone(), vec![60], 1);
+        a_writer.on_batch("energy", &[(TAGS, 1, 1.0), (TAGS, 3, 3.0)]);
+        b_writer.on_batch("energy", &[(TAGS, 2, 10.0)]);
+        let mut cells: Vec<KeyValue> = a_writer
+            .flush()
+            .into_iter()
+            .chain(b_writer.flush())
+            .collect();
+        cells.sort();
+        let row = cells[0].row.clone();
+        let expected = {
+            let mut dec: Vec<RollupCell> = cells
+                .iter()
+                .map(|kv| decode_cell(&c, 60, kv).unwrap())
+                .collect();
+            merge_cells(&mut dec).unwrap()
+        };
+        let compactor = RollupCompactor::new(c.clone(), None);
+        use pga_minibase::CompactionRewriter;
+        let out = compactor
+            .rewrite_row(&compactor_ctx(&row), &cells)
+            .expect("disjoint bucket must canonicalize");
+        assert_eq!(out.len(), 1);
+        let canon = decode_cell(&c, 60, &out[0]).unwrap();
+        assert_eq!(
+            (canon.min, canon.max, canon.sum, canon.count),
+            (expected.min, expected.max, expected.sum, expected.count)
+        );
+        assert_eq!((canon.writer, canon.gen), (0, 0), "first in merge order");
+        // The canonical cell alone merges to the same (untainted) result.
+        let merged = merge_cells(&mut [canon]).unwrap();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn compactor_leaves_tainted_buckets_untouched() {
+        let c = codec();
+        let a_writer = RollupWriter::new(c.clone(), vec![60], 0);
+        let b_writer = RollupWriter::new(c.clone(), vec![60], 1);
+        a_writer.on_batch("energy", &[(TAGS, 7, 1.0)]);
+        b_writer.on_batch("energy", &[(TAGS, 7, 1.0)]);
+        let mut cells: Vec<KeyValue> = a_writer
+            .flush()
+            .into_iter()
+            .chain(b_writer.flush())
+            .collect();
+        cells.sort();
+        let row = cells[0].row.clone();
+        let compactor = RollupCompactor::new(c.clone(), None);
+        use pga_minibase::CompactionRewriter;
+        assert!(
+            compactor
+                .rewrite_row(&compactor_ctx(&row), &cells)
+                .is_none(),
+            "overlap must stay visible so the executor recomputes"
+        );
+    }
+
+    #[test]
+    fn compactor_delegates_non_rollup_rows_to_inner() {
+        let c = codec();
+        let compactor = RollupCompactor::new(c.clone(), None);
+        use pga_minibase::CompactionRewriter;
+        // A raw-metric row with no inner rewriter: nothing to do.
+        let refs: Vec<(&str, &str)> = TAGS.to_vec();
+        let row = c.row_key("energy", &refs, 0);
+        let kv = KeyValue::new(row.clone(), vec![0u8, 1], 1, 2.0f64.to_be_bytes().to_vec());
+        assert!(compactor.rewrite_row(&compactor_ctx(&row), &[kv]).is_none());
     }
 
     #[test]

@@ -15,14 +15,21 @@
 //!   accounting, optional write-path row compaction (the paper disables it
 //!   "to reduce RPC calls to HBase"; the ablation E8 measures exactly
 //!   that).
-//! * [`query`] — series assembly, tag filtering, downsampling aggregators.
+//! * [`block`] — the columnar sealed-block codec: delta-of-delta
+//!   timestamps + Gorilla XOR floats behind a checksummed header.
+//! * [`compact`] — the compaction rewriter that seals finished rows into
+//!   canonical blocks during MiniBase compaction.
+//! * [`query`] — series assembly, tag filtering, downsampling aggregators,
+//!   and the columnar [`ColumnSeries`] form block scans decode into.
 //! * [`api`] — the OpenTSDB-compatible JSON API (`/api/put`, `/api/query`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod block;
 pub mod codec;
+pub mod compact;
 pub mod query;
 pub mod tsd;
 pub mod uid;
@@ -32,7 +39,12 @@ pub use api::{
     DegradedBody, ExecOutcome, PartialInfo, PutDatapoint, QueryExecutor, QueryRequest,
     QueryResponseSeries, ShardError, SubQuery,
 };
+pub use block::{
+    decode_block, encode_block, is_block_qualifier, peek_header, BlockError, DecodedBlock,
+    BLOCK_MAGIC, BLOCK_QUALIFIER, BLOCK_VERSION,
+};
 pub use codec::{KeyCodec, KeyCodecConfig};
-pub use query::{aggregate_series, Aggregator, DataPoint, QueryFilter, TimeSeries};
+pub use compact::BlockRewriter;
+pub use query::{aggregate_series, Aggregator, ColumnSeries, DataPoint, QueryFilter, TimeSeries};
 pub use tsd::{BatchPoint, PutObserver, Tsd, TsdConfig, TsdError, TsdMetrics};
 pub use uid::{Uid, UidTable};

@@ -1,8 +1,13 @@
-//! Query results: series assembly, tag filtering, downsampling.
+//! Query results: series assembly, tag filtering, downsampling — plus the
+//! block-aware columnar assembly both `Tsd::query` and `pga-query` share.
 
 use std::collections::BTreeMap;
 
+use pga_minibase::KeyValue;
 use serde::{Deserialize, Serialize};
+
+use crate::block::{self, BlockError};
+use crate::codec::KeyCodec;
 
 /// One timestamped value.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -146,6 +151,241 @@ pub fn aggregate_series(series: &[TimeSeries], agg: Aggregator) -> Option<TimeSe
             })
             .collect(),
     })
+}
+
+/// A series in columnar form: flat timestamp/value slices, ready for
+/// vectorized batch kernels (`pga-linalg` tiles, `pga-detect` batch
+/// evaluation) without per-point materialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSeries {
+    /// Metric name.
+    pub metric: String,
+    /// Sorted tag pairs identifying the series.
+    pub tags: BTreeMap<String, String>,
+    /// Timestamps, strictly ascending.
+    pub timestamps: Vec<u64>,
+    /// Values, parallel to `timestamps`.
+    pub values: Vec<f64>,
+}
+
+impl ColumnSeries {
+    /// Convert to the row-of-structs [`TimeSeries`] form.
+    pub fn to_series(&self) -> TimeSeries {
+        TimeSeries {
+            metric: self.metric.clone(),
+            tags: self.tags.clone(),
+            points: self
+                .timestamps
+                .iter()
+                .zip(self.values.iter())
+                .map(|(&timestamp, &value)| DataPoint { timestamp, value })
+                .collect(),
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+}
+
+/// Columns under assembly: codec-order tag pairs → (timestamps, values),
+/// accumulated across per-salt scans before [`finish_columns`].
+pub type AssembledColumns = BTreeMap<Vec<(String, String)>, (Vec<u64>, Vec<f64>)>;
+
+/// Assemble scanned cells — sealed blocks **and** raw cells — into one
+/// columnar series per tag combination, windowed to `[start, end]` and
+/// filtered by `filter`.
+///
+/// Mirrors the legacy cell-by-cell path exactly (the differential suite
+/// pins this byte-for-byte): compacted-blob columns (`0xFFFF`) and rollup
+/// qualifiers are skipped, duplicate timestamps keep the newest-version
+/// cell, and within one row a raw cell beats a sealed block at the same
+/// timestamp (late-arriving raw data is newer than the seal). A sealed
+/// block that fails to decode surfaces as a typed [`BlockError`] — never
+/// a silent wrong answer.
+///
+/// `cells` must arrive in storage scan order (row asc, qualifier asc,
+/// version desc), the order MiniBase scans already produce.
+pub fn assemble_columns(
+    codec: &KeyCodec,
+    cells: &[KeyValue],
+    filter: &QueryFilter,
+    start: u64,
+    end: u64,
+    out: &mut AssembledColumns,
+) -> Result<(), BlockError> {
+    let mut i = 0;
+    while i < cells.len() {
+        let Some(row) = cells.get(i).map(|kv| &kv.row) else {
+            break;
+        };
+        let mut j = i;
+        while cells.get(j).map(|kv| &kv.row) == Some(row) {
+            j += 1;
+        }
+        let group = cells.get(i..j).unwrap_or(&[]);
+        assemble_row(codec, group, filter, start, end, out)?;
+        i = j;
+    }
+    Ok(())
+}
+
+/// One row's worth of [`assemble_columns`].
+fn assemble_row(
+    codec: &KeyCodec,
+    group: &[KeyValue],
+    filter: &QueryFilter,
+    start: u64,
+    end: u64,
+    out: &mut AssembledColumns,
+) -> Result<(), BlockError> {
+    let Some(first) = group.first() else {
+        return Ok(());
+    };
+    let Some((_metric, tags, base)) = codec.decode_row(&first.row) else {
+        return Ok(()); // unknown UIDs / malformed row: same skip as legacy
+    };
+    let tag_map: BTreeMap<String, String> = tags.iter().cloned().collect();
+    if !filter.matches(&tag_map) {
+        return Ok(());
+    }
+
+    // Raw cells: qualifier ascending already, keep the newest version per
+    // qualifier (the first seen, since versions sort descending).
+    let mut raw: Vec<(u64, f64)> = Vec::new();
+    let mut blocks: Vec<&KeyValue> = Vec::new();
+    let mut last_qual: Option<&[u8]> = None;
+    for cell in group {
+        if last_qual == Some(&cell.qualifier[..]) {
+            continue; // older version of a cell we already took
+        }
+        last_qual = Some(&cell.qualifier[..]);
+        if block::is_block_qualifier(&cell.qualifier) {
+            blocks.push(cell);
+        } else if cell.qualifier.len() == 2 && cell.qualifier[..] != [0xFF, 0xFF] {
+            let Some(q) = cell.qualifier.get(..2) else {
+                continue;
+            };
+            let offset = u16::from_be_bytes([q[0], q[1]]) as u64;
+            let Some(v) = cell.value.get(..8).filter(|_| cell.value.len() == 8) else {
+                continue; // malformed value: legacy decode skips it too
+            };
+            let mut v8 = [0u8; 8];
+            v8.copy_from_slice(v);
+            raw.push((base + offset, f64::from_be_bytes(v8)));
+        }
+        // Anything else (0xFFFF blob, rollup qualifiers) carries no raw data.
+    }
+
+    // Sealed blocks: decode each into flat slices. Multiple block cells on
+    // one row should not happen (compaction folds them), but merge
+    // defensively, newest qualifier-version last so it wins collisions.
+    let mut block_points: Vec<(u64, f64)> = Vec::new();
+    for cell in &blocks {
+        let decoded = block::decode_block(&cell.value)?;
+        if block_points.is_empty() {
+            block_points = decoded
+                .timestamps
+                .iter()
+                .copied()
+                .zip(decoded.values.iter().copied())
+                .collect();
+        } else {
+            block_points.extend(
+                decoded
+                    .timestamps
+                    .iter()
+                    .copied()
+                    .zip(decoded.values.iter().copied()),
+            );
+            block_points.sort_by_key(|&(ts, _)| ts);
+            block_points.dedup_by_key(|&mut (ts, _)| ts);
+        }
+    }
+
+    // Merge raw over blocks: both ascending; raw wins at equal timestamps.
+    let mut merged: Vec<(u64, f64)> = Vec::with_capacity(raw.len() + block_points.len());
+    let mut ri = raw.iter().peekable();
+    let mut bi = block_points.iter().peekable();
+    loop {
+        match (ri.peek(), bi.peek()) {
+            (Some(&&(rts, rv)), Some(&&(bts, _))) if rts <= bts => {
+                if rts == bts {
+                    bi.next(); // raw supersedes the sealed point
+                }
+                merged.push((rts, rv));
+                ri.next();
+            }
+            (_, Some(&&(bts, bv))) => {
+                merged.push((bts, bv));
+                bi.next();
+            }
+            (Some(&&(rts, rv)), None) => {
+                merged.push((rts, rv));
+                ri.next();
+            }
+            (None, None) => break,
+        }
+    }
+    merged.retain(|&(ts, _)| ts >= start && ts <= end);
+    if merged.is_empty() {
+        return Ok(()); // never emit an empty series (legacy parity)
+    }
+    let (timestamps, values) = out.entry(tags).or_default();
+    for (ts, v) in merged {
+        timestamps.push(ts);
+        values.push(v);
+    }
+    Ok(())
+}
+
+/// Finalize assembled columns into [`ColumnSeries`], enforcing the same
+/// sort + timestamp-dedup the legacy path applies (keeps the first point
+/// in pre-sort order for duplicate timestamps — the newest-version cell).
+pub fn finish_columns(metric: &str, assembled: AssembledColumns) -> Vec<ColumnSeries> {
+    assembled
+        .into_iter()
+        .map(|(tags, (timestamps, values))| {
+            let (timestamps, values) = canonicalize_columns(timestamps, values);
+            ColumnSeries {
+                metric: metric.to_string(),
+                tags: tags.into_iter().collect(),
+                timestamps,
+                values,
+            }
+        })
+        .collect()
+}
+
+/// Sort one assembled column pair by timestamp and drop duplicate
+/// timestamps, keeping the first point in pre-sort order (the
+/// newest-version cell) — exactly the legacy `sort_by_key` +
+/// `dedup_by_key` discipline. Already-sorted columns (the common case:
+/// rows arrive base-ascending, merged sorted within each row) pass
+/// through untouched.
+pub fn canonicalize_columns(timestamps: Vec<u64>, values: Vec<f64>) -> (Vec<u64>, Vec<f64>) {
+    let sorted = timestamps.windows(2).all(|w| match w {
+        [a, b] => a < b,
+        _ => true,
+    });
+    if sorted {
+        return (timestamps, values);
+    }
+    let mut idx: Vec<usize> = (0..timestamps.len()).collect();
+    idx.sort_by_key(|&i| (timestamps.get(i).copied().unwrap_or(0), i));
+    idx.dedup_by_key(|i| timestamps.get(*i).copied().unwrap_or(0));
+    (
+        idx.iter()
+            .filter_map(|&i| timestamps.get(i).copied())
+            .collect(),
+        idx.iter().filter_map(|&i| values.get(i).copied()).collect(),
+    )
 }
 
 /// Tag filter for queries: every listed pair must match exactly; unlisted

@@ -21,8 +21,12 @@ use std::sync::Arc;
 
 use pga_minibase::{Client, ClientError, KeyValue, RowRange};
 
+use crate::block::BlockError;
 use crate::codec::KeyCodec;
-use crate::query::{DataPoint, QueryFilter, TimeSeries};
+use crate::query::{
+    assemble_columns, finish_columns, AssembledColumns, ColumnSeries, DataPoint, QueryFilter,
+    TimeSeries,
+};
 
 /// One `(tags, timestamp, value)` element of a batched put.
 pub type BatchPoint<'a> = (&'a [(&'a str, &'a str)], u64, f64);
@@ -90,12 +94,16 @@ impl TsdMetrics {
 pub enum TsdError {
     /// Storage-layer failure.
     Storage(ClientError),
+    /// A sealed block failed to decode — corrupt storage surfaced as a
+    /// typed error instead of a silent wrong answer.
+    Corrupt(BlockError),
 }
 
 impl std::fmt::Display for TsdError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TsdError::Storage(e) => write!(f, "storage error: {e}"),
+            TsdError::Corrupt(e) => write!(f, "corrupt sealed block: {e}"),
         }
     }
 }
@@ -111,6 +119,7 @@ impl TsdError {
     pub fn retry_after_ms(&self) -> Option<u64> {
         match self {
             TsdError::Storage(e) => e.retry_after_ms(),
+            TsdError::Corrupt(_) => None,
         }
     }
 
@@ -139,6 +148,10 @@ pub struct Tsd {
     observer: parking_lot::RwLock<Option<Arc<dyn PutObserver>>>,
     /// Observer-derived cells awaiting the next successful put.
     pending_derived: Mutex<Vec<KeyValue>>,
+    /// Highest acknowledged write timestamp — the seal watermark. The
+    /// compaction rewriter only seals rows wholly below it, so a row with
+    /// in-flight writers is never frozen mid-fill.
+    seal_watermark: Arc<AtomicU64>,
 }
 
 impl Tsd {
@@ -152,7 +165,33 @@ impl Tsd {
             open_rows: Mutex::new(HashMap::new()),
             observer: parking_lot::RwLock::new(None),
             pending_derived: Mutex::new(Vec::new()),
+            seal_watermark: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Shared seal-watermark handle: the highest timestamp this daemon has
+    /// acknowledged. Wire it into a
+    /// [`crate::compact::BlockRewriter`] so compaction only seals rows
+    /// every writer has moved past.
+    pub fn seal_watermark(&self) -> Arc<AtomicU64> {
+        self.seal_watermark.clone()
+    }
+
+    /// Build a compaction rewriter wired to this daemon's codec geometry
+    /// and seal watermark. Install it on the storage master
+    /// (`Master::set_compaction_rewriter`) to enable background sealing of
+    /// finished rows into columnar blocks.
+    pub fn block_rewriter(&self) -> pga_minibase::RewriterHandle {
+        Arc::new(crate::compact::BlockRewriter::new(
+            self.codec.config().row_span_secs,
+            self.seal_watermark.clone(),
+        ))
+    }
+
+    /// Flush memstores and major-compact every region, running any
+    /// installed compaction rewriter (block sealing) over the result.
+    pub fn compact_now(&self) -> Result<(), TsdError> {
+        self.client.compact_all().map_err(TsdError::from)
     }
 
     /// Borrow the codec.
@@ -281,6 +320,9 @@ impl Tsd {
         }
         self.metrics.put_rpcs.fetch_add(1, Ordering::Relaxed);
         self.metrics.points_written.fetch_add(n, Ordering::Relaxed);
+        if let Some(max_ts) = points.iter().map(|&(_, ts, _)| ts).max() {
+            self.seal_watermark.fetch_max(max_ts, Ordering::AcqRel);
+        }
         // Only acknowledged points reach the observer: a shed or failed
         // batch above returned early, so a proxy retrying it elsewhere
         // cannot double-count its contribution.
@@ -343,7 +385,55 @@ impl Tsd {
 
     /// Query `[start, end]` of one metric, filtered by tags, grouped into
     /// one series per distinct tag combination, points ascending.
+    ///
+    /// Block-aware: sealed columnar blocks and the mutable raw tail are
+    /// spliced into one answer (raw wins where the two overlap). A block
+    /// that fails to decode is a typed [`TsdError::Corrupt`], never a
+    /// silent hole.
     pub fn query(
+        &self,
+        metric: &str,
+        filter: &QueryFilter,
+        start: u64,
+        end: u64,
+    ) -> Result<Vec<TimeSeries>, TsdError> {
+        Ok(self
+            .query_columns(metric, filter, start, end)?
+            .iter()
+            .map(ColumnSeries::to_series)
+            .collect())
+    }
+
+    /// [`Tsd::query`] in columnar form: flat timestamp/value slices per
+    /// series, the shape the batch detector kernels consume directly.
+    pub fn query_columns(
+        &self,
+        metric: &str,
+        filter: &QueryFilter,
+        start: u64,
+        end: u64,
+    ) -> Result<Vec<ColumnSeries>, TsdError> {
+        let mut assembled = AssembledColumns::new();
+        for salt in self.codec.salt_range() {
+            let (s, e) = self.codec.scan_range(salt, metric, start, end);
+            if s.is_empty() && e.is_empty() {
+                continue; // unknown metric
+            }
+            let cells = self.client.scan(&RowRange::new(s, e))?;
+            self.metrics.scan_rpcs.fetch_add(1, Ordering::Relaxed);
+            assemble_columns(&self.codec, &cells, filter, start, end, &mut assembled)
+                .map_err(TsdError::Corrupt)?;
+        }
+        Ok(finish_columns(metric, assembled))
+    }
+
+    /// The pre-block cell-by-cell read path, kept as the differential
+    /// baseline: byte-for-byte equal to [`Tsd::query`] on any store, and
+    /// the E21 benchmark's "before" side. Sealed blocks are invisible to
+    /// it (their 3-byte qualifier is skipped like any non-raw column), so
+    /// it only answers completely on stores that never sealed — exactly
+    /// the legacy deployments it represents.
+    pub fn query_legacy(
         &self,
         metric: &str,
         filter: &QueryFilter,
@@ -578,6 +668,60 @@ mod tests {
         assert_eq!(s.len(), 1);
         let vals: Vec<f64> = s[0].points.iter().map(|p| p.value).collect();
         assert_eq!(vals, vec![5.0, 6.0]);
+        m.shutdown();
+    }
+
+    #[test]
+    fn sealing_compaction_preserves_query_results() {
+        let (mut m, t) = tsd(2, 4, false);
+        m.set_compaction_rewriter(t.block_rewriter());
+        let tags = [("unit", "1"), ("sensor", "a")];
+        // Two full rows plus a partial third (watermark sits inside it).
+        for ts in (0..9000u64).step_by(600) {
+            t.put("energy", &tags, ts, (ts as f64).sin()).unwrap();
+        }
+        let before = t.query("energy", &QueryFilter::any(), 0, 20_000).unwrap();
+        let legacy_before = t
+            .query_legacy("energy", &QueryFilter::any(), 0, 20_000)
+            .unwrap();
+        assert_eq!(before, legacy_before, "paths agree pre-seal");
+        t.compact_now().unwrap();
+        let after = t.query("energy", &QueryFilter::any(), 0, 20_000).unwrap();
+        assert_eq!(before, after, "sealing must not change query answers");
+        // The legacy path cannot see sealed blocks — rows 0 and 1 are gone
+        // from it, proving the seal physically replaced raw cells.
+        let legacy_after = t
+            .query_legacy("energy", &QueryFilter::any(), 0, 20_000)
+            .unwrap();
+        let legacy_pts: usize = legacy_after.iter().map(|s| s.points.len()).sum();
+        let all_pts: usize = after.iter().map(|s| s.points.len()).sum();
+        assert!(
+            legacy_pts < all_pts,
+            "expected sealed rows to vanish from the legacy path ({legacy_pts} vs {all_pts})"
+        );
+        m.shutdown();
+    }
+
+    #[test]
+    fn late_write_after_seal_wins_on_requery() {
+        let (mut m, t) = tsd(1, 2, false);
+        m.set_compaction_rewriter(t.block_rewriter());
+        let tags = [("unit", "7")];
+        for ts in [10u64, 20, 30] {
+            t.put("energy", &tags, ts, ts as f64).unwrap();
+        }
+        // Advance the watermark past row 0 and seal it.
+        t.put("energy", &tags, 4000, 0.0).unwrap();
+        t.compact_now().unwrap();
+        // A late raw write into the sealed row must override the block.
+        t.put("energy", &tags, 20, 99.0).unwrap();
+        let s = t.query("energy", &QueryFilter::any(), 0, 100).unwrap();
+        let vals: Vec<f64> = s[0].points.iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![10.0, 99.0, 30.0]);
+        // Re-sealing folds the late write in.
+        t.compact_now().unwrap();
+        let s2 = t.query("energy", &QueryFilter::any(), 0, 100).unwrap();
+        assert_eq!(s, s2);
         m.shutdown();
     }
 

@@ -1,5 +1,7 @@
 //! Property tests for the TSDB layer: codec roundtrips, salt stability,
-//! and put/query equivalence against a naive model.
+//! put/query equivalence against a naive model, block-codec round-trips
+//! over adversarial series, corruption/truncation behaviour, and the
+//! sealed-block vs legacy-scan differential.
 
 use std::collections::BTreeMap;
 
@@ -7,7 +9,10 @@ use proptest::prelude::*;
 
 use pga_cluster::coordinator::Coordinator;
 use pga_minibase::{Client, Master, RegionConfig, ServerConfig, TableDescriptor};
-use pga_tsdb::{KeyCodec, KeyCodecConfig, QueryFilter, Tsd, TsdConfig, UidTable};
+use pga_tsdb::{
+    decode_block, encode_block, BlockError, KeyCodec, KeyCodecConfig, QueryFilter, Tsd, TsdConfig,
+    UidTable,
+};
 
 fn codec(buckets: u8) -> KeyCodec {
     KeyCodec::new(
@@ -80,6 +85,101 @@ proptest! {
     }
 }
 
+/// Adversarial series strategy: timestamps from the full `u64` range (so
+/// out-of-order and duplicate timestamps, huge deltas and wrap-adjacent
+/// values all occur) paired with values drawn from raw bit patterns (so
+/// NaNs with arbitrary payloads, ±Inf, -0.0 and subnormals all occur).
+fn adversarial_series() -> impl Strategy<Value = (Vec<u64>, Vec<f64>)> {
+    proptest::collection::vec(
+        (
+            prop_oneof![
+                any::<u64>(),
+                0u64..10_000,                           // realistic small timestamps
+                (0u64..100).prop_map(|d| u64::MAX - d), // wrap-adjacent
+            ],
+            any::<u64>().prop_map(f64::from_bits),
+        ),
+        1..300,
+    )
+    .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Satellite 1: encode→decode is lossless for any input series —
+    /// sequence-preserving, bit-exact values, exact timestamps.
+    #[test]
+    fn block_roundtrip_is_lossless((ts, vals) in adversarial_series()) {
+        let encoded = encode_block(&ts, &vals).unwrap();
+        let decoded = decode_block(&encoded).unwrap();
+        prop_assert_eq!(&decoded.timestamps, &ts);
+        prop_assert_eq!(decoded.values.len(), vals.len());
+        for (a, b) in decoded.values.iter().zip(&vals) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "value bits must survive");
+        }
+        prop_assert_eq!(decoded.min_ts, ts.iter().copied().min().unwrap());
+        prop_assert_eq!(decoded.max_ts, ts.iter().copied().max().unwrap());
+    }
+
+    /// Satellite 2a: every prefix truncation decodes to a typed error —
+    /// no panic, no silently shortened answer.
+    #[test]
+    fn block_truncation_never_panics((ts, vals) in adversarial_series()) {
+        let encoded = encode_block(&ts, &vals).unwrap();
+        // Truncation points: all short-header cases plus a spread through
+        // the payload (checking every length would be quadratic).
+        for len in (0..encoded.len()).step_by(1 + encoded.len() / 64) {
+            let r = decode_block(&encoded[..len]);
+            prop_assert!(r.is_err(), "prefix of {len}/{} bytes decoded", encoded.len());
+        }
+    }
+
+    /// Satellite 2b: any single-byte flip anywhere in the block is caught
+    /// by the whole-buffer CRC (or an earlier typed header check).
+    #[test]
+    fn block_byte_flip_is_detected(
+        (ts, vals) in adversarial_series(),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let encoded = encode_block(&ts, &vals).unwrap();
+        let pos = (pos_seed % encoded.len() as u64) as usize;
+        let mut corrupt = encoded.clone();
+        corrupt[pos] ^= flip;
+        match decode_block(&corrupt) {
+            Ok(_) => prop_assert!(false, "flip at {pos} went undetected"),
+            Err(
+                BlockError::CrcMismatch { .. }
+                | BlockError::BadMagic
+                | BlockError::UnsupportedVersion(_)
+                | BlockError::BadCount(_)
+                | BlockError::Truncated { .. }
+            ) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+}
+
+#[test]
+fn block_roundtrip_at_max_size() {
+    let n = pga_tsdb::block::MAX_BLOCK_POINTS;
+    let ts: Vec<u64> = (0..n as u64).map(|i| i * 7).collect();
+    let vals: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let encoded = encode_block(&ts, &vals).unwrap();
+    let decoded = decode_block(&encoded).unwrap();
+    assert_eq!(decoded.timestamps.len(), n);
+    assert_eq!(decoded.timestamps, ts);
+    assert_eq!(decoded.values, vals);
+    // One past the cap is rejected up front.
+    let ts2: Vec<u64> = (0..=n as u64).collect();
+    let vals2 = vec![0.0; n + 1];
+    assert!(matches!(
+        encode_block(&ts2, &vals2),
+        Err(BlockError::BadCount(_))
+    ));
+}
+
 proptest! {
     // The full-stack model check is heavier: fewer cases.
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -124,6 +224,57 @@ proptest! {
                 prop_assert!(w[0].timestamp < w[1].timestamp);
             }
         }
+        master.shutdown();
+    }
+
+    /// Satellite 3 (storage differential): over any seeded ingest, the
+    /// block-path scan after sealing is byte-for-byte equal to the legacy
+    /// cell-by-cell decode before sealing — and the legacy path itself
+    /// agrees with the block-aware path while everything is still raw.
+    #[test]
+    fn sealed_scan_equals_legacy_scan(
+        points in proptest::collection::vec(
+            (0u32..3, 0u32..3, 0u64..8000, any::<u64>().prop_map(f64::from_bits)),
+            1..60
+        ),
+        late in proptest::collection::vec(
+            (0u32..3, 0u32..3, 0u64..3600, -10.0f64..10.0),
+            0..8
+        ),
+        buckets in 1u8..4,
+    ) {
+        let c = codec(buckets);
+        let coord = Coordinator::new(60_000);
+        let mut master = Master::bootstrap(2, ServerConfig::default(), coord, 0);
+        master.create_table(&TableDescriptor {
+            name: "t".into(),
+            split_points: c.split_points(),
+            region_config: RegionConfig::default(),
+        });
+        let tsd = Tsd::new(c, Client::connect(&master), TsdConfig::default());
+        master.set_compaction_rewriter(tsd.block_rewriter());
+        for &(unit, sensor, ts, value) in &points {
+            let u = unit.to_string();
+            let s = sensor.to_string();
+            tsd.put("energy", &[("unit", &u), ("sensor", &s)], ts, value).unwrap();
+        }
+        let legacy_before = tsd.query_legacy("energy", &QueryFilter::any(), 0, 10_000).unwrap();
+        let block_before = tsd.query("energy", &QueryFilter::any(), 0, 10_000).unwrap();
+        prop_assert_eq!(&legacy_before, &block_before, "paths must agree pre-seal");
+        tsd.compact_now().unwrap();
+        let after = tsd.query("energy", &QueryFilter::any(), 0, 10_000).unwrap();
+        prop_assert_eq!(&legacy_before, &after, "sealing must not change answers");
+        // Late raw writes into sealed rows override blocks, and survive a
+        // second sealing round.
+        for &(unit, sensor, ts, value) in &late {
+            let u = unit.to_string();
+            let s = sensor.to_string();
+            tsd.put("energy", &[("unit", &u), ("sensor", &s)], ts, value).unwrap();
+        }
+        let with_late = tsd.query("energy", &QueryFilter::any(), 0, 10_000).unwrap();
+        tsd.compact_now().unwrap();
+        let resealed = tsd.query("energy", &QueryFilter::any(), 0, 10_000).unwrap();
+        prop_assert_eq!(&with_late, &resealed, "re-seal must fold late writes in place");
         master.shutdown();
     }
 }
