@@ -26,6 +26,11 @@ fn in_scope(f: &SourceFile) -> bool {
         // The serving engine injects its clock (`ClockMs`) so cache TTLs
         // and shard deadlines replay; ambient time would undo that.
         "pga-query" => true,
+        // The scrubber replays inside the fault simulator (corruption
+        // campaigns seed and step its repair schedule); ambient time or
+        // entropy in the scrub/repair loop would make scrub-convergence
+        // reproducers diverge.
+        "pga-minibase" => top == Some("scrub"),
         "pga-cluster" => top == Some("sim"),
         "pga-control" => top == Some("elastic"),
         _ => false,

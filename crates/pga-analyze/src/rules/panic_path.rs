@@ -12,7 +12,7 @@ use crate::tokenizer::{Token, TokenKind};
 /// module list means the whole crate.
 const SCOPE: &[(&str, &[&str])] = &[
     ("pga-ingest", &["proxy"]),
-    ("pga-minibase", &["server", "region", "master"]),
+    ("pga-minibase", &["server", "region", "master", "scrub"]),
     ("pga-tsdb", &["api", "block", "compact"]),
     ("pga-cluster", &["rpc"]),
 ];

@@ -49,4 +49,27 @@ impl FxRegion {
         // pga-allow(epoch-fencing): single-copy path; the RPC carries no epoch and lease expiry bounds a deposed primary
         self.apply_replicated(seq)
     }
+
+    // The repair-install mutator (`RepairFetch` apply path): its name
+    // puts every call to it under the rule, like the WAL mutators.
+    pub fn repair_region_cell(&mut self, seq: u64) -> u64 {
+        self.applied = seq;
+        self.applied
+    }
+
+    // Fenced install: re-checks the fetch-time epoch before installing,
+    // so a promotion racing the repair is noticed and the install skipped.
+    pub fn install_repair_fenced(&mut self, fetch_epoch: u64, seq: u64) -> u64 {
+        if fetch_epoch != self.epoch {
+            return 0;
+        }
+        self.repair_region_cell(seq)
+    }
+
+    // Unfenced install: the payload was fetched under some epoch, but
+    // nothing re-checks it — a deposed primary's bytes could masquerade
+    // as a verified repair.
+    pub fn install_repair_unfenced(&mut self, seq: u64) -> u64 {
+        self.repair_region_cell(seq) // V:epoch-fencing
+    }
 }

@@ -646,6 +646,49 @@ fn main() {
     );
     save("BENCH_blocks", &blocks);
 
+    // ---------------------------------------------------------------- E22
+    println!("== E22: corruption resilience — salvage reads + background scrub ==");
+    let scfg = if quick {
+        pga_bench::ScrubBenchConfig::quick()
+    } else {
+        pga_bench::ScrubBenchConfig::full()
+    };
+    let scrub = pga_bench::scrub_resilience_experiment(&scfg);
+    let arm_row = |a: &pga_bench::ScrubArm| {
+        vec![
+            a.label.clone(),
+            a.queries.to_string(),
+            a.exact.to_string(),
+            a.typed_errors.to_string(),
+            a.wrong_answers.to_string(),
+        ]
+    };
+    let rows = vec![
+        vec![
+            "arm".to_string(),
+            "queries".to_string(),
+            "exact".to_string(),
+            "typed errors".to_string(),
+            "wrong answers".to_string(),
+        ],
+        arm_row(&scrub.before),
+        arm_row(&scrub.after),
+        arm_row(&scrub.post_scrub),
+    ];
+    println!("{}", render_table(&rows));
+    println!(
+        "{} blocks corrupted, {} reads salvaged, {} repairs ({} rejected) in {} scrub ticks, \
+         {} still quarantined (verdict {})\n",
+        scrub.corrupted_blocks,
+        scrub.salvaged_reads,
+        scrub.scrub_repairs,
+        scrub.scrub_rejected,
+        scrub.scrub_ticks,
+        scrub.quarantined_after,
+        if scrub.passed() { "HELD" } else { "FAILED" },
+    );
+    save("BENCH_scrub", &scrub);
+
     // ------------------------------------------------- real pipeline sanity
     println!("== real thread-scale pipeline (storage stack on this host) ==");
     let pipe = pipeline_throughput_experiment(4, if quick { 20 } else { 100 }, 17);

@@ -546,6 +546,7 @@ pub fn compaction_ablation_single(series: u32, hours: u64, compaction: bool) -> 
         Client::connect(&master),
         TsdConfig {
             write_path_compaction: compaction,
+            ..TsdConfig::default()
         },
     );
     let start = Instant::now();

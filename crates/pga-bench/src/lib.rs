@@ -15,6 +15,7 @@ pub mod faults;
 pub mod overload;
 pub mod queries;
 pub mod repl;
+pub mod scrub;
 pub mod table;
 
 pub use blocks::{block_format_experiment, BlockBenchConfig, BlockBenchReport, DetectArm, ScanArm};
@@ -33,4 +34,5 @@ pub use queries::{query_serving_experiment, QueryArm, QueryBenchConfig, QuerySer
 pub use repl::{
     failover_experiment, AvailabilityRow, CampaignSummary, FailoverReport, AVAILABILITY_BAR,
 };
+pub use scrub::{scrub_resilience_experiment, ScrubArm, ScrubBenchConfig, ScrubBenchReport};
 pub use table::render_table;

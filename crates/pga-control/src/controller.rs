@@ -142,6 +142,14 @@ impl<P: ScalingPolicy> ElasticController<P> {
             repl_fence_rejections: 0,
             repl_follower_reads: 0,
             repl_hedged_scans: 0,
+            // Scrub runs in the TSD layer; its registries mirror the
+            // counters via `record_scrub`.
+            scrub_cells: 0,
+            scrub_corrupt_blocks: 0,
+            scrub_quarantined: 0,
+            scrub_repairs: 0,
+            scrub_rejected: 0,
+            scrub_salvaged_reads: 0,
         })
     }
 
@@ -377,6 +385,12 @@ mod tests {
             repl_fence_rejections: 0,
             repl_follower_reads: 0,
             repl_hedged_scans: 0,
+            scrub_cells: 0,
+            scrub_corrupt_blocks: 0,
+            scrub_quarantined: 0,
+            scrub_repairs: 0,
+            scrub_rejected: 0,
+            scrub_salvaged_reads: 0,
         };
         ctl.report_ingest(proxy.clone());
         let r = ctl.step(&mut master, 1000);

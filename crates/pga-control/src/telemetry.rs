@@ -163,6 +163,21 @@ pub struct MetricsRegistry {
     pub repl_follower_reads: AtomicU64,
     /// Gauge: scans hedged to a follower after a slow/dead primary.
     pub repl_hedged_scans: AtomicU64,
+    /// Gauge: cells checksum-verified by the background scrub walk.
+    pub scrub_cells: AtomicU64,
+    /// Gauge: corrupt blocks ever detected (scrub walk plus read path).
+    pub scrub_corrupt_blocks: AtomicU64,
+    /// Gauge: spans sitting in quarantine right now.
+    pub scrub_quarantined: AtomicU64,
+    /// Gauge: blocks repaired from a healthy replica (CRC round-trip
+    /// passed before install).
+    pub scrub_repairs: AtomicU64,
+    /// Gauge: fetched repair payloads rejected by pre-install
+    /// verification.
+    pub scrub_rejected: AtomicU64,
+    /// Gauge: reads transparently answered from a replica after the
+    /// local copy failed verification.
+    pub scrub_salvaged_reads: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -210,6 +225,30 @@ impl MetricsRegistry {
             .store(hedged_scans, Ordering::Relaxed);
     }
 
+    /// Mirror corruption-resilience counters into this registry so the
+    /// next published [`NodeStats`] carries them. Cells/corrupt/repairs
+    /// come from the TSD scrub state and metrics; salvaged reads from
+    /// the read path. Gauges despite being monotonic at the source, like
+    /// [`MetricsRegistry::record_query_serving`].
+    pub fn record_scrub(
+        &self,
+        cells: u64,
+        corrupt_blocks: u64,
+        quarantined: u64,
+        repairs: u64,
+        rejected: u64,
+        salvaged_reads: u64,
+    ) {
+        self.scrub_cells.store(cells, Ordering::Relaxed);
+        self.scrub_corrupt_blocks
+            .store(corrupt_blocks, Ordering::Relaxed);
+        self.scrub_quarantined.store(quarantined, Ordering::Relaxed);
+        self.scrub_repairs.store(repairs, Ordering::Relaxed);
+        self.scrub_rejected.store(rejected, Ordering::Relaxed);
+        self.scrub_salvaged_reads
+            .store(salvaged_reads, Ordering::Relaxed);
+    }
+
     /// Snapshot the registry into the serializable wire form.
     ///
     /// The fields are independent gauges and monotonic counters with no
@@ -249,6 +288,12 @@ impl MetricsRegistry {
             repl_fence_rejections: self.repl_fence_rejections.load(Ordering::Relaxed),
             repl_follower_reads: self.repl_follower_reads.load(Ordering::Relaxed),
             repl_hedged_scans: self.repl_hedged_scans.load(Ordering::Relaxed),
+            scrub_cells: self.scrub_cells.load(Ordering::Relaxed),
+            scrub_corrupt_blocks: self.scrub_corrupt_blocks.load(Ordering::Relaxed),
+            scrub_quarantined: self.scrub_quarantined.load(Ordering::Relaxed),
+            scrub_repairs: self.scrub_repairs.load(Ordering::Relaxed),
+            scrub_rejected: self.scrub_rejected.load(Ordering::Relaxed),
+            scrub_salvaged_reads: self.scrub_salvaged_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -337,6 +382,28 @@ pub struct NodeStats {
     /// Scans hedged to a follower after a slow/dead primary.
     #[serde(default)]
     pub repl_hedged_scans: u64,
+    /// Cells checksum-verified by the background scrub walk. Defaults
+    /// (with the five fields below) keep pre-scrub snapshots parseable:
+    /// an old publisher simply reports no scrub activity.
+    #[serde(default)]
+    pub scrub_cells: u64,
+    /// Corrupt blocks ever detected (scrub walk plus read path).
+    #[serde(default)]
+    pub scrub_corrupt_blocks: u64,
+    /// Spans sitting in quarantine at snapshot time.
+    #[serde(default)]
+    pub scrub_quarantined: u64,
+    /// Blocks repaired from a healthy replica (CRC round-trip passed
+    /// before install).
+    #[serde(default)]
+    pub scrub_repairs: u64,
+    /// Fetched repair payloads rejected by pre-install verification.
+    #[serde(default)]
+    pub scrub_rejected: u64,
+    /// Reads transparently answered from a replica after the local copy
+    /// failed verification.
+    #[serde(default)]
+    pub scrub_salvaged_reads: u64,
 }
 
 impl NodeStats {
@@ -539,6 +606,28 @@ impl FleetSnapshot {
             .map(|n| n.repl_follower_reads + n.repl_hedged_scans)
             .sum()
     }
+
+    /// Spans quarantined across the fleet right now — the "corruption
+    /// awaiting repair" health signal.
+    pub fn quarantined_spans(&self) -> u64 {
+        self.nodes.iter().map(|n| n.scrub_quarantined).sum()
+    }
+
+    /// Cumulative replica-backed block repairs across the fleet.
+    pub fn total_scrub_repairs(&self) -> u64 {
+        self.nodes.iter().map(|n| n.scrub_repairs).sum()
+    }
+
+    /// Cumulative corrupt blocks detected across the fleet (scrub walks
+    /// plus read paths).
+    pub fn total_corrupt_blocks(&self) -> u64 {
+        self.nodes.iter().map(|n| n.scrub_corrupt_blocks).sum()
+    }
+
+    /// Cumulative reads salvaged from a replica across the fleet.
+    pub fn total_salvaged_reads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.scrub_salvaged_reads).sum()
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +664,12 @@ mod tests {
             repl_fence_rejections: 0,
             repl_follower_reads: 0,
             repl_hedged_scans: 0,
+            scrub_cells: 0,
+            scrub_corrupt_blocks: 0,
+            scrub_quarantined: 0,
+            scrub_repairs: 0,
+            scrub_rejected: 0,
+            scrub_salvaged_reads: 0,
         }
     }
 
@@ -630,6 +725,40 @@ mod tests {
         let back: NodeStats = serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
         assert_eq!(back.repl_lag_batches, 0);
         assert_eq!(back.repl_regions, 0);
+    }
+
+    #[test]
+    fn scrub_counters_flow_into_fleet_aggregates() {
+        let reg = MetricsRegistry::new(64);
+        reg.record_scrub(500, 3, 1, 2, 1, 4);
+        let a = reg.snapshot(0, 1);
+        assert_eq!(a.scrub_cells, 500);
+        assert_eq!(a.scrub_corrupt_blocks, 3);
+        assert_eq!(a.scrub_quarantined, 1);
+        let mut b = stats(1, 0, 64);
+        b.scrub_quarantined = 2;
+        b.scrub_repairs = 5;
+        b.scrub_salvaged_reads = 1;
+        let fleet = FleetSnapshot {
+            nodes: vec![a.clone(), b],
+        };
+        assert_eq!(fleet.quarantined_spans(), 3);
+        assert_eq!(fleet.total_scrub_repairs(), 7);
+        assert_eq!(fleet.total_corrupt_blocks(), 3);
+        assert_eq!(fleet.total_salvaged_reads(), 5);
+        // Pre-scrub snapshots (no scrub fields at all) still parse.
+        let serde_json::Value::Object(obj) = serde_json::to_value(&a) else {
+            panic!("NodeStats must serialize to an object");
+        };
+        let mut pruned = serde_json::Map::new();
+        for (k, val) in obj.iter() {
+            if !k.starts_with("scrub_") {
+                pruned.insert(k.clone(), val.clone());
+            }
+        }
+        let back: NodeStats = serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
+        assert_eq!(back.scrub_quarantined, 0);
+        assert_eq!(back.scrub_repairs, 0);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use serde::Serialize;
 
-use crate::schedule::{format_schedule, generate, generate_storm, GeneratorConfig, Schedule};
+use crate::schedule::{
+    format_schedule, generate, generate_corrupt, generate_storm, GeneratorConfig, Schedule,
+};
 use crate::sim::{run_with_baseline, SimConfig, SimStats};
 
 /// Campaign shape.
@@ -115,6 +117,16 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
 /// exercised on every seed rather than by chance.
 pub fn run_storm_campaign(config: &CampaignConfig) -> CampaignReport {
     campaign_with(config, &generate_storm)
+}
+
+/// Run a corruption campaign: every seed's schedule is guaranteed to
+/// contain a block flip and a scribble on top of the usual faults, so
+/// the corruption-resilience oracles — no silent wrong answers, scrub
+/// convergence at two live copies, checksum-verified repair installs —
+/// get exercised on every seed rather than by chance. Pair with a sim
+/// shape that replicates (factor ≥ 2) and seals blocks.
+pub fn run_corruption_campaign(config: &CampaignConfig) -> CampaignReport {
+    campaign_with(config, &generate_corrupt)
 }
 
 fn campaign_with(

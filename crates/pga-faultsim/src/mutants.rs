@@ -10,9 +10,11 @@ use std::sync::Arc;
 use pga_cluster::NodeId;
 use pga_minibase::{FaultHandle, FaultPlane, RegionId};
 
-use crate::campaign::{run_campaign, run_storm_campaign, CampaignConfig};
+use crate::campaign::{run_campaign, run_corruption_campaign, run_storm_campaign, CampaignConfig};
 use crate::plane::SimFaultPlane;
-use crate::schedule::{generate, generate_repl, parse_schedule, GeneratorConfig, Schedule};
+use crate::schedule::{
+    generate, generate_corrupt, generate_repl, parse_schedule, GeneratorConfig, Schedule,
+};
 use crate::sim::{run_inner, run_with_baseline, SimConfig, SimOutcome, Violation};
 
 /// The five seeded bugs.
@@ -34,6 +36,11 @@ enum Mutant {
     /// the first seal — acked late writes silently vanish at the next
     /// compaction.
     CompactionDropsMutableTail,
+    /// The scrubber installs a fetched repair payload without re-
+    /// verifying its checksum: anything corrupted between fetch and
+    /// install is laundered onto every copy as a "repair", and the stack
+    /// looks healthy again (quarantine cleared) while serving garbage.
+    NoReverifyRepair,
 }
 
 /// Wraps the faithful sim plane, delegating injection hooks and breaking
@@ -65,6 +72,10 @@ impl FaultPlane for MutantPlane {
         matches!(self.mutant, Mutant::CompactionDropsMutableTail)
     }
 
+    fn skip_repair_verify(&self, _region: RegionId) -> bool {
+        matches!(self.mutant, Mutant::NoReverifyRepair)
+    }
+
     fn tear_wal(&self, region: RegionId, encoded: &mut Vec<u8>) {
         self.inner.tear_wal(region, encoded)
     }
@@ -75,6 +86,14 @@ impl FaultPlane for MutantPlane {
 
     fn drop_ship(&self, region: RegionId) -> bool {
         self.inner.drop_ship(region)
+    }
+
+    fn scribble_repair(&self, region: RegionId, value: &mut Vec<u8>) {
+        self.inner.scribble_repair(region, value)
+    }
+
+    fn observe_repair_install(&self, region: RegionId, value: &[u8]) {
+        self.inner.observe_repair_install(region, value)
     }
 }
 
@@ -229,6 +248,77 @@ fn mutant_compaction_dropping_mutable_tail_is_detected_within_budget() {
     assert!(
         outcome.stats.late_fills > 0,
         "seed {seed}: detection must come from a late mutable-tail write"
+    );
+}
+
+/// Replicated block-sealing sim shape for the mutant-F budget: factor 2
+/// over three nodes so every corrupted primary block has one healthy
+/// follower copy for the scrubber to repair from, and block compaction
+/// on so sealed blocks exist to corrupt.
+fn corrupt_sim() -> SimConfig {
+    SimConfig {
+        replication_factor: 2,
+        block_compaction: true,
+        ..test_sim()
+    }
+}
+
+#[test]
+fn mutant_unverified_repair_install_is_detected_within_budget() {
+    let config = corrupt_sim();
+    let found = (0..SEED_BUDGET)
+        .map(|seed| {
+            (
+                seed,
+                run_with_mutant_gen(seed, Mutant::NoReverifyRepair, &config, &generate_corrupt),
+            )
+        })
+        .find(|(_, outcome)| {
+            outcome
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::UnverifiedRepairInstall { .. }))
+        });
+    let (seed, outcome) = found.expect("mutant F never detected");
+    assert!(
+        outcome.stats.repair_scribbles > 0,
+        "seed {seed}: detection must come from a repair scribbled in flight, stats: {:?}",
+        outcome.stats
+    );
+}
+
+/// The faithful scrubber survives the exact campaign shape used to
+/// corner mutant F: every seed corrupts primary blocks and scribbles
+/// repair fetches in flight, yet the pre-install checksum round-trip
+/// rejects tampered payloads, the quarantine converges from healthy
+/// follower copies, and no oracle — including no-silent-wrong-answers
+/// against the baseline — fires.
+#[test]
+fn faithful_stack_self_heals_a_corruption_campaign() {
+    let report = run_corruption_campaign(&CampaignConfig {
+        seeds: 6,
+        sim: corrupt_sim(),
+        ..CampaignConfig::default()
+    });
+    assert!(
+        report.passed(),
+        "faithful scrubber violated oracles: {:?}",
+        report.failures
+    );
+    assert!(
+        report.totals.corrupt_ops > 0,
+        "campaign never corrupted a sealed block: {:?}",
+        report.totals
+    );
+    assert!(
+        report.totals.scrub_repairs > 0,
+        "campaign never repaired from a replica: {:?}",
+        report.totals
+    );
+    assert!(
+        report.totals.scrub_rejected > 0,
+        "no scribbled repair payload was ever rejected pre-install: {:?}",
+        report.totals
     );
 }
 

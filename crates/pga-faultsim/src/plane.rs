@@ -36,6 +36,14 @@ struct PlaneState {
     ship_drops_armed: u64,
     /// Replication ships actually dropped in transit.
     ship_drops: u64,
+    /// In-flight repair scribbles still armed (each corruption op arms
+    /// one, so every corrupt block's first repair fetch is tampered).
+    repair_scribbles_armed: u64,
+    /// Repair payloads actually scribbled in flight.
+    repair_scribbles: u64,
+    /// Every repair payload the scrubber reported installing, in order
+    /// (observation tap, decoded post-run by the wrong-repair oracle).
+    repair_installs: Vec<Vec<u8>>,
 }
 
 /// Deterministic fault plane driven by the simulation loop.
@@ -67,6 +75,9 @@ impl SimFaultPlane {
                 tears: 0,
                 ship_drops_armed: 0,
                 ship_drops: 0,
+                repair_scribbles_armed: 0,
+                repair_scribbles: 0,
+                repair_installs: Vec::new(),
             }),
         }
     }
@@ -104,6 +115,28 @@ impl SimFaultPlane {
     /// Replication ships actually dropped so far.
     pub fn ship_drops(&self) -> u64 {
         self.state.lock().ship_drops
+    }
+
+    /// Arm the next `count` repair fetches to be scribbled in flight —
+    /// the transit-corruption window the pre-install CRC check exists
+    /// for. A faithful scrubber rejects each scribbled payload and
+    /// retries from the next-ranked copy / next tick.
+    pub fn arm_repair_scribbles(&self, count: u32) {
+        self.state.lock().repair_scribbles_armed += count as u64;
+    }
+
+    /// Repair payloads actually scribbled in flight so far.
+    pub fn repair_scribbles(&self) -> u64 {
+        self.state.lock().repair_scribbles
+    }
+
+    /// Every repair payload the scrubber reported installing, in order.
+    /// The wrong-repair oracle decodes each post-run: any undecodable
+    /// install means corrupt bytes were installed as a "repair" (the
+    /// mutant-F signature — a faithful scrubber's pre-install CRC check
+    /// makes this impossible).
+    pub fn repair_installs(&self) -> Vec<Vec<u8>> {
+        self.state.lock().repair_installs.clone()
     }
 }
 
@@ -150,6 +183,36 @@ impl FaultPlane for SimFaultPlane {
         st.events
             .push(format!("shipdrop region={} ({left} armed left)", region.0));
         true
+    }
+
+    fn scribble_repair(&self, region: RegionId, value: &mut Vec<u8>) {
+        let mut st = self.state.lock();
+        if st.repair_scribbles_armed == 0 || value.is_empty() {
+            return;
+        }
+        st.repair_scribbles_armed -= 1;
+        st.repair_scribbles += 1;
+        // Flip one seeded bit somewhere in the payload — enough to break
+        // the CRC, small enough to be invisible without it.
+        let idx = st.rng.gen_range(0..value.len());
+        let bit = st.rng.gen_range(0..8u8);
+        if let Some(byte) = value.get_mut(idx) {
+            *byte ^= 1 << bit;
+        }
+        st.events.push(format!(
+            "repair-scribble region={} byte={idx} bit={bit}",
+            region.0
+        ));
+    }
+
+    fn observe_repair_install(&self, region: RegionId, value: &[u8]) {
+        let mut st = self.state.lock();
+        st.repair_installs.push(value.to_vec());
+        st.events.push(format!(
+            "repair-install region={} len={}",
+            region.0,
+            value.len()
+        ));
     }
 }
 

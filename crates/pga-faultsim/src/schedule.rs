@@ -25,6 +25,10 @@ pub const STORM_STREAM: u64 = 0x93ab_50c7_6e21_fd04;
 /// ops never shift.
 pub const SHIP_STREAM: u64 = 0x2b74_c9e6_51a8_3df2;
 
+/// Stream separator for the corruption-op RNG. Block-flip and scribble
+/// ops ride their own stream so a seed's pre-corruption ops never shift.
+pub const CORRUPT_STREAM: u64 = 0x6e85_1f3a_c4d7_92b0;
+
 /// One injectable fault. The compact string form produced by
 /// [`format_schedule`] is the canonical serialization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +111,25 @@ pub enum FaultOp {
         /// Number of ships to swallow.
         count: u32,
     },
+    /// Flip one bit inside the `pick`-selected sealed-block cell on a
+    /// **primary** copy's store files — at-rest bit rot. Primaries only:
+    /// WAL-ship replication never propagates at-rest damage, so a live
+    /// follower always holds the healthy bytes and salvage/repair must
+    /// succeed at RF ≥ 2. Arms one in-flight repair scribble (see
+    /// `FaultPlane::scribble_repair`), so the faithful pre-install CRC
+    /// check is exercised too.
+    BlockFlip {
+        /// Deterministic cell selector (`pick % candidate count`).
+        pick: u32,
+    },
+    /// Overwrite the whole payload of the `pick`-selected sealed-block
+    /// cell on a primary copy with garbage — gross media failure, the
+    /// header-destroying cousin of [`FaultOp::BlockFlip`]. Also arms one
+    /// in-flight repair scribble.
+    Scribble {
+        /// Deterministic cell selector (`pick % candidate count`).
+        pick: u32,
+    },
 }
 
 impl FaultOp {
@@ -146,6 +169,8 @@ pub fn format_schedule(schedule: &[ScheduledFault]) -> String {
                 FaultOp::Storm { mult, steps } => format!("{s}:storm:{mult}:{steps}"),
                 FaultOp::SlowServer { node, steps } => format!("{s}:slow:{node}:{steps}"),
                 FaultOp::ShipDrop { count } => format!("{s}:shipdrop:{count}"),
+                FaultOp::BlockFlip { pick } => format!("{s}:blockflip:{pick}"),
+                FaultOp::Scribble { pick } => format!("{s}:scribble:{pick}"),
             }
         })
         .collect();
@@ -210,6 +235,8 @@ pub fn parse_schedule(text: &str) -> Result<Schedule, String> {
                 4,
             ),
             "shipdrop" => (FaultOp::ShipDrop { count: num(2)? }, 3),
+            "blockflip" => (FaultOp::BlockFlip { pick: num(2)? }, 3),
+            "scribble" => (FaultOp::Scribble { pick: num(2)? }, 3),
             other => return Err(format!("`{part}`: unknown op `{other}`")),
         };
         if fields.len() != arity {
@@ -299,6 +326,27 @@ pub fn generate(seed: u64, config: &GeneratorConfig) -> Schedule {
             },
         });
     }
+    // Corruption ops likewise (see [`CORRUPT_STREAM`]). Landed in the
+    // later two-thirds of the op window so compaction has had a chance to
+    // seal blocks worth corrupting; a no-op when none exist yet.
+    let corrupt_lo = (hi / 3).max(1);
+    let mut corrupt_rng = StdRng::seed_from_u64(seed ^ CORRUPT_STREAM);
+    if corrupt_rng.gen_bool(0.4) {
+        out.push(ScheduledFault {
+            step: corrupt_rng.gen_range(corrupt_lo..hi),
+            op: FaultOp::BlockFlip {
+                pick: corrupt_rng.gen_range(0..64),
+            },
+        });
+    }
+    if corrupt_rng.gen_bool(0.4) {
+        out.push(ScheduledFault {
+            step: corrupt_rng.gen_range(corrupt_lo..hi),
+            op: FaultOp::Scribble {
+                pick: corrupt_rng.gen_range(0..64),
+            },
+        });
+    }
     out
 }
 
@@ -315,6 +363,38 @@ pub fn generate_repl(seed: u64, config: &GeneratorConfig) -> Schedule {
             step: rng.gen_range(1..hi),
             op: FaultOp::ShipDrop {
                 count: rng.gen_range(1..=3),
+            },
+        });
+    }
+    out
+}
+
+/// Generate a corruption-focused schedule: the seeded base schedule plus
+/// a guaranteed block-flip and scribble op. Used by corruption campaigns
+/// and the mutant-F detection budget, so every seed exercises the
+/// quarantine/salvage/repair path rather than the ~40% the plain
+/// generator hits.
+pub fn generate_corrupt(seed: u64, config: &GeneratorConfig) -> Schedule {
+    let mut out = generate(seed, config);
+    let hi = (config.steps * 3 / 4).max(2);
+    let lo = (hi / 3).max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ CORRUPT_STREAM ^ 0xff);
+    if !out
+        .iter()
+        .any(|f| matches!(f.op, FaultOp::BlockFlip { .. }))
+    {
+        out.push(ScheduledFault {
+            step: rng.gen_range(lo..hi),
+            op: FaultOp::BlockFlip {
+                pick: rng.gen_range(0..64),
+            },
+        });
+    }
+    if !out.iter().any(|f| matches!(f.op, FaultOp::Scribble { .. })) {
+        out.push(ScheduledFault {
+            step: rng.gen_range(lo..hi),
+            op: FaultOp::Scribble {
+                pick: rng.gen_range(0..64),
             },
         });
     }
@@ -402,10 +482,12 @@ mod tests {
                 kinds.insert(part.split(':').nth(1).unwrap().to_string());
             }
         }
-        assert_eq!(kinds.len(), 10, "generator should exercise all op kinds");
+        assert_eq!(kinds.len(), 12, "generator should exercise all op kinds");
         assert!(kinds.contains("storm"));
         assert!(kinds.contains("slow"));
         assert!(kinds.contains("shipdrop"));
+        assert!(kinds.contains("blockflip"));
+        assert!(kinds.contains("scribble"));
     }
 
     #[test]
@@ -423,6 +505,8 @@ mod tests {
                         FaultOp::Storm { .. }
                             | FaultOp::SlowServer { .. }
                             | FaultOp::ShipDrop { .. }
+                            | FaultOp::BlockFlip { .. }
+                            | FaultOp::Scribble { .. }
                     )
                 })
                 .copied()
@@ -441,6 +525,27 @@ mod tests {
                     .iter()
                     .any(|f| matches!(f.op, FaultOp::ShipDrop { .. })),
                 "seed {seed} missing ship drop"
+            );
+            let text = format_schedule(&schedule);
+            assert_eq!(parse_schedule(&text).unwrap(), schedule, "via `{text}`");
+        }
+    }
+
+    #[test]
+    fn corrupt_schedules_always_contain_both_corruption_ops() {
+        for seed in 0..32u64 {
+            let schedule = generate_corrupt(seed, &config());
+            assert!(
+                schedule
+                    .iter()
+                    .any(|f| matches!(f.op, FaultOp::BlockFlip { .. })),
+                "seed {seed} missing block flip"
+            );
+            assert!(
+                schedule
+                    .iter()
+                    .any(|f| matches!(f.op, FaultOp::Scribble { .. })),
+                "seed {seed} missing scribble"
             );
             let text = format_schedule(&schedule);
             assert_eq!(parse_schedule(&text).unwrap(), schedule, "via `{text}`");

@@ -44,7 +44,8 @@ use pga_query::rollup::{self, RollupCell, RollupWriter};
 use pga_stats::distributions::normal_cdf;
 use pga_stats::multiple::Procedure;
 use pga_tsdb::{
-    BatchPoint, BlockRewriter, KeyCodec, KeyCodecConfig, QueryFilter, Tsd, TsdConfig, UidTable,
+    is_block_qualifier, verify_block, BatchPoint, BlockRewriter, KeyCodec, KeyCodecConfig,
+    QueryFilter, Tsd, TsdConfig, TsdError, UidTable,
 };
 
 use crate::plane::SimFaultPlane;
@@ -68,6 +69,12 @@ pub const SIM_ROW_SPAN: u64 = 20;
 /// With block compaction on, storage is major-compacted (running the
 /// sealing rewriter) every this many workload steps.
 const COMPACT_EVERY_STEPS: u32 = 8;
+
+/// Post-drain scrub ticks before the convergence oracle gives up. Worst
+/// case per corrupt key at factor 2: tick 1 burns the armed in-flight
+/// scribble plus the corrupt source copy, tick 2 installs from the clean
+/// follower — so four ticks leave comfortable slack.
+const SCRUB_TICKS: u32 = 4;
 
 /// Simulation shape. The defaults run one seed in well under a second.
 #[derive(Debug, Clone, Copy)]
@@ -199,6 +206,21 @@ pub enum Violation {
         /// What diverged.
         detail: String,
     },
+    /// A quarantined span with at least two live copies survived the
+    /// whole scrub epilogue: replica-backed repair failed to heal
+    /// corruption it had every ingredient to heal.
+    ScrubNotConverged {
+        /// Key and copy context.
+        detail: String,
+    },
+    /// The scrubber installed a repair payload that does not pass
+    /// checksum verification — corrupt bytes laundered as a "repair"
+    /// onto every copy (seeded mutant F's signature; a faithful
+    /// scrubber's pre-install round-trip makes this impossible).
+    UnverifiedRepairInstall {
+        /// Which install, and its size.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -230,6 +252,12 @@ impl fmt::Display for Violation {
             }
             Violation::ReplicaDiverged { region, detail } => {
                 write!(f, "replica-diverged [region {region}]: {detail}")
+            }
+            Violation::ScrubNotConverged { detail } => {
+                write!(f, "scrub-not-converged: {detail}")
+            }
+            Violation::UnverifiedRepairInstall { detail } => {
+                write!(f, "unverified-repair-install: {detail}")
             }
         }
     }
@@ -294,6 +322,31 @@ pub struct SimStats {
     /// sealed block — the mutable-tail overlap the compaction oracle
     /// depends on actually occurring.
     pub late_fills: u64,
+    /// At-rest corruption injections (block flips / scribbles) that
+    /// actually hit a stored sealed block on a primary copy.
+    pub corrupt_ops: u64,
+    /// Background scrub ticks run in the post-drain epilogue.
+    pub scrub_ticks: u64,
+    /// Sealed-block cells checksum-verified by those ticks.
+    pub cells_scrubbed: u64,
+    /// Quarantined spans repaired from a healthy copy — fetched, re-
+    /// verified and installed on every stale copy.
+    pub scrub_repairs: u64,
+    /// Fetched repair payloads rejected by pre-install verification
+    /// (in-flight scribbles and corrupt source copies).
+    pub scrub_rejected: u64,
+    /// Repair payloads the plane scribbled between fetch and install.
+    pub repair_scribbles: u64,
+    /// Quarantined keys left after the scrub epilogue (0 = converged).
+    pub quarantined_after: u64,
+    /// Reads healed in line by splicing a replica's copy over a corrupt
+    /// span (the TSD salvage path).
+    pub salvaged_reads: u64,
+    /// Post-drain queries that failed with the *typed* corruption error
+    /// — the no-healthy-copy allowance (e.g. factor 1, or every copy of
+    /// a span lost): a typed error is never a violation; a silent wrong
+    /// answer always is.
+    pub typed_corruption_errors: u64,
 }
 
 impl SimStats {
@@ -324,6 +377,15 @@ impl SimStats {
         self.ship_drops += other.ship_drops;
         self.compactions += other.compactions;
         self.late_fills += other.late_fills;
+        self.corrupt_ops += other.corrupt_ops;
+        self.scrub_ticks += other.scrub_ticks;
+        self.cells_scrubbed += other.cells_scrubbed;
+        self.scrub_repairs += other.scrub_repairs;
+        self.scrub_rejected += other.scrub_rejected;
+        self.repair_scribbles += other.repair_scribbles;
+        self.quarantined_after += other.quarantined_after;
+        self.salvaged_reads += other.salvaged_reads;
+        self.typed_corruption_errors += other.typed_corruption_errors;
     }
 
     /// Total faults injected (any kind).
@@ -337,6 +399,7 @@ impl SimStats {
             + self.storms
             + self.slow_faults
             + self.ship_drops
+            + self.corrupt_ops
     }
 }
 
@@ -374,6 +437,10 @@ fn rollup_tier(config: &SimConfig) -> u64 {
 struct Driver<'a> {
     config: &'a SimConfig,
     plane: Arc<SimFaultPlane>,
+    /// The handle actually installed on the stack — the plane, possibly
+    /// wrapped by a mutant. The scrub epilogue must run through this
+    /// same handle so seeded scrub mutants apply there too.
+    fault: FaultHandle,
     master: Master,
     tsds: Vec<Arc<Tsd>>,
     now_ms: u64,
@@ -419,6 +486,15 @@ fn series_label(key: SeriesKey) -> String {
     format!("unit={}/sensor={}", key.0, key.1)
 }
 
+/// A failed series query: the rendered error, plus whether it was the
+/// *typed* corruption error — the documented answer when a corrupt span
+/// has no healthy copy left to salvage from, and the only acceptable
+/// alternative to a bit-exact result.
+struct QueryError {
+    detail: String,
+    typed_corruption: bool,
+}
+
 impl<'a> Driver<'a> {
     fn new(
         seed: u64,
@@ -440,7 +516,8 @@ impl<'a> Driver<'a> {
         );
         let coord = Coordinator::new(config.lease_ms);
         let mut master = Master::bootstrap(config.nodes, ServerConfig::default(), coord, 0);
-        master.set_fault_plane(wrap(plane.clone()));
+        let fault = wrap(plane.clone());
+        master.set_fault_plane(fault.clone());
         let desc = TableDescriptor {
             name: "tsdb".into(),
             split_points: codec.split_points(),
@@ -488,6 +565,7 @@ impl<'a> Driver<'a> {
         Driver {
             config,
             plane,
+            fault,
             master,
             tsds,
             now_ms: 0,
@@ -741,7 +819,79 @@ impl<'a> Driver<'a> {
                 self.plane.arm_ship_drops(count);
                 self.log(format!("t={now} arm {count} replication ship drops"));
             }
+            FaultOp::BlockFlip { pick } => self.corrupt_block(pick, false),
+            FaultOp::Scribble { pick } => self.corrupt_block(pick, true),
         }
+    }
+
+    /// At-rest corruption injector: mutate one stored sealed block on its
+    /// **primary** copy — followers keep their good bytes (WAL shipping
+    /// replicates writes, not bit rot), which is exactly the asymmetry
+    /// replica-backed repair exists for. `pick` selects the region and
+    /// the cell deterministically; `scribble` overwrites the payload
+    /// where a flip touches one bit. Each hit also arms one in-flight
+    /// repair scribble, so the span's first repair fetch is tampered and
+    /// the pre-install re-verification is exercised on every corrupt
+    /// block, not by chance. A no-op when no sealed block exists yet —
+    /// bit rot that lands on empty tracks.
+    fn corrupt_block(&mut self, pick: u32, scribble: bool) {
+        let now = self.now_ms;
+        let kind = if scribble { "scribble" } else { "blockflip" };
+        let infos = {
+            let dir = self.master.directory();
+            let dir = dir.read();
+            dir.clone()
+        };
+        if infos.is_empty() {
+            return;
+        }
+        let n = infos.len();
+        for off in 0..n {
+            let info = &infos[(pick as usize + off) % n];
+            if self.crashed.contains(&info.server.0) {
+                continue;
+            }
+            let Some(server) = self.master.server(info.server) else {
+                continue;
+            };
+            let mutate: &dyn Fn(&mut Vec<u8>) = if scribble {
+                &|value: &mut Vec<u8>| {
+                    for (i, byte) in value.iter_mut().enumerate() {
+                        *byte ^= 0xa5u8
+                            .wrapping_add((i as u8).wrapping_mul(13))
+                            .wrapping_add(pick as u8)
+                            | 0x01;
+                    }
+                }
+            } else {
+                &|value: &mut Vec<u8>| {
+                    if value.is_empty() {
+                        return;
+                    }
+                    let idx = (pick as usize / 8) % value.len();
+                    value[idx] ^= 1 << (pick % 8);
+                }
+            };
+            let hit = server.corrupt_region_cell(
+                info.id,
+                u64::from(pick),
+                &|kv| is_block_qualifier(&kv.qualifier),
+                mutate,
+            );
+            if let Some((row, _)) = hit {
+                self.stats.corrupt_ops += 1;
+                self.plane.arm_repair_scribbles(1);
+                self.log(format!(
+                    "t={now} {kind} corrupted sealed block (row {:02x?}…) in region {} on \
+                     primary node {}",
+                    &row[..row.len().min(6)],
+                    info.id.0,
+                    info.server.0
+                ));
+                return;
+            }
+        }
+        self.log(format!("t={now} {kind} found no sealed block (skipped)"));
     }
 
     /// A TSD fronted by a node that has not crashed (clients route through
@@ -753,10 +903,11 @@ impl<'a> Driver<'a> {
     }
 
     /// Query one series' stored points through a surviving TSD.
-    fn query_series(&self, key: SeriesKey) -> Result<Vec<(u64, f64)>, String> {
-        let tsd = self
-            .healthy_tsd()
-            .ok_or_else(|| "no surviving tsd".to_string())?;
+    fn query_series(&self, key: SeriesKey) -> Result<Vec<(u64, f64)>, QueryError> {
+        let tsd = self.healthy_tsd().ok_or_else(|| QueryError {
+            detail: "no surviving tsd".to_string(),
+            typed_corruption: false,
+        })?;
         let unit = key.0.to_string();
         let sensor = key.1.to_string();
         let filter = QueryFilter::any()
@@ -764,7 +915,10 @@ impl<'a> Driver<'a> {
             .with("sensor", &sensor);
         let series = tsd
             .query("energy", &filter, 0, self.next_ts + 10)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| QueryError {
+                typed_corruption: matches!(e, TsdError::Corrupt(_)),
+                detail: e.to_string(),
+            })?;
         let mut points: Vec<(u64, f64)> = series
             .iter()
             .flat_map(|s| s.points.iter().map(|p| (p.timestamp, p.value)))
@@ -835,7 +989,8 @@ impl<'a> Driver<'a> {
             match self.query_series(key) {
                 Err(e) => {
                     let now = self.now_ms;
-                    self.log(format!("t={now} {context} check skipped ({e})"));
+                    let detail = e.detail;
+                    self.log(format!("t={now} {context} check skipped ({detail})"));
                     return;
                 }
                 Ok(stored) => {
@@ -1001,6 +1156,83 @@ impl<'a> Driver<'a> {
         }
     }
 
+    /// Post-drain scrub epilogue: run background scrub ticks through the
+    /// installed fault handle until the quarantine drains (or the tick
+    /// budget runs out), then — if anything was repaired — re-seal every
+    /// copy so repaired primaries and their followers converge back to
+    /// identical layouts before the replica-equality oracle runs (a
+    /// corrupt block pauses sealing for its row, so the primary may
+    /// still carry raw cells its followers already sealed).
+    ///
+    /// Convergence oracle: a span still quarantined while at least one
+    /// reachable copy verifies is a [`Violation::ScrubNotConverged`] —
+    /// repair had a healthy source one RPC away and failed to use it.
+    /// Spans with *no* verifiable copy left stay quarantined by design
+    /// (factor 1, every holder crashed, or corruption that propagated
+    /// through a re-replication fork of the corrupt primary); reads of
+    /// them keep answering the typed corruption error.
+    fn scrub_epilogue(&mut self) {
+        let Some(tsd) = self.healthy_tsd().cloned() else {
+            return;
+        };
+        let mut repaired = 0u64;
+        for _ in 0..SCRUB_TICKS {
+            let report = tsd.scrub_tick(&self.master, &self.fault);
+            self.stats.scrub_ticks += 1;
+            self.stats.cells_scrubbed += report.cells_scrubbed;
+            self.stats.scrub_repairs += report.repairs_installed;
+            self.stats.scrub_rejected += report.repairs_rejected;
+            repaired += report.repairs_installed;
+            let now = self.now_ms;
+            self.log(format!(
+                "t={now} scrub tick: {} cells verified, {} newly quarantined, {} repaired, \
+                 {} rejected pre-install, {} still quarantined",
+                report.cells_scrubbed,
+                report.newly_quarantined,
+                report.repairs_installed,
+                report.repairs_rejected,
+                report.quarantined_after
+            ));
+            if report.quarantined_after == 0 {
+                break;
+            }
+        }
+        if repaired > 0 {
+            self.compact_storage("post-scrub");
+        }
+        let remaining = tsd.scrub_state().quarantined();
+        self.stats.quarantined_after = remaining.len() as u64;
+        for key in remaining {
+            let mut end = key.row.to_vec();
+            end.push(0);
+            let copies = tsd
+                .client()
+                .repair_fetch(&RowRange::new(key.row.to_vec(), end));
+            let healthy = copies.iter().any(|c| {
+                c.cells.iter().any(|kv| {
+                    kv.row == key.row
+                        && kv.qualifier == key.qualifier
+                        && verify_block(&kv.value).is_ok()
+                })
+            });
+            let now = self.now_ms;
+            if healthy {
+                self.violations.push(Violation::ScrubNotConverged {
+                    detail: format!(
+                        "span (row {:02x?}…) still quarantined after {SCRUB_TICKS} ticks with a \
+                         verifiable copy reachable",
+                        &key.row[..key.row.len().min(6)]
+                    ),
+                });
+            } else {
+                self.log(format!(
+                    "t={now} span (row {:02x?}…) stays quarantined: no verifiable copy reachable",
+                    &key.row[..key.row.len().min(6)]
+                ));
+            }
+        }
+    }
+
     /// Post-drain authoritative oracle pass. Returns the stored points per
     /// series for the detection oracle (None when a query failed).
     fn final_checks(&mut self) -> Option<BTreeMap<SeriesKey, Vec<(u64, f64)>>> {
@@ -1009,10 +1241,24 @@ impl<'a> Driver<'a> {
         let mut ok = true;
         for key in keys {
             match self.query_series(key) {
+                Err(e) if e.typed_corruption => {
+                    // The no-healthy-copy allowance: a corrupt span with
+                    // no replica to salvage from must answer with the
+                    // typed error — which is what just happened. Not a
+                    // violation, but the data is unreadable, so the
+                    // detection oracle is skipped for this run.
+                    self.stats.typed_corruption_errors += 1;
+                    let now = self.now_ms;
+                    let (label, detail) = (series_label(key), e.detail);
+                    self.log(format!(
+                        "t={now} final query [{label}] answered typed corruption error ({detail})"
+                    ));
+                    ok = false;
+                }
                 Err(e) => {
                     self.violations.push(Violation::QueryFailed {
                         series: series_label(key),
-                        detail: e,
+                        detail: e.detail,
                     });
                     ok = false;
                 }
@@ -1322,8 +1568,28 @@ pub(crate) fn run_inner(
     }
     if config.block_compaction {
         // One final seal so the authoritative scans read through blocks,
-        // not around them.
+        // not around them — then the background scrubber's turn: detect
+        // whatever bit rot the schedule planted, repair it from healthy
+        // replicas, and converge the quarantine before the authoritative
+        // oracles run.
         driver.compact_storage("post-drain");
+        driver.scrub_epilogue();
+    }
+    // Wrong-repair oracle: every payload the scrubber reported installing
+    // must itself pass checksum verification — the observation tap is the
+    // only way to catch corrupt bytes laundered as a "repair", because a
+    // self-healing stack looks healthy again by the time end-state checks
+    // run (seeded mutant F skips the pre-install round-trip).
+    driver.stats.repair_scribbles = driver.plane.repair_scribbles();
+    for (i, payload) in driver.plane.repair_installs().iter().enumerate() {
+        if let Err(e) = verify_block(payload) {
+            driver.violations.push(Violation::UnverifiedRepairInstall {
+                detail: format!(
+                    "repair install #{i} ({} bytes) fails verification ({e})",
+                    payload.len()
+                ),
+            });
+        }
     }
     if config.rollups {
         // Before the raw checks, so the flush puts are also covered by
@@ -1344,6 +1610,16 @@ pub(crate) fn run_inner(
         .final_checks()
         .map(|stored| detection_flags(&stored))
         .unwrap_or_default();
+    // After the final queries: in-line salvage fires inside them.
+    driver.stats.salvaged_reads = driver
+        .tsds
+        .iter()
+        .map(|t| {
+            t.metrics()
+                .salvaged_reads
+                .load(std::sync::atomic::Ordering::Relaxed)
+        })
+        .sum();
     driver.master.shutdown();
     SimOutcome {
         seed,

@@ -126,6 +126,17 @@ pub struct Client {
     repl: Arc<LagBook>,
 }
 
+/// One copy's answer to a scrub repair fetch ([`Client::repair_fetch`]).
+#[derive(Debug, Clone)]
+pub struct RepairCopy {
+    /// Node hosting the copy.
+    pub node: NodeId,
+    /// The copy's last durable WAL sequence (source-ranking input).
+    pub applied_seq: u64,
+    /// Cells in the requested span on this copy.
+    pub cells: Vec<KeyValue>,
+}
+
 /// Outcome of one replicated-put attempt (internal).
 enum ReplPut {
     /// Quorum durable; the batch is acknowledged.
@@ -660,6 +671,68 @@ impl Client {
         Ok(out)
     }
 
+    /// Fetch a span from **every reachable copy** of the region(s)
+    /// overlapping `range`, for scrub repair. Infallible by design: an
+    /// unreachable, fenced, or mis-routed copy is simply absent from the
+    /// answer — the scrubber treats "no verifiable copy" as
+    /// repair-unavailable and retries next tick rather than erroring.
+    /// Each fetch is epoch-fenced at the replica; on a fence the client
+    /// refreshes its view from the shared directory and retries that
+    /// copy once under the new epoch.
+    pub fn repair_fetch(&self, range: &RowRange) -> Vec<RepairCopy> {
+        let infos: Vec<_> = {
+            let dir = self.directory.read();
+            dir.iter()
+                .filter(|i| i.range.overlaps(range))
+                .cloned()
+                .collect()
+        };
+        let mut copies = Vec::new();
+        for info in infos {
+            let mut epoch = info.epoch;
+            for node in info.replicas() {
+                let Some(handle) = self.handles.get(&node) else {
+                    continue;
+                };
+                let mut attempts = 0;
+                loop {
+                    attempts += 1;
+                    match handle.call_with(
+                        Request::RepairFetch {
+                            region: info.id,
+                            range: range.clone(),
+                            epoch,
+                        },
+                        RequestClass::Read,
+                        None,
+                    ) {
+                        Ok(Response::RepairCells { cells, applied_seq }) => {
+                            copies.push(RepairCopy {
+                                node,
+                                applied_seq,
+                                cells,
+                            });
+                            break;
+                        }
+                        // Our epoch is stale (a promotion raced us):
+                        // refresh from the master-updated directory and
+                        // retry this copy once under the current epoch.
+                        Ok(Response::Fenced { .. }) if attempts < 2 => {
+                            let dir = self.directory.read();
+                            if let Some(fresh) = dir.iter().find(|i| i.id == info.id) {
+                                epoch = fresh.epoch;
+                            } else {
+                                break;
+                            }
+                        }
+                        Ok(_) | Err(_) => break,
+                    }
+                }
+            }
+        }
+        copies
+    }
+
     /// Flush every region (test/bench hygiene).
     pub fn flush_all(&self) -> Result<(), ClientError> {
         let infos: Vec<_> = self.directory.read().clone();
@@ -674,19 +747,25 @@ impl Client {
         Ok(())
     }
 
-    /// Flush then major-compact every region — with a compaction rewriter
-    /// installed this is what seals finished rows into columnar blocks.
+    /// Flush then major-compact every region copy — with a compaction
+    /// rewriter installed this is what seals finished rows into columnar
+    /// blocks. Follower copies compact too (the rewriter is deterministic,
+    /// so copies holding the same cells seal byte-identical blocks): that
+    /// keeps caught-up replicas comparable cell-for-cell *and* gives the
+    /// scrub repair path block-for-block healthy sources to fetch from.
     pub fn compact_all(&self) -> Result<(), ClientError> {
         let infos: Vec<_> = self.directory.read().clone();
         for info in infos {
-            if let Some(handle) = self.handles.get(&info.server) {
-                match handle.call(Request::Flush { region: info.id }) {
-                    Ok(_) => {}
-                    Err(e) => return Err(ClientError::Rpc(e)),
-                }
-                match handle.call(Request::Compact { region: info.id }) {
-                    Ok(_) => {}
-                    Err(e) => return Err(ClientError::Rpc(e)),
+            for node in info.replicas() {
+                if let Some(handle) = self.handles.get(&node) {
+                    match handle.call(Request::Flush { region: info.id }) {
+                        Ok(_) => {}
+                        Err(e) => return Err(ClientError::Rpc(e)),
+                    }
+                    match handle.call(Request::Compact { region: info.id }) {
+                        Ok(_) => {}
+                        Err(e) => return Err(ClientError::Rpc(e)),
+                    }
                 }
             }
         }

@@ -12,8 +12,12 @@
 //! magic "PGSF" | version u8 | sequence u64 | cell_count u64
 //! repeat cell_count times:
 //!   row_len u16 | row | qual_len u16 | qual | timestamp u64 | val_len u32 | value
-//! crc-ish footer: xor-fold checksum u64
+//! footer: v1 = xor-fold checksum u64, v2 = CRC-32 u32
 //! ```
+//!
+//! Version 2 replaced the v1 xor-fold footer with CRC-32 (IEEE),
+//! matching the sealed-block codec's integrity bar. New files are always
+//! written v2; v1 files remain readable so existing stores load.
 
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -24,7 +28,10 @@ use crate::kv::KeyValue;
 use crate::storefile::StoreFile;
 
 const MAGIC: &[u8; 4] = b"PGSF";
-const VERSION: u8 = 1;
+/// Legacy format: xor-fold u64 footer.
+const VERSION_XORFOLD: u8 = 1;
+/// Current format: CRC-32 u32 footer.
+const VERSION: u8 = 2;
 
 /// Errors from store-file persistence.
 #[derive(Debug)]
@@ -53,14 +60,49 @@ impl From<std::io::Error> for DiskStoreError {
 }
 
 fn checksum(bytes: &[u8]) -> u64 {
-    // xor-fold with a multiplier: cheap, order-sensitive, catches the
-    // truncation/bit-rot cases a unit test can reasonably produce.
+    // v1 footer: xor-fold with a multiplier. Weaker than CRC (no burst
+    // guarantees); kept only to read legacy files.
     let mut acc = 0xcbf29ce484222325u64;
     for &b in bytes {
         acc ^= b as u64;
         acc = acc.wrapping_mul(0x100000001b3);
     }
     acc
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven — the same
+/// construction the sealed-block codec uses. Re-implemented here rather
+/// than imported because the dependency arrow points the other way
+/// (`pga-tsdb` builds on this crate).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = build_crc_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        let entry = TABLE.get(idx).copied().unwrap_or(0); // idx < 256 by construction
+        crc = (crc >> 8) ^ entry;
+    }
+    !crc
+}
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
 }
 
 /// Serialise a store file's cells to `path` (atomic: temp + rename).
@@ -86,7 +128,7 @@ pub fn write_store_file(
         payload.extend_from_slice(&(kv.value.len() as u32).to_le_bytes());
         payload.extend_from_slice(&kv.value);
     }
-    let sum = checksum(&payload);
+    let sum = crc32(&payload);
     payload.extend_from_slice(&sum.to_le_bytes());
     let tmp = path.with_extension("tmp");
     {
@@ -104,14 +146,36 @@ pub fn write_store_file(
 pub fn read_store_file(path: &Path) -> Result<(u64, Vec<KeyValue>), DiskStoreError> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-    if bytes.len() < MAGIC.len() + 1 + 8 + 8 + 8 {
+    if bytes.len() < MAGIC.len() + 1 + 8 + 8 + 4 {
         return Err(DiskStoreError::Corrupt("file too short".into()));
     }
-    let (payload, footer) = bytes.split_at(bytes.len() - 8);
-    let stored_sum = u64::from_le_bytes(footer.try_into().expect("8 bytes"));
-    if checksum(payload) != stored_sum {
-        return Err(DiskStoreError::Corrupt("checksum mismatch".into()));
+    // The footer width depends on the version byte, so sniff the header
+    // before verifying: v1 carries an xor-fold u64, v2 a CRC-32 u32.
+    if bytes.get(..4) != Some(&MAGIC[..]) {
+        return Err(DiskStoreError::Corrupt("bad magic".into()));
     }
+    let payload = match bytes.get(4).copied() {
+        Some(VERSION_XORFOLD) => {
+            if bytes.len() < MAGIC.len() + 1 + 8 + 8 + 8 {
+                return Err(DiskStoreError::Corrupt("file too short".into()));
+            }
+            let (payload, footer) = bytes.split_at(bytes.len() - 8);
+            let stored_sum = u64::from_le_bytes(footer.try_into().expect("8 bytes"));
+            if checksum(payload) != stored_sum {
+                return Err(DiskStoreError::Corrupt("checksum mismatch".into()));
+            }
+            payload
+        }
+        Some(VERSION) => {
+            let (payload, footer) = bytes.split_at(bytes.len() - 4);
+            let stored_sum = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
+            if crc32(payload) != stored_sum {
+                return Err(DiskStoreError::Corrupt("crc32 mismatch".into()));
+            }
+            payload
+        }
+        v => return Err(DiskStoreError::Corrupt(format!("unknown version {v:?}"))),
+    };
     let mut cursor = 0usize;
     let take = |cursor: &mut usize, n: usize| -> Result<&[u8], DiskStoreError> {
         if *cursor + n > payload.len() {
@@ -125,7 +189,7 @@ pub fn read_store_file(path: &Path) -> Result<(u64, Vec<KeyValue>), DiskStoreErr
         return Err(DiskStoreError::Corrupt("bad magic".into()));
     }
     let version = take(&mut cursor, 1)?[0];
-    if version != VERSION {
+    if version != VERSION && version != VERSION_XORFOLD {
         return Err(DiskStoreError::Corrupt(format!(
             "unknown version {version}"
         )));
@@ -304,6 +368,69 @@ mod tests {
         let reloaded = load_store_files(&dir).unwrap();
         assert_eq!(reloaded.len(), 1);
         assert_eq!(reloaded[0].sequence(), 3);
+    }
+
+    /// Write a file in the legacy v1 layout (xor-fold u64 footer) the way
+    /// pre-upgrade builds did.
+    fn write_v1_file(path: &Path, sequence: u64, cells: &[KeyValue]) {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(MAGIC);
+        payload.push(VERSION_XORFOLD);
+        payload.extend_from_slice(&sequence.to_le_bytes());
+        payload.extend_from_slice(&(cells.len() as u64).to_le_bytes());
+        for kv in cells {
+            payload.extend_from_slice(&(kv.row.len() as u16).to_le_bytes());
+            payload.extend_from_slice(&kv.row);
+            payload.extend_from_slice(&(kv.qualifier.len() as u16).to_le_bytes());
+            payload.extend_from_slice(&kv.qualifier);
+            payload.extend_from_slice(&kv.timestamp.to_le_bytes());
+            payload.extend_from_slice(&(kv.value.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&kv.value);
+        }
+        let sum = checksum(&payload);
+        payload.extend_from_slice(&sum.to_le_bytes());
+        std::fs::write(path, payload).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let dir = temp_dir("v1-compat");
+        let path = dir.join("sf-1.psf");
+        let data = cells(30);
+        write_v1_file(&path, 13, &data);
+        let (seq, back) = read_store_file(&path).unwrap();
+        assert_eq!(seq, 13);
+        assert_eq!(back, data);
+        // And a flipped byte in a v1 file is still caught by its footer.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_store_file(&path),
+            Err(DiskStoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn new_files_are_v2_crc32() {
+        let dir = temp_dir("v2");
+        let path = dir.join("sf-1.psf");
+        write_store_file(&path, 5, &cells(8)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[4], VERSION);
+        let (payload, footer) = bytes.split_at(bytes.len() - 4);
+        assert_eq!(
+            u32::from_le_bytes(footer.try_into().unwrap()),
+            crc32(payload)
+        );
+    }
+
+    #[test]
+    fn crc32_matches_ieee_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

@@ -29,6 +29,15 @@
 //!   raw cells overlapping an already-sealed block instead of merging
 //!   them (seeded mutant E: late-arriving points vanish at the next
 //!   compaction).
+//! * [`FaultPlane::scribble_repair`] — corrupts the bytes a scrub repair
+//!   fetched from a peer while they are in flight, modelling the
+//!   transit/bit-rot window between fetch and install. The faithful
+//!   scrubber's pre-install CRC re-verification rejects the scribbled
+//!   payload.
+//! * [`FaultPlane::skip_repair_verify`] — the scrubber installs a fetched
+//!   repair payload **without** re-verifying its CRC first (seeded mutant
+//!   F: a corrupt fetch becomes a corrupt "repair" and the quarantine
+//!   entry is cleared over bad bytes).
 
 use std::sync::Arc;
 
@@ -95,6 +104,25 @@ pub trait FaultPlane: Send + Sync + std::fmt::Debug {
     fn drop_sealed_overlap(&self, _region: RegionId) -> bool {
         false
     }
+
+    /// Mutate repair bytes fetched from a peer before the scrubber gets
+    /// to verify/install them — the in-flight corruption window. The
+    /// faithful repair path must catch any change here by CRC
+    /// re-verification and refuse the install.
+    fn scribble_repair(&self, _region: RegionId, _value: &mut Vec<u8>) {}
+
+    /// When `true`, the scrubber installs fetched repair bytes without
+    /// re-verifying their checksum first (deliberately broken repair —
+    /// mutant F).
+    fn skip_repair_verify(&self, _region: RegionId) -> bool {
+        false
+    }
+
+    /// Observation tap, not an injection: the scrubber reports every
+    /// repair payload it actually installs, so a harness can check the
+    /// "installed repairs are always checksum-valid" invariant from
+    /// outside the repair path.
+    fn observe_repair_install(&self, _region: RegionId, _value: &[u8]) {}
 }
 
 /// The faithful plane: every hook is a no-op.
@@ -125,5 +153,10 @@ mod tests {
         assert!(!plane.drop_ship(RegionId(1)));
         assert!(!plane.allow_ship_gap(RegionId(1)));
         assert!(!plane.drop_sealed_overlap(RegionId(1)));
+        let mut repair = vec![9, 8, 7];
+        plane.scribble_repair(RegionId(1), &mut repair);
+        assert_eq!(repair, vec![9, 8, 7]);
+        assert!(!plane.skip_repair_verify(RegionId(1)));
+        plane.observe_repair_install(RegionId(1), &repair); // no-op tap
     }
 }

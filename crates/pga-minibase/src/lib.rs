@@ -24,6 +24,9 @@
 //!   handled an equal proportion of the writes"), liveness via the
 //!   coordinator and reassignment of regions from dead servers.
 //! * [`client`] — routing client with retry-on-stale-directory.
+//! * [`scrub`] — background corruption scrub: a pluggable cell verifier,
+//!   a quarantine set, and a repair pass that re-fetches corrupt spans
+//!   from healthy replicas (CRC round-trip before install).
 //! * [`fault`] — injectable fault plane (no-op by default) used by the
 //!   `pga-faultsim` deterministic crash/partition harness.
 
@@ -39,21 +42,26 @@ pub mod memstore;
 pub mod region;
 pub mod rewrite;
 pub mod scanner;
+pub mod scrub;
 pub mod server;
 pub mod storefile;
 pub mod wal;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RepairCopy};
 pub use diskstore::{
     load_store_files, persist_store_files, read_store_file, write_store_file, DiskStoreError,
 };
 pub use fault::{no_faults, FaultHandle, FaultPlane, NoFaults};
 pub use kv::{KeyValue, RowRange};
-pub use master::{Master, RegionInfo, TableDescriptor};
+pub use master::{locate, Master, RegionInfo, TableDescriptor};
 pub use memstore::MemStore;
 pub use region::{Region, RegionConfig, RegionId};
 pub use rewrite::{CompactionRewriter, RewriteContext, RewriterHandle};
 pub use scanner::merge_scan;
+pub use scrub::{
+    scrub_tick, CellVerifier, QuarantineKey, ScrubFinding, ScrubState, ScrubTickReport,
+    VerifierHandle,
+};
 pub use server::{request_class, RegionServer, Request, Response, ServerConfig};
 pub use storefile::StoreFile;
 pub use wal::{WalDecodeReport, WriteAheadLog};

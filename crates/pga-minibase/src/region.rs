@@ -434,6 +434,120 @@ impl Region {
         self.memstore.len() + self.files.iter().map(|f| f.len()).sum::<usize>()
     }
 
+    /// Scrub pass: verify every store-file cell the `verifier` covers,
+    /// returning how many were checked and the `(row, qualifier)` keys
+    /// that failed. Read-only and sequential — the low-priority walk the
+    /// background scrubber rides on the compaction cadence.
+    pub fn scrub_cells(
+        &self,
+        verifier: &dyn crate::scrub::CellVerifier,
+    ) -> crate::scrub::ScrubFinding {
+        let mut finding = crate::scrub::ScrubFinding::default();
+        for f in &self.files {
+            for kv in f.scan(&RowRange::all()) {
+                if !verifier.covers(kv) {
+                    continue;
+                }
+                finding.scanned += 1;
+                if !verifier.verify(kv) {
+                    finding.corrupt.push((kv.row.clone(), kv.qualifier.clone()));
+                }
+            }
+        }
+        finding
+    }
+
+    /// Fault-injection hook (corruption harnesses only): pick the
+    /// `pick % n`-th store-file cell matching `selector` and mutate its
+    /// value bytes in place with `mutate`, modelling at-rest bit rot.
+    /// Returns the affected `(row, qualifier)`, or `None` when nothing
+    /// matches. Only the value is touched, so sort order is preserved.
+    pub fn corrupt_cell_for_fault_injection(
+        &mut self,
+        pick: u64,
+        selector: &dyn Fn(&KeyValue) -> bool,
+        mutate: &dyn Fn(&mut Vec<u8>),
+    ) -> Option<(Bytes, Bytes)> {
+        let total: usize = self
+            .files
+            .iter()
+            .map(|f| f.scan(&RowRange::all()).filter(|kv| selector(kv)).count())
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (pick % total as u64) as usize;
+        let mut seen = 0usize;
+        for fi in 0..self.files.len() {
+            let Some(file) = self.files.get(fi) else {
+                continue;
+            };
+            let matches = file
+                .scan(&RowRange::all())
+                .filter(|kv| selector(kv))
+                .count();
+            if seen + matches <= target {
+                seen += matches;
+                continue;
+            }
+            let within = target - seen;
+            let seq = file.sequence();
+            let mut cells: Vec<KeyValue> = file.scan(&RowRange::all()).cloned().collect();
+            let mut hit = None;
+            let mut mi = 0usize;
+            for kv in cells.iter_mut() {
+                if !selector(kv) {
+                    continue;
+                }
+                if mi == within {
+                    let mut value = kv.value.to_vec();
+                    mutate(&mut value);
+                    kv.value = Bytes::from(value);
+                    hit = Some((kv.row.clone(), kv.qualifier.clone()));
+                    break;
+                }
+                mi += 1;
+            }
+            if let Some(slot) = self.files.get_mut(fi) {
+                *slot = StoreFile::from_sorted(cells, seq);
+            }
+            return hit;
+        }
+        None
+    }
+
+    /// Repair install: replace the stored value of every store-file cell
+    /// at `(row, qualifier)` with `value`, keeping timestamps. Returns
+    /// how many cells were replaced (0 = the key is not stored here).
+    /// Only called by the scrub repair path, with bytes that already
+    /// round-tripped checksum verification.
+    pub fn replace_cell_value(&mut self, row: &[u8], qualifier: &[u8], value: &Bytes) -> usize {
+        let mut replaced = 0usize;
+        for fi in 0..self.files.len() {
+            let Some(file) = self.files.get(fi) else {
+                continue;
+            };
+            let hit = file
+                .scan(&RowRange::all())
+                .any(|kv| kv.row == row && kv.qualifier == qualifier && kv.value != *value);
+            if !hit {
+                continue;
+            }
+            let seq = file.sequence();
+            let mut cells: Vec<KeyValue> = file.scan(&RowRange::all()).cloned().collect();
+            for kv in cells.iter_mut() {
+                if kv.row == row && kv.qualifier == qualifier && kv.value != *value {
+                    kv.value = value.clone();
+                    replaced += 1;
+                }
+            }
+            if let Some(slot) = self.files.get_mut(fi) {
+                *slot = StoreFile::from_sorted(cells, seq);
+            }
+        }
+        replaced
+    }
+
     /// Split at the median row of the stored data. Returns the two
     /// daughters, or gives `self` back unchanged when the region cannot be
     /// split (too little data, or all cells share one row).

@@ -55,10 +55,14 @@ pub fn request_class(req: &Request) -> RequestClass {
         // so a gapped follower can rejoin the quorum. Classing it as a
         // read keeps backfill alive under the very overload that shed
         // the ship in the first place.
+        // RepairFetch is scrub-repair traffic: like WalTail it reads an
+        // authoritative copy so corruption elsewhere can be healed, and
+        // it must stay admissible under the write-shedding watermark.
         Request::Scan { .. }
         | Request::FollowerScan { .. }
         | Request::ReplicaStatus { .. }
         | Request::WalTail { .. }
+        | Request::RepairFetch { .. }
         | Request::Metrics => RequestClass::Read,
     }
 }
@@ -127,6 +131,18 @@ pub enum Request {
         /// Return batches with sequence ids strictly greater than this.
         from_seq: u64,
     },
+    /// Read a span from any copy of a region for scrub repair, fenced by
+    /// the reader's epoch so a deposed primary can never serve a stale
+    /// span as authoritative. Answers [`Response::RepairCells`] with the
+    /// copy's applied sequence so the scrubber can rank sources.
+    RepairFetch {
+        /// Target region.
+        region: RegionId,
+        /// Row range to read (typically a single quarantined row).
+        range: RowRange,
+        /// The replication-group epoch the reader believes is current.
+        epoch: u64,
+    },
     /// Force a memstore flush.
     Flush {
         /// Target region.
@@ -192,6 +208,14 @@ pub enum Response {
         /// Cells scanned.
         cells: Vec<KeyValue>,
         /// The follower's last durable WAL sequence.
+        applied_seq: u64,
+    },
+    /// Repair-fetch results plus the copy's replication position (see
+    /// [`Request::RepairFetch`]).
+    RepairCells {
+        /// Cells in the requested span on this copy.
+        cells: Vec<KeyValue>,
+        /// The copy's last durable WAL sequence.
         applied_seq: u64,
     },
     /// A replica's replication position.
@@ -318,6 +342,52 @@ impl RegionServer {
     /// another server to (re)establish the replication factor.
     pub fn fork_region_follower(&self, id: RegionId) -> Option<Region> {
         self.regions.read().get(&id).map(|r| r.fork_follower())
+    }
+
+    /// Verify every covered store-file cell of a hosted copy of `id`
+    /// with `verifier` (the background scrub walk). Returns `None` when
+    /// the region is not hosted here.
+    pub fn scrub_region(
+        &self,
+        id: RegionId,
+        verifier: &dyn crate::scrub::CellVerifier,
+    ) -> Option<crate::scrub::ScrubFinding> {
+        self.regions
+            .read()
+            .get(&id)
+            .map(|r| r.scrub_cells(verifier))
+    }
+
+    /// Corrupt one stored cell of a hosted copy of `id` (fault-injection
+    /// harnesses only; see [`Region::corrupt_cell_for_fault_injection`]).
+    /// Returns the affected `(row, qualifier)` when a cell was mutated.
+    pub fn corrupt_region_cell(
+        &self,
+        id: RegionId,
+        pick: u64,
+        selector: &dyn Fn(&KeyValue) -> bool,
+        mutate: &dyn Fn(&mut Vec<u8>),
+    ) -> Option<(bytes::Bytes, bytes::Bytes)> {
+        let mut map = self.regions.write();
+        map.get_mut(&id)
+            .and_then(|r| r.corrupt_cell_for_fault_injection(pick, selector, mutate))
+    }
+
+    /// Install a verified repair payload on a hosted copy of `id` (see
+    /// [`Region::replace_cell_value`]). Returns how many store-file cells
+    /// were replaced (0 when not hosted or already healthy).
+    pub fn repair_region_cell(
+        &self,
+        id: RegionId,
+        row: &[u8],
+        qualifier: &[u8],
+        value: &[u8],
+    ) -> usize {
+        let mut map = self.regions.write();
+        match map.get_mut(&id) {
+            Some(r) => r.replace_cell_value(row, qualifier, &bytes::Bytes::copy_from_slice(value)),
+            None => 0,
+        }
     }
 
     /// Cells written across all hosted regions (monitoring).
@@ -458,6 +528,29 @@ fn handle_request(regions: &Arc<RwLock<HashMap<RegionId, Region>>>, req: Request
                     last_seq: r.applied_seq(),
                     epoch: r.epoch(),
                 },
+                None => Response::WrongRegion,
+            }
+        }
+        Request::RepairFetch {
+            region,
+            range,
+            epoch,
+        } => {
+            let map = regions.read();
+            match map.get(&region) {
+                Some(r) => {
+                    // Fence before serving any bytes: a deposed primary
+                    // answering a repair fetch would launder stale data
+                    // into a "repair" install on every copy.
+                    if r.epoch() != epoch {
+                        return Response::Fenced { epoch: r.epoch() };
+                    }
+                    Response::RepairCells {
+                        cells: r.scan(&range),
+                        // pga-allow(lock-discipline): regions → WAL-inner is the fixed order (see above)
+                        applied_seq: r.applied_seq(),
+                    }
+                }
                 None => Response::WrongRegion,
             }
         }

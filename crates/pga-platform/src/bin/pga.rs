@@ -85,6 +85,13 @@ fn usage() -> ! {
                       bit-identical, and both 10x bars hold\n\
                       (--mode quick|full --nodes N --units N --sensors N\n\
                        --history S --row-span S --seed N [--smoke])\n\
+           scrub      E22 corruption-resilience campaign: bit-flip sealed\n\
+                      blocks on primary copies, then prove no arm ever\n\
+                      returns a wrong answer — strict reads fail typed,\n\
+                      salvaging reads answer exactly from the replica,\n\
+                      and background scrub repairs the local copies\n\
+                      (--mode quick|full --nodes N --units N --sensors N\n\
+                       --history S --corruptions N --seed N [--smoke])\n\
          \n\
          experiment reproduction lives in the bench crate:\n\
            cargo run --release -p pga-bench --bin report_all"
@@ -790,6 +797,83 @@ fn cmd_blocks(map: &HashMap<String, String>, smoke: bool) {
     }
 }
 
+/// Reproduce E22 from the CLI: corrupt sealed blocks on primary copies
+/// of a replicated cluster, then check the three arms — strict reads
+/// fail with the typed corruption error, salvaging reads answer exactly
+/// by splicing the healthy replica, and background scrub ticks drain
+/// the quarantine through CRC-verified replica-backed repairs, after
+/// which strict reads answer exactly again. Exits non-zero unless every
+/// oracle holds. With `--smoke`, also writes
+/// `target/experiments/BENCH_scrub.json`.
+fn cmd_scrub(map: &HashMap<String, String>, smoke: bool) {
+    use pga_bench::{render_table, scrub_resilience_experiment, ScrubBenchConfig};
+
+    let base = if map.get("mode").map(String::as_str) == Some("full") {
+        ScrubBenchConfig::full()
+    } else {
+        ScrubBenchConfig::quick()
+    };
+    let cfg = ScrubBenchConfig {
+        nodes: get(map, "nodes", base.nodes),
+        salt_buckets: get(map, "salts", base.salt_buckets),
+        row_span_secs: get(map, "row-span", base.row_span_secs),
+        units: get(map, "units", base.units),
+        sensors_per_unit: get(map, "sensors", base.sensors_per_unit),
+        history_secs: get(map, "history", base.history_secs),
+        corruptions: get(map, "corruptions", base.corruptions),
+        scrub_tick_budget: get(map, "scrub-ticks", base.scrub_tick_budget),
+        seed: get(map, "seed", base.seed),
+    };
+    println!(
+        "corruption-resilience campaign: {} units x {} sensors, {}s history, RF 2, {} bit-flips",
+        cfg.units, cfg.sensors_per_unit, cfg.history_secs, cfg.corruptions
+    );
+    let rep = scrub_resilience_experiment(&cfg);
+    let arm_row = |a: &pga_bench::ScrubArm| {
+        vec![
+            a.label.clone(),
+            a.queries.to_string(),
+            a.exact.to_string(),
+            a.typed_errors.to_string(),
+            a.wrong_answers.to_string(),
+        ]
+    };
+    let rows = vec![
+        ["arm", "queries", "exact", "typed errors", "wrong answers"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        arm_row(&rep.before),
+        arm_row(&rep.after),
+        arm_row(&rep.post_scrub),
+    ];
+    println!("{}", render_table(&rows));
+    println!(
+        "scrub: {} blocks corrupted, {} reads salvaged, {} repairs ({} rejected) in {} ticks \
+         ({:.1} ms), {} still quarantined",
+        rep.corrupted_blocks,
+        rep.salvaged_reads,
+        rep.scrub_repairs,
+        rep.scrub_rejected,
+        rep.scrub_ticks,
+        rep.scrub_ms,
+        rep.quarantined_after
+    );
+    if smoke {
+        std::fs::create_dir_all("target/experiments").expect("create experiments dir");
+        let json = serde_json::to_string_pretty(&rep).expect("report serialises");
+        std::fs::write("target/experiments/BENCH_scrub.json", json)
+            .expect("write BENCH_scrub.json");
+        println!("wrote target/experiments/BENCH_scrub.json");
+    }
+    if rep.passed() {
+        println!("scrub verdict held: no wrong answers, quarantine drained via verified repairs");
+    } else {
+        println!("SCRUB VERDICT FAILED");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -809,6 +893,7 @@ fn main() {
         "failover" => cmd_failover(&map),
         "queries" => cmd_queries(&map),
         "blocks" => cmd_blocks(&map, args.iter().any(|a| a == "--smoke")),
+        "scrub" => cmd_scrub(&map, args.iter().any(|a| a == "--smoke")),
         _ => usage(),
     }
 }

@@ -489,6 +489,20 @@ impl Monitor {
             books = books.merge(&tsd.client().repl_book().snapshot());
         }
         books = books.merge(&self.engine.client().repl_book().snapshot());
+        // Corruption-resilience counters, summed over every TSD daemon:
+        // the scrub state owns detection/quarantine/repair totals (the
+        // read path quarantines through the same state, so `corrupt_found`
+        // counts each span once) and the TSD metrics own salvaged reads.
+        use std::sync::atomic::Ordering::Relaxed;
+        let (mut corrupt, mut quarantined, mut repairs, mut salvaged) = (0u64, 0u64, 0u64, 0u64);
+        for tsd in self.pipeline.tsds() {
+            let scrub = tsd.scrub_state();
+            // pga-allow(relaxed-atomics): independent monotonic counters; reporting tolerates skew
+            corrupt += scrub.corrupt_found.load(Relaxed);
+            quarantined += scrub.len() as u64;
+            repairs += scrub.repairs_ok.load(Relaxed);
+            salvaged += tsd.metrics().salvaged_reads.load(Relaxed);
+        }
         ClusterView {
             replication_factor: master.replication_factor(),
             nodes,
@@ -497,6 +511,10 @@ impl Monitor {
             fence_rejections: books.fence_rejections,
             follower_reads: books.follower_reads,
             hedged_scans: books.hedged_scans,
+            corrupt_blocks: corrupt,
+            quarantined_spans: quarantined,
+            scrub_repairs: repairs,
+            salvaged_reads: salvaged,
         }
     }
 
@@ -597,9 +615,14 @@ mod tests {
         assert!(primaries > 0);
         assert_eq!(primaries, followers);
         assert_eq!(view.total_failovers, 0);
+        // Clean cluster: nothing detected, quarantined, or repaired.
+        assert_eq!(view.corrupt_blocks, 0);
+        assert_eq!(view.quarantined_spans, 0);
+        assert_eq!(view.scrub_repairs, 0);
         let html = m.cluster_page_html();
         assert!(html.contains("Cluster replication"));
         assert!(html.contains("RF 2"));
+        assert!(html.contains("quarantined spans"));
         m.shutdown();
     }
 

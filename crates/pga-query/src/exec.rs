@@ -202,18 +202,68 @@ where
 /// block-aware read-path semantics (skip blob/rollup qualifiers, newest
 /// version wins, sealed blocks spliced with raw cells — raw wins ties).
 ///
-/// A sealed block that fails to decode fails the whole assembly with a
-/// typed `corrupt_block` shard error — never a silent wrong answer.
+/// A sealed block that fails to decode no longer sinks the assembly:
+/// its span is transparently re-read from the region's other copies
+/// (`repair_fetch`, same epoch-fenced machinery the scrubber uses) and
+/// the first healthy copy is spliced in — the caller sees an exact
+/// answer. Only when **no** copy decodes does a typed `corrupt_block`
+/// shard error surface in the returned list, alongside whatever the
+/// healthy rows produced — never a silent wrong answer, never an
+/// all-or-nothing abort.
 fn assemble_raw(
+    client: &Client,
     codec: &KeyCodec,
     cells: &[KeyValue],
     filter: &QueryFilter,
     keep: impl Fn(u64) -> bool,
-) -> Result<SeriesPoints, ShardError> {
+) -> (SeriesPoints, Vec<ShardError>) {
     let mut assembled = BTreeMap::new();
-    if pga_tsdb::query::assemble_columns(codec, cells, filter, 0, u64::MAX, &mut assembled).is_err()
-    {
-        return Err(corrupt_block_error(cells));
+    let mut corrupt = Vec::new();
+    pga_tsdb::query::assemble_columns_salvage(
+        codec,
+        cells,
+        filter,
+        0,
+        u64::MAX,
+        &mut assembled,
+        &mut corrupt,
+    );
+    let mut errors = Vec::new();
+    for cb in corrupt {
+        let mut row_end = cb.row.clone();
+        row_end.push(0);
+        let copies = client.repair_fetch(&RowRange::new(cb.row.clone(), row_end));
+        let mut healed = false;
+        for copy in &copies {
+            let Some(cell) = copy
+                .cells
+                .iter()
+                .find(|kv| kv.row == cb.row[..] && kv.qualifier == cb.qualifier[..])
+            else {
+                continue;
+            };
+            let Ok(decoded) = pga_tsdb::decode_block(&cell.value) else {
+                continue;
+            };
+            // Appended after the locally-assembled points, so a local raw
+            // cell still wins a duplicate timestamp (canonicalization
+            // keeps the first point in push order).
+            let (timestamps, values) = assembled.entry(cb.tags.clone()).or_default();
+            for (&ts, &v) in decoded.timestamps.iter().zip(decoded.values.iter()) {
+                timestamps.push(ts);
+                values.push(v);
+            }
+            healed = true;
+            break;
+        }
+        if !healed {
+            errors.push(ShardError {
+                // Attribute to the serving shard: the row's salt byte.
+                shard: cb.row.first().copied().unwrap_or(0),
+                kind: "corrupt_block".to_string(),
+                retry_after_ms: None,
+            });
+        }
     }
     let mut series = BTreeMap::new();
     for (tags, (timestamps, values)) in assembled {
@@ -231,25 +281,7 @@ fn assemble_raw(
             series.insert(tags, points);
         }
     }
-    Ok(series)
-}
-
-/// Attribute a block decode failure to the shard that served it: re-probe
-/// the block cells (error path only) and take the salt byte of the first
-/// undecodable one.
-fn corrupt_block_error(cells: &[KeyValue]) -> ShardError {
-    let shard = cells
-        .iter()
-        .find(|c| {
-            pga_tsdb::is_block_qualifier(&c.qualifier) && pga_tsdb::decode_block(&c.value).is_err()
-        })
-        .and_then(|c| c.row.first().copied())
-        .unwrap_or(0);
-    ShardError {
-        shard,
-        kind: "corrupt_block".to_string(),
-        retry_after_ms: None,
-    }
+    (series, errors)
 }
 
 fn to_series(
@@ -307,15 +339,12 @@ fn execute_raw(
             Err(e) => errors.push(shard_error(salt, &e)),
         }
     }
-    let grouped = match assemble_raw(codec, &cells, filter, |ts| ts >= start && ts <= end) {
-        Ok(g) => g,
-        Err(e) => {
-            // Integrity failure: serve nothing rather than a partial row
-            // that silently omits the sealed range.
-            errors.push(e);
-            BTreeMap::new()
-        }
-    };
+    // An unsalvageable corrupt block marks the answer partial (typed
+    // `corrupt_block`); healthy rows are still served — same contract as
+    // a shed or timed-out shard.
+    let (grouped, corrupt) =
+        assemble_raw(client, codec, &cells, filter, |ts| ts >= start && ts <= end);
+    errors.extend(corrupt);
     ExecResult {
         series: to_series(metric, grouped, downsample),
         partial: partial_from(errors, fanout),
@@ -492,14 +521,14 @@ fn execute_rollup(
                 }
             }
         }
-        let grouped = match assemble_raw(codec, &cells, filter, |ts| ts >= w && ts < w + d) {
-            Ok(g) => g,
-            Err(e) => {
-                errors.push(e);
-                failed = true;
-                BTreeMap::new()
-            }
-        };
+        let (grouped, corrupt) =
+            assemble_raw(client, codec, &cells, filter, |ts| ts >= w && ts < w + d);
+        if !corrupt.is_empty() {
+            // The recompute itself hit unsalvageable corruption: the
+            // tainted window cannot be trusted from either source.
+            errors.extend(corrupt);
+            failed = true;
+        }
         for (tags, accs) in windows.iter_mut() {
             let Some(acc) = accs.get_mut(&w) else {
                 continue;
@@ -535,15 +564,10 @@ fn execute_rollup(
 
     // Raw head/tail patches, downsampled; windows are disjoint from the
     // rollup region by alignment.
-    let grouped = match assemble_raw(codec, &raw_cells, filter, |ts| {
+    let (grouped, corrupt) = assemble_raw(client, codec, &raw_cells, filter, |ts| {
         (ts >= start && ts < ru_lo) || (ts >= ru_hi && ts <= end)
-    }) {
-        Ok(g) => g,
-        Err(e) => {
-            errors.push(e);
-            BTreeMap::new()
-        }
-    };
+    });
+    errors.extend(corrupt);
     let mut out: BTreeMap<Vec<(String, String)>, BTreeMap<u64, f64>> = BTreeMap::new();
     for (tags, points) in grouped {
         let ds = TimeSeries {

@@ -41,12 +41,14 @@ pub mod lag;
 pub mod promote;
 pub mod quorum;
 pub mod read;
+pub mod repair;
 
 pub use config::ReplicationConfig;
 pub use lag::{LagBook, LagSnapshot};
 pub use promote::choose_promotee;
 pub use quorum::{QuorumDecision, QuorumTracker};
 pub use read::{FollowerReadPolicy, HedgePolicy};
+pub use repair::{rank_repair_sources, RepairSource, MAX_REPAIR_ATTEMPTS_PER_TICK};
 
 /// Epoch (generation) number of a region's replication group. Bumped on
 /// every promotion; replicas reject writes and ships stamped with any

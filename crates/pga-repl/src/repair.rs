@@ -1,0 +1,74 @@
+//! Repair-source selection for scrub-driven corruption repair.
+//!
+//! When a quarantined span needs an authoritative copy, the scrubber can
+//! fetch it from the primary or from any follower. This module ranks the
+//! candidates: the primary first (it defines the replication group's
+//! truth), then followers by how caught-up they are — a trailing follower
+//! may simply not hold the sealed bytes yet, so the most-advanced copy is
+//! the best fallback. The fetch itself is epoch-fenced at the replica
+//! (like `WalTail`), so a deposed primary can never serve a stale span as
+//! authoritative; this ranking is pure preference, not a safety boundary.
+
+/// One candidate copy of a region, by opaque node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairSource {
+    /// Node hosting the copy.
+    pub node: u64,
+    /// Applied WAL sequence the copy reported.
+    pub applied_seq: u64,
+    /// Whether this copy is the current primary.
+    pub primary: bool,
+}
+
+/// Rank repair candidates: primary first, then followers by descending
+/// applied sequence; ties break on node id for determinism. The input
+/// order never matters.
+pub fn rank_repair_sources(mut sources: Vec<RepairSource>) -> Vec<RepairSource> {
+    sources.sort_by_key(|s| (!s.primary, std::cmp::Reverse(s.applied_seq), s.node));
+    sources
+}
+
+/// How many verified-install attempts a single scrub tick may spend on
+/// one quarantined span before deferring to the next tick. Bounded so a
+/// copy that keeps failing verification (persistent bit-rot at the
+/// source) cannot stall the rest of the repair queue.
+pub const MAX_REPAIR_ATTEMPTS_PER_TICK: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(node: u64, applied_seq: u64, primary: bool) -> RepairSource {
+        RepairSource {
+            node,
+            applied_seq,
+            primary,
+        }
+    }
+
+    #[test]
+    fn primary_ranks_first_even_when_behind() {
+        let ranked = rank_repair_sources(vec![src(2, 90, false), src(0, 10, true)]);
+        assert_eq!(ranked[0].node, 0);
+        assert_eq!(ranked[1].node, 2);
+    }
+
+    #[test]
+    fn followers_rank_by_applied_seq_descending() {
+        let ranked = rank_repair_sources(vec![
+            src(3, 5, false),
+            src(1, 40, false),
+            src(2, 40, false),
+            src(4, 80, false),
+        ]);
+        let order: Vec<u64> = ranked.iter().map(|s| s.node).collect();
+        assert_eq!(order, vec![4, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ranking_is_input_order_independent() {
+        let a = rank_repair_sources(vec![src(1, 7, false), src(2, 7, false), src(0, 3, true)]);
+        let b = rank_repair_sources(vec![src(2, 7, false), src(0, 3, true), src(1, 7, false)]);
+        assert_eq!(a, b);
+    }
+}

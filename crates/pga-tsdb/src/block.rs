@@ -515,6 +515,42 @@ pub fn peek_header(buf: &[u8]) -> Result<(usize, u64, u64), BlockError> {
     Ok((count, min_ts, max_ts))
 }
 
+/// Verify a block buffer's integrity — header shape plus whole-buffer
+/// CRC — without decoding the payload. The cheap authoritative check
+/// behind scan pruning ([`peek_header`] alone is advisory) and scrub
+/// passes: `Ok(())` means every header field, including the min/max
+/// timestamp bounds, is trustworthy.
+pub fn verify_block(buf: &[u8]) -> Result<(), BlockError> {
+    if buf.len() < HEADER_LEN {
+        return Err(BlockError::Truncated {
+            needed: HEADER_LEN,
+            have: buf.len(),
+        });
+    }
+    if buf.get(..4) != Some(&BLOCK_MAGIC[..]) {
+        return Err(BlockError::BadMagic);
+    }
+    let version = buf.get(4).copied().unwrap_or(0);
+    if version != BLOCK_VERSION {
+        return Err(BlockError::UnsupportedVersion(version));
+    }
+    let count = read_u32(buf, 5)? as usize;
+    if count == 0 || count > MAX_BLOCK_POINTS {
+        return Err(BlockError::BadCount(count as u64));
+    }
+    let stored_crc = read_u32(buf, 33)?;
+    let head = buf.get(..33).unwrap_or(&[]);
+    let payload = buf.get(HEADER_LEN..).unwrap_or(&[]);
+    let computed = crc32_extend(crc32(head), payload);
+    if computed != stored_crc {
+        return Err(BlockError::CrcMismatch {
+            stored: stored_crc,
+            computed,
+        });
+    }
+    Ok(())
+}
+
 /// True if `qualifier` marks a sealed-block cell.
 pub fn is_block_qualifier(qualifier: &[u8]) -> bool {
     qualifier.len() == 3 && qualifier.first() == Some(&0xFB)

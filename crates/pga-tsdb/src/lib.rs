@@ -40,11 +40,15 @@ pub use api::{
     QueryResponseSeries, ShardError, SubQuery,
 };
 pub use block::{
-    decode_block, encode_block, is_block_qualifier, peek_header, BlockError, DecodedBlock,
-    BLOCK_MAGIC, BLOCK_QUALIFIER, BLOCK_VERSION,
+    decode_block, encode_block, is_block_qualifier, peek_header, verify_block, BlockError,
+    DecodedBlock, BLOCK_MAGIC, BLOCK_QUALIFIER, BLOCK_VERSION,
 };
 pub use codec::{KeyCodec, KeyCodecConfig};
 pub use compact::BlockRewriter;
-pub use query::{aggregate_series, Aggregator, ColumnSeries, DataPoint, QueryFilter, TimeSeries};
-pub use tsd::{BatchPoint, PutObserver, Tsd, TsdConfig, TsdError, TsdMetrics};
+pub use query::{
+    aggregate_series, Aggregator, ColumnSeries, CorruptBlock, DataPoint, QueryFilter, TimeSeries,
+};
+pub use tsd::{
+    block_verifier, BatchPoint, BlockVerifier, PutObserver, Tsd, TsdConfig, TsdError, TsdMetrics,
+};
 pub use uid::{Uid, UidTable};

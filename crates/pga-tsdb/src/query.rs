@@ -198,6 +198,24 @@ impl ColumnSeries {
 /// accumulated across per-salt scans before [`finish_columns`].
 pub type AssembledColumns = BTreeMap<Vec<(String, String)>, (Vec<u64>, Vec<f64>)>;
 
+/// A sealed block that failed CRC/decode during assembly, reported by
+/// [`assemble_columns_salvage`] instead of aborting the query. Carries
+/// everything the salvage layer needs to quarantine the block and re-read
+/// its span from another replica.
+#[derive(Debug, Clone)]
+pub struct CorruptBlock {
+    /// Row key holding the corrupt block cell.
+    pub row: Vec<u8>,
+    /// Qualifier of the block cell.
+    pub qualifier: Vec<u8>,
+    /// Codec-order tag pairs of the series (for re-attachment).
+    pub tags: Vec<(String, String)>,
+    /// Row base time — the block's span is `[base, base + row_span)`.
+    pub base: u64,
+    /// The typed decode failure.
+    pub error: BlockError,
+}
+
 /// Assemble scanned cells — sealed blocks **and** raw cells — into one
 /// columnar series per tag combination, windowed to `[start, end]` and
 /// filtered by `filter`.
@@ -220,6 +238,37 @@ pub fn assemble_columns(
     end: u64,
     out: &mut AssembledColumns,
 ) -> Result<(), BlockError> {
+    assemble_columns_inner(codec, cells, filter, start, end, out, None)
+}
+
+/// [`assemble_columns`] in salvage mode: a block that fails CRC/decode is
+/// reported in `corrupt` (with its row, tags and span) instead of
+/// aborting the whole assembly, and the row's raw cells still contribute.
+/// The caller owns the consequence: quarantine the block, re-read its
+/// span from a healthy replica, or surface a typed partial — never
+/// silently drop it.
+pub fn assemble_columns_salvage(
+    codec: &KeyCodec,
+    cells: &[KeyValue],
+    filter: &QueryFilter,
+    start: u64,
+    end: u64,
+    out: &mut AssembledColumns,
+    corrupt: &mut Vec<CorruptBlock>,
+) {
+    // With a corrupt sink installed, assembly never returns an error.
+    let _ = assemble_columns_inner(codec, cells, filter, start, end, out, Some(corrupt));
+}
+
+fn assemble_columns_inner(
+    codec: &KeyCodec,
+    cells: &[KeyValue],
+    filter: &QueryFilter,
+    start: u64,
+    end: u64,
+    out: &mut AssembledColumns,
+    mut corrupt: Option<&mut Vec<CorruptBlock>>,
+) -> Result<(), BlockError> {
     let mut i = 0;
     while i < cells.len() {
         let Some(row) = cells.get(i).map(|kv| &kv.row) else {
@@ -230,7 +279,15 @@ pub fn assemble_columns(
             j += 1;
         }
         let group = cells.get(i..j).unwrap_or(&[]);
-        assemble_row(codec, group, filter, start, end, out)?;
+        assemble_row(
+            codec,
+            group,
+            filter,
+            start,
+            end,
+            out,
+            corrupt.as_deref_mut(),
+        )?;
         i = j;
     }
     Ok(())
@@ -244,6 +301,7 @@ fn assemble_row(
     start: u64,
     end: u64,
     out: &mut AssembledColumns,
+    mut corrupt: Option<&mut Vec<CorruptBlock>>,
 ) -> Result<(), BlockError> {
     let Some(first) = group.first() else {
         return Ok(());
@@ -286,9 +344,43 @@ fn assemble_row(
     // Sealed blocks: decode each into flat slices. Multiple block cells on
     // one row should not happen (compaction folds them), but merge
     // defensively, newest qualifier-version last so it wins collisions.
+    let row_span = codec.config().row_span_secs;
     let mut block_points: Vec<(u64, f64)> = Vec::new();
     for cell in &blocks {
-        let decoded = block::decode_block(&cell.value)?;
+        // A sealed block only ever holds points from its own row's span,
+        // and the row key is not part of the block payload — so a row
+        // wholly outside `[start, end]` can be skipped without touching
+        // the block bytes at all, corrupt or not.
+        if base > end || base.saturating_add(row_span) <= start {
+            continue;
+        }
+        // Within an overlapping row, the header's min/max bounds prune
+        // further — but the peek alone is advisory (a flipped header byte
+        // could hide in-window points), so an out-of-window verdict only
+        // counts after the whole-buffer CRC authenticates it. A block
+        // failing that CRC falls through to the decode below, which
+        // surfaces the typed error / salvage path.
+        if let Ok((_, min_ts, max_ts)) = block::peek_header(&cell.value) {
+            if (max_ts < start || min_ts > end) && block::verify_block(&cell.value).is_ok() {
+                continue;
+            }
+        }
+        let decoded = match block::decode_block(&cell.value) {
+            Ok(d) => d,
+            Err(error) => match corrupt.as_deref_mut() {
+                Some(sink) => {
+                    sink.push(CorruptBlock {
+                        row: first.row.to_vec(),
+                        qualifier: cell.qualifier.to_vec(),
+                        tags: tags.clone(),
+                        base,
+                        error,
+                    });
+                    continue; // raw cells still answer; caller salvages the rest
+                }
+                None => return Err(error),
+            },
+        };
         if block_points.is_empty() {
             block_points = decoded
                 .timestamps

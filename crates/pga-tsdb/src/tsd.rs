@@ -24,8 +24,8 @@ use pga_minibase::{Client, ClientError, KeyValue, RowRange};
 use crate::block::BlockError;
 use crate::codec::KeyCodec;
 use crate::query::{
-    assemble_columns, finish_columns, AssembledColumns, ColumnSeries, DataPoint, QueryFilter,
-    TimeSeries,
+    assemble_columns, assemble_columns_salvage, finish_columns, AssembledColumns, ColumnSeries,
+    CorruptBlock, DataPoint, QueryFilter, TimeSeries,
 };
 
 /// One `(tags, timestamp, value)` element of a batched put.
@@ -49,11 +49,26 @@ pub trait PutObserver: Send + Sync {
 }
 
 /// TSD configuration.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TsdConfig {
     /// Enable OpenTSDB-style write-path row compaction (the paper runs
     /// with this **disabled**, so the default is off).
     pub write_path_compaction: bool,
+    /// Salvage reads (default **on**): a sealed block failing CRC/decode
+    /// is quarantined and its span transparently re-read from a healthy
+    /// replica, so the query still answers exactly. Off, the pre-salvage
+    /// behaviour: any corrupt block aborts the query with a typed
+    /// [`TsdError::Corrupt`] (the E22 benchmark's "before" arm).
+    pub salvage_reads: bool,
+}
+
+impl Default for TsdConfig {
+    fn default() -> Self {
+        TsdConfig {
+            write_path_compaction: false,
+            salvage_reads: true,
+        }
+    }
 }
 
 /// Counters for one TSD daemon.
@@ -67,6 +82,11 @@ pub struct TsdMetrics {
     pub scan_rpcs: AtomicU64,
     /// Row compactions performed on the write path.
     pub row_compactions: AtomicU64,
+    /// Corrupt sealed blocks encountered on the read path.
+    pub corrupt_blocks_seen: AtomicU64,
+    /// Reads answered exactly by splicing a healthy replica's copy over a
+    /// corrupt local block.
+    pub salvaged_reads: AtomicU64,
 }
 
 impl TsdMetrics {
@@ -135,6 +155,30 @@ impl From<ClientError> for TsdError {
     }
 }
 
+/// [`pga_minibase::CellVerifier`] over the sealed-block codec: covers
+/// exactly the block-qualifier cells and verifies them by the whole-buffer
+/// CRC ([`crate::block::verify_block`]). This is the integrity check the
+/// background scrubber walks store files with, and the pre-install gate
+/// every replica-fetched repair payload must round-trip.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BlockVerifier;
+
+impl pga_minibase::CellVerifier for BlockVerifier {
+    fn covers(&self, kv: &KeyValue) -> bool {
+        crate::block::is_block_qualifier(&kv.qualifier)
+    }
+
+    fn verify(&self, kv: &KeyValue) -> bool {
+        crate::block::verify_block(&kv.value).is_ok()
+    }
+}
+
+/// Shared handle to the sealed-block verifier (what
+/// [`pga_minibase::scrub_tick`] and the scrub CLI install).
+pub fn block_verifier() -> pga_minibase::VerifierHandle {
+    Arc::new(BlockVerifier)
+}
+
 /// A TSD daemon bound to one MiniBase client.
 pub struct Tsd {
     codec: KeyCodec,
@@ -152,6 +196,10 @@ pub struct Tsd {
     /// compaction rewriter only seals rows wholly below it, so a row with
     /// in-flight writers is never frozen mid-fill.
     seal_watermark: Arc<AtomicU64>,
+    /// Quarantine set + scrub counters, shared with the background
+    /// scrubber: the read path feeds it on every corrupt block it trips
+    /// over, so scrub repair does not wait for the next full walk.
+    scrub: Arc<pga_minibase::ScrubState>,
 }
 
 impl Tsd {
@@ -166,7 +214,27 @@ impl Tsd {
             observer: parking_lot::RwLock::new(None),
             pending_derived: Mutex::new(Vec::new()),
             seal_watermark: Arc::new(AtomicU64::new(0)),
+            scrub: pga_minibase::ScrubState::new(),
         }
+    }
+
+    /// Shared quarantine/scrub state. Pass the same handle to
+    /// [`pga_minibase::scrub_tick`] (or [`Tsd::scrub_tick`]) so
+    /// read-path-detected corruption and scrub-walk-detected corruption
+    /// drain through one repair queue.
+    pub fn scrub_state(&self) -> Arc<pga_minibase::ScrubState> {
+        self.scrub.clone()
+    }
+
+    /// One background scrub pass over the cluster this daemon is bound
+    /// to, using the sealed-block verifier and this daemon's shared
+    /// quarantine state. See [`pga_minibase::scrub_tick`].
+    pub fn scrub_tick(
+        &self,
+        master: &pga_minibase::Master,
+        fault: &pga_minibase::FaultHandle,
+    ) -> pga_minibase::ScrubTickReport {
+        pga_minibase::scrub_tick(master, &self.client, &block_verifier(), &self.scrub, fault)
     }
 
     /// Shared seal-watermark handle: the highest timestamp this daemon has
@@ -414,6 +482,7 @@ impl Tsd {
         end: u64,
     ) -> Result<Vec<ColumnSeries>, TsdError> {
         let mut assembled = AssembledColumns::new();
+        let mut corrupt: Vec<CorruptBlock> = Vec::new();
         for salt in self.codec.salt_range() {
             let (s, e) = self.codec.scan_range(salt, metric, start, end);
             if s.is_empty() && e.is_empty() {
@@ -421,10 +490,83 @@ impl Tsd {
             }
             let cells = self.client.scan(&RowRange::new(s, e))?;
             self.metrics.scan_rpcs.fetch_add(1, Ordering::Relaxed);
-            assemble_columns(&self.codec, &cells, filter, start, end, &mut assembled)
-                .map_err(TsdError::Corrupt)?;
+            if self.config.salvage_reads {
+                assemble_columns_salvage(
+                    &self.codec,
+                    &cells,
+                    filter,
+                    start,
+                    end,
+                    &mut assembled,
+                    &mut corrupt,
+                );
+            } else {
+                assemble_columns(&self.codec, &cells, filter, start, end, &mut assembled)
+                    .map_err(TsdError::Corrupt)?;
+            }
         }
+        self.salvage_corrupt_blocks(corrupt, start, end, &mut assembled)?;
         Ok(finish_columns(metric, assembled))
+    }
+
+    /// Replica-backed read salvage: every corrupt block the assembly
+    /// reported is quarantined (the scrubber repairs it in the
+    /// background), and its span is re-read from the region's other
+    /// copies right now so *this* query still answers exactly. Only when
+    /// no copy decodes does the original typed error surface — partial
+    /// silence is never an option.
+    fn salvage_corrupt_blocks(
+        &self,
+        corrupt: Vec<CorruptBlock>,
+        start: u64,
+        end: u64,
+        assembled: &mut AssembledColumns,
+    ) -> Result<(), TsdError> {
+        for cb in corrupt {
+            self.metrics
+                .corrupt_blocks_seen
+                .fetch_add(1, Ordering::Relaxed);
+            self.scrub.quarantine(
+                Bytes::copy_from_slice(&cb.row),
+                Bytes::copy_from_slice(&cb.qualifier),
+            );
+            let mut row_end = cb.row.clone();
+            row_end.push(0);
+            let copies = self
+                .client
+                .repair_fetch(&RowRange::new(cb.row.clone(), row_end));
+            let mut healed = false;
+            for copy in &copies {
+                let Some(cell) = copy
+                    .cells
+                    .iter()
+                    .find(|kv| kv.row == cb.row[..] && kv.qualifier == cb.qualifier[..])
+                else {
+                    continue;
+                };
+                let Ok(decoded) = crate::block::decode_block(&cell.value) else {
+                    continue;
+                };
+                // Splice the healthy copy's windowed points in. They are
+                // appended *after* everything assembly produced, so at a
+                // duplicate timestamp the local raw cell still wins
+                // (canonicalization keeps the first point in push order).
+                let (timestamps, values) = assembled.entry(cb.tags.clone()).or_default();
+                for (&ts, &v) in decoded.timestamps.iter().zip(decoded.values.iter()) {
+                    if ts >= start && ts <= end {
+                        timestamps.push(ts);
+                        values.push(v);
+                    }
+                }
+                healed = true;
+                self.metrics.salvaged_reads.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            if !healed {
+                return Err(TsdError::Corrupt(cb.error));
+            }
+        }
+        Ok(())
     }
 
     /// The pre-block cell-by-cell read path, kept as the differential
@@ -512,6 +654,7 @@ mod tests {
             client,
             TsdConfig {
                 write_path_compaction: compaction,
+                ..TsdConfig::default()
             },
         );
         (master, t)

@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use pga_cluster::coordinator::Coordinator;
 use pga_minibase::{Client, Master, RegionConfig, ServerConfig, TableDescriptor};
 use pga_tsdb::{
-    decode_block, encode_block, BlockError, KeyCodec, KeyCodecConfig, QueryFilter, Tsd, TsdConfig,
-    UidTable,
+    decode_block, encode_block, is_block_qualifier, BlockError, KeyCodec, KeyCodecConfig,
+    QueryFilter, Tsd, TsdConfig, TsdError, UidTable,
 };
 
 fn codec(buckets: u8) -> KeyCodec {
@@ -275,6 +275,85 @@ proptest! {
         tsd.compact_now().unwrap();
         let resealed = tsd.query("energy", &QueryFilter::any(), 0, 10_000).unwrap();
         prop_assert_eq!(&with_late, &resealed, "re-seal must fold late writes in place");
+        master.shutdown();
+    }
+
+    /// Corruption resilience (ISSUE 9): flipping any stored byte of any
+    /// sealed block yields exactly one of two outcomes — the exact
+    /// pre-corruption answer, or the typed corruption error. Never a
+    /// silently wrong answer, never a panic. The fixture runs
+    /// unreplicated, so a flip that lands in a queried block cannot be
+    /// salvaged and must surface as `TsdError::Corrupt`.
+    #[test]
+    fn stored_block_byte_flips_never_yield_wrong_answers(
+        points in proptest::collection::vec(
+            (0u32..3, 0u32..3, 0u64..8000, -1e6f64..1e6),
+            10..60
+        ),
+        pick in any::<u64>(),
+        mask in 1u8..=255,
+        buckets in 1u8..4,
+    ) {
+        let c = codec(buckets);
+        let coord = Coordinator::new(60_000);
+        let mut master = Master::bootstrap(2, ServerConfig::default(), coord, 0);
+        master.create_table(&TableDescriptor {
+            name: "t".into(),
+            split_points: c.split_points(),
+            region_config: RegionConfig::default(),
+        });
+        let tsd = Tsd::new(c, Client::connect(&master), TsdConfig::default());
+        master.set_compaction_rewriter(tsd.block_rewriter());
+        for &(unit, sensor, ts, value) in &points {
+            let u = unit.to_string();
+            let s = sensor.to_string();
+            tsd.put("energy", &[("unit", &u), ("sensor", &s)], ts, value).unwrap();
+        }
+        tsd.compact_now().unwrap();
+        let truth = tsd.query("energy", &QueryFilter::any(), 0, 10_000).unwrap();
+        // XOR `mask` into one stored byte of the `pick`-th sealed block
+        // (if any rows sealed — short histories may stay raw).
+        let infos = {
+            let dir = master.directory();
+            let dir = dir.read();
+            dir.clone()
+        };
+        let mut hit = false;
+        for info in &infos {
+            let Some(server) = master.server(info.server) else { continue };
+            let flipped = server.corrupt_region_cell(
+                info.id,
+                pick,
+                &|kv| is_block_qualifier(&kv.qualifier),
+                &|value: &mut Vec<u8>| {
+                    if value.is_empty() {
+                        return;
+                    }
+                    let idx = (pick as usize) % value.len();
+                    value[idx] ^= mask;
+                },
+            );
+            if flipped.is_some() {
+                hit = true;
+                break;
+            }
+        }
+        match tsd.query("energy", &QueryFilter::any(), 0, 10_000) {
+            Ok(answer) => {
+                prop_assert!(!hit, "a flipped block in range cannot decode cleanly");
+                prop_assert_eq!(&truth, &answer, "untouched store must answer exactly");
+            }
+            Err(TsdError::Corrupt(_)) => {
+                prop_assert!(hit, "typed corruption requires an injected flip");
+            }
+            Err(e) => {
+                prop_assert!(
+                    false,
+                    "byte flip must yield exact answer or typed corruption, got: {}",
+                    e
+                );
+            }
+        }
         master.shutdown();
     }
 }

@@ -63,6 +63,21 @@ pub struct ClusterView {
     pub follower_reads: u64,
     /// Cumulative scans hedged to a follower after a slow primary.
     pub hedged_scans: u64,
+    /// Corrupt blocks detected so far (scrub walks plus read paths).
+    /// Defaults (with the three fields below) keep pre-scrub view JSON
+    /// parseable: an old producer simply reports no corruption activity.
+    #[serde(default)]
+    pub corrupt_blocks: u64,
+    /// Spans sitting in quarantine right now, awaiting repair.
+    #[serde(default)]
+    pub quarantined_spans: u64,
+    /// Cumulative blocks repaired from a healthy replica.
+    #[serde(default)]
+    pub scrub_repairs: u64,
+    /// Cumulative reads transparently answered from a replica after the
+    /// local copy failed verification.
+    #[serde(default)]
+    pub salvaged_reads: u64,
 }
 
 impl ClusterView {
@@ -96,6 +111,9 @@ pub fn cluster_page(view: &ClusterView) -> String {
          <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">fence rejections</div></div>\
          <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">follower reads</div></div>\
          <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">hedged scans</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">quarantined spans</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">blocks repaired</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">salvaged reads</div></div>\
          </div>",
         view.replication_factor,
         view.live_nodes(),
@@ -105,6 +123,9 @@ pub fn cluster_page(view: &ClusterView) -> String {
         view.fence_rejections,
         view.follower_reads,
         view.hedged_scans,
+        view.quarantined_spans,
+        view.scrub_repairs,
+        view.salvaged_reads,
     ));
     body.push_str(
         "<table class=\"units\"><tr><th>node</th><th>status</th>\
@@ -173,6 +194,10 @@ mod tests {
             fence_rejections: 3,
             follower_reads: 25,
             hedged_scans: 6,
+            corrupt_blocks: 2,
+            quarantined_spans: 1,
+            scrub_repairs: 1,
+            salvaged_reads: 4,
         }
     }
 
@@ -185,6 +210,9 @@ mod tests {
         assert!(html.contains("2/3"));
         assert!(html.contains("fence rejections"));
         assert!(html.contains("hedged scans"));
+        assert!(html.contains("quarantined spans"));
+        assert!(html.contains("blocks repaired"));
+        assert!(html.contains("salvaged reads"));
         // Status is text, never color alone.
         assert!(html.contains("healthy"));
         assert!(html.contains("warning"));
