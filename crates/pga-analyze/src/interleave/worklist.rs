@@ -1,0 +1,138 @@
+//! Interleave model of `pga_sched`'s work-stealing deque protocol.
+//!
+//! The real [`WorkDeque`](../../pga-sched/src/deque.rs) holds one mutex
+//! around a `VecDeque`: the owner pushes and pops at the back (LIFO),
+//! thieves steal from the front (FIFO), and — the load-bearing part —
+//! every taker performs its emptiness check and its take inside a
+//! *single* critical section. The faithful model encodes exactly that:
+//! one atomic step per lock acquisition.
+//!
+//! `seeded_bug` splits the thief's steal into two critical sections —
+//! observe `len > 0`, release the lock, then take the front element
+//! without re-checking. Between the two sections the owner can pop the
+//! deque empty, so the stale observation turns into a steal from an
+//! empty deque (the underflow the bounds re-check prevents).
+
+use crate::interleave::Model;
+
+/// Owner (push, push, pop, pop) racing one thief (steal) over a
+/// two-slot work deque. See the module docs for the protocol and the
+/// seeded mutant.
+pub struct WorklistModel {
+    /// Split the thief's len-check and take into two critical sections
+    /// (the broken variant the explorer must catch).
+    pub seeded_bug: bool,
+}
+
+/// Tasks the owner pushes, in order.
+const TASKS: [u8; 2] = [1, 2];
+
+/// Shared deque plus per-thread program counters and the executed log.
+#[derive(Clone, Default, Hash)]
+pub struct WorklistState {
+    /// The deque contents, front first.
+    queue: Vec<u8>,
+    /// Tasks executed so far (owner pops and thief steals), unordered.
+    executed: Vec<u8>,
+    /// A taker touched an empty deque (must never happen).
+    underflow: bool,
+    /// Owner program counter: push, push, pop, pop.
+    owner_pc: u8,
+    /// Thief program counter (faithful: 1 step; mutant: observe, take).
+    thief_pc: u8,
+    /// The mutant thief's stale emptiness observation.
+    thief_saw_work: bool,
+}
+
+impl Model for WorklistModel {
+    type State = WorklistState;
+
+    fn name(&self) -> &'static str {
+        "worklist-deque"
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn init(&self) -> WorklistState {
+        WorklistState::default()
+    }
+
+    fn finished(&self, s: &WorklistState, tid: usize) -> bool {
+        if tid == 0 {
+            s.owner_pc >= 4
+        } else if self.seeded_bug {
+            // The mutant takes two steps, but stops after the first if
+            // its observation already said "empty".
+            s.thief_pc >= 2 || (s.thief_pc == 1 && !s.thief_saw_work)
+        } else {
+            s.thief_pc >= 1
+        }
+    }
+
+    fn enabled(&self, s: &WorklistState, tid: usize) -> bool {
+        !self.finished(s, tid)
+    }
+
+    fn step(&self, s: &mut WorklistState, tid: usize) {
+        if tid == 0 {
+            // Owner: each arm is one critical section of the real
+            // `push`/`pop` — check and mutation never separate.
+            match s.owner_pc {
+                0 | 1 => s.queue.push(TASKS[s.owner_pc as usize]),
+                _ => {
+                    if let Some(task) = s.queue.pop() {
+                        s.executed.push(task);
+                    }
+                }
+            }
+            s.owner_pc += 1;
+        } else if !self.seeded_bug {
+            // Faithful steal: len check + front take, one lock hold.
+            if !s.queue.is_empty() {
+                s.executed.push(s.queue.remove(0));
+            }
+            s.thief_pc = 1;
+        } else {
+            match s.thief_pc {
+                0 => s.thief_saw_work = !s.queue.is_empty(),
+                _ => {
+                    // Takes on the stale observation, no re-check.
+                    if s.queue.is_empty() {
+                        s.underflow = true;
+                    } else {
+                        s.executed.push(s.queue.remove(0));
+                    }
+                }
+            }
+            s.thief_pc += 1;
+        }
+    }
+
+    fn check(&self, s: &WorklistState, quiescent: bool) -> Result<(), String> {
+        if s.underflow {
+            return Err("thief stole from an empty deque: stale length \
+                        observation survived the owner's pop"
+                .into());
+        }
+        if quiescent {
+            let mut all: Vec<u8> = s.executed.clone();
+            all.extend(&s.queue);
+            all.sort_unstable();
+            if all != TASKS {
+                return Err(format!(
+                    "tasks lost or duplicated: executed {:?}, queued {:?}",
+                    s.executed, s.queue
+                ));
+            }
+            if !s.queue.is_empty() {
+                return Err(format!(
+                    "owner drained the deque yet {:?} remained queued",
+                    s.queue
+                ));
+            }
+        }
+        Ok(())
+    }
+}

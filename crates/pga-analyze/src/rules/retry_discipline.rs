@@ -18,6 +18,9 @@ const SCOPE: &[(&str, &[&str])] = &[
     ("pga-cluster", &["rpc"]),
     ("pga-query", &[]),
     ("pga-repl", &[]),
+    // Idle scheduler workers must spin on `yield_now`, never a fixed
+    // sleep — a sleeping worker holds the whole graph's critical path.
+    ("pga-sched", &[]),
 ];
 
 fn in_scope(f: &SourceFile) -> bool {

@@ -17,6 +17,7 @@ pub mod queries;
 pub mod repl;
 pub mod scrub;
 pub mod table;
+pub mod train;
 
 pub use blocks::{block_format_experiment, BlockBenchConfig, BlockBenchReport, DetectArm, ScanArm};
 pub use elastic::{elastic_scaling_experiment, ElasticScalingReport, ElasticScenarioRow};
@@ -36,3 +37,6 @@ pub use repl::{
 };
 pub use scrub::{scrub_resilience_experiment, ScrubArm, ScrubBenchConfig, ScrubBenchReport};
 pub use table::render_table;
+pub use train::{
+    train_retrain_experiment, RetrainRound, TrainBenchConfig, TrainBenchReport, WorkerScalingRow,
+};

@@ -1,0 +1,377 @@
+//! E23 — incremental fleet retraining throughput and work-stealing
+//! scheduler scaling.
+//!
+//! The paper retrains offline in batch: every unit's covariance/SVD is
+//! recomputed on every pass even when only a handful of units saw new
+//! samples (§IV-A). This experiment measures what dirty-unit tracking
+//! buys under live ingest, and what the work-stealing scheduler buys
+//! over the sequential executor, with a differential oracle pinning
+//! both to the batch answer:
+//!
+//! * **Retrain rounds** — each round, a rotating subset of units
+//!   receives fresh samples. The *full* arm rebuilds the fleet from
+//!   scratch: a new [`FleetTrainer`] re-accumulates every unit's entire
+//!   history (same rows, same order) and re-finishes every unit. The
+//!   *incremental* arm keeps its sufficient statistics resident,
+//!   ingests only the new rows, and re-finishes only the dirty units.
+//!   Welford accumulation is deterministic in row order, so the two
+//!   arms must produce **identical** models — [`model_divergence`]
+//!   above `1e-9` on any unit is a mismatch and fails the run.
+//! * **Scheduler scaling** — the full-fleet re-finish workload is then
+//!   run at 1..=N workers. One worker uses the sequential executor
+//!   (`run_sequential`); more workers use the work-stealing scheduler,
+//!   whose steal/queue-depth counters are captured per sweep point.
+//!
+//! Acceptance: zero oracle mismatches, incremental ≥ 5× the full
+//! rebuild, and — on machines with ≥ 4 cores — work stealing ≥ 3× the
+//! sequential executor at full worker count. The parallel bar is gated
+//! on core count because a single-core host serializes the workers and
+//! the wall-clock ratio measures the OS scheduler, not ours;
+//! EXPERIMENTS.md records the gate.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use pga_dataflow::Dataflow;
+use pga_detect::{model_divergence, FleetTrainer};
+use pga_sensorgen::{Fleet, FleetConfig};
+
+/// Sizing for [`train_retrain_experiment`].
+#[derive(Debug, Clone, Serialize)]
+pub struct TrainBenchConfig {
+    /// Fleet units.
+    pub units: u32,
+    /// Sensors per unit.
+    pub sensors: u32,
+    /// Rows of history every unit starts with.
+    pub base_rows: usize,
+    /// Live-ingest retrain rounds.
+    pub rounds: usize,
+    /// Units receiving fresh samples each round (rotating subset).
+    pub dirty_units: usize,
+    /// Fresh rows per dirty unit per round.
+    pub delta_rows: usize,
+    /// Worker-count ceiling for the scheduler scaling sweep.
+    pub workers: usize,
+    /// Fleet seed.
+    pub seed: u64,
+}
+
+impl TrainBenchConfig {
+    /// CI-sized configuration (a few seconds end to end).
+    pub fn quick() -> Self {
+        TrainBenchConfig {
+            units: 8,
+            sensors: 16,
+            base_rows: 480,
+            rounds: 3,
+            dirty_units: 1,
+            delta_rows: 24,
+            workers: 4,
+            seed: 2026,
+        }
+    }
+
+    /// Paper-style configuration for the full report.
+    pub fn full() -> Self {
+        TrainBenchConfig {
+            units: 12,
+            sensors: 64,
+            base_rows: 600,
+            rounds: 5,
+            dirty_units: 2,
+            delta_rows: 60,
+            workers: 8,
+            seed: 2026,
+        }
+    }
+}
+
+/// One live-ingest retrain round: both arms plus the oracle verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct RetrainRound {
+    /// Round index.
+    pub round: usize,
+    /// Units that received fresh samples (and were therefore dirty).
+    pub dirty: Vec<u32>,
+    /// Wall-clock of the from-scratch rebuild, milliseconds.
+    pub full_ms: f64,
+    /// Wall-clock of the dirty-only incremental pass, milliseconds.
+    pub incremental_ms: f64,
+    /// Worst [`model_divergence`] across every unit's model pair.
+    pub max_divergence: f64,
+    /// Units whose models diverged beyond `1e-9` (must be 0).
+    pub mismatches: u64,
+}
+
+/// One point of the scheduler scaling sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerScalingRow {
+    /// Worker threads (1 = sequential executor).
+    pub workers: usize,
+    /// Wall-clock of the full-fleet re-finish, milliseconds.
+    pub elapsed_ms: f64,
+    /// Speedup over the 1-worker (sequential) point.
+    pub speedup: f64,
+    /// Scheduler tasks executed at this point.
+    pub tasks: u64,
+    /// Successful steals (0 for the sequential executor).
+    pub steals: u64,
+    /// Steal probes, successful or not.
+    pub steal_attempts: u64,
+    /// Deepest worker deque observed.
+    pub max_queue_depth: u64,
+    /// Idle yield loops across all workers.
+    pub idle_spins: u64,
+}
+
+/// E23 artifact: retrain rounds, the scaling sweep, and the verdict
+/// inputs.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrainBenchReport {
+    /// Sizing used.
+    pub config: TrainBenchConfig,
+    /// Per-round arm timings and oracle results.
+    pub rounds: Vec<RetrainRound>,
+    /// Total wall-clock of every full rebuild, milliseconds.
+    pub full_ms_total: f64,
+    /// Total wall-clock of every incremental pass, milliseconds.
+    pub incremental_ms_total: f64,
+    /// `full_ms_total / incremental_ms_total` (the ≥ 5× bar).
+    pub incremental_speedup: f64,
+    /// Worst divergence across every round (the ≤ 1e-9 bar).
+    pub max_divergence: f64,
+    /// Oracle mismatches across every round (must be 0).
+    pub mismatches: u64,
+    /// Scheduler scaling sweep, 1..=`config.workers` workers.
+    pub scaling: Vec<WorkerScalingRow>,
+    /// Best sweep speedup over the sequential executor (the ≥ 3× bar).
+    pub parallel_speedup: f64,
+    /// Cores the host exposes; below 4 the parallel bar is not scored.
+    pub cores: usize,
+}
+
+impl TrainBenchReport {
+    /// E23 verdict: the differential oracle held everywhere, dirty-only
+    /// retraining beat the full rebuild ≥ 5×, and — when the host has
+    /// the cores to show it — work stealing beat the sequential
+    /// executor ≥ 3×.
+    pub fn passed(&self) -> bool {
+        self.mismatches == 0
+            && self.max_divergence <= 1e-9
+            && self.incremental_speedup >= 5.0
+            && (self.cores < 4 || self.parallel_speedup >= 3.0)
+    }
+}
+
+/// Rows `[start, start + len)` of one unit's stream as owned vectors.
+fn unit_rows(fleet: &Fleet, unit: u32, start: u64, len: usize) -> Vec<Vec<f64>> {
+    let t_end = start + len as u64 - 1;
+    let obs = fleet.observation_window(unit, t_end, len);
+    (0..obs.rows()).map(|r| obs.row(r).to_vec()).collect()
+}
+
+/// Rebuild the whole fleet from scratch: fresh trainer, every unit's
+/// full history re-accumulated in its original order, every unit
+/// re-finished. This is the paper's batch retrain, and the oracle's
+/// reference arm.
+fn full_rebuild(
+    units: &[u32],
+    sensors: usize,
+    history: &BTreeMap<u32, Vec<Vec<f64>>>,
+    dataflow: &Dataflow,
+) -> FleetTrainer {
+    let mut fresh = FleetTrainer::new(units, sensors);
+    for (&unit, rows) in history {
+        fresh.ingest(unit, rows);
+    }
+    let errors = fresh.retrain_full(dataflow);
+    assert!(errors.is_empty(), "full rebuild failed: {errors:?}");
+    fresh
+}
+
+/// Run E23: live-ingest retrain rounds with the differential oracle,
+/// then the worker scaling sweep.
+pub fn train_retrain_experiment(cfg: &TrainBenchConfig) -> TrainBenchReport {
+    assert!(cfg.units > 0 && cfg.rounds > 0 && cfg.workers > 0);
+    assert!(cfg.dirty_units as u32 <= cfg.units);
+    let fleet = Fleet::new(FleetConfig {
+        units: cfg.units,
+        sensors_per_unit: cfg.sensors,
+        ..FleetConfig::paper_scale(cfg.seed)
+    });
+    let units: Vec<u32> = (0..cfg.units).collect();
+    let sensors = cfg.sensors as usize;
+    let dataflow = Dataflow::new(cfg.workers);
+
+    // Seed every unit with its base history and finish once; rounds
+    // then measure steady-state retraining, not the cold start.
+    let mut history: BTreeMap<u32, Vec<Vec<f64>>> = BTreeMap::new();
+    let mut incremental = FleetTrainer::new(&units, sensors);
+    for &u in &units {
+        let rows = unit_rows(&fleet, u, 0, cfg.base_rows);
+        incremental.ingest(u, &rows);
+        history.insert(u, rows);
+    }
+    let errors = incremental.retrain_dirty(&dataflow);
+    assert!(errors.is_empty(), "seed training failed: {errors:?}");
+
+    let mut rounds = Vec::with_capacity(cfg.rounds);
+    let (mut full_ms_total, mut incremental_ms_total) = (0.0f64, 0.0f64);
+    let (mut max_divergence, mut mismatches) = (0.0f64, 0u64);
+    for round in 0..cfg.rounds {
+        // Live ingest: a rotating subset of units sees fresh samples.
+        let dirty: Vec<u32> = (0..cfg.dirty_units)
+            .map(|i| ((round * cfg.dirty_units + i) as u32) % cfg.units)
+            .collect();
+        for &u in &dirty {
+            let have = history.get(&u).map_or(0, Vec::len) as u64;
+            let rows = unit_rows(&fleet, u, have, cfg.delta_rows);
+            history
+                .get_mut(&u)
+                .expect("seeded unit")
+                .extend(rows.clone());
+            incremental.ingest(u, &rows);
+        }
+
+        // Incremental arm: dirty-only re-finish on resident statistics.
+        let started = Instant::now();
+        let errors = incremental.retrain_dirty(&dataflow);
+        let incremental_ms = started.elapsed().as_secs_f64() * 1e3;
+        assert!(errors.is_empty(), "incremental retrain failed: {errors:?}");
+
+        // Full arm: the from-scratch batch rebuild over the same data.
+        let started = Instant::now();
+        let reference = full_rebuild(&units, sensors, &history, &dataflow);
+        let full_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Differential oracle: identical statistics must finish into
+        // identical models, unit by unit.
+        let mut round_worst = 0.0f64;
+        let mut round_mismatches = 0u64;
+        for &u in &units {
+            let d = model_divergence(
+                incremental.model(u).expect("incremental model"),
+                reference.model(u).expect("reference model"),
+            );
+            round_worst = round_worst.max(d);
+            if d > 1e-9 {
+                round_mismatches += 1;
+            }
+        }
+        full_ms_total += full_ms;
+        incremental_ms_total += incremental_ms;
+        max_divergence = max_divergence.max(round_worst);
+        mismatches += round_mismatches;
+        rounds.push(RetrainRound {
+            round,
+            dirty,
+            full_ms,
+            incremental_ms,
+            max_divergence: round_worst,
+            mismatches: round_mismatches,
+        });
+    }
+
+    // Scaling sweep: the same full-fleet re-finish at 1..=N workers.
+    // Each point gets its own engine so the counters isolate the point.
+    let mut scaling = Vec::with_capacity(cfg.workers);
+    let mut sequential_ms = 0.0f64;
+    for workers in 1..=cfg.workers {
+        let df = Dataflow::new(workers);
+        let started = Instant::now();
+        let mut arm = incremental.clone();
+        let errors = arm.retrain_full(&df);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        assert!(errors.is_empty(), "scaling sweep failed: {errors:?}");
+        if workers == 1 {
+            sequential_ms = elapsed_ms;
+        }
+        let stats = df.stats();
+        scaling.push(WorkerScalingRow {
+            workers,
+            elapsed_ms,
+            speedup: if elapsed_ms > 0.0 {
+                sequential_ms / elapsed_ms
+            } else {
+                0.0
+            },
+            tasks: stats.tasks_run,
+            steals: stats.steals,
+            steal_attempts: stats.steal_attempts,
+            max_queue_depth: stats.max_queue_depth,
+            idle_spins: stats.idle_spins,
+        });
+    }
+    let parallel_speedup = scaling
+        .iter()
+        .skip(1)
+        .map(|row| row.speedup)
+        .fold(0.0f64, f64::max);
+
+    TrainBenchReport {
+        config: cfg.clone(),
+        rounds,
+        full_ms_total,
+        incremental_ms_total,
+        incremental_speedup: if incremental_ms_total > 0.0 {
+            full_ms_total / incremental_ms_total
+        } else {
+            0.0
+        },
+        max_divergence,
+        mismatches,
+        scaling,
+        parallel_speedup,
+        cores: std::thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e23_oracle_holds_and_incremental_wins() {
+        let rep = train_retrain_experiment(&TrainBenchConfig::quick());
+        assert_eq!(rep.mismatches, 0, "incremental must equal full rebuild");
+        assert!(
+            rep.max_divergence <= 1e-9,
+            "divergence {} above the bar",
+            rep.max_divergence
+        );
+        assert!(
+            rep.incremental_speedup >= 5.0,
+            "incremental speedup {} below 5x",
+            rep.incremental_speedup
+        );
+        assert_eq!(rep.rounds.len(), 3);
+        assert_eq!(rep.scaling.len(), 4);
+        assert!((rep.scaling[0].speedup - 1.0).abs() < 1e-12);
+        assert_eq!(rep.scaling[0].steals, 0, "1 worker runs sequentially");
+        assert!(rep.scaling.iter().all(|r| r.tasks > 0));
+        // The parallel bar only scores on multi-core hosts; the oracle
+        // and incremental bars always score.
+        if rep.cores >= 4 {
+            assert!(rep.passed(), "report failed on a {}-core host", rep.cores);
+        } else {
+            assert!(rep.passed() || rep.parallel_speedup < 3.0);
+        }
+    }
+
+    #[test]
+    fn dirty_rotation_covers_the_fleet() {
+        let cfg = TrainBenchConfig {
+            units: 4,
+            rounds: 4,
+            dirty_units: 1,
+            ..TrainBenchConfig::quick()
+        };
+        let rep = train_retrain_experiment(&cfg);
+        let touched: std::collections::BTreeSet<u32> =
+            rep.rounds.iter().flat_map(|r| r.dirty.clone()).collect();
+        assert_eq!(touched.len(), 4, "rotation must reach every unit");
+    }
+}

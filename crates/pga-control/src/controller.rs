@@ -150,6 +150,14 @@ impl<P: ScalingPolicy> ElasticController<P> {
             scrub_repairs: 0,
             scrub_rejected: 0,
             scrub_salvaged_reads: 0,
+            // The batch scheduler lives in the platform monitor; its
+            // registry mirrors the counters via `record_sched`.
+            sched_tasks: 0,
+            sched_steals: 0,
+            sched_steal_attempts: 0,
+            sched_max_queue_depth: 0,
+            sched_task_ns: 0,
+            sched_dirty_units: 0,
         })
     }
 
@@ -391,6 +399,12 @@ mod tests {
             scrub_repairs: 0,
             scrub_rejected: 0,
             scrub_salvaged_reads: 0,
+            sched_tasks: 0,
+            sched_steals: 0,
+            sched_steal_attempts: 0,
+            sched_max_queue_depth: 0,
+            sched_task_ns: 0,
+            sched_dirty_units: 0,
         };
         ctl.report_ingest(proxy.clone());
         let r = ctl.step(&mut master, 1000);

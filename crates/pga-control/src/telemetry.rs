@@ -178,6 +178,19 @@ pub struct MetricsRegistry {
     /// Gauge: reads transparently answered from a replica after the
     /// local copy failed verification.
     pub scrub_salvaged_reads: AtomicU64,
+    /// Gauge: tasks executed by this node's batch scheduler.
+    pub sched_tasks: AtomicU64,
+    /// Gauge: successful work steals in the batch scheduler.
+    pub sched_steals: AtomicU64,
+    /// Gauge: steal probes (successful or not) in the batch scheduler.
+    pub sched_steal_attempts: AtomicU64,
+    /// Gauge: high-water mark of any scheduler worker's deque depth.
+    pub sched_max_queue_depth: AtomicU64,
+    /// Gauge: total nanoseconds spent inside scheduler task bodies.
+    pub sched_task_ns: AtomicU64,
+    /// Gauge: units whose sufficient statistics changed since their last
+    /// model finish (pending incremental retrain work).
+    pub sched_dirty_units: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -249,6 +262,31 @@ impl MetricsRegistry {
             .store(salvaged_reads, Ordering::Relaxed);
     }
 
+    /// Mirror the batch scheduler's cumulative counters (and the
+    /// incremental trainer's dirty-unit gauge) into this registry so the
+    /// next published [`NodeStats`] carries them. Gauges despite being
+    /// monotonic at the source, like
+    /// [`MetricsRegistry::record_query_serving`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_sched(
+        &self,
+        tasks: u64,
+        steals: u64,
+        steal_attempts: u64,
+        max_queue_depth: u64,
+        task_ns: u64,
+        dirty_units: u64,
+    ) {
+        self.sched_tasks.store(tasks, Ordering::Relaxed);
+        self.sched_steals.store(steals, Ordering::Relaxed);
+        self.sched_steal_attempts
+            .store(steal_attempts, Ordering::Relaxed);
+        self.sched_max_queue_depth
+            .store(max_queue_depth, Ordering::Relaxed);
+        self.sched_task_ns.store(task_ns, Ordering::Relaxed);
+        self.sched_dirty_units.store(dirty_units, Ordering::Relaxed);
+    }
+
     /// Snapshot the registry into the serializable wire form.
     ///
     /// The fields are independent gauges and monotonic counters with no
@@ -294,6 +332,12 @@ impl MetricsRegistry {
             scrub_repairs: self.scrub_repairs.load(Ordering::Relaxed),
             scrub_rejected: self.scrub_rejected.load(Ordering::Relaxed),
             scrub_salvaged_reads: self.scrub_salvaged_reads.load(Ordering::Relaxed),
+            sched_tasks: self.sched_tasks.load(Ordering::Relaxed),
+            sched_steals: self.sched_steals.load(Ordering::Relaxed),
+            sched_steal_attempts: self.sched_steal_attempts.load(Ordering::Relaxed),
+            sched_max_queue_depth: self.sched_max_queue_depth.load(Ordering::Relaxed),
+            sched_task_ns: self.sched_task_ns.load(Ordering::Relaxed),
+            sched_dirty_units: self.sched_dirty_units.load(Ordering::Relaxed),
         }
     }
 }
@@ -404,6 +448,26 @@ pub struct NodeStats {
     /// failed verification.
     #[serde(default)]
     pub scrub_salvaged_reads: u64,
+    /// Tasks executed by the node's batch scheduler. Defaults (with the
+    /// five fields below) keep pre-scheduler snapshots parseable: an old
+    /// publisher simply reports no batch activity.
+    #[serde(default)]
+    pub sched_tasks: u64,
+    /// Successful work steals in the batch scheduler.
+    #[serde(default)]
+    pub sched_steals: u64,
+    /// Steal probes (successful or not) in the batch scheduler.
+    #[serde(default)]
+    pub sched_steal_attempts: u64,
+    /// High-water mark of any scheduler worker's deque depth.
+    #[serde(default)]
+    pub sched_max_queue_depth: u64,
+    /// Total nanoseconds spent inside scheduler task bodies.
+    #[serde(default)]
+    pub sched_task_ns: u64,
+    /// Units with pending incremental retrain work at snapshot time.
+    #[serde(default)]
+    pub sched_dirty_units: u64,
 }
 
 impl NodeStats {
@@ -437,6 +501,15 @@ impl NodeStats {
             0.0
         } else {
             self.query_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean scheduler task latency in microseconds (0 before any task).
+    pub fn sched_mean_task_us(&self) -> f64 {
+        if self.sched_tasks == 0 {
+            0.0
+        } else {
+            self.sched_task_ns as f64 / self.sched_tasks as f64 / 1_000.0
         }
     }
 }
@@ -628,6 +701,31 @@ impl FleetSnapshot {
     pub fn total_salvaged_reads(&self) -> u64 {
         self.nodes.iter().map(|n| n.scrub_salvaged_reads).sum()
     }
+
+    /// Cumulative batch-scheduler tasks executed across the fleet.
+    pub fn total_sched_tasks(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sched_tasks).sum()
+    }
+
+    /// Cumulative successful work steals across the fleet's schedulers.
+    pub fn total_sched_steals(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sched_steals).sum()
+    }
+
+    /// Units with pending incremental retrain work across the fleet —
+    /// the "how stale are the models" health signal.
+    pub fn total_dirty_units(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sched_dirty_units).sum()
+    }
+
+    /// Deepest scheduler worker deque observed anywhere in the fleet.
+    pub fn max_sched_queue_depth(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.sched_max_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -670,6 +768,12 @@ mod tests {
             scrub_repairs: 0,
             scrub_rejected: 0,
             scrub_salvaged_reads: 0,
+            sched_tasks: 0,
+            sched_steals: 0,
+            sched_steal_attempts: 0,
+            sched_max_queue_depth: 0,
+            sched_task_ns: 0,
+            sched_dirty_units: 0,
         }
     }
 
@@ -759,6 +863,44 @@ mod tests {
         let back: NodeStats = serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
         assert_eq!(back.scrub_quarantined, 0);
         assert_eq!(back.scrub_repairs, 0);
+    }
+
+    #[test]
+    fn sched_counters_flow_into_fleet_aggregates() {
+        let reg = MetricsRegistry::new(64);
+        reg.record_sched(1700, 42, 90, 12, 3_400_000, 5);
+        let a = reg.snapshot(0, 1);
+        assert_eq!(a.sched_tasks, 1700);
+        assert_eq!(a.sched_steals, 42);
+        assert_eq!(a.sched_steal_attempts, 90);
+        assert_eq!(a.sched_max_queue_depth, 12);
+        assert!((a.sched_mean_task_us() - 2.0).abs() < 1e-9);
+        let mut b = stats(1, 0, 64);
+        b.sched_tasks = 300;
+        b.sched_steals = 8;
+        b.sched_max_queue_depth = 30;
+        b.sched_dirty_units = 2;
+        let fleet = FleetSnapshot {
+            nodes: vec![a.clone(), b],
+        };
+        assert_eq!(fleet.total_sched_tasks(), 2000);
+        assert_eq!(fleet.total_sched_steals(), 50);
+        assert_eq!(fleet.total_dirty_units(), 7);
+        assert_eq!(fleet.max_sched_queue_depth(), 30);
+        // Pre-scheduler snapshots (no sched fields at all) still parse.
+        let serde_json::Value::Object(obj) = serde_json::to_value(&a) else {
+            panic!("NodeStats must serialize to an object");
+        };
+        let mut pruned = serde_json::Map::new();
+        for (k, val) in obj.iter() {
+            if !k.starts_with("sched_") {
+                pruned.insert(k.clone(), val.clone());
+            }
+        }
+        let back: NodeStats = serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
+        assert_eq!(back.sched_tasks, 0);
+        assert_eq!(back.sched_dirty_units, 0);
+        assert_eq!(back.sched_mean_task_us(), 0.0);
     }
 
     #[test]

@@ -6,14 +6,19 @@
 //!
 //! * [`Dataflow`] / [`Dataset`] — partitioned collections with parallel
 //!   `map`, `filter`, `flat_map`, `map_partitions`, `reduce`, `count`,
-//!   `collect`, and a hash-shuffled `group_by_key`, executed on a bounded
-//!   worker pool (the "concurrency of Spark" §IV-A plans to exploit).
+//!   `collect`, and a hash-shuffled `group_by_key` (the "concurrency of
+//!   Spark" §IV-A plans to exploit). Each transformation compiles into a
+//!   `pga-sched` task graph — one task per partition plus explicit
+//!   shuffle/merge edges — executed by the seeded work-stealing
+//!   scheduler (or the sequential executor with one worker).
+//! * [`DataflowStats`] — cumulative scheduler counters (tasks, steals,
+//!   queue depth, task latency) for the platform observability panel.
 //! * [`DiskCache`] — a directory-backed object cache standing in for HDFS
 //!   ("results from the decomposition are cached to HDFS").
 //!
 //! The engine is eager (each transformation runs immediately, in
 //! parallel); lineage/laziness is orthogonal to everything the paper's
-//! workload needs.
+//! workload needs. DESIGN.md §13 describes the scheduler substrate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,4 +27,4 @@ mod cache;
 mod dataset;
 
 pub use cache::{CacheError, DiskCache};
-pub use dataset::{Dataflow, Dataset};
+pub use dataset::{Dataflow, DataflowStats, Dataset};

@@ -36,6 +36,7 @@
 mod batch;
 pub mod brownout;
 mod cusum;
+mod incremental;
 mod model;
 mod online;
 mod streaming;
@@ -44,6 +45,7 @@ mod trainer;
 pub use batch::{BatchEvaluator, ColumnWindow};
 pub use brownout::{BrownoutConfig, BrownoutGate, EvalMode};
 pub use cusum::{CusumDetector, CusumState};
+pub use incremental::{model_divergence, FleetTrainer};
 pub use model::{BlockModel, UnitModel, BLOCK_SENSORS};
 pub use online::{EvalOutcome, OnlineEvaluator, SensorFlag};
 pub use streaming::StreamingTrainer;

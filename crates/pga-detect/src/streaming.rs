@@ -5,7 +5,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use pga_linalg::{eigh, JacobiOptions, Matrix};
+use pga_linalg::{eigh, symmetric_from_packed_lower, JacobiOptions};
 
 use crate::model::{BlockModel, UnitModel, BLOCK_SENSORS};
 use crate::trainer::TrainError;
@@ -116,15 +116,9 @@ impl StreamingTrainer {
         for (b, m2) in self.comoments.iter().enumerate() {
             let start = b * BLOCK_SENSORS;
             let len = BLOCK_SENSORS.min(self.sensors - start);
-            let mut cov = Matrix::zeros(len, len);
-            let mut idx = 0;
+            let cov = symmetric_from_packed_lower(len, m2, 1.0 / denom)
+                .map_err(|e| TrainError::Decomposition(e.to_string()))?;
             for i in 0..len {
-                for j in 0..=i {
-                    let v = m2[idx] / denom;
-                    cov.set(i, j, v);
-                    cov.set(j, i, v);
-                    idx += 1;
-                }
                 stds[start + i] = cov.get(i, i).max(0.0).sqrt();
             }
             let eig = eigh(&cov, JacobiOptions::default())
@@ -192,6 +186,7 @@ impl StreamingTrainer {
 mod tests {
     use super::*;
     use crate::trainer::train_unit;
+    use pga_linalg::Matrix;
     use pga_sensorgen::{Fleet, FleetConfig};
 
     fn feed(trainer: &mut StreamingTrainer, obs: &Matrix) {

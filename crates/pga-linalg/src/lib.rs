@@ -38,6 +38,7 @@ pub use eig::{eigh, EigResult, JacobiOptions};
 pub use matrix::Matrix;
 pub use stat::{
     column_means, column_variances, covariance_matrix, covariance_naive, standardize_columns,
+    symmetric_from_packed_lower,
 };
 pub use svd::{svd, SvdResult};
 pub use vector::{axpy, dot, norm2, scale};

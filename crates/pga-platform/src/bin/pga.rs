@@ -92,6 +92,16 @@ fn usage() -> ! {
                       and background scrub repairs the local copies\n\
                       (--mode quick|full --nodes N --units N --sensors N\n\
                        --history S --corruptions N --seed N [--smoke])\n\
+           train      E23 incremental-retrain showdown: dirty-only\n\
+                      retraining vs the from-scratch batch rebuild under\n\
+                      live ingest (identical models, divergence <= 1e-9)\n\
+                      plus the work-stealing scheduler's 1..N worker\n\
+                      scaling sweep; fails unless the oracle holds, the\n\
+                      5x incremental bar holds, and — on >=4-core hosts —\n\
+                      the 3x parallel bar holds\n\
+                      (--mode quick|full --units N --sensors N\n\
+                       --base-rows N --rounds N --dirty-units N\n\
+                       --delta-rows N --workers N --seed N [--smoke])\n\
          \n\
          experiment reproduction lives in the bench crate:\n\
            cargo run --release -p pga-bench --bin report_all"
@@ -874,6 +884,103 @@ fn cmd_scrub(map: &HashMap<String, String>, smoke: bool) {
     }
 }
 
+/// Reproduce E23 from the CLI: live-ingest retrain rounds comparing
+/// the from-scratch batch rebuild against dirty-only incremental
+/// retraining (differential oracle: identical models, divergence ≤
+/// 1e-9), then sweep the work-stealing scheduler from 1 to N workers
+/// over the full-fleet re-finish workload. Exits non-zero unless every
+/// bar holds (the ≥3x parallel bar is gated on a ≥4-core host). With
+/// `--smoke`, also writes `target/experiments/BENCH_train.json`.
+fn cmd_train(map: &HashMap<String, String>, smoke: bool) {
+    use pga_bench::{render_table, train_retrain_experiment, TrainBenchConfig};
+
+    let base = if map.get("mode").map(String::as_str) == Some("full") {
+        TrainBenchConfig::full()
+    } else {
+        TrainBenchConfig::quick()
+    };
+    let cfg = TrainBenchConfig {
+        units: get(map, "units", base.units),
+        sensors: get(map, "sensors", base.sensors),
+        base_rows: get(map, "base-rows", base.base_rows),
+        rounds: get(map, "rounds", base.rounds),
+        dirty_units: get(map, "dirty-units", base.dirty_units),
+        delta_rows: get(map, "delta-rows", base.delta_rows),
+        workers: get(map, "workers", base.workers),
+        seed: get(map, "seed", base.seed),
+    };
+    println!(
+        "incremental retrain campaign: {} units x {} sensors, {} rounds of {} dirty x {} rows, \
+         up to {} workers",
+        cfg.units, cfg.sensors, cfg.rounds, cfg.dirty_units, cfg.delta_rows, cfg.workers
+    );
+    let rep = train_retrain_experiment(&cfg);
+    let mut rows = vec![[
+        "round",
+        "dirty units",
+        "full ms",
+        "incremental ms",
+        "divergence",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect::<Vec<_>>()];
+    for r in &rep.rounds {
+        rows.push(vec![
+            r.round.to_string(),
+            r.dirty.len().to_string(),
+            format!("{:.2}", r.full_ms),
+            format!("{:.2}", r.incremental_ms),
+            format!("{:.2e}", r.max_divergence),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    let mut rows = vec![[
+        "workers",
+        "elapsed ms",
+        "speedup",
+        "tasks",
+        "steals",
+        "max depth",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect::<Vec<_>>()];
+    for r in &rep.scaling {
+        rows.push(vec![
+            r.workers.to_string(),
+            format!("{:.2}", r.elapsed_ms),
+            format!("{:.2}x", r.speedup),
+            r.tasks.to_string(),
+            r.steals.to_string(),
+            r.max_queue_depth.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!(
+        "train: incremental {:.1}x faster than full rebuild, parallel {:.1}x over sequential \
+         ({} cores), {} mismatches, worst divergence {:.2e}",
+        rep.incremental_speedup,
+        rep.parallel_speedup,
+        rep.cores,
+        rep.mismatches,
+        rep.max_divergence
+    );
+    if smoke {
+        std::fs::create_dir_all("target/experiments").expect("create experiments dir");
+        let json = serde_json::to_string_pretty(&rep).expect("report serialises");
+        std::fs::write("target/experiments/BENCH_train.json", json)
+            .expect("write BENCH_train.json");
+        println!("wrote target/experiments/BENCH_train.json");
+    }
+    if rep.passed() {
+        println!("train verdict held: incremental equals full recompute and beats it >=5x");
+    } else {
+        println!("TRAIN VERDICT FAILED");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -894,6 +1001,7 @@ fn main() {
         "queries" => cmd_queries(&map),
         "blocks" => cmd_blocks(&map, args.iter().any(|a| a == "--smoke")),
         "scrub" => cmd_scrub(&map, args.iter().any(|a| a == "--smoke")),
+        "train" => cmd_train(&map, args.iter().any(|a| a == "--smoke")),
         _ => usage(),
     }
 }

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use pga_dataflow::Dataflow;
-use pga_detect::{train_unit, BrownoutGate, EvalMode, EvalOutcome, OnlineEvaluator, UnitModel};
+use pga_detect::{
+    train_unit, BrownoutGate, EvalMode, EvalOutcome, FleetTrainer, OnlineEvaluator, UnitModel,
+};
 use pga_ingest::{IngestionPipeline, PipelineReport};
 use pga_linalg::Matrix;
 use pga_minibase::Client;
@@ -84,7 +86,16 @@ pub struct Monitor {
     fleet: Fleet,
     pipeline: IngestionPipeline,
     engine: Arc<QueryEngine>,
+    /// One work-stealing dataflow engine for the monitor's lifetime, so
+    /// its scheduler counters accumulate across training rounds and feed
+    /// the `/cluster` page.
+    dataflow: Dataflow,
     evaluators: Vec<OnlineEvaluator>,
+    /// Resident per-unit sufficient statistics for incremental
+    /// retraining; seeded lazily by [`Monitor::train_incremental`].
+    trainer: Option<FleetTrainer>,
+    /// Last tick the incremental trainer has ingested through.
+    trained_through: Option<u64>,
     anomalies: Vec<AnomalyRecord>,
     last_ingest: Option<PipelineReport>,
     brownout: BrownoutGate,
@@ -121,12 +132,16 @@ impl Monitor {
             config.query.engine_config(config.hedge_policy()),
         ));
         let brownout = BrownoutGate::new(config.brownout);
+        let dataflow = Dataflow::new(config.workers);
         Ok(Monitor {
             config,
             fleet,
             pipeline,
             engine,
+            dataflow,
             evaluators: Vec::new(),
+            trainer: None,
+            trained_through: None,
             anomalies: Vec::new(),
             last_ingest: None,
             brownout,
@@ -251,8 +266,8 @@ impl Monitor {
         for &u in &units {
             observations.push((u, self.window_from_store(u, t_end, window)?));
         }
-        let df = Dataflow::new(self.config.workers);
-        let results: Vec<Result<UnitModel, String>> = df
+        let results: Vec<Result<UnitModel, String>> = self
+            .dataflow
             .parallelize(observations, self.config.workers * 2)
             .map(|(u, obs)| train_unit(u, &obs).map_err(|e| e.to_string()))
             .collect();
@@ -266,6 +281,69 @@ impl Monitor {
             .map(|m| OnlineEvaluator::new(m, self.config.procedure, self.config.alpha))
             .collect();
         Ok(())
+    }
+
+    /// Incremental training under live ingest: per-unit Welford
+    /// sufficient statistics stay resident across calls, and only units
+    /// whose statistics changed since the previous call (the *dirty*
+    /// units) get their covariance/SVD finish tasks re-enqueued on the
+    /// work-stealing scheduler. The first call seeds the trainer with
+    /// the full training window ending at `t_end`; later calls ingest
+    /// just the new ticks `(trained_through, t_end]`, so unchanged
+    /// units keep their models without recomputation (the DESIGN.md §13
+    /// incrementality invariant). Returns the number of units that were
+    /// dirty and therefore retrained.
+    pub fn train_incremental(&mut self, t_end: u64) -> Result<usize, MonitorError> {
+        let window = self.config.training_window;
+        if self.trainer.is_none() {
+            let units: Vec<u32> = (0..self.config.fleet.units).collect();
+            self.trainer = Some(FleetTrainer::new(
+                &units,
+                self.config.fleet.sensors_per_unit as usize,
+            ));
+        }
+        // New ticks since the last call (the whole window on first use).
+        let start_tick = match self.trained_through {
+            Some(prev) => prev + 1,
+            None => t_end + 1 - window as u64,
+        };
+        let mut fresh: Vec<(u32, Vec<Vec<f64>>)> = Vec::new();
+        if start_tick <= t_end {
+            let len = (t_end - start_tick + 1) as usize;
+            for u in 0..self.config.fleet.units {
+                let w = self.window_from_store(u, t_end, len)?;
+                fresh.push((u, (0..w.rows()).map(|r| w.row(r).to_vec()).collect()));
+            }
+        }
+        let trainer = self.trainer.as_mut().expect("trainer seeded above");
+        for (u, rows) in &fresh {
+            trainer.ingest(*u, rows);
+        }
+        let dirty = trainer.dirty_count();
+        let failures = trainer.retrain_dirty(&self.dataflow);
+        if let Some((unit, e)) = failures.first() {
+            return Err(MonitorError::Train(format!("unit {unit}: {e}")));
+        }
+        self.trained_through = Some(t_end.max(self.trained_through.unwrap_or(0)));
+        self.evaluators = trainer
+            .models()
+            .values()
+            .cloned()
+            .map(|m| OnlineEvaluator::new(m, self.config.procedure, self.config.alpha))
+            .collect();
+        Ok(dirty)
+    }
+
+    /// Scheduler counters accumulated by the monitor's dataflow engine
+    /// (training task graphs): tasks, steals, queue depth, latency.
+    pub fn dataflow_stats(&self) -> pga_dataflow::DataflowStats {
+        self.dataflow.stats()
+    }
+
+    /// Units whose sufficient statistics changed since their last
+    /// finish (0 when incremental training has never run).
+    pub fn dirty_units(&self) -> usize {
+        self.trainer.as_ref().map_or(0, FleetTrainer::dirty_count)
     }
 
     /// Whether training has produced evaluators.
@@ -453,7 +531,9 @@ impl Monitor {
     /// plane: region placement and failover history from the master,
     /// read-path counters (follower reads, hedged scans, fence
     /// rejections) summed over every storage client's lag book — the
-    /// ingest TSDs plus the serving engine.
+    /// ingest TSDs plus the serving engine — plus the batch scheduler's
+    /// counters (tasks, steals, queue depth, latency, dirty units) from
+    /// the monitor's dataflow engine.
     pub fn cluster_view_data(&self) -> ClusterView {
         let master = self.pipeline.master();
         let live: std::collections::BTreeSet<_> = master.live_nodes().into_iter().collect();
@@ -503,6 +583,9 @@ impl Monitor {
             repairs += scrub.repairs_ok.load(Relaxed);
             salvaged += tsd.metrics().salvaged_reads.load(Relaxed);
         }
+        // Batch-scheduler counters come from the monitor's own dataflow
+        // engine — every training graph it ran since construction.
+        let sched = self.dataflow.stats();
         ClusterView {
             replication_factor: master.replication_factor(),
             nodes,
@@ -515,6 +598,11 @@ impl Monitor {
             quarantined_spans: quarantined,
             scrub_repairs: repairs,
             salvaged_reads: salvaged,
+            sched_tasks: sched.tasks_run,
+            sched_steals: sched.steals,
+            sched_mean_task_us: sched.mean_task_us(),
+            sched_max_queue_depth: sched.max_queue_depth,
+            dirty_units: self.dirty_units() as u64,
         }
     }
 
@@ -623,6 +711,33 @@ mod tests {
         assert!(html.contains("Cluster replication"));
         assert!(html.contains("RF 2"));
         assert!(html.contains("quarantined spans"));
+        m.shutdown();
+    }
+
+    #[test]
+    fn incremental_training_retrains_only_dirty_units() {
+        let mut config = PlatformConfig::demo(13);
+        config.fleet.units = 2;
+        config.fleet.sensors_per_unit = 8;
+        let mut m = Monitor::new(config).unwrap();
+        m.ingest_range(0, 210);
+        // First call seeds the trainer: every unit dirty, full window.
+        assert_eq!(m.train_incremental(149).unwrap(), 2);
+        assert!(m.is_trained());
+        assert_eq!(m.dirty_units(), 0);
+        // Same tick again: no new rows, nothing retrained.
+        assert_eq!(m.train_incremental(149).unwrap(), 0);
+        // New ticks dirty every unit that saw data.
+        assert_eq!(m.train_incremental(180).unwrap(), 2);
+        // Scheduler counters from the training graphs reach the cluster
+        // view, and the retrain left no unit dirty.
+        let view = m.cluster_view_data();
+        assert!(view.sched_tasks > 0, "training ran scheduler tasks");
+        assert_eq!(view.dirty_units, 0);
+        assert!(m.dataflow_stats().graphs_run > 0);
+        // Evaluation runs off the incrementally trained models.
+        let out = m.evaluate_at(205).unwrap();
+        assert_eq!(out.len(), 2);
         m.shutdown();
     }
 

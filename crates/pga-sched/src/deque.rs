@@ -1,0 +1,77 @@
+//! Per-worker work deque: the owner pushes and pops at the back (LIFO,
+//! cache-warm), thieves steal from the front (FIFO, oldest — usually
+//! largest-granularity — work first).
+//!
+//! The whole protocol runs under a single `parking_lot::Mutex` so that
+//! the emptiness check and the take happen in one critical section.
+//! The `pga-analyze` `worklist-deque` interleave model checks exactly
+//! this: its seeded mutant splits the steal's len-check from its take
+//! and the model checker catches the resulting underflow.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A lock-based work-stealing deque holding task indices.
+#[derive(Debug, Default)]
+pub struct WorkDeque {
+    items: Mutex<VecDeque<usize>>,
+}
+
+impl WorkDeque {
+    /// An empty deque.
+    pub fn new() -> Self {
+        WorkDeque {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner: push a task at the back. Returns the queue depth after the
+    /// push so the caller can track its high-water mark without a second
+    /// lock acquisition.
+    pub fn push(&self, task: usize) -> usize {
+        let mut items = self.items.lock();
+        items.push_back(task);
+        items.len()
+    }
+
+    /// Owner: pop the most recently pushed task (back).
+    pub fn pop(&self) -> Option<usize> {
+        self.items.lock().pop_back()
+    }
+
+    /// Thief: steal the oldest task (front). The emptiness check and the
+    /// take share one lock section — see the module docs.
+    pub fn steal(&self) -> Option<usize> {
+        self.items.lock().pop_front()
+    }
+
+    /// Current depth (racy by nature; informational only).
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether the deque is currently empty (racy; informational only).
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = WorkDeque::new();
+        assert_eq!(d.push(1), 1);
+        assert_eq!(d.push(2), 2);
+        assert_eq!(d.push(3), 3);
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Task graphs: typed node handles, explicit dependency edges, and the
+//! indegree bookkeeping the executors use for topological readiness.
+//!
+//! This module is on the `pga-analyze` panic-path surface: graph
+//! construction is called from serving-adjacent code (the monitor's
+//! retrain path), so malformed edges surface as typed [`SchedError`]s,
+//! never as panics or direct indexing.
+
+/// Typed handle to one node of a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(usize);
+
+impl TaskId {
+    /// Position of the task in its graph (creation order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Scheduler failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// An edge referenced a task id the graph does not contain.
+    UnknownTask {
+        /// The out-of-range task index.
+        index: usize,
+    },
+    /// An edge from a task to itself — trivially a cycle.
+    SelfEdge {
+        /// The offending task index.
+        index: usize,
+    },
+    /// The graph contains a dependency cycle: after running every ready
+    /// task, `remaining` tasks still had unmet dependencies.
+    Cycle {
+        /// Tasks whose dependencies could never be satisfied.
+        remaining: usize,
+    },
+    /// A task body panicked; the run drained cleanly and stopped.
+    TaskPanicked {
+        /// Stage label of the panicking task.
+        stage: &'static str,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::UnknownTask { index } => write!(f, "unknown task id {index}"),
+            SchedError::SelfEdge { index } => write!(f, "task {index} depends on itself"),
+            SchedError::Cycle { remaining } => {
+                write!(f, "dependency cycle: {remaining} tasks never became ready")
+            }
+            SchedError::TaskPanicked { stage } => {
+                write!(f, "task panicked in stage `{stage}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// One node: a stage label, the work closure, and adjacency.
+pub(crate) struct TaskNode<'a> {
+    pub(crate) stage: &'static str,
+    pub(crate) body: Box<dyn FnOnce() + Send + 'a>,
+    /// Tasks that become one dependency closer to ready when this runs.
+    pub(crate) children: Vec<usize>,
+    /// Unmet dependency count.
+    pub(crate) indegree: usize,
+}
+
+/// A directed acyclic graph of tasks. Closures may borrow from the
+/// enclosing scope (lifetime `'a`); the executors run them inside
+/// `std::thread::scope`, so borrowed inputs and output slots work the
+/// same way they do with scoped threads.
+///
+/// Acyclicity is not checked at construction (edges arrive one at a
+/// time); the executors detect cycles as tasks that never become ready
+/// and return [`SchedError::Cycle`].
+#[derive(Default)]
+pub struct TaskGraph<'a> {
+    pub(crate) tasks: Vec<TaskNode<'a>>,
+}
+
+impl<'a> TaskGraph<'a> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph { tasks: Vec::new() }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Add a task with a stage label (stages group timing/counters in
+    /// [`crate::RunReport`]). The task starts with no dependencies.
+    pub fn add_task<F>(&mut self, stage: &'static str, body: F) -> TaskId
+    where
+        F: FnOnce() + Send + 'a,
+    {
+        let id = self.tasks.len();
+        self.tasks.push(TaskNode {
+            stage,
+            body: Box::new(body),
+            children: Vec::new(),
+            indegree: 0,
+        });
+        TaskId(id)
+    }
+
+    /// Declare that `before` must complete before `after` may start.
+    pub fn add_edge(&mut self, before: TaskId, after: TaskId) -> Result<(), SchedError> {
+        if before == after {
+            return Err(SchedError::SelfEdge { index: before.0 });
+        }
+        if after.0 >= self.tasks.len() {
+            return Err(SchedError::UnknownTask { index: after.0 });
+        }
+        match self.tasks.get_mut(before.0) {
+            Some(node) => node.children.push(after.0),
+            None => return Err(SchedError::UnknownTask { index: before.0 }),
+        }
+        if let Some(node) = self.tasks.get_mut(after.0) {
+            node.indegree += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_creation_order() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("s", || {});
+        let b = g.add_task("s", || {});
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn bad_edges_are_typed_errors() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("s", || {});
+        assert_eq!(g.add_edge(a, a), Err(SchedError::SelfEdge { index: 0 }));
+        let phantom = TaskId(7);
+        assert_eq!(
+            g.add_edge(a, phantom),
+            Err(SchedError::UnknownTask { index: 7 })
+        );
+        assert_eq!(
+            g.add_edge(phantom, a),
+            Err(SchedError::UnknownTask { index: 7 })
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(SchedError::Cycle { remaining: 2 }
+            .to_string()
+            .contains("cycle"));
+        assert!(SchedError::TaskPanicked { stage: "fold" }
+            .to_string()
+            .contains("fold"));
+    }
+}

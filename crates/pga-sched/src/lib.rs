@@ -1,0 +1,36 @@
+//! Dependency-aware task graphs with a work-stealing scheduler.
+//!
+//! The paper runs its training jobs as Spark batch stages (§II, §IV-A);
+//! `pga-dataflow` reproduces those stages eagerly on a bounded pool. This
+//! crate supplies the substrate underneath: batch work is compiled into a
+//! [`TaskGraph`] — typed [`TaskId`] nodes, explicit edges, topological
+//! readiness — and executed either by
+//!
+//! * [`run`], a **work-stealing scheduler**: one LIFO deque per worker,
+//!   idle workers stealing from the front of randomly chosen victims.
+//!   Victim choice comes from per-worker [`rand::rngs::StdRng`] streams
+//!   derived from a caller-supplied seed, never from ambient entropy, so
+//!   replay harnesses stay reproducible; or
+//! * [`run_sequential`], a deterministic single-threaded executor that
+//!   processes ready tasks in ascending id order — the differential
+//!   oracle for the parallel path and the replay baseline.
+//!
+//! Both report [`RunReport`] counters (tasks, steals, queue depths, idle
+//! spins, per-stage timings). Time is **injected** via [`Clock`] — this
+//! crate never reads `Instant::now`, keeping the whole crate inside the
+//! `pga-analyze` determinism scope.
+//!
+//! The deque protocol (len-check and take under one lock section) is
+//! modelled and exhaustively checked by `pga-analyze`'s `worklist-deque`
+//! interleave model; see DESIGN.md §13 for the invariants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deque;
+mod executor;
+mod graph;
+
+pub use deque::WorkDeque;
+pub use executor::{run, run_sequential, Clock, RunReport, SchedulerConfig, StageTiming};
+pub use graph::{SchedError, TaskGraph, TaskId};

@@ -1,0 +1,163 @@
+//! Differential and replay-determinism properties: random DAGs produce
+//! identical task outputs under the work-stealing scheduler and the
+//! sequential oracle, every task runs exactly once, and a fixed seed is
+//! replayable.
+
+use proptest::prelude::*;
+
+use parking_lot::Mutex;
+use pga_sched::{run, run_sequential, SchedulerConfig, TaskGraph};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A random layered DAG description: `layers[i]` is the width of layer
+/// `i`; each node depends on a subset of the previous layer chosen by
+/// the (deterministic, proptest-driven) `edges` bits.
+#[derive(Debug, Clone)]
+struct DagSpec {
+    layers: Vec<usize>,
+    edge_bits: u64,
+}
+
+fn dag_spec() -> impl Strategy<Value = DagSpec> {
+    (
+        proptest::collection::vec(1usize..6, 1..5),
+        proptest::prelude::any::<u64>(),
+    )
+        .prop_map(|(layers, edge_bits)| DagSpec { layers, edge_bits })
+}
+
+/// Build the DAG; each task records `(its id) * multiplier(dependency
+/// results observed)` into an output slot, so a dependency violation or
+/// double execution changes the output vector.
+fn run_dag(spec: &DagSpec, workers: usize, seed: u64, sequential: bool) -> (Vec<u64>, Vec<u64>) {
+    let total: usize = spec.layers.iter().sum();
+    let outputs: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+    let run_counts: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+    let outputs_ref = &outputs;
+    let counts_ref = &run_counts;
+
+    let mut g = TaskGraph::new();
+    let mut prev_layer: Vec<(pga_sched::TaskId, usize)> = Vec::new();
+    let mut next_id = 0usize;
+    let mut bit = 0u32;
+    for &width in &spec.layers {
+        let mut this_layer = Vec::with_capacity(width);
+        for _ in 0..width {
+            let id = next_id;
+            next_id += 1;
+            // Dependencies on the previous layer, selected by edge bits;
+            // always depend on at least one node (the first) when a
+            // previous layer exists, so the graph is connected enough to
+            // exercise readiness tracking.
+            let mut deps: Vec<usize> = Vec::new();
+            for (pi, &(_, pid)) in prev_layer.iter().enumerate() {
+                let take = pi == 0 || (spec.edge_bits >> (bit % 64)) & 1 == 1;
+                bit = bit.wrapping_add(1);
+                if take {
+                    deps.push(pid);
+                }
+            }
+            let deps_for_body = deps.clone();
+            let task = g.add_task("layer", move || {
+                let mut acc = (id as u64) + 1;
+                for d in &deps_for_body {
+                    // Dependencies must have produced a nonzero output by now.
+                    acc = acc
+                        .wrapping_mul(31)
+                        .wrapping_add(outputs_ref[*d].load(Ordering::SeqCst));
+                }
+                outputs_ref[id].store(acc, Ordering::SeqCst);
+                counts_ref[id].fetch_add(1, Ordering::SeqCst);
+            });
+            for &(dep_task, _) in prev_layer.iter().filter(|&&(_, pid)| deps.contains(&pid)) {
+                g.add_edge(dep_task, task).expect("valid edge");
+            }
+            this_layer.push((task, id));
+        }
+        prev_layer = this_layer;
+    }
+
+    let report = if sequential {
+        run_sequential(g, None).expect("sequential run")
+    } else {
+        run(g, &SchedulerConfig { workers, seed }, None).expect("parallel run")
+    };
+    assert_eq!(report.tasks_run as usize, total);
+
+    (
+        outputs.iter().map(|o| o.load(Ordering::SeqCst)).collect(),
+        run_counts
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn work_stealing_matches_sequential_oracle(
+        spec in dag_spec(),
+        workers in 1usize..5,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let (seq_out, seq_counts) = run_dag(&spec, 1, 0, true);
+        let (par_out, par_counts) = run_dag(&spec, workers, seed, false);
+        prop_assert_eq!(&par_out, &seq_out, "outputs must match the sequential oracle");
+        prop_assert!(seq_counts.iter().all(|&c| c == 1), "oracle runs each task once");
+        prop_assert!(par_counts.iter().all(|&c| c == 1), "scheduler runs each task once");
+    }
+
+    #[test]
+    fn seeded_runs_are_replay_deterministic(
+        spec in dag_spec(),
+        workers in 2usize..5,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let (a, _) = run_dag(&spec, workers, seed, false);
+        let (b, _) = run_dag(&spec, workers, seed, false);
+        prop_assert_eq!(a, b, "same seed, same graph => same outputs");
+    }
+}
+
+#[test]
+fn victim_rng_streams_are_pure_functions_of_seed_and_worker() {
+    // Replay guarantee at the counter level with a single-root chain fan-out:
+    // many leaf tasks hanging off one root force steals; the *outputs* are
+    // already pinned by the proptests, here we pin that a run completes and
+    // counts stay consistent across replays of the same seed.
+    fn build(hits: &Mutex<u64>) -> TaskGraph<'_> {
+        let mut g = TaskGraph::new();
+        let root = g.add_task("root", || {});
+        for _ in 0..64 {
+            let t = g.add_task("leaf", move || *hits.lock() += 1);
+            g.add_edge(root, t).expect("edge");
+        }
+        g
+    }
+    let h1 = Mutex::new(0u64);
+    let rep1 = run(
+        build(&h1),
+        &SchedulerConfig {
+            workers: 4,
+            seed: 42,
+        },
+        None,
+    )
+    .expect("run");
+    assert_eq!(*h1.lock(), 64);
+    let h2 = Mutex::new(0u64);
+    let rep2 = run(
+        build(&h2),
+        &SchedulerConfig {
+            workers: 4,
+            seed: 42,
+        },
+        None,
+    )
+    .expect("run");
+    assert_eq!(*h2.lock(), 64);
+    assert_eq!(rep1.tasks_run, rep2.tasks_run);
+    assert_eq!(rep1.per_worker_tasks.len(), 4);
+}

@@ -78,6 +78,23 @@ pub struct ClusterView {
     /// local copy failed verification.
     #[serde(default)]
     pub salvaged_reads: u64,
+    /// Cumulative batch-scheduler tasks executed across the fleet.
+    /// Defaults (with the four fields below) keep pre-scheduler view
+    /// JSON parseable: an old producer simply reports no batch activity.
+    #[serde(default)]
+    pub sched_tasks: u64,
+    /// Cumulative tasks a worker stole from another worker's deque.
+    #[serde(default)]
+    pub sched_steals: u64,
+    /// Mean task latency in microseconds across the fleet's schedulers.
+    #[serde(default)]
+    pub sched_mean_task_us: f64,
+    /// Deepest per-worker queue observed across the fleet.
+    #[serde(default)]
+    pub sched_max_queue_depth: u64,
+    /// Units whose retraining is pending (dirty sufficient statistics).
+    #[serde(default)]
+    pub dirty_units: u64,
 }
 
 impl ClusterView {
@@ -114,6 +131,11 @@ pub fn cluster_page(view: &ClusterView) -> String {
          <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">quarantined spans</div></div>\
          <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">blocks repaired</div></div>\
          <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">salvaged reads</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">sched tasks</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">tasks stolen</div></div>\
+         <div class=\"stat\"><div class=\"v\">{:.1}&#181;s</div><div class=\"k\">mean task latency</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">max queue depth</div></div>\
+         <div class=\"stat\"><div class=\"v\">{}</div><div class=\"k\">dirty units</div></div>\
          </div>",
         view.replication_factor,
         view.live_nodes(),
@@ -126,6 +148,11 @@ pub fn cluster_page(view: &ClusterView) -> String {
         view.quarantined_spans,
         view.scrub_repairs,
         view.salvaged_reads,
+        view.sched_tasks,
+        view.sched_steals,
+        view.sched_mean_task_us,
+        view.sched_max_queue_depth,
+        view.dirty_units,
     ));
     body.push_str(
         "<table class=\"units\"><tr><th>node</th><th>status</th>\
@@ -198,6 +225,11 @@ mod tests {
             quarantined_spans: 1,
             scrub_repairs: 1,
             salvaged_reads: 4,
+            sched_tasks: 1234,
+            sched_steals: 56,
+            sched_mean_task_us: 12.5,
+            sched_max_queue_depth: 9,
+            dirty_units: 3,
         }
     }
 
@@ -213,6 +245,11 @@ mod tests {
         assert!(html.contains("quarantined spans"));
         assert!(html.contains("blocks repaired"));
         assert!(html.contains("salvaged reads"));
+        assert!(html.contains("sched tasks"));
+        assert!(html.contains("tasks stolen"));
+        assert!(html.contains("12.5&#181;s"));
+        assert!(html.contains("max queue depth"));
+        assert!(html.contains("dirty units"));
         // Status is text, never color alone.
         assert!(html.contains("healthy"));
         assert!(html.contains("warning"));
@@ -235,5 +272,22 @@ mod tests {
         let json = serde_json::to_string(&view).unwrap();
         let back: ClusterView = serde_json::from_str(&json).unwrap();
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn pre_scheduler_view_json_still_parses() {
+        // A producer built before the scheduler panel emits no sched_*
+        // fields; the serde defaults must fill them in as zeroes.
+        let legacy = r#"{"replication_factor":2,"nodes":[],"lag_alert":4,
+            "total_failovers":1,"fence_rejections":3,"follower_reads":25,
+            "hedged_scans":6}"#;
+        let back: ClusterView = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.sched_tasks, 0);
+        assert_eq!(back.sched_steals, 0);
+        assert_eq!(back.sched_mean_task_us, 0.0);
+        assert_eq!(back.sched_max_queue_depth, 0);
+        assert_eq!(back.dirty_units, 0);
+        assert_eq!(back.corrupt_blocks, 0);
+        assert_eq!(back.total_failovers, 1);
     }
 }
